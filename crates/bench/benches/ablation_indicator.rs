@@ -1,0 +1,45 @@
+//! Ablation: does the indicator-bit exactness trick (§II, Fig. 3) cost
+//! anything at comparison time?
+//!
+//! The full kernel ANDs the equality mask with `(x|y) & 0x80…80`; the
+//! keys-only variant skips that. Expectation: indistinguishable
+//! throughput — the exactness of batmap counting is free on the hot
+//! path (its cost lives in the one extra bit of storage).
+
+use batmap::swar;
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use std::hint::black_box;
+
+fn bench_indicator(c: &mut Criterion) {
+    let words = 1 << 18;
+    let a: Vec<u32> = (0..words).map(|i| (i as u32).wrapping_mul(2654435761)).collect();
+    let b: Vec<u32> = (0..words).map(|i| (i as u32).wrapping_mul(40503)).collect();
+    let mut g = c.benchmark_group("ablation_indicator");
+    g.throughput(Throughput::Bytes((words * 8) as u64));
+    g.bench_function("full_with_indicator", |bench| {
+        bench.iter(|| {
+            let mut acc = 0u64;
+            for (&x, &y) in a.iter().zip(&b) {
+                acc += swar::match_count_u32(x, y) as u64;
+            }
+            black_box(acc)
+        })
+    });
+    g.bench_function("keys_only", |bench| {
+        bench.iter(|| {
+            let mut acc = 0u64;
+            for (&x, &y) in a.iter().zip(&b) {
+                acc += swar::match_count_u32_keys_only(x, y) as u64;
+            }
+            black_box(acc)
+        })
+    });
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20).measurement_time(std::time::Duration::from_secs(2));
+    targets = bench_indicator
+}
+criterion_main!(benches);

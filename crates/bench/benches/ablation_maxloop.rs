@@ -1,0 +1,40 @@
+//! Ablation: the `MaxLoop` insertion bound (§II-A).
+//!
+//! Small bounds fail more insertions (pushing work to the `M_{p,q}`
+//! side path); large bounds chase longer eviction chains. This bench
+//! measures construction time across bounds on *sparse* sets (where
+//! collisions actually occur; with `m ≤ r` the permutation is injective
+//! and `MaxLoop` is irrelevant). Failure-rate curves live in
+//! `batmap::analysis` and its tests.
+
+use batmap::{Batmap, BatmapParams};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::hint::black_box;
+use std::sync::Arc;
+
+fn bench_maxloop(c: &mut Criterion) {
+    let m = 500_000u64;
+    let size = 4_000usize; // r = 8192 << m: real collisions
+    let elements: Vec<u32> = (0..size as u32)
+        .map(|i| (i as u64 * (m / size as u64)) as u32)
+        .collect();
+    let mut g = c.benchmark_group("ablation_maxloop");
+    g.throughput(Throughput::Elements(size as u64));
+    for max_loop in [1u32, 4, 16, 128] {
+        let params = Arc::new(BatmapParams::with_max_loop(m, 0xAB1A, max_loop));
+        g.bench_function(BenchmarkId::new("build", max_loop), |b| {
+            b.iter(|| {
+                let out = Batmap::build_sorted(params.clone(), &elements);
+                black_box((out.batmap.len(), out.failed.len()))
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(15).measurement_time(std::time::Duration::from_secs(2));
+    targets = bench_maxloop
+}
+criterion_main!(benches);

@@ -1,0 +1,40 @@
+//! Ablation: tile side `k` (§III-C used 2048).
+//!
+//! Smaller tiles mean more launches (overhead) but smaller result
+//! buffers; the CPU engine also sees cache effects. This bench measures
+//! host wall time of the CPU pipeline across `k`; the simulated-GPU
+//! launch-overhead tradeoff shows up in the figure binaries' timing
+//! breakdowns.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use datagen::uniform::{generate, UniformSpec};
+use pairminer::{mine, Engine, MinerConfig};
+use std::hint::black_box;
+
+fn bench_tilesize(c: &mut Criterion) {
+    let db = generate(&UniformSpec {
+        n_items: 128,
+        density: 0.05,
+        total_items: 60_000,
+        seed: 0x7173,
+    });
+    let mut g = c.benchmark_group("ablation_tilesize_cpu");
+    for k in [16usize, 64, 2048] {
+        g.bench_function(BenchmarkId::new("k", k), |b| {
+            let cfg = MinerConfig {
+                k,
+                engine: Engine::Cpu,
+                ..Default::default()
+            };
+            b.iter(|| black_box(mine(&db, &cfg).pairs.len()))
+        });
+    }
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10).measurement_time(std::time::Duration::from_secs(3));
+    targets = bench_tilesize
+}
+criterion_main!(benches);

@@ -1,0 +1,52 @@
+//! Set-representation shoot-out across densities: batmap vs plain
+//! bitmap vs WAH compressed bitmap vs sorted merge — the §I-B
+//! positioning argument as a measurement.
+
+use batmap::{Batmap, BatmapParams};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use fim::{merge, wah::WahBitmap, BitmapIndex, VerticalDb};
+use std::hint::black_box;
+use std::sync::Arc;
+
+fn sets(m: u32, density_recip: u32) -> (Vec<u32>, Vec<u32>) {
+    let a: Vec<u32> = (0..m).step_by(density_recip as usize).collect();
+    let b: Vec<u32> = (0..m)
+        .filter(|x| x.wrapping_mul(2654435761) % density_recip == 0)
+        .collect();
+    (a, b)
+}
+
+fn bench_formats(c: &mut Criterion) {
+    let m = 1 << 18;
+    for density_recip in [8u32, 128] {
+        let (a, b) = sets(m, density_recip);
+        let params = Arc::new(BatmapParams::new(m as u64, 0xF0F));
+        let ba = Batmap::build_sorted(params.clone(), &a).batmap;
+        let bb = Batmap::build_sorted(params.clone(), &b).batmap;
+        let idx = BitmapIndex::from_vertical(&VerticalDb::new(m, vec![a.clone(), b.clone()]));
+        let wa = WahBitmap::from_sorted(m, &a);
+        let wb = WahBitmap::from_sorted(m, &b);
+        let label = format!("density_1/{density_recip}");
+        let mut g = c.benchmark_group(format!("formats_{label}"));
+        g.bench_function(BenchmarkId::new("batmap", &label), |bench| {
+            bench.iter(|| black_box(ba.intersect_count(&bb)))
+        });
+        g.bench_function(BenchmarkId::new("plain_bitmap", &label), |bench| {
+            bench.iter(|| black_box(idx.pair_support(0, 1)))
+        });
+        g.bench_function(BenchmarkId::new("wah_sequential", &label), |bench| {
+            bench.iter(|| black_box(wa.intersect_count(&wb)))
+        });
+        g.bench_function(BenchmarkId::new("sorted_merge", &label), |bench| {
+            bench.iter(|| black_box(merge::count_branchy(&a, &b)))
+        });
+        g.finish();
+    }
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(15).measurement_time(std::time::Duration::from_secs(2));
+    targets = bench_formats
+}
+criterion_main!(benches);

@@ -1,0 +1,31 @@
+//! Batmap construction cost: the cuckoo 2-of-3 insertion at the paper's
+//! load factor, across set sizes (the dominant preprocessing component
+//! of Fig. 7).
+
+use batmap::{Batmap, BatmapParams};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::hint::black_box;
+use std::sync::Arc;
+
+fn bench_insert(c: &mut Criterion) {
+    let m = 200_000u64;
+    let params = Arc::new(BatmapParams::new(m, 0xBEEF));
+    let mut g = c.benchmark_group("batmap_build");
+    for size in [500usize, 2_500, 10_000] {
+        let elements: Vec<u32> = (0..size as u32)
+            .map(|i| (i as u64 * (m / size as u64)) as u32)
+            .collect();
+        g.throughput(Throughput::Elements(size as u64));
+        g.bench_function(BenchmarkId::new("build", size), |bench| {
+            bench.iter(|| black_box(Batmap::build_sorted(params.clone(), &elements).batmap.len()))
+        });
+    }
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(15).measurement_time(std::time::Duration::from_secs(2));
+    targets = bench_insert
+}
+criterion_main!(benches);

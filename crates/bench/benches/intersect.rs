@@ -1,0 +1,45 @@
+//! Head-to-head intersection count: batmap positional sweep vs sorted
+//! merge vs bitmap AND, on the same underlying sets (the paper's core
+//! claim at micro scale).
+
+use batmap::{Batmap, BatmapParams};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use fim::{merge, BitmapIndex, VerticalDb};
+use std::hint::black_box;
+use std::sync::Arc;
+
+fn bench_intersect(c: &mut Criterion) {
+    let m = 100_000u32;
+    let size = 5_000usize;
+    let a: Vec<u32> = (0..size as u32).map(|i| i * (m / size as u32)).collect();
+    let b: Vec<u32> = (0..size as u32).map(|i| i * (m / size as u32) + i % 7).collect();
+    let mut bs = b.clone();
+    bs.sort_unstable();
+    bs.dedup();
+
+    let params = Arc::new(BatmapParams::new(m as u64, 0xCAFE));
+    let ba = Batmap::build(params.clone(), &a).batmap;
+    let bb = Batmap::build(params.clone(), &bs).batmap;
+    let v = VerticalDb::new(m, vec![a.clone(), bs.clone()]);
+    let idx = BitmapIndex::from_vertical(&v);
+
+    let mut g = c.benchmark_group("intersect_count");
+    g.throughput(Throughput::Elements((2 * size) as u64));
+    g.bench_function(BenchmarkId::new("batmap_positional", size), |bench| {
+        bench.iter(|| black_box(ba.intersect_count(&bb)))
+    });
+    g.bench_function(BenchmarkId::new("sorted_merge", size), |bench| {
+        bench.iter(|| black_box(merge::count_branchy(&a, &bs)))
+    });
+    g.bench_function(BenchmarkId::new("bitmap_and", size), |bench| {
+        bench.iter(|| black_box(idx.pair_support(0, 1)))
+    });
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(30).measurement_time(std::time::Duration::from_secs(2));
+    targets = bench_intersect
+}
+criterion_main!(benches);

@@ -1,0 +1,53 @@
+//! Sorted-list intersection variants (§IV-B's CPU baseline and its
+//! standard mitigations): branchy vs branchless vs galloping, balanced
+//! and skewed.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use fim::merge;
+use std::hint::black_box;
+
+fn sorted_array(len: usize, seed: u64) -> Vec<u32> {
+    let mut out = Vec::with_capacity(len);
+    let mut v = 0u64;
+    let mut state = seed | 1;
+    for _ in 0..len {
+        state ^= state << 13;
+        state ^= state >> 7;
+        state ^= state << 17;
+        v += 1 + state % 4;
+        out.push(v as u32);
+    }
+    out
+}
+
+fn bench_merge(c: &mut Criterion) {
+    let len = 1 << 18;
+    let a = sorted_array(len, 1);
+    let b = sorted_array(len, 2);
+    let small = sorted_array(len >> 6, 3);
+    let mut g = c.benchmark_group("merge");
+    g.throughput(Throughput::Elements((2 * len) as u64));
+    g.bench_function(BenchmarkId::new("branchy", "balanced"), |bench| {
+        bench.iter(|| black_box(merge::count_branchy(&a, &b)))
+    });
+    g.bench_function(BenchmarkId::new("branchless", "balanced"), |bench| {
+        bench.iter(|| black_box(merge::count_branchless(&a, &b)))
+    });
+    g.bench_function(BenchmarkId::new("galloping", "balanced"), |bench| {
+        bench.iter(|| black_box(merge::count_galloping(&a, &b)))
+    });
+    g.bench_function(BenchmarkId::new("branchy", "skewed64x"), |bench| {
+        bench.iter(|| black_box(merge::count_branchy(&small, &b)))
+    });
+    g.bench_function(BenchmarkId::new("galloping", "skewed64x"), |bench| {
+        bench.iter(|| black_box(merge::count_galloping(&small, &b)))
+    });
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20).measurement_time(std::time::Duration::from_secs(2));
+    targets = bench_merge
+}
+criterion_main!(benches);

@@ -1,0 +1,48 @@
+//! Pair-mining baselines head to head on one instance: Apriori,
+//! FP-growth, Eclat (tidlist merging), bitmap AND, and the full batmap
+//! pipeline on the CPU engine.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use datagen::uniform::{generate, UniformSpec};
+use fim::{apriori, eclat, fpgrowth, BitmapIndex, VerticalDb};
+use pairminer::{mine, Engine, MinerConfig};
+use std::hint::black_box;
+
+fn bench_miners(c: &mut Criterion) {
+    let db = generate(&UniformSpec {
+        n_items: 200,
+        density: 0.05,
+        total_items: 50_000,
+        seed: 0xF00D,
+    });
+    let v = VerticalDb::from_horizontal(&db);
+    let idx = BitmapIndex::from_vertical(&v);
+    let mut g = c.benchmark_group("pair_miners_n200_d5pct");
+    g.bench_function("apriori", |b| {
+        b.iter(|| black_box(apriori::mine_pairs(&db, 1).len()))
+    });
+    g.bench_function("fpgrowth", |b| {
+        b.iter(|| black_box(fpgrowth::mine_pairs(&db, 1).len()))
+    });
+    g.bench_function("eclat_merge", |b| {
+        b.iter(|| black_box(eclat::mine_pairs(&v, 1).len()))
+    });
+    g.bench_function("bitmap_and", |b| {
+        b.iter(|| black_box(idx.mine_pairs(1).len()))
+    });
+    g.bench_function("batmap_cpu_pipeline", |b| {
+        let cfg = MinerConfig {
+            engine: Engine::Cpu,
+            ..Default::default()
+        };
+        b.iter(|| black_box(mine(&db, &cfg).pairs.len()))
+    });
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10).measurement_time(std::time::Duration::from_secs(3));
+    targets = bench_miners
+}
+criterion_main!(benches);

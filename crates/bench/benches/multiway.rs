@@ -1,0 +1,44 @@
+//! Multiway intersection (§V extension): the d-of-(d+1) positional
+//! sweep vs probe counting on ordinary batmaps, for k = 2, 3, 4.
+
+use batmap::{intersect_count_probe, Batmap, BatmapParams, MultiwayBatmap, MultiwayParams};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use std::sync::Arc;
+
+fn bench_multiway(c: &mut Criterion) {
+    let m = 1 << 17;
+    let sets: Vec<Vec<u32>> = [2u32, 3, 5, 7]
+        .iter()
+        .map(|&q| (0..m).filter(|x| x % q == 0).collect())
+        .collect();
+    let mp = Arc::new(MultiwayParams::new(m as u64, 4, 0x3A7));
+    let mmaps: Vec<MultiwayBatmap> = sets
+        .iter()
+        .map(|s| MultiwayBatmap::build(mp.clone(), s).expect("load is safe"))
+        .collect();
+    let pp = Arc::new(BatmapParams::new(m as u64, 0x3A8));
+    let pmaps: Vec<Batmap> = sets
+        .iter()
+        .map(|s| Batmap::build_sorted(pp.clone(), s).batmap)
+        .collect();
+    let mut g = c.benchmark_group("multiway");
+    for k in [2usize, 3, 4] {
+        let mrefs: Vec<&MultiwayBatmap> = mmaps[..k].iter().collect();
+        let prefs: Vec<&Batmap> = pmaps[..k].iter().collect();
+        g.bench_function(BenchmarkId::new("d_of_d1_sweep", k), |b| {
+            b.iter(|| black_box(MultiwayBatmap::intersect_count(&mrefs)))
+        });
+        g.bench_function(BenchmarkId::new("probe_2of3", k), |b| {
+            b.iter(|| black_box(intersect_count_probe(&prefs)))
+        });
+    }
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10).measurement_time(std::time::Duration::from_secs(3));
+    targets = bench_multiway
+}
+criterion_main!(benches);

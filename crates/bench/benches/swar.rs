@@ -1,0 +1,45 @@
+//! SWAR kernel micro-benchmarks: the paper's u32 formulation vs the u64
+//! popcount widening vs the branchy scalar reference, on a
+//! non-cache-resident working set.
+
+use batmap::swar;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::hint::black_box;
+
+fn data(words: usize) -> (Vec<u32>, Vec<u32>) {
+    let a: Vec<u32> = (0..words).map(|i| (i as u32).wrapping_mul(2654435761)).collect();
+    let b: Vec<u32> = (0..words).map(|i| (i as u32).wrapping_mul(40503)).collect();
+    (a, b)
+}
+
+fn bench_swar(c: &mut Criterion) {
+    let words = 1 << 18; // 1 MiB per array
+    let (a, b) = data(words);
+    let bytes_a: Vec<u8> = a.iter().flat_map(|w| w.to_le_bytes()).collect();
+    let bytes_b: Vec<u8> = b.iter().flat_map(|w| w.to_le_bytes()).collect();
+    let mut g = c.benchmark_group("swar");
+    g.throughput(Throughput::Bytes((words * 8) as u64));
+    g.bench_function(BenchmarkId::new("u32_paper", words), |bench| {
+        bench.iter(|| {
+            let mut acc = 0u64;
+            for (&x, &y) in a.iter().zip(&b) {
+                acc += swar::match_count_u32(x, y) as u64;
+            }
+            black_box(acc)
+        })
+    });
+    g.bench_function(BenchmarkId::new("u64_popcount", words), |bench| {
+        bench.iter(|| black_box(swar::match_count_slices(&bytes_a, &bytes_b)))
+    });
+    g.bench_function(BenchmarkId::new("scalar_branchy", words), |bench| {
+        bench.iter(|| black_box(swar::match_count_bytes(&bytes_a, &bytes_b)))
+    });
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20).measurement_time(std::time::Duration::from_secs(2));
+    targets = bench_swar
+}
+criterion_main!(benches);

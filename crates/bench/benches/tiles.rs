@@ -1,0 +1,42 @@
+//! Tile execution: the simulated-GPU kernel dispatch vs the real
+//! multicore CPU path, per tile (host wall time of the simulation is
+//! *not* the simulated device time — this bench tracks harness cost;
+//! the figure binaries report simulated seconds).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use datagen::uniform::{generate, UniformSpec};
+use fim::VerticalDb;
+use gpu_sim::DeviceSpec;
+use pairminer::cpu::run_tile_cpu;
+use pairminer::gpu::{run_tile, DeviceData};
+use pairminer::{preprocess, schedule};
+use std::hint::black_box;
+
+fn bench_tiles(c: &mut Criterion) {
+    let db = generate(&UniformSpec {
+        n_items: 64,
+        density: 0.05,
+        total_items: 80_000,
+        seed: 0x7117,
+    });
+    let v = VerticalDb::from_horizontal(&db);
+    let pre = preprocess(&v, 1, 128);
+    let data = DeviceData::upload(&pre);
+    let device = DeviceSpec::gtx285();
+    let tile = schedule(pre.padded_items(), 2048)[0];
+    let mut g = c.benchmark_group("tile_64items");
+    g.bench_function("gpu_sim_dispatch", |b| {
+        b.iter(|| black_box(run_tile(&device, &data, tile).counts.len()))
+    });
+    g.bench_function("cpu_rayon", |b| {
+        b.iter(|| black_box(run_tile_cpu(&pre, &tile).len()))
+    });
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10).measurement_time(std::time::Duration::from_secs(3));
+    targets = bench_tiles
+}
+criterion_main!(benches);

@@ -1,0 +1,59 @@
+//! Figure 9: relative speedup of the CPU miners vs number of cores.
+//!
+//! The paper's protocol: split the instance (10⁷ items, n = 4000,
+//! density 5%) into `i` equal parts, run the miner on each part on its
+//! own core, and take the parallel makespan. Their finding: neither
+//! Apriori nor FP-growth benefits noticeably from more than 4 cores
+//! (memory-bandwidth ceiling).
+
+use bench::{paper_instance, HarnessConfig};
+use fim::{apriori, fpgrowth, split};
+use hpcutil::{scoped_pool, Table};
+use rayon::prelude::*;
+
+fn main() {
+    let cfg = HarnessConfig::from_args();
+    let n = if cfg.full { 4_000 } else { cfg.density_n() };
+    println!(
+        "Figure 9 reproduction: speedup vs cores (total={} items, n={n}, density=5%)",
+        cfg.total_items()
+    );
+    let db = paper_instance(&cfg, n, 0.05);
+    let cores = [1usize, 2, 4, 8];
+    let mut base_ap = 0.0f64;
+    let mut base_fp = 0.0f64;
+    let mut table = Table::new(&["cores", "apriori_s", "fp_s", "speedup_ap", "speedup_fp", "ideal"]);
+    for &c in &cores {
+        let parts = split::split(&db, c);
+        // Run the i parts concurrently on i threads; makespan = wall
+        // time of the whole batch.
+        let run = |f: &(dyn Fn(&fim::TransactionDb) + Sync)| -> f64 {
+            scoped_pool(c, || {
+                let t0 = std::time::Instant::now();
+                parts.par_iter().for_each(f);
+                t0.elapsed().as_secs_f64()
+            })
+        };
+        let ap = run(&|p| {
+            std::hint::black_box(apriori::mine_pairs(p, 1));
+        });
+        let fp = run(&|p| {
+            std::hint::black_box(fpgrowth::mine_pairs(p, 1));
+        });
+        if c == 1 {
+            base_ap = ap;
+            base_fp = fp;
+        }
+        table.row_owned(vec![
+            c.to_string(),
+            format!("{ap:.3}"),
+            format!("{fp:.3}"),
+            format!("{:.2}", base_ap / ap),
+            format!("{:.2}", base_fp / fp),
+            format!("{c}.00"),
+        ]);
+    }
+    table.print();
+    println!("\nshape check: speedups flatten below the ideal line as cores increase");
+    println!("(paper: no noticeable benefit beyond 4 cores).");
+}

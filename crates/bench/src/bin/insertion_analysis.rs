@@ -1,0 +1,66 @@
+//! §II-B empirics: insertion transcript lengths and failure rates vs
+//! the table slack ε.
+//!
+//! The paper proves (for range `r ≥ (2+ε)n`): expected transcript
+//! length O(1/ε), failure probability O((ε³nr)⁻¹). This binary sweeps
+//! the load by varying set size against a fixed power-of-two range and
+//! prints the observed statistics, plus a MaxLoop column showing how a
+//! small bound trades construction work for `F_b` traffic.
+//!
+//! Collisions require sparse sets (`m ≫ r`): when the universe fits the
+//! table, the permutation hash is injective and insertion is trivial —
+//! the sweep is built in that regime.
+
+use batmap::analysis::{run, AnalysisConfig};
+use bench::HarnessConfig;
+use hpcutil::Table;
+
+fn main() {
+    let cfg = HarnessConfig::from_args();
+    let m: u64 = 1 << 18; // sparse regime (m >> r) with a small compression floor
+    let trials = if cfg.quick { 2 } else { 6 };
+    println!("§II-B insertion analysis: m = {m}, {trials} trials per row\n");
+
+    println!("-- transcript length and failures vs slack (MaxLoop = 128) --");
+    let mut t = Table::new(&["set_size", "range", "slack_eps", "moves/elem", "max_transcript", "failure_rate"]);
+    // Set sizes walking up to a range boundary: slack shrinks, then the
+    // next power of two resets it.
+    for set_size in [1100usize, 1600, 2049, 3000, 4095, 4097, 6000, 8191] {
+        let report = run(AnalysisConfig {
+            m,
+            set_size,
+            trials,
+            max_loop: 128,
+        });
+        t.row_owned(vec![
+            set_size.to_string(),
+            report.range.to_string(),
+            format!("{:.2}", report.epsilon),
+            format!("{:.2}", report.mean_moves_per_element),
+            report.max_transcript.to_string(),
+            format!("{:.2e}", report.failure_rate()),
+        ]);
+    }
+    t.print();
+
+    println!("\n-- failure rate vs MaxLoop at fixed slack (set 4095, r 8192) --");
+    let mut t2 = Table::new(&["max_loop", "moves/elem", "failure_rate"]);
+    for max_loop in [1u32, 2, 4, 8, 32, 128] {
+        let report = run(AnalysisConfig {
+            m,
+            set_size: 4095,
+            trials,
+            max_loop,
+        });
+        t2.row_owned(vec![
+            max_loop.to_string(),
+            format!("{:.2}", report.mean_moves_per_element),
+            format!("{:.2e}", report.failure_rate()),
+        ]);
+    }
+    t2.print();
+    println!("\nshape check: moves/elem grows as slack shrinks toward the power-of-two");
+    println!("boundary (the O(1/eps) law) and resets after it; failures vanish for");
+    println!("moderate MaxLoop (the O((eps^3 n r)^-1) bound) and appear only when the");
+    println!("bound is cut to a handful of moves — the regime the F_b path exists for.");
+}

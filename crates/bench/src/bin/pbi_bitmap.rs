@@ -1,0 +1,74 @@
+//! E1: the PBI-GPU full-bitmap baseline (Fang et al. \[11\]) vs batmaps,
+//! across densities.
+//!
+//! §I-B estimates PBI's underlying intersection speed at ~40 Gbit/s on
+//! T40I10D100K (density 4%), with cost per *item* growing as density
+//! falls (all-zero bitmap words still move). Batmap traffic scales with
+//! set size instead, so batmaps win increasingly as data gets sparser —
+//! until the compression floor bites at the very bottom.
+
+use bench::pbi::{run_pbi, PbiDeviceData};
+use bench::{paper_instance, HarnessConfig};
+use fim::{BitmapIndex, VerticalDb};
+use gpu_sim::{DeviceSpec, KernelStats};
+use hpcutil::stats::human_rate;
+use hpcutil::Table;
+use pairminer::gpu::{run_tile, DeviceData};
+use pairminer::{preprocess, schedule};
+
+fn main() {
+    let cfg = HarnessConfig::from_args();
+    let n: u32 = if cfg.quick { 64 } else { 160 };
+    println!("E1 reproduction: PBI full-bitmap vs batmap, n={n}, varying density");
+    let device = DeviceSpec::gtx285();
+    let mut table = Table::new(&[
+        "density",
+        "pbi_sim_s",
+        "batmap_sim_s",
+        "pbi_bytes",
+        "batmap_bytes",
+        "pbi_rate",
+    ]);
+    // Extend the shared sweep further down: the batmap-vs-PBI traffic
+    // crossover (≈ density 1/24 in bytes for this geometry) and the
+    // per-item blow-up both live at the sparse end.
+    let mut sweep = vec![0.0002, 0.0005];
+    sweep.extend(cfg.density_sweep());
+    for density in sweep {
+        let db = paper_instance(&cfg, n, density);
+        let v = VerticalDb::from_horizontal(&db);
+        // PBI.
+        let idx = BitmapIndex::from_vertical(&v);
+        let data = PbiDeviceData::upload(&idx);
+        let (_, report) = run_pbi(&device, &data);
+        let pbi_s = report.seconds();
+        let pbi_bytes = data.buffer.bytes();
+        let timing = gpu_sim::timing::evaluate(&report.stats, &device);
+        let rate = gpu_sim::effective_rate(&report.stats, &timing);
+        // Batmaps on the same instance.
+        let pre = preprocess(&v, cfg.seed, 128);
+        let bdata = DeviceData::upload(&pre);
+        let mut bm_s = 0.0;
+        let mut stats = KernelStats::default();
+        for tile in schedule(pre.padded_items(), 2048) {
+            let r = run_tile(&device, &bdata, tile);
+            bm_s += r.report.seconds();
+            stats += r.report.stats;
+        }
+        // PBI computes the full square; batmaps the triangle. Double
+        // the batmap time for a like-for-like rate comparison.
+        table.row_owned(vec![
+            format!("{density}"),
+            format!("{pbi_s:.4}"),
+            format!("{:.4}", 2.0 * bm_s),
+            pbi_bytes.to_string(),
+            bdata.buffer.bytes().to_string(),
+            human_rate(rate),
+        ]);
+    }
+    table.print();
+    println!("\nshape check: pbi traffic/time is density-independent (n·m bits always);");
+    println!("batmap size tracks set size, winning as density falls — until the");
+    println!("compression floor (lowest densities) narrows the gap again.");
+    println!("paper context: PBI ~40 Gbit/s on 4%-dense data, no speedup at 0.6%.");
+}

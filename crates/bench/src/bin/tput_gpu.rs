@@ -1,0 +1,81 @@
+//! §IV-A "Throughput computation" (T1): the simulated GPU's effective
+//! batmap-comparison rate.
+//!
+//! Paper arithmetic: n = 4000 items, 10⁷ total, density 5% → m = 50,000
+//! transactions, average set 2500 elements, batmap width 3·2¹³ bytes;
+//! combined input 4000²·3·2¹³ bytes in 10.87 s = **36.2 GB/s**, a factor
+//! ~4.4 below the 159 GB/s theoretical bandwidth.
+//!
+//! The effective rate is an intensive quantity (per byte), so we measure
+//! it exactly on a smaller item count with the *same* per-set shape
+//! (m = 50,000, |S| ≈ 2500) and extrapolate the n = 4000 wall time.
+
+use bench::HarnessConfig;
+use datagen::uniform::{generate, UniformSpec};
+use fim::VerticalDb;
+use gpu_sim::{effective_rate, DeviceSpec, KernelStats};
+use hpcutil::stats::human_rate;
+use pairminer::gpu::{run_tile, DeviceData};
+use pairminer::{preprocess, schedule};
+
+fn main() {
+    let cfg = HarnessConfig::from_args();
+    let n: u32 = if cfg.full {
+        1024
+    } else if cfg.quick {
+        128
+    } else {
+        256
+    };
+    // Same per-set shape as the paper's experiment: density 5% over
+    // m ≈ 50,000 transactions → |S| ≈ 2500 per item.
+    let total = (n as usize) * 2_500;
+    let db = generate(&UniformSpec {
+        n_items: n,
+        density: 0.05,
+        total_items: total,
+        seed: cfg.seed,
+    });
+    let v = VerticalDb::from_horizontal(&db);
+    let pre = preprocess(&v, cfg.seed, 128);
+    let avg_width: f64 = pre.batmap_bytes() as f64 / pre.padded_items() as f64;
+    println!(
+        "T1 reproduction: GPU effective throughput (n={n}, m={}, avg |S|={:.0}, avg width={avg_width:.0} B)",
+        v.m(),
+        v.total_items() as f64 / n as f64,
+    );
+    let device = DeviceSpec::gtx285();
+    let data = DeviceData::upload(&pre);
+    let tiles = schedule(pre.padded_items(), 2048);
+    let mut stats = KernelStats::default();
+    let mut sim_s = 0.0;
+    for tile in tiles {
+        let r = run_tile(&device, &data, tile);
+        stats += r.report.stats;
+        sim_s += r.report.seconds();
+    }
+    let timing = gpu_sim::timing::evaluate(&stats, &device);
+    let rate = effective_rate(&stats, &timing);
+    println!("\nsimulated kernel time (triangular schedule): {sim_s:.4} s");
+    println!("useful bytes moved: {:.3e}", stats.useful_bytes as f64);
+    println!("effective rate: {} (paper measured 36.2 GB/s)", human_rate(rate));
+    println!(
+        "fraction of peak bandwidth: {:.2} (paper: ~1/4.4 of 159 GB/s)",
+        rate / device.mem_bandwidth
+    );
+    println!("bus efficiency (useful/moved): {:.3}", stats.efficiency());
+
+    // Extrapolate the paper's full n = 4000 run: the full square n² of
+    // the paper's arithmetic at this rate.
+    let full_bytes = 4000f64 * 4000f64 * 3.0 * (1 << 13) as f64;
+    println!(
+        "\nextrapolated n=4000 full-square time at this rate: {:.2} s (paper: 10.87 s)",
+        full_bytes / rate
+    );
+    // Element throughput for the §IV-B merge comparison.
+    let elems = 4000f64 * 4000f64 * 2500.0;
+    println!(
+        "element throughput: {:.3e} elements/s (paper: 3.68e9)",
+        elems / (full_bytes / rate)
+    );
+}

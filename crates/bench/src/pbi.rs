@@ -1,0 +1,167 @@
+//! The PBI-GPU baseline (Fang et al. \[11\], §I-B.2a): full-bitmap
+//! vertical representation, pair support by AND + popcount, on the
+//! simulated GPU.
+//!
+//! Same tile/staging structure as the batmap kernel, but every item's
+//! row is a full `m`-bit bitmap: traffic per pair is `2·m/8` bytes
+//! **independent of density**, which is exactly why the paper's §I-B
+//! estimate has PBI losing on sparse data (all-zero words still move).
+
+use fim::BitmapIndex;
+use gpu_sim::{dispatch, DeviceSpec, GlobalBuffer, GroupCtx, Kernel, LaunchReport, NdRange};
+
+/// Ops per AND+popcount word comparison.
+const OPS_PER_AND: u64 = 3;
+/// Per-thread per-slice loop overhead.
+const OPS_LOOP: u64 = 8;
+
+/// Bitmap rows resident in (simulated) device memory.
+#[derive(Debug)]
+pub struct PbiDeviceData {
+    /// Row-major bit matrix as 32-bit words.
+    pub buffer: GlobalBuffer,
+    /// Words per item row (padded to a multiple of 16 for slicing).
+    pub row_words: usize,
+    /// Number of item rows (padded to a multiple of 16).
+    pub items: usize,
+}
+
+impl PbiDeviceData {
+    /// Pack a [`BitmapIndex`] for upload, padding rows to 16-word
+    /// multiples and the item count to a 16-row multiple.
+    pub fn upload(index: &BitmapIndex) -> Self {
+        let row_words = (index.words_per_row() * 2).next_multiple_of(16);
+        let items = (index.n_items() as usize).next_multiple_of(16);
+        let mut words = vec![0u32; row_words * items];
+        for item in 0..index.n_items() {
+            let row = index.row(item);
+            let base = item as usize * row_words;
+            for (w, &v) in row.iter().enumerate() {
+                words[base + 2 * w] = v as u32;
+                words[base + 2 * w + 1] = (v >> 32) as u32;
+            }
+        }
+        PbiDeviceData {
+            buffer: GlobalBuffer::new(words),
+            row_words,
+            items,
+        }
+    }
+}
+
+/// The AND+popcount comparison kernel over one square tile of items.
+struct PbiKernel<'a> {
+    data: &'a PbiDeviceData,
+}
+
+impl Kernel for PbiKernel<'_> {
+    fn shared_words(&self) -> usize {
+        2 * 16 * 16
+    }
+
+    fn run_group(&self, ctx: &mut GroupCtx<'_>) {
+        let g = ctx.group_id();
+        let row0 = g[1] * 16;
+        let col0 = g[0] * 16;
+        let slices = self.data.row_words / 16;
+        let mut counts = [[0u64; 16]; 16];
+        for s in 0..slices {
+            for r in 0..16 {
+                let base = (row0 + r) * self.data.row_words + s * 16;
+                let words = ctx.load_seq(&self.data.buffer, base, 16);
+                ctx.shared().region_mut(r * 16..r * 16 + 16).copy_from_slice(words);
+            }
+            for c in 0..16 {
+                let base = (col0 + c) * self.data.row_words + s * 16;
+                let words = ctx.load_seq(&self.data.buffer, base, 16);
+                ctx.shared()
+                    .region_mut(256 + c * 16..256 + c * 16 + 16)
+                    .copy_from_slice(words);
+            }
+            ctx.shared_ops(512);
+            ctx.barrier();
+            for (li, row) in counts.iter_mut().enumerate() {
+                for (lj, out) in row.iter_mut().enumerate() {
+                    let mut acc = 0u64;
+                    for w in 0..16 {
+                        acc += (ctx.shared().read(li * 16 + w)
+                            & ctx.shared().read(256 + lj * 16 + w))
+                        .count_ones() as u64;
+                    }
+                    *out += acc;
+                }
+            }
+            ctx.shared_ops(256 * 32);
+            ctx.ops(256 * (16 * OPS_PER_AND + OPS_LOOP));
+            ctx.barrier();
+        }
+        for (li, row) in counts.iter().enumerate() {
+            let out_base = (row0 + li) * self.data.items + col0;
+            ctx.store_seq(out_base, row);
+        }
+    }
+}
+
+/// Run the full all-pairs PBI comparison; returns the dense counts
+/// (`items × items`, padded) and the launch report.
+pub fn run_pbi(device: &DeviceSpec, data: &PbiDeviceData) -> (Vec<u64>, LaunchReport) {
+    let kernel = PbiKernel { data };
+    let range = NdRange::d2([data.items, data.items], [16, 16]);
+    let report = dispatch(device, &kernel, range);
+    let mut counts = vec![0u64; data.items * data.items];
+    report.scatter_into(&mut counts);
+    (counts, report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fim::{TransactionDb, VerticalDb};
+
+    fn index() -> (TransactionDb, BitmapIndex) {
+        let db = TransactionDb::new(
+            20,
+            (0..400usize)
+                .map(|t| (0..20).filter(|&i| (t + i as usize).is_multiple_of(4)).collect())
+                .collect(),
+        );
+        let v = VerticalDb::from_horizontal(&db);
+        (db, BitmapIndex::from_vertical(&v))
+    }
+
+    #[test]
+    fn pbi_counts_match_cpu_bitmaps() {
+        let (_, idx) = index();
+        let data = PbiDeviceData::upload(&idx);
+        let (counts, _) = run_pbi(&DeviceSpec::gtx285(), &data);
+        for i in 0..idx.n_items() {
+            for j in 0..idx.n_items() {
+                let expect = idx.pair_support(i, j);
+                assert_eq!(
+                    counts[i as usize * data.items + j as usize],
+                    expect,
+                    "pair ({i},{j})"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn traffic_independent_of_density() {
+        // Same m, same n, very different densities → identical bus
+        // bytes (the §I-B argument).
+        let mk = |modulus: usize| {
+            let db = TransactionDb::new(
+                16,
+                (0..512usize)
+                    .map(|t| (0..16).filter(|&i| (t + i as usize).is_multiple_of(modulus)).collect())
+                    .collect(),
+            );
+            let v = VerticalDb::from_horizontal(&db);
+            let data = PbiDeviceData::upload(&BitmapIndex::from_vertical(&v));
+            let (_, report) = run_pbi(&DeviceSpec::gtx285(), &data);
+            report.stats.bus_bytes
+        };
+        assert_eq!(mk(2), mk(50));
+    }
+}

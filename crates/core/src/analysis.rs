@@ -1,0 +1,175 @@
+//! Empirical validation of the §II-B insertion analysis.
+//!
+//! The paper proves, for range `r ≥ (2+ε)n`:
+//!
+//! * expected insertion transcript length is `O(1/ε)`;
+//! * the probability that an insertion *fails* is `O((ε³ n r)⁻¹)`.
+//!
+//! This module runs the construction at a configurable slack
+//! `ε = r/n − 2` and reports the observed transcript statistics and
+//! failure rates, so the `ablation_maxloop` bench and the analysis unit
+//! tests can check the empirical curves against the theory's shape.
+
+use crate::builder::BatmapBuilder;
+use crate::params::BatmapParams;
+use std::sync::Arc;
+
+/// One experiment configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct AnalysisConfig {
+    /// Universe size.
+    pub m: u64,
+    /// Elements per set.
+    pub set_size: usize,
+    /// Number of independent sets (fresh hash seeds) to build.
+    pub trials: u32,
+    /// MaxLoop bound used for the builds.
+    pub max_loop: u32,
+}
+
+/// Aggregate results over all trials.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AnalysisReport {
+    /// Configuration echoed back.
+    pub set_size: usize,
+    /// Range used (identical across trials: it depends only on size).
+    pub range: u64,
+    /// Effective slack ε = r/n − 2 (clamped at 0 for reporting).
+    pub epsilon: f64,
+    /// Mean element moves per inserted element (2 copies ⇒ ≥ 2).
+    pub mean_moves_per_element: f64,
+    /// Longest transcript seen anywhere.
+    pub max_transcript: u64,
+    /// Total failed insertions across trials.
+    pub failures: u64,
+    /// Total elements attempted across trials.
+    pub attempts: u64,
+}
+
+impl AnalysisReport {
+    /// Observed failure probability per element.
+    pub fn failure_rate(&self) -> f64 {
+        if self.attempts == 0 {
+            0.0
+        } else {
+            self.failures as f64 / self.attempts as f64
+        }
+    }
+}
+
+/// Run the insertion experiment: build `trials` random sets of
+/// `set_size` elements from `{0..m-1}` (distinct per trial via the seed)
+/// and aggregate the builder statistics.
+pub fn run(config: AnalysisConfig) -> AnalysisReport {
+    assert!(config.set_size as u64 <= config.m);
+    let mut moves = 0u64;
+    let mut max_transcript = 0u64;
+    let mut failures = 0u64;
+    let mut attempts = 0u64;
+    let mut range = 0u64;
+    let mut epsilon = 0.0;
+    for trial in 0..config.trials {
+        let params = Arc::new(BatmapParams::with_max_loop(
+            config.m,
+            0xA11A_0000 + trial as u64,
+            config.max_loop,
+        ));
+        // Equally spaced, offset elements: deterministic per trial but
+        // the permutations are re-seeded, which is what randomizes slots.
+        let stride = (config.m / config.set_size.max(1) as u64).max(1);
+        let elements: Vec<u32> = (0..config.set_size as u64)
+            .map(|i| ((i * stride + trial as u64) % config.m) as u32)
+            .collect();
+        let mut builder = BatmapBuilder::with_capacity(params.clone(), config.set_size);
+        range = builder.range();
+        epsilon = (range as f64 / config.set_size.max(1) as f64 - 2.0).max(0.0);
+        for &x in &elements {
+            builder.insert(x);
+        }
+        let out = builder.finish();
+        moves += out.stats.moves;
+        max_transcript = max_transcript.max(out.stats.max_transcript);
+        failures += out.stats.failures;
+        attempts += out.stats.elements;
+    }
+    AnalysisReport {
+        set_size: config.set_size,
+        range,
+        epsilon,
+        mean_moves_per_element: if attempts == 0 {
+            0.0
+        } else {
+            moves as f64 / attempts as f64
+        },
+        max_transcript,
+        failures,
+        attempts,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn no_failures_at_paper_load() {
+        let report = run(AnalysisConfig {
+            m: 1 << 16,
+            set_size: 3000,
+            trials: 8,
+            max_loop: 128,
+        });
+        assert_eq!(report.failures, 0, "{report:?}");
+        // Two copies, each at least one move.
+        assert!(report.mean_moves_per_element >= 2.0);
+        // O(1/ε) with ε ≥ ~0.7 here: generous ceiling.
+        assert!(
+            report.mean_moves_per_element < 12.0,
+            "transcripts too long: {report:?}"
+        );
+    }
+
+    #[test]
+    fn smaller_max_loop_cannot_reduce_moves_below_two() {
+        let report = run(AnalysisConfig {
+            m: 1 << 14,
+            set_size: 500,
+            trials: 4,
+            max_loop: 2,
+        });
+        assert!(report.mean_moves_per_element >= 2.0);
+    }
+
+    #[test]
+    fn failure_rate_declines_with_max_loop() {
+        // With MaxLoop=1 at a load near the bound, failures appear; with
+        // a healthy MaxLoop they vanish. (Shape check of §II-B.)
+        let tight = run(AnalysisConfig {
+            m: 1 << 15,
+            set_size: 5000,
+            trials: 4,
+            max_loop: 1,
+        });
+        let loose = run(AnalysisConfig {
+            m: 1 << 15,
+            set_size: 5000,
+            trials: 4,
+            max_loop: 64,
+        });
+        assert!(loose.failure_rate() <= tight.failure_rate());
+        assert_eq!(loose.failures, 0, "{loose:?}");
+    }
+
+    #[test]
+    fn report_echoes_config() {
+        let report = run(AnalysisConfig {
+            m: 1 << 12,
+            set_size: 100,
+            trials: 1,
+            max_loop: 16,
+        });
+        assert_eq!(report.set_size, 100);
+        assert_eq!(report.attempts, 100);
+        assert!(report.range >= 256);
+    }
+}

@@ -1,0 +1,394 @@
+//! Construction of batmaps: the generalized cuckoo insertion of §II-A.
+//!
+//! Each element is stored in 2 of its 3 candidate slots. Insertion pushes
+//! a *nestless* element through the tables in the cyclic order
+//! `A₁, A₂, A₃, A₁, …`, swapping it with whatever occupies its candidate
+//! slot, until a swap lands in an empty slot or `MaxLoop` cycles pass.
+//!
+//! During construction we keep a transient side array with the *element
+//! id* occupying each slot (the compressed byte form is only materialized
+//! at the end); this is what lets evicted elements be re-addressed, and
+//! what the final indicator-bit pass reads.
+//!
+//! Failed insertions (§III-C): if either copy of `x` cannot be placed,
+//! all copies of `x` are removed, the currently nestless element is
+//! re-inserted, and `x` is reported in [`BuildOutcome::failed`] so the
+//! mining pipeline can count it through the `F_b` / `M_{p,q}` side path.
+
+use crate::params::{ParamsHandle, EMPTY_SLOT, TABLES};
+use crate::slot;
+use crate::Batmap;
+
+/// Occupant marker for an empty slot in the transient side array.
+const VACANT: u32 = u32::MAX;
+
+/// Instrumentation counters for the §II-B analysis experiments.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct InsertStats {
+    /// Number of `insert` calls (elements attempted).
+    pub elements: u64,
+    /// Total element moves across all insertions (the transcript length
+    /// summed; §II-B bounds its expectation by O(1/ε) per insertion).
+    pub moves: u64,
+    /// Longest single-insertion transcript observed.
+    pub max_transcript: u64,
+    /// Number of elements whose insertion failed.
+    pub failures: u64,
+}
+
+/// What happened to one `insert` call.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum InsertOutcome {
+    /// Both copies placed.
+    Inserted,
+    /// The element was already present; nothing changed.
+    Duplicate,
+    /// Placement failed; the element (and possibly collateral elements
+    /// evicted during recovery) was removed and recorded as failed.
+    Failed,
+}
+
+/// Result of building a batmap from a set.
+#[derive(Debug, Clone)]
+pub struct BuildOutcome {
+    /// The finished batmap (contains every element that did not fail).
+    pub batmap: Batmap,
+    /// Elements that could not be placed (to be handled out-of-band,
+    /// §III-C). Empty in the overwhelmingly common case.
+    pub failed: Vec<u32>,
+    /// Construction statistics.
+    pub stats: InsertStats,
+}
+
+/// Incremental batmap constructor with a fixed capacity.
+#[derive(Debug, Clone)]
+pub struct BatmapBuilder {
+    params: ParamsHandle,
+    /// Per-table range; the batmap holds `3·r` slots.
+    r: u64,
+    /// Element id in each slot, [`VACANT`] when empty.
+    occupants: Vec<u32>,
+    /// Elements placed (each occupies two slots).
+    len: usize,
+    /// Elements whose insertion failed.
+    failed: Vec<u32>,
+    stats: InsertStats,
+}
+
+impl BatmapBuilder {
+    /// Create a builder sized for `expected_size` elements over the given
+    /// universe parameters.
+    ///
+    /// The range is fixed at creation (`BatmapParams::range_for`); the
+    /// builder does not grow. This mirrors the paper's pipeline, where
+    /// set sizes are known before construction (tidlists are materialized
+    /// first).
+    pub fn with_capacity(params: ParamsHandle, expected_size: usize) -> Self {
+        assert!(
+            params.m() <= u32::MAX as u64,
+            "element ids are u32; universe of {} does not fit",
+            params.m()
+        );
+        let r = params.range_for(expected_size);
+        BatmapBuilder {
+            params,
+            r,
+            occupants: vec![VACANT; (TABLES as u64 * r) as usize],
+            len: 0,
+            failed: Vec::new(),
+            stats: InsertStats::default(),
+        }
+    }
+
+    /// Per-table range `r` of the batmap under construction.
+    pub fn range(&self) -> u64 {
+        self.r
+    }
+
+    /// Number of elements currently placed.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True when no element is placed.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Candidate slot of element `x` in table `t`.
+    #[inline]
+    fn candidate(&self, t: usize, x: u32) -> usize {
+        let pi = self.params.perms().apply(t, x as u64);
+        self.params.slot_of(t, pi, self.r)
+    }
+
+    /// Whether `x` is currently placed (i.e. occupies ≥ 1 slot).
+    pub fn contains(&self, x: u32) -> bool {
+        (0..TABLES).any(|t| self.occupants[self.candidate(t, x)] == x)
+    }
+
+    /// The §II-A INSERT procedure: push `tau` through the tables until a
+    /// vacant slot absorbs it or `MaxLoop` cycles pass; on failure the
+    /// currently nestless element is returned.
+    fn insert_copy(&mut self, mut tau: u32) -> Result<(), u32> {
+        let mut transcript = 0u64;
+        for _ in 0..self.params.max_loop() {
+            for t in 0..TABLES {
+                let slot = self.candidate(t, tau);
+                std::mem::swap(&mut tau, &mut self.occupants[slot]);
+                transcript += 1;
+                if tau == VACANT {
+                    self.stats.moves += transcript;
+                    self.stats.max_transcript = self.stats.max_transcript.max(transcript);
+                    return Ok(());
+                }
+            }
+        }
+        self.stats.moves += transcript;
+        self.stats.max_transcript = self.stats.max_transcript.max(transcript);
+        Err(tau)
+    }
+
+    /// Remove every placed copy of `x` (at most one per table).
+    fn remove_all(&mut self, x: u32) {
+        for t in 0..TABLES {
+            let slot = self.candidate(t, x);
+            if self.occupants[slot] == x {
+                self.occupants[slot] = VACANT;
+            }
+        }
+    }
+
+    /// Failure recovery (§III-C): drop `x` entirely, then re-home the
+    /// chain of nestless elements. Each iteration either re-places the
+    /// nestless element or removes it too (and continues with the next
+    /// victim), so the loop terminates.
+    fn recover(&mut self, x: u32, mut nestless: u32) {
+        self.remove_all(x);
+        self.failed.push(x);
+        self.stats.failures += 1;
+        while nestless != x {
+            match self.insert_copy(nestless) {
+                Ok(()) => break,
+                Err(next) => {
+                    let victim = nestless;
+                    self.remove_all(victim);
+                    self.failed.push(victim);
+                    self.stats.failures += 1;
+                    self.len -= 1; // victim had been fully placed before
+                    if next == victim {
+                        break;
+                    }
+                    nestless = next;
+                }
+            }
+        }
+    }
+
+    /// Insert element `x < m` (two copies).
+    pub fn insert(&mut self, x: u32) -> InsertOutcome {
+        assert!((x as u64) < self.params.m(), "element {x} outside universe");
+        if self.contains(x) {
+            return InsertOutcome::Duplicate;
+        }
+        self.stats.elements += 1;
+        for _copy in 0..2 {
+            if let Err(nestless) = self.insert_copy(x) {
+                self.recover(x, nestless);
+                return InsertOutcome::Failed;
+            }
+        }
+        self.len += 1;
+        InsertOutcome::Inserted
+    }
+
+    /// Materialize the compressed byte representation and finish.
+    ///
+    /// The indicator bits are computed here in one pass: for each placed
+    /// copy we locate the element's other copy and apply the cyclic rule
+    /// of Fig. 3 (`b = 1` iff the other copy is in the next table).
+    pub fn finish(self) -> BuildOutcome {
+        let params = self.params;
+        let width = self.occupants.len();
+        let mut bytes = vec![EMPTY_SLOT; width].into_boxed_slice();
+        for (idx, &occ) in self.occupants.iter().enumerate() {
+            if occ == VACANT {
+                continue;
+            }
+            let here = params.table_of_slot(idx);
+            let pi = params.perms().apply(here, occ as u64);
+            debug_assert_eq!(params.slot_of(here, pi, self.r), idx);
+            // Locate the other copy among the other two tables.
+            let mut other = usize::MAX;
+            for t in 0..TABLES {
+                if t == here {
+                    continue;
+                }
+                let cand = params.slot_of(t, params.perms().apply(t, occ as u64), self.r);
+                if self.occupants[cand] == occ {
+                    debug_assert_eq!(other, usize::MAX, "element {occ} placed 3 times");
+                    other = t;
+                }
+            }
+            assert_ne!(other, usize::MAX, "element {occ} has a single copy");
+            let indicator = slot::indicator_for(here, other);
+            bytes[idx] = slot::pack(params.key_of(pi), indicator);
+        }
+        let batmap = Batmap::from_raw_parts(params, self.r, bytes, self.len);
+        BuildOutcome {
+            batmap,
+            failed: self.failed,
+            stats: self.stats,
+        }
+    }
+}
+
+/// Build a batmap from a slice of (possibly unsorted, possibly duplicate)
+/// elements. The common entry point.
+pub fn build(params: ParamsHandle, elements: &[u32]) -> BuildOutcome {
+    let mut sorted = elements.to_vec();
+    sorted.sort_unstable();
+    sorted.dedup();
+    build_sorted_dedup(params, &sorted)
+}
+
+/// Build from elements known to be sorted and duplicate-free (skips the
+/// `contains` pre-check per insert).
+pub fn build_sorted_dedup(params: ParamsHandle, elements: &[u32]) -> BuildOutcome {
+    let mut builder = BatmapBuilder::with_capacity(params, elements.len());
+    for &x in elements {
+        builder.stats.elements += 1;
+        let mut placed = true;
+        for _copy in 0..2 {
+            if let Err(nestless) = builder.insert_copy(x) {
+                builder.recover(x, nestless);
+                placed = false;
+                break;
+            }
+        }
+        if placed {
+            builder.len += 1;
+        }
+    }
+    builder.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::params::BatmapParams;
+    use std::sync::Arc;
+
+    fn params(m: u64) -> ParamsHandle {
+        Arc::new(BatmapParams::new(m, 0xBA7_0001))
+    }
+
+    #[test]
+    fn insert_places_two_copies() {
+        let p = params(10_000);
+        let mut b = BatmapBuilder::with_capacity(p.clone(), 16);
+        assert_eq!(b.insert(42), InsertOutcome::Inserted);
+        let copies = (0..TABLES)
+            .filter(|&t| b.occupants[b.candidate(t, 42)] == 42)
+            .count();
+        assert_eq!(copies, 2);
+        assert_eq!(b.len(), 1);
+    }
+
+    #[test]
+    fn duplicate_detected() {
+        let p = params(10_000);
+        let mut b = BatmapBuilder::with_capacity(p, 16);
+        assert_eq!(b.insert(7), InsertOutcome::Inserted);
+        assert_eq!(b.insert(7), InsertOutcome::Duplicate);
+        assert_eq!(b.len(), 1);
+    }
+
+    #[test]
+    fn build_random_sets_no_failures_at_paper_load() {
+        // r = 2·2^⌈log n⌉ gives load ≤ 1/3; failures should be absent
+        // for these sizes.
+        let p = params(100_000);
+        for size in [0usize, 1, 2, 10, 100, 1000, 5000] {
+            let elements: Vec<u32> = (0..size as u32).map(|i| i * 17 % 100_000).collect();
+            let mut sorted = elements.clone();
+            sorted.sort_unstable();
+            sorted.dedup();
+            let out = build(p.clone(), &elements);
+            assert!(out.failed.is_empty(), "size={size}: {:?}", out.failed);
+            assert_eq!(out.batmap.len(), sorted.len(), "size={size}");
+        }
+    }
+
+    #[test]
+    fn builder_contains_tracks_membership() {
+        let p = params(50_000);
+        let mut b = BatmapBuilder::with_capacity(p, 128);
+        for x in 0..100u32 {
+            assert!(!b.contains(x));
+            b.insert(x);
+            assert!(b.contains(x));
+        }
+    }
+
+    #[test]
+    fn tiny_max_loop_forces_failures() {
+        // Failure injection: MaxLoop = 1 with a packed table must fail
+        // for some elements, and every failed element must be absent
+        // while every non-failed element must remain fully placed.
+        let p = Arc::new(BatmapParams::with_max_loop(1 << 15, 0xFEED, 1));
+        let elements: Vec<u32> = (0..4000u32).collect();
+        let out = build_sorted_dedup(p, &elements);
+        assert_eq!(out.batmap.len() + out.failed.len(), elements.len());
+        assert_eq!(out.stats.failures as usize, out.failed.len());
+        for &f in &out.failed {
+            assert!(!out.batmap.contains(f), "failed {f} still present");
+        }
+        let mut failed_sorted = out.failed.clone();
+        failed_sorted.sort_unstable();
+        for &x in &elements {
+            if failed_sorted.binary_search(&x).is_err() {
+                assert!(out.batmap.contains(x), "{x} lost without being reported");
+            }
+        }
+    }
+
+    #[test]
+    fn moves_accounting_reasonable() {
+        let p = params(100_000);
+        let out = build(p, &(0..2000u32).collect::<Vec<_>>());
+        // 2 copies per element, ≥ 1 move per copy.
+        assert!(out.stats.moves >= 2 * 2000);
+        assert_eq!(out.stats.elements, 2000);
+        // At the paper's load factor the average transcript is O(1):
+        // allow a generous constant.
+        assert!(
+            out.stats.moves < 2000 * 40,
+            "average transcript too long: {} moves",
+            out.stats.moves
+        );
+    }
+
+    #[test]
+    fn finish_sets_exactly_one_indicator_per_element() {
+        let p = params(65_536);
+        let elements: Vec<u32> = (0..3000u32).map(|i| i * 21 % 65_536).collect();
+        let out = build(p, &elements);
+        let set: std::collections::BTreeSet<u32> = elements.into_iter().collect();
+        let ones = out
+            .batmap
+            .as_bytes()
+            .iter()
+            .filter(|&&b| slot::indicator(b))
+            .count();
+        assert_eq!(ones, set.len());
+    }
+
+    #[test]
+    #[should_panic]
+    fn out_of_universe_panics() {
+        let p = params(100);
+        let mut b = BatmapBuilder::with_capacity(p, 4);
+        b.insert(100);
+    }
+}

@@ -1,0 +1,175 @@
+//! [`BatmapCollection`] — the convenience API for the common pattern:
+//! many sets over one universe, intersected pairwise.
+//!
+//! The mining pipeline (`pairminer`) has its own width-sorted, tiled,
+//! failure-recovering driver; this type is the simple library entry
+//! point for applications that just want "N sets, give me counts"
+//! (boolean matrix products, join-projects, similarity matrices).
+
+use crate::builder;
+use crate::params::{BatmapParams, ParamsHandle};
+use crate::Batmap;
+use hpcutil::MemoryFootprint;
+use std::sync::Arc;
+
+/// A family of batmaps over one shared universe.
+#[derive(Debug, Clone)]
+pub struct BatmapCollection {
+    params: ParamsHandle,
+    batmaps: Vec<Batmap>,
+    /// `(set index, element)` pairs that failed insertion. Counts
+    /// involving a set listed here undercount by up to its number of
+    /// failed elements; [`Self::failed`] exposes them so callers can
+    /// correct (as `pairminer::failed` does) or rebuild with another
+    /// seed.
+    failed: Vec<(u32, u32)>,
+}
+
+impl BatmapCollection {
+    /// Build batmaps for `sets` over the universe `{0..m-1}`.
+    pub fn build(m: u64, seed: u64, sets: &[Vec<u32>]) -> Self {
+        Self::with_params(Arc::new(BatmapParams::new(m, seed)), sets)
+    }
+
+    /// Build with explicit parameters (e.g. a GPU-compatible shift).
+    pub fn with_params(params: ParamsHandle, sets: &[Vec<u32>]) -> Self {
+        let mut batmaps = Vec::with_capacity(sets.len());
+        let mut failed = Vec::new();
+        for (idx, set) in sets.iter().enumerate() {
+            let out = builder::build(params.clone(), set);
+            for x in out.failed {
+                failed.push((idx as u32, x));
+            }
+            batmaps.push(out.batmap);
+        }
+        BatmapCollection {
+            params,
+            batmaps,
+            failed,
+        }
+    }
+
+    /// Number of sets.
+    pub fn len(&self) -> usize {
+        self.batmaps.len()
+    }
+
+    /// True when the collection holds no sets.
+    pub fn is_empty(&self) -> bool {
+        self.batmaps.is_empty()
+    }
+
+    /// The shared parameters.
+    pub fn params(&self) -> &ParamsHandle {
+        &self.params
+    }
+
+    /// The batmap of set `i`.
+    pub fn get(&self, i: usize) -> &Batmap {
+        &self.batmaps[i]
+    }
+
+    /// Elements whose insertion failed, as `(set index, element)`.
+    pub fn failed(&self) -> &[(u32, u32)] {
+        &self.failed
+    }
+
+    /// `|setᵢ ∩ setⱼ|`.
+    pub fn intersect_count(&self, i: usize, j: usize) -> u64 {
+        self.batmaps[i].intersect_count(&self.batmaps[j])
+    }
+
+    /// Counts of set `i` against every set (including itself).
+    pub fn count_against_all(&self, i: usize) -> Vec<u64> {
+        let probe = &self.batmaps[i];
+        self.batmaps
+            .iter()
+            .map(|b| probe.intersect_count(b))
+            .collect()
+    }
+
+    /// All pairwise counts `(i, j, |setᵢ ∩ setⱼ|)` for `i < j`,
+    /// omitting empty intersections.
+    pub fn all_pairs(&self) -> Vec<(u32, u32, u64)> {
+        let mut out = Vec::new();
+        for i in 0..self.batmaps.len() {
+            for j in (i + 1)..self.batmaps.len() {
+                let c = self.intersect_count(i, j);
+                if c > 0 {
+                    out.push((i as u32, j as u32, c));
+                }
+            }
+        }
+        out
+    }
+}
+
+impl MemoryFootprint for BatmapCollection {
+    fn heap_bytes(&self) -> usize {
+        self.batmaps.iter().map(MemoryFootprint::heap_bytes).sum::<usize>()
+            + self.failed.capacity() * 8
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::BTreeSet;
+
+    fn sets() -> Vec<Vec<u32>> {
+        vec![
+            (0..500).map(|i| i * 2).collect(),
+            (0..300).map(|i| i * 3).collect(),
+            (0..100).map(|i| i * 10).collect(),
+            vec![],
+        ]
+    }
+
+    fn exact(a: &[u32], b: &[u32]) -> u64 {
+        let sa: BTreeSet<u32> = a.iter().copied().collect();
+        b.iter().filter(|x| sa.contains(x)).count() as u64
+    }
+
+    #[test]
+    fn pairwise_counts_exact() {
+        let s = sets();
+        let c = BatmapCollection::build(10_000, 5, &s);
+        assert!(c.failed().is_empty());
+        for i in 0..s.len() {
+            for j in 0..s.len() {
+                assert_eq!(c.intersect_count(i, j), exact(&s[i], &s[j]), "({i},{j})");
+            }
+        }
+    }
+
+    #[test]
+    fn all_pairs_matches_pointwise_and_skips_zeros() {
+        let s = sets();
+        let c = BatmapCollection::build(10_000, 5, &s);
+        let pairs = c.all_pairs();
+        for &(i, j, count) in &pairs {
+            assert!(i < j);
+            assert_eq!(count, exact(&s[i as usize], &s[j as usize]));
+            assert!(count > 0);
+        }
+        // The empty set intersects nothing; pairs with it are omitted.
+        assert!(pairs.iter().all(|&(i, j, _)| i != 3 && j != 3));
+    }
+
+    #[test]
+    fn count_against_all_row() {
+        let s = sets();
+        let c = BatmapCollection::build(10_000, 5, &s);
+        let row = c.count_against_all(1);
+        assert_eq!(row.len(), 4);
+        assert_eq!(row[1], s[1].len() as u64);
+        assert_eq!(row[0], exact(&s[0], &s[1]));
+    }
+
+    #[test]
+    fn footprint_sums_batmaps() {
+        let c = BatmapCollection::build(10_000, 5, &sets());
+        let direct: usize = (0..c.len()).map(|i| c.get(i).heap_bytes()).sum();
+        assert!(c.heap_bytes() >= direct);
+    }
+}

@@ -1,0 +1,35 @@
+//! Error types for batmap operations.
+
+use std::fmt;
+
+/// Errors surfaced by fallible batmap operations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatmapError {
+    /// The two batmaps were built from different universe parameters
+    /// (different `m`, seed, shift, or `MaxLoop`); positional comparison
+    /// between them is meaningless.
+    UniverseMismatch,
+}
+
+impl fmt::Display for BatmapError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BatmapError::UniverseMismatch => {
+                write!(f, "batmaps were built from different universe parameters")
+            }
+        }
+    }
+}
+
+impl std::error::Error for BatmapError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let s = BatmapError::UniverseMismatch.to_string();
+        assert!(s.contains("universe"));
+    }
+}

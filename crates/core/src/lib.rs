@@ -1,0 +1,75 @@
+//! # batmap — the BATMAP set layout
+//!
+//! Rust implementation of the data structure from *A New Data Layout for
+//! Set Intersection on GPUs* (Amossen & Pagh, IPDPS 2011).
+//!
+//! A **batmap** stores each element of a set in 2 of 3 cuckoo hash
+//! tables that are shared (same hash functions) across *all* sets of a
+//! universe. Any element present in two sets is then guaranteed to
+//! occupy at least one common position, so the intersection size of two
+//! batmaps can be computed by a fixed, data-independent, position-by-
+//! position sweep — no branches, no random access, perfect for SIMD/GPU
+//! execution. A per-slot indicator bit (cyclic-order trick, §II) makes
+//! the sweep count every common element exactly once, and an 8-bit
+//! compression (§III-A) packs four slots per 32-bit word while keeping
+//! counts exact.
+//!
+//! ## Quick start
+//!
+//! ```
+//! use batmap::{Batmap, BatmapParams};
+//! use std::sync::Arc;
+//!
+//! // One universe of m = 100_000 transaction ids.
+//! let params = Arc::new(BatmapParams::new(100_000, 0xB47));
+//!
+//! // Build batmaps for two sets (tidlists).
+//! let a = Batmap::build(params.clone(), &[10, 20, 30, 40, 99_999]).batmap;
+//! let b = Batmap::build(params.clone(), &[20, 40, 60, 99_999]).batmap;
+//!
+//! // Count the intersection with the branch-free positional sweep.
+//! assert_eq!(a.intersect_count(&b), 3);
+//! ```
+//!
+//! ## Module map
+//!
+//! * [`params`] — universe parameters: shared permutations, compression
+//!   shift, range policy.
+//! * [`hash`] — the seeded Feistel permutations `π₁..π₃`.
+//! * [`slot`] — the 8-bit slot encoding (7-bit key + indicator bit).
+//! * [`builder`] — cuckoo 2-of-3 construction, failure handling.
+//! * [`batmap`] — the immutable [`Batmap`] itself.
+//! * [`swar`] — the paper's branch-free word-comparison kernels.
+//! * [`intersect`] — equal-width and folded intersection counting.
+//! * [`uncompressed`] — the abstract `3×r` reference structure.
+//! * [`update`] — in-place insert/remove with automatic growth.
+//! * [`analysis`] — empirical validation of the §II-B bounds.
+//! * [`multiway`] — the §V extensions: d-of-(d+1) batmaps and probe
+//!   counting.
+//! * [`space`] — space accounting vs the information-theoretic minimum.
+
+#![warn(missing_docs)]
+
+pub mod analysis;
+pub mod batmap;
+pub mod builder;
+pub mod collection;
+pub mod error;
+pub mod hash;
+pub mod intersect;
+pub mod multiway;
+pub mod params;
+pub mod slot;
+pub mod space;
+pub mod swar;
+pub mod update;
+pub mod uncompressed;
+
+pub use batmap::Batmap;
+pub use collection::BatmapCollection;
+pub use builder::{BatmapBuilder, BuildOutcome, InsertOutcome, InsertStats};
+pub use error::BatmapError;
+pub use params::{BatmapParams, ParamsHandle, TABLES};
+pub use multiway::{intersect_count_probe, MultiwayBatmap, MultiwayParams};
+pub use uncompressed::UncompressedBatmap;
+pub use update::UpdateOutcome;

@@ -1,0 +1,134 @@
+//! The 8-bit slot encoding (§III-A).
+//!
+//! Each batmap slot is one byte:
+//!
+//! ```text
+//!   bit 7          bits 6..0
+//! +-----------+-----------------+
+//! | indicator |   7-bit key     |
+//! +-----------+-----------------+
+//! ```
+//!
+//! * The *key* is `πₜ(x) >> s` — the most significant bits of the
+//!   permuted element; the slot's position supplies the rest.
+//! * The *indicator* is the §II cyclic-order bit: set iff the element's
+//!   other copy lives in the **next** table of the cyclic order
+//!   `1 → 2 → 3 → 1`. Exactly one of an element's two copies has it set,
+//!   which is what makes the SWAR count tally each common element once.
+//! * The empty slot ⊥ is key `127` with the indicator clear
+//!   ([`crate::params::EMPTY_SLOT`]).
+
+use crate::params::NULL_KEY;
+
+/// Bit mask of the indicator bit within a slot byte.
+pub const INDICATOR_BIT: u8 = 0x80;
+
+/// Bit mask of the key bits within a slot byte.
+pub const KEY_MASK: u8 = 0x7F;
+
+/// Pack a key and indicator into a slot byte.
+#[inline]
+pub fn pack(key: u8, indicator: bool) -> u8 {
+    debug_assert!(key <= KEY_MASK);
+    key | if indicator { INDICATOR_BIT } else { 0 }
+}
+
+/// The key bits of a slot byte.
+#[inline]
+pub fn key(slot: u8) -> u8 {
+    slot & KEY_MASK
+}
+
+/// The indicator bit of a slot byte.
+#[inline]
+pub fn indicator(slot: u8) -> bool {
+    slot & INDICATOR_BIT != 0
+}
+
+/// Whether the slot is the empty slot ⊥.
+#[inline]
+pub fn is_empty(slot: u8) -> bool {
+    key(slot) == NULL_KEY
+}
+
+/// The table following `t` in the cyclic order `0 → 1 → 2 → 0`.
+#[inline]
+pub fn next_table(t: usize) -> usize {
+    debug_assert!(t < 3);
+    // Branch-free modular increment for t < 3.
+    (t + 1) * ((t != 2) as usize)
+}
+
+/// Compute the indicator for the copy in table `here`, given the other
+/// copy sits in table `other` (§II, Fig. 3).
+#[inline]
+pub fn indicator_for(here: usize, other: usize) -> bool {
+    debug_assert!(here < 3 && other < 3 && here != other);
+    next_table(here) == other
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::params::EMPTY_SLOT;
+
+    #[test]
+    fn pack_unpack() {
+        for k in 0..=KEY_MASK {
+            for ind in [false, true] {
+                let s = pack(k, ind);
+                assert_eq!(key(s), k);
+                assert_eq!(indicator(s), ind);
+            }
+        }
+    }
+
+    #[test]
+    fn empty_slot_is_null_key_no_indicator() {
+        assert!(is_empty(EMPTY_SLOT));
+        assert!(!indicator(EMPTY_SLOT));
+        assert_eq!(key(EMPTY_SLOT), NULL_KEY);
+        // A full slot is never "empty".
+        assert!(!is_empty(pack(0, false)));
+        assert!(!is_empty(pack(126, true)));
+        // The ⊥ key with the indicator set would still be empty-keyed;
+        // the builder never produces it, but `is_empty` must classify by
+        // key alone.
+        assert!(is_empty(pack(NULL_KEY, true)));
+    }
+
+    #[test]
+    fn cyclic_next() {
+        assert_eq!(next_table(0), 1);
+        assert_eq!(next_table(1), 2);
+        assert_eq!(next_table(2), 0);
+    }
+
+    #[test]
+    fn indicator_matches_figure3() {
+        // Pair {0,1}: copy in 0 has b=1, copy in 1 has b=0.
+        assert!(indicator_for(0, 1));
+        assert!(!indicator_for(1, 0));
+        // Pair {1,2}: copy in 1 has b=1, copy in 2 has b=0.
+        assert!(indicator_for(1, 2));
+        assert!(!indicator_for(2, 1));
+        // Pair {0,2}: copy in 2 has b=1 (next of 2 is 0), copy in 0 b=0.
+        assert!(indicator_for(2, 0));
+        assert!(!indicator_for(0, 2));
+    }
+
+    #[test]
+    fn exactly_one_indicator_per_pair() {
+        for a in 0..3usize {
+            for b in 0..3usize {
+                if a != b {
+                    assert_eq!(
+                        indicator_for(a, b) as u32 + indicator_for(b, a) as u32,
+                        1,
+                        "pair ({a},{b})"
+                    );
+                }
+            }
+        }
+    }
+}

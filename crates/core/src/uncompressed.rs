@@ -1,0 +1,242 @@
+//! The uncompressed reference batmap (§II's abstract `3 × r` array).
+//!
+//! Slots store the full permuted value `πₜ(x)` (or a sentinel) plus the
+//! indicator bit, with no 8-bit compression and no layout interleaving.
+//! Two roles:
+//!
+//! 1. **Test oracle** — a structurally independent implementation of the
+//!    2-of-3 scheme, which the property tests compare against the
+//!    compressed [`crate::Batmap`].
+//! 2. **Space-model reference** — §III-A compares compressed and
+//!    uncompressed space (`|Sᵢ| ≥ (m+1)/256` is where compression starts
+//!    to win); the Fig. 8 density discussion needs both widths.
+
+use crate::params::{ParamsHandle, TABLES};
+use crate::slot;
+use hpcutil::MemoryFootprint;
+
+/// Sentinel for an empty uncompressed slot.
+const EMPTY: u64 = u64::MAX;
+
+/// An uncompressed 2-of-3 batmap: `3·r` slots of `(π value, indicator)`.
+#[derive(Debug, Clone)]
+pub struct UncompressedBatmap {
+    params: ParamsHandle,
+    r: u64,
+    /// Permuted values; `EMPTY` when vacant. Table-major: slot `t·r + p`.
+    values: Box<[u64]>,
+    /// Indicator bits, parallel to `values`.
+    indicators: Box<[bool]>,
+    len: usize,
+}
+
+impl UncompressedBatmap {
+    /// Build from elements (duplicates ignored), using the *same* shared
+    /// permutations and cuckoo insertion as the compressed form, but the
+    /// plain table-major layout and `r = 2·2^⌈log₂ n⌉` with **no**
+    /// compression floor.
+    ///
+    /// Returns `None` if any insertion fails (the oracle has no failure
+    /// side-channel; tests simply use loads where failures don't occur).
+    pub fn build(params: ParamsHandle, elements: &[u32]) -> Option<Self> {
+        let mut sorted = elements.to_vec();
+        sorted.sort_unstable();
+        sorted.dedup();
+        let r = 2 * (sorted.len().max(1) as u64).next_power_of_two();
+        let mut occupants = vec![u32::MAX; (TABLES as u64 * r) as usize];
+        let slot_of = |t: usize, x: u32| -> usize {
+            let pi = params.perms().apply(t, x as u64);
+            (t as u64 * r + (pi % r)) as usize
+        };
+        // The same INSERT as builder.rs, against the plain layout.
+        let insert_copy = |occupants: &mut Vec<u32>, mut tau: u32| -> Result<(), u32> {
+            for _ in 0..params.max_loop() {
+                for t in 0..TABLES {
+                    let s = slot_of(t, tau);
+                    std::mem::swap(&mut tau, &mut occupants[s]);
+                    if tau == u32::MAX {
+                        return Ok(());
+                    }
+                }
+            }
+            Err(tau)
+        };
+        for &x in &sorted {
+            for _copy in 0..2 {
+                if insert_copy(&mut occupants, x).is_err() {
+                    return None;
+                }
+            }
+        }
+        let mut values = vec![EMPTY; occupants.len()].into_boxed_slice();
+        let mut indicators = vec![false; occupants.len()].into_boxed_slice();
+        for (idx, &occ) in occupants.iter().enumerate() {
+            if occ == u32::MAX {
+                continue;
+            }
+            let here = idx / r as usize;
+            let mut other = usize::MAX;
+            for t in 0..TABLES {
+                if t != here && occupants[slot_of(t, occ)] == occ {
+                    other = t;
+                }
+            }
+            assert_ne!(other, usize::MAX, "element {occ} has one copy");
+            values[idx] = params.perms().apply(here, occ as u64);
+            indicators[idx] = slot::indicator_for(here, other);
+        }
+        Some(UncompressedBatmap {
+            params,
+            r,
+            values,
+            indicators,
+            len: sorted.len(),
+        })
+    }
+
+    /// Number of stored elements.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True when empty.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Per-table range.
+    pub fn range(&self) -> u64 {
+        self.r
+    }
+
+    /// Membership test.
+    pub fn contains(&self, x: u32) -> bool {
+        (0..TABLES).any(|t| {
+            let pi = self.params.perms().apply(t, x as u64);
+            self.values[(t as u64 * self.r + pi % self.r) as usize] == pi
+        })
+    }
+
+    /// `|self ∩ other|` by positional comparison with modular folding —
+    /// the abstract §II procedure (per-table, position-by-position).
+    pub fn intersect_count(&self, other: &UncompressedBatmap) -> u64 {
+        assert_eq!(
+            self.params.fingerprint(),
+            other.params.fingerprint(),
+            "universe mismatch"
+        );
+        let (small, large) = if self.r <= other.r { (self, other) } else { (other, self) };
+        let mut count = 0u64;
+        for t in 0..TABLES {
+            for p in 0..large.r {
+                let il = (t as u64 * large.r + p) as usize;
+                let is = (t as u64 * small.r + (p % small.r)) as usize;
+                let (vl, vs) = (large.values[il], small.values[is]);
+                // Match: same stored value (EMPTY≠EMPTY is prevented by
+                // the indicator test: empty slots carry b=false), counted
+                // once via the indicator OR.
+                if vl == vs && vl != EMPTY && (large.indicators[il] || small.indicators[is]) {
+                    count += 1;
+                }
+            }
+        }
+        count
+    }
+
+    /// Width in *bytes* of the natural array encoding (one 32-bit word
+    /// per slot, as the paper's uncompressed strawman stores element
+    /// ids): `3·r·4`.
+    pub fn width_bytes(&self) -> usize {
+        self.values.len() * 4
+    }
+}
+
+impl MemoryFootprint for UncompressedBatmap {
+    fn heap_bytes(&self) -> usize {
+        self.values.len() * std::mem::size_of::<u64>()
+            + self.indicators.len() * std::mem::size_of::<bool>()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::params::BatmapParams;
+    use crate::Batmap;
+    use std::collections::BTreeSet;
+    use std::sync::Arc;
+
+    fn params(m: u64) -> ParamsHandle {
+        Arc::new(BatmapParams::new(m, 0x5EED))
+    }
+
+    #[test]
+    fn membership() {
+        let p = params(5_000);
+        let elements: Vec<u32> = (0..400).map(|i| i * 7 % 5_000).collect();
+        let u = UncompressedBatmap::build(p, &elements).unwrap();
+        let s: BTreeSet<u32> = elements.iter().copied().collect();
+        for x in 0..5_000 {
+            assert_eq!(u.contains(x), s.contains(&x), "x={x}");
+        }
+    }
+
+    #[test]
+    fn intersection_matches_exact() {
+        let p = params(20_000);
+        let a: Vec<u32> = (0..800).map(|i| i * 3).collect();
+        let b: Vec<u32> = (0..200).map(|i| i * 10).collect();
+        let ua = UncompressedBatmap::build(p.clone(), &a).unwrap();
+        let ub = UncompressedBatmap::build(p, &b).unwrap();
+        let sa: BTreeSet<u32> = a.into_iter().collect();
+        let sb: BTreeSet<u32> = b.into_iter().collect();
+        let expect = sa.intersection(&sb).count() as u64;
+        assert_eq!(ua.intersect_count(&ub), expect);
+        assert_eq!(ub.intersect_count(&ua), expect);
+    }
+
+    #[test]
+    fn agrees_with_compressed_batmap() {
+        let p = params(30_000);
+        for (na, nb) in [(100, 100), (50, 1000), (2000, 2000), (0, 500)] {
+            let a: Vec<u32> = (0..na).map(|i| i * 11 % 30_000).collect();
+            let b: Vec<u32> = (0..nb).map(|i| i * 5 % 30_000).collect();
+            let ua = UncompressedBatmap::build(p.clone(), &a).unwrap();
+            let ub = UncompressedBatmap::build(p.clone(), &b).unwrap();
+            let ca = Batmap::build(p.clone(), &a).batmap;
+            let cb = Batmap::build(p.clone(), &b).batmap;
+            assert_eq!(
+                ua.intersect_count(&ub),
+                ca.intersect_count(&cb),
+                "na={na} nb={nb}"
+            );
+        }
+    }
+
+    #[test]
+    fn compression_break_even_density() {
+        // §III-A: compression wins exactly when |S| ≥ (m+1)/256. Below
+        // the break-even point the compressed form is *wider* (the r₀
+        // floor), above it is narrower than the uncompressed 4-byte form.
+        let m = 1 << 20;
+        let p = params(m);
+        let sparse: Vec<u32> = (0..(m as u32 / 1024)).collect(); // density 2^-10 << 2^-8
+        let dense: Vec<u32> = (0..(m as u32 / 64)).collect(); // density 2^-6 >> 2^-8
+        let cs = Batmap::build(p.clone(), &sparse).batmap;
+        let us = UncompressedBatmap::build(p.clone(), &sparse).unwrap();
+        let cd = Batmap::build(p.clone(), &dense).batmap;
+        let ud = UncompressedBatmap::build(p, &dense).unwrap();
+        assert!(
+            cs.width_bytes() > us.width_bytes(),
+            "sparse: compressed {} should exceed uncompressed {}",
+            cs.width_bytes(),
+            us.width_bytes()
+        );
+        assert!(
+            cd.width_bytes() < ud.width_bytes(),
+            "dense: compressed {} should beat uncompressed {}",
+            cd.width_bytes(),
+            ud.width_bytes()
+        );
+    }
+}

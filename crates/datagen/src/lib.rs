@@ -1,0 +1,23 @@
+//! # datagen — workload generators for the reproduction
+//!
+//! * [`uniform`] — the paper's own synthetic model (§IV-A): include each
+//!   of `n` items with probability `p` per transaction until the target
+//!   instance size is reached. Drives Figs. 5–9.
+//! * [`webdocs`] — synthetic substitute for the FIMI WebDocs corpus
+//!   (Fig. 10): Zipf word frequencies + Heaps'-law vocabulary growth.
+//! * [`quest`] — IBM Quest-style generator (`T40I10D100K` regime used in
+//!   the §I-B PBI throughput estimate).
+//! * [`zipf`] — the shared Zipfian sampler.
+//!
+//! All generators are deterministic given their seed (ChaCha8).
+
+#![warn(missing_docs)]
+
+pub mod quest;
+pub mod uniform;
+pub mod webdocs;
+pub mod zipf;
+
+pub use quest::QuestSpec;
+pub use uniform::UniformSpec;
+pub use webdocs::WebDocsSpec;

@@ -1,0 +1,138 @@
+//! IBM Quest-style transaction generator (Agrawal & Srikant's synthetic
+//! family — `T40I10D100K` names an instance with average transaction
+//! size 40, average maximal-pattern size 10, 100K transactions).
+//!
+//! The paper uses `T40I10D100K` only to estimate PBI-GPU's intersection
+//! throughput (§I-B: density ≈ 4%); this generator reproduces that
+//! regime. Mechanics (following the original Quest description): a pool
+//! of potentially-frequent itemsets is drawn with Zipf-ish popularity;
+//! each transaction unions randomly chosen patterns (with corruption)
+//! until it reaches its drawn length.
+
+use crate::zipf::Zipf;
+use fim::TransactionDb;
+use rand::Rng;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+/// Quest parameters.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct QuestSpec {
+    /// Average transaction size `T`.
+    pub avg_transaction: usize,
+    /// Average pattern size `I`.
+    pub avg_pattern: usize,
+    /// Number of transactions `D`.
+    pub transactions: usize,
+    /// Number of distinct items `N`.
+    pub n_items: u32,
+    /// Size of the potentially-frequent pattern pool `L`.
+    pub patterns: usize,
+    /// Probability an item of a chosen pattern is dropped (corruption).
+    pub corruption: f64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl QuestSpec {
+    /// The paper's `T40I10D100K` (at a configurable scale ∈ (0,1]).
+    pub fn t40i10d100k(scale: f64, seed: u64) -> Self {
+        assert!(scale > 0.0 && scale <= 1.0);
+        QuestSpec {
+            avg_transaction: 40,
+            avg_pattern: 10,
+            transactions: (100_000_f64 * scale) as usize,
+            n_items: 1000,
+            patterns: 200,
+            corruption: 0.25,
+            seed,
+        }
+    }
+}
+
+/// Generate the database.
+pub fn generate(spec: &QuestSpec) -> TransactionDb {
+    assert!(spec.n_items > 0 && spec.patterns > 0 && spec.avg_pattern > 0);
+    assert!((0.0..1.0).contains(&spec.corruption));
+    let mut rng = ChaCha8Rng::seed_from_u64(spec.seed);
+    // Pattern pool: sizes Poisson-ish around I, items uniform, with some
+    // overlap between consecutive patterns (Quest reuses fractions of
+    // the previous pattern; a simple 50% carry-over approximates it).
+    let mut pool: Vec<Vec<u32>> = Vec::with_capacity(spec.patterns);
+    let mut prev: Vec<u32> = Vec::new();
+    for _ in 0..spec.patterns {
+        let len = 1 + rng.random_range(0..2 * spec.avg_pattern);
+        let mut pat: Vec<u32> = prev
+            .iter()
+            .copied()
+            .filter(|_| rng.random_bool(0.5))
+            .take(len / 2)
+            .collect();
+        while pat.len() < len {
+            pat.push(rng.random_range(0..spec.n_items));
+        }
+        pat.sort_unstable();
+        pat.dedup();
+        prev = pat.clone();
+        pool.push(pat);
+    }
+    // Pattern popularity: Zipf over the pool.
+    let popularity = Zipf::new(pool.len(), 1.0);
+    let mut transactions = Vec::with_capacity(spec.transactions);
+    for _ in 0..spec.transactions {
+        let target = 1 + rng.random_range(0..2 * spec.avg_transaction);
+        let mut t: Vec<u32> = Vec::with_capacity(target + spec.avg_pattern);
+        while t.len() < target {
+            let pat = &pool[popularity.sample(&mut rng)];
+            for &item in pat {
+                if !rng.random_bool(spec.corruption) {
+                    t.push(item);
+                }
+            }
+        }
+        transactions.push(t); // TransactionDb sorts + dedups
+    }
+    TransactionDb::new(spec.n_items, transactions)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sizes_match_spec_roughly() {
+        let spec = QuestSpec::t40i10d100k(0.02, 7); // 2000 transactions
+        let db = generate(&spec);
+        assert_eq!(db.len(), 2000);
+        let avg = db.total_items() as f64 / db.len() as f64;
+        // Dedup after pattern unioning shrinks transactions somewhat;
+        // accept a broad band around T=40.
+        assert!((15.0..60.0).contains(&avg), "avg transaction size {avg}");
+    }
+
+    #[test]
+    fn density_in_t40_regime() {
+        let spec = QuestSpec::t40i10d100k(0.02, 7);
+        let db = generate(&spec);
+        let d = db.density();
+        // The paper quotes ~4% for T40I10D100K (40/1000).
+        assert!((0.015..0.06).contains(&d), "density {d}");
+    }
+
+    #[test]
+    fn items_heavily_reused_across_transactions() {
+        let spec = QuestSpec::t40i10d100k(0.01, 3);
+        let db = generate(&spec);
+        let supports = db.item_supports();
+        let max = *supports.iter().max().unwrap();
+        // Pattern popularity makes some items appear in a large share
+        // of transactions.
+        assert!(max as usize > db.len() / 10);
+    }
+
+    #[test]
+    fn deterministic() {
+        let spec = QuestSpec::t40i10d100k(0.01, 9);
+        assert_eq!(generate(&spec), generate(&spec));
+    }
+}

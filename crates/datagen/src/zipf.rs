@@ -1,0 +1,110 @@
+//! Zipfian sampling.
+//!
+//! A classic rejection-free Zipf sampler via the inverse-CDF on a
+//! precomputed cumulative table. Table construction is O(n); sampling is
+//! O(log n) per draw. Good enough for the WebDocs-scale vocabularies the
+//! generators need (≤ a few hundred thousand ranks).
+
+use rand::Rng;
+
+/// A Zipf(α) distribution over ranks `0..n` (rank 0 most probable).
+#[derive(Debug, Clone)]
+pub struct Zipf {
+    /// Cumulative probability table, `cdf[k] = P(rank ≤ k)`.
+    cdf: Vec<f64>,
+}
+
+impl Zipf {
+    /// Build the distribution over `n` ranks with exponent `alpha > 0`.
+    ///
+    /// # Panics
+    /// Panics if `n == 0` or `alpha` is not finite-positive.
+    pub fn new(n: usize, alpha: f64) -> Self {
+        assert!(n > 0, "Zipf over an empty domain");
+        assert!(alpha > 0.0 && alpha.is_finite(), "alpha must be positive");
+        let mut cdf = Vec::with_capacity(n);
+        let mut acc = 0.0f64;
+        for k in 1..=n {
+            acc += (k as f64).powf(-alpha);
+            cdf.push(acc);
+        }
+        let total = acc;
+        for c in &mut cdf {
+            *c /= total;
+        }
+        // Guard against floating-point shortfall at the top.
+        *cdf.last_mut().unwrap() = 1.0;
+        Zipf { cdf }
+    }
+
+    /// Number of ranks.
+    pub fn len(&self) -> usize {
+        self.cdf.len()
+    }
+
+    /// True when the domain has a single rank.
+    pub fn is_empty(&self) -> bool {
+        self.cdf.is_empty()
+    }
+
+    /// Draw a rank in `0..n`.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> usize {
+        let u: f64 = rng.random::<f64>();
+        self.cdf.partition_point(|&c| c < u).min(self.cdf.len() - 1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    #[test]
+    fn ranks_in_range_and_skewed() {
+        let z = Zipf::new(1000, 1.0);
+        let mut rng = ChaCha8Rng::seed_from_u64(42);
+        let mut counts = vec![0usize; 1000];
+        for _ in 0..100_000 {
+            counts[z.sample(&mut rng)] += 1;
+        }
+        // Rank 0 should dominate rank 99 by roughly 100/1 under α=1.
+        assert!(counts[0] > counts[99] * 20);
+        // Everything must be in range (indexing would have panicked
+        // otherwise) and the head should concentrate mass.
+        let head: usize = counts[..10].iter().sum();
+        assert!(head > 30_000, "head mass too small: {head}");
+    }
+
+    #[test]
+    fn alpha_controls_skew() {
+        let mut rng = ChaCha8Rng::seed_from_u64(7);
+        let flat = Zipf::new(100, 0.2);
+        let steep = Zipf::new(100, 2.0);
+        let mass = |z: &Zipf, rng: &mut ChaCha8Rng| {
+            let mut head = 0;
+            for _ in 0..10_000 {
+                if z.sample(rng) == 0 {
+                    head += 1;
+                }
+            }
+            head
+        };
+        assert!(mass(&steep, &mut rng) > mass(&flat, &mut rng) * 2);
+    }
+
+    #[test]
+    fn single_rank_always_zero() {
+        let z = Zipf::new(1, 1.0);
+        let mut rng = ChaCha8Rng::seed_from_u64(1);
+        for _ in 0..10 {
+            assert_eq!(z.sample(&mut rng), 0);
+        }
+    }
+
+    #[test]
+    #[should_panic]
+    fn zero_domain_panics() {
+        let _ = Zipf::new(0, 1.0);
+    }
+}

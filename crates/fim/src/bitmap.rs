@@ -1,0 +1,177 @@
+//! The full-bitmap vertical representation (Fang et al.'s PBI-GPU
+//! baseline, §I-B.2a).
+//!
+//! Each item's tidlist is stored as an `m`-bit bitmap; pair support is
+//! bitwise AND + popcount. Perfectly regular — but the representation
+//! costs `n·m` bits regardless of density, which is the space blow-up
+//! (and proportional slow-down on sparse data) the paper's batmaps fix.
+
+use crate::pairs::PairMap;
+use crate::vertical::VerticalDb;
+use hpcutil::MemoryFootprint;
+
+/// A vertical database as one bitmap per item.
+#[derive(Debug, Clone)]
+pub struct BitmapIndex {
+    /// Transactions (bit positions) per bitmap.
+    m: u32,
+    /// 64-bit words per bitmap row.
+    words_per_row: usize,
+    /// Row-major bit matrix: row `i` = bitmap of item `i`.
+    words: Vec<u64>,
+}
+
+impl BitmapIndex {
+    /// Build from tidlists.
+    pub fn from_vertical(v: &VerticalDb) -> Self {
+        let m = v.m();
+        let words_per_row = (m as usize).div_ceil(64);
+        let mut words = vec![0u64; words_per_row * v.n_items() as usize];
+        for item in 0..v.n_items() {
+            let row = &mut words
+                [item as usize * words_per_row..(item as usize + 1) * words_per_row];
+            for &tid in v.tidlist(item) {
+                row[(tid / 64) as usize] |= 1u64 << (tid % 64);
+            }
+        }
+        BitmapIndex {
+            m,
+            words_per_row,
+            words,
+        }
+    }
+
+    /// Number of items.
+    pub fn n_items(&self) -> u32 {
+        (self.words.len() / self.words_per_row.max(1)) as u32
+    }
+
+    /// Transaction-domain size.
+    pub fn m(&self) -> u32 {
+        self.m
+    }
+
+    /// Words per item row.
+    pub fn words_per_row(&self) -> usize {
+        self.words_per_row
+    }
+
+    /// The bitmap row of one item.
+    pub fn row(&self, item: u32) -> &[u64] {
+        &self.words[item as usize * self.words_per_row..(item as usize + 1) * self.words_per_row]
+    }
+
+    /// Raw words (row-major) — what a GPU kernel would consume.
+    pub fn words(&self) -> &[u64] {
+        &self.words
+    }
+
+    /// Support of a single item (popcount of its row).
+    pub fn support(&self, item: u32) -> u64 {
+        self.row(item).iter().map(|w| w.count_ones() as u64).sum()
+    }
+
+    /// Pair support: AND + popcount across the two rows.
+    pub fn pair_support(&self, i: u32, j: u32) -> u64 {
+        self.row(i)
+            .iter()
+            .zip(self.row(j))
+            .map(|(a, b)| (a & b).count_ones() as u64)
+            .sum()
+    }
+
+    /// Full pair mining by bitmap AND — the PBI computation.
+    pub fn mine_pairs(&self, minsup: u64) -> PairMap {
+        let n = self.n_items();
+        let mut out = PairMap::default();
+        for i in 0..n {
+            for j in (i + 1)..n {
+                let s = self.pair_support(i, j);
+                if s >= minsup && s > 0 {
+                    out.insert((i, j), s);
+                }
+            }
+        }
+        out
+    }
+
+    /// The representation's fixed cost: `n·m` bits, independent of
+    /// density — the §I-B space argument against full bitmaps.
+    pub fn bits(&self) -> u64 {
+        self.words.len() as u64 * 64
+    }
+}
+
+impl MemoryFootprint for BitmapIndex {
+    fn heap_bytes(&self) -> usize {
+        self.words.capacity() * 8
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pairs::brute_force_pairs;
+    use crate::transactions::TransactionDb;
+
+    fn index() -> (TransactionDb, BitmapIndex) {
+        let db = TransactionDb::new(
+            4,
+            vec![
+                vec![0, 1],
+                vec![1, 2],
+                vec![0, 1, 2, 3],
+                vec![3],
+                vec![0, 2],
+            ],
+        );
+        let v = VerticalDb::from_horizontal(&db);
+        let idx = BitmapIndex::from_vertical(&v);
+        (db, idx)
+    }
+
+    #[test]
+    fn supports_match() {
+        let (db, idx) = index();
+        let s = db.item_supports();
+        for i in 0..4u32 {
+            assert_eq!(idx.support(i), s[i as usize]);
+        }
+    }
+
+    #[test]
+    fn pair_mining_matches_brute_force() {
+        let (db, idx) = index();
+        for minsup in [1, 2] {
+            assert_eq!(idx.mine_pairs(minsup), brute_force_pairs(&db, minsup));
+        }
+    }
+
+    #[test]
+    fn space_is_nm_bits_rounded_to_words() {
+        let (_, idx) = index();
+        // m=5 → 1 word per row, 4 items → 4 words = 256 bits ≥ n·m = 20.
+        assert_eq!(idx.bits(), 256);
+        assert_eq!(idx.words_per_row(), 1);
+    }
+
+    #[test]
+    fn crosses_word_boundaries() {
+        let tidlists = vec![
+            vec![0, 63, 64, 127, 128],
+            vec![63, 64, 100, 128],
+        ];
+        let v = VerticalDb::new(130, tidlists);
+        let idx = BitmapIndex::from_vertical(&v);
+        assert_eq!(idx.words_per_row(), 3);
+        assert_eq!(idx.pair_support(0, 1), 3); // {63, 64, 128}
+    }
+
+    #[test]
+    fn empty_items_have_zero_rows() {
+        let v = VerticalDb::new(10, vec![vec![], vec![5]]);
+        let idx = BitmapIndex::from_vertical(&v);
+        assert_eq!(idx.support(0), 0);
+        assert_eq!(idx.pair_support(0, 1), 0);
+    }
+}

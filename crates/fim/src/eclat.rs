@@ -1,0 +1,286 @@
+//! Eclat (Zaki et al. \[29\]): vertical-format mining by depth-first
+//! tidlist intersection.
+//!
+//! The paper ran Borgelt's Eclat and dropped it from the plots for
+//! slowness; we implement it both as a baseline and because its pairs
+//! mode — *every* pairwise tidlist intersection by sorted merge — is
+//! precisely the CPU computation the batmap/GPU pipeline replaces.
+
+use crate::apriori::Itemset;
+use crate::merge;
+use crate::pairs::PairMap;
+use crate::transactions::TransactionDb;
+use crate::vertical::VerticalDb;
+
+/// Frequent-pair mining: merge-intersect every pair of tidlists.
+/// `Θ(Σᵢⱼ (|Sᵢ|+|Sⱼ|))` — the quantity the paper's §IV-B throughput
+/// comparison measures.
+pub fn mine_pairs(v: &VerticalDb, minsup: u64) -> PairMap {
+    let n = v.n_items();
+    let mut out = PairMap::default();
+    for i in 0..n {
+        let ti = v.tidlist(i);
+        if (ti.len() as u64) < minsup {
+            continue; // |Sᵢ∩Sⱼ| ≤ |Sᵢ|: cannot reach minsup
+        }
+        for j in (i + 1)..n {
+            let tj = v.tidlist(j);
+            if (tj.len() as u64) < minsup {
+                continue;
+            }
+            let support = merge::count_branchy(ti, tj);
+            if support >= minsup && support > 0 {
+                out.insert((i, j), support);
+            }
+        }
+    }
+    out
+}
+
+/// Full Eclat: DFS over the item lattice with materialized intersection
+/// tidlists. Returns frequent itemsets of size `2..=max_len`.
+pub fn mine(db: &TransactionDb, minsup: u64, max_len: usize) -> Vec<Itemset> {
+    let v = VerticalDb::from_horizontal(db);
+    let mut out = Vec::new();
+    if max_len < 2 {
+        return out;
+    }
+    let frequent: Vec<u32> = (0..v.n_items())
+        .filter(|&i| v.support(i) >= minsup && v.support(i) > 0)
+        .collect();
+    // DFS with prefix tidlists.
+    let mut prefix: Vec<u32> = Vec::new();
+    for (idx, &i) in frequent.iter().enumerate() {
+        prefix.push(i);
+        dfs(
+            &v,
+            &frequent[idx + 1..],
+            v.tidlist(i),
+            minsup,
+            max_len,
+            &mut prefix,
+            &mut out,
+        );
+        prefix.pop();
+    }
+    out.sort_unstable_by(|a, b| a.items.cmp(&b.items));
+    out
+}
+
+fn dfs(
+    v: &VerticalDb,
+    extensions: &[u32],
+    tids: &[u32],
+    minsup: u64,
+    max_len: usize,
+    prefix: &mut Vec<u32>,
+    out: &mut Vec<Itemset>,
+) {
+    for (idx, &j) in extensions.iter().enumerate() {
+        let joined = intersect_lists(tids, v.tidlist(j));
+        let support = joined.len() as u64;
+        if support < minsup {
+            continue;
+        }
+        prefix.push(j);
+        out.push(Itemset {
+            items: prefix.clone(),
+            support,
+        });
+        if prefix.len() < max_len {
+            dfs(v, &extensions[idx + 1..], &joined, minsup, max_len, prefix, out);
+        }
+        prefix.pop();
+    }
+}
+
+/// dEclat (Zaki & Gouda's diffset variant): instead of carrying the
+/// intersection tidlist down the DFS, carry the *diffset* — the tids of
+/// the prefix that the extension item does **not** cover. Support
+/// becomes `support(prefix) − |diffset|`, and diffsets shrink as the
+/// DFS deepens where tidlists would stay large on dense data.
+///
+/// Returns frequent itemsets of size `2..=max_len`, identical to
+/// [`mine`] (cross-checked in tests).
+pub fn mine_diffsets(db: &TransactionDb, minsup: u64, max_len: usize) -> Vec<Itemset> {
+    let v = VerticalDb::from_horizontal(db);
+    let mut out = Vec::new();
+    if max_len < 2 {
+        return out;
+    }
+    let frequent: Vec<u32> = (0..v.n_items())
+        .filter(|&i| v.support(i) >= minsup && v.support(i) > 0)
+        .collect();
+    let mut prefix = Vec::new();
+    for (idx, &i) in frequent.iter().enumerate() {
+        prefix.push(i);
+        dfs_diff(
+            &v,
+            &frequent[idx + 1..],
+            v.tidlist(i),
+            v.support(i),
+            minsup,
+            max_len,
+            &mut prefix,
+            &mut out,
+        );
+        prefix.pop();
+    }
+    out.sort_unstable_by(|a, b| a.items.cmp(&b.items));
+    out
+}
+
+/// DFS step: `parent_tids` is the cover of the current prefix. The
+/// diffset of `P ∪ {j}` is `cover(P) \ tidlist(j)`; its length gives
+/// the support drop, and the child's cover is `cover(P) \ diffset` —
+/// each level subtracts a (shrinking) diffset rather than
+/// re-intersecting full tidlists, the dEclat saving.
+#[allow(clippy::too_many_arguments)]
+fn dfs_diff(
+    v: &VerticalDb,
+    extensions: &[u32],
+    parent_tids: &[u32],
+    parent_support: u64,
+    minsup: u64,
+    max_len: usize,
+    prefix: &mut Vec<u32>,
+    out: &mut Vec<Itemset>,
+) {
+    for (idx, &j) in extensions.iter().enumerate() {
+        let diff = subtract(parent_tids, v.tidlist(j));
+        let support = parent_support - diff.len() as u64;
+        if support < minsup {
+            continue;
+        }
+        prefix.push(j);
+        out.push(Itemset {
+            items: prefix.clone(),
+            support,
+        });
+        if prefix.len() < max_len {
+            let child_tids = subtract(parent_tids, &diff);
+            dfs_diff(
+                v,
+                &extensions[idx + 1..],
+                &child_tids,
+                support,
+                minsup,
+                max_len,
+                prefix,
+                out,
+            );
+        }
+        prefix.pop();
+    }
+}
+
+/// `a \ b` over sorted slices.
+fn subtract(a: &[u32], b: &[u32]) -> Vec<u32> {
+    let mut out = Vec::new();
+    let (mut i, mut j) = (0usize, 0usize);
+    while i < a.len() {
+        if j >= b.len() || a[i] < b[j] {
+            out.push(a[i]);
+            i += 1;
+        } else if a[i] == b[j] {
+            i += 1;
+            j += 1;
+        } else {
+            j += 1;
+        }
+    }
+    out
+}
+
+/// Materializing sorted-list intersection (Eclat needs the tids, not
+/// just the count).
+fn intersect_lists(a: &[u32], b: &[u32]) -> Vec<u32> {
+    let mut out = Vec::with_capacity(a.len().min(b.len()));
+    let (mut i, mut j) = (0usize, 0usize);
+    while i < a.len() && j < b.len() {
+        match a[i].cmp(&b[j]) {
+            std::cmp::Ordering::Less => i += 1,
+            std::cmp::Ordering::Greater => j += 1,
+            std::cmp::Ordering::Equal => {
+                out.push(a[i]);
+                i += 1;
+                j += 1;
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::apriori;
+    use crate::fpgrowth;
+    use crate::pairs::brute_force_pairs;
+
+    fn db() -> TransactionDb {
+        TransactionDb::new(
+            5,
+            vec![
+                vec![0, 1, 2, 4],
+                vec![1, 2, 3],
+                vec![0, 1, 2, 3],
+                vec![1, 3, 4],
+                vec![0, 2, 4],
+            ],
+        )
+    }
+
+    #[test]
+    fn pairs_match_brute_force() {
+        let d = db();
+        let v = VerticalDb::from_horizontal(&d);
+        for minsup in [1, 2, 3] {
+            assert_eq!(mine_pairs(&v, minsup), brute_force_pairs(&d, minsup));
+        }
+    }
+
+    #[test]
+    fn three_miners_agree_on_itemsets() {
+        let d = db();
+        for minsup in [2, 3] {
+            let ec = mine(&d, minsup, 4);
+            let ap = apriori::mine(&d, minsup, 4);
+            let fp = fpgrowth::mine(&d, minsup, 4);
+            assert_eq!(ec, ap, "eclat vs apriori, minsup={minsup}");
+            assert_eq!(ec, fp, "eclat vs fpgrowth, minsup={minsup}");
+        }
+    }
+
+    #[test]
+    fn diffset_variant_matches_classic() {
+        let d = db();
+        for minsup in [1u64, 2, 3] {
+            let classic = mine(&d, minsup, 4);
+            let diff = mine_diffsets(&d, minsup, 4);
+            assert_eq!(classic, diff, "minsup={minsup}");
+        }
+    }
+
+    #[test]
+    fn subtract_cases() {
+        assert_eq!(subtract(&[1, 2, 3, 4], &[2, 4]), vec![1, 3]);
+        assert_eq!(subtract(&[1, 2], &[]), vec![1, 2]);
+        assert_eq!(subtract(&[], &[1]), Vec::<u32>::new());
+        assert_eq!(subtract(&[5], &[1, 5, 9]), Vec::<u32>::new());
+    }
+
+    #[test]
+    fn intersect_lists_basic() {
+        assert_eq!(intersect_lists(&[1, 2, 3], &[2, 3, 4]), vec![2, 3]);
+        assert_eq!(intersect_lists(&[], &[1]), Vec::<u32>::new());
+    }
+
+    #[test]
+    fn minsup_pruning_skips_small_lists() {
+        let d = db();
+        let v = VerticalDb::from_horizontal(&d);
+        let pairs = mine_pairs(&v, 10);
+        assert!(pairs.is_empty());
+    }
+}

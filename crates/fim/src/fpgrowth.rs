@@ -1,0 +1,375 @@
+//! FP-growth (Han, Pei, Yin & Mao \[14\]; Borgelt's implementation \[7\] is
+//! the paper's CPU baseline).
+//!
+//! The FP-tree is a prefix tree over transactions with items ordered by
+//! descending support, plus per-item header chains threading all nodes
+//! of an item. Mining proceeds bottom-up: each item's *conditional
+//! pattern base* (the prefix paths above its nodes, weighted by node
+//! count) is itself a small weighted transaction set, recursively mined.
+//!
+//! * [`mine_pairs`] — the pair specialization used in the paper's
+//!   benchmarks: one upward walk per node accumulates the support of
+//!   `{item, ancestor}` for every ancestor; no recursion needed. Memory
+//!   is `O(tree)`, linear in the instance — the Fig. 5 contrast with
+//!   Apriori.
+//! * [`mine`] — full recursive FP-growth for general itemsets.
+
+use crate::apriori::Itemset;
+use crate::pairs::{pair_key, PairMap};
+use crate::transactions::TransactionDb;
+use hpcutil::MemoryFootprint;
+
+/// Sentinel for "no node".
+const NIL: u32 = u32::MAX;
+
+/// One FP-tree node.
+#[derive(Debug, Clone)]
+struct FpNode {
+    /// Item id (in *rank space*: 0 is the most frequent item).
+    item: u32,
+    /// Occurrence count of the path prefix ending here.
+    count: u64,
+    /// Parent node index (NIL for root).
+    parent: u32,
+    /// Next node of the same item (header chain).
+    link: u32,
+    /// Children as (rank-item, node) pairs, sorted by item for binary
+    /// search; transactions insert in rank order so fan-out stays small.
+    children: Vec<(u32, u32)>,
+}
+
+/// An FP-tree over a weighted transaction multiset.
+#[derive(Debug, Clone)]
+pub struct FpTree {
+    nodes: Vec<FpNode>,
+    /// Head of each rank-item's node chain.
+    headers: Vec<u32>,
+    /// Total support of each rank-item inside this tree.
+    supports: Vec<u64>,
+    /// rank → original item id.
+    rank_to_item: Vec<u32>,
+}
+
+impl FpTree {
+    /// Build from a horizontal database, keeping items with support
+    /// `≥ minsup`.
+    pub fn build(db: &TransactionDb, minsup: u64) -> Self {
+        let supports = db.item_supports();
+        // Rank frequent items by descending support (ascending id tie).
+        let mut frequent: Vec<u32> = (0..db.n_items())
+            .filter(|&i| supports[i as usize] >= minsup && supports[i as usize] > 0)
+            .collect();
+        frequent.sort_by_key(|&i| (std::cmp::Reverse(supports[i as usize]), i));
+        let mut item_to_rank = vec![NIL; db.n_items() as usize];
+        for (rank, &item) in frequent.iter().enumerate() {
+            item_to_rank[item as usize] = rank as u32;
+        }
+        let mut tree = FpTree::empty(frequent.clone());
+        let mut ranked = Vec::new();
+        for t in db.transactions() {
+            ranked.clear();
+            ranked.extend(
+                t.iter()
+                    .filter_map(|&i| {
+                        let r = item_to_rank[i as usize];
+                        (r != NIL).then_some(r)
+                    }),
+            );
+            ranked.sort_unstable();
+            tree.insert_path(&ranked, 1);
+        }
+        tree
+    }
+
+    /// Build from weighted rank-space paths (used for conditional trees;
+    /// `paths` items must already be sorted ascending in rank space and
+    /// restricted to items that remain frequent).
+    fn from_weighted_paths(
+        paths: &[(Vec<u32>, u64)],
+        n_ranks: usize,
+        rank_to_item: Vec<u32>,
+    ) -> Self {
+        let mut tree = FpTree::empty(rank_to_item);
+        tree.headers = vec![NIL; n_ranks];
+        tree.supports = vec![0; n_ranks];
+        for (path, count) in paths {
+            tree.insert_path(path, *count);
+        }
+        tree
+    }
+
+    fn empty(rank_to_item: Vec<u32>) -> Self {
+        let n = rank_to_item.len();
+        FpTree {
+            nodes: vec![FpNode {
+                item: NIL,
+                count: 0,
+                parent: NIL,
+                link: NIL,
+                children: Vec::new(),
+            }],
+            headers: vec![NIL; n],
+            supports: vec![0; n],
+            rank_to_item,
+        }
+    }
+
+    /// Insert one rank-sorted path with multiplicity `count`.
+    fn insert_path(&mut self, ranked: &[u32], count: u64) {
+        let mut node = 0u32;
+        for &item in ranked {
+            self.supports[item as usize] += count;
+            let pos = self.nodes[node as usize]
+                .children
+                .binary_search_by_key(&item, |&(i, _)| i);
+            node = match pos {
+                Ok(idx) => {
+                    let child = self.nodes[node as usize].children[idx].1;
+                    self.nodes[child as usize].count += count;
+                    child
+                }
+                Err(idx) => {
+                    let child = self.nodes.len() as u32;
+                    self.nodes.push(FpNode {
+                        item,
+                        count,
+                        parent: node,
+                        link: self.headers[item as usize],
+                        children: Vec::new(),
+                    });
+                    self.headers[item as usize] = child;
+                    self.nodes[node as usize].children.insert(idx, (item, child));
+                    child
+                }
+            };
+        }
+    }
+
+    /// Number of nodes (incl. root).
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Number of distinct frequent items in the tree.
+    pub fn n_ranks(&self) -> usize {
+        self.headers.len()
+    }
+}
+
+impl MemoryFootprint for FpTree {
+    fn heap_bytes(&self) -> usize {
+        self.nodes.capacity() * std::mem::size_of::<FpNode>()
+            + self
+                .nodes
+                .iter()
+                .map(|n| n.children.capacity() * std::mem::size_of::<(u32, u32)>())
+                .sum::<usize>()
+            + self.headers.capacity() * 4
+            + self.supports.capacity() * 8
+            + self.rank_to_item.capacity() * 4
+    }
+}
+
+/// Frequent-pair mining on the FP-tree: for every node of every item,
+/// one upward walk accumulating the node count into each
+/// `{item, ancestor}` pair.
+pub fn mine_pairs(db: &TransactionDb, minsup: u64) -> PairMap {
+    let tree = FpTree::build(db, minsup);
+    let mut out = PairMap::default();
+    // Accumulate per lower-ranked item into a dense row, then emit: the
+    // row is over higher-ranked ancestors only (< rank), so size rank.
+    let mut row = vec![0u64; tree.n_ranks()];
+    for rank in 0..tree.n_ranks() {
+        let mut touched: Vec<u32> = Vec::new();
+        let mut node = tree.headers[rank];
+        while node != NIL {
+            let count = tree.nodes[node as usize].count;
+            let mut up = tree.nodes[node as usize].parent;
+            while up != 0 && up != NIL {
+                let anc = tree.nodes[up as usize].item;
+                if row[anc as usize] == 0 {
+                    touched.push(anc);
+                }
+                row[anc as usize] += count;
+                up = tree.nodes[up as usize].parent;
+            }
+            node = tree.nodes[node as usize].link;
+        }
+        let item_j = tree.rank_to_item[rank];
+        for &anc in &touched {
+            let support = row[anc as usize];
+            row[anc as usize] = 0;
+            if support >= minsup {
+                out.insert(pair_key(item_j, tree.rank_to_item[anc as usize]), support);
+            }
+        }
+    }
+    out
+}
+
+/// Full recursive FP-growth: all frequent itemsets of size
+/// `2..=max_len`, in original item ids.
+pub fn mine(db: &TransactionDb, minsup: u64, max_len: usize) -> Vec<Itemset> {
+    let tree = FpTree::build(db, minsup);
+    let mut out = Vec::new();
+    if max_len >= 2 {
+        let mut suffix = Vec::new();
+        mine_rec(&tree, minsup, max_len, &mut suffix, &mut out);
+    }
+    for set in &mut out {
+        set.items.sort_unstable();
+    }
+    out.sort_unstable_by(|a, b| a.items.cmp(&b.items));
+    out
+}
+
+fn mine_rec(
+    tree: &FpTree,
+    minsup: u64,
+    max_len: usize,
+    suffix: &mut Vec<u32>,
+    out: &mut Vec<Itemset>,
+) {
+    for rank in (0..tree.n_ranks()).rev() {
+        let support = tree.supports[rank];
+        if support < minsup {
+            continue;
+        }
+        let item = tree.rank_to_item[rank];
+        suffix.push(item);
+        if suffix.len() >= 2 {
+            out.push(Itemset {
+                items: suffix.clone(),
+                support,
+            });
+        }
+        if suffix.len() < max_len {
+            // Conditional pattern base of `rank`: prefix paths above its
+            // nodes, weighted by node count, restricted to items still
+            // frequent within the base.
+            let mut cond_support = vec![0u64; rank];
+            let mut paths: Vec<(Vec<u32>, u64)> = Vec::new();
+            let mut node = tree.headers[rank];
+            while node != NIL {
+                let count = tree.nodes[node as usize].count;
+                let mut path = Vec::new();
+                let mut up = tree.nodes[node as usize].parent;
+                while up != 0 && up != NIL {
+                    let anc = tree.nodes[up as usize].item;
+                    path.push(anc);
+                    cond_support[anc as usize] += count;
+                    up = tree.nodes[up as usize].parent;
+                }
+                if !path.is_empty() {
+                    path.reverse(); // ascending rank order
+                    paths.push((path, count));
+                }
+                node = tree.nodes[node as usize].link;
+            }
+            // Re-rank the conditional items (keep original rank ids —
+            // they are already consistent — but drop infrequent ones).
+            let keep: Vec<bool> = cond_support.iter().map(|&s| s >= minsup).collect();
+            if keep.iter().any(|&k| k) {
+                for (path, _) in &mut paths {
+                    path.retain(|&r| keep[r as usize]);
+                }
+                paths.retain(|(p, _)| !p.is_empty());
+                let cond =
+                    FpTree::from_weighted_paths(&paths, rank, tree.rank_to_item.clone());
+                mine_rec(&cond, minsup, max_len, suffix, out);
+            }
+        }
+        suffix.pop();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::apriori;
+    use crate::pairs::brute_force_pairs;
+
+    fn db() -> TransactionDb {
+        TransactionDb::new(
+            6,
+            vec![
+                vec![0, 1, 2],
+                vec![1, 2, 3],
+                vec![0, 1, 2, 3],
+                vec![1, 3],
+                vec![0, 2],
+                vec![2, 3, 4],
+                vec![0, 1, 2, 4],
+            ],
+        )
+    }
+
+    #[test]
+    fn tree_structure_shares_prefixes() {
+        let d = TransactionDb::new(3, vec![vec![0, 1], vec![0, 1], vec![0, 2]]);
+        let tree = FpTree::build(&d, 1);
+        // Root + item0 node + item1 node + item2 node = 4: item 0 is
+        // shared across all three transactions.
+        assert_eq!(tree.node_count(), 4);
+    }
+
+    #[test]
+    fn pairs_match_brute_force() {
+        let d = db();
+        for minsup in [1, 2, 3, 4] {
+            assert_eq!(
+                mine_pairs(&d, minsup),
+                brute_force_pairs(&d, minsup),
+                "minsup={minsup}"
+            );
+        }
+    }
+
+    #[test]
+    fn pairs_match_apriori() {
+        let d = db();
+        assert_eq!(mine_pairs(&d, 2), apriori::mine_pairs(&d, 2));
+    }
+
+    #[test]
+    fn general_mining_matches_apriori() {
+        let d = db();
+        for minsup in [2, 3] {
+            let mut fp = mine(&d, minsup, 4);
+            let mut ap = apriori::mine(&d, minsup, 4);
+            fp.sort_by(|a, b| a.items.cmp(&b.items));
+            ap.sort_by(|a, b| a.items.cmp(&b.items));
+            assert_eq!(fp, ap, "minsup={minsup}");
+        }
+    }
+
+    #[test]
+    fn minsup_prunes_tree_items() {
+        let d = db();
+        let tree = FpTree::build(&d, 4);
+        // supports: item0=4, item1=5, item2=6, item3=4, item4=2.
+        assert_eq!(tree.n_ranks(), 4);
+    }
+
+    #[test]
+    fn empty_db() {
+        let d = TransactionDb::new(4, vec![]);
+        assert!(mine_pairs(&d, 1).is_empty());
+        assert!(mine(&d, 1, 3).is_empty());
+    }
+
+    #[test]
+    fn footprint_grows_with_distinct_paths() {
+        let shared = TransactionDb::new(6, vec![vec![0, 1, 2]; 16]);
+        let distinct = TransactionDb::new(
+            6,
+            (0..16)
+                .map(|i| vec![i % 6, (i + 1) % 6, (i + 2) % 6])
+                .collect(),
+        );
+        let t_shared = FpTree::build(&shared, 1);
+        let t_distinct = FpTree::build(&distinct, 1);
+        assert!(t_distinct.node_count() > t_shared.node_count());
+        assert!(t_distinct.heap_bytes() > 0);
+    }
+}

@@ -1,0 +1,44 @@
+//! # fim — frequent-itemset-mining substrate and baselines
+//!
+//! Everything the paper's evaluation compares the GPU batmap pipeline
+//! against, implemented from scratch:
+//!
+//! * [`transactions`] / [`vertical`] — the horizontal and vertical
+//!   (tidlist) database formats.
+//! * [`apriori`] — Apriori with the triangular pair-count array (the
+//!   quadratic-memory baseline of Figs. 5–10) plus the general levelwise
+//!   miner.
+//! * [`fpgrowth`] — FP-tree construction and FP-growth mining (the
+//!   strong CPU baseline).
+//! * [`eclat`] — vertical DFS mining (run by the paper, dropped from its
+//!   plots for slowness).
+//! * [`bitmap`] — the full-bitmap PBI representation of Fang et al.,
+//!   the prior GPU approach.
+//! * [`merge`] — sorted-list intersection variants (§IV-B comparison).
+//! * [`wah`] — WAH compressed bitmaps (the sequential-decode prior art
+//!   of §I-B.1).
+//! * [`pairs`] — pair-support result types and the brute-force oracle.
+//! * [`split`] — instance splitting for the Fig. 9 core-scaling setup.
+//!
+//! All pair miners return the same [`pairs::PairMap`] and are
+//! cross-checked against each other and against brute force in the test
+//! suites.
+
+#![warn(missing_docs)]
+
+pub mod apriori;
+pub mod bitmap;
+pub mod eclat;
+pub mod fpgrowth;
+pub mod merge;
+pub mod pairs;
+pub mod split;
+pub mod transactions;
+pub mod wah;
+pub mod vertical;
+
+pub use bitmap::BitmapIndex;
+pub use wah::WahBitmap;
+pub use pairs::PairMap;
+pub use transactions::TransactionDb;
+pub use vertical::VerticalDb;

@@ -1,0 +1,135 @@
+//! Sorted-list intersection (the "folklore" algorithm, §I-B.1, §IV-B).
+//!
+//! Three variants, all counting `|A ∩ B|` over strictly-sorted `u32`
+//! slices:
+//!
+//! * [`count_branchy`] — the textbook two-pointer merge. Runs slowly on
+//!   modern CPUs because every comparison is an unpredictable branch —
+//!   the §IV-B baseline.
+//! * [`count_branchless`] — the same merge with arithmetic pointer
+//!   advancement instead of branches (the standard mitigation; included
+//!   as an ablation point).
+//! * [`count_galloping`] — exponential search of the larger list, better
+//!   when sizes are very skewed (adaptive intersection, \[9\]).
+
+/// Textbook two-pointer merge count.
+pub fn count_branchy(a: &[u32], b: &[u32]) -> u64 {
+    let mut count = 0u64;
+    let (mut i, mut j) = (0usize, 0usize);
+    while i < a.len() && j < b.len() {
+        match a[i].cmp(&b[j]) {
+            std::cmp::Ordering::Less => i += 1,
+            std::cmp::Ordering::Greater => j += 1,
+            std::cmp::Ordering::Equal => {
+                count += 1;
+                i += 1;
+                j += 1;
+            }
+        }
+    }
+    count
+}
+
+/// Branch-free two-pointer merge: pointer advancement and the match
+/// counter are computed arithmetically so the loop's only branch is the
+/// (predictable) termination test.
+pub fn count_branchless(a: &[u32], b: &[u32]) -> u64 {
+    let mut count = 0u64;
+    let (mut i, mut j) = (0usize, 0usize);
+    while i < a.len() && j < b.len() {
+        let (x, y) = (a[i], b[j]);
+        count += (x == y) as u64;
+        i += (x <= y) as usize;
+        j += (y <= x) as usize;
+    }
+    count
+}
+
+/// Galloping (exponential-search) intersection: probe each element of
+/// the smaller list into the larger by doubling steps + binary search.
+/// O(|small| · log |large|), the right shape when sizes are skewed.
+pub fn count_galloping(a: &[u32], b: &[u32]) -> u64 {
+    let (small, large) = if a.len() <= b.len() { (a, b) } else { (b, a) };
+    let mut count = 0u64;
+    let mut lo = 0usize;
+    for &x in small {
+        // Gallop to an upper bound.
+        let mut step = 1usize;
+        let mut hi = lo;
+        while hi < large.len() && large[hi] < x {
+            hi = (hi + step).min(large.len());
+            step *= 2;
+        }
+        // Binary search in (lo, hi].
+        let base = lo + large[lo..hi.min(large.len())].partition_point(|&y| y < x);
+        if base < large.len() && large[base] == x {
+            count += 1;
+            lo = base + 1;
+        } else {
+            lo = base;
+        }
+        if lo >= large.len() {
+            break;
+        }
+    }
+    count
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cases() -> Vec<(Vec<u32>, Vec<u32>, u64)> {
+        vec![
+            (vec![], vec![], 0),
+            (vec![1, 2, 3], vec![], 0),
+            (vec![1, 2, 3], vec![1, 2, 3], 3),
+            (vec![1, 3, 5], vec![2, 4, 6], 0),
+            (vec![1, 2, 3, 100], vec![3, 100, 200], 2),
+            ((0..1000).collect(), (500..1500).collect(), 500),
+            (vec![7], (0..100).collect(), 1),
+        ]
+    }
+
+    #[test]
+    fn all_variants_agree_on_cases() {
+        for (a, b, expect) in cases() {
+            assert_eq!(count_branchy(&a, &b), expect, "branchy {a:?} {b:?}");
+            assert_eq!(count_branchless(&a, &b), expect, "branchless {a:?} {b:?}");
+            assert_eq!(count_galloping(&a, &b), expect, "galloping {a:?} {b:?}");
+            // Symmetry.
+            assert_eq!(count_branchy(&b, &a), expect);
+            assert_eq!(count_branchless(&b, &a), expect);
+            assert_eq!(count_galloping(&b, &a), expect);
+        }
+    }
+
+    #[test]
+    fn random_cross_check() {
+        let mut state = 0xD1CEu64;
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state
+        };
+        for trial in 0..50 {
+            let mut a: Vec<u32> = (0..200).map(|_| (next() % 500) as u32).collect();
+            let mut b: Vec<u32> = (0..300).map(|_| (next() % 500) as u32).collect();
+            a.sort_unstable();
+            a.dedup();
+            b.sort_unstable();
+            b.dedup();
+            let expect = count_branchy(&a, &b);
+            assert_eq!(count_branchless(&a, &b), expect, "trial {trial}");
+            assert_eq!(count_galloping(&a, &b), expect, "trial {trial}");
+        }
+    }
+
+    #[test]
+    fn galloping_skewed() {
+        let small: Vec<u32> = vec![10, 100_000, 500_000];
+        let large: Vec<u32> = (0..1_000_000).step_by(2).collect(); // evens
+        assert_eq!(count_galloping(&small, &large), 3);
+    }
+}

@@ -1,0 +1,118 @@
+//! Pair-support result types and reference counting.
+//!
+//! All pair miners in the workspace produce a [`PairMap`]: supports of
+//! item pairs `(i, j)` with `i < j`. The brute-force counter here is the
+//! oracle every implementation is tested against.
+
+use crate::transactions::TransactionDb;
+use hpcutil::FxHashMap;
+
+/// Supports of item pairs, keyed `(i, j)` with `i < j`.
+pub type PairMap = FxHashMap<(u32, u32), u64>;
+
+/// Canonicalize a pair key.
+#[inline]
+pub fn pair_key(a: u32, b: u32) -> (u32, u32) {
+    debug_assert_ne!(a, b);
+    if a < b {
+        (a, b)
+    } else {
+        (b, a)
+    }
+}
+
+/// Index of pair `(i, j)`, `i < j < n`, in a packed upper-triangular
+/// array (row-major over `i`).
+#[inline]
+pub fn tri_index(i: u32, j: u32, n: u32) -> usize {
+    debug_assert!(i < j && j < n);
+    let (i, j, n) = (i as usize, j as usize, n as usize);
+    // Offset of row i = Σ_{k<i} (n-1-k) = i·(2n−i−1)/2; then the column
+    // offset within the row is j−i−1.
+    i * (2 * n - i - 1) / 2 + (j - i - 1)
+}
+
+/// Number of pairs over `n` items (`n·(n−1)/2`).
+#[inline]
+pub fn tri_len(n: u32) -> usize {
+    let n = n as usize;
+    n * (n - 1) / 2
+}
+
+/// Brute-force pair counting straight off the horizontal database:
+/// O(Σ|T|²), hash-map accumulation. The test oracle.
+pub fn brute_force_pairs(db: &TransactionDb, minsup: u64) -> PairMap {
+    let mut counts: PairMap = PairMap::default();
+    for t in db.transactions() {
+        for (a, &i) in t.iter().enumerate() {
+            for &j in &t[a + 1..] {
+                *counts.entry(pair_key(i, j)).or_insert(0) += 1;
+            }
+        }
+    }
+    counts.retain(|_, &mut c| c >= minsup);
+    counts
+}
+
+/// Filter a pair map by support threshold (consumes and returns).
+pub fn filter_minsup(mut pairs: PairMap, minsup: u64) -> PairMap {
+    pairs.retain(|_, &mut c| c >= minsup);
+    pairs
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tri_index_is_a_bijection() {
+        let n = 20u32;
+        let mut seen = vec![false; tri_len(n)];
+        for i in 0..n {
+            for j in (i + 1)..n {
+                let idx = tri_index(i, j, n);
+                assert!(!seen[idx], "collision at ({i},{j})");
+                seen[idx] = true;
+            }
+        }
+        assert!(seen.iter().all(|&b| b));
+    }
+
+    #[test]
+    fn tri_index_row_major_order() {
+        let n = 5;
+        assert_eq!(tri_index(0, 1, n), 0);
+        assert_eq!(tri_index(0, 4, n), 3);
+        assert_eq!(tri_index(1, 2, n), 4);
+        assert_eq!(tri_index(3, 4, n), 9);
+        assert_eq!(tri_len(n), 10);
+    }
+
+    #[test]
+    fn brute_force_counts_simple_db() {
+        let db = TransactionDb::new(3, vec![vec![0, 1, 2], vec![0, 1], vec![1, 2]]);
+        let pairs = brute_force_pairs(&db, 1);
+        assert_eq!(pairs[&(0, 1)], 2);
+        assert_eq!(pairs[&(0, 2)], 1);
+        assert_eq!(pairs[&(1, 2)], 2);
+        let frequent = brute_force_pairs(&db, 2);
+        assert_eq!(frequent.len(), 2);
+        assert!(!frequent.contains_key(&(0, 2)));
+    }
+
+    #[test]
+    fn pair_key_orders() {
+        assert_eq!(pair_key(5, 2), (2, 5));
+        assert_eq!(pair_key(2, 5), (2, 5));
+    }
+
+    #[test]
+    fn filter_retains_at_threshold() {
+        let mut m = PairMap::default();
+        m.insert((0, 1), 3);
+        m.insert((0, 2), 2);
+        let f = filter_minsup(m, 3);
+        assert_eq!(f.len(), 1);
+        assert!(f.contains_key(&(0, 1)));
+    }
+}

@@ -1,0 +1,89 @@
+//! Instance splitting for the Fig. 9 multicore-scaling simulation.
+//!
+//! The paper simulates parallel execution on `i` cores by splitting the
+//! instance into `i` equal sub-instances, running the miner on each, and
+//! taking the *maximum* of the execution times (the parallel makespan;
+//! support counts would then be combined, whose cost is the
+//! communication bottleneck discussed in §I).
+
+use crate::transactions::TransactionDb;
+
+/// Split transaction-wise into `parts` sub-databases of (nearly) equal
+/// transaction counts, preserving the item universe. Round-robin keeps
+/// the parts statistically identical for i.i.d. generators.
+pub fn split(db: &TransactionDb, parts: usize) -> Vec<TransactionDb> {
+    assert!(parts > 0);
+    let mut buckets: Vec<Vec<Vec<u32>>> = vec![Vec::new(); parts];
+    for (idx, t) in db.transactions().iter().enumerate() {
+        buckets[idx % parts].push(t.clone());
+    }
+    buckets
+        .into_iter()
+        .map(|ts| TransactionDb::new(db.n_items(), ts))
+        .collect()
+}
+
+/// Combine per-part pair supports into global supports (the reduction
+/// step of the simulated parallel run).
+pub fn combine_pair_counts(parts: Vec<crate::pairs::PairMap>) -> crate::pairs::PairMap {
+    let mut out = crate::pairs::PairMap::default();
+    for p in parts {
+        for (k, v) in p {
+            *out.entry(k).or_insert(0) += v;
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pairs::brute_force_pairs;
+
+    fn db() -> TransactionDb {
+        TransactionDb::new(
+            4,
+            (0..10)
+                .map(|i| vec![i % 4, (i + 1) % 4])
+                .collect::<Vec<_>>(),
+        )
+    }
+
+    #[test]
+    fn split_preserves_transactions() {
+        let d = db();
+        let parts = split(&d, 3);
+        assert_eq!(parts.len(), 3);
+        let total: usize = parts.iter().map(TransactionDb::len).sum();
+        assert_eq!(total, d.len());
+        // Near-equal sizes.
+        let sizes: Vec<usize> = parts.iter().map(TransactionDb::len).collect();
+        assert!(sizes.iter().max().unwrap() - sizes.iter().min().unwrap() <= 1);
+    }
+
+    #[test]
+    fn combined_counts_equal_global_counts() {
+        let d = db();
+        for parts in [1usize, 2, 4] {
+            let per_part: Vec<_> = split(&d, parts)
+                .iter()
+                .map(|p| brute_force_pairs(p, 1))
+                .collect();
+            let combined = combine_pair_counts(per_part);
+            assert_eq!(combined, brute_force_pairs(&d, 1), "parts={parts}");
+        }
+    }
+
+    #[test]
+    fn single_part_is_identity() {
+        let d = db();
+        let parts = split(&d, 1);
+        assert_eq!(parts[0], d);
+    }
+
+    #[test]
+    #[should_panic]
+    fn zero_parts_rejected() {
+        let _ = split(&db(), 0);
+    }
+}

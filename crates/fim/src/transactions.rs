@@ -1,0 +1,196 @@
+//! The horizontal transaction database.
+//!
+//! Transactions are the paper's `T₁..Tₘ ⊆ {1..n}`; we use 0-based item
+//! ids. Items within a transaction are stored sorted and duplicate-free.
+//! All miners preprocess by removing items below the support threshold
+//! ("all existing frequent itemset methods do this"), which
+//! [`TransactionDb::prune_infrequent`] implements with id remapping.
+
+use hpcutil::MemoryFootprint;
+use serde::{Deserialize, Serialize};
+
+/// A horizontal-format transaction database.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TransactionDb {
+    /// Number of distinct item ids (items are `0..n_items`; some may
+    /// have zero support).
+    n_items: u32,
+    /// The transactions; each sorted and deduplicated.
+    transactions: Vec<Vec<u32>>,
+}
+
+impl TransactionDb {
+    /// Create a database over `n_items` items. Each transaction is
+    /// sorted and deduplicated; items must be `< n_items`.
+    pub fn new(n_items: u32, mut transactions: Vec<Vec<u32>>) -> Self {
+        for t in &mut transactions {
+            t.sort_unstable();
+            t.dedup();
+            if let Some(&max) = t.last() {
+                assert!(max < n_items, "item {max} out of range 0..{n_items}");
+            }
+        }
+        TransactionDb {
+            n_items,
+            transactions,
+        }
+    }
+
+    /// Number of distinct item ids.
+    pub fn n_items(&self) -> u32 {
+        self.n_items
+    }
+
+    /// Number of transactions `m`.
+    pub fn len(&self) -> usize {
+        self.transactions.len()
+    }
+
+    /// True when there are no transactions.
+    pub fn is_empty(&self) -> bool {
+        self.transactions.is_empty()
+    }
+
+    /// The transactions.
+    pub fn transactions(&self) -> &[Vec<u32>] {
+        &self.transactions
+    }
+
+    /// Total number of item occurrences (the paper's "instance size").
+    pub fn total_items(&self) -> usize {
+        self.transactions.iter().map(Vec::len).sum()
+    }
+
+    /// Instance density: occurrences / (n·m).
+    pub fn density(&self) -> f64 {
+        if self.n_items == 0 || self.transactions.is_empty() {
+            return 0.0;
+        }
+        self.total_items() as f64 / (self.n_items as f64 * self.len() as f64)
+    }
+
+    /// Per-item support counts.
+    pub fn item_supports(&self) -> Vec<u64> {
+        let mut s = vec![0u64; self.n_items as usize];
+        for t in &self.transactions {
+            for &i in t {
+                s[i as usize] += 1;
+            }
+        }
+        s
+    }
+
+    /// Remove items with support `< minsup` and remap the survivors to
+    /// dense ids `0..k` (ascending original id). Returns the pruned
+    /// database and the mapping `new id → original id`.
+    ///
+    /// Transactions that become empty are dropped — they cannot
+    /// contribute to any itemset, and dropping them matches the tidlist
+    /// view downstream.
+    pub fn prune_infrequent(&self, minsup: u64) -> (TransactionDb, Vec<u32>) {
+        let supports = self.item_supports();
+        let mut remap = vec![u32::MAX; self.n_items as usize];
+        let mut kept = Vec::new();
+        for (item, &s) in supports.iter().enumerate() {
+            if s >= minsup {
+                remap[item] = kept.len() as u32;
+                kept.push(item as u32);
+            }
+        }
+        let transactions: Vec<Vec<u32>> = self
+            .transactions
+            .iter()
+            .filter_map(|t| {
+                let mapped: Vec<u32> = t
+                    .iter()
+                    .filter_map(|&i| {
+                        let r = remap[i as usize];
+                        (r != u32::MAX).then_some(r)
+                    })
+                    .collect();
+                (!mapped.is_empty()).then_some(mapped)
+            })
+            .collect();
+        (
+            TransactionDb {
+                n_items: kept.len() as u32,
+                transactions,
+            },
+            kept,
+        )
+    }
+}
+
+impl MemoryFootprint for TransactionDb {
+    fn heap_bytes(&self) -> usize {
+        self.transactions.heap_bytes()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn db() -> TransactionDb {
+        TransactionDb::new(
+            5,
+            vec![
+                vec![0, 1, 2],
+                vec![1, 2],
+                vec![0, 2, 4],
+                vec![2],
+                vec![1, 4],
+            ],
+        )
+    }
+
+    #[test]
+    fn construction_sorts_and_dedups() {
+        let d = TransactionDb::new(10, vec![vec![3, 1, 3, 2]]);
+        assert_eq!(d.transactions()[0], vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn supports() {
+        let d = db();
+        assert_eq!(d.item_supports(), vec![2, 3, 4, 0, 2]);
+        assert_eq!(d.total_items(), 11);
+        assert_eq!(d.len(), 5);
+    }
+
+    #[test]
+    fn density() {
+        let d = db();
+        assert!((d.density() - 11.0 / 25.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn prune_remaps_and_drops_empty() {
+        let d = db();
+        let (pruned, map) = d.prune_infrequent(3);
+        // Items 1 (sup 3) and 2 (sup 4) survive, remapped to 0 and 1.
+        assert_eq!(map, vec![1, 2]);
+        assert_eq!(pruned.n_items(), 2);
+        // Transaction [1,4] loses item 4 → [1] → new id [0].
+        // Transaction [0,2,4] → [2] → [1].
+        assert_eq!(
+            pruned.transactions(),
+            &[vec![0, 1], vec![0, 1], vec![1], vec![1], vec![0]]
+        );
+    }
+
+    #[test]
+    fn prune_with_zero_threshold_is_compaction_only() {
+        let d = db();
+        let (pruned, map) = d.prune_infrequent(1);
+        // Item 3 has zero support and is dropped even at minsup 1.
+        assert_eq!(map, vec![0, 1, 2, 4]);
+        assert_eq!(pruned.len(), d.len());
+    }
+
+    #[test]
+    #[should_panic]
+    fn out_of_range_item_rejected() {
+        let _ = TransactionDb::new(3, vec![vec![3]]);
+    }
+}

@@ -1,0 +1,274 @@
+//! WAH (Word-Aligned Hybrid) compressed bitmaps — the prior
+//! compressed-bitmap state of the art the paper positions against
+//! (Wu, Otoo & Shoshani \[27\], §I-B.1).
+//!
+//! A WAH bitmap is a sequence of 32-bit words: *literal* words carry 31
+//! payload bits verbatim; *fill* words run-length encode a repeated
+//! all-zero or all-one 31-bit group. Compression is excellent on sparse
+//! or clustered data — but intersection requires **sequential
+//! decoding** with data-dependent control flow (which input advances
+//! depends on the run lengths), the property that makes WAH-style
+//! formats a poor fit for GPUs and the motivation for batmaps: "these
+//! methods all require data to be decoded sequentially, and provide no
+//! easy parallelization."
+
+use hpcutil::MemoryFootprint;
+
+/// Bits carried per literal word.
+const GROUP: u32 = 31;
+/// MSB set ⇒ fill word.
+const FILL_FLAG: u32 = 1 << 31;
+/// Second-highest bit of a fill word: the fill bit value.
+const FILL_VALUE: u32 = 1 << 30;
+/// Run-length mask of a fill word (counts 31-bit groups).
+const FILL_LEN: u32 = FILL_VALUE - 1;
+
+/// A WAH-compressed bitmap over `{0..m-1}`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WahBitmap {
+    /// Universe size in bits.
+    m: u32,
+    /// The compressed words.
+    words: Vec<u32>,
+}
+
+/// Iterator state over a WAH word stream, yielding 31-bit groups.
+struct Groups<'a> {
+    words: &'a [u32],
+    idx: usize,
+    /// Remaining groups of the current fill (0 ⇒ fetch next word).
+    fill_left: u32,
+    fill_bits: u32,
+}
+
+impl<'a> Groups<'a> {
+    fn new(words: &'a [u32]) -> Self {
+        Groups {
+            words,
+            idx: 0,
+            fill_left: 0,
+            fill_bits: 0,
+        }
+    }
+}
+
+impl Iterator for Groups<'_> {
+    type Item = u32;
+
+    /// The data-dependent sequential decode loop — the very thing the
+    /// paper's layout avoids.
+    fn next(&mut self) -> Option<u32> {
+        if self.fill_left > 0 {
+            self.fill_left -= 1;
+            return Some(self.fill_bits);
+        }
+        let w = *self.words.get(self.idx)?;
+        self.idx += 1;
+        if w & FILL_FLAG == 0 {
+            return Some(w); // literal: 31 payload bits
+        }
+        let bits = if w & FILL_VALUE != 0 { (1 << GROUP) - 1 } else { 0 };
+        let len = w & FILL_LEN;
+        debug_assert!(len >= 1);
+        self.fill_left = len - 1;
+        self.fill_bits = bits;
+        Some(bits)
+    }
+}
+
+impl WahBitmap {
+    /// Compress a sorted, duplicate-free list of set bit positions.
+    pub fn from_sorted(m: u32, positions: &[u32]) -> Self {
+        debug_assert!(positions.windows(2).all(|w| w[0] < w[1]));
+        if let Some(&last) = positions.last() {
+            assert!(last < m, "bit {last} out of range 0..{m}");
+        }
+        let groups = m.div_ceil(GROUP);
+        let mut words: Vec<u32> = Vec::new();
+        let mut pos = positions.iter().peekable();
+        let mut pending_fill: Option<(u32, u32)> = None; // (bits, len)
+        for g in 0..groups {
+            let lo = g * GROUP;
+            let hi = lo + GROUP;
+            let mut group = 0u32;
+            while let Some(&&p) = pos.peek() {
+                if p >= hi {
+                    break;
+                }
+                group |= 1 << (p - lo);
+                pos.next();
+            }
+            let fill_bits = if group == 0 {
+                Some(0u32)
+            } else if group == (1 << GROUP) - 1 {
+                Some((1 << GROUP) - 1)
+            } else {
+                None
+            };
+            match (fill_bits, &mut pending_fill) {
+                (Some(b), Some((fb, len))) if *fb == b && *len < FILL_LEN => *len += 1,
+                (Some(b), pending) => {
+                    if let Some((fb, len)) = pending.take() {
+                        words.push(encode_fill(fb, len));
+                    }
+                    *pending = Some((b, 1));
+                }
+                (None, pending) => {
+                    if let Some((fb, len)) = pending.take() {
+                        words.push(encode_fill(fb, len));
+                    }
+                    words.push(group);
+                }
+            }
+        }
+        if let Some((fb, len)) = pending_fill {
+            words.push(encode_fill(fb, len));
+        }
+        WahBitmap { m, words }
+    }
+
+    /// Universe size in bits.
+    pub fn m(&self) -> u32 {
+        self.m
+    }
+
+    /// Compressed size in bytes.
+    pub fn compressed_bytes(&self) -> usize {
+        self.words.len() * 4
+    }
+
+    /// Uncompressed (plain bitmap) size in bytes, for comparison.
+    pub fn plain_bytes(&self) -> usize {
+        (self.m as usize).div_ceil(8)
+    }
+
+    /// Popcount of the bitmap.
+    pub fn count(&self) -> u64 {
+        Groups::new(&self.words).map(|g| g.count_ones() as u64).sum()
+    }
+
+    /// Decode back to sorted bit positions.
+    pub fn decode(&self) -> Vec<u32> {
+        let mut out = Vec::new();
+        for (g, bits) in Groups::new(&self.words).enumerate() {
+            let base = g as u32 * GROUP;
+            let mut b = bits;
+            while b != 0 {
+                let t = b.trailing_zeros();
+                let p = base + t;
+                if p < self.m {
+                    out.push(p);
+                }
+                b &= b - 1;
+            }
+        }
+        out
+    }
+
+    /// `|self ∩ other|` by sequential co-decoding (the WAH AND loop).
+    pub fn intersect_count(&self, other: &WahBitmap) -> u64 {
+        assert_eq!(self.m, other.m, "universe mismatch");
+        let mut a = Groups::new(&self.words);
+        let mut b = Groups::new(&other.words);
+        let mut count = 0u64;
+        while let (Some(x), Some(y)) = (a.next(), b.next()) {
+            count += (x & y).count_ones() as u64;
+        }
+        count
+    }
+}
+
+fn encode_fill(bits: u32, len: u32) -> u32 {
+    debug_assert!((1..=FILL_LEN).contains(&len));
+    FILL_FLAG | if bits != 0 { FILL_VALUE } else { 0 } | len
+}
+
+impl MemoryFootprint for WahBitmap {
+    fn heap_bytes(&self) -> usize {
+        self.words.capacity() * 4
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip(m: u32, positions: &[u32]) {
+        let w = WahBitmap::from_sorted(m, positions);
+        assert_eq!(w.decode(), positions, "m={m}");
+        assert_eq!(w.count(), positions.len() as u64);
+    }
+
+    #[test]
+    fn roundtrips() {
+        roundtrip(100, &[]);
+        roundtrip(100, &[0]);
+        roundtrip(100, &[99]);
+        roundtrip(100, &(0..100).collect::<Vec<_>>());
+        roundtrip(1000, &[0, 30, 31, 62, 500, 999]);
+        roundtrip(10_000, &(0..10_000).step_by(37).collect::<Vec<_>>());
+        // Exactly on group boundaries.
+        roundtrip(62, &[30, 31, 61]);
+        roundtrip(93, &(31..62).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn long_runs_compress() {
+        // One set bit in a huge universe: two fills + one literal.
+        let w = WahBitmap::from_sorted(1_000_000, &[500_000]);
+        assert!(w.words.len() <= 3, "got {} words", w.words.len());
+        assert!(w.compressed_bytes() < w.plain_bytes() / 1000);
+    }
+
+    #[test]
+    fn all_ones_compresses_to_one_fill() {
+        let m = 31 * 1000;
+        let w = WahBitmap::from_sorted(m, &(0..m).collect::<Vec<_>>());
+        assert_eq!(w.words.len(), 1);
+        assert_eq!(w.count(), m as u64);
+    }
+
+    #[test]
+    fn dense_random_data_stays_near_plain_size() {
+        // ~50% density defeats run-length coding: size ≈ plain + 1/31.
+        let positions: Vec<u32> =
+            (0..10_000u32).filter(|i| (i.wrapping_mul(2654435761) >> 16) & 1 == 0).collect();
+        let w = WahBitmap::from_sorted(10_000, &positions);
+        assert!(w.compressed_bytes() as f64 <= w.plain_bytes() as f64 * 1.1);
+        assert!(w.compressed_bytes() as f64 >= w.plain_bytes() as f64 * 0.9);
+    }
+
+    #[test]
+    fn intersection_matches_exact() {
+        let m = 50_000;
+        let a: Vec<u32> = (0..m).step_by(3).collect();
+        let b: Vec<u32> = (0..m).step_by(7).collect();
+        let wa = WahBitmap::from_sorted(m, &a);
+        let wb = WahBitmap::from_sorted(m, &b);
+        let expect = (0..m).filter(|x| x % 3 == 0 && x % 7 == 0).count() as u64;
+        assert_eq!(wa.intersect_count(&wb), expect);
+        assert_eq!(wb.intersect_count(&wa), expect);
+    }
+
+    #[test]
+    fn sparse_clustered_intersection() {
+        let m = 1 << 20;
+        let a: Vec<u32> = (1000..1100).chain(900_000..900_050).collect();
+        let b: Vec<u32> = (1050..1200).chain(899_990..900_010).collect();
+        let wa = WahBitmap::from_sorted(m, &a);
+        let wb = WahBitmap::from_sorted(m, &b);
+        let sa: std::collections::HashSet<u32> = a.into_iter().collect();
+        let expect = b.iter().filter(|x| sa.contains(x)).count() as u64;
+        assert_eq!(wa.intersect_count(&wb), expect);
+        // And the compression actually engaged.
+        assert!(wa.compressed_bytes() < wa.plain_bytes() / 50);
+    }
+
+    #[test]
+    fn self_intersection_is_count() {
+        let m = 10_000;
+        let a: Vec<u32> = (0..m).step_by(11).collect();
+        let w = WahBitmap::from_sorted(m, &a);
+        assert_eq!(w.intersect_count(&w), w.count());
+    }
+}

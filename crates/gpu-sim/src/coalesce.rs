@@ -1,0 +1,220 @@
+//! Global-memory coalescing rules.
+//!
+//! The device services the memory requests of a *half warp* (16 threads)
+//! together: every distinct aligned segment (64 B on the GT200) touched
+//! by the half warp costs one transaction, and the whole segment moves
+//! across the bus whether or not all of it is useful (\[19\], NVIDIA
+//! OpenCL best practices — the access pattern the paper's kernel is
+//! designed around).
+//!
+//! [`transactions`] computes the transaction set for one half-warp
+//! access; the profiler accumulates the counts and the timing model
+//! converts `transactions × segment` into bus time.
+
+/// Result of coalescing one half-warp memory request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Coalesced {
+    /// Number of segment transactions issued.
+    pub transactions: u64,
+    /// Bytes actually moved across the bus (`transactions × segment`).
+    pub bus_bytes: u64,
+    /// Bytes the threads asked for (`lanes × elem_bytes`).
+    pub useful_bytes: u64,
+}
+
+impl Coalesced {
+    /// Bus efficiency: useful bytes / moved bytes (≤ 1).
+    pub fn efficiency(&self) -> f64 {
+        if self.bus_bytes == 0 {
+            1.0
+        } else {
+            self.useful_bytes as f64 / self.bus_bytes as f64
+        }
+    }
+}
+
+/// Coalesce one half-warp request: each lane accesses the element at
+/// `byte_offsets[lane] .. +elem_bytes`. Returns the transaction count
+/// over `segment_bytes`-aligned segments.
+pub fn transactions(byte_offsets: &[usize], elem_bytes: usize, segment_bytes: usize) -> Coalesced {
+    assert!(segment_bytes.is_power_of_two(), "segment must be a power of two");
+    assert!(elem_bytes > 0);
+    if byte_offsets.is_empty() {
+        return Coalesced {
+            transactions: 0,
+            bus_bytes: 0,
+            useful_bytes: 0,
+        };
+    }
+    // Distinct segments touched by any byte of any lane's element.
+    // Lanes are few (≤16); a sorted small vec beats hashing here.
+    let mut segs: Vec<usize> = Vec::with_capacity(byte_offsets.len() * 2);
+    for &off in byte_offsets {
+        let first = off / segment_bytes;
+        let last = (off + elem_bytes - 1) / segment_bytes;
+        for s in first..=last {
+            segs.push(s);
+        }
+    }
+    segs.sort_unstable();
+    segs.dedup();
+    let transactions = segs.len() as u64;
+    Coalesced {
+        transactions,
+        bus_bytes: transactions * segment_bytes as u64,
+        useful_bytes: (byte_offsets.len() * elem_bytes) as u64,
+    }
+}
+
+/// Transactions for a *perfectly sequential* half-warp access: lane `l`
+/// reads element `base + l`. Fast path used by the hot kernels (avoids
+/// materializing the offset list).
+pub fn sequential_transactions(
+    base_elem: usize,
+    lanes: usize,
+    elem_bytes: usize,
+    segment_bytes: usize,
+) -> Coalesced {
+    if lanes == 0 {
+        return Coalesced {
+            transactions: 0,
+            bus_bytes: 0,
+            useful_bytes: 0,
+        };
+    }
+    let first_byte = base_elem * elem_bytes;
+    let last_byte = (base_elem + lanes) * elem_bytes - 1;
+    let transactions = (last_byte / segment_bytes - first_byte / segment_bytes + 1) as u64;
+    Coalesced {
+        transactions,
+        bus_bytes: transactions * segment_bytes as u64,
+        useful_bytes: (lanes * elem_bytes) as u64,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn aligned_half_warp_is_one_transaction() {
+        // 16 threads × 4-byte ints over an aligned 64 B segment: the
+        // best case from [19] — a single transaction.
+        let offs: Vec<usize> = (0..16).map(|l| l * 4).collect();
+        let c = transactions(&offs, 4, 64);
+        assert_eq!(c.transactions, 1);
+        assert_eq!(c.bus_bytes, 64);
+        assert_eq!(c.useful_bytes, 64);
+        assert_eq!(c.efficiency(), 1.0);
+    }
+
+    #[test]
+    fn misaligned_half_warp_costs_two() {
+        let offs: Vec<usize> = (0..16).map(|l| 4 + l * 4).collect();
+        let c = transactions(&offs, 4, 64);
+        assert_eq!(c.transactions, 2);
+        assert!(c.efficiency() < 1.0);
+    }
+
+    #[test]
+    fn scattered_lanes_cost_one_each() {
+        // Random-ish scatter: every lane in its own segment — the hash
+        // table lookup pattern the paper's layout avoids.
+        let offs: Vec<usize> = (0..16).map(|l| l * 4096).collect();
+        let c = transactions(&offs, 4, 64);
+        assert_eq!(c.transactions, 16);
+        assert_eq!(c.efficiency(), 64.0 / 1024.0);
+    }
+
+    #[test]
+    fn duplicate_lanes_share_segment() {
+        let offs = vec![0usize; 16];
+        let c = transactions(&offs, 4, 64);
+        assert_eq!(c.transactions, 1);
+    }
+
+    #[test]
+    fn element_straddling_segments_counts_both() {
+        let offs = vec![60usize];
+        let c = transactions(&offs, 8, 64);
+        assert_eq!(c.transactions, 2);
+    }
+
+    #[test]
+    fn empty_request_is_free() {
+        let c = transactions(&[], 4, 64);
+        assert_eq!(c.transactions, 0);
+        assert_eq!(c.efficiency(), 1.0);
+    }
+
+    #[test]
+    fn sequential_matches_general() {
+        for base in [0usize, 1, 15, 16, 17, 100] {
+            for lanes in [1usize, 3, 16] {
+                let offs: Vec<usize> = (0..lanes).map(|l| (base + l) * 4).collect();
+                let general = transactions(&offs, 4, 64);
+                let fast = sequential_transactions(base, lanes, 4, 64);
+                assert_eq!(general, fast, "base={base} lanes={lanes}");
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(128))]
+
+        /// Transaction count is bounded below by the useful-byte demand
+        /// and above by one-per-lane-span (plus straddles).
+        #[test]
+        fn transaction_bounds(
+            offsets in proptest::collection::vec(0usize..1_000_000, 1..16),
+            elem_pow in 0u32..4,
+            seg_pow in 5u32..8
+        ) {
+            let elem = 1usize << elem_pow;
+            let seg = 1usize << seg_pow;
+            let c = transactions(&offsets, elem, seg);
+            prop_assert!(c.transactions >= 1);
+            // The segments of one element read span at least elem bytes.
+            prop_assert!(c.transactions as usize * seg >= elem);
+            // Upper bound: each lane touches at most ceil(elem/seg)+1 segments.
+            let per_lane = elem.div_ceil(seg) + 1;
+            prop_assert!(c.transactions as usize <= offsets.len() * per_lane);
+            prop_assert_eq!(c.bus_bytes, c.transactions * seg as u64);
+            // With distinct lane addresses, the bus never moves less
+            // than it delivers (duplicate lanes can broadcast, so the
+            // bound only holds for distinct offsets).
+            let mut distinct = offsets.clone();
+            distinct.sort_unstable();
+            distinct.dedup();
+            if distinct.len() == offsets.len() && offsets.iter().all(|o| o.is_multiple_of(elem)) {
+                prop_assert!(c.efficiency() <= 1.0 + 1e-12);
+            }
+        }
+
+        /// Permuting lane order never changes the transaction count
+        /// (coalescing looks at the address *set*).
+        #[test]
+        fn order_invariant(mut offsets in proptest::collection::vec(0usize..10_000, 1..16)) {
+            let a = transactions(&offsets, 4, 64);
+            offsets.reverse();
+            let b = transactions(&offsets, 4, 64);
+            prop_assert_eq!(a.transactions, b.transactions);
+        }
+
+        /// Sequential fast path always agrees with the general rule.
+        #[test]
+        fn sequential_fast_path(base in 0usize..100_000, lanes in 1usize..16) {
+            let offs: Vec<usize> = (0..lanes).map(|l| (base + l) * 4).collect();
+            prop_assert_eq!(
+                transactions(&offs, 4, 64),
+                sequential_transactions(base, lanes, 4, 64)
+            );
+        }
+    }
+}

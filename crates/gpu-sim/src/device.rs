@@ -1,0 +1,123 @@
+//! Device models.
+//!
+//! A [`DeviceSpec`] captures the handful of architectural parameters the
+//! analytic timing model needs. The preset is the paper's card — a
+//! GeForce GTX 285 (§IV "Hardware setup": 30 multiprocessors of 8
+//! computation units at 1.4 GHz, 1 GB RAM, ~159 GB/s memory bandwidth,
+//! 16 KiB shared memory per multiprocessor).
+
+use serde::{Deserialize, Serialize};
+
+/// Architectural parameters of a simulated GPU.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DeviceSpec {
+    /// Human-readable name, e.g. `"GeForce GTX 285 (simulated)"`.
+    pub name: String,
+    /// Number of multiprocessors (compute units / SMs).
+    pub compute_units: u32,
+    /// Scalar cores per multiprocessor.
+    pub cores_per_unit: u32,
+    /// Core clock in Hz.
+    pub clock_hz: f64,
+    /// Peak global-memory bandwidth in bytes/second.
+    pub mem_bandwidth: f64,
+    /// Global-memory transaction granularity in bytes (the coalescing
+    /// segment size for a half warp; 64 B per the NVIDIA OpenCL best
+    /// practices guide the paper follows \[19\]).
+    pub segment_bytes: usize,
+    /// Threads per warp; coalescing is evaluated per *half* warp.
+    pub warp_size: u32,
+    /// Shared (local) memory available to one work group, in bytes.
+    pub shared_mem_bytes: usize,
+    /// Maximum threads per work group.
+    pub max_workgroup: u32,
+    /// Scalar instructions retired per core per cycle (issue width ×
+    /// utilization; ~1 for the GT200 integer pipeline).
+    pub ips: f64,
+    /// Fixed cost of one kernel launch, in seconds.
+    pub launch_overhead_s: f64,
+    /// Host↔device transfer bandwidth in bytes/second (PCIe gen2 x16).
+    pub transfer_bandwidth: f64,
+    /// Display-watchdog limit on a single kernel execution, if the
+    /// device also drives a display (§III-C: "a few-second hard limit").
+    pub watchdog_s: Option<f64>,
+}
+
+impl DeviceSpec {
+    /// The paper's GeForce GTX 285.
+    pub fn gtx285() -> Self {
+        DeviceSpec {
+            name: "GeForce GTX 285 (simulated)".to_string(),
+            compute_units: 30,
+            cores_per_unit: 8,
+            clock_hz: 1.4e9,
+            mem_bandwidth: 159.0e9,
+            segment_bytes: 64,
+            warp_size: 32,
+            shared_mem_bytes: 16 * 1024,
+            max_workgroup: 512,
+            // GT200 SMs dual-issue (MAD pipe + SFU/MUL pipe); sustained
+            // integer workloads retire close to 2 scalar ops per SP
+            // cycle. This is the model's single calibration knob; with
+            // it, the batmap kernel lands at ~32 GB/s effective vs the
+            // paper's measured 36.2 GB/s (EXPERIMENTS.md, T1).
+            ips: 2.0,
+            launch_overhead_s: 10e-6,
+            transfer_bandwidth: 5.0e9,
+            watchdog_s: Some(2.0),
+        }
+    }
+
+    /// A deliberately tiny device for tests: 2 units × 2 cores, slow
+    /// clock, so simulated times are large and assertions easy.
+    pub fn test_tiny() -> Self {
+        DeviceSpec {
+            name: "test-tiny".to_string(),
+            compute_units: 2,
+            cores_per_unit: 2,
+            clock_hz: 1.0e6,
+            mem_bandwidth: 1.0e6,
+            segment_bytes: 64,
+            warp_size: 32,
+            shared_mem_bytes: 4 * 1024,
+            max_workgroup: 256,
+            ips: 1.0,
+            launch_overhead_s: 0.0,
+            transfer_bandwidth: 1.0e6,
+            watchdog_s: None,
+        }
+    }
+
+    /// Aggregate scalar throughput in instructions/second.
+    pub fn compute_throughput(&self) -> f64 {
+        self.compute_units as f64 * self.cores_per_unit as f64 * self.clock_hz * self.ips
+    }
+
+    /// Threads per half warp (the coalescing evaluation unit).
+    pub fn half_warp(&self) -> usize {
+        (self.warp_size / 2) as usize
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gtx285_matches_paper_figures() {
+        let d = DeviceSpec::gtx285();
+        // 30 SMs × 8 SPs = 240 cores at 1.4 GHz.
+        assert_eq!(d.compute_units * d.cores_per_unit, 240);
+        assert_eq!(d.clock_hz, 1.4e9);
+        // ~159 GB/s peak bandwidth (§IV-A throughput computation).
+        assert_eq!(d.mem_bandwidth, 159.0e9);
+        assert_eq!(d.half_warp(), 16);
+        assert!(d.watchdog_s.is_some());
+    }
+
+    #[test]
+    fn throughput_is_product() {
+        let d = DeviceSpec::test_tiny();
+        assert_eq!(d.compute_throughput(), 4.0e6);
+    }
+}

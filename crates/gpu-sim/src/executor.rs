@@ -1,0 +1,190 @@
+//! Kernel dispatch.
+//!
+//! The executor enumerates a launch's work groups, runs each through the
+//! kernel (in parallel across host threads — group execution is
+//! independent by construction, exactly as on the device), folds the
+//! profiling counters, evaluates the timing model, and scatters buffered
+//! stores.
+
+use crate::device::DeviceSpec;
+use crate::kernel::{GroupCtx, Kernel};
+use crate::ndrange::NdRange;
+use crate::profiler::KernelStats;
+use crate::timing::{self, LaunchTiming};
+use rayon::prelude::*;
+
+/// Result of one simulated launch.
+#[derive(Debug, Clone)]
+pub struct LaunchReport {
+    /// Folded performance counters.
+    pub stats: KernelStats,
+    /// Timing-model evaluation.
+    pub timing: LaunchTiming,
+    /// Buffered global stores `(word index, value)`, in ascending index
+    /// order.
+    pub emissions: Vec<(usize, u64)>,
+}
+
+impl LaunchReport {
+    /// Simulated wall-clock seconds of the launch.
+    pub fn seconds(&self) -> f64 {
+        self.timing.total_s
+    }
+
+    /// Whether the launch would have tripped the device's display
+    /// watchdog (§III-C's motivation for splitting work into k×k parts).
+    pub fn exceeds_watchdog(&self, device: &DeviceSpec) -> bool {
+        device
+            .watchdog_s
+            .map(|limit| self.timing.total_s > limit)
+            .unwrap_or(false)
+    }
+
+    /// Scatter the buffered stores into a host array.
+    pub fn scatter_into(&self, out: &mut [u64]) {
+        for &(idx, v) in &self.emissions {
+            out[idx] = v;
+        }
+    }
+}
+
+/// Run `kernel` over `range` on `device`, using all host threads.
+pub fn dispatch<K: Kernel>(device: &DeviceSpec, kernel: &K, range: NdRange) -> LaunchReport {
+    assert!(
+        range.group_threads() <= device.max_workgroup as usize,
+        "work group of {} threads exceeds device limit {}",
+        range.group_threads(),
+        device.max_workgroup
+    );
+    let shared_words = kernel.shared_words();
+    let (stats, mut emissions) = (0..range.group_count())
+        .into_par_iter()
+        .map(|linear| {
+            let mut ctx = GroupCtx::new(device, range, range.group_coord(linear), shared_words);
+            kernel.run_group(&mut ctx);
+            ctx.finish()
+        })
+        .reduce(
+            || (KernelStats::default(), Vec::new()),
+            |(mut s1, mut e1), (s2, e2)| {
+                let mut s = s1;
+                s += s2;
+                s1 = s;
+                e1.extend(e2);
+                (s1, e1)
+            },
+        );
+    emissions.sort_unstable_by_key(|&(idx, _)| idx);
+    let timing = timing::evaluate(&stats, device);
+    LaunchReport {
+        stats,
+        timing,
+        emissions,
+    }
+}
+
+/// Sequential dispatch (group 0 first): identical results to
+/// [`dispatch`]; useful under `cfg(test)` and for debugging.
+pub fn dispatch_seq<K: Kernel>(device: &DeviceSpec, kernel: &K, range: NdRange) -> LaunchReport {
+    let shared_words = kernel.shared_words();
+    let mut stats = KernelStats::default();
+    let mut emissions = Vec::new();
+    for linear in 0..range.group_count() {
+        let mut ctx = GroupCtx::new(device, range, range.group_coord(linear), shared_words);
+        kernel.run_group(&mut ctx);
+        let (s, e) = ctx.finish();
+        stats += s;
+        emissions.extend(e);
+    }
+    emissions.sort_unstable_by_key(|&(idx, _)| idx);
+    let timing = timing::evaluate(&stats, device);
+    LaunchReport {
+        stats,
+        timing,
+        emissions,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::memory::GlobalBuffer;
+
+    /// Toy kernel: each group sums its 16-word slice of the input and
+    /// stores one result word.
+    struct SliceSum<'a> {
+        input: &'a GlobalBuffer,
+    }
+
+    impl Kernel for SliceSum<'_> {
+        fn shared_words(&self) -> usize {
+            16
+        }
+
+        fn run_group(&self, ctx: &mut GroupCtx<'_>) {
+            let g = ctx.group_id()[0];
+            let words = ctx.load_seq(self.input, g * 16, 16).to_vec();
+            for (i, w) in words.iter().enumerate() {
+                ctx.shared().write(i, *w);
+            }
+            ctx.shared_ops(16);
+            ctx.barrier();
+            let sum: u64 = (0..16).map(|i| ctx.shared().read(i) as u64).sum();
+            ctx.shared_ops(16);
+            ctx.ops(16);
+            ctx.store_seq(g, &[sum]);
+        }
+    }
+
+    #[test]
+    fn parallel_and_sequential_agree() {
+        let input = GlobalBuffer::new((0..256u32).collect());
+        let kernel = SliceSum { input: &input };
+        let d = DeviceSpec::gtx285();
+        let range = NdRange::d1(256, 16);
+        let par = dispatch(&d, &kernel, range);
+        let seq = dispatch_seq(&d, &kernel, range);
+        assert_eq!(par.stats, seq.stats);
+        assert_eq!(par.emissions, seq.emissions);
+        // 16 groups, each: 1 load transaction + barrier + 1 store.
+        assert_eq!(par.stats.groups, 16);
+        assert_eq!(par.stats.barriers, 16);
+    }
+
+    #[test]
+    fn results_are_correct() {
+        let input = GlobalBuffer::new((0..64u32).collect());
+        let kernel = SliceSum { input: &input };
+        let report = dispatch(&DeviceSpec::gtx285(), &kernel, NdRange::d1(64, 16));
+        let mut out = vec![0u64; 4];
+        report.scatter_into(&mut out);
+        let expect: Vec<u64> = (0..4)
+            .map(|g| (g * 16..g * 16 + 16).sum::<u64>())
+            .collect();
+        assert_eq!(out, expect);
+    }
+
+    #[test]
+    fn timing_is_positive_and_watchdog_checks() {
+        let input = GlobalBuffer::new(vec![0; 1024]);
+        let kernel = SliceSum { input: &input };
+        let d = DeviceSpec::gtx285();
+        let report = dispatch(&d, &kernel, NdRange::d1(1024, 16));
+        assert!(report.seconds() > 0.0);
+        assert!(!report.exceeds_watchdog(&d));
+        let mut slow = d.clone();
+        slow.watchdog_s = Some(1e-12);
+        assert!(report.exceeds_watchdog(&slow));
+    }
+
+    #[test]
+    #[should_panic]
+    fn oversized_group_rejected() {
+        struct Nop;
+        impl Kernel for Nop {
+            fn run_group(&self, _: &mut GroupCtx<'_>) {}
+        }
+        let d = DeviceSpec::gtx285(); // max 512 threads per group
+        let _ = dispatch(&d, &Nop, NdRange::d1(2048, 1024));
+    }
+}

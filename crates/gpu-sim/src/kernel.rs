@@ -1,0 +1,252 @@
+//! The kernel programming model.
+//!
+//! Kernels are written **work-group-centric**: [`Kernel::run_group`] is
+//! invoked once per work group and loops over the group's work items
+//! between barriers. This keeps execution deterministic and fast while
+//! preserving exactly the quantities the paper's model cares about —
+//! which global segments move, how much shared memory traffic occurs,
+//! how many scalar ops retire, where the barriers fall.
+//!
+//! All global memory access goes through the [`GroupCtx`] accessors so
+//! the coalescing rules are applied uniformly; a kernel that bypasses
+//! them simply doesn't get charged (and the timing model under-reports),
+//! so don't.
+
+use crate::coalesce;
+use crate::device::DeviceSpec;
+use crate::memory::{GlobalBuffer, SharedMem};
+use crate::ndrange::NdRange;
+use crate::profiler::KernelStats;
+
+/// Execution context of one work group.
+pub struct GroupCtx<'a> {
+    device: &'a DeviceSpec,
+    range: NdRange,
+    group_id: [usize; 3],
+    shared: SharedMem,
+    stats: KernelStats,
+    emits: Vec<(usize, u64)>,
+}
+
+impl<'a> GroupCtx<'a> {
+    pub(crate) fn new(
+        device: &'a DeviceSpec,
+        range: NdRange,
+        group_id: [usize; 3],
+        shared_words: usize,
+    ) -> Self {
+        GroupCtx {
+            device,
+            range,
+            group_id,
+            shared: SharedMem::new(shared_words, device),
+            stats: KernelStats {
+                groups: 1,
+                ..Default::default()
+            },
+            emits: Vec::new(),
+        }
+    }
+
+    /// This group's coordinate in the group grid.
+    pub fn group_id(&self) -> [usize; 3] {
+        self.group_id
+    }
+
+    /// Work-group (local) size.
+    pub fn local_size(&self) -> [usize; 3] {
+        self.range.local
+    }
+
+    /// Global index of this group's first work item in dimension `dim`
+    /// (`group_id[dim] × local[dim]`).
+    pub fn global_base(&self, dim: usize) -> usize {
+        self.group_id[dim] * self.range.local[dim]
+    }
+
+    /// The device being simulated.
+    pub fn device(&self) -> &DeviceSpec {
+        self.device
+    }
+
+    /// Load `lanes` consecutive words starting at `base`: the coalesced
+    /// pattern ("16 threads access a 64-byte aligned segment"). Requests
+    /// wider than a half warp are issued as several half-warp requests.
+    /// Returns the loaded words as a slice borrowed from the buffer.
+    pub fn load_seq<'b>(
+        &mut self,
+        buf: &'b GlobalBuffer,
+        base: usize,
+        lanes: usize,
+    ) -> &'b [u32] {
+        let hw = self.device.half_warp();
+        let mut lane = 0;
+        while lane < lanes {
+            let batch = hw.min(lanes - lane);
+            let c = coalesce::sequential_transactions(
+                base + lane,
+                batch,
+                4,
+                self.device.segment_bytes,
+            );
+            self.charge(c);
+            lane += batch;
+        }
+        buf.slice(base..base + lanes)
+    }
+
+    /// Gather one word per lane at arbitrary word indices (the irregular
+    /// pattern batmaps exist to avoid; used by baseline kernels and
+    /// tests). Lanes are grouped into half warps in order.
+    pub fn load_gather(&mut self, buf: &GlobalBuffer, indices: &[usize]) -> Vec<u32> {
+        let hw = self.device.half_warp();
+        for half in indices.chunks(hw) {
+            let offs: Vec<usize> = half.iter().map(|&i| i * 4).collect();
+            let c = coalesce::transactions(&offs, 4, self.device.segment_bytes);
+            self.charge(c);
+        }
+        indices.iter().map(|&i| buf.word(i)).collect()
+    }
+
+    /// Store `values` to consecutive global word indices starting at
+    /// `base`. Writes are buffered as emissions and scattered by the
+    /// executor after the launch (device memory is read-only during a
+    /// launch in this model; the paper's kernels are gather + reduce).
+    pub fn store_seq(&mut self, base: usize, values: &[u64]) {
+        let hw = self.device.half_warp();
+        let mut lane = 0;
+        while lane < values.len() {
+            let batch = hw.min(values.len() - lane);
+            // Results are 32-bit counters on the device; charge 4 B/lane.
+            let c = coalesce::sequential_transactions(
+                base + lane,
+                batch,
+                4,
+                self.device.segment_bytes,
+            );
+            self.charge(c);
+            lane += batch;
+        }
+        for (i, &v) in values.iter().enumerate() {
+            self.emits.push((base + i, v));
+        }
+    }
+
+    /// Work-group barrier (`barrier(CLK_LOCAL_MEM_FENCE)`).
+    pub fn barrier(&mut self) {
+        self.stats.barriers += 1;
+    }
+
+    /// Charge `n` scalar instructions.
+    #[inline]
+    pub fn ops(&mut self, n: u64) {
+        self.stats.ops += n;
+    }
+
+    /// Charge `n` shared-memory word accesses.
+    #[inline]
+    pub fn shared_ops(&mut self, n: u64) {
+        self.stats.shared_accesses += n;
+    }
+
+    /// Record a warp-divergent branch event (`paths` serialized paths).
+    pub fn divergent(&mut self, paths: u64) {
+        self.stats.divergent_branches += paths.saturating_sub(1);
+    }
+
+    /// The group's shared memory.
+    pub fn shared(&mut self) -> &mut SharedMem {
+        &mut self.shared
+    }
+
+    fn charge(&mut self, c: coalesce::Coalesced) {
+        self.stats.transactions += c.transactions;
+        self.stats.bus_bytes += c.bus_bytes;
+        self.stats.useful_bytes += c.useful_bytes;
+    }
+
+    pub(crate) fn finish(self) -> (KernelStats, Vec<(usize, u64)>) {
+        (self.stats, self.emits)
+    }
+}
+
+/// A simulated kernel: one [`Self::run_group`] call per work group.
+pub trait Kernel: Sync {
+    /// Words of shared memory each work group allocates.
+    fn shared_words(&self) -> usize {
+        0
+    }
+
+    /// Execute one work group.
+    fn run_group(&self, ctx: &mut GroupCtx<'_>);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ctx<'a>(device: &'a DeviceSpec) -> GroupCtx<'a> {
+        GroupCtx::new(device, NdRange::d1(16, 16), [0, 0, 0], 64)
+    }
+
+    #[test]
+    fn load_seq_charges_one_transaction_per_segment() {
+        let d = DeviceSpec::gtx285();
+        let buf = GlobalBuffer::new((0..64u32).collect());
+        let mut c = ctx(&d);
+        let words = c.load_seq(&buf, 0, 16);
+        assert_eq!(words, (0..16u32).collect::<Vec<_>>().as_slice());
+        let (stats, _) = c.finish();
+        assert_eq!(stats.transactions, 1);
+        assert_eq!(stats.bus_bytes, 64);
+    }
+
+    #[test]
+    fn wide_load_splits_into_half_warps() {
+        let d = DeviceSpec::gtx285();
+        let buf = GlobalBuffer::new(vec![0; 256]);
+        let mut c = ctx(&d);
+        c.load_seq(&buf, 0, 64); // 4 half warps, aligned → 4 transactions
+        let (stats, _) = c.finish();
+        assert_eq!(stats.transactions, 4);
+    }
+
+    #[test]
+    fn gather_scattered_costs_per_lane() {
+        let d = DeviceSpec::gtx285();
+        let buf = GlobalBuffer::new(vec![7; 4096]);
+        let mut c = ctx(&d);
+        let idx: Vec<usize> = (0..16).map(|l| l * 256).collect();
+        let vals = c.load_gather(&buf, &idx);
+        assert!(vals.iter().all(|&v| v == 7));
+        let (stats, _) = c.finish();
+        assert_eq!(stats.transactions, 16);
+        assert!(stats.efficiency() < 0.1);
+    }
+
+    #[test]
+    fn store_emits_and_charges() {
+        let d = DeviceSpec::gtx285();
+        let mut c = ctx(&d);
+        c.store_seq(100, &[1, 2, 3]);
+        let (stats, emits) = c.finish();
+        assert_eq!(emits, vec![(100, 1), (101, 2), (102, 3)]);
+        assert!(stats.transactions >= 1);
+    }
+
+    #[test]
+    fn counters_accumulate() {
+        let d = DeviceSpec::gtx285();
+        let mut c = ctx(&d);
+        c.ops(10);
+        c.shared_ops(4);
+        c.barrier();
+        c.divergent(2);
+        let (stats, _) = c.finish();
+        assert_eq!(stats.ops, 10);
+        assert_eq!(stats.shared_accesses, 4);
+        assert_eq!(stats.barriers, 1);
+        assert_eq!(stats.divergent_branches, 1);
+        assert_eq!(stats.groups, 1);
+    }
+}

@@ -1,0 +1,181 @@
+//! Simulated device memory.
+//!
+//! A [`GlobalBuffer`] is plain host memory standing in for device global
+//! memory: kernels read it only through their [`crate::kernel::GroupCtx`]
+//! accessors, which apply the coalescing rules and charge the profiler.
+//! The one-time host→device transfer the paper performs ("a list
+//! containing all n batmaps is transferred once to the device") is
+//! modelled by [`GlobalBuffer::transfer_time`].
+
+use crate::device::DeviceSpec;
+
+/// A read-only global-memory buffer of `u32` words.
+///
+/// The paper's kernels consume batmaps as 32-bit integers (4 slots per
+/// word), so the simulator's global memory is word-typed; byte-level
+/// structures are packed into words before upload (see
+/// `pairminer::gpu`).
+#[derive(Debug, Clone)]
+pub struct GlobalBuffer {
+    words: Box<[u32]>,
+}
+
+impl GlobalBuffer {
+    /// Upload a word array.
+    pub fn new(words: Vec<u32>) -> Self {
+        GlobalBuffer {
+            words: words.into_boxed_slice(),
+        }
+    }
+
+    /// Upload a byte slice, packing little-endian words (zero-padded to
+    /// a word boundary).
+    pub fn from_bytes(bytes: &[u8]) -> Self {
+        let mut words = Vec::with_capacity(bytes.len().div_ceil(4));
+        let mut chunks = bytes.chunks_exact(4);
+        for c in &mut chunks {
+            words.push(u32::from_le_bytes(c.try_into().unwrap()));
+        }
+        let rem = chunks.remainder();
+        if !rem.is_empty() {
+            let mut last = [0u8; 4];
+            last[..rem.len()].copy_from_slice(rem);
+            words.push(u32::from_le_bytes(last));
+        }
+        GlobalBuffer::new(words)
+    }
+
+    /// Number of words.
+    pub fn len(&self) -> usize {
+        self.words.len()
+    }
+
+    /// True when the buffer is empty.
+    pub fn is_empty(&self) -> bool {
+        self.words.is_empty()
+    }
+
+    /// Size in bytes.
+    pub fn bytes(&self) -> usize {
+        self.words.len() * 4
+    }
+
+    /// Raw word access for the executor/ctx (not profiled here — the
+    /// ctx accessors do the accounting).
+    #[inline]
+    pub(crate) fn word(&self, idx: usize) -> u32 {
+        self.words[idx]
+    }
+
+    /// Raw slice access (used by `GroupCtx` sequential loads).
+    #[inline]
+    pub(crate) fn slice(&self, range: std::ops::Range<usize>) -> &[u32] {
+        &self.words[range]
+    }
+
+    /// Seconds to move this buffer across the host↔device link once.
+    pub fn transfer_time(&self, device: &DeviceSpec) -> f64 {
+        self.bytes() as f64 / device.transfer_bandwidth
+    }
+}
+
+/// Simulated per-work-group shared (local) memory: a word-addressed
+/// scratchpad of fixed size, checked against the device limit.
+#[derive(Debug)]
+pub struct SharedMem {
+    words: Vec<u32>,
+}
+
+impl SharedMem {
+    /// Allocate `words` words of shared memory; panics if the request
+    /// exceeds the device's per-group shared memory.
+    pub fn new(words: usize, device: &DeviceSpec) -> Self {
+        assert!(
+            words * 4 <= device.shared_mem_bytes,
+            "shared memory request {} B exceeds device limit {} B",
+            words * 4,
+            device.shared_mem_bytes
+        );
+        SharedMem {
+            words: vec![0; words],
+        }
+    }
+
+    /// Word count.
+    pub fn len(&self) -> usize {
+        self.words.len()
+    }
+
+    /// True when zero-sized.
+    pub fn is_empty(&self) -> bool {
+        self.words.is_empty()
+    }
+
+    /// Read a word.
+    #[inline]
+    pub fn read(&self, idx: usize) -> u32 {
+        self.words[idx]
+    }
+
+    /// Write a word.
+    #[inline]
+    pub fn write(&mut self, idx: usize, value: u32) {
+        self.words[idx] = value;
+    }
+
+    /// View a contiguous region.
+    #[inline]
+    pub fn region(&self, range: std::ops::Range<usize>) -> &[u32] {
+        &self.words[range]
+    }
+
+    /// Mutable view of a contiguous region.
+    #[inline]
+    pub fn region_mut(&mut self, range: std::ops::Range<usize>) -> &mut [u32] {
+        &mut self.words[range]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn from_bytes_packs_little_endian() {
+        let b = GlobalBuffer::from_bytes(&[1, 0, 0, 0, 2, 0, 0, 0]);
+        assert_eq!(b.len(), 2);
+        assert_eq!(b.word(0), 1);
+        assert_eq!(b.word(1), 2);
+    }
+
+    #[test]
+    fn from_bytes_pads_tail() {
+        let b = GlobalBuffer::from_bytes(&[0xAA, 0xBB, 0xCC]);
+        assert_eq!(b.len(), 1);
+        assert_eq!(b.word(0), u32::from_le_bytes([0xAA, 0xBB, 0xCC, 0]));
+    }
+
+    #[test]
+    fn transfer_time_scales_with_size() {
+        let d = DeviceSpec::test_tiny(); // 1 MB/s transfer
+        let b = GlobalBuffer::new(vec![0; 250_000]); // 1 MB
+        assert!((b.transfer_time(&d) - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn shared_mem_read_write() {
+        let d = DeviceSpec::gtx285();
+        let mut s = SharedMem::new(512, &d);
+        s.write(100, 42);
+        assert_eq!(s.read(100), 42);
+        s.region_mut(0..4).copy_from_slice(&[1, 2, 3, 4]);
+        assert_eq!(s.region(0..4), &[1, 2, 3, 4]);
+    }
+
+    #[test]
+    #[should_panic]
+    fn shared_mem_limit_enforced() {
+        let d = DeviceSpec::gtx285(); // 16 KiB = 4096 words
+        let _ = SharedMem::new(5000, &d);
+    }
+}

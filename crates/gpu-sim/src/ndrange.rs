@@ -1,0 +1,131 @@
+//! NDRange geometry: global sizes, work-group sizes, and group iteration
+//! (§III-B, "Our adaption of the GPU execution model").
+//!
+//! OpenCL organizes work items in a 1-, 2- or 3-dimensional grid: a
+//! *global size* `G₁W₁ × G₂W₂ × G₃W₃` tiled by *work groups* of size
+//! `W₁ × W₂ × W₃`. The executor iterates over all `G₁·G₂·G₃` group
+//! positions; each kernel instance can query its group id and local id.
+
+use serde::{Deserialize, Serialize};
+
+/// Geometry of one kernel dispatch.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct NdRange {
+    /// Global size per dimension (must be multiples of `local`).
+    pub global: [usize; 3],
+    /// Work-group size per dimension.
+    pub local: [usize; 3],
+}
+
+impl NdRange {
+    /// One-dimensional dispatch.
+    pub fn d1(global: usize, local: usize) -> Self {
+        NdRange {
+            global: [global, 1, 1],
+            local: [local, 1, 1],
+        }
+        .validated()
+    }
+
+    /// Two-dimensional dispatch (the paper's n×n in 16×16 tiles).
+    pub fn d2(global: [usize; 2], local: [usize; 2]) -> Self {
+        NdRange {
+            global: [global[0], global[1], 1],
+            local: [local[0], local[1], 1],
+        }
+        .validated()
+    }
+
+    /// Three-dimensional dispatch.
+    pub fn d3(global: [usize; 3], local: [usize; 3]) -> Self {
+        NdRange { global, local }.validated()
+    }
+
+    fn validated(self) -> Self {
+        for d in 0..3 {
+            assert!(self.local[d] > 0, "local size must be positive");
+            assert!(
+                self.global[d].is_multiple_of(self.local[d]),
+                "global size {} not a multiple of local size {} in dim {d}",
+                self.global[d],
+                self.local[d]
+            );
+        }
+        self
+    }
+
+    /// Work-group count per dimension (`Gᵢ`).
+    pub fn groups(&self) -> [usize; 3] {
+        [
+            self.global[0] / self.local[0],
+            self.global[1] / self.local[1],
+            self.global[2] / self.local[2],
+        ]
+    }
+
+    /// Total number of work groups.
+    pub fn group_count(&self) -> usize {
+        let g = self.groups();
+        g[0] * g[1] * g[2]
+    }
+
+    /// Threads per work group.
+    pub fn group_threads(&self) -> usize {
+        self.local[0] * self.local[1] * self.local[2]
+    }
+
+    /// Total number of work items.
+    pub fn total_threads(&self) -> usize {
+        self.global[0] * self.global[1] * self.global[2]
+    }
+
+    /// Convert a linear group index into a `(g₁, g₂, g₃)` coordinate
+    /// (dimension 0 fastest, matching OpenCL's column-major enumeration).
+    pub fn group_coord(&self, linear: usize) -> [usize; 3] {
+        let g = self.groups();
+        debug_assert!(linear < self.group_count());
+        [linear % g[0], (linear / g[0]) % g[1], linear / (g[0] * g[1])]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_geometry() {
+        // n = 4096 batmaps compared all-vs-all in 16×16 tiles:
+        // 256×256 = 65536 work groups of 256 threads.
+        let r = NdRange::d2([4096, 4096], [16, 16]);
+        assert_eq!(r.group_count(), 65_536);
+        assert_eq!(r.group_threads(), 256);
+        assert_eq!(r.total_threads(), 4096 * 4096);
+    }
+
+    #[test]
+    fn coord_roundtrip() {
+        let r = NdRange::d3([8, 6, 4], [2, 3, 2]);
+        let g = r.groups();
+        assert_eq!(g, [4, 2, 2]);
+        let mut seen = std::collections::HashSet::new();
+        for i in 0..r.group_count() {
+            let c = r.group_coord(i);
+            assert!(c[0] < g[0] && c[1] < g[1] && c[2] < g[2]);
+            assert!(seen.insert(c));
+        }
+        assert_eq!(seen.len(), r.group_count());
+    }
+
+    #[test]
+    #[should_panic]
+    fn indivisible_global_rejected() {
+        let _ = NdRange::d1(100, 16);
+    }
+
+    #[test]
+    fn d1_is_degenerate_3d() {
+        let r = NdRange::d1(64, 16);
+        assert_eq!(r.groups(), [4, 1, 1]);
+        assert_eq!(r.group_threads(), 16);
+    }
+}

@@ -1,0 +1,88 @@
+//! Per-launch performance counters.
+//!
+//! Each work group accumulates counters locally while it runs; the
+//! executor folds them into a single [`KernelStats`] for the launch.
+//! The analytic timing model consumes exactly these numbers.
+
+use serde::{Deserialize, Serialize};
+use std::ops::AddAssign;
+
+/// Counters accumulated during kernel execution.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct KernelStats {
+    /// Global-memory transactions issued (coalesced segment moves).
+    pub transactions: u64,
+    /// Bytes moved across the global-memory bus (incl. wasted segment
+    /// parts).
+    pub bus_bytes: u64,
+    /// Bytes the threads actually requested.
+    pub useful_bytes: u64,
+    /// Scalar instructions retired (as charged by the kernel).
+    pub ops: u64,
+    /// Shared-memory accesses (word granularity).
+    pub shared_accesses: u64,
+    /// Work-group barriers executed.
+    pub barriers: u64,
+    /// Warp-divergent branch events (extra serialized paths).
+    pub divergent_branches: u64,
+    /// Work groups executed.
+    pub groups: u64,
+}
+
+impl KernelStats {
+    /// Bus efficiency over the whole launch.
+    pub fn efficiency(&self) -> f64 {
+        if self.bus_bytes == 0 {
+            1.0
+        } else {
+            self.useful_bytes as f64 / self.bus_bytes as f64
+        }
+    }
+}
+
+impl AddAssign for KernelStats {
+    fn add_assign(&mut self, rhs: KernelStats) {
+        self.transactions += rhs.transactions;
+        self.bus_bytes += rhs.bus_bytes;
+        self.useful_bytes += rhs.useful_bytes;
+        self.ops += rhs.ops;
+        self.shared_accesses += rhs.shared_accesses;
+        self.barriers += rhs.barriers;
+        self.divergent_branches += rhs.divergent_branches;
+        self.groups += rhs.groups;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn add_assign_sums_fields() {
+        let mut a = KernelStats {
+            transactions: 1,
+            bus_bytes: 64,
+            useful_bytes: 32,
+            ops: 10,
+            shared_accesses: 5,
+            barriers: 1,
+            divergent_branches: 0,
+            groups: 1,
+        };
+        a += a;
+        assert_eq!(a.transactions, 2);
+        assert_eq!(a.bus_bytes, 128);
+        assert_eq!(a.groups, 2);
+    }
+
+    #[test]
+    fn efficiency_bounds() {
+        let s = KernelStats {
+            bus_bytes: 128,
+            useful_bytes: 64,
+            ..Default::default()
+        };
+        assert_eq!(s.efficiency(), 0.5);
+        assert_eq!(KernelStats::default().efficiency(), 1.0);
+    }
+}

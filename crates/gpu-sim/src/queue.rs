@@ -1,0 +1,166 @@
+//! A command queue: the host-side view of a sequence of transfers and
+//! kernel launches, with aggregate accounting.
+//!
+//! The paper's pipeline is exactly such a sequence — one batmap upload,
+//! then one launch per k×k tile — and its reported times are sums over
+//! it. `CommandQueue` centralizes that bookkeeping (and the watchdog
+//! check per §III-C) so drivers don't hand-roll accumulators.
+
+use crate::device::DeviceSpec;
+use crate::executor::{dispatch, LaunchReport};
+use crate::kernel::Kernel;
+use crate::memory::GlobalBuffer;
+use crate::ndrange::NdRange;
+use crate::profiler::KernelStats;
+
+/// An in-order simulated command queue on one device.
+#[derive(Debug)]
+pub struct CommandQueue<'d> {
+    device: &'d DeviceSpec,
+    /// Accumulated simulated seconds (transfers + launches).
+    elapsed_s: f64,
+    /// Seconds spent in host↔device transfers.
+    transfer_s: f64,
+    /// Folded kernel counters.
+    stats: KernelStats,
+    /// Launches that exceeded the display watchdog.
+    watchdog_violations: usize,
+    /// Number of kernel launches.
+    launches: usize,
+}
+
+impl<'d> CommandQueue<'d> {
+    /// Open a queue on `device`.
+    pub fn new(device: &'d DeviceSpec) -> Self {
+        CommandQueue {
+            device,
+            elapsed_s: 0.0,
+            transfer_s: 0.0,
+            stats: KernelStats::default(),
+            watchdog_violations: 0,
+            launches: 0,
+        }
+    }
+
+    /// The queue's device.
+    pub fn device(&self) -> &DeviceSpec {
+        self.device
+    }
+
+    /// Enqueue a host→device (or device→host) transfer of `buffer`.
+    pub fn enqueue_transfer(&mut self, buffer: &GlobalBuffer) {
+        let t = buffer.transfer_time(self.device);
+        self.transfer_s += t;
+        self.elapsed_s += t;
+    }
+
+    /// Enqueue one kernel launch; returns its report (results included)
+    /// while folding its time and counters into the queue totals.
+    pub fn enqueue_kernel<K: Kernel>(&mut self, kernel: &K, range: NdRange) -> LaunchReport {
+        let report = dispatch(self.device, kernel, range);
+        self.elapsed_s += report.seconds();
+        self.stats += report.stats;
+        if report.exceeds_watchdog(self.device) {
+            self.watchdog_violations += 1;
+        }
+        self.launches += 1;
+        report
+    }
+
+    /// Total simulated seconds enqueued so far.
+    pub fn elapsed_seconds(&self) -> f64 {
+        self.elapsed_s
+    }
+
+    /// Seconds of that spent on transfers.
+    pub fn transfer_seconds(&self) -> f64 {
+        self.transfer_s
+    }
+
+    /// Folded kernel counters across all launches.
+    pub fn stats(&self) -> &KernelStats {
+        &self.stats
+    }
+
+    /// Number of kernel launches enqueued.
+    pub fn launches(&self) -> usize {
+        self.launches
+    }
+
+    /// Launches that would have tripped the display watchdog (§III-C
+    /// motivates the k×k split by keeping this at zero).
+    pub fn watchdog_violations(&self) -> usize {
+        self.watchdog_violations
+    }
+
+    /// End-to-end effective rate: useful kernel bytes over total queue
+    /// time (the §IV-A "Gbyte per second" accounting, transfers
+    /// included).
+    pub fn effective_rate(&self) -> f64 {
+        if self.elapsed_s == 0.0 {
+            0.0
+        } else {
+            self.stats.useful_bytes as f64 / self.elapsed_s
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::kernel::GroupCtx;
+
+    /// Kernel that reads one aligned 16-word slice per group.
+    struct Reader<'a> {
+        input: &'a GlobalBuffer,
+    }
+
+    impl Kernel for Reader<'_> {
+        fn run_group(&self, ctx: &mut GroupCtx<'_>) {
+            let g = ctx.group_id()[0];
+            let words = ctx.load_seq(self.input, g * 16, 16);
+            let sum: u64 = words.iter().map(|&w| w as u64).sum();
+            ctx.ops(16);
+            ctx.store_seq(g, &[sum]);
+        }
+    }
+
+    #[test]
+    fn queue_accumulates_time_and_stats() {
+        let device = DeviceSpec::gtx285();
+        let input = GlobalBuffer::new((0..1024u32).collect());
+        let mut q = CommandQueue::new(&device);
+        q.enqueue_transfer(&input);
+        let t_after_transfer = q.elapsed_seconds();
+        assert!(t_after_transfer > 0.0);
+        assert_eq!(q.transfer_seconds(), t_after_transfer);
+        let kernel = Reader { input: &input };
+        let r1 = q.enqueue_kernel(&kernel, NdRange::d1(512, 16));
+        let r2 = q.enqueue_kernel(&kernel, NdRange::d1(512, 16));
+        assert_eq!(q.launches(), 2);
+        assert_eq!(q.watchdog_violations(), 0);
+        let expect = t_after_transfer + r1.seconds() + r2.seconds();
+        assert!((q.elapsed_seconds() - expect).abs() < 1e-12);
+        assert_eq!(q.stats().groups, 64);
+        assert!(q.effective_rate() > 0.0);
+    }
+
+    #[test]
+    fn watchdog_violations_counted() {
+        let mut device = DeviceSpec::gtx285();
+        device.watchdog_s = Some(1e-12);
+        let input = GlobalBuffer::new((0..256u32).collect());
+        let mut q = CommandQueue::new(&device);
+        q.enqueue_kernel(&Reader { input: &input }, NdRange::d1(256, 16));
+        assert_eq!(q.watchdog_violations(), 1);
+    }
+
+    #[test]
+    fn empty_queue_is_zero() {
+        let device = DeviceSpec::gtx285();
+        let q = CommandQueue::new(&device);
+        assert_eq!(q.elapsed_seconds(), 0.0);
+        assert_eq!(q.effective_rate(), 0.0);
+        assert_eq!(q.launches(), 0);
+    }
+}

@@ -1,0 +1,144 @@
+//! The analytic timing model.
+//!
+//! Converts a launch's [`KernelStats`] into simulated seconds on a
+//! [`DeviceSpec`]. The model is deliberately simple and documented, so
+//! its assumptions can be audited against the paper's measured numbers
+//! (EXPERIMENTS.md records both):
+//!
+//! * **Memory time** — every coalesced transaction moves a full segment:
+//!   `bus_bytes / mem_bandwidth`. Latency is assumed hidden by the
+//!   many-warp occupancy of the batmap workload (thousands of
+//!   independent work groups).
+//! * **Compute time** — scalar instructions and shared-memory accesses
+//!   retire at `compute_units × cores_per_unit × clock × ips`:
+//!   `(ops + shared_accesses) / compute_throughput`.
+//! * **Barrier time** — each barrier serializes a group for
+//!   [`BARRIER_CYCLES`] cycles on its multiprocessor.
+//! * **Divergence** — each extra serialized path costs half a warp of
+//!   idle lanes, charged as `warp/2` instructions.
+//! * Memory and compute overlap perfectly: the launch costs
+//!   `max(memory, compute) + launch_overhead`.
+//!
+//! The GT200's achievable bandwidth and dual-issue quirks are *not*
+//! modelled; this is an execution-model simulator for reproducing the
+//! paper's shapes, not a cycle-accurate GT200.
+
+use crate::device::DeviceSpec;
+use crate::profiler::KernelStats;
+use serde::{Deserialize, Serialize};
+
+/// Cycles a work-group barrier stalls its multiprocessor.
+pub const BARRIER_CYCLES: f64 = 32.0;
+
+/// Time breakdown of one simulated launch.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct LaunchTiming {
+    /// Bus-limited component in seconds.
+    pub memory_s: f64,
+    /// Instruction-limited component in seconds.
+    pub compute_s: f64,
+    /// Barrier serialization in seconds.
+    pub barrier_s: f64,
+    /// Fixed launch overhead in seconds.
+    pub overhead_s: f64,
+    /// Total simulated seconds (`max(memory, compute + barrier) +
+    /// overhead`).
+    pub total_s: f64,
+}
+
+/// Evaluate the model for one launch.
+pub fn evaluate(stats: &KernelStats, device: &DeviceSpec) -> LaunchTiming {
+    let memory_s = stats.bus_bytes as f64 / device.mem_bandwidth;
+    let divergence_ops = stats.divergent_branches as f64 * device.warp_size as f64 / 2.0;
+    let compute_s = (stats.ops as f64 + stats.shared_accesses as f64 + divergence_ops)
+        / device.compute_throughput();
+    // Barriers serialize per multiprocessor; with groups spread across
+    // units, the per-unit share is what stalls the critical path.
+    let barrier_s =
+        stats.barriers as f64 * BARRIER_CYCLES / (device.clock_hz * device.compute_units as f64);
+    let busy = memory_s.max(compute_s + barrier_s);
+    LaunchTiming {
+        memory_s,
+        compute_s,
+        barrier_s,
+        overhead_s: device.launch_overhead_s,
+        total_s: busy + device.launch_overhead_s,
+    }
+}
+
+/// Effective end-to-end bus rate of a launch in bytes/second — the
+/// number the paper quotes as "36.2 Gbyte per second" (useful bytes over
+/// total time).
+pub fn effective_rate(stats: &KernelStats, timing: &LaunchTiming) -> f64 {
+    if timing.total_s == 0.0 {
+        0.0
+    } else {
+        stats.useful_bytes as f64 / timing.total_s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn memory_bound_launch() {
+        let d = DeviceSpec::test_tiny(); // 1 MB/s bus, 4 Mops/s compute
+        let stats = KernelStats {
+            bus_bytes: 1_000_000,
+            useful_bytes: 1_000_000,
+            ops: 100, // negligible
+            ..Default::default()
+        };
+        let t = evaluate(&stats, &d);
+        assert!((t.memory_s - 1.0).abs() < 1e-9);
+        assert!(t.total_s >= t.memory_s);
+        assert!((effective_rate(&stats, &t) - 1.0e6).abs() < 1e3);
+    }
+
+    #[test]
+    fn compute_bound_launch() {
+        let d = DeviceSpec::test_tiny();
+        let stats = KernelStats {
+            bus_bytes: 64,
+            ops: 4_000_000, // 1 s of compute
+            ..Default::default()
+        };
+        let t = evaluate(&stats, &d);
+        assert!(t.compute_s > t.memory_s);
+        assert!((t.total_s - t.compute_s).abs() < 1e-6);
+    }
+
+    #[test]
+    fn barriers_add_time() {
+        let d = DeviceSpec::test_tiny();
+        let base = KernelStats {
+            ops: 1000,
+            ..Default::default()
+        };
+        let with_barriers = KernelStats {
+            barriers: 1000,
+            ..base
+        };
+        assert!(evaluate(&with_barriers, &d).total_s > evaluate(&base, &d).total_s);
+    }
+
+    #[test]
+    fn divergence_costs_half_warp() {
+        let d = DeviceSpec::gtx285();
+        let diverged = KernelStats {
+            divergent_branches: 1_000_000,
+            ..Default::default()
+        };
+        let t = evaluate(&diverged, &d);
+        let expected = 1_000_000.0 * 16.0 / d.compute_throughput();
+        assert!((t.compute_s - expected).abs() / expected < 1e-9);
+    }
+
+    #[test]
+    fn overhead_always_present() {
+        let d = DeviceSpec::gtx285();
+        let t = evaluate(&KernelStats::default(), &d);
+        assert_eq!(t.total_s, d.launch_overhead_s);
+    }
+}

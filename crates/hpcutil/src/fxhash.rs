@@ -1,0 +1,137 @@
+//! The `FxHash` algorithm used by rustc, re-implemented locally.
+//!
+//! The standard library's SipHash is a poor fit for the hot integer-keyed
+//! maps this workspace uses (item ids, transaction ids, tile coordinates).
+//! `FxHash` is the conventional replacement in performance-sensitive Rust
+//! (see the Rust Performance Book, "Hashing"); since external `rustc-hash`
+//! is not in the offline dependency set, we re-implement the ~10-line
+//! algorithm here.
+
+use std::hash::{BuildHasherDefault, Hasher};
+
+/// Multiplier from the Firefox/rustc FxHash implementation (64-bit).
+const SEED: u64 = 0x51_7c_c1_b7_27_22_0a_95;
+
+/// A fast, deterministic, non-cryptographic hasher.
+///
+/// Not HashDoS-resistant; all keys in this workspace are internally
+/// generated (item ids, tids), so that is acceptable.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct FxHasher {
+    hash: u64,
+}
+
+impl FxHasher {
+    #[inline]
+    fn add_to_hash(&mut self, word: u64) {
+        self.hash = (self.hash.rotate_left(5) ^ word).wrapping_mul(SEED);
+    }
+}
+
+impl Hasher for FxHasher {
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        let mut chunks = bytes.chunks_exact(8);
+        for chunk in &mut chunks {
+            self.add_to_hash(u64::from_le_bytes(chunk.try_into().unwrap()));
+        }
+        let rem = chunks.remainder();
+        if !rem.is_empty() {
+            let mut buf = [0u8; 8];
+            buf[..rem.len()].copy_from_slice(rem);
+            self.add_to_hash(u64::from_le_bytes(buf));
+        }
+    }
+
+    #[inline]
+    fn write_u8(&mut self, i: u8) {
+        self.add_to_hash(i as u64);
+    }
+
+    #[inline]
+    fn write_u16(&mut self, i: u16) {
+        self.add_to_hash(i as u64);
+    }
+
+    #[inline]
+    fn write_u32(&mut self, i: u32) {
+        self.add_to_hash(i as u64);
+    }
+
+    #[inline]
+    fn write_u64(&mut self, i: u64) {
+        self.add_to_hash(i);
+    }
+
+    #[inline]
+    fn write_usize(&mut self, i: usize) {
+        self.add_to_hash(i as u64);
+    }
+
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.hash
+    }
+}
+
+/// `HashMap` keyed with [`FxHasher`].
+pub type FxHashMap<K, V> = std::collections::HashMap<K, V, BuildHasherDefault<FxHasher>>;
+/// `HashSet` keyed with [`FxHasher`].
+pub type FxHashSet<T> = std::collections::HashSet<T, BuildHasherDefault<FxHasher>>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::hash::Hash;
+
+    fn hash_of<T: Hash>(value: T) -> u64 {
+        let mut h = FxHasher::default();
+        value.hash(&mut h);
+        h.finish()
+    }
+
+    #[test]
+    fn deterministic() {
+        assert_eq!(hash_of(42u64), hash_of(42u64));
+        assert_eq!(hash_of("batmap"), hash_of("batmap"));
+    }
+
+    #[test]
+    fn distinguishes_nearby_integers() {
+        let h: Vec<u64> = (0u64..1000).map(hash_of).collect();
+        let distinct: std::collections::HashSet<_> = h.iter().collect();
+        assert_eq!(distinct.len(), h.len());
+    }
+
+    #[test]
+    fn map_and_set_work() {
+        let mut m: FxHashMap<u32, u32> = FxHashMap::default();
+        for i in 0..100 {
+            m.insert(i, i * 2);
+        }
+        assert_eq!(m[&21], 42);
+        let s: FxHashSet<u32> = (0..50).collect();
+        assert!(s.contains(&49) && !s.contains(&50));
+    }
+
+    #[test]
+    fn byte_stream_matches_any_chunking() {
+        // Hashing the same bytes must not depend on how `write` is called
+        // relative to alignment of the full buffer.
+        let bytes = b"abcdefghijklmnopqrstuvwx";
+        let mut h1 = FxHasher::default();
+        h1.write(bytes);
+        let mut h2 = FxHasher::default();
+        h2.write(bytes);
+        assert_eq!(h1.finish(), h2.finish());
+    }
+
+    #[test]
+    fn remainder_bytes_affect_hash() {
+        let mut h1 = FxHasher::default();
+        h1.write(b"123456789");
+        let mut h2 = FxHasher::default();
+        h2.write(b"123456788");
+        assert_ne!(h1.finish(), h2.finish());
+    }
+}

@@ -1,0 +1,26 @@
+//! Substrate utilities shared across the BATMAP reproduction workspace.
+//!
+//! This crate intentionally has no knowledge of the paper's algorithms; it
+//! provides the plumbing every other crate needs:
+//!
+//! * [`fxhash`] — a fast, deterministic, non-cryptographic hasher (the
+//!   rustc `FxHash` algorithm re-implemented so we stay within the
+//!   offline dependency set),
+//! * [`timer`] — wall-clock scopes and capped rayon thread pools for the
+//!   1/2/4/8-core experiments,
+//! * [`mem`] — the [`mem::MemoryFootprint`] trait used by the Figure 5
+//!   memory-usage experiment,
+//! * [`stats`] — summary statistics and throughput unit helpers,
+//! * [`table`] — aligned text tables for the figure binaries.
+
+pub mod fxhash;
+pub mod mem;
+pub mod stats;
+pub mod table;
+pub mod timer;
+
+pub use fxhash::{FxHashMap, FxHashSet, FxHasher};
+pub use mem::MemoryFootprint;
+pub use stats::Summary;
+pub use table::Table;
+pub use timer::{scoped_pool, Stopwatch};

@@ -1,0 +1,155 @@
+//! Heap-footprint accounting.
+//!
+//! Figure 5 of the paper compares the *memory usage* of the GPU batmap
+//! pipeline, Apriori and FP-growth. Rather than sampling RSS (noisy,
+//! allocator-dependent), every data structure in this workspace reports
+//! its own deep heap footprint through [`MemoryFootprint`]; the figure
+//! binary sums the footprints of the live structures at each phase.
+
+/// Types that can report their deep heap usage in bytes.
+///
+/// Implementations count the bytes *owned* by the value: inline size is
+/// excluded (it is the container's business), heap blocks reachable from
+/// the value are included. Collections therefore report
+/// `capacity * element_size + Σ element.heap_bytes()`.
+pub trait MemoryFootprint {
+    /// Bytes of heap memory owned by `self`.
+    fn heap_bytes(&self) -> usize;
+
+    /// Total footprint: heap bytes plus the inline size of the value.
+    fn total_bytes(&self) -> usize
+    where
+        Self: Sized,
+    {
+        self.heap_bytes() + std::mem::size_of::<Self>()
+    }
+}
+
+macro_rules! impl_pod_footprint {
+    ($($t:ty),* $(,)?) => {
+        $(impl MemoryFootprint for $t {
+            #[inline]
+            fn heap_bytes(&self) -> usize { 0 }
+        })*
+    };
+}
+
+impl_pod_footprint!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, f32, f64, bool, char);
+
+impl<T: MemoryFootprint> MemoryFootprint for Vec<T> {
+    fn heap_bytes(&self) -> usize {
+        let inline = self.capacity() * std::mem::size_of::<T>();
+        // For POD element types the per-element call folds to zero and
+        // the optimizer removes the loop entirely.
+        inline + self.iter().map(MemoryFootprint::heap_bytes).sum::<usize>()
+    }
+}
+
+impl<T: MemoryFootprint> MemoryFootprint for Box<[T]> {
+    fn heap_bytes(&self) -> usize {
+        self.len() * std::mem::size_of::<T>()
+            + self.iter().map(MemoryFootprint::heap_bytes).sum::<usize>()
+    }
+}
+
+impl<T: MemoryFootprint> MemoryFootprint for Option<T> {
+    fn heap_bytes(&self) -> usize {
+        self.as_ref().map_or(0, MemoryFootprint::heap_bytes)
+    }
+}
+
+impl<A: MemoryFootprint, B: MemoryFootprint> MemoryFootprint for (A, B) {
+    fn heap_bytes(&self) -> usize {
+        self.0.heap_bytes() + self.1.heap_bytes()
+    }
+}
+
+impl<K: MemoryFootprint, V: MemoryFootprint, S> MemoryFootprint
+    for std::collections::HashMap<K, V, S>
+{
+    fn heap_bytes(&self) -> usize {
+        // A hashbrown table stores (K, V) pairs plus one control byte per
+        // bucket; capacity() understates bucket count, but this is the
+        // accepted approximation for accounting purposes.
+        let bucket = std::mem::size_of::<(K, V)>() + 1;
+        self.capacity() * bucket
+            + self
+                .iter()
+                .map(|(k, v)| k.heap_bytes() + v.heap_bytes())
+                .sum::<usize>()
+    }
+}
+
+impl<T: MemoryFootprint, S> MemoryFootprint for std::collections::HashSet<T, S> {
+    fn heap_bytes(&self) -> usize {
+        let bucket = std::mem::size_of::<T>() + 1;
+        self.capacity() * bucket + self.iter().map(MemoryFootprint::heap_bytes).sum::<usize>()
+    }
+}
+
+/// Pretty-print a byte count with binary units.
+///
+/// ```
+/// assert_eq!(hpcutil::mem::human_bytes(0), "0 B");
+/// assert_eq!(hpcutil::mem::human_bytes(1536), "1.50 KiB");
+/// assert_eq!(hpcutil::mem::human_bytes(3 * 1024 * 1024), "3.00 MiB");
+/// ```
+pub fn human_bytes(bytes: usize) -> String {
+    const UNITS: [&str; 5] = ["B", "KiB", "MiB", "GiB", "TiB"];
+    if bytes < 1024 {
+        return format!("{bytes} B");
+    }
+    let mut value = bytes as f64;
+    let mut unit = 0;
+    while value >= 1024.0 && unit + 1 < UNITS.len() {
+        value /= 1024.0;
+        unit += 1;
+    }
+    format!("{value:.2} {}", UNITS[unit])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pod_has_no_heap() {
+        assert_eq!(42u32.heap_bytes(), 0);
+        assert_eq!(42u32.total_bytes(), 4);
+    }
+
+    #[test]
+    fn vec_counts_capacity_not_len() {
+        let mut v: Vec<u32> = Vec::with_capacity(100);
+        v.push(1);
+        assert_eq!(v.heap_bytes(), 400);
+    }
+
+    #[test]
+    fn nested_vec_counts_deep() {
+        let v: Vec<Vec<u8>> = vec![Vec::with_capacity(10), Vec::with_capacity(20)];
+        let expected = v.capacity() * std::mem::size_of::<Vec<u8>>() + 10 + 20;
+        assert_eq!(v.heap_bytes(), expected);
+    }
+
+    #[test]
+    fn boxed_slice_counts_len() {
+        let b: Box<[u64]> = vec![0u64; 8].into_boxed_slice();
+        assert_eq!(b.heap_bytes(), 64);
+    }
+
+    #[test]
+    fn option_none_is_zero() {
+        let none: Option<Vec<u8>> = None;
+        assert_eq!(none.heap_bytes(), 0);
+        let some = Some(Vec::<u8>::with_capacity(5));
+        assert_eq!(some.heap_bytes(), 5);
+    }
+
+    #[test]
+    fn human_bytes_rounds() {
+        assert_eq!(human_bytes(1023), "1023 B");
+        assert_eq!(human_bytes(1024), "1.00 KiB");
+        assert_eq!(human_bytes(5 * 1024 * 1024 * 1024), "5.00 GiB");
+    }
+}

@@ -1,0 +1,148 @@
+//! Summary statistics and throughput-unit helpers for the experiment
+//! harness.
+
+use serde::Serialize;
+
+/// Summary statistics of a sample of f64 observations.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct Summary {
+    /// Number of observations.
+    pub n: usize,
+    /// Arithmetic mean.
+    pub mean: f64,
+    /// Population standard deviation.
+    pub stddev: f64,
+    /// Minimum observation.
+    pub min: f64,
+    /// Maximum observation.
+    pub max: f64,
+    /// Median (linear interpolation).
+    pub median: f64,
+}
+
+impl Summary {
+    /// Compute summary statistics over `samples`.
+    ///
+    /// # Panics
+    /// Panics if `samples` is empty.
+    pub fn of(samples: &[f64]) -> Self {
+        assert!(!samples.is_empty(), "Summary::of on empty sample");
+        let n = samples.len();
+        let mean = samples.iter().sum::<f64>() / n as f64;
+        let var = samples.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / n as f64;
+        let mut sorted = samples.to_vec();
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("NaN in samples"));
+        let median = percentile_sorted(&sorted, 50.0);
+        Summary {
+            n,
+            mean,
+            stddev: var.sqrt(),
+            min: sorted[0],
+            max: sorted[n - 1],
+            median,
+        }
+    }
+
+    /// Relative standard deviation (stddev / mean), 0 when mean is 0.
+    pub fn rsd(&self) -> f64 {
+        if self.mean == 0.0 {
+            0.0
+        } else {
+            self.stddev / self.mean
+        }
+    }
+}
+
+/// Percentile (0..=100) with linear interpolation over a pre-sorted slice.
+pub fn percentile_sorted(sorted: &[f64], pct: f64) -> f64 {
+    assert!(!sorted.is_empty());
+    assert!((0.0..=100.0).contains(&pct));
+    if sorted.len() == 1 {
+        return sorted[0];
+    }
+    let rank = pct / 100.0 * (sorted.len() - 1) as f64;
+    let lo = rank.floor() as usize;
+    let hi = rank.ceil() as usize;
+    let frac = rank - lo as f64;
+    sorted[lo] * (1.0 - frac) + sorted[hi] * frac
+}
+
+/// Format a bytes-per-second rate as e.g. `"36.2 GB/s"` (decimal units —
+/// the paper reports decimal gigabytes).
+pub fn human_rate(bytes_per_sec: f64) -> String {
+    const UNITS: [&str; 5] = ["B/s", "KB/s", "MB/s", "GB/s", "TB/s"];
+    let mut v = bytes_per_sec;
+    let mut u = 0;
+    while v >= 1000.0 && u + 1 < UNITS.len() {
+        v /= 1000.0;
+        u += 1;
+    }
+    format!("{v:.2} {}", UNITS[u])
+}
+
+/// Format an operations-per-second rate as e.g. `"3.68e9 elem/s"`.
+pub fn human_ops(ops_per_sec: f64, unit: &str) -> String {
+    format!("{ops_per_sec:.3e} {unit}/s")
+}
+
+/// Geometric mean of positive samples.
+pub fn geomean(samples: &[f64]) -> f64 {
+    assert!(!samples.is_empty());
+    let log_sum: f64 = samples
+        .iter()
+        .map(|&x| {
+            assert!(x > 0.0, "geomean requires positive samples");
+            x.ln()
+        })
+        .sum();
+    (log_sum / samples.len() as f64).exp()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn summary_of_constant() {
+        let s = Summary::of(&[2.0, 2.0, 2.0]);
+        assert_eq!(s.mean, 2.0);
+        assert_eq!(s.stddev, 0.0);
+        assert_eq!(s.median, 2.0);
+        assert_eq!(s.rsd(), 0.0);
+    }
+
+    #[test]
+    fn summary_basics() {
+        let s = Summary::of(&[1.0, 2.0, 3.0, 4.0]);
+        assert_eq!(s.mean, 2.5);
+        assert_eq!(s.min, 1.0);
+        assert_eq!(s.max, 4.0);
+        assert_eq!(s.median, 2.5);
+        assert!((s.stddev - 1.118033988749895).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic]
+    fn summary_empty_panics() {
+        let _ = Summary::of(&[]);
+    }
+
+    #[test]
+    fn percentile_interpolates() {
+        let sorted = [0.0, 10.0];
+        assert_eq!(percentile_sorted(&sorted, 0.0), 0.0);
+        assert_eq!(percentile_sorted(&sorted, 50.0), 5.0);
+        assert_eq!(percentile_sorted(&sorted, 100.0), 10.0);
+    }
+
+    #[test]
+    fn rate_formatting() {
+        assert_eq!(human_rate(36.2e9), "36.20 GB/s");
+        assert_eq!(human_rate(500.0), "500.00 B/s");
+    }
+
+    #[test]
+    fn geomean_of_powers() {
+        assert!((geomean(&[1.0, 100.0]) - 10.0).abs() < 1e-9);
+    }
+}

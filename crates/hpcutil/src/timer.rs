@@ -1,0 +1,131 @@
+//! Wall-clock timing scopes and capped thread pools.
+//!
+//! The paper's multicore experiments (Figs. 9 and 11) sweep over 1, 2, 4
+//! and 8 cores; [`scoped_pool`] builds a rayon pool with exactly that many
+//! threads so the sweep is reproducible regardless of the host's core
+//! count.
+
+use std::time::{Duration, Instant};
+
+/// A simple wall-clock stopwatch with lap support.
+///
+/// ```
+/// use hpcutil::Stopwatch;
+/// let mut sw = Stopwatch::start();
+/// let _work: u64 = (0..1000u64).sum();
+/// let lap = sw.lap();
+/// assert!(lap >= std::time::Duration::ZERO);
+/// assert!(sw.total() >= lap);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Stopwatch {
+    start: Instant,
+    last_lap: Instant,
+}
+
+impl Stopwatch {
+    /// Start a new stopwatch.
+    pub fn start() -> Self {
+        let now = Instant::now();
+        Stopwatch {
+            start: now,
+            last_lap: now,
+        }
+    }
+
+    /// Time elapsed since the previous `lap` call (or since start), and
+    /// reset the lap marker.
+    pub fn lap(&mut self) -> Duration {
+        let now = Instant::now();
+        let d = now - self.last_lap;
+        self.last_lap = now;
+        d
+    }
+
+    /// Total time since the stopwatch was started.
+    pub fn total(&self) -> Duration {
+        self.start.elapsed()
+    }
+}
+
+/// Run `f` inside a rayon pool with exactly `threads` worker threads and
+/// return its result.
+///
+/// Used by the core-count sweeps; a fresh pool per call keeps runs
+/// independent (no warm work-stealing state leaks between sweep points).
+pub fn scoped_pool<R: Send>(threads: usize, f: impl FnOnce() -> R + Send) -> R {
+    let pool = rayon::ThreadPoolBuilder::new()
+        .num_threads(threads)
+        .build()
+        .expect("failed to build rayon pool");
+    pool.install(f)
+}
+
+/// Time a closure, returning `(result, wall_seconds)`.
+pub fn time<R>(f: impl FnOnce() -> R) -> (R, f64) {
+    let t0 = Instant::now();
+    let r = f();
+    (r, t0.elapsed().as_secs_f64())
+}
+
+/// Run `f` repeatedly until at least `min_total` has elapsed or `max_reps`
+/// is reached; returns the mean seconds per repetition.
+///
+/// This is the cheap fallback harness for the figure binaries (Criterion
+/// is used for the micro-benches; the figure sweeps need one number per
+/// configuration, fast).
+pub fn time_reps(min_total: Duration, max_reps: usize, mut f: impl FnMut()) -> f64 {
+    let t0 = Instant::now();
+    let mut reps = 0usize;
+    while reps < max_reps && (reps == 0 || t0.elapsed() < min_total) {
+        f();
+        reps += 1;
+    }
+    t0.elapsed().as_secs_f64() / reps as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stopwatch_monotonic() {
+        let mut sw = Stopwatch::start();
+        let a = sw.lap();
+        let b = sw.lap();
+        assert!(a >= Duration::ZERO && b >= Duration::ZERO);
+        assert!(sw.total() >= a + b);
+    }
+
+    #[test]
+    fn scoped_pool_uses_requested_threads() {
+        for threads in [1usize, 2, 4] {
+            let n = scoped_pool(threads, rayon::current_num_threads);
+            assert_eq!(n, threads);
+        }
+    }
+
+    #[test]
+    fn scoped_pool_returns_value() {
+        let v = scoped_pool(2, || {
+            use rayon::prelude::*;
+            (0..1000u64).into_par_iter().sum::<u64>()
+        });
+        assert_eq!(v, 499_500);
+    }
+
+    #[test]
+    fn time_reps_runs_at_least_once() {
+        let mut count = 0;
+        let per = time_reps(Duration::ZERO, 5, || count += 1);
+        assert_eq!(count, 1);
+        assert!(per >= 0.0);
+    }
+
+    #[test]
+    fn time_reps_respects_max() {
+        let mut count = 0;
+        time_reps(Duration::from_secs(60), 3, || count += 1);
+        assert_eq!(count, 3);
+    }
+}

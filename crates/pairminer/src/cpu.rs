@@ -1,0 +1,104 @@
+//! Multicore CPU execution of the batmap comparisons.
+//!
+//! The same tile schedule as the GPU path, executed for real on host
+//! cores with rayon — this is the "running the algorithm on the 8 CPU
+//! cores on our system" comparison (§IV-A finds the GPU ~5× faster) and
+//! the measurement engine behind Fig. 11.
+
+use crate::preprocess::Preprocessed;
+use crate::schedule::Tile;
+use batmap::swar;
+use rayon::prelude::*;
+
+/// Counts for one tile computed on the CPU: row-major `rows × cols`,
+/// identical layout to the GPU path.
+pub fn run_tile_cpu(pre: &Preprocessed, tile: &Tile) -> Vec<u64> {
+    let mut counts = vec![0u64; tile.rows * tile.cols];
+    counts
+        .par_chunks_mut(tile.cols)
+        .enumerate()
+        .for_each(|(r, row_out)| {
+            let a = &pre.batmaps[tile.row_base + r];
+            for (c, out) in row_out.iter_mut().enumerate() {
+                let b = &pre.batmaps[tile.col_base + c];
+                *out = a.intersect_count(b);
+            }
+        });
+    counts
+}
+
+/// The Fig. 11 micro-measurement: element-wise SWAR comparison of two
+/// word arrays of `words` 32-bit integers, repeated `reps` times,
+/// partitioned across the current rayon pool. Returns the total number
+/// of bytes processed per second of wall time (both arrays count, as in
+/// the paper's "size 20 Mbyte" = 2 × 10 MB framing).
+///
+/// Call inside `hpcutil::scoped_pool(cores, …)` to pin the core count.
+pub fn swar_throughput(words: usize, reps: usize) -> f64 {
+    // Fill with a pattern that produces some matches (content does not
+    // affect timing — the kernel is branch-free — but keep it honest).
+    let a: Vec<u32> = (0..words).map(|i| (i as u32).wrapping_mul(2654435761)).collect();
+    let b: Vec<u32> = (0..words)
+        .map(|i| {
+            if i % 3 == 0 {
+                (i as u32).wrapping_mul(2654435761)
+            } else {
+                (i as u32).wrapping_mul(40503)
+            }
+        })
+        .collect();
+    let threads = rayon::current_num_threads();
+    let chunk = words.div_ceil(threads);
+    let t0 = std::time::Instant::now();
+    let mut total = 0u64;
+    for _ in 0..reps {
+        total += a
+            .par_chunks(chunk)
+            .zip(b.par_chunks(chunk))
+            .map(|(ca, cb)| {
+                let mut acc = 0u64;
+                for (&x, &y) in ca.iter().zip(cb) {
+                    acc += swar::match_count_u32(x, y) as u64;
+                }
+                acc
+            })
+            .sum::<u64>();
+    }
+    let secs = t0.elapsed().as_secs_f64();
+    std::hint::black_box(total);
+    (words as f64 * 4.0 * 2.0 * reps as f64) / secs
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gpu::{run_tile, DeviceData};
+    use crate::preprocess::preprocess;
+    use crate::schedule::schedule;
+    use fim::{TransactionDb, VerticalDb};
+    use gpu_sim::DeviceSpec;
+
+    #[test]
+    fn cpu_and_gpu_tiles_agree() {
+        let db = TransactionDb::new(
+            24,
+            (0..400usize)
+                .map(|t| (0..24).filter(|&i| (t + i as usize).is_multiple_of(5)).collect())
+                .collect(),
+        );
+        let v = VerticalDb::from_horizontal(&db);
+        let pre = preprocess(&v, 13, 128);
+        let data = DeviceData::upload(&pre);
+        for tile in schedule(pre.padded_items(), 16) {
+            let gpu = run_tile(&DeviceSpec::gtx285(), &data, tile);
+            let cpu = run_tile_cpu(&pre, &tile);
+            assert_eq!(gpu.counts, cpu, "tile ({},{})", tile.p, tile.q);
+        }
+    }
+
+    #[test]
+    fn throughput_is_positive_and_scales_sanely() {
+        let rate = hpcutil::scoped_pool(2, || swar_throughput(1 << 16, 4));
+        assert!(rate > 1e6, "implausibly low rate {rate}");
+    }
+}

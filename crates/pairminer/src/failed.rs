@@ -1,0 +1,179 @@
+//! Failed-insertion postprocessing (§III-C, "Failed insertions").
+//!
+//! When insertion of tid `b` into item `i`'s batmap fails, the batmap
+//! comparison under-counts every pair `{i, c}` with `c` co-occurring in
+//! transaction `b`. The paper's fix: let `F_b` be the items whose
+//! insertion of `b` failed and `A_b` all items of transaction `b`; for
+//! every `a ∈ F_b, c ∈ A_b` form the pair `(min, max)` and store it in a
+//! set `M_{p,q}` keyed by the tile that owns the pair; when `Z_{p,q}`
+//! returns from the GPU, extend it with `M_{p,q}`'s pairs.
+
+use crate::schedule::Tile;
+use fim::TransactionDb;
+use hpcutil::{FxHashMap, FxHashSet};
+
+/// Missing pair counts, bucketed per tile `(p, q)` in sorted-item space.
+#[derive(Debug, Clone, Default)]
+pub struct FailedPairs {
+    /// `(p, q) → ((sᵢ, sⱼ) → missing count)`, `sᵢ < sⱼ` sorted indices.
+    tiles: FxHashMap<(u32, u32), FxHashMap<(u32, u32), u64>>,
+    /// Total missing pair-occurrences (for reporting).
+    total: u64,
+}
+
+impl FailedPairs {
+    /// Build from the preprocessing failure list.
+    ///
+    /// * `failed` — `(sorted item index, tid)` pairs from preprocessing.
+    /// * `db` — the horizontal database (`A_b` comes from here).
+    /// * `item_to_sorted` — original item id → sorted index.
+    /// * `k` — tile side, for bucketing.
+    pub fn build(
+        failed: &[(u32, u32)],
+        db: &TransactionDb,
+        item_to_sorted: &[u32],
+        k: usize,
+    ) -> Self {
+        let mut by_tid: FxHashMap<u32, Vec<u32>> = FxHashMap::default();
+        for &(s, tid) in failed {
+            by_tid.entry(tid).or_default().push(s);
+        }
+        let mut out = FailedPairs::default();
+        for (&tid, f_b) in &by_tid {
+            let a_b: Vec<u32> = db.transactions()[tid as usize]
+                .iter()
+                .map(|&item| item_to_sorted[item as usize])
+                .collect();
+            // Set semantics per transaction: if both endpoints failed,
+            // the pair appears from both sides of F_b × A_b — count it
+            // once ("store each pair in a set").
+            let mut pairs_of_b: FxHashSet<(u32, u32)> = FxHashSet::default();
+            for &a in f_b {
+                for &c in &a_b {
+                    if a != c {
+                        pairs_of_b.insert((a.min(c), a.max(c)));
+                    }
+                }
+            }
+            for (si, sj) in pairs_of_b {
+                let key = ((si as usize / k) as u32, (sj as usize / k) as u32);
+                *out.tiles.entry(key).or_default().entry((si, sj)).or_insert(0) += 1;
+                out.total += 1;
+            }
+        }
+        out
+    }
+
+    /// Missing counts belonging to one tile (None when the tile is
+    /// clean — the common case).
+    pub fn for_tile(&self, tile: &Tile) -> Option<&FxHashMap<(u32, u32), u64>> {
+        self.tiles.get(&(tile.p, tile.q))
+    }
+
+    /// Total missing pair-occurrences across all tiles.
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// True when no insertion failed.
+    pub fn is_empty(&self) -> bool {
+        self.tiles.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn db() -> TransactionDb {
+        TransactionDb::new(4, vec![vec![0, 1, 2], vec![1, 2, 3], vec![0, 3]])
+    }
+
+    #[test]
+    fn empty_failures_empty_pairs() {
+        let f = FailedPairs::build(&[], &db(), &[0, 1, 2, 3], 16);
+        assert!(f.is_empty());
+        assert_eq!(f.total(), 0);
+    }
+
+    #[test]
+    fn single_failure_produces_cooccurrence_pairs() {
+        // Identity sorted order; item 1 failed to store tid 0.
+        // A_0 = {0,1,2} → pairs (0,1) and (1,2), each missing once.
+        let f = FailedPairs::build(&[(1, 0)], &db(), &[0, 1, 2, 3], 16);
+        assert_eq!(f.total(), 2);
+        let tile = Tile {
+            p: 0,
+            q: 0,
+            row_base: 0,
+            col_base: 0,
+            rows: 16,
+            cols: 16,
+        };
+        let m = f.for_tile(&tile).unwrap();
+        assert_eq!(m[&(0, 1)], 1);
+        assert_eq!(m[&(1, 2)], 1);
+        assert_eq!(m.len(), 2);
+    }
+
+    #[test]
+    fn double_failure_counted_once_per_transaction() {
+        // Both items 1 and 2 failed tid 0: pair (1,2) must appear once,
+        // not twice (the paper's min/max set trick).
+        let f = FailedPairs::build(&[(1, 0), (2, 0)], &db(), &[0, 1, 2, 3], 16);
+        let tile = Tile {
+            p: 0,
+            q: 0,
+            row_base: 0,
+            col_base: 0,
+            rows: 16,
+            cols: 16,
+        };
+        let m = f.for_tile(&tile).unwrap();
+        assert_eq!(m[&(1, 2)], 1);
+        // (0,1), (0,2) also missing once each.
+        assert_eq!(m[&(0, 1)], 1);
+        assert_eq!(m[&(0, 2)], 1);
+    }
+
+    #[test]
+    fn same_pair_from_two_transactions_accumulates() {
+        // Item 1 failed tids 0 and 1; both transactions contain item 2.
+        let f = FailedPairs::build(&[(1, 0), (1, 1)], &db(), &[0, 1, 2, 3], 16);
+        let tile = Tile {
+            p: 0,
+            q: 0,
+            row_base: 0,
+            col_base: 0,
+            rows: 16,
+            cols: 16,
+        };
+        assert_eq!(f.for_tile(&tile).unwrap()[&(1, 2)], 2);
+    }
+
+    #[test]
+    fn pairs_bucket_into_the_owning_tile() {
+        // Sorted space reshuffled: item 0→17, 1→1, 2→2, 3→3 with k=16:
+        // pair (1,17) lands in tile (0,1).
+        let f = FailedPairs::build(&[(1, 0)], &db(), &[17, 1, 2, 3], 16);
+        let t01 = Tile {
+            p: 0,
+            q: 1,
+            row_base: 0,
+            col_base: 16,
+            rows: 16,
+            cols: 16,
+        };
+        let m = f.for_tile(&t01).unwrap();
+        assert_eq!(m[&(1, 17)], 1);
+        let t00 = Tile {
+            p: 0,
+            q: 0,
+            row_base: 0,
+            col_base: 0,
+            rows: 16,
+            cols: 16,
+        };
+        assert_eq!(f.for_tile(&t00).unwrap()[&(1, 2)], 1);
+    }
+}

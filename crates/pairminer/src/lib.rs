@@ -1,0 +1,37 @@
+//! # pairminer — the paper's frequent-pair-mining system
+//!
+//! End-to-end implementation of §III: host-side preprocessing (tidlists
+//! → batmaps, sorted by width), the k×k tile schedule with triangular
+//! symmetry, the §III-B comparison kernel executed on the `gpu-sim`
+//! substrate (or for real on host cores), and the failed-insertion
+//! postprocessing path.
+//!
+//! ```
+//! use pairminer::{mine, MinerConfig};
+//! use fim::TransactionDb;
+//!
+//! let db = TransactionDb::new(4, vec![
+//!     vec![0, 1, 2],
+//!     vec![1, 2, 3],
+//!     vec![0, 1],
+//! ]);
+//! let report = mine(&db, &MinerConfig::default());
+//! assert_eq!(report.pairs[&(1, 2)], 2);
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod cpu;
+pub mod failed;
+pub mod gpu;
+pub mod kitemsets;
+pub mod memory;
+pub mod miner;
+pub mod preprocess;
+pub mod schedule;
+
+pub use kitemsets::{mine_triples, TripleReport};
+pub use memory::MemoryReport;
+pub use miner::{mine, Engine, MinerConfig, MiningReport, Timings};
+pub use preprocess::{preprocess, Preprocessed, BLOCK, GPU_MIN_SHIFT};
+pub use schedule::{schedule, Tile};

@@ -1,0 +1,339 @@
+//! The top-level pair miner: preprocessing → tiling → kernel →
+//! postprocessing, with full timing and memory accounting.
+
+use crate::cpu;
+use crate::failed::FailedPairs;
+use crate::gpu::{self, DeviceData};
+use crate::memory::MemoryReport;
+use crate::preprocess::{preprocess, Preprocessed};
+use crate::schedule::{schedule, Tile};
+use fim::pairs::{pair_key, PairMap};
+use fim::{TransactionDb, VerticalDb};
+use gpu_sim::{DeviceSpec, KernelStats};
+use hpcutil::{MemoryFootprint, Stopwatch};
+
+/// Which engine executes the tile comparisons.
+#[derive(Debug, Clone)]
+pub enum Engine {
+    /// The simulated GPU (§III-B kernel on `gpu-sim`); tile times are
+    /// simulated seconds from the device model.
+    Gpu(DeviceSpec),
+    /// Real multicore execution on the host (measured wall time). Wrap
+    /// the call in `hpcutil::scoped_pool` to pin the core count.
+    Cpu,
+}
+
+/// Miner configuration.
+#[derive(Debug, Clone)]
+pub struct MinerConfig {
+    /// Tile side `k` (multiple of 16; the paper used 2048).
+    pub k: usize,
+    /// Minimum support for reported pairs (1 = all co-occurring pairs).
+    pub minsup: u64,
+    /// Hash seed for the batmap universe.
+    pub seed: u64,
+    /// Cuckoo `MaxLoop` bound.
+    pub max_loop: u32,
+    /// Execution engine.
+    pub engine: Engine,
+}
+
+impl Default for MinerConfig {
+    fn default() -> Self {
+        MinerConfig {
+            k: 2048,
+            minsup: 1,
+            seed: 0xBA7_A11,
+            max_loop: 128,
+            engine: Engine::Gpu(DeviceSpec::gtx285()),
+        }
+    }
+}
+
+/// Phase timings in seconds. GPU kernel time is *simulated*; everything
+/// else is measured host wall time.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct Timings {
+    /// Vertical conversion + batmap construction + sorting.
+    pub preprocess_s: f64,
+    /// One-time host→device transfer (simulated; 0 for CPU engine).
+    pub transfer_s: f64,
+    /// Sum of tile kernel times (simulated for GPU, measured for CPU).
+    pub kernel_s: f64,
+    /// Result harvesting + failed-pair merging + remapping.
+    pub postprocess_s: f64,
+}
+
+impl Timings {
+    /// Total of all phases.
+    pub fn total_s(&self) -> f64 {
+        self.preprocess_s + self.transfer_s + self.kernel_s + self.postprocess_s
+    }
+}
+
+/// Full mining report.
+#[derive(Debug, Clone)]
+pub struct MiningReport {
+    /// Pair supports in **original item ids**, filtered by `minsup`.
+    pub pairs: PairMap,
+    /// Phase timings.
+    pub timings: Timings,
+    /// Memory accounting.
+    pub memory: MemoryReport,
+    /// Folded GPU counters (None for the CPU engine).
+    pub gpu_stats: Option<KernelStats>,
+    /// Pair-occurrences recovered through the failed-insertion path.
+    pub failed_pair_occurrences: u64,
+    /// Number of batmap comparisons executed.
+    pub comparisons: usize,
+    /// Number of tiles whose simulated time exceeded the device
+    /// watchdog (should be 0 with a sane `k`; §III-C).
+    pub watchdog_violations: usize,
+}
+
+/// Mine all frequent pairs of `db`.
+pub fn mine(db: &TransactionDb, config: &MinerConfig) -> MiningReport {
+    let mut sw = Stopwatch::start();
+    let vertical = VerticalDb::from_horizontal(db);
+    let pre = preprocess(&vertical, config.seed, config.max_loop);
+    let preprocess_s = sw.lap().as_secs_f64();
+    let tiles = schedule(pre.padded_items(), config.k);
+    let failed = FailedPairs::build(&pre.failed, db, &pre.item_to_sorted, config.k);
+    let comparisons = crate::schedule::total_comparisons(&tiles);
+
+    let mut sorted_pairs: PairMap = PairMap::default();
+    let mut kernel_s = 0.0;
+    let mut transfer_s = 0.0;
+    let mut gpu_stats: Option<KernelStats> = None;
+    let mut watchdog_violations = 0usize;
+    let mut device_bytes = 0usize;
+    let mut tile_buffer_bytes = 0usize;
+    let mut postprocess_s = 0.0;
+
+    match &config.engine {
+        Engine::Gpu(device) => {
+            let data = DeviceData::upload(&pre);
+            device_bytes = data.buffer.bytes();
+            // One queue for the whole run: batmaps transferred once
+            // (§III-B), then one launch per tile.
+            let mut queue = gpu_sim::CommandQueue::new(device);
+            queue.enqueue_transfer(&data.buffer);
+            for tile in &tiles {
+                let result = gpu::run_tile_queued(&mut queue, &data, *tile);
+                tile_buffer_bytes = tile_buffer_bytes.max(result.counts.len() * 8);
+                let mut post = Stopwatch::start();
+                harvest_tile(tile, &result.counts, &pre, &failed, config.minsup, &mut sorted_pairs);
+                postprocess_s += post.lap().as_secs_f64();
+            }
+            transfer_s = queue.transfer_seconds();
+            kernel_s = queue.elapsed_seconds() - queue.transfer_seconds();
+            watchdog_violations = queue.watchdog_violations();
+            gpu_stats = Some(*queue.stats());
+        }
+        Engine::Cpu => {
+            for tile in &tiles {
+                let mut t = Stopwatch::start();
+                let counts = cpu::run_tile_cpu(&pre, tile);
+                kernel_s += t.lap().as_secs_f64();
+                tile_buffer_bytes = tile_buffer_bytes.max(counts.len() * 8);
+                let mut post = Stopwatch::start();
+                harvest_tile(tile, &counts, &pre, &failed, config.minsup, &mut sorted_pairs);
+                postprocess_s += post.lap().as_secs_f64();
+            }
+        }
+    }
+
+    // Remap to original item ids (thresholding already happened per
+    // tile, as the paper does when each Z_{p,q} returns).
+    let mut post = Stopwatch::start();
+    let mut pairs = PairMap::default();
+    for ((si, sj), support) in sorted_pairs {
+        let a = pre.order[si as usize];
+        let b = pre.order[sj as usize];
+        pairs.insert(pair_key(a, b), support);
+    }
+    postprocess_s += post.lap().as_secs_f64();
+
+    let memory = MemoryReport {
+        tidlists_bytes: vertical.heap_bytes(),
+        preprocessed_bytes: pre.heap_bytes(),
+        device_bytes,
+        tile_buffer_bytes,
+        failed_bytes: pre.failed.capacity() * 8,
+    };
+    MiningReport {
+        pairs,
+        timings: Timings {
+            preprocess_s,
+            transfer_s,
+            kernel_s,
+            postprocess_s,
+        },
+        memory,
+        gpu_stats,
+        failed_pair_occurrences: failed.total(),
+        comparisons,
+        watchdog_violations,
+    }
+}
+
+/// Fold one tile's dense counts into the sparse sorted-space pair map:
+/// apply the diagonal triangle filter, drop padding items, merge the
+/// tile's `M_{p,q}` missing pairs, and threshold by `minsup` — all in
+/// one pass, mirroring the paper's "extend Z_{p,q} with M_{p,q} before
+/// reporting" streaming postprocess.
+fn harvest_tile(
+    tile: &Tile,
+    counts: &[u64],
+    pre: &Preprocessed,
+    failed: &FailedPairs,
+    minsup: u64,
+    out: &mut PairMap,
+) {
+    let n = pre.n_items as usize;
+    let minsup = minsup.max(1);
+    // The tile's missing pairs (rare): cloned so consumed entries can
+    // be removed, leaving only pairs whose kernel count was zero.
+    let mut extras = failed.for_tile(tile).cloned().unwrap_or_default();
+    for i in 0..tile.rows {
+        let gi = tile.row_base + i;
+        if gi >= n {
+            break; // padding rows are at the end of the sorted order
+        }
+        let row = &counts[i * tile.cols..(i + 1) * tile.cols];
+        for (j, &c) in row.iter().enumerate() {
+            let gj = tile.col_base + j;
+            if gj >= n {
+                break;
+            }
+            if tile.is_diagonal() && gj <= gi {
+                continue;
+            }
+            let key = (gi as u32, gj as u32);
+            let c = if extras.is_empty() {
+                c
+            } else {
+                c + extras.remove(&key).unwrap_or(0)
+            };
+            if c >= minsup {
+                out.insert(key, c);
+            }
+        }
+    }
+    // Pairs every one of whose co-occurrences went through the failure
+    // path (kernel count 0): still subject to the same threshold.
+    for ((si, sj), c) in extras {
+        if (si as usize) < n && (sj as usize) < n && c >= minsup {
+            *out.entry((si, sj)).or_insert(0) += c;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fim::pairs::brute_force_pairs;
+
+    fn test_db(n: u32, m: usize, modulus: u32) -> TransactionDb {
+        TransactionDb::new(
+            n,
+            (0..m)
+                .map(|t| (0..n).filter(|&i| (t as u32 + i * 7) % modulus < 2).collect())
+                .collect(),
+        )
+    }
+
+    fn config_gpu(k: usize) -> MinerConfig {
+        MinerConfig {
+            k,
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn gpu_matches_brute_force() {
+        let db = test_db(30, 500, 9);
+        let report = mine(&db, &config_gpu(2048));
+        assert_eq!(report.pairs, brute_force_pairs(&db, 1));
+        assert_eq!(report.watchdog_violations, 0);
+        assert!(report.gpu_stats.is_some());
+        assert!(report.timings.kernel_s > 0.0);
+    }
+
+    #[test]
+    fn cpu_matches_brute_force() {
+        let db = test_db(30, 500, 9);
+        let report = mine(
+            &db,
+            &MinerConfig {
+                engine: Engine::Cpu,
+                ..Default::default()
+            },
+        );
+        assert_eq!(report.pairs, brute_force_pairs(&db, 1));
+        assert!(report.gpu_stats.is_none());
+    }
+
+    #[test]
+    fn small_tiles_agree_with_single_tile() {
+        let db = test_db(40, 300, 7);
+        let single = mine(&db, &config_gpu(2048));
+        let tiled = mine(&db, &config_gpu(16));
+        assert_eq!(single.pairs, tiled.pairs);
+        assert!(tiled.comparisons <= 48 * 48, "triangular schedule");
+    }
+
+    #[test]
+    fn minsup_filters() {
+        let db = test_db(20, 400, 5);
+        let all = mine(&db, &config_gpu(2048));
+        let thresholded = mine(
+            &db,
+            &MinerConfig {
+                minsup: 50,
+                ..config_gpu(2048)
+            },
+        );
+        let expect = brute_force_pairs(&db, 50);
+        assert_eq!(thresholded.pairs, expect);
+        assert!(thresholded.pairs.len() <= all.pairs.len());
+    }
+
+    #[test]
+    fn failed_insertions_are_recovered() {
+        // MaxLoop 1 forces failures — but only on *sparse* sets: when
+        // m ≤ r the permutation hash is injective and collisions are
+        // impossible, so the database must have m ≫ r (≈6% density).
+        let db = test_db(24, 3000, 30);
+        let report = mine(
+            &db,
+            &MinerConfig {
+                max_loop: 1,
+                ..config_gpu(2048)
+            },
+        );
+        assert!(
+            report.failed_pair_occurrences > 0,
+            "expected forced failures with MaxLoop=1"
+        );
+        assert_eq!(report.pairs, brute_force_pairs(&db, 1));
+    }
+
+    #[test]
+    fn report_accounts_memory_and_time() {
+        let db = test_db(30, 500, 9);
+        let report = mine(&db, &config_gpu(2048));
+        assert!(report.memory.peak_bytes() > 0);
+        assert!(report.memory.device_bytes > 0);
+        assert!(report.timings.total_s() >= report.timings.kernel_s);
+        assert!(report.timings.transfer_s > 0.0);
+        assert!(report.comparisons > 0);
+    }
+
+    #[test]
+    fn empty_db_mines_nothing() {
+        let db = TransactionDb::new(5, vec![]);
+        let report = mine(&db, &config_gpu(2048));
+        assert!(report.pairs.is_empty());
+    }
+}

@@ -1,0 +1,216 @@
+//! Host-side preprocessing (§III-C, first half).
+//!
+//! Tidlists become batmaps (built in parallel — construction of
+//! different sets is independent), then the batmaps are **sorted by
+//! increasing width** so that the 16-wide comparison blocks of the GPU
+//! kernel group batmaps of similar width ("resulting in a strongly
+//! reduced computation time for the subresults for narrow batmaps").
+//! The item list is padded with empty batmaps to a multiple of 16 so
+//! every work group is full.
+//!
+//! Failed insertions are collected as `(sorted item index, tid)` pairs
+//! for the `F_b`/`M_{p,q}` postprocessing path.
+
+use batmap::{Batmap, BatmapParams, ParamsHandle};
+use fim::VerticalDb;
+use hpcutil::MemoryFootprint;
+use rayon::prelude::*;
+use std::sync::Arc;
+
+/// Width of the comparison block: the kernel's work groups are 16×16.
+pub const BLOCK: usize = 16;
+
+/// Minimum compression shift for GPU-compatible batmaps: `s ≥ 6` makes
+/// every width a multiple of 64 bytes (16 words), the slice unit.
+pub const GPU_MIN_SHIFT: u32 = 6;
+
+/// Output of preprocessing.
+#[derive(Debug, Clone)]
+pub struct Preprocessed {
+    /// Universe parameters all batmaps share.
+    pub params: ParamsHandle,
+    /// Batmaps sorted by increasing width, padded with empty batmaps to
+    /// a multiple of [`BLOCK`].
+    pub batmaps: Vec<Batmap>,
+    /// `order[s] = original item id` of sorted position `s` (length =
+    /// real item count; padding positions have no entry).
+    pub order: Vec<u32>,
+    /// `item_to_sorted[item] = sorted position`.
+    pub item_to_sorted: Vec<u32>,
+    /// Real (unpadded) item count.
+    pub n_items: u32,
+    /// Failed insertions as `(sorted item index, tid)`.
+    pub failed: Vec<(u32, u32)>,
+    /// Aggregated construction statistics.
+    pub stats: batmap::InsertStats,
+}
+
+impl Preprocessed {
+    /// Item count including padding (multiple of 16).
+    pub fn padded_items(&self) -> usize {
+        self.batmaps.len()
+    }
+
+    /// Total bytes of all batmap slot arrays (the device-resident data).
+    pub fn batmap_bytes(&self) -> usize {
+        self.batmaps.iter().map(Batmap::width_bytes).sum()
+    }
+}
+
+impl MemoryFootprint for Preprocessed {
+    fn heap_bytes(&self) -> usize {
+        self.batmap_bytes()
+            + self.order.capacity() * 4
+            + self.item_to_sorted.capacity() * 4
+            + self.failed.capacity() * 8
+    }
+}
+
+/// Build batmaps for every item of a vertical database and sort them by
+/// width.
+pub fn preprocess(v: &VerticalDb, seed: u64, max_loop: u32) -> Preprocessed {
+    let m = v.m().max(1) as u64;
+    let params: ParamsHandle = Arc::new(BatmapParams::with_options(
+        m,
+        seed,
+        max_loop,
+        GPU_MIN_SHIFT,
+    ));
+    let n = v.n_items();
+    // Parallel construction: one batmap per item.
+    let outcomes: Vec<batmap::BuildOutcome> = (0..n)
+        .into_par_iter()
+        .map(|item| Batmap::build_sorted(params.clone(), v.tidlist(item)))
+        .collect();
+    // Sort positions by batmap width (ascending), ties by item id for
+    // determinism.
+    let mut positions: Vec<u32> = (0..n).collect();
+    positions.sort_by_key(|&i| (outcomes[i as usize].batmap.width_bytes(), i));
+    let mut item_to_sorted = vec![0u32; n as usize];
+    for (s, &item) in positions.iter().enumerate() {
+        item_to_sorted[item as usize] = s as u32;
+    }
+    let mut stats = batmap::InsertStats::default();
+    let mut failed = Vec::new();
+    let mut batmaps = Vec::with_capacity(positions.len().next_multiple_of(BLOCK));
+    // Consume outcomes in sorted order without cloning the batmaps.
+    let mut slots: Vec<Option<batmap::BuildOutcome>> =
+        outcomes.into_iter().map(Some).collect();
+    for (s, &item) in positions.iter().enumerate() {
+        let out = slots[item as usize].take().expect("each item used once");
+        stats.elements += out.stats.elements;
+        stats.moves += out.stats.moves;
+        stats.max_transcript = stats.max_transcript.max(out.stats.max_transcript);
+        stats.failures += out.stats.failures;
+        for &tid in &out.failed {
+            failed.push((s as u32, tid));
+        }
+        batmaps.push(out.batmap);
+    }
+    // Pad with empty batmaps so work groups are always full.
+    while batmaps.len() % BLOCK != 0 {
+        batmaps.push(Batmap::build_sorted(params.clone(), &[]).batmap);
+    }
+    Preprocessed {
+        params,
+        batmaps,
+        order: positions,
+        item_to_sorted,
+        n_items: n,
+        failed,
+        stats,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fim::TransactionDb;
+
+    fn vertical() -> VerticalDb {
+        let db = TransactionDb::new(
+            5,
+            vec![
+                vec![0, 1, 2],
+                vec![1, 2, 4],
+                vec![0, 2],
+                vec![2, 3],
+                vec![1, 2, 3, 4],
+                vec![2],
+            ],
+        );
+        VerticalDb::from_horizontal(&db)
+    }
+
+    #[test]
+    fn sorted_by_width_and_padded() {
+        let pre = preprocess(&vertical(), 1, 128);
+        assert_eq!(pre.n_items, 5);
+        assert_eq!(pre.padded_items() % BLOCK, 0);
+        for w in pre.batmaps.windows(2) {
+            assert!(w[0].width_bytes() <= w[1].width_bytes());
+        }
+    }
+
+    #[test]
+    fn order_maps_are_inverse() {
+        let pre = preprocess(&vertical(), 2, 128);
+        for (s, &item) in pre.order.iter().enumerate() {
+            assert_eq!(pre.item_to_sorted[item as usize], s as u32);
+        }
+    }
+
+    #[test]
+    fn batmaps_contain_their_tidlists() {
+        let v = vertical();
+        let pre = preprocess(&v, 3, 128);
+        assert!(pre.failed.is_empty());
+        for item in 0..v.n_items() {
+            let s = pre.item_to_sorted[item as usize] as usize;
+            let bm = &pre.batmaps[s];
+            assert_eq!(bm.len() as u64, v.support(item), "item {item}");
+            for &tid in v.tidlist(item) {
+                assert!(bm.contains(tid));
+            }
+        }
+        // Padding is empty.
+        for pad in pre.n_items as usize..pre.padded_items() {
+            assert!(pre.batmaps[pad].is_empty());
+        }
+    }
+
+    #[test]
+    fn widths_are_slice_aligned_for_gpu() {
+        let pre = preprocess(&vertical(), 4, 128);
+        for bm in &pre.batmaps {
+            assert_eq!(
+                bm.width_bytes() % 64,
+                0,
+                "width {} not slice-aligned",
+                bm.width_bytes()
+            );
+        }
+    }
+
+    #[test]
+    fn failures_are_remapped_to_sorted_space() {
+        // Force failures with MaxLoop = 1 on a denser instance.
+        let db = TransactionDb::new(
+            8,
+            (0..200u32)
+                .map(|t| (0..8).filter(|&i| (t + i) % 2 == 0).collect())
+                .collect(),
+        );
+        let v = VerticalDb::from_horizontal(&db);
+        let pre = preprocess(&v, 5, 1);
+        for &(s, tid) in &pre.failed {
+            assert!((s as usize) < pre.n_items as usize);
+            let item = pre.order[s as usize];
+            // The failed tid must genuinely belong to the item's list
+            // (failures can only happen for real insertions)…
+            assert!(v.tidlist(item).contains(&tid));
+            // …and must be absent from the built batmap.
+            assert!(!pre.batmaps[s as usize].contains(tid));
+        }
+    }
+}

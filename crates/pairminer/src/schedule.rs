@@ -1,0 +1,146 @@
+//! The k×k tiling of the all-pairs comparison (§III-C).
+//!
+//! Two reasons the paper splits the n×n comparison into k×k tiles
+//! (`k = 2048` in their experiments):
+//!
+//! 1. display-watchdog limits on single kernel executions;
+//! 2. symmetry — only tiles with `p ≤ q` need computing, halving work
+//!    ("from n² to around (n choose 2)").
+
+use serde::{Deserialize, Serialize};
+
+/// One tile `Z_{p,q}` of the comparison matrix.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Tile {
+    /// Block-row index `p`.
+    pub p: u32,
+    /// Block-column index `q` (`p ≤ q`).
+    pub q: u32,
+    /// First sorted item index of the row range.
+    pub row_base: usize,
+    /// First sorted item index of the column range.
+    pub col_base: usize,
+    /// Rows in this tile (multiple of 16).
+    pub rows: usize,
+    /// Columns in this tile (multiple of 16).
+    pub cols: usize,
+}
+
+impl Tile {
+    /// Whether this tile lies on the diagonal (needs triangular
+    /// filtering when reporting).
+    pub fn is_diagonal(&self) -> bool {
+        self.p == self.q
+    }
+
+    /// Number of batmap comparisons the kernel performs in this tile.
+    pub fn comparisons(&self) -> usize {
+        self.rows * self.cols
+    }
+}
+
+/// Build the upper-triangle tile schedule for `n_padded` items (multiple
+/// of 16) with tile side `k` (multiple of 16).
+pub fn schedule(n_padded: usize, k: usize) -> Vec<Tile> {
+    assert!(k > 0 && k.is_multiple_of(16), "tile side must be a positive multiple of 16");
+    assert!(
+        n_padded.is_multiple_of(16),
+        "item count must be padded to a multiple of 16"
+    );
+    let blocks = n_padded.div_ceil(k);
+    let mut tiles = Vec::with_capacity(blocks * (blocks + 1) / 2);
+    for p in 0..blocks {
+        let row_base = p * k;
+        let rows = k.min(n_padded - row_base);
+        for q in p..blocks {
+            let col_base = q * k;
+            let cols = k.min(n_padded - col_base);
+            tiles.push(Tile {
+                p: p as u32,
+                q: q as u32,
+                row_base,
+                col_base,
+                rows,
+                cols,
+            });
+        }
+    }
+    tiles
+}
+
+/// Total comparisons across a schedule — the "(n choose 2)-ish" count
+/// the symmetry optimization achieves (diagonal tiles still compute
+/// their full square; the report filters).
+pub fn total_comparisons(tiles: &[Tile]) -> usize {
+    tiles.iter().map(Tile::comparisons).sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn covers_upper_triangle_exactly_once() {
+        let n = 96;
+        let k = 32;
+        let tiles = schedule(n, k);
+        let mut covered = vec![vec![false; n]; n];
+        #[allow(clippy::needless_range_loop)]
+        for t in &tiles {
+            for i in t.row_base..t.row_base + t.rows {
+                for j in t.col_base..t.col_base + t.cols {
+                    assert!(!covered[i][j], "tile overlap at ({i},{j})");
+                    covered[i][j] = true;
+                }
+            }
+        }
+        for (i, row) in covered.iter().enumerate() {
+            for (j, &c) in row.iter().enumerate() {
+                // Every unordered pair must be covered in at least one
+                // orientation; ordered (i<j) pairs always via p ≤ q.
+                if i / k <= j / k {
+                    assert!(c, "({i},{j}) uncovered");
+                } else {
+                    assert!(!c);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn halves_the_work() {
+        let n = 4096;
+        let k = 2048;
+        let tiles = schedule(n, k);
+        assert_eq!(tiles.len(), 3); // (0,0) (0,1) (1,1)
+        let total = total_comparisons(&tiles);
+        // 3·k² vs n² = 4·k²: the diagonal surplus is the k² overlap.
+        assert_eq!(total, 3 * k * k);
+        assert!(total < n * n);
+    }
+
+    #[test]
+    fn ragged_final_block() {
+        let tiles = schedule(80, 32);
+        // blocks of 32,32,16.
+        assert_eq!(tiles.len(), 6);
+        let last = tiles.last().unwrap();
+        assert_eq!(last.rows, 16);
+        assert_eq!(last.cols, 16);
+        assert!(tiles.iter().all(|t| t.rows % 16 == 0 && t.cols % 16 == 0));
+    }
+
+    #[test]
+    fn single_tile_when_k_exceeds_n() {
+        let tiles = schedule(64, 2048);
+        assert_eq!(tiles.len(), 1);
+        assert_eq!(tiles[0].rows, 64);
+        assert!(tiles[0].is_diagonal());
+    }
+
+    #[test]
+    #[should_panic]
+    fn unaligned_k_rejected() {
+        let _ = schedule(64, 20);
+    }
+}

@@ -1,0 +1,34 @@
+//! # batmap-suite — umbrella crate
+//!
+//! Re-exports the whole reproduction workspace of *A New Data Layout
+//! for Set Intersection on GPUs* (Amossen & Pagh, IPDPS 2011) so the
+//! examples and integration tests can reach every crate through one
+//! dependency, and downstream users can depend on a single name.
+//!
+//! * [`batmap`] — the data structure (the paper's contribution).
+//! * [`gpu_sim`] — the GPU execution-model simulator substrate.
+//! * [`fim`] — frequent-itemset-mining formats and baselines.
+//! * [`datagen`] — workload generators.
+//! * [`pairminer`] — the end-to-end mining pipeline.
+//! * [`hpcutil`] — hashing/timing/memory/stat utilities.
+//!
+//! Start with `examples/quickstart.rs`, or:
+//!
+//! ```
+//! use batmap_suite::batmap::{Batmap, BatmapParams};
+//! use std::sync::Arc;
+//!
+//! let params = Arc::new(BatmapParams::new(1_000, 7));
+//! let a = Batmap::build(params.clone(), &[1, 2, 3]).batmap;
+//! let b = Batmap::build(params, &[2, 3, 4]).batmap;
+//! assert_eq!(a.intersect_count(&b), 2);
+//! ```
+
+#![warn(missing_docs)]
+
+pub use batmap;
+pub use datagen;
+pub use fim;
+pub use gpu_sim;
+pub use hpcutil;
+pub use pairminer;

@@ -1,0 +1,122 @@
+//! Edge-shape integration tests: degenerate universes, extreme
+//! densities, pathological set shapes.
+
+use batmap::{Batmap, BatmapParams};
+use fim::pairs::brute_force_pairs;
+use fim::TransactionDb;
+use pairminer::{mine, MinerConfig};
+use std::sync::Arc;
+
+#[test]
+fn single_element_universe() {
+    let params = Arc::new(BatmapParams::new(1, 3));
+    let full = Batmap::build(params.clone(), &[0]).batmap;
+    let empty = Batmap::build(params, &[]).batmap;
+    assert_eq!(full.len(), 1);
+    assert!(full.contains(0));
+    assert_eq!(full.intersect_count(&full), 1);
+    assert_eq!(full.intersect_count(&empty), 0);
+    assert_eq!(full.elements(), vec![0]);
+}
+
+#[test]
+fn full_universe_set() {
+    // Density 1.0: every element present. Exercises maximal keys and
+    // the densest possible table.
+    let m = 4096u64;
+    let params = Arc::new(BatmapParams::new(m, 9));
+    let all: Vec<u32> = (0..m as u32).collect();
+    let bm = Batmap::build_sorted(params.clone(), &all).batmap;
+    assert_eq!(bm.len(), m as usize);
+    assert_eq!(bm.intersect_count(&bm), m);
+    let half: Vec<u32> = (0..m as u32 / 2).collect();
+    let bh = Batmap::build_sorted(params, &half).batmap;
+    assert_eq!(bm.intersect_count(&bh), m / 2);
+}
+
+#[test]
+fn universe_boundary_sizes() {
+    // Around the 127·2^s key-capacity boundaries.
+    for m in [126u64, 127, 128, 507, 508, 509, 127 * 4, 127 * 4 + 1] {
+        let params = Arc::new(BatmapParams::new(m, 1));
+        let elements: Vec<u32> = (0..m as u32).step_by(2).collect();
+        let bm = Batmap::build_sorted(params, &elements).batmap;
+        assert_eq!(bm.len(), elements.len(), "m={m}");
+        for &x in &elements {
+            assert!(bm.contains(x), "m={m} x={x}");
+        }
+        assert_eq!(bm.intersect_count(&bm), elements.len() as u64, "m={m}");
+    }
+}
+
+#[test]
+fn mining_single_transaction() {
+    let db = TransactionDb::new(6, vec![vec![0, 2, 4, 5]]);
+    let report = mine(&db, &MinerConfig::default());
+    assert_eq!(report.pairs, brute_force_pairs(&db, 1));
+    assert_eq!(report.pairs.len(), 6); // C(4,2)
+    assert!(report.pairs.values().all(|&s| s == 1));
+}
+
+#[test]
+fn mining_identical_transactions() {
+    // Every transaction identical: every pair's support = m, FP-tree is
+    // a single path, batmap tidlists are 0..m (dense).
+    let m = 200;
+    let db = TransactionDb::new(5, vec![vec![0, 1, 2, 3, 4]; m]);
+    let report = mine(&db, &MinerConfig::default());
+    assert_eq!(report.pairs.len(), 10);
+    assert!(report.pairs.values().all(|&s| s == m as u64));
+    assert_eq!(fim::fpgrowth::mine_pairs(&db, 1), report.pairs);
+}
+
+#[test]
+fn mining_one_item() {
+    // One item: no pairs at all.
+    let db = TransactionDb::new(1, vec![vec![0]; 50]);
+    let report = mine(&db, &MinerConfig::default());
+    assert!(report.pairs.is_empty());
+    assert!(fim::apriori::mine_pairs(&db, 1).is_empty());
+}
+
+#[test]
+fn mining_disjoint_items() {
+    // Items never co-occur: all intersections zero.
+    let db = TransactionDb::new(
+        8,
+        (0..160usize).map(|t| vec![(t % 8) as u32]).collect(),
+    );
+    let report = mine(&db, &MinerConfig::default());
+    assert!(report.pairs.is_empty());
+}
+
+#[test]
+fn mining_extreme_size_skew() {
+    // One gigantic set and many tiny ones: exercises deep folding
+    // (widest vs floor-width batmaps in the same 16-block).
+    let m = 8192usize;
+    let mut transactions: Vec<Vec<u32>> = Vec::with_capacity(m);
+    for t in 0..m {
+        let mut row = vec![0u32]; // item 0 in every transaction
+        if t % 512 == 0 {
+            row.push(1 + (t / 512) as u32 % 15);
+        }
+        transactions.push(row);
+    }
+    let db = TransactionDb::new(16, transactions);
+    let report = mine(&db, &MinerConfig::default());
+    assert_eq!(report.pairs, brute_force_pairs(&db, 1));
+}
+
+#[test]
+fn minsup_above_everything_yields_empty() {
+    let db = TransactionDb::new(4, vec![vec![0, 1], vec![1, 2], vec![2, 3]]);
+    let report = mine(
+        &db,
+        &MinerConfig {
+            minsup: 1000,
+            ..Default::default()
+        },
+    );
+    assert!(report.pairs.is_empty());
+}

@@ -1,0 +1,127 @@
+//! Integration tests of the extension features: the §V multiway
+//! structures end to end (triple mining), the collection API, the
+//! command queue, and WAH interop with the other formats.
+
+use batmap::BatmapCollection;
+use datagen::uniform::{generate, UniformSpec};
+use fim::{apriori, WahBitmap};
+use pairminer::{mine, mine_triples, MinerConfig};
+
+fn instance(n: u32, total: usize, density: f64, seed: u64) -> fim::TransactionDb {
+    generate(&UniformSpec {
+        n_items: n,
+        density,
+        total_items: total,
+        seed,
+    })
+}
+
+#[test]
+fn triple_mining_end_to_end_matches_apriori() {
+    let db = instance(30, 60_000, 0.12, 3);
+    // Mean pair support ≈ m·p² ≈ 240; triples ≈ m·p³ ≈ 29.
+    for minsup in [10u64, 25, 60] {
+        let pairs = mine(
+            &db,
+            &MinerConfig {
+                minsup,
+                ..Default::default()
+            },
+        )
+        .pairs;
+        let report = mine_triples(&db, &pairs, minsup);
+        let mut expect: Vec<_> = apriori::mine(&db, minsup, 3)
+            .into_iter()
+            .filter(|s| s.items.len() == 3)
+            .collect();
+        expect.sort_by(|a, b| a.items.cmp(&b.items));
+        assert_eq!(report.triples, expect, "minsup={minsup}");
+        if minsup <= 25 {
+            assert!(
+                !report.triples.is_empty(),
+                "expected frequent triples at minsup={minsup}"
+            );
+        }
+    }
+}
+
+#[test]
+fn collection_mirrors_pipeline_counts() {
+    let db = instance(40, 30_000, 0.05, 9);
+    let v = fim::VerticalDb::from_horizontal(&db);
+    let tidlists: Vec<Vec<u32>> = (0..v.n_items()).map(|i| v.tidlist(i).to_vec()).collect();
+    let coll = BatmapCollection::build(v.m().max(1) as u64, 0xC0, &tidlists);
+    assert!(coll.failed().is_empty());
+    let report = mine(&db, &MinerConfig::default());
+    for (&(i, j), &support) in &report.pairs {
+        assert_eq!(
+            coll.intersect_count(i as usize, j as usize),
+            support,
+            "pair ({i},{j})"
+        );
+    }
+    // And the collection's all_pairs view agrees with the miner where
+    // both report.
+    for (i, j, c) in coll.all_pairs() {
+        if let Some(&s) = report.pairs.get(&(i, j)) {
+            assert_eq!(c, s);
+        }
+    }
+}
+
+#[test]
+fn wah_agrees_with_bitmap_index_on_tidlists() {
+    let db = instance(25, 20_000, 0.08, 17);
+    let v = fim::VerticalDb::from_horizontal(&db);
+    let idx = fim::BitmapIndex::from_vertical(&v);
+    let wah: Vec<WahBitmap> = (0..v.n_items())
+        .map(|i| WahBitmap::from_sorted(v.m(), v.tidlist(i)))
+        .collect();
+    for i in 0..v.n_items() {
+        assert_eq!(wah[i as usize].count(), idx.support(i));
+        for j in (i + 1)..v.n_items() {
+            assert_eq!(
+                wah[i as usize].intersect_count(&wah[j as usize]),
+                idx.pair_support(i, j),
+                "pair ({i},{j})"
+            );
+        }
+    }
+}
+
+#[test]
+fn command_queue_totals_match_manual_accounting() {
+    use gpu_sim::{CommandQueue, DeviceSpec};
+    use pairminer::gpu::{run_tile, run_tile_queued, DeviceData};
+    let db = instance(32, 20_000, 0.05, 21);
+    let v = fim::VerticalDb::from_horizontal(&db);
+    let pre = pairminer::preprocess(&v, 1, 128);
+    let data = DeviceData::upload(&pre);
+    let device = DeviceSpec::gtx285();
+    let tiles = pairminer::schedule(pre.padded_items(), 16);
+    let mut queue = CommandQueue::new(&device);
+    queue.enqueue_transfer(&data.buffer);
+    let mut manual_kernel_s = 0.0;
+    for &tile in &tiles {
+        let direct = run_tile(&device, &data, tile);
+        let queued = run_tile_queued(&mut queue, &data, tile);
+        assert_eq!(direct.counts, queued.counts, "tile ({},{})", tile.p, tile.q);
+        manual_kernel_s += direct.report.seconds();
+    }
+    let expect = manual_kernel_s + queue.transfer_seconds();
+    assert!((queue.elapsed_seconds() - expect).abs() < 1e-12);
+    assert_eq!(queue.launches(), tiles.len());
+    assert_eq!(queue.watchdog_violations(), 0);
+}
+
+#[test]
+fn declat_matches_eclat_on_generated_instance() {
+    let db = instance(20, 15_000, 0.15, 31);
+    for minsup in [5u64, 40] {
+        assert_eq!(
+            fim::eclat::mine_diffsets(&db, minsup, 4),
+            fim::eclat::mine(&db, minsup, 4),
+            "minsup={minsup}"
+        );
+    }
+}

@@ -1,0 +1,72 @@
+//! Property-based tests on the mining pipeline and baselines: random
+//! databases, every miner, one oracle.
+
+use fim::pairs::brute_force_pairs;
+use fim::{apriori, eclat, fpgrowth, BitmapIndex, TransactionDb, VerticalDb};
+use pairminer::{mine, Engine, MinerConfig};
+use proptest::collection::vec;
+use proptest::prelude::*;
+
+fn arb_db() -> impl Strategy<Value = TransactionDb> {
+    // Up to 60 transactions over up to 20 items.
+    (2u32..20, 1usize..60).prop_flat_map(|(n, m)| {
+        vec(vec(0u32..n, 0..(n as usize).min(12)), m)
+            .prop_map(move |ts| TransactionDb::new(n, ts))
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Every baseline equals brute force on arbitrary databases.
+    #[test]
+    fn baselines_match_oracle(db in arb_db(), minsup in 1u64..6) {
+        let oracle = brute_force_pairs(&db, minsup);
+        prop_assert_eq!(apriori::mine_pairs(&db, minsup), oracle.clone());
+        prop_assert_eq!(fpgrowth::mine_pairs(&db, minsup), oracle.clone());
+        let v = VerticalDb::from_horizontal(&db);
+        prop_assert_eq!(eclat::mine_pairs(&v, minsup), oracle.clone());
+        prop_assert_eq!(BitmapIndex::from_vertical(&v).mine_pairs(minsup), oracle);
+    }
+
+    /// The batmap pipeline (GPU engine) equals brute force, across
+    /// seeds and tile sizes.
+    #[test]
+    fn pipeline_matches_oracle(db in arb_db(), seed in 0u64..100, k_shift in 0u32..3) {
+        let oracle = brute_force_pairs(&db, 1);
+        let report = mine(&db, &MinerConfig {
+            seed,
+            k: 16 << k_shift,
+            ..Default::default()
+        });
+        prop_assert_eq!(report.pairs, oracle);
+    }
+
+    /// GPU and CPU engines are bit-identical.
+    #[test]
+    fn engines_agree(db in arb_db(), seed in 0u64..100) {
+        let gpu = mine(&db, &MinerConfig { seed, ..Default::default() });
+        let cpu = mine(&db, &MinerConfig { seed, engine: Engine::Cpu, ..Default::default() });
+        prop_assert_eq!(gpu.pairs, cpu.pairs);
+    }
+
+    /// Tiny MaxLoop (failure injection) never breaks exactness.
+    #[test]
+    fn failures_never_break_exactness(db in arb_db(), seed in 0u64..50) {
+        let report = mine(&db, &MinerConfig {
+            seed,
+            max_loop: 1,
+            ..Default::default()
+        });
+        prop_assert_eq!(report.pairs, brute_force_pairs(&db, 1));
+    }
+
+    /// Pruning invariant: mining the pruned database at minsup equals
+    /// the oracle of the pruned database (id remap is consistent).
+    #[test]
+    fn prune_then_mine_consistent(db in arb_db(), minsup in 1u64..4) {
+        let (pruned, _map) = db.prune_infrequent(minsup);
+        let oracle = brute_force_pairs(&pruned, minsup);
+        prop_assert_eq!(fpgrowth::mine_pairs(&pruned, minsup), oracle);
+    }
+}

@@ -1,0 +1,139 @@
+//! Cross-crate integration: the full batmap/GPU pipeline against every
+//! baseline, on generated workloads.
+
+use datagen::uniform::{generate, UniformSpec};
+use datagen::webdocs::{self, WebDocsSpec};
+use fim::pairs::brute_force_pairs;
+use fim::{apriori, eclat, fpgrowth, BitmapIndex, VerticalDb};
+use pairminer::{mine, Engine, MinerConfig};
+
+fn uniform_db(n: u32, total: usize, density: f64, seed: u64) -> fim::TransactionDb {
+    generate(&UniformSpec {
+        n_items: n,
+        density,
+        total_items: total,
+        seed,
+    })
+}
+
+#[test]
+fn all_six_miners_agree_on_uniform_instance() {
+    let db = uniform_db(60, 30_000, 0.05, 11);
+    let v = VerticalDb::from_horizontal(&db);
+    let idx = BitmapIndex::from_vertical(&v);
+    for minsup in [1u64, 5, 20] {
+        let oracle = brute_force_pairs(&db, minsup);
+        assert_eq!(apriori::mine_pairs(&db, minsup), oracle, "apriori m={minsup}");
+        assert_eq!(fpgrowth::mine_pairs(&db, minsup), oracle, "fpgrowth m={minsup}");
+        assert_eq!(eclat::mine_pairs(&v, minsup), oracle, "eclat m={minsup}");
+        assert_eq!(idx.mine_pairs(minsup), oracle, "bitmap m={minsup}");
+        let gpu = mine(
+            &db,
+            &MinerConfig {
+                minsup,
+                ..Default::default()
+            },
+        );
+        assert_eq!(gpu.pairs, oracle, "batmap-gpu m={minsup}");
+        let cpu = mine(
+            &db,
+            &MinerConfig {
+                minsup,
+                engine: Engine::Cpu,
+                ..Default::default()
+            },
+        );
+        assert_eq!(cpu.pairs, oracle, "batmap-cpu m={minsup}");
+    }
+}
+
+#[test]
+fn pipeline_exact_on_skewed_webdocs() {
+    // Zipf-skewed data produces wildly different set sizes → exercises
+    // the folded (different-width) comparisons heavily.
+    let corpus = webdocs::generate(&WebDocsSpec {
+        documents: 400,
+        mean_doc_len: 30,
+        seed: 0xD0C,
+        ..Default::default()
+    });
+    let (db, _) = corpus.prune_infrequent(2);
+    let oracle = brute_force_pairs(&db, 3);
+    let report = mine(
+        &db,
+        &MinerConfig {
+            minsup: 3,
+            ..Default::default()
+        },
+    );
+    assert_eq!(report.pairs, oracle);
+    assert!(report.watchdog_violations == 0);
+}
+
+#[test]
+fn pipeline_exact_across_tile_sizes() {
+    let db = uniform_db(100, 40_000, 0.04, 23);
+    let oracle = brute_force_pairs(&db, 1);
+    for k in [16usize, 32, 64, 2048] {
+        let report = mine(
+            &db,
+            &MinerConfig {
+                k,
+                ..Default::default()
+            },
+        );
+        assert_eq!(report.pairs, oracle, "k={k}");
+    }
+}
+
+#[test]
+fn pipeline_exact_under_forced_insertion_failures() {
+    // Sparse instance (collisions possible) + MaxLoop=1: the F_b/M_pq
+    // path must recover exactness.
+    let db = uniform_db(40, 20_000, 0.02, 37);
+    for seed in [1u64, 2, 3] {
+        let report = mine(
+            &db,
+            &MinerConfig {
+                max_loop: 1,
+                seed,
+                ..Default::default()
+            },
+        );
+        assert_eq!(
+            report.pairs,
+            brute_force_pairs(&db, 1),
+            "seed={seed} (failures={})",
+            report.failed_pair_occurrences
+        );
+    }
+}
+
+#[test]
+fn deterministic_given_seed() {
+    let db = uniform_db(50, 20_000, 0.05, 5);
+    let cfg = MinerConfig::default();
+    let a = mine(&db, &cfg);
+    let b = mine(&db, &cfg);
+    assert_eq!(a.pairs, b.pairs);
+    assert_eq!(a.comparisons, b.comparisons);
+    assert_eq!(a.gpu_stats, b.gpu_stats);
+    // Simulated timing is a pure function of the stats.
+    assert_eq!(a.timings.kernel_s, b.timings.kernel_s);
+}
+
+#[test]
+fn general_itemset_miners_agree_beyond_pairs() {
+    // Expected triple support is m·p³ ≈ 7 here, so threshold 6 keeps a
+    // healthy set of frequent triples.
+    let db = uniform_db(25, 8_000, 0.15, 7);
+    let ap = apriori::mine(&db, 6, 3);
+    let fp = fpgrowth::mine(&db, 6, 3);
+    let ec = eclat::mine(&db, 6, 3);
+    assert_eq!(ap, fp);
+    assert_eq!(ap, ec);
+    assert!(
+        ap.iter().any(|s| s.items.len() == 3),
+        "expected some frequent triples at 15% density"
+    );
+}
