@@ -12,7 +12,9 @@ use std::hint::black_box;
 
 fn bench_indicator(c: &mut Criterion) {
     let words = 1 << 18;
-    let a: Vec<u32> = (0..words).map(|i| (i as u32).wrapping_mul(2654435761)).collect();
+    let a: Vec<u32> = (0..words)
+        .map(|i| (i as u32).wrapping_mul(2654435761))
+        .collect();
     let b: Vec<u32> = (0..words).map(|i| (i as u32).wrapping_mul(40503)).collect();
     let mut g = c.benchmark_group("ablation_indicator");
     g.throughput(Throughput::Bytes((words * 8) as u64));

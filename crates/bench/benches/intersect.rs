@@ -1,8 +1,8 @@
-//! Head-to-head intersection count: batmap positional sweep vs sorted
-//! merge vs bitmap AND, on the same underlying sets (the paper's core
-//! claim at micro scale).
+//! Head-to-head intersection count: batmap positional sweep (one entry
+//! per match-count backend) vs sorted merge vs bitmap AND, on the same
+//! underlying sets (the paper's core claim at micro scale).
 
-use batmap::{Batmap, BatmapParams};
+use batmap::{Batmap, BatmapParams, ALL_BACKENDS};
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use fim::{merge, BitmapIndex, VerticalDb};
 use std::hint::black_box;
@@ -12,7 +12,9 @@ fn bench_intersect(c: &mut Criterion) {
     let m = 100_000u32;
     let size = 5_000usize;
     let a: Vec<u32> = (0..size as u32).map(|i| i * (m / size as u32)).collect();
-    let b: Vec<u32> = (0..size as u32).map(|i| i * (m / size as u32) + i % 7).collect();
+    let b: Vec<u32> = (0..size as u32)
+        .map(|i| i * (m / size as u32) + i % 7)
+        .collect();
     let mut bs = b.clone();
     bs.sort_unstable();
     bs.dedup();
@@ -25,9 +27,13 @@ fn bench_intersect(c: &mut Criterion) {
 
     let mut g = c.benchmark_group("intersect_count");
     g.throughput(Throughput::Elements((2 * size) as u64));
-    g.bench_function(BenchmarkId::new("batmap_positional", size), |bench| {
-        bench.iter(|| black_box(ba.intersect_count(&bb)))
-    });
+    for backend in ALL_BACKENDS {
+        let kernel = backend.kernel();
+        let name = format!("batmap_positional_{}", backend.name());
+        g.bench_function(BenchmarkId::new(name, size), |bench| {
+            bench.iter(|| black_box(ba.intersect_count_with(kernel, &bb)))
+        });
+    }
     g.bench_function(BenchmarkId::new("sorted_merge", size), |bench| {
         bench.iter(|| black_box(merge::count_branchy(&a, &bs)))
     });

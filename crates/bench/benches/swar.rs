@@ -1,38 +1,51 @@
-//! SWAR kernel micro-benchmarks: the paper's u32 formulation vs the u64
-//! popcount widening vs the branchy scalar reference, on a
-//! non-cache-resident working set.
+//! Match-count kernel micro-benchmarks, on a non-cache-resident working
+//! set.
+//!
+//! Two axes:
+//! * **backend** — every [`batmap::MatchKernel`] backend (scalar
+//!   reference, the paper's u32 formulation, the u64 popcount
+//!   widening), dispatched exactly as the intersection hot path does;
+//! * **dispatch ablation** — the raw u32 formulation called statically,
+//!   to show the trait-object indirection costs nothing measurable at
+//!   slice granularity.
 
-use batmap::swar;
+use batmap::{swar, ALL_BACKENDS};
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use std::hint::black_box;
 
-fn data(words: usize) -> (Vec<u32>, Vec<u32>) {
-    let a: Vec<u32> = (0..words).map(|i| (i as u32).wrapping_mul(2654435761)).collect();
-    let b: Vec<u32> = (0..words).map(|i| (i as u32).wrapping_mul(40503)).collect();
+fn data(words: usize) -> (Vec<u8>, Vec<u8>) {
+    let a: Vec<u8> = (0..words)
+        .flat_map(|i| (i as u32).wrapping_mul(2654435761).to_le_bytes())
+        .collect();
+    let b: Vec<u8> = (0..words)
+        .flat_map(|i| (i as u32).wrapping_mul(40503).to_le_bytes())
+        .collect();
     (a, b)
 }
 
 fn bench_swar(c: &mut Criterion) {
     let words = 1 << 18; // 1 MiB per array
-    let (a, b) = data(words);
-    let bytes_a: Vec<u8> = a.iter().flat_map(|w| w.to_le_bytes()).collect();
-    let bytes_b: Vec<u8> = b.iter().flat_map(|w| w.to_le_bytes()).collect();
+    let (bytes_a, bytes_b) = data(words);
     let mut g = c.benchmark_group("swar");
     g.throughput(Throughput::Bytes((words * 8) as u64));
-    g.bench_function(BenchmarkId::new("u32_paper", words), |bench| {
+    // The backend axis: the same dispatch the intersection path uses.
+    for backend in ALL_BACKENDS {
+        let kernel = backend.kernel();
+        g.bench_function(BenchmarkId::new(backend.name(), words), |bench| {
+            bench.iter(|| black_box(kernel.count_equal_width(&bytes_a, &bytes_b)))
+        });
+    }
+    // Dispatch ablation: the raw u32 formulation without the trait.
+    g.bench_function(BenchmarkId::new("u32_paper_static", words), |bench| {
         bench.iter(|| {
             let mut acc = 0u64;
-            for (&x, &y) in a.iter().zip(&b) {
+            for (cx, cy) in bytes_a.chunks_exact(4).zip(bytes_b.chunks_exact(4)) {
+                let x = u32::from_le_bytes(cx.try_into().unwrap());
+                let y = u32::from_le_bytes(cy.try_into().unwrap());
                 acc += swar::match_count_u32(x, y) as u64;
             }
             black_box(acc)
         })
-    });
-    g.bench_function(BenchmarkId::new("u64_popcount", words), |bench| {
-        bench.iter(|| black_box(swar::match_count_slices(&bytes_a, &bytes_b)))
-    });
-    g.bench_function(BenchmarkId::new("scalar_branchy", words), |bench| {
-        bench.iter(|| black_box(swar::match_count_bytes(&bytes_a, &bytes_b)))
     });
     g.finish();
 }

@@ -24,7 +24,14 @@ fn main() {
     for n in cfg.n_sweep() {
         let db = paper_instance(&cfg, n, 0.05);
         let minsup = recommended_minsup(&db);
-        let report = mine(&db, &MinerConfig { minsup, ..Default::default() });
+        let report = mine(
+            &db,
+            &MinerConfig {
+                minsup,
+                kernel: cfg.kernel,
+                ..Default::default()
+            },
+        );
         let gpu = report.timings.kernel_s;
         let ap = match apriori::mine_pairs_capped(&db, minsup, cfg.apriori_budget) {
             Ok(_) => {

@@ -31,7 +31,14 @@ fn main() {
     for n in cfg.n_sweep() {
         let db = paper_instance(&cfg, n, 0.05);
         let minsup = recommended_minsup(&db);
-        let report = mine(&db, &MinerConfig { minsup, ..Default::default() });
+        let report = mine(
+            &db,
+            &MinerConfig {
+                minsup,
+                kernel: cfg.kernel,
+                ..Default::default()
+            },
+        );
         let t = report.timings;
         let ap = match apriori::mine_pairs_capped(&db, minsup, cfg.apriori_budget) {
             Ok(_) => Some(timer::time(|| apriori::mine_pairs(&db, minsup)).1),

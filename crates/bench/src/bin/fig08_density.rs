@@ -28,7 +28,14 @@ fn main() {
     for density in cfg.density_sweep() {
         let db = paper_instance(&cfg, n, density);
         let minsup = recommended_minsup(&db);
-        let report = mine(&db, &MinerConfig { minsup, ..Default::default() });
+        let report = mine(
+            &db,
+            &MinerConfig {
+                minsup,
+                kernel: cfg.kernel,
+                ..Default::default()
+            },
+        );
         let ap = match apriori::mine_pairs_capped(&db, minsup, cfg.apriori_budget) {
             Ok(_) => Some(timer::time(|| apriori::mine_pairs(&db, minsup)).1),
             Err(_) => None,

@@ -22,7 +22,14 @@ fn main() {
     let cores = [1usize, 2, 4, 8];
     let mut base_ap = 0.0f64;
     let mut base_fp = 0.0f64;
-    let mut table = Table::new(&["cores", "apriori_s", "fp_s", "speedup_ap", "speedup_fp", "ideal"]);
+    let mut table = Table::new(&[
+        "cores",
+        "apriori_s",
+        "fp_s",
+        "speedup_ap",
+        "speedup_fp",
+        "ideal",
+    ]);
     for &c in &cores {
         let parts = split::split(&db, c);
         // Run the i parts concurrently on i threads; makespan = wall

@@ -42,7 +42,14 @@ fn main() {
         let (db, _) = raw.prune_infrequent(1);
         let distinct = db.n_items();
         let minsup = recommended_minsup(&db);
-        let report = mine(&db, &MinerConfig { minsup, ..Default::default() });
+        let report = mine(
+            &db,
+            &MinerConfig {
+                minsup,
+                kernel: cfg.kernel,
+                ..Default::default()
+            },
+        );
         let ap = match apriori::mine_pairs_capped(&db, minsup, cfg.apriori_budget) {
             Ok(_) => Some(timer::time(|| apriori::mine_pairs(&db, minsup)).1),
             Err(_) => None,

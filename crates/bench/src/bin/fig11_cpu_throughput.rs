@@ -8,10 +8,16 @@
 
 use bench::HarnessConfig;
 use hpcutil::{scoped_pool, stats::human_rate, Table};
-use pairminer::cpu::swar_throughput;
+use pairminer::cpu::swar_throughput_with;
 
 fn main() {
     let cfg = HarnessConfig::from_args();
+    // The paper's Fig. 11 measured the u32 SWAR formulation, so that
+    // stays the default here; `--kernel` swaps the backend explicitly.
+    let kernel = match cfg.kernel {
+        batmap::KernelBackend::Auto => batmap::KernelBackend::SwarU32,
+        pinned => pinned,
+    };
     let words = 5_000_000usize;
     let reps = if cfg.full {
         300
@@ -21,13 +27,15 @@ fn main() {
         40
     };
     println!(
-        "Figure 11 reproduction: CPU batmap-comparison throughput ({} MB working set, {reps} reps)",
-        words * 8 / 1_000_000
+        "Figure 11 reproduction: CPU batmap-comparison throughput \
+         ({} MB working set, {reps} reps, kernel {})",
+        words * 8 / 1_000_000,
+        kernel.resolve()
     );
     let mut table = Table::new(&["cores", "throughput", "bytes_per_s"]);
     let mut rates = Vec::new();
     for cores in [1usize, 2, 4, 8] {
-        let rate = scoped_pool(cores, || swar_throughput(words, reps));
+        let rate = scoped_pool(cores, || swar_throughput_with(kernel, words, reps));
         rates.push(rate);
         table.row_owned(vec![
             cores.to_string(),

@@ -22,7 +22,14 @@ fn main() {
     println!("§II-B insertion analysis: m = {m}, {trials} trials per row\n");
 
     println!("-- transcript length and failures vs slack (MaxLoop = 128) --");
-    let mut t = Table::new(&["set_size", "range", "slack_eps", "moves/elem", "max_transcript", "failure_rate"]);
+    let mut t = Table::new(&[
+        "set_size",
+        "range",
+        "slack_eps",
+        "moves/elem",
+        "max_transcript",
+        "failure_rate",
+    ]);
     // Set sizes walking up to a range boundary: slack shrinks, then the
     // next power of two resets it.
     for set_size in [1100usize, 1600, 2049, 3000, 4095, 4097, 6000, 8191] {

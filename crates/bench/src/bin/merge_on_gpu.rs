@@ -46,10 +46,7 @@ impl Kernel for MergeKernel<'_> {
             let mut lanes: Vec<usize> = Vec::with_capacity(hw);
             for l in 0..hw {
                 let (a_item, b_item) = (row, col0 + l);
-                let (alen, blen) = (
-                    self.lengths[a_item] as usize,
-                    self.lengths[b_item] as usize,
-                );
+                let (alen, blen) = (self.lengths[a_item] as usize, self.lengths[b_item] as usize);
                 if ai[l] >= alen || bi[l] >= blen {
                     continue;
                 }
@@ -170,6 +167,9 @@ fn main() {
         "\nbatmap advantage: {:.1}x per intersection — the §II argument, quantified:",
         merge_per_pair / bm_per_pair
     );
-    println!("merging wastes {:.0}% of every bus transaction and serializes on", (1.0 - merge_report.stats.efficiency()) * 100.0);
+    println!(
+        "merging wastes {:.0}% of every bus transaction and serializes on",
+        (1.0 - merge_report.stats.efficiency()) * 100.0
+    );
     println!("divergent control flow; the batmap sweep does neither.");
 }

@@ -58,7 +58,10 @@ fn main() {
     let rate = effective_rate(&stats, &timing);
     println!("\nsimulated kernel time (triangular schedule): {sim_s:.4} s");
     println!("useful bytes moved: {:.3e}", stats.useful_bytes as f64);
-    println!("effective rate: {} (paper measured 36.2 GB/s)", human_rate(rate));
+    println!(
+        "effective rate: {} (paper measured 36.2 GB/s)",
+        human_rate(rate)
+    );
     println!(
         "fraction of peak bandwidth: {:.2} (paper: ~1/4.4 of 159 GB/s)",
         rate / device.mem_bandwidth

@@ -13,6 +13,7 @@
 
 pub mod pbi;
 
+use batmap::KernelBackend;
 use datagen::uniform::{generate, UniformSpec};
 use fim::TransactionDb;
 
@@ -31,6 +32,8 @@ pub struct HarnessConfig {
     pub apriori_budget: usize,
     /// Seed for generators and hashing.
     pub seed: u64,
+    /// Match-count backend the experiments dispatch through.
+    pub kernel: KernelBackend,
 }
 
 impl Default for HarnessConfig {
@@ -41,6 +44,7 @@ impl Default for HarnessConfig {
             full: false,
             apriori_budget: 1 << 30,
             seed: 0x1DB5,
+            kernel: KernelBackend::Auto,
         }
     }
 }
@@ -51,26 +55,45 @@ impl HarnessConfig {
     pub fn from_args() -> Self {
         let mut cfg = HarnessConfig::default();
         let args: Vec<String> = std::env::args().skip(1).collect();
+        // A value-taking flag at the end of the line gets the usage
+        // message, not an index panic.
+        fn value<'a>(args: &'a [String], i: &mut usize, what: &str) -> &'a str {
+            *i += 1;
+            args.get(*i).map(String::as_str).unwrap_or_else(|| {
+                eprintln!("{what}");
+                std::process::exit(2);
+            })
+        }
         let mut i = 0;
         while i < args.len() {
             match args[i].as_str() {
                 "--scale" => {
-                    i += 1;
-                    cfg.scale = args[i].parse().expect("--scale takes a float");
+                    cfg.scale = value(&args, &mut i, "--scale takes a float")
+                        .parse()
+                        .expect("--scale takes a float");
                 }
                 "--budget" => {
-                    i += 1;
-                    cfg.apriori_budget = args[i].parse().expect("--budget takes bytes");
+                    cfg.apriori_budget = value(&args, &mut i, "--budget takes bytes")
+                        .parse()
+                        .expect("--budget takes bytes");
                 }
                 "--seed" => {
-                    i += 1;
-                    cfg.seed = args[i].parse().expect("--seed takes an integer");
+                    cfg.seed = value(&args, &mut i, "--seed takes an integer")
+                        .parse()
+                        .expect("--seed takes an integer");
+                }
+                "--kernel" => {
+                    let name = value(&args, &mut i, "--kernel takes auto|scalar|swar32|swar64");
+                    cfg.kernel = KernelBackend::from_name(name).unwrap_or_else(|| {
+                        eprintln!("--kernel takes auto|scalar|swar32|swar64");
+                        std::process::exit(2);
+                    });
                 }
                 "--quick" => cfg.quick = true,
                 "--full" => cfg.full = true,
                 other => {
                     eprintln!(
-                        "unknown argument {other}\nusage: [--scale F] [--quick] [--full] [--budget BYTES] [--seed N]"
+                        "unknown argument {other}\nusage: [--scale F] [--quick] [--full] [--budget BYTES] [--seed N] [--kernel NAME]"
                     );
                     std::process::exit(2);
                 }

@@ -69,7 +69,9 @@ impl Kernel for PbiKernel<'_> {
             for r in 0..16 {
                 let base = (row0 + r) * self.data.row_words + s * 16;
                 let words = ctx.load_seq(&self.data.buffer, base, 16);
-                ctx.shared().region_mut(r * 16..r * 16 + 16).copy_from_slice(words);
+                ctx.shared()
+                    .region_mut(r * 16..r * 16 + 16)
+                    .copy_from_slice(words);
             }
             for c in 0..16 {
                 let base = (col0 + c) * self.data.row_words + s * 16;
@@ -122,7 +124,11 @@ mod tests {
         let db = TransactionDb::new(
             20,
             (0..400usize)
-                .map(|t| (0..20).filter(|&i| (t + i as usize).is_multiple_of(4)).collect())
+                .map(|t| {
+                    (0..20)
+                        .filter(|&i| (t + i as usize).is_multiple_of(4))
+                        .collect()
+                })
                 .collect(),
         );
         let v = VerticalDb::from_horizontal(&db);
@@ -154,7 +160,11 @@ mod tests {
             let db = TransactionDb::new(
                 16,
                 (0..512usize)
-                    .map(|t| (0..16).filter(|&i| (t + i as usize).is_multiple_of(modulus)).collect())
+                    .map(|t| {
+                        (0..16)
+                            .filter(|&i| (t + i as usize).is_multiple_of(modulus))
+                            .collect()
+                    })
                     .collect(),
             );
             let v = VerticalDb::from_horizontal(&db);

@@ -55,7 +55,12 @@ impl Batmap {
         len: usize,
     ) -> Self {
         debug_assert_eq!(bytes.len() as u64, TABLES as u64 * r);
-        Batmap { params, r, bytes, len }
+        Batmap {
+            params,
+            r,
+            bytes,
+            len,
+        }
     }
 
     /// The universe parameters this batmap was built from.
@@ -142,6 +147,24 @@ impl Batmap {
             return Err(BatmapError::UniverseMismatch);
         }
         Ok(intersect::count(self, other))
+    }
+
+    /// [`Self::intersect_count`] with an explicit match-count backend,
+    /// overriding the one configured on the universe parameters.
+    ///
+    /// # Panics
+    /// Panics if the two batmaps come from different universes.
+    pub fn intersect_count_with(
+        &self,
+        kernel: &dyn crate::kernel::MatchKernel,
+        other: &Batmap,
+    ) -> u64 {
+        assert_eq!(
+            self.params.fingerprint(),
+            other.params.fingerprint(),
+            "batmaps from different universes"
+        );
+        intersect::count_with(kernel, self, other)
     }
 
     /// Density of the represented set relative to the universe.
@@ -329,8 +352,11 @@ mod tests {
     #[test]
     fn serde_roundtrip_preserves_behaviour() {
         let p = params(20_000);
-        let a = Batmap::build(p.clone(), &(0..700).map(|i| i * 13 % 20_000).collect::<Vec<_>>())
-            .batmap;
+        let a = Batmap::build(
+            p.clone(),
+            &(0..700).map(|i| i * 13 % 20_000).collect::<Vec<_>>(),
+        )
+        .batmap;
         let b = Batmap::build(p, &(0..300).map(|i| i * 7 % 20_000).collect::<Vec<_>>()).batmap;
         let json = serde_json::to_string(&a).unwrap();
         let restored: Batmap = serde_json::from_str(&json).unwrap();
@@ -339,6 +365,23 @@ mod tests {
         // A restored batmap interoperates with live ones from the same
         // universe (fingerprints survive the round trip).
         assert_eq!(restored.intersect_count(&b), a.intersect_count(&b));
+    }
+
+    #[test]
+    fn serde_reads_payloads_predating_kernel_field() {
+        // Universes serialized before the `kernel` field existed have
+        // no "kernel" key; they must still load (defaulting to Auto).
+        let p = params(5_000);
+        let a = Batmap::build(p, &[1, 2, 3]).batmap;
+        let json = serde_json::to_string(&a).unwrap();
+        let old = json.replace("\"kernel\":\"auto\",", "");
+        assert!(!old.contains("kernel"), "kernel field not stripped");
+        let restored: Batmap = serde_json::from_str(&old).unwrap();
+        assert_eq!(
+            restored.params().kernel_backend(),
+            crate::kernel::KernelBackend::Auto
+        );
+        assert_eq!(restored.intersect_count(&a), 3);
     }
 
     #[test]

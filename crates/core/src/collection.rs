@@ -106,7 +106,10 @@ impl BatmapCollection {
 
 impl MemoryFootprint for BatmapCollection {
     fn heap_bytes(&self) -> usize {
-        self.batmaps.iter().map(MemoryFootprint::heap_bytes).sum::<usize>()
+        self.batmaps
+            .iter()
+            .map(MemoryFootprint::heap_bytes)
+            .sum::<usize>()
             + self.failed.capacity() * 8
     }
 }

@@ -10,21 +10,29 @@
 //! `g mod (rᵢ/r₀)` of `Bᵢ` with identical within-block offsets, and
 //! blocks are laid out consecutively; see `BatmapParams::slot_of`.)
 
-use crate::swar;
+use crate::kernel::MatchKernel;
 use crate::Batmap;
 
-/// `|a ∩ b|`. Callers must have verified the batmaps share a universe
-/// (see [`Batmap::try_intersect_count`]).
+/// `|a ∩ b|` using the backend configured on `a`'s universe parameters.
+/// Callers must have verified the batmaps share a universe (see
+/// [`Batmap::try_intersect_count`]).
 pub(crate) fn count(a: &Batmap, b: &Batmap) -> u64 {
+    count_with(a.params().kernel(), a, b)
+}
+
+/// `|a ∩ b|` with an explicit match-count backend. This is the single
+/// entry point through which positional counting reaches a kernel; the
+/// per-backend bench axis drives it directly.
+pub fn count_with(kernel: &dyn MatchKernel, a: &Batmap, b: &Batmap) -> u64 {
     let (small, large) = if a.width_bytes() <= b.width_bytes() {
         (a, b)
     } else {
         (b, a)
     };
     if small.width_bytes() == large.width_bytes() {
-        swar::match_count_slices(small.as_bytes(), large.as_bytes())
+        kernel.count_equal_width(small.as_bytes(), large.as_bytes())
     } else {
-        swar::match_count_wrapped(large.as_bytes(), small.as_bytes())
+        kernel.count_wrapped(large.as_bytes(), small.as_bytes())
     }
 }
 
@@ -62,10 +70,43 @@ mod tests {
         let b: Vec<u32> = (0..400).map(|i| i * 9 % 40_000).collect();
         let ba = Batmap::build(p.clone(), &a).batmap;
         let bb = Batmap::build(p, &b).batmap;
-        assert_eq!(
-            ba.intersect_count(&bb),
-            super::count_by_decoding(&ba, &bb)
-        );
+        assert_eq!(ba.intersect_count(&bb), super::count_by_decoding(&ba, &bb));
+    }
+
+    #[test]
+    fn every_backend_counts_identically() {
+        use crate::kernel::ALL_BACKENDS;
+        let p = Arc::new(BatmapParams::new(30_000, 5));
+        let small: Vec<u32> = (0..200).map(|i| i * 11 % 30_000).collect();
+        let large: Vec<u32> = (0..4000).map(|i| i * 7 % 30_000).collect();
+        let bs = Batmap::build(p.clone(), &small).batmap;
+        let bl = Batmap::build(p, &large).batmap;
+        let expect = super::count_by_decoding(&bs, &bl);
+        for backend in ALL_BACKENDS {
+            assert_eq!(
+                super::count_with(backend.kernel(), &bs, &bl),
+                expect,
+                "backend {backend} (folded path)"
+            );
+            assert_eq!(
+                super::count_with(backend.kernel(), &bl, &bl),
+                bl.len() as u64,
+                "backend {backend} (equal-width path)"
+            );
+        }
+    }
+
+    #[test]
+    fn params_pinned_backend_is_used() {
+        use crate::kernel::KernelBackend;
+        for backend in crate::kernel::ALL_BACKENDS {
+            let p = Arc::new(BatmapParams::new(10_000, 9).with_kernel(backend));
+            let a = Batmap::build(p.clone(), &(0..800).collect::<Vec<_>>()).batmap;
+            let b = Batmap::build(p, &(400..1200).collect::<Vec<_>>()).batmap;
+            assert_eq!(a.params().kernel_backend(), backend);
+            assert_eq!(a.intersect_count(&b), 400);
+        }
+        let _ = KernelBackend::Auto; // exercised via the default elsewhere
     }
 
     #[test]
@@ -74,8 +115,11 @@ mod tests {
         let probe = Batmap::build(p.clone(), &(0..500).collect::<Vec<_>>()).batmap;
         let many: Vec<Batmap> = (0..5)
             .map(|k| {
-                Batmap::build(p.clone(), &(0..(100 * (k + 1))).map(|i| i * 2).collect::<Vec<_>>())
-                    .batmap
+                Batmap::build(
+                    p.clone(),
+                    &(0..(100 * (k + 1))).map(|i| i * 2).collect::<Vec<_>>(),
+                )
+                .batmap
             })
             .collect();
         let counts = super::count_one_vs_many(&probe, &many);

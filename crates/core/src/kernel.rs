@@ -1,0 +1,435 @@
+//! Pluggable match-count kernel backends.
+//!
+//! The §III-A branch-free word comparison is the workhorse of the whole
+//! paper, and the natural seam for hardware specialization: the same
+//! positional predicate can be evaluated byte-at-a-time (scalar
+//! reference), four lanes per 32-bit word (the paper's printed SWAR
+//! form), eight lanes per 64-bit word (popcount widening), and — in
+//! future backends — 16/32 lanes per SIMD register or on a real GPU.
+//!
+//! [`MatchKernel`] abstracts that choice. Every consumer of match
+//! counting — [`crate::intersect`], [`crate::multiway`], and the
+//! `pairminer` engines — dispatches through this trait; the raw
+//! formulations in [`crate::swar`] are backend internals (and ablation
+//! material for the benches).
+//!
+//! Backend selection is runtime data, not a compile-time feature:
+//! [`KernelBackend::Auto`] resolves to the widest available kernel,
+//! honouring a `BATMAP_KERNEL` environment override, and can be pinned
+//! per universe via [`crate::BatmapParams::with_kernel`] or per mining
+//! run via the miner configuration.
+
+use crate::swar;
+use std::fmt;
+use std::sync::OnceLock;
+
+/// A positional match-counting backend.
+///
+/// Implementations must all compute the paper's exact predicate: a slot
+/// position counts iff the two 7-bit keys agree **and** at least one of
+/// the two indicator bits is set.
+pub trait MatchKernel: fmt::Debug + Send + Sync {
+    /// Stable human-readable backend name (used in bench labels and the
+    /// `BATMAP_KERNEL` override).
+    fn name(&self) -> &'static str;
+
+    /// Lanes processed per inner-loop step (1 for scalar, 4 for u32
+    /// words, 8 for u64 words).
+    fn lanes(&self) -> usize;
+
+    /// Count matching slots of one 32-bit word of four slots — the
+    /// granularity the §III-B GPU kernel stages through shared memory.
+    fn count_word_u32(&self, x: u32, y: u32) -> u32;
+
+    /// Scalar ops the §III-B GPU simulator charges per staged 32-bit
+    /// comparison with this backend (the paper's amortized accounting
+    /// for its u32 formulation is 8; wider or narrower backends scale
+    /// accordingly so simulated `--kernel` sweeps reflect backend
+    /// cost).
+    fn ops_per_staged_word(&self) -> u64 {
+        8
+    }
+
+    /// Count matching slots between two equal-width slot arrays.
+    fn count_equal_width(&self, xs: &[u8], ys: &[u8]) -> u64;
+
+    /// Count matches between `large` and `small` where `small` is
+    /// logically tiled (wrapped) along `large` — the §II comparison of
+    /// batmaps with different ranges, reduced to chunk wrap-around by
+    /// the block layout.
+    ///
+    /// # Panics
+    /// Panics if `small` is empty or `large.len()` is not a multiple of
+    /// `small.len()`.
+    fn count_wrapped(&self, large: &[u8], small: &[u8]) -> u64 {
+        assert!(!small.is_empty());
+        assert_eq!(
+            large.len() % small.len(),
+            0,
+            "large width {} must be a multiple of small width {}",
+            large.len(),
+            small.len()
+        );
+        large
+            .chunks_exact(small.len())
+            .map(|chunk| self.count_equal_width(chunk, small))
+            .sum()
+    }
+
+    /// Equality of two full positional values (the §V multiway sweep,
+    /// which stores uncompressed permuted values rather than slot
+    /// bytes). Branch-free in the SWAR backends.
+    fn value_eq(&self, x: u64, y: u64) -> bool {
+        x == y
+    }
+}
+
+/// Byte-at-a-time reference backend: the predicate with ordinary
+/// control flow. The test oracle, and the "branchy CPU" ablation point.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ScalarKernel;
+
+impl MatchKernel for ScalarKernel {
+    fn name(&self) -> &'static str {
+        "scalar"
+    }
+    fn lanes(&self) -> usize {
+        1
+    }
+    fn count_word_u32(&self, x: u32, y: u32) -> u32 {
+        swar::match_count_bytes(&x.to_le_bytes(), &y.to_le_bytes()) as u32
+    }
+    fn ops_per_staged_word(&self) -> u64 {
+        // Four byte lanes, each a branchy compare-mask-test sequence.
+        32
+    }
+    fn count_equal_width(&self, xs: &[u8], ys: &[u8]) -> u64 {
+        assert_eq!(xs.len(), ys.len(), "batmap slices must have equal width");
+        swar::match_count_bytes(xs, ys)
+    }
+}
+
+/// The paper's printed formulation: four slots per 32-bit word.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct SwarU32Kernel;
+
+impl MatchKernel for SwarU32Kernel {
+    fn name(&self) -> &'static str {
+        "swar32"
+    }
+    fn lanes(&self) -> usize {
+        4
+    }
+    fn count_word_u32(&self, x: u32, y: u32) -> u32 {
+        swar::match_count_u32(x, y)
+    }
+    fn count_equal_width(&self, xs: &[u8], ys: &[u8]) -> u64 {
+        assert_eq!(xs.len(), ys.len(), "batmap slices must have equal width");
+        let mut count = 0u64;
+        let mut chunks_x = xs.chunks_exact(4);
+        let mut chunks_y = ys.chunks_exact(4);
+        for (cx, cy) in (&mut chunks_x).zip(&mut chunks_y) {
+            let wx = u32::from_le_bytes(cx.try_into().unwrap());
+            let wy = u32::from_le_bytes(cy.try_into().unwrap());
+            count += swar::match_count_u32(wx, wy) as u64;
+        }
+        count + swar::match_count_bytes(chunks_x.remainder(), chunks_y.remainder())
+    }
+    fn value_eq(&self, x: u64, y: u64) -> bool {
+        branchless_eq(x, y)
+    }
+}
+
+/// Popcount widening: eight slots per 64-bit word (the widest portable
+/// backend; `std::simd`/AVX2 and real-GPU backends slot in behind the
+/// same trait).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct SwarU64Kernel;
+
+impl MatchKernel for SwarU64Kernel {
+    fn name(&self) -> &'static str {
+        "swar64"
+    }
+    fn lanes(&self) -> usize {
+        8
+    }
+    fn count_word_u32(&self, x: u32, y: u32) -> u32 {
+        // A single staged word: widen through the u64 kernel. At this
+        // granularity the 8-lane width buys nothing (the upper lanes
+        // are padding), so the simulated cost stays at the default 8
+        // ops — pairing adjacent staged words into one u64 comparison
+        // is the future optimization that would earn a discount here.
+        swar::match_count_u64(x as u64, y as u64)
+    }
+    fn count_equal_width(&self, xs: &[u8], ys: &[u8]) -> u64 {
+        swar::match_count_slices(xs, ys)
+    }
+    fn value_eq(&self, x: u64, y: u64) -> bool {
+        branchless_eq(x, y)
+    }
+}
+
+/// Branch-free `x == y` for 64-bit values: `x ^ y` is zero iff equal,
+/// and `d | -d` has its top bit set iff `d != 0`.
+#[inline]
+fn branchless_eq(x: u64, y: u64) -> bool {
+    let d = x ^ y;
+    (d | d.wrapping_neg()) >> 63 == 0
+}
+
+/// Runtime-selectable backend identifier.
+///
+/// Carried by [`crate::BatmapParams`] (and the miner configuration), so
+/// the choice travels with the data it applies to. `Auto` defers the
+/// decision to [`KernelBackend::resolve`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum KernelBackend {
+    /// Pick the widest available backend at runtime, honouring the
+    /// `BATMAP_KERNEL` environment override.
+    #[default]
+    Auto,
+    /// Byte-at-a-time reference.
+    Scalar,
+    /// Four lanes per 32-bit word (the paper's formulation).
+    SwarU32,
+    /// Eight lanes per 64-bit word.
+    SwarU64,
+}
+
+/// The concrete (non-`Auto`) backends, widest last.
+pub const ALL_BACKENDS: [KernelBackend; 3] = [
+    KernelBackend::Scalar,
+    KernelBackend::SwarU32,
+    KernelBackend::SwarU64,
+];
+
+impl KernelBackend {
+    /// Parse a backend name as used by `BATMAP_KERNEL` and bench labels.
+    pub fn from_name(name: &str) -> Option<Self> {
+        match name.trim().to_ascii_lowercase().as_str() {
+            "auto" => Some(KernelBackend::Auto),
+            "scalar" => Some(KernelBackend::Scalar),
+            "swar32" | "u32" => Some(KernelBackend::SwarU32),
+            "swar64" | "u64" => Some(KernelBackend::SwarU64),
+            _ => None,
+        }
+    }
+
+    /// Stable name of this backend.
+    pub fn name(self) -> &'static str {
+        match self {
+            KernelBackend::Auto => "auto",
+            KernelBackend::Scalar => "scalar",
+            KernelBackend::SwarU32 => "swar32",
+            KernelBackend::SwarU64 => "swar64",
+        }
+    }
+
+    /// Resolve `Auto` to a concrete backend: the `BATMAP_KERNEL`
+    /// environment variable if set to a valid concrete name, otherwise
+    /// the widest portable kernel. Concrete backends resolve to
+    /// themselves.
+    pub fn resolve(self) -> KernelBackend {
+        if self != KernelBackend::Auto {
+            return self;
+        }
+        static AUTO: OnceLock<KernelBackend> = OnceLock::new();
+        *AUTO.get_or_init(|| {
+            let var = std::env::var("BATMAP_KERNEL").ok();
+            match var.as_deref().map(KernelBackend::from_name) {
+                Some(Some(KernelBackend::Auto)) | None => KernelBackend::SwarU64,
+                Some(Some(concrete)) => concrete,
+                Some(None) => {
+                    // Never abort someone else's run over an env var,
+                    // but don't let a typo silently produce data for
+                    // the wrong experiment either.
+                    eprintln!(
+                        "warning: ignoring invalid BATMAP_KERNEL={} \
+                         (expected auto|scalar|swar32|swar64); using swar64",
+                        var.as_deref().unwrap_or_default()
+                    );
+                    KernelBackend::SwarU64
+                }
+            }
+        })
+    }
+
+    /// The kernel implementation this identifier selects.
+    pub fn kernel(self) -> &'static dyn MatchKernel {
+        match self.resolve() {
+            KernelBackend::Scalar => &ScalarKernel,
+            KernelBackend::SwarU32 => &SwarU32Kernel,
+            KernelBackend::SwarU64 => &SwarU64Kernel,
+            KernelBackend::Auto => unreachable!("resolve() returns a concrete backend"),
+        }
+    }
+
+    /// Monomorphizing dispatch: resolve the backend and run `op` with
+    /// the concrete kernel type, so hot loops written against
+    /// `K: MatchKernel` pay no virtual call per position. This is the
+    /// single place that maps identifiers to types — new backends are
+    /// added here once and every dispatch site inherits them.
+    pub fn dispatch<D: KernelDispatch>(self, op: D) -> D::Output {
+        match self.resolve() {
+            KernelBackend::Scalar => op.run(ScalarKernel),
+            KernelBackend::SwarU32 => op.run(SwarU32Kernel),
+            KernelBackend::SwarU64 => op.run(SwarU64Kernel),
+            KernelBackend::Auto => unreachable!("resolve() returns a concrete backend"),
+        }
+    }
+}
+
+/// An operation generic over the concrete kernel type, for
+/// [`KernelBackend::dispatch`] (monomorphized per backend).
+pub trait KernelDispatch {
+    /// Result of the operation.
+    type Output;
+    /// Run with the concrete backend.
+    fn run<K: MatchKernel>(self, kernel: K) -> Self::Output;
+}
+
+impl fmt::Display for KernelBackend {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+// Serialized as the backend name, so parameter fingerprints and stored
+// universes stay readable and forward-compatible with new backends.
+impl serde::Serialize for KernelBackend {
+    fn serialize<S: serde::Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+        s.serialize_str(self.name())
+    }
+}
+
+impl<'de> serde::Deserialize<'de> for KernelBackend {
+    fn deserialize<D: serde::Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+        let name = String::deserialize(d)?;
+        KernelBackend::from_name(&name)
+            .ok_or_else(|| serde::de::Error::custom(format!("unknown kernel backend `{name}`")))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sl(key: u8, ind: bool) -> u8 {
+        key | if ind { 0x80 } else { 0 }
+    }
+
+    fn sample_arrays(len: usize, seed: u64) -> (Vec<u8>, Vec<u8>) {
+        let mut state = seed | 1;
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state
+        };
+        let gen = |next: &mut dyn FnMut() -> u64| -> Vec<u8> {
+            (0..len)
+                .map(|_| {
+                    let r = next();
+                    if r.is_multiple_of(5) {
+                        0x7F // empty slot
+                    } else {
+                        sl((r >> 8) as u8 % 0x7F, r & 1 == 1)
+                    }
+                })
+                .collect()
+        };
+        (gen(&mut next), gen(&mut next))
+    }
+
+    #[test]
+    fn backends_agree_on_equal_width() {
+        for len in [0usize, 1, 3, 4, 7, 8, 15, 64, 257] {
+            let (xs, ys) = sample_arrays(len, 0xBEEF + len as u64);
+            let expect = ScalarKernel.count_equal_width(&xs, &ys);
+            for backend in ALL_BACKENDS {
+                assert_eq!(
+                    backend.kernel().count_equal_width(&xs, &ys),
+                    expect,
+                    "backend {backend} len {len}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn backends_agree_on_wrapped() {
+        let (small_x, _) = sample_arrays(64, 1);
+        let (large, _) = sample_arrays(256, 2);
+        let expect = ScalarKernel.count_wrapped(&large, &small_x);
+        for backend in ALL_BACKENDS {
+            assert_eq!(
+                backend.kernel().count_wrapped(&large, &small_x),
+                expect,
+                "backend {backend}"
+            );
+        }
+    }
+
+    #[test]
+    fn wrapped_tiles_small_over_large() {
+        let small = vec![sl(1, true), sl(2, false), sl(3, true), 0x7F];
+        let mut large = small.clone();
+        large.extend_from_slice(&[sl(1, false), 0x7F, sl(3, false), 0x7F]);
+        // Chunk 0 vs small: lanes 0 and 2 match with indicators set,
+        // lane 1 keys equal but both indicators clear, lane 3 empty
+        // => 2. Chunk 1 vs small: lanes 0 and 2 match 1|0 => 2.
+        for backend in ALL_BACKENDS {
+            assert_eq!(backend.kernel().count_wrapped(&large, &small), 2 + 2);
+        }
+    }
+
+    #[test]
+    #[should_panic]
+    fn wrapped_requires_divisible_width() {
+        let _ = ScalarKernel.count_wrapped(&[0u8; 6], &[0u8; 4]);
+    }
+
+    #[test]
+    fn backends_agree_per_word() {
+        let (xs, ys) = sample_arrays(4 * 512, 3);
+        for (cx, cy) in xs.chunks_exact(4).zip(ys.chunks_exact(4)) {
+            let x = u32::from_le_bytes(cx.try_into().unwrap());
+            let y = u32::from_le_bytes(cy.try_into().unwrap());
+            let expect = ScalarKernel.count_word_u32(x, y);
+            for backend in ALL_BACKENDS {
+                assert_eq!(backend.kernel().count_word_u32(x, y), expect);
+            }
+        }
+    }
+
+    #[test]
+    fn branchless_eq_is_eq() {
+        let values = [0u64, 1, u64::MAX, 1 << 63, 0x0123_4567_89AB_CDEF];
+        for &x in &values {
+            for &y in &values {
+                assert_eq!(branchless_eq(x, y), x == y, "x={x:#x} y={y:#x}");
+                for backend in ALL_BACKENDS {
+                    assert_eq!(backend.kernel().value_eq(x, y), x == y);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn auto_resolves_concrete_and_names_roundtrip() {
+        let resolved = KernelBackend::Auto.resolve();
+        assert_ne!(resolved, KernelBackend::Auto);
+        for backend in ALL_BACKENDS {
+            assert_eq!(KernelBackend::from_name(backend.name()), Some(backend));
+            assert_eq!(backend.resolve(), backend);
+        }
+        assert_eq!(KernelBackend::from_name("AUTO"), Some(KernelBackend::Auto));
+        assert_eq!(KernelBackend::from_name("nope"), None);
+    }
+
+    #[test]
+    fn lanes_are_ordered_widest_last() {
+        let lanes: Vec<usize> = ALL_BACKENDS.iter().map(|b| b.kernel().lanes()).collect();
+        assert_eq!(lanes, vec![1, 4, 8]);
+    }
+}

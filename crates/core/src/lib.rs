@@ -39,7 +39,10 @@
 //! * [`slot`] — the 8-bit slot encoding (7-bit key + indicator bit).
 //! * [`builder`] — cuckoo 2-of-3 construction, failure handling.
 //! * [`batmap`] — the immutable [`Batmap`] itself.
-//! * [`swar`] — the paper's branch-free word-comparison kernels.
+//! * [`kernel`] — the pluggable [`kernel::MatchKernel`] backend layer
+//!   (scalar reference, SWAR-u32, SWAR-u64; runtime-selectable).
+//! * [`swar`] — the paper's raw branch-free formulations (backend
+//!   internals and ablation material).
 //! * [`intersect`] — equal-width and folded intersection counting.
 //! * [`uncompressed`] — the abstract `3×r` reference structure.
 //! * [`update`] — in-place insert/remove with automatic growth.
@@ -57,19 +60,21 @@ pub mod collection;
 pub mod error;
 pub mod hash;
 pub mod intersect;
+pub mod kernel;
 pub mod multiway;
 pub mod params;
 pub mod slot;
 pub mod space;
 pub mod swar;
-pub mod update;
 pub mod uncompressed;
+pub mod update;
 
 pub use batmap::Batmap;
-pub use collection::BatmapCollection;
 pub use builder::{BatmapBuilder, BuildOutcome, InsertOutcome, InsertStats};
+pub use collection::BatmapCollection;
 pub use error::BatmapError;
-pub use params::{BatmapParams, ParamsHandle, TABLES};
+pub use kernel::{KernelBackend, MatchKernel, ALL_BACKENDS};
 pub use multiway::{intersect_count_probe, MultiwayBatmap, MultiwayParams};
+pub use params::{BatmapParams, ParamsHandle, TABLES};
 pub use uncompressed::UncompressedBatmap;
 pub use update::UpdateOutcome;

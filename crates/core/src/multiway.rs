@@ -26,6 +26,7 @@
 
 use crate::batmap::Batmap;
 use crate::hash::Permutation;
+use crate::kernel::{KernelBackend, KernelDispatch, MatchKernel};
 use serde::{Deserialize, Serialize};
 use std::sync::Arc;
 
@@ -45,6 +46,12 @@ pub struct MultiwayParams {
     max_loop: u32,
     /// Defining seed (fingerprint component).
     seed: u64,
+    /// Match-count backend for the positional sweep (not part of the
+    /// fingerprint; it changes how counts are computed, not what).
+    /// Defaults on absence so older serialized parameters stay
+    /// readable.
+    #[serde(default)]
+    kernel: KernelBackend,
     /// The `d+1` shared permutations.
     perms: Vec<Permutation>,
 }
@@ -66,6 +73,7 @@ impl MultiwayParams {
             d,
             max_loop: 128,
             seed,
+            kernel: KernelBackend::Auto,
             perms,
         }
     }
@@ -76,6 +84,18 @@ impl MultiwayParams {
         assert!(max_loop > 0);
         self.max_loop = max_loop;
         self
+    }
+
+    /// Pin the match-count backend used by the positional sweep.
+    pub fn with_kernel(mut self, kernel: KernelBackend) -> Self {
+        self.kernel = kernel;
+        self
+    }
+
+    /// The kernel implementation the sweep dispatches to.
+    #[inline]
+    pub fn kernel(&self) -> &'static dyn MatchKernel {
+        self.kernel.kernel()
     }
 
     /// Universe size.
@@ -240,6 +260,22 @@ impl MultiwayBatmap {
                 .all(|m| m.params.fingerprint() == params.fingerprint()),
             "operands from different universes"
         );
+        // Monomorphize over the configured backend so the per-slot
+        // `value_eq` inlines: the sweep is a hot loop and must not pay
+        // a virtual call per position.
+        struct Sweep<'a, 'b>(&'a [&'b MultiwayBatmap]);
+        impl KernelDispatch for Sweep<'_, '_> {
+            type Output = u64;
+            fn run<K: MatchKernel>(self, kernel: K) -> u64 {
+                MultiwayBatmap::sweep(&kernel, self.0)
+            }
+        }
+        params.kernel.dispatch(Sweep(maps))
+    }
+
+    /// The generalized positional sweep, monomorphized per backend.
+    fn sweep<K: MatchKernel>(kernel: &K, maps: &[&MultiwayBatmap]) -> u64 {
+        let params = &maps[0].params;
         let tables = params.tables();
         let r_max = maps.iter().map(|m| m.r).max().unwrap();
         let mut count = 0u64;
@@ -251,7 +287,9 @@ impl MultiwayBatmap {
                 if v0 == EMPTY {
                     continue;
                 }
-                let all_match = maps[1..].iter().all(|m| m.values[m.slot(t, p)] == v0);
+                let all_match = maps[1..]
+                    .iter()
+                    .all(|m| kernel.value_eq(m.values[m.slot(t, p)], v0));
                 if !all_match {
                     continue;
                 }
@@ -300,7 +338,10 @@ pub fn intersect_count_probe(sets: &[&Batmap]) -> u64 {
     smallest
         .elements()
         .into_iter()
-        .filter(|&x| sets.iter().all(|s| std::ptr::eq(*s, *smallest) || s.contains(x)))
+        .filter(|&x| {
+            sets.iter()
+                .all(|s| std::ptr::eq(*s, *smallest) || s.contains(x))
+        })
         .count() as u64
 }
 
@@ -359,10 +400,7 @@ mod tests {
             .collect();
         let refs: Vec<&MultiwayBatmap> = maps.iter().collect();
         let slices: Vec<&[u32]> = sets.iter().map(Vec::as_slice).collect();
-        assert_eq!(
-            MultiwayBatmap::intersect_count(&refs),
-            exact_k_way(&slices)
-        );
+        assert_eq!(MultiwayBatmap::intersect_count(&refs), exact_k_way(&slices));
         // Different widths were actually exercised.
         let widths: BTreeSet<u64> = maps.iter().map(MultiwayBatmap::range).collect();
         assert!(widths.len() > 1);
@@ -434,6 +472,23 @@ mod tests {
             let refs: Vec<&Batmap> = maps[..k].iter().collect();
             let slices: Vec<&[u32]> = sets[..k].iter().map(Vec::as_slice).collect();
             assert_eq!(intersect_count_probe(&refs), exact_k_way(&slices), "k={k}");
+        }
+    }
+
+    #[test]
+    fn sweep_agrees_across_kernel_backends() {
+        let a: Vec<u32> = (0..600).map(|i| i * 3 % 9_000).collect();
+        let b: Vec<u32> = (0..500).map(|i| i * 5 % 9_000).collect();
+        let expect = exact_k_way(&[&a, &b]);
+        for backend in crate::kernel::ALL_BACKENDS {
+            let p = Arc::new(MultiwayParams::new(9_000, 3, 0xD0F).with_kernel(backend));
+            let ma = MultiwayBatmap::build(p.clone(), &a).unwrap();
+            let mb = MultiwayBatmap::build(p, &b).unwrap();
+            assert_eq!(
+                MultiwayBatmap::intersect_count(&[&ma, &mb]),
+                expect,
+                "backend {backend}"
+            );
         }
     }
 

@@ -7,6 +7,7 @@
 //! the same [`BatmapParams`] (enforced via a cheap fingerprint).
 
 use crate::hash::PermutationTriple;
+use crate::kernel::{KernelBackend, MatchKernel};
 use serde::{Deserialize, Serialize};
 use std::sync::Arc;
 
@@ -43,6 +44,13 @@ pub struct BatmapParams {
     max_loop: u32,
     /// Master seed (kept for fingerprinting / serialization).
     seed: u64,
+    /// Match-count backend used by intersections over this universe.
+    /// Excluded from the fingerprint: the backend changes how counts
+    /// are computed, never what they are, so differently-configured
+    /// batmaps stay comparable. Defaults on absence so parameters
+    /// serialized before this field existed stay readable.
+    #[serde(default)]
+    kernel: KernelBackend,
     /// The shared permutations π₁..π₃.
     perms: PermutationTriple,
 }
@@ -90,8 +98,30 @@ impl BatmapParams {
             r0: 1 << s,
             max_loop,
             seed,
+            kernel: KernelBackend::Auto,
             perms: PermutationTriple::new(m, seed),
         }
+    }
+
+    /// Pin the match-count backend for every intersection over this
+    /// universe (the default, [`KernelBackend::Auto`], picks the widest
+    /// available kernel at first use).
+    pub fn with_kernel(mut self, kernel: KernelBackend) -> Self {
+        self.kernel = kernel;
+        self
+    }
+
+    /// The configured match-count backend identifier.
+    #[inline]
+    pub fn kernel_backend(&self) -> KernelBackend {
+        self.kernel
+    }
+
+    /// The match-count kernel implementation intersections over this
+    /// universe dispatch to.
+    #[inline]
+    pub fn kernel(&self) -> &'static dyn MatchKernel {
+        self.kernel.kernel()
     }
 
     /// Universe size `m`.
@@ -331,5 +361,16 @@ mod tests {
     #[should_panic]
     fn zero_universe_panics() {
         let _ = BatmapParams::new(0, 1);
+    }
+
+    #[test]
+    fn kernel_choice_does_not_change_fingerprint() {
+        use crate::kernel::KernelBackend;
+        let auto = BatmapParams::new(1000, 1);
+        let scalar = BatmapParams::new(1000, 1).with_kernel(KernelBackend::Scalar);
+        assert_eq!(auto.fingerprint(), scalar.fingerprint());
+        assert_eq!(scalar.kernel_backend(), KernelBackend::Scalar);
+        assert_eq!(scalar.kernel().name(), "scalar");
+        assert_eq!(auto.kernel_backend(), KernelBackend::Auto);
     }
 }

@@ -129,7 +129,10 @@ mod tests {
             // so overhead ≤ 96 / log₂(1/d) up to rounding — a constant
             // in m, as claimed.
             let per_elem = report.batmap_bits as f64 / n as f64;
-            assert!(per_elem <= 96.0 + 1e-9, "density {density}: {per_elem} bits/elem");
+            assert!(
+                per_elem <= 96.0 + 1e-9,
+                "density {density}: {per_elem} bits/elem"
+            );
             let bound = 96.0 / (1.0 / density).log2() * 1.15;
             assert!(
                 report.overhead() < bound,

@@ -46,7 +46,11 @@ const LO64: u64 = 0x0101_0101_0101_0101;
 pub fn match_count_u32(x: u32, y: u32) -> u32 {
     let p = ((x ^ y) | HI32).wrapping_sub(LO32);
     let pp = !p & ((x | y) & HI32);
-    ((pp >> 7).wrapping_add(pp >> 15).wrapping_add(pp >> 23).wrapping_add(pp >> 31)) & 7
+    ((pp >> 7)
+        .wrapping_add(pp >> 15)
+        .wrapping_add(pp >> 23)
+        .wrapping_add(pp >> 31))
+        & 7
 }
 
 /// Count matching lanes in two 64-bit words of eight slots each.
@@ -74,7 +78,11 @@ pub fn match_count_u64(x: u64, y: u64) -> u32 {
 pub fn match_count_u32_keys_only(x: u32, y: u32) -> u32 {
     let p = ((x ^ y) | HI32).wrapping_sub(LO32);
     let pp = !p & HI32;
-    ((pp >> 7).wrapping_add(pp >> 15).wrapping_add(pp >> 23).wrapping_add(pp >> 31)) & 7
+    ((pp >> 7)
+        .wrapping_add(pp >> 15)
+        .wrapping_add(pp >> 23)
+        .wrapping_add(pp >> 31))
+        & 7
 }
 
 /// Scalar reference: the same predicate evaluated per byte with ordinary
@@ -109,24 +117,9 @@ pub fn match_count_slices(xs: &[u8], ys: &[u8]) -> u64 {
     count + match_count_bytes(chunks_x.remainder(), chunks_y.remainder())
 }
 
-/// Count matches between `large` and `small` where `small` is logically
-/// tiled (wrapped) along `large` — the §II "batmaps of different sizes"
-/// comparison, after the block layout reduces folding to chunk wrap
-/// (see `intersect.rs`).
-pub fn match_count_wrapped(large: &[u8], small: &[u8]) -> u64 {
-    assert!(!small.is_empty());
-    assert_eq!(
-        large.len() % small.len(),
-        0,
-        "large width {} must be a multiple of small width {}",
-        large.len(),
-        small.len()
-    );
-    large
-        .chunks_exact(small.len())
-        .map(|chunk| match_count_slices(chunk, small))
-        .sum()
-}
+// The §II "batmaps of different sizes" wrap-around comparison lives in
+// `kernel::MatchKernel::count_wrapped` (one copy, shared by every
+// backend); this module keeps only the word-level formulations.
 
 #[cfg(test)]
 mod tests {
@@ -181,8 +174,26 @@ mod tests {
 
     #[test]
     fn u64_matches_u32_composition() {
-        let bytes_x: [u8; 8] = [sl(1, true), sl(2, false), 0x7F, sl(3, true), sl(4, true), 0x7F, sl(5, false), sl(6, true)];
-        let bytes_y: [u8; 8] = [sl(1, false), sl(2, false), 0x7F, sl(9, true), sl(4, false), 0x7F, sl(5, true), sl(6, false)];
+        let bytes_x: [u8; 8] = [
+            sl(1, true),
+            sl(2, false),
+            0x7F,
+            sl(3, true),
+            sl(4, true),
+            0x7F,
+            sl(5, false),
+            sl(6, true),
+        ];
+        let bytes_y: [u8; 8] = [
+            sl(1, false),
+            sl(2, false),
+            0x7F,
+            sl(9, true),
+            sl(4, false),
+            0x7F,
+            sl(5, true),
+            sl(6, false),
+        ];
         let x64 = u64::from_le_bytes(bytes_x);
         let y64 = u64::from_le_bytes(bytes_y);
         let lo_x = u32::from_le_bytes(bytes_x[..4].try_into().unwrap());
@@ -202,25 +213,6 @@ mod tests {
         let ys = xs.clone();
         let expected = match_count_bytes(&xs, &ys);
         assert_eq!(match_count_slices(&xs, &ys), expected);
-    }
-
-    #[test]
-    fn wrapped_tiles_small_over_large() {
-        let small = vec![sl(1, true), sl(2, false), sl(3, true), 0x7F];
-        let mut large = small.clone();
-        large.extend_from_slice(&[sl(1, false), 0x7F, sl(3, false), 0x7F]);
-        // Chunk 0: lanes 0 and 2 match (indicators 1|1), lane 1 keys
-        // equal but 0|0... wait lane 1 is sl(2,false) vs sl(2,false):
-        // keys equal, no indicator -> 0. Lane 3 empty. => 2.
-        // Chunk 1 vs small: lane 0 keys 1==1 ind 1|0 -> 1; lane 1 empty
-        // vs key2 -> 0; lane 2 keys 3==3 ind 1|0 -> 1; lane 3 empty.
-        assert_eq!(match_count_wrapped(&large, &small), 2 + 2);
-    }
-
-    #[test]
-    #[should_panic]
-    fn wrapped_requires_divisible_width() {
-        let _ = match_count_wrapped(&[0u8; 6], &[0u8; 4]);
     }
 
     #[test]

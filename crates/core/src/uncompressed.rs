@@ -125,7 +125,11 @@ impl UncompressedBatmap {
             other.params.fingerprint(),
             "universe mismatch"
         );
-        let (small, large) = if self.r <= other.r { (self, other) } else { (other, self) };
+        let (small, large) = if self.r <= other.r {
+            (self, other)
+        } else {
+            (other, self)
+        };
         let mut count = 0u64;
         for t in 0..TABLES {
             for p in 0..large.r {

@@ -40,7 +40,10 @@ impl Batmap {
     /// after any number of updates (growth preserves the shared hash
     /// functions; only the fold width changes).
     pub fn insert_mut(&mut self, x: u32) -> UpdateOutcome {
-        assert!((x as u64) < self.params().m(), "element {x} outside universe");
+        assert!(
+            (x as u64) < self.params().m(),
+            "element {x} outside universe"
+        );
         if self.contains(x) {
             return UpdateOutcome::AlreadyPresent;
         }

@@ -28,8 +28,8 @@ impl BitmapIndex {
         let words_per_row = (m as usize).div_ceil(64);
         let mut words = vec![0u64; words_per_row * v.n_items() as usize];
         for item in 0..v.n_items() {
-            let row = &mut words
-                [item as usize * words_per_row..(item as usize + 1) * words_per_row];
+            let row =
+                &mut words[item as usize * words_per_row..(item as usize + 1) * words_per_row];
             for &tid in v.tidlist(item) {
                 row[(tid / 64) as usize] |= 1u64 << (tid % 64);
             }
@@ -157,10 +157,7 @@ mod tests {
 
     #[test]
     fn crosses_word_boundaries() {
-        let tidlists = vec![
-            vec![0, 63, 64, 127, 128],
-            vec![63, 64, 100, 128],
-        ];
+        let tidlists = vec![vec![0, 63, 64, 127, 128], vec![63, 64, 100, 128]];
         let v = VerticalDb::new(130, tidlists);
         let idx = BitmapIndex::from_vertical(&v);
         assert_eq!(idx.words_per_row(), 3);

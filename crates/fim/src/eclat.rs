@@ -88,7 +88,15 @@ fn dfs(
             support,
         });
         if prefix.len() < max_len {
-            dfs(v, &extensions[idx + 1..], &joined, minsup, max_len, prefix, out);
+            dfs(
+                v,
+                &extensions[idx + 1..],
+                &joined,
+                minsup,
+                max_len,
+                prefix,
+                out,
+            );
         }
         prefix.pop();
     }

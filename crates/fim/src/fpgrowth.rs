@@ -68,13 +68,10 @@ impl FpTree {
         let mut ranked = Vec::new();
         for t in db.transactions() {
             ranked.clear();
-            ranked.extend(
-                t.iter()
-                    .filter_map(|&i| {
-                        let r = item_to_rank[i as usize];
-                        (r != NIL).then_some(r)
-                    }),
-            );
+            ranked.extend(t.iter().filter_map(|&i| {
+                let r = item_to_rank[i as usize];
+                (r != NIL).then_some(r)
+            }));
             ranked.sort_unstable();
             tree.insert_path(&ranked, 1);
         }
@@ -138,7 +135,9 @@ impl FpTree {
                         children: Vec::new(),
                     });
                     self.headers[item as usize] = child;
-                    self.nodes[node as usize].children.insert(idx, (item, child));
+                    self.nodes[node as usize]
+                        .children
+                        .insert(idx, (item, child));
                     child
                 }
             };
@@ -274,8 +273,7 @@ fn mine_rec(
                     path.retain(|&r| keep[r as usize]);
                 }
                 paths.retain(|(p, _)| !p.is_empty());
-                let cond =
-                    FpTree::from_weighted_paths(&paths, rank, tree.rank_to_item.clone());
+                let cond = FpTree::from_weighted_paths(&paths, rank, tree.rank_to_item.clone());
                 mine_rec(&cond, minsup, max_len, suffix, out);
             }
         }

@@ -34,11 +34,11 @@ pub mod merge;
 pub mod pairs;
 pub mod split;
 pub mod transactions;
-pub mod wah;
 pub mod vertical;
+pub mod wah;
 
 pub use bitmap::BitmapIndex;
-pub use wah::WahBitmap;
 pub use pairs::PairMap;
 pub use transactions::TransactionDb;
 pub use vertical::VerticalDb;
+pub use wah::WahBitmap;

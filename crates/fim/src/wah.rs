@@ -67,7 +67,11 @@ impl Iterator for Groups<'_> {
         if w & FILL_FLAG == 0 {
             return Some(w); // literal: 31 payload bits
         }
-        let bits = if w & FILL_VALUE != 0 { (1 << GROUP) - 1 } else { 0 };
+        let bits = if w & FILL_VALUE != 0 {
+            (1 << GROUP) - 1
+        } else {
+            0
+        };
         let len = w & FILL_LEN;
         debug_assert!(len >= 1);
         self.fill_left = len - 1;
@@ -144,7 +148,9 @@ impl WahBitmap {
 
     /// Popcount of the bitmap.
     pub fn count(&self) -> u64 {
-        Groups::new(&self.words).map(|g| g.count_ones() as u64).sum()
+        Groups::new(&self.words)
+            .map(|g| g.count_ones() as u64)
+            .sum()
     }
 
     /// Decode back to sorted bit positions.
@@ -231,8 +237,9 @@ mod tests {
     #[test]
     fn dense_random_data_stays_near_plain_size() {
         // ~50% density defeats run-length coding: size ≈ plain + 1/31.
-        let positions: Vec<u32> =
-            (0..10_000u32).filter(|i| (i.wrapping_mul(2654435761) >> 16) & 1 == 0).collect();
+        let positions: Vec<u32> = (0..10_000u32)
+            .filter(|i| (i.wrapping_mul(2654435761) >> 16) & 1 == 0)
+            .collect();
         let w = WahBitmap::from_sorted(10_000, &positions);
         assert!(w.compressed_bytes() as f64 <= w.plain_bytes() as f64 * 1.1);
         assert!(w.compressed_bytes() as f64 >= w.plain_bytes() as f64 * 0.9);

@@ -37,7 +37,10 @@ impl Coalesced {
 /// `byte_offsets[lane] .. +elem_bytes`. Returns the transaction count
 /// over `segment_bytes`-aligned segments.
 pub fn transactions(byte_offsets: &[usize], elem_bytes: usize, segment_bytes: usize) -> Coalesced {
-    assert!(segment_bytes.is_power_of_two(), "segment must be a power of two");
+    assert!(
+        segment_bytes.is_power_of_two(),
+        "segment must be a power of two"
+    );
     assert!(elem_bytes > 0);
     if byte_offsets.is_empty() {
         return Coalesced {

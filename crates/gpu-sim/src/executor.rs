@@ -158,9 +158,7 @@ mod tests {
         let report = dispatch(&DeviceSpec::gtx285(), &kernel, NdRange::d1(64, 16));
         let mut out = vec![0u64; 4];
         report.scatter_into(&mut out);
-        let expect: Vec<u64> = (0..4)
-            .map(|g| (g * 16..g * 16 + 16).sum::<u64>())
-            .collect();
+        let expect: Vec<u64> = (0..4).map(|g| (g * 16..g * 16 + 16).sum::<u64>()).collect();
         assert_eq!(out, expect);
     }
 

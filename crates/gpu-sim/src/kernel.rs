@@ -73,22 +73,13 @@ impl<'a> GroupCtx<'a> {
     /// pattern ("16 threads access a 64-byte aligned segment"). Requests
     /// wider than a half warp are issued as several half-warp requests.
     /// Returns the loaded words as a slice borrowed from the buffer.
-    pub fn load_seq<'b>(
-        &mut self,
-        buf: &'b GlobalBuffer,
-        base: usize,
-        lanes: usize,
-    ) -> &'b [u32] {
+    pub fn load_seq<'b>(&mut self, buf: &'b GlobalBuffer, base: usize, lanes: usize) -> &'b [u32] {
         let hw = self.device.half_warp();
         let mut lane = 0;
         while lane < lanes {
             let batch = hw.min(lanes - lane);
-            let c = coalesce::sequential_transactions(
-                base + lane,
-                batch,
-                4,
-                self.device.segment_bytes,
-            );
+            let c =
+                coalesce::sequential_transactions(base + lane, batch, 4, self.device.segment_bytes);
             self.charge(c);
             lane += batch;
         }
@@ -118,12 +109,8 @@ impl<'a> GroupCtx<'a> {
         while lane < values.len() {
             let batch = hw.min(values.len() - lane);
             // Results are 32-bit counters on the device; charge 4 B/lane.
-            let c = coalesce::sequential_transactions(
-                base + lane,
-                batch,
-                4,
-                self.device.segment_bytes,
-            );
+            let c =
+                coalesce::sequential_transactions(base + lane, batch, 4, self.device.segment_bytes);
             self.charge(c);
             lane += batch;
         }

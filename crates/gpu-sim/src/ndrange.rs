@@ -84,7 +84,11 @@ impl NdRange {
     pub fn group_coord(&self, linear: usize) -> [usize; 3] {
         let g = self.groups();
         debug_assert!(linear < self.group_count());
-        [linear % g[0], (linear / g[0]) % g[1], linear / (g[0] * g[1])]
+        [
+            linear % g[0],
+            (linear / g[0]) % g[1],
+            linear / (g[0] * g[1]),
+        ]
     }
 }
 

@@ -7,7 +7,7 @@
 
 use crate::preprocess::Preprocessed;
 use crate::schedule::Tile;
-use batmap::swar;
+use batmap::KernelBackend;
 use rayon::prelude::*;
 
 /// Counts for one tile computed on the CPU: row-major `rows × cols`,
@@ -27,41 +27,47 @@ pub fn run_tile_cpu(pre: &Preprocessed, tile: &Tile) -> Vec<u64> {
     counts
 }
 
-/// The Fig. 11 micro-measurement: element-wise SWAR comparison of two
-/// word arrays of `words` 32-bit integers, repeated `reps` times,
-/// partitioned across the current rayon pool. Returns the total number
-/// of bytes processed per second of wall time (both arrays count, as in
-/// the paper's "size 20 Mbyte" = 2 × 10 MB framing).
+/// The Fig. 11 micro-measurement with the paper's u32 SWAR backend:
+/// see [`swar_throughput_with`].
+pub fn swar_throughput(words: usize, reps: usize) -> f64 {
+    swar_throughput_with(KernelBackend::SwarU32, words, reps)
+}
+
+/// The Fig. 11 micro-measurement: positional comparison of two slot
+/// arrays of `words` 32-bit words (four slots each), repeated `reps`
+/// times, partitioned across the current rayon pool, dispatched through
+/// the given match-count backend. Returns the total number of bytes
+/// processed per second of wall time (both arrays count, as in the
+/// paper's "size 20 Mbyte" = 2 × 10 MB framing).
 ///
 /// Call inside `hpcutil::scoped_pool(cores, …)` to pin the core count.
-pub fn swar_throughput(words: usize, reps: usize) -> f64 {
+pub fn swar_throughput_with(backend: KernelBackend, words: usize, reps: usize) -> f64 {
     // Fill with a pattern that produces some matches (content does not
-    // affect timing — the kernel is branch-free — but keep it honest).
-    let a: Vec<u32> = (0..words).map(|i| (i as u32).wrapping_mul(2654435761)).collect();
-    let b: Vec<u32> = (0..words)
-        .map(|i| {
+    // affect timing — the SWAR kernels are branch-free — but keep it
+    // honest).
+    let a: Vec<u8> = (0..words)
+        .flat_map(|i| (i as u32).wrapping_mul(2654435761).to_le_bytes())
+        .collect();
+    let b: Vec<u8> = (0..words)
+        .flat_map(|i| {
             if i % 3 == 0 {
-                (i as u32).wrapping_mul(2654435761)
+                (i as u32).wrapping_mul(2654435761).to_le_bytes()
             } else {
-                (i as u32).wrapping_mul(40503)
+                (i as u32).wrapping_mul(40503).to_le_bytes()
             }
         })
         .collect();
+    let kernel = backend.kernel();
     let threads = rayon::current_num_threads();
-    let chunk = words.div_ceil(threads);
+    // Per-thread chunk, kept word-aligned for the widest kernel.
+    let chunk = (a.len().div_ceil(threads)).next_multiple_of(8);
     let t0 = std::time::Instant::now();
     let mut total = 0u64;
     for _ in 0..reps {
         total += a
             .par_chunks(chunk)
             .zip(b.par_chunks(chunk))
-            .map(|(ca, cb)| {
-                let mut acc = 0u64;
-                for (&x, &y) in ca.iter().zip(cb) {
-                    acc += swar::match_count_u32(x, y) as u64;
-                }
-                acc
-            })
+            .map(|(ca, cb)| kernel.count_equal_width(ca, cb))
             .sum::<u64>();
     }
     let secs = t0.elapsed().as_secs_f64();
@@ -83,7 +89,11 @@ mod tests {
         let db = TransactionDb::new(
             24,
             (0..400usize)
-                .map(|t| (0..24).filter(|&i| (t + i as usize).is_multiple_of(5)).collect())
+                .map(|t| {
+                    (0..24)
+                        .filter(|&i| (t + i as usize).is_multiple_of(5))
+                        .collect()
+                })
                 .collect(),
         );
         let v = VerticalDb::from_horizontal(&db);

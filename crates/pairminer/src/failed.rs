@@ -57,7 +57,11 @@ impl FailedPairs {
             }
             for (si, sj) in pairs_of_b {
                 let key = ((si as usize / k) as u32, (sj as usize / k) as u32);
-                *out.tiles.entry(key).or_default().entry((si, sj)).or_insert(0) += 1;
+                *out.tiles
+                    .entry(key)
+                    .or_default()
+                    .entry((si, sj))
+                    .or_insert(0) += 1;
                 out.total += 1;
             }
         }

@@ -18,12 +18,13 @@
 
 use crate::preprocess::Preprocessed;
 use crate::schedule::Tile;
-use batmap::swar;
+use batmap::kernel::KernelDispatch;
+use batmap::{KernelBackend, MatchKernel};
 use gpu_sim::{dispatch, DeviceSpec, GlobalBuffer, GroupCtx, Kernel, LaunchReport, NdRange};
 
-/// Scalar ops charged per 32-bit SWAR comparison (xor/or/sub/andn/or-and
-/// + the horizontal add chain, amortized).
-const OPS_PER_COMPARE: u64 = 8;
+// Scalar ops charged per staged 32-bit comparison come from the match
+// kernel itself (`MatchKernel::ops_per_staged_word`; the paper's u32
+// formulation charges 8), so simulated timings reflect the backend.
 /// Per-thread per-slice loop/addressing overhead in scalar ops.
 const OPS_LOOP: u64 = 8;
 
@@ -36,6 +37,9 @@ pub struct DeviceData {
     pub offsets: Vec<u32>,
     /// 16-word slice count of each batmap.
     pub slices: Vec<u32>,
+    /// Match-count backend inherited from the preprocessed universe
+    /// parameters; the comparison kernel dispatches through it.
+    pub kernel: KernelBackend,
 }
 
 impl DeviceData {
@@ -61,6 +65,7 @@ impl DeviceData {
             buffer: GlobalBuffer::new(words),
             offsets,
             slices,
+            kernel: pre.params.kernel_backend(),
         }
     }
 
@@ -70,13 +75,16 @@ impl DeviceData {
     }
 }
 
-/// The tile-comparison kernel.
-struct CompareKernel<'a> {
+/// The tile-comparison kernel, monomorphized over the match-count
+/// backend so the per-word comparison inlines (no virtual call in the
+/// innermost loop; same treatment as the multiway sweep).
+struct CompareKernel<'a, K> {
     data: &'a DeviceData,
     tile: Tile,
+    kernel: K,
 }
 
-impl Kernel for CompareKernel<'_> {
+impl<K: MatchKernel> Kernel for CompareKernel<'_, K> {
     fn shared_words(&self) -> usize {
         2 * 16 * 16 // the two 16×16 staging arrays (2 KiB)
     }
@@ -110,7 +118,9 @@ impl Kernel for CompareKernel<'_> {
                     (self.data.offsets[b] + si * 16) as usize,
                     16,
                 );
-                ctx.shared().region_mut(r * 16..r * 16 + 16).copy_from_slice(words);
+                ctx.shared()
+                    .region_mut(r * 16..r * 16 + 16)
+                    .copy_from_slice(words);
             }
             for c in 0..16 {
                 let b = col0 + c;
@@ -135,7 +145,7 @@ impl Kernel for CompareKernel<'_> {
                     if s < (*rs).max(*cs) {
                         let mut c = 0u32;
                         for w in 0..16 {
-                            c += swar::match_count_u32(
+                            c += self.kernel.count_word_u32(
                                 ctx.shared().read(li * 16 + w),
                                 ctx.shared().read(256 + lj * 16 + w),
                             );
@@ -145,7 +155,7 @@ impl Kernel for CompareKernel<'_> {
                 }
             }
             ctx.shared_ops(256 * 32); // 2 shared reads per comparison
-            ctx.ops(256 * (16 * OPS_PER_COMPARE + OPS_LOOP));
+            ctx.ops(256 * (16 * self.kernel.ops_per_staged_word() + OPS_LOOP));
             ctx.barrier();
         }
         // Write the 16×16 result block, one coalesced row at a time.
@@ -169,9 +179,24 @@ pub struct TileResult {
 
 /// Execute one tile.
 pub fn run_tile(device: &DeviceSpec, data: &DeviceData, tile: Tile) -> TileResult {
-    let kernel = CompareKernel { data, tile };
-    let range = NdRange::d2([tile.cols, tile.rows], [16, 16]);
-    let report = dispatch(device, &kernel, range);
+    struct RunTile<'a> {
+        device: &'a DeviceSpec,
+        data: &'a DeviceData,
+        tile: Tile,
+    }
+    impl KernelDispatch for RunTile<'_> {
+        type Output = LaunchReport;
+        fn run<K: MatchKernel>(self, kernel: K) -> LaunchReport {
+            let kernel = CompareKernel {
+                data: self.data,
+                tile: self.tile,
+                kernel,
+            };
+            let range = NdRange::d2([self.tile.cols, self.tile.rows], [16, 16]);
+            dispatch(self.device, &kernel, range)
+        }
+    }
+    let report = data.kernel.dispatch(RunTile { device, data, tile });
     let mut counts = vec![0u64; tile.rows * tile.cols];
     report.scatter_into(&mut counts);
     TileResult {
@@ -188,9 +213,24 @@ pub fn run_tile_queued(
     data: &DeviceData,
     tile: Tile,
 ) -> TileResult {
-    let kernel = CompareKernel { data, tile };
-    let range = NdRange::d2([tile.cols, tile.rows], [16, 16]);
-    let report = queue.enqueue_kernel(&kernel, range);
+    struct RunTileQueued<'a, 'q, 'd> {
+        queue: &'a mut gpu_sim::CommandQueue<'q>,
+        data: &'d DeviceData,
+        tile: Tile,
+    }
+    impl KernelDispatch for RunTileQueued<'_, '_, '_> {
+        type Output = LaunchReport;
+        fn run<K: MatchKernel>(self, kernel: K) -> LaunchReport {
+            let kernel = CompareKernel {
+                data: self.data,
+                tile: self.tile,
+                kernel,
+            };
+            let range = NdRange::d2([self.tile.cols, self.tile.rows], [16, 16]);
+            self.queue.enqueue_kernel(&kernel, range)
+        }
+    }
+    let report = data.kernel.dispatch(RunTileQueued { queue, data, tile });
     let mut counts = vec![0u64; tile.rows * tile.cols];
     report.scatter_into(&mut counts);
     TileResult {
@@ -319,8 +359,8 @@ mod tests {
         let result = run_tile(&DeviceSpec::gtx285(), &data, tile);
         let groups = result.report.stats.groups;
         assert_eq!(groups, 1); // 16×16 tile = one group
-        // Loads: 32 transactions/slice; stores: 16 rows × 16 u64 lanes
-        // → 16 half-warp stores of 16 4-byte counters = 16 transactions.
+                               // Loads: 32 transactions/slice; stores: 16 rows × 16 u64 lanes
+                               // → 16 half-warp stores of 16 4-byte counters = 16 transactions.
         let expect_load_tx = 32 * slices;
         let store_tx = result.report.stats.transactions - expect_load_tx;
         assert_eq!(store_tx, 16, "store transactions");

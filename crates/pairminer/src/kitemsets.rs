@@ -59,9 +59,7 @@ pub fn mine_triples(db: &TransactionDb, frequent_pairs: &PairMap, minsup: u64) -
     for cand in candidates {
         let [a, b, c] = cand;
         let support = match (&maps[&a], &maps[&b], &maps[&c]) {
-            (Some(ma), Some(mb), Some(mc)) => {
-                MultiwayBatmap::intersect_count(&[ma, mb, mc])
-            }
+            (Some(ma), Some(mb), Some(mc)) => MultiwayBatmap::intersect_count(&[ma, mb, mc]),
             // Rare fallback (a multiway insertion failed): exact 3-way
             // merge over the tidlists.
             _ => three_way_merge(

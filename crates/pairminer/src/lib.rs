@@ -33,5 +33,5 @@ pub mod schedule;
 pub use kitemsets::{mine_triples, TripleReport};
 pub use memory::MemoryReport;
 pub use miner::{mine, Engine, MinerConfig, MiningReport, Timings};
-pub use preprocess::{preprocess, Preprocessed, BLOCK, GPU_MIN_SHIFT};
+pub use preprocess::{preprocess, preprocess_with_kernel, Preprocessed, BLOCK, GPU_MIN_SHIFT};
 pub use schedule::{schedule, Tile};

@@ -5,8 +5,9 @@ use crate::cpu;
 use crate::failed::FailedPairs;
 use crate::gpu::{self, DeviceData};
 use crate::memory::MemoryReport;
-use crate::preprocess::{preprocess, Preprocessed};
+use crate::preprocess::{preprocess_with_kernel, Preprocessed};
 use crate::schedule::{schedule, Tile};
+use batmap::KernelBackend;
 use fim::pairs::{pair_key, PairMap};
 use fim::{TransactionDb, VerticalDb};
 use gpu_sim::{DeviceSpec, KernelStats};
@@ -36,6 +37,9 @@ pub struct MinerConfig {
     pub max_loop: u32,
     /// Execution engine.
     pub engine: Engine,
+    /// Match-count backend both engines dispatch through
+    /// ([`KernelBackend::Auto`] picks the widest available kernel).
+    pub kernel: KernelBackend,
 }
 
 impl Default for MinerConfig {
@@ -46,6 +50,7 @@ impl Default for MinerConfig {
             seed: 0xBA7_A11,
             max_loop: 128,
             engine: Engine::Gpu(DeviceSpec::gtx285()),
+            kernel: KernelBackend::Auto,
         }
     }
 }
@@ -95,7 +100,7 @@ pub struct MiningReport {
 pub fn mine(db: &TransactionDb, config: &MinerConfig) -> MiningReport {
     let mut sw = Stopwatch::start();
     let vertical = VerticalDb::from_horizontal(db);
-    let pre = preprocess(&vertical, config.seed, config.max_loop);
+    let pre = preprocess_with_kernel(&vertical, config.seed, config.max_loop, config.kernel);
     let preprocess_s = sw.lap().as_secs_f64();
     let tiles = schedule(pre.padded_items(), config.k);
     let failed = FailedPairs::build(&pre.failed, db, &pre.item_to_sorted, config.k);
@@ -122,7 +127,14 @@ pub fn mine(db: &TransactionDb, config: &MinerConfig) -> MiningReport {
                 let result = gpu::run_tile_queued(&mut queue, &data, *tile);
                 tile_buffer_bytes = tile_buffer_bytes.max(result.counts.len() * 8);
                 let mut post = Stopwatch::start();
-                harvest_tile(tile, &result.counts, &pre, &failed, config.minsup, &mut sorted_pairs);
+                harvest_tile(
+                    tile,
+                    &result.counts,
+                    &pre,
+                    &failed,
+                    config.minsup,
+                    &mut sorted_pairs,
+                );
                 postprocess_s += post.lap().as_secs_f64();
             }
             transfer_s = queue.transfer_seconds();
@@ -137,7 +149,14 @@ pub fn mine(db: &TransactionDb, config: &MinerConfig) -> MiningReport {
                 kernel_s += t.lap().as_secs_f64();
                 tile_buffer_bytes = tile_buffer_bytes.max(counts.len() * 8);
                 let mut post = Stopwatch::start();
-                harvest_tile(tile, &counts, &pre, &failed, config.minsup, &mut sorted_pairs);
+                harvest_tile(
+                    tile,
+                    &counts,
+                    &pre,
+                    &failed,
+                    config.minsup,
+                    &mut sorted_pairs,
+                );
                 postprocess_s += post.lap().as_secs_f64();
             }
         }
@@ -238,7 +257,11 @@ mod tests {
         TransactionDb::new(
             n,
             (0..m)
-                .map(|t| (0..n).filter(|&i| (t as u32 + i * 7) % modulus < 2).collect())
+                .map(|t| {
+                    (0..n)
+                        .filter(|&i| (t as u32 + i * 7) % modulus < 2)
+                        .collect()
+                })
                 .collect(),
         )
     }
@@ -317,6 +340,25 @@ mod tests {
             "expected forced failures with MaxLoop=1"
         );
         assert_eq!(report.pairs, brute_force_pairs(&db, 1));
+    }
+
+    #[test]
+    fn every_kernel_backend_mines_identically() {
+        let db = test_db(24, 400, 7);
+        let oracle = brute_force_pairs(&db, 1);
+        for backend in batmap::ALL_BACKENDS {
+            for engine in [Engine::Gpu(DeviceSpec::gtx285()), Engine::Cpu] {
+                let report = mine(
+                    &db,
+                    &MinerConfig {
+                        kernel: backend,
+                        engine: engine.clone(),
+                        ..Default::default()
+                    },
+                );
+                assert_eq!(report.pairs, oracle, "backend {backend} engine {engine:?}");
+            }
+        }
     }
 
     #[test]

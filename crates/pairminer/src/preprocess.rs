@@ -11,7 +11,7 @@
 //! Failed insertions are collected as `(sorted item index, tid)` pairs
 //! for the `F_b`/`M_{p,q}` postprocessing path.
 
-use batmap::{Batmap, BatmapParams, ParamsHandle};
+use batmap::{Batmap, BatmapParams, KernelBackend, ParamsHandle};
 use fim::VerticalDb;
 use hpcutil::MemoryFootprint;
 use rayon::prelude::*;
@@ -67,15 +67,24 @@ impl MemoryFootprint for Preprocessed {
 }
 
 /// Build batmaps for every item of a vertical database and sort them by
-/// width.
+/// width, with the default ([`KernelBackend::Auto`]) match-count
+/// backend.
 pub fn preprocess(v: &VerticalDb, seed: u64, max_loop: u32) -> Preprocessed {
+    preprocess_with_kernel(v, seed, max_loop, KernelBackend::Auto)
+}
+
+/// [`preprocess`] with an explicit match-count backend: the choice is
+/// pinned on the universe parameters, so both mining engines and every
+/// later intersection inherit it.
+pub fn preprocess_with_kernel(
+    v: &VerticalDb,
+    seed: u64,
+    max_loop: u32,
+    kernel: KernelBackend,
+) -> Preprocessed {
     let m = v.m().max(1) as u64;
-    let params: ParamsHandle = Arc::new(BatmapParams::with_options(
-        m,
-        seed,
-        max_loop,
-        GPU_MIN_SHIFT,
-    ));
+    let params: ParamsHandle =
+        Arc::new(BatmapParams::with_options(m, seed, max_loop, GPU_MIN_SHIFT).with_kernel(kernel));
     let n = v.n_items();
     // Parallel construction: one batmap per item.
     let outcomes: Vec<batmap::BuildOutcome> = (0..n)
@@ -94,8 +103,7 @@ pub fn preprocess(v: &VerticalDb, seed: u64, max_loop: u32) -> Preprocessed {
     let mut failed = Vec::new();
     let mut batmaps = Vec::with_capacity(positions.len().next_multiple_of(BLOCK));
     // Consume outcomes in sorted order without cloning the batmaps.
-    let mut slots: Vec<Option<batmap::BuildOutcome>> =
-        outcomes.into_iter().map(Some).collect();
+    let mut slots: Vec<Option<batmap::BuildOutcome>> = outcomes.into_iter().map(Some).collect();
     for (s, &item) in positions.iter().enumerate() {
         let out = slots[item as usize].take().expect("each item used once");
         stats.elements += out.stats.elements;

@@ -42,7 +42,10 @@ impl Tile {
 /// Build the upper-triangle tile schedule for `n_padded` items (multiple
 /// of 16) with tile side `k` (multiple of 16).
 pub fn schedule(n_padded: usize, k: usize) -> Vec<Tile> {
-    assert!(k > 0 && k.is_multiple_of(16), "tile side must be a positive multiple of 16");
+    assert!(
+        k > 0 && k.is_multiple_of(16),
+        "tile side must be a positive multiple of 16"
+    );
     assert!(
         n_padded.is_multiple_of(16),
         "item count must be padded to a multiple of 16"

@@ -36,10 +36,22 @@ fn main() {
     let report = mine(&db, &gpu_cfg);
     println!("\n-- batmap pipeline (simulated GPU) --");
     println!("frequent pairs: {}", report.pairs.len());
-    println!("preprocess     {:.4} s (measured host)", report.timings.preprocess_s);
-    println!("transfer       {:.6} s (simulated PCIe)", report.timings.transfer_s);
-    println!("kernel         {:.4} s (simulated device)", report.timings.kernel_s);
-    println!("postprocess    {:.4} s (measured host)", report.timings.postprocess_s);
+    println!(
+        "preprocess     {:.4} s (measured host)",
+        report.timings.preprocess_s
+    );
+    println!(
+        "transfer       {:.6} s (simulated PCIe)",
+        report.timings.transfer_s
+    );
+    println!(
+        "kernel         {:.4} s (simulated device)",
+        report.timings.kernel_s
+    );
+    println!(
+        "postprocess    {:.4} s (measured host)",
+        report.timings.postprocess_s
+    );
     if let Some(stats) = &report.gpu_stats {
         println!(
             "device traffic {} useful bytes, bus efficiency {:.3}",
@@ -58,7 +70,10 @@ fn main() {
         },
     );
     println!("\n-- batmap pipeline (CPU) --");
-    println!("kernel         {:.4} s (measured host)", cpu_report.timings.kernel_s);
+    println!(
+        "kernel         {:.4} s (measured host)",
+        cpu_report.timings.kernel_s
+    );
 
     // Baselines.
     let ap = apriori::mine_pairs(&db, minsup);

@@ -31,13 +31,17 @@ fn main() {
     let follows: Vec<Vec<u32>> = (0..users)
         .map(|_| {
             let k = 50 + (next() % 400) as usize;
-            (0..k).map(|_| (next() % (topics as u64)).pow(2) as u32 % topics).collect()
+            (0..k)
+                .map(|_| (next() % (topics as u64)).pow(2) as u32 % topics)
+                .collect()
         })
         .collect();
     let posts: Vec<Vec<u32>> = (0..authors)
         .map(|_| {
             let k = 30 + (next() % 300) as usize;
-            (0..k).map(|_| (next() % (topics as u64)).pow(2) as u32 % topics).collect()
+            (0..k)
+                .map(|_| (next() % (topics as u64)).pow(2) as u32 % topics)
+                .collect()
         })
         .collect();
 

@@ -90,8 +90,16 @@ fn main() {
             }
         }
     }
-    println!("M: {}×{k} ({} nonzeros)", m.rows, m.row_sets.iter().map(Vec::len).sum::<usize>());
-    println!("M′: {k}×{} ({} nonzeros)", mt.cols, mt.row_sets.iter().map(Vec::len).sum::<usize>());
+    println!(
+        "M: {}×{k} ({} nonzeros)",
+        m.rows,
+        m.row_sets.iter().map(Vec::len).sum::<usize>()
+    );
+    println!(
+        "M′: {k}×{} ({} nonzeros)",
+        mt.cols,
+        mt.row_sets.iter().map(Vec::len).sum::<usize>()
+    );
     println!(
         "product: {nonzero} of {} entries nonzero, {witnesses} total witnesses",
         m.rows * mt.cols

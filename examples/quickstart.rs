@@ -12,7 +12,11 @@ fn main() {
     // parameters — they fix the three hash permutations.
     let params = Arc::new(BatmapParams::new(100_000, 0xB47));
     println!("universe m = {}", params.m());
-    println!("compression shift s = {} (minimum table range {})", params.shift(), params.r0());
+    println!(
+        "compression shift s = {} (minimum table range {})",
+        params.shift(),
+        params.r0()
+    );
 
     // Three sets. `build` returns a BuildOutcome: the batmap plus any
     // failed insertions (none at sane load factors).
@@ -35,7 +39,10 @@ fn main() {
 
     // Intersection counts are exact, including between batmaps of
     // different widths (the smaller one is folded modulo its range).
-    println!("\n|evens ∩ threes| = {} (multiples of 6)", a.intersect_count(&b));
+    println!(
+        "\n|evens ∩ threes| = {} (multiples of 6)",
+        a.intersect_count(&b)
+    );
     println!("|evens ∩ small|  = {}", a.intersect_count(&c));
     println!("|threes ∩ small| = {}", b.intersect_count(&c));
 

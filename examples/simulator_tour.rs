@@ -38,7 +38,9 @@ impl Kernel for ScatteredSum<'_> {
     fn run_group(&self, ctx: &mut GroupCtx<'_>) {
         let g = ctx.group_id()[0];
         let groups = self.input.len() / 16;
-        let indices: Vec<usize> = (0..16).map(|l| (l * self.stride + g) % (groups * 16)).collect();
+        let indices: Vec<usize> = (0..16)
+            .map(|l| (l * self.stride + g) % (groups * 16))
+            .collect();
         let words = ctx.load_gather(self.input, &indices);
         let sum: u64 = words.iter().map(|&w| w as u64).sum();
         ctx.ops(16);

@@ -1,7 +1,7 @@
 //! Property-based tests (proptest) on the core data-structure
 //! invariants the paper's correctness rests on.
 
-use batmap::{Batmap, BatmapParams, UncompressedBatmap, TABLES};
+use batmap::{Batmap, BatmapParams, MatchKernel as _, UncompressedBatmap, TABLES};
 use proptest::collection::btree_set;
 use proptest::prelude::*;
 use std::sync::Arc;
@@ -103,7 +103,74 @@ proptest! {
 }
 
 proptest! {
-    #![proptest_config(ProptestConfig::with_cases(32))]
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Every `MatchKernel` backend returns identical counts on random
+    /// slot arrays — equal-width, unaligned tails, and the wrapped
+    /// (folded) path alike.
+    #[test]
+    fn kernel_backends_are_equivalent(
+        words in proptest::collection::vec((any::<u64>(), any::<u64>()), 1..64),
+        tail in 0usize..8,
+        wrap_factor in 1usize..4,
+    ) {
+        use batmap::ALL_BACKENDS;
+        let mut xs: Vec<u8> = words.iter().flat_map(|(x, _)| x.to_le_bytes()).collect();
+        let mut ys: Vec<u8> = words.iter().flat_map(|(_, y)| y.to_le_bytes()).collect();
+        xs.truncate(xs.len() - tail);
+        ys.truncate(ys.len() - tail);
+        let reference = batmap::kernel::ScalarKernel.count_equal_width(&xs, &ys);
+        for backend in ALL_BACKENDS {
+            prop_assert_eq!(
+                backend.kernel().count_equal_width(&xs, &ys),
+                reference,
+                "equal-width disagreement in backend {}", backend
+            );
+        }
+        // Wrapped path: tile `ys` along a `wrap_factor`× larger array.
+        let large: Vec<u8> = xs
+            .iter()
+            .cycle()
+            .take(xs.len() * wrap_factor)
+            .copied()
+            .collect();
+        if !ys.is_empty() {
+            let wrapped_ref = batmap::kernel::ScalarKernel.count_wrapped(&large, &ys);
+            for backend in ALL_BACKENDS {
+                prop_assert_eq!(
+                    backend.kernel().count_wrapped(&large, &ys),
+                    wrapped_ref,
+                    "wrapped disagreement in backend {}", backend
+                );
+            }
+        }
+    }
+
+    /// End to end: batmaps built over a backend-pinned universe count
+    /// intersections identically under every backend.
+    #[test]
+    fn kernel_backends_agree_on_batmaps(a in arb_set(400), b in arb_set(400), seed in 0u64..200) {
+        use batmap::ALL_BACKENDS;
+        let reference = {
+            let params = Arc::new(BatmapParams::new(M, seed));
+            let ba = Batmap::build_sorted(params.clone(), &a).batmap;
+            let bb = Batmap::build_sorted(params, &b).batmap;
+            prop_assume!(ba.len() == a.len() && bb.len() == b.len());
+            ba.intersect_count(&bb)
+        };
+        for backend in ALL_BACKENDS {
+            let params = Arc::new(BatmapParams::new(M, seed).with_kernel(backend));
+            let ba = Batmap::build_sorted(params.clone(), &a).batmap;
+            let bb = Batmap::build_sorted(params, &b).batmap;
+            prop_assume!(ba.len() == a.len() && bb.len() == b.len());
+            prop_assert_eq!(ba.intersect_count(&bb), reference, "backend {}", backend);
+            prop_assert_eq!(
+                ba.intersect_count_with(backend.kernel(), &bb),
+                reference,
+                "explicit dispatch, backend {}", backend
+            );
+        }
+    }
 
     /// SWAR kernels agree with the scalar reference on arbitrary words.
     #[test]

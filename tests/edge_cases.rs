@@ -82,10 +82,7 @@ fn mining_one_item() {
 #[test]
 fn mining_disjoint_items() {
     // Items never co-occur: all intersections zero.
-    let db = TransactionDb::new(
-        8,
-        (0..160usize).map(|t| vec![(t % 8) as u32]).collect(),
-    );
+    let db = TransactionDb::new(8, (0..160usize).map(|t| vec![(t % 8) as u32]).collect());
     let report = mine(&db, &MinerConfig::default());
     assert!(report.pairs.is_empty());
 }

@@ -10,8 +10,7 @@ use proptest::prelude::*;
 fn arb_db() -> impl Strategy<Value = TransactionDb> {
     // Up to 60 transactions over up to 20 items.
     (2u32..20, 1usize..60).prop_flat_map(|(n, m)| {
-        vec(vec(0u32..n, 0..(n as usize).min(12)), m)
-            .prop_map(move |ts| TransactionDb::new(n, ts))
+        vec(vec(0u32..n, 0..(n as usize).min(12)), m).prop_map(move |ts| TransactionDb::new(n, ts))
     })
 }
 

@@ -23,8 +23,16 @@ fn all_six_miners_agree_on_uniform_instance() {
     let idx = BitmapIndex::from_vertical(&v);
     for minsup in [1u64, 5, 20] {
         let oracle = brute_force_pairs(&db, minsup);
-        assert_eq!(apriori::mine_pairs(&db, minsup), oracle, "apriori m={minsup}");
-        assert_eq!(fpgrowth::mine_pairs(&db, minsup), oracle, "fpgrowth m={minsup}");
+        assert_eq!(
+            apriori::mine_pairs(&db, minsup),
+            oracle,
+            "apriori m={minsup}"
+        );
+        assert_eq!(
+            fpgrowth::mine_pairs(&db, minsup),
+            oracle,
+            "fpgrowth m={minsup}"
+        );
         assert_eq!(eclat::mine_pairs(&v, minsup), oracle, "eclat m={minsup}");
         assert_eq!(idx.mine_pairs(minsup), oracle, "bitmap m={minsup}");
         let gpu = mine(

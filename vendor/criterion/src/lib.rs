@@ -1,0 +1,300 @@
+//! Minimal offline drop-in for the `criterion` surface this workspace
+//! uses: `criterion_group!`/`criterion_main!`, benchmark groups,
+//! `Bencher::iter`, `BenchmarkId`, `Throughput`.
+//!
+//! Measurement is a simple calibrated loop (median-free mean over a
+//! bounded window) — adequate for relative comparisons in an offline
+//! environment, not a statistics engine. `--test` runs every benchmark
+//! body exactly once, which is what CI smoke uses; a positional filter
+//! restricts by substring like real criterion.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// Prevent the optimizer from deleting a benchmarked computation.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Declared throughput of one benchmark, for rate reporting.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Bytes processed per iteration.
+    Bytes(u64),
+    /// Elements processed per iteration.
+    Elements(u64),
+}
+
+/// Identifier of one benchmark within a group.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    text: String,
+}
+
+impl BenchmarkId {
+    /// Function name + parameter value.
+    pub fn new(function_name: impl Into<String>, parameter: impl Display) -> Self {
+        BenchmarkId {
+            text: format!("{}/{}", function_name.into(), parameter),
+        }
+    }
+
+    /// Parameter value only.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId {
+            text: parameter.to_string(),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId { text: s.to_owned() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> Self {
+        BenchmarkId { text: s }
+    }
+}
+
+/// Timing driver handed to benchmark closures.
+pub struct Bencher<'a> {
+    mode: &'a RunMode,
+    /// (iterations, total) recorded by `iter`.
+    sample: Option<(u64, Duration)>,
+}
+
+impl Bencher<'_> {
+    /// Run `routine` repeatedly and record its mean time.
+    pub fn iter<R>(&mut self, mut routine: impl FnMut() -> R) {
+        match self.mode {
+            RunMode::Test => {
+                black_box(routine());
+                self.sample = Some((1, Duration::ZERO));
+            }
+            RunMode::Measure { window } => {
+                // Warm-up + calibration round.
+                let t0 = Instant::now();
+                black_box(routine());
+                let once = t0.elapsed().max(Duration::from_nanos(1));
+                let budget = (*window / 10).max(Duration::from_millis(20));
+                let iters = (budget.as_nanos() / once.as_nanos()).clamp(1, 10_000) as u64;
+                let t1 = Instant::now();
+                for _ in 0..iters {
+                    black_box(routine());
+                }
+                self.sample = Some((iters, t1.elapsed()));
+            }
+        }
+    }
+}
+
+#[derive(Debug, Clone)]
+enum RunMode {
+    /// Run every routine once, no timing (`--test`).
+    Test,
+    /// Measure within roughly this time window per benchmark.
+    Measure { window: Duration },
+}
+
+/// Top-level benchmark harness state.
+#[derive(Debug, Clone)]
+pub struct Criterion {
+    sample_size: usize,
+    measurement_time: Duration,
+    test_mode: bool,
+    filter: Option<String>,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            sample_size: 100,
+            measurement_time: Duration::from_secs(5),
+            test_mode: false,
+            filter: None,
+        }
+    }
+}
+
+impl Criterion {
+    /// Set the nominal sample count (kept for API compatibility; the
+    /// shim derives its iteration count from the time window).
+    pub fn sample_size(mut self, n: usize) -> Self {
+        assert!(n >= 10, "criterion requires sample_size >= 10");
+        self.sample_size = n;
+        self
+    }
+
+    /// Set the per-benchmark measurement window.
+    pub fn measurement_time(mut self, window: Duration) -> Self {
+        self.measurement_time = window;
+        self
+    }
+
+    /// Apply command-line arguments (`--test`, positional filter;
+    /// cargo's own `--bench` marker is ignored).
+    pub fn configure_from_args(mut self) -> Self {
+        let mut args = std::env::args().skip(1);
+        while let Some(arg) = args.next() {
+            match arg.as_str() {
+                "--test" | "-t" => self.test_mode = true,
+                "--bench" | "--profile-time" => {}
+                "--save-baseline" | "--baseline" | "--load-baseline" | "--measurement-time"
+                | "--sample-size" | "--warm-up-time" => {
+                    let _ = args.next();
+                }
+                s if s.starts_with('-') => {}
+                s => self.filter = Some(s.to_owned()),
+            }
+        }
+        self
+    }
+
+    /// Open a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            throughput: None,
+        }
+    }
+
+    /// Run one stand-alone benchmark.
+    pub fn bench_function(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        f: impl FnMut(&mut Bencher<'_>),
+    ) -> &mut Self {
+        let id = id.into();
+        let name = id.text.clone();
+        run_one(self, &name, None, f);
+        self
+    }
+}
+
+/// A group of related benchmarks sharing a name prefix and throughput.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Declare the per-iteration throughput of subsequent benchmarks.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Override the group's measurement window.
+    pub fn measurement_time(&mut self, window: Duration) -> &mut Self {
+        self.criterion.measurement_time = window;
+        self
+    }
+
+    /// Override the group's nominal sample count.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.criterion.sample_size = n;
+        self
+    }
+
+    /// Run one benchmark in this group.
+    pub fn bench_function(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        f: impl FnMut(&mut Bencher<'_>),
+    ) -> &mut Self {
+        let full = format!("{}/{}", self.name, id.into().text);
+        run_one(self.criterion, &full, self.throughput, f);
+        self
+    }
+
+    /// Run one benchmark with an explicit input value.
+    pub fn bench_with_input<I: ?Sized>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        input: &I,
+        mut f: impl FnMut(&mut Bencher<'_>, &I),
+    ) -> &mut Self {
+        self.bench_function(id, |b| f(b, input))
+    }
+
+    /// Close the group.
+    pub fn finish(self) {}
+}
+
+fn run_one(
+    criterion: &Criterion,
+    name: &str,
+    throughput: Option<Throughput>,
+    mut f: impl FnMut(&mut Bencher<'_>),
+) {
+    if let Some(filter) = &criterion.filter {
+        if !name.contains(filter.as_str()) {
+            return;
+        }
+    }
+    let mode = if criterion.test_mode {
+        RunMode::Test
+    } else {
+        RunMode::Measure {
+            window: criterion.measurement_time,
+        }
+    };
+    let mut bencher = Bencher {
+        mode: &mode,
+        sample: None,
+    };
+    f(&mut bencher);
+    match (criterion.test_mode, bencher.sample) {
+        (true, _) => println!("test {name} ... ok"),
+        (false, Some((iters, total))) => {
+            let per_iter = total.as_secs_f64() / iters as f64;
+            let rate = throughput.map(|t| match t {
+                Throughput::Bytes(b) => {
+                    format!(", {:.3} GiB/s", b as f64 / per_iter / (1u64 << 30) as f64)
+                }
+                Throughput::Elements(e) => {
+                    format!(", {:.3} Melem/s", e as f64 / per_iter / 1e6)
+                }
+            });
+            println!(
+                "{name}: {:.3} ms/iter ({iters} iters{})",
+                per_iter * 1e3,
+                rate.unwrap_or_default()
+            );
+        }
+        (false, None) => println!("{name}: no sample recorded"),
+    }
+}
+
+/// Declare a named group of benchmark target functions.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $config.configure_from_args();
+            $( $target(&mut criterion); )+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group!(
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        );
+    };
+}
+
+/// Produce a `main` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}

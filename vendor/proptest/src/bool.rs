@@ -1,0 +1,18 @@
+//! Boolean strategies.
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+
+/// Strategy generating fair booleans.
+#[derive(Debug, Clone, Copy)]
+pub struct BoolAny;
+
+/// The canonical boolean strategy (`proptest::bool::ANY`).
+pub const ANY: BoolAny = BoolAny;
+
+impl Strategy for BoolAny {
+    type Value = bool;
+    fn generate(&self, rng: &mut TestRng) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}

@@ -1,0 +1,44 @@
+//! Distributions: the `rand::distr` subset this workspace uses.
+
+use crate::Rng;
+
+/// A distribution over values of `T`.
+pub trait Distribution<T> {
+    /// Draw one sample.
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> T;
+}
+
+/// Error returned for probabilities outside `[0, 1]`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BernoulliError;
+
+impl std::fmt::Display for BernoulliError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("Bernoulli probability must be in [0, 1]")
+    }
+}
+
+impl std::error::Error for BernoulliError {}
+
+/// Bernoulli trial with fixed success probability.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Bernoulli {
+    p: f64,
+}
+
+impl Bernoulli {
+    /// A Bernoulli distribution succeeding with probability `p`.
+    pub fn new(p: f64) -> Result<Self, BernoulliError> {
+        if (0.0..=1.0).contains(&p) {
+            Ok(Bernoulli { p })
+        } else {
+            Err(BernoulliError)
+        }
+    }
+}
+
+impl Distribution<bool> for Bernoulli {
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> bool {
+        rng.random::<f64>() < self.p
+    }
+}

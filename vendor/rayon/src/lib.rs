@@ -1,0 +1,354 @@
+//! Minimal offline drop-in for the `rayon` surface this workspace uses.
+//!
+//! Parallel iterators are modeled as an eagerly materialized item list
+//! plus one lazy `map` stage; terminal operations (`for_each`, `map`,
+//! `sum`, `reduce`, `collect`) execute the expensive closure across
+//! scoped OS threads, split into contiguous order-preserving chunks.
+//! `ThreadPool::install` pins the thread count via a thread-local, so
+//! `scoped_pool(n, ...)` sweeps behave as with real rayon.
+
+use std::cell::Cell;
+
+pub mod prelude {
+    //! Traits that put `par_*` methods in scope.
+    pub use crate::{IntoParallelIterator, ParallelSlice, ParallelSliceMut};
+}
+
+thread_local! {
+    /// Thread count pinned by the innermost `ThreadPool::install`
+    /// (0 = unpinned, use the host parallelism).
+    static PINNED_THREADS: Cell<usize> = const { Cell::new(0) };
+}
+
+/// Number of threads parallel operations will use.
+pub fn current_num_threads() -> usize {
+    let pinned = PINNED_THREADS.with(Cell::get);
+    if pinned > 0 {
+        pinned
+    } else {
+        std::thread::available_parallelism().map_or(1, |n| n.get())
+    }
+}
+
+/// Builder for [`ThreadPool`].
+#[derive(Debug, Default)]
+pub struct ThreadPoolBuilder {
+    num_threads: usize,
+}
+
+/// Error from [`ThreadPoolBuilder::build`] (infallible in the shim, the
+/// type exists for signature compatibility).
+#[derive(Debug)]
+pub struct ThreadPoolBuildError;
+
+impl std::fmt::Display for ThreadPoolBuildError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("failed to build thread pool")
+    }
+}
+
+impl std::error::Error for ThreadPoolBuildError {}
+
+impl ThreadPoolBuilder {
+    /// New builder with the default (host) thread count.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Pin the pool to `n` threads (0 = host parallelism).
+    pub fn num_threads(mut self, n: usize) -> Self {
+        self.num_threads = n;
+        self
+    }
+
+    /// Build the pool.
+    pub fn build(self) -> Result<ThreadPool, ThreadPoolBuildError> {
+        Ok(ThreadPool {
+            num_threads: self.num_threads,
+        })
+    }
+}
+
+/// A scoped thread-count context (threads are spawned per operation).
+#[derive(Debug)]
+pub struct ThreadPool {
+    num_threads: usize,
+}
+
+impl ThreadPool {
+    /// Run `f` with this pool's thread count pinned.
+    pub fn install<R: Send>(&self, f: impl FnOnce() -> R + Send) -> R {
+        let previous = PINNED_THREADS.with(|c| c.replace(self.num_threads));
+        let result = f();
+        PINNED_THREADS.with(|c| c.set(previous));
+        result
+    }
+}
+
+/// Order-preserving parallel map of `f` over `items`.
+fn parallel_map_vec<T, R, F>(items: Vec<T>, f: &F) -> Vec<R>
+where
+    T: Send,
+    R: Send,
+    F: Fn(T) -> R + Sync,
+{
+    let threads = current_num_threads().clamp(1, items.len().max(1));
+    if threads <= 1 || items.len() <= 1 {
+        return items.into_iter().map(f).collect();
+    }
+    let chunk_len = items.len().div_ceil(threads);
+    let mut chunks: Vec<Vec<T>> = Vec::with_capacity(threads);
+    let mut items = items;
+    while !items.is_empty() {
+        let tail = items.split_off(items.len().min(chunk_len));
+        chunks.push(std::mem::replace(&mut items, tail));
+    }
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = chunks
+            .into_iter()
+            .map(|chunk| scope.spawn(move || chunk.into_iter().map(f).collect::<Vec<R>>()))
+            .collect();
+        let mut out = Vec::new();
+        for handle in handles {
+            out.extend(handle.join().expect("parallel worker panicked"));
+        }
+        out
+    })
+}
+
+/// A materialized parallel iterator.
+pub struct ParIter<T> {
+    items: Vec<T>,
+}
+
+/// A parallel iterator with one pending `map` stage.
+pub struct ParMap<T, F> {
+    items: Vec<T>,
+    f: F,
+}
+
+/// Conversion into a [`ParIter`] (rayon's `into_par_iter`).
+pub trait IntoParallelIterator {
+    /// Item type.
+    type Item: Send;
+    /// Materialize the parallel iterator.
+    fn into_par_iter(self) -> ParIter<Self::Item>;
+}
+
+impl<I> IntoParallelIterator for I
+where
+    I: IntoIterator,
+    I::Item: Send,
+{
+    type Item = I::Item;
+    fn into_par_iter(self) -> ParIter<I::Item> {
+        ParIter {
+            items: self.into_iter().collect(),
+        }
+    }
+}
+
+/// `par_iter` / `par_chunks` on slices.
+pub trait ParallelSlice<T: Sync> {
+    /// Parallel iterator over `&T`.
+    fn par_iter(&self) -> ParIter<&T>;
+    /// Parallel iterator over non-overlapping `chunk_size`-sized chunks.
+    fn par_chunks(&self, chunk_size: usize) -> ParIter<&[T]>;
+}
+
+impl<T: Sync> ParallelSlice<T> for [T] {
+    fn par_iter(&self) -> ParIter<&T> {
+        ParIter {
+            items: self.iter().collect(),
+        }
+    }
+    fn par_chunks(&self, chunk_size: usize) -> ParIter<&[T]> {
+        ParIter {
+            items: self.chunks(chunk_size).collect(),
+        }
+    }
+}
+
+/// `par_chunks_mut` on slices.
+pub trait ParallelSliceMut<T: Send> {
+    /// Parallel iterator over mutable `chunk_size`-sized chunks.
+    fn par_chunks_mut(&mut self, chunk_size: usize) -> ParIter<&mut [T]>;
+}
+
+impl<T: Send> ParallelSliceMut<T> for [T] {
+    fn par_chunks_mut(&mut self, chunk_size: usize) -> ParIter<&mut [T]> {
+        ParIter {
+            items: self.chunks_mut(chunk_size).collect(),
+        }
+    }
+}
+
+impl<T: Send> ParIter<T> {
+    /// Pair each item with its index.
+    pub fn enumerate(self) -> ParIter<(usize, T)> {
+        ParIter {
+            items: self.items.into_iter().enumerate().collect(),
+        }
+    }
+
+    /// Zip with another parallel iterator (truncates to the shorter).
+    pub fn zip<U: Send>(self, other: ParIter<U>) -> ParIter<(T, U)> {
+        ParIter {
+            items: self.items.into_iter().zip(other.items).collect(),
+        }
+    }
+
+    /// Lazily map; the closure runs in parallel at the terminal op.
+    pub fn map<R: Send, F: Fn(T) -> R + Sync>(self, f: F) -> ParMap<T, F> {
+        ParMap {
+            items: self.items,
+            f,
+        }
+    }
+
+    /// Apply `f` to every item, in parallel.
+    pub fn for_each<F: Fn(T) + Sync>(self, f: F) {
+        parallel_map_vec(self.items, &f);
+    }
+
+    /// Sum the items, in parallel.
+    pub fn sum<S>(self) -> S
+    where
+        S: Send + std::iter::Sum<T> + std::iter::Sum<S>,
+    {
+        self.map(|x| x).sum()
+    }
+}
+
+impl<T, R, F> ParMap<T, F>
+where
+    T: Send,
+    R: Send,
+    F: Fn(T) -> R + Sync,
+{
+    /// Apply the mapped closure to every item, in parallel.
+    pub fn for_each(self, consume: impl Fn(R) + Sync) {
+        let f = self.f;
+        parallel_map_vec(self.items, &move |item| consume(f(item)));
+    }
+
+    /// Collect mapped results in input order, computed in parallel.
+    pub fn collect<C: From<Vec<R>>>(self) -> C {
+        parallel_map_vec(self.items, &self.f).into()
+    }
+
+    /// Sum the mapped results, computed in parallel.
+    pub fn sum<S>(self) -> S
+    where
+        S: Send + std::iter::Sum<R> + std::iter::Sum<S>,
+    {
+        let f = self.f;
+        let threads = current_num_threads().clamp(1, self.items.len().max(1));
+        let chunk_len = self.items.len().div_ceil(threads.max(1)).max(1);
+        let partials = parallel_chunked(self.items, chunk_len, &|chunk: Vec<T>| {
+            chunk.into_iter().map(&f).sum::<S>()
+        });
+        partials.into_iter().sum()
+    }
+
+    /// Fold mapped results with `op`, starting each part from
+    /// `identity()` (rayon's tree-reduce contract: `op` must be
+    /// associative and `identity()` its neutral element).
+    pub fn reduce(self, identity: impl Fn() -> R + Sync, op: impl Fn(R, R) -> R + Sync) -> R
+    where
+        R: Send,
+    {
+        let f = self.f;
+        let threads = current_num_threads().clamp(1, self.items.len().max(1));
+        let chunk_len = self.items.len().div_ceil(threads.max(1)).max(1);
+        let partials = parallel_chunked(self.items, chunk_len, &|chunk: Vec<T>| {
+            chunk.into_iter().map(&f).fold(identity(), &op)
+        });
+        partials.into_iter().fold(identity(), &op)
+    }
+}
+
+/// Split `items` into `chunk_len`-sized runs and process each run on its
+/// own scoped thread, preserving run order.
+fn parallel_chunked<T, R, G>(items: Vec<T>, chunk_len: usize, g: &G) -> Vec<R>
+where
+    T: Send,
+    R: Send,
+    G: Fn(Vec<T>) -> R + Sync,
+{
+    if items.len() <= chunk_len {
+        if items.is_empty() {
+            return Vec::new();
+        }
+        return vec![g(items)];
+    }
+    let mut chunks: Vec<Vec<T>> = Vec::new();
+    let mut items = items;
+    while !items.is_empty() {
+        let tail = items.split_off(items.len().min(chunk_len));
+        chunks.push(std::mem::replace(&mut items, tail));
+    }
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = chunks
+            .into_iter()
+            .map(|chunk| scope.spawn(move || g(chunk)))
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("parallel worker panicked"))
+            .collect()
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+    use super::*;
+
+    #[test]
+    fn map_collect_preserves_order() {
+        let v: Vec<u64> = (0..1000u64).into_par_iter().map(|x| x * 2).collect();
+        assert_eq!(v, (0..1000u64).map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn chunked_mutation_and_zip_sum() {
+        let mut out = vec![0u64; 64];
+        out.par_chunks_mut(8).enumerate().for_each(|(i, chunk)| {
+            for (j, slot) in chunk.iter_mut().enumerate() {
+                *slot = (i * 8 + j) as u64;
+            }
+        });
+        assert_eq!(out, (0..64u64).collect::<Vec<_>>());
+        let a: Vec<u32> = (0..100).collect();
+        let b: Vec<u32> = (0..100).map(|x| x * 3).collect();
+        let s: u64 = a
+            .par_chunks(7)
+            .zip(b.par_chunks(7))
+            .map(|(ca, cb)| {
+                ca.iter()
+                    .zip(cb)
+                    .map(|(&x, &y)| (x + y) as u64)
+                    .sum::<u64>()
+            })
+            .sum();
+        assert_eq!(s, (0..100u64).map(|x| x * 4).sum::<u64>());
+    }
+
+    #[test]
+    fn install_pins_thread_count() {
+        let pool = ThreadPoolBuilder::new().num_threads(3).build().unwrap();
+        assert_eq!(pool.install(current_num_threads), 3);
+        let n = current_num_threads();
+        assert!(n >= 1 && n != 0);
+    }
+
+    #[test]
+    fn reduce_matches_sequential_fold() {
+        let total = (0..500u64)
+            .into_par_iter()
+            .map(|x| (x, 1u64))
+            .reduce(|| (0, 0), |(a, b), (c, d)| (a + c, b + d));
+        assert_eq!(total, ((0..500u64).sum(), 500));
+    }
+}

@@ -1,0 +1,230 @@
+//! Deserialization half of the shim.
+//!
+//! A [`Deserializer`] produces one self-describing [`Value`] tree;
+//! [`Deserialize`] impls pull their shape out of it. Derived struct
+//! impls go through [`begin_struct`]/[`take_field`].
+
+use crate::value::Value;
+use std::fmt::Display;
+use std::marker::PhantomData;
+
+/// Error construction hook for deserializers.
+pub trait Error: Sized {
+    /// Build an error carrying `msg`.
+    fn custom<T: Display>(msg: T) -> Self;
+}
+
+/// A data-format deserializer. The lifetime mirrors real serde's
+/// signature so manual impls compile unchanged; the shim always produces
+/// owned data.
+pub trait Deserializer<'de>: Sized {
+    /// Error type.
+    type Error: Error;
+    /// Consume the input into one self-describing value tree.
+    fn deserialize_value(self) -> Result<Value, Self::Error>;
+}
+
+/// A type that can be deserialized from any [`Deserializer`].
+pub trait Deserialize<'de>: Sized {
+    /// Deserialize `Self`.
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error>;
+}
+
+/// Marker for types deserializable without borrowing from the input.
+pub trait DeserializeOwned: for<'de> Deserialize<'de> {}
+impl<T: for<'de> Deserialize<'de>> DeserializeOwned for T {}
+
+/// A [`Deserializer`] over an in-memory [`Value`], generic in its error
+/// type (the analogue of real serde's `ContentDeserializer`).
+pub struct ValueDeserializer<E> {
+    value: Value,
+    marker: PhantomData<E>,
+}
+
+impl<E> ValueDeserializer<E> {
+    /// Wrap `value`.
+    pub fn new(value: Value) -> Self {
+        ValueDeserializer {
+            value,
+            marker: PhantomData,
+        }
+    }
+}
+
+impl<'de, E: Error> Deserializer<'de> for ValueDeserializer<E> {
+    type Error = E;
+    fn deserialize_value(self) -> Result<Value, E> {
+        Ok(self.value)
+    }
+}
+
+/// Deserialize a `T` out of an owned [`Value`].
+pub fn from_value<'de, T: Deserialize<'de>, E: Error>(value: Value) -> Result<T, E> {
+    T::deserialize(ValueDeserializer::<E>::new(value))
+}
+
+/// The field map of a struct being deserialized (derive support).
+pub struct FieldMap {
+    type_name: &'static str,
+    entries: Vec<(String, Value)>,
+}
+
+/// Begin deserializing a struct: pull the value tree and require an
+/// object (derive support).
+pub fn begin_struct<'de, D: Deserializer<'de>>(
+    deserializer: D,
+    type_name: &'static str,
+) -> Result<FieldMap, D::Error> {
+    match deserializer.deserialize_value()? {
+        Value::Map(entries) => Ok(FieldMap { type_name, entries }),
+        other => Err(D::Error::custom(format!(
+            "invalid type: expected struct {type_name}, found {}",
+            other.kind()
+        ))),
+    }
+}
+
+/// Extract and deserialize one named field (derive support).
+pub fn take_field<'de, T: Deserialize<'de>, E: Error>(
+    map: &mut FieldMap,
+    name: &'static str,
+) -> Result<T, E> {
+    match take_field_opt(map, name)? {
+        Some(value) => Ok(value),
+        None => Err(E::custom(format!(
+            "missing field `{name}` in {}",
+            map.type_name
+        ))),
+    }
+}
+
+/// Extract and deserialize one named field, tolerating its absence
+/// (the manual-impl analogue of `#[serde(default)]`).
+pub fn take_field_opt<'de, T: Deserialize<'de>, E: Error>(
+    map: &mut FieldMap,
+    name: &'static str,
+) -> Result<Option<T>, E> {
+    let pos = map.entries.iter().position(|(k, _)| k == name);
+    match pos {
+        Some(pos) => from_value(map.entries.swap_remove(pos).1).map(Some),
+        None => Ok(None),
+    }
+}
+
+fn type_error<T, E: Error>(expected: &str, found: &Value) -> Result<T, E> {
+    Err(E::custom(format!(
+        "invalid type: expected {expected}, found {}",
+        found.kind()
+    )))
+}
+
+macro_rules! deserialize_unsigned {
+    ($($t:ty),*) => {$(
+        impl<'de> Deserialize<'de> for $t {
+            fn deserialize<D: Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+                let v = d.deserialize_value()?;
+                match v.as_u64().map(<$t>::try_from) {
+                    Some(Ok(n)) => Ok(n),
+                    _ => type_error(stringify!($t), &v),
+                }
+            }
+        }
+    )*};
+}
+deserialize_unsigned!(u8, u16, u32, u64, usize);
+
+macro_rules! deserialize_signed {
+    ($($t:ty),*) => {$(
+        impl<'de> Deserialize<'de> for $t {
+            fn deserialize<D: Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+                let v = d.deserialize_value()?;
+                let n = match v {
+                    Value::I64(n) => <$t>::try_from(n).ok(),
+                    Value::U64(n) => <$t>::try_from(n).ok(),
+                    _ => None,
+                };
+                match n {
+                    Some(n) => Ok(n),
+                    None => type_error(stringify!($t), &v),
+                }
+            }
+        }
+    )*};
+}
+deserialize_signed!(i8, i16, i32, i64, isize);
+
+impl<'de> Deserialize<'de> for f64 {
+    fn deserialize<D: Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+        let v = d.deserialize_value()?;
+        v.as_f64().map_or_else(|| type_error("f64", &v), Ok)
+    }
+}
+
+impl<'de> Deserialize<'de> for f32 {
+    fn deserialize<D: Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+        f64::deserialize(d).map(|v| v as f32)
+    }
+}
+
+impl<'de> Deserialize<'de> for bool {
+    fn deserialize<D: Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+        match d.deserialize_value()? {
+            Value::Bool(b) => Ok(b),
+            other => type_error("bool", &other),
+        }
+    }
+}
+
+impl<'de> Deserialize<'de> for String {
+    fn deserialize<D: Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+        match d.deserialize_value()? {
+            Value::Str(s) => Ok(s),
+            other => type_error("string", &other),
+        }
+    }
+}
+
+impl<'de, T: Deserialize<'de>> Deserialize<'de> for Vec<T> {
+    fn deserialize<D: Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+        match d.deserialize_value()? {
+            Value::Seq(items) => items.into_iter().map(from_value).collect(),
+            other => type_error("array", &other),
+        }
+    }
+}
+
+impl<'de, T: Deserialize<'de>> Deserialize<'de> for Option<T> {
+    fn deserialize<D: Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+        match d.deserialize_value()? {
+            Value::Null => Ok(None),
+            other => from_value(other).map(Some),
+        }
+    }
+}
+
+impl<'de, T: Deserialize<'de>> Deserialize<'de> for Box<T> {
+    fn deserialize<D: Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+        T::deserialize(d).map(Box::new)
+    }
+}
+
+impl<'de, T: Deserialize<'de>> Deserialize<'de> for Box<[T]> {
+    fn deserialize<D: Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+        Vec::<T>::deserialize(d).map(Vec::into_boxed_slice)
+    }
+}
+
+impl<'de, T: Deserialize<'de>, const N: usize> Deserialize<'de> for [T; N] {
+    fn deserialize<D: Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+        let items = Vec::<T>::deserialize(d)?;
+        let len = items.len();
+        <[T; N]>::try_from(items)
+            .map_err(|_| D::Error::custom(format!("expected array of length {N}, found {len}")))
+    }
+}
+
+impl<'de> Deserialize<'de> for Value {
+    fn deserialize<D: Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+        d.deserialize_value()
+    }
+}

@@ -1,0 +1,24 @@
+//! Minimal offline drop-in for the `serde` facade.
+//!
+//! This workspace builds in environments with no crates.io access, so the
+//! handful of external dependencies are vendored as small API-compatible
+//! shims (see `vendor/README.md`). This crate covers exactly the serde
+//! surface the workspace uses: `Serialize`/`Deserialize` derives on plain
+//! structs with named fields, manual impls written against
+//! `Serializer`/`Deserializer`, and `serde::de::Error::custom`.
+//!
+//! Deserialization is value-based: a [`Deserializer`] yields one
+//! self-describing [`value::Value`] tree and typed impls pull their shape
+//! out of it. That is a simplification of real serde's visitor model, but
+//! it is source-compatible with every usage site in this workspace and
+//! with the vendored `serde_json`.
+
+pub mod de;
+pub mod ser;
+pub mod value;
+
+pub use de::{Deserialize, DeserializeOwned, Deserializer};
+pub use ser::{Serialize, Serializer};
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};

@@ -1,0 +1,201 @@
+//! The self-describing value tree shared by the shim's serializers and
+//! deserializers. Re-exported by the vendored `serde_json` as its `Value`.
+
+use std::fmt;
+
+/// A dynamically typed serialized value (the JSON data model).
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// JSON `null`.
+    Null,
+    /// A boolean.
+    Bool(bool),
+    /// A non-negative integer.
+    U64(u64),
+    /// A negative integer.
+    I64(i64),
+    /// A floating-point number.
+    F64(f64),
+    /// A string.
+    Str(String),
+    /// An array.
+    Seq(Vec<Value>),
+    /// An object; insertion order is preserved.
+    Map(Vec<(String, Value)>),
+}
+
+impl Value {
+    /// The integer content of the value, if it has one.
+    pub fn as_u64(&self) -> Option<u64> {
+        match *self {
+            Value::U64(v) => Some(v),
+            Value::I64(v) => u64::try_from(v).ok(),
+            _ => None,
+        }
+    }
+
+    /// The float content of the value (integers widen), if numeric.
+    pub fn as_f64(&self) -> Option<f64> {
+        match *self {
+            Value::F64(v) => Some(v),
+            Value::U64(v) => Some(v as f64),
+            Value::I64(v) => Some(v as f64),
+            _ => None,
+        }
+    }
+
+    /// A short name for error messages.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Value::Null => "null",
+            Value::Bool(_) => "bool",
+            Value::U64(_) | Value::I64(_) => "integer",
+            Value::F64(_) => "float",
+            Value::Str(_) => "string",
+            Value::Seq(_) => "array",
+            Value::Map(_) => "object",
+        }
+    }
+}
+
+impl fmt::Display for Value {
+    /// Renders compact JSON.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write_json(self, f)
+    }
+}
+
+/// Write `v` as compact JSON.
+fn write_json(v: &Value, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+    match v {
+        Value::Null => f.write_str("null"),
+        Value::Bool(b) => write!(f, "{b}"),
+        Value::U64(n) => write!(f, "{n}"),
+        Value::I64(n) => write!(f, "{n}"),
+        Value::F64(n) => {
+            if n.is_finite() {
+                // `{:?}` prints the shortest representation that parses
+                // back to the same f64 (and always includes a `.`/`e`).
+                write!(f, "{n:?}")
+            } else {
+                f.write_str("null")
+            }
+        }
+        Value::Str(s) => write_json_string(s, f),
+        Value::Seq(items) => {
+            f.write_str("[")?;
+            for (i, item) in items.iter().enumerate() {
+                if i > 0 {
+                    f.write_str(",")?;
+                }
+                write_json(item, f)?;
+            }
+            f.write_str("]")
+        }
+        Value::Map(entries) => {
+            f.write_str("{")?;
+            for (i, (k, val)) in entries.iter().enumerate() {
+                if i > 0 {
+                    f.write_str(",")?;
+                }
+                write_json_string(k, f)?;
+                f.write_str(":")?;
+                write_json(val, f)?;
+            }
+            f.write_str("}")
+        }
+    }
+}
+
+/// Write a JSON string literal with escapes.
+pub(crate) fn write_json_string(s: &str, f: &mut impl fmt::Write) -> fmt::Result {
+    f.write_char('"')?;
+    for c in s.chars() {
+        match c {
+            '"' => f.write_str("\\\"")?,
+            '\\' => f.write_str("\\\\")?,
+            '\n' => f.write_str("\\n")?,
+            '\r' => f.write_str("\\r")?,
+            '\t' => f.write_str("\\t")?,
+            c if (c as u32) < 0x20 => write!(f, "\\u{:04x}", c as u32)?,
+            c => f.write_char(c)?,
+        }
+    }
+    f.write_char('"')
+}
+
+impl std::ops::Index<&str> for Value {
+    type Output = Value;
+    fn index(&self, key: &str) -> &Value {
+        const NULL: Value = Value::Null;
+        match self {
+            Value::Map(entries) => entries
+                .iter()
+                .find(|(k, _)| k == key)
+                .map(|(_, v)| v)
+                .unwrap_or(&NULL),
+            _ => &NULL,
+        }
+    }
+}
+
+impl std::ops::IndexMut<&str> for Value {
+    fn index_mut(&mut self, key: &str) -> &mut Value {
+        if !matches!(self, Value::Map(_)) {
+            *self = Value::Map(Vec::new());
+        }
+        let Value::Map(entries) = self else {
+            unreachable!()
+        };
+        if let Some(pos) = entries.iter().position(|(k, _)| k == key) {
+            &mut entries[pos].1
+        } else {
+            entries.push((key.to_owned(), Value::Null));
+            &mut entries.last_mut().unwrap().1
+        }
+    }
+}
+
+macro_rules! value_from_unsigned {
+    ($($t:ty),*) => {$(
+        impl From<$t> for Value {
+            fn from(v: $t) -> Value { Value::U64(v as u64) }
+        }
+    )*};
+}
+value_from_unsigned!(u8, u16, u32, u64, usize);
+
+macro_rules! value_from_signed {
+    ($($t:ty),*) => {$(
+        impl From<$t> for Value {
+            fn from(v: $t) -> Value {
+                if v >= 0 { Value::U64(v as u64) } else { Value::I64(v as i64) }
+            }
+        }
+    )*};
+}
+value_from_signed!(i8, i16, i32, i64, isize);
+
+impl From<f64> for Value {
+    fn from(v: f64) -> Value {
+        Value::F64(v)
+    }
+}
+
+impl From<bool> for Value {
+    fn from(v: bool) -> Value {
+        Value::Bool(v)
+    }
+}
+
+impl From<&str> for Value {
+    fn from(v: &str) -> Value {
+        Value::Str(v.to_owned())
+    }
+}
+
+impl From<String> for Value {
+    fn from(v: String) -> Value {
+        Value::Str(v)
+    }
+}

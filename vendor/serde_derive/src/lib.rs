@@ -1,0 +1,163 @@
+//! Derive macros for the vendored `serde` shim.
+//!
+//! Supports the only shape this workspace derives on: non-generic
+//! structs with named fields. The input token stream is parsed by hand
+//! (no `syn`/`quote` available offline); generated impls route through
+//! `serde::ser::SerializeStruct` and the `serde::de` field-map helpers.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// Name and named fields of the struct a derive was placed on.
+struct StructShape {
+    name: String,
+    /// `(name, has_serde_default)` per field, in declaration order.
+    fields: Vec<(String, bool)>,
+}
+
+/// Does this attribute body (the token stream inside `#[...]`) spell
+/// `serde(default)`?
+fn is_serde_default(body: TokenStream) -> bool {
+    let mut tokens = body.into_iter();
+    match (tokens.next(), tokens.next()) {
+        (Some(TokenTree::Ident(id)), Some(TokenTree::Group(g)))
+            if id.to_string() == "serde" && g.delimiter() == Delimiter::Parenthesis =>
+        {
+            let inner: Vec<String> = g.stream().into_iter().map(|t| t.to_string()).collect();
+            inner == ["default"]
+        }
+        _ => false,
+    }
+}
+
+/// Parse `struct Name { a: T, b: U, ... }` out of a derive input stream.
+fn parse_struct(input: TokenStream) -> StructShape {
+    let mut tokens = input.into_iter().peekable();
+    // Skip attributes (`#[...]`) and visibility ahead of `struct`.
+    let name = loop {
+        match tokens.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                tokens.next(); // the [...] group
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "struct" => match tokens.next() {
+                Some(TokenTree::Ident(name)) => break name.to_string(),
+                other => panic!("expected struct name, found {other:?}"),
+            },
+            Some(TokenTree::Ident(_)) | Some(TokenTree::Group(_)) => {} // pub / pub(crate)
+            other => panic!("unsupported derive input near {other:?}"),
+        }
+    };
+    // Generics are not used by any derived type in this workspace.
+    let body = loop {
+        match tokens.next() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => break g,
+            Some(TokenTree::Punct(p)) if p.as_char() == '<' => {
+                panic!("serde shim derive does not support generic structs")
+            }
+            Some(TokenTree::Punct(_)) | Some(TokenTree::Ident(_)) => {}
+            other => panic!("expected struct body, found {other:?}"),
+        }
+    };
+
+    // Fields: skip attrs + visibility, take the ident before `:`, then
+    // skip the type until a top-level (angle-depth 0) comma.
+    let mut fields = Vec::new();
+    let mut toks = body.stream().into_iter().peekable();
+    loop {
+        // Skip field attributes (noting `#[serde(default)]`) and
+        // visibility.
+        let mut has_default = false;
+        let field = loop {
+            match toks.next() {
+                None => return StructShape { name, fields },
+                Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                    if let Some(TokenTree::Group(attr)) = toks.next() {
+                        has_default |= is_serde_default(attr.stream());
+                    }
+                }
+                Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                    if let Some(TokenTree::Group(_)) = toks.peek() {
+                        toks.next(); // pub(crate) / pub(super)
+                    }
+                }
+                Some(TokenTree::Ident(id)) => break id.to_string(),
+                other => panic!("unsupported field syntax near {other:?}"),
+            }
+        };
+        fields.push((field, has_default));
+        // Expect `:`, then consume the type.
+        match toks.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => {}
+            other => panic!("expected `:` after field name, found {other:?}"),
+        }
+        let mut angle_depth = 0i32;
+        loop {
+            match toks.next() {
+                None => return StructShape { name, fields },
+                Some(TokenTree::Punct(p)) => match p.as_char() {
+                    '<' => angle_depth += 1,
+                    '>' => angle_depth -= 1,
+                    ',' if angle_depth == 0 => break,
+                    _ => {}
+                },
+                Some(_) => {}
+            }
+        }
+    }
+}
+
+/// Derive `serde::Serialize` for a named-field struct.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let shape = parse_struct(input);
+    let mut body = String::new();
+    for (f, _) in &shape.fields {
+        body.push_str(&format!(
+            "::serde::ser::SerializeStruct::serialize_field(&mut __st, \"{f}\", &self.{f})?;\n"
+        ));
+    }
+    format!(
+        "impl ::serde::Serialize for {name} {{\n\
+            fn serialize<__S: ::serde::Serializer>(&self, __s: __S) \
+                -> ::std::result::Result<__S::Ok, __S::Error> {{\n\
+                let mut __st = ::serde::Serializer::serialize_struct(__s, \"{name}\", {len})?;\n\
+                {body}\
+                ::serde::ser::SerializeStruct::end(__st)\n\
+            }}\n\
+        }}",
+        name = shape.name,
+        len = shape.fields.len(),
+    )
+    .parse()
+    .expect("generated Serialize impl must parse")
+}
+
+/// Derive `serde::Deserialize` for a named-field struct.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let shape = parse_struct(input);
+    let mut body = String::new();
+    for (f, has_default) in &shape.fields {
+        if *has_default {
+            body.push_str(&format!(
+                "{f}: ::serde::de::take_field_opt::<_, __D::Error>(&mut __map, \"{f}\")?\
+                    .unwrap_or_default(),\n"
+            ));
+        } else {
+            body.push_str(&format!(
+                "{f}: ::serde::de::take_field::<_, __D::Error>(&mut __map, \"{f}\")?,\n"
+            ));
+        }
+    }
+    format!(
+        "impl<'de> ::serde::Deserialize<'de> for {name} {{\n\
+            fn deserialize<__D: ::serde::Deserializer<'de>>(__d: __D) \
+                -> ::std::result::Result<Self, __D::Error> {{\n\
+                let mut __map = ::serde::de::begin_struct(__d, \"{name}\")?;\n\
+                ::std::result::Result::Ok({name} {{ {body} }})\n\
+            }}\n\
+        }}",
+        name = shape.name,
+    )
+    .parse()
+    .expect("generated Deserialize impl must parse")
+}

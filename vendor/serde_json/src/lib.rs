@@ -1,0 +1,404 @@
+//! Minimal offline drop-in for `serde_json`, backed by the vendored
+//! `serde` shim's [`Value`] tree: `to_string` / `from_str` / `to_value` /
+//! `from_value` / `json!`, with a compact writer and a recursive-descent
+//! parser.
+
+use serde::de::Error as DeError;
+use serde::ser::{Error as SerError, SerializeSeq, SerializeStruct};
+use serde::{Serialize, Serializer};
+use std::fmt;
+
+pub use serde::value::Value;
+
+/// Error type for all serde_json shim operations.
+#[derive(Debug, Clone)]
+pub struct Error(String);
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::error::Error for Error {}
+
+impl SerError for Error {
+    fn custom<T: fmt::Display>(msg: T) -> Self {
+        Error(msg.to_string())
+    }
+}
+
+impl DeError for Error {
+    fn custom<T: fmt::Display>(msg: T) -> Self {
+        Error(msg.to_string())
+    }
+}
+
+/// Build a [`Value`] from a literal (the subset of `serde_json::json!`
+/// this workspace uses).
+#[macro_export]
+macro_rules! json {
+    (null) => {
+        $crate::Value::Null
+    };
+    ($other:expr) => {
+        $crate::Value::from($other)
+    };
+}
+
+/// Serialize `value` into a [`Value`] tree.
+pub fn to_value<T: Serialize>(value: T) -> Result<Value, Error> {
+    value.serialize(ValueSerializer)
+}
+
+/// Serialize `value` to a compact JSON string.
+pub fn to_string<T: Serialize>(value: &T) -> Result<String, Error> {
+    Ok(to_value(value)?.to_string())
+}
+
+/// Deserialize a `T` from a [`Value`] tree.
+pub fn from_value<T: serde::DeserializeOwned>(value: Value) -> Result<T, Error> {
+    serde::de::from_value(value)
+}
+
+/// Parse JSON text and deserialize a `T` from it.
+pub fn from_str<T: serde::DeserializeOwned>(s: &str) -> Result<T, Error> {
+    from_value(parse(s)?)
+}
+
+// ---------------------------------------------------------------- ser --
+
+/// [`Serializer`] producing a [`Value`] tree.
+struct ValueSerializer;
+
+/// Sequence builder for [`ValueSerializer`].
+struct SeqBuilder(Vec<Value>);
+
+/// Struct builder for [`ValueSerializer`].
+struct StructBuilder(Vec<(String, Value)>);
+
+impl Serializer for ValueSerializer {
+    type Ok = Value;
+    type Error = Error;
+    type SerializeSeq = SeqBuilder;
+    type SerializeStruct = StructBuilder;
+
+    fn serialize_bool(self, v: bool) -> Result<Value, Error> {
+        Ok(Value::Bool(v))
+    }
+    fn serialize_i64(self, v: i64) -> Result<Value, Error> {
+        Ok(if v >= 0 {
+            Value::U64(v as u64)
+        } else {
+            Value::I64(v)
+        })
+    }
+    fn serialize_u64(self, v: u64) -> Result<Value, Error> {
+        Ok(Value::U64(v))
+    }
+    fn serialize_f64(self, v: f64) -> Result<Value, Error> {
+        Ok(Value::F64(v))
+    }
+    fn serialize_str(self, v: &str) -> Result<Value, Error> {
+        Ok(Value::Str(v.to_owned()))
+    }
+    fn serialize_unit(self) -> Result<Value, Error> {
+        Ok(Value::Null)
+    }
+    fn serialize_seq(self, len: Option<usize>) -> Result<SeqBuilder, Error> {
+        Ok(SeqBuilder(Vec::with_capacity(len.unwrap_or(0))))
+    }
+    fn serialize_struct(self, _name: &'static str, len: usize) -> Result<StructBuilder, Error> {
+        Ok(StructBuilder(Vec::with_capacity(len)))
+    }
+}
+
+impl SerializeSeq for SeqBuilder {
+    type Ok = Value;
+    type Error = Error;
+    fn serialize_element<T: Serialize + ?Sized>(&mut self, value: &T) -> Result<(), Error> {
+        self.0.push(value.serialize(ValueSerializer)?);
+        Ok(())
+    }
+    fn end(self) -> Result<Value, Error> {
+        Ok(Value::Seq(self.0))
+    }
+}
+
+impl SerializeStruct for StructBuilder {
+    type Ok = Value;
+    type Error = Error;
+    fn serialize_dynamic_field<T: Serialize + ?Sized>(
+        &mut self,
+        name: &str,
+        value: &T,
+    ) -> Result<(), Error> {
+        self.0
+            .push((name.to_owned(), value.serialize(ValueSerializer)?));
+        Ok(())
+    }
+    fn end(self) -> Result<Value, Error> {
+        Ok(Value::Map(self.0))
+    }
+}
+
+// ------------------------------------------------------------- parser --
+
+/// Parse one JSON document.
+fn parse(s: &str) -> Result<Value, Error> {
+    let mut p = Parser {
+        bytes: s.as_bytes(),
+        pos: 0,
+    };
+    p.skip_ws();
+    let v = p.value()?;
+    p.skip_ws();
+    if p.pos != p.bytes.len() {
+        return Err(Error(format!("trailing characters at byte {}", p.pos)));
+    }
+    Ok(v)
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl Parser<'_> {
+    fn skip_ws(&mut self) {
+        while let Some(&b) = self.bytes.get(self.pos) {
+            if matches!(b, b' ' | b'\t' | b'\n' | b'\r') {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), Error> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(Error(format!(
+                "expected `{}` at byte {}",
+                b as char, self.pos
+            )))
+        }
+    }
+
+    fn eat_literal(&mut self, lit: &str) -> bool {
+        if self.bytes[self.pos..].starts_with(lit.as_bytes()) {
+            self.pos += lit.len();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn value(&mut self) -> Result<Value, Error> {
+        match self.peek() {
+            Some(b'n') if self.eat_literal("null") => Ok(Value::Null),
+            Some(b't') if self.eat_literal("true") => Ok(Value::Bool(true)),
+            Some(b'f') if self.eat_literal("false") => Ok(Value::Bool(false)),
+            Some(b'"') => self.string().map(Value::Str),
+            Some(b'[') => {
+                self.pos += 1;
+                let mut items = Vec::new();
+                self.skip_ws();
+                if self.peek() == Some(b']') {
+                    self.pos += 1;
+                    return Ok(Value::Seq(items));
+                }
+                loop {
+                    self.skip_ws();
+                    items.push(self.value()?);
+                    self.skip_ws();
+                    match self.peek() {
+                        Some(b',') => self.pos += 1,
+                        Some(b']') => {
+                            self.pos += 1;
+                            return Ok(Value::Seq(items));
+                        }
+                        _ => return Err(Error(format!("bad array at byte {}", self.pos))),
+                    }
+                }
+            }
+            Some(b'{') => {
+                self.pos += 1;
+                let mut entries = Vec::new();
+                self.skip_ws();
+                if self.peek() == Some(b'}') {
+                    self.pos += 1;
+                    return Ok(Value::Map(entries));
+                }
+                loop {
+                    self.skip_ws();
+                    let key = self.string()?;
+                    self.skip_ws();
+                    self.expect(b':')?;
+                    self.skip_ws();
+                    let val = self.value()?;
+                    entries.push((key, val));
+                    self.skip_ws();
+                    match self.peek() {
+                        Some(b',') => self.pos += 1,
+                        Some(b'}') => {
+                            self.pos += 1;
+                            return Ok(Value::Map(entries));
+                        }
+                        _ => return Err(Error(format!("bad object at byte {}", self.pos))),
+                    }
+                }
+            }
+            Some(b) if b == b'-' || b.is_ascii_digit() => self.number(),
+            _ => Err(Error(format!("unexpected input at byte {}", self.pos))),
+        }
+    }
+
+    fn string(&mut self) -> Result<String, Error> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            let b = self
+                .peek()
+                .ok_or_else(|| Error("unterminated string".into()))?;
+            self.pos += 1;
+            match b {
+                b'"' => return Ok(out),
+                b'\\' => {
+                    let esc = self
+                        .peek()
+                        .ok_or_else(|| Error("unterminated escape".into()))?;
+                    self.pos += 1;
+                    match esc {
+                        b'"' => out.push('"'),
+                        b'\\' => out.push('\\'),
+                        b'/' => out.push('/'),
+                        b'n' => out.push('\n'),
+                        b'r' => out.push('\r'),
+                        b't' => out.push('\t'),
+                        b'b' => out.push('\u{8}'),
+                        b'f' => out.push('\u{c}'),
+                        b'u' => {
+                            let hex = self
+                                .bytes
+                                .get(self.pos..self.pos + 4)
+                                .ok_or_else(|| Error("truncated \\u escape".into()))?;
+                            let code = u32::from_str_radix(
+                                std::str::from_utf8(hex)
+                                    .map_err(|_| Error("bad \\u escape".into()))?,
+                                16,
+                            )
+                            .map_err(|_| Error("bad \\u escape".into()))?;
+                            self.pos += 4;
+                            // Surrogate pairs are not produced by this
+                            // shim's writer; reject rather than mangle.
+                            out.push(
+                                char::from_u32(code)
+                                    .ok_or_else(|| Error("unsupported \\u escape".into()))?,
+                            );
+                        }
+                        _ => return Err(Error("unknown escape".into())),
+                    }
+                }
+                _ => {
+                    // Copy the full UTF-8 sequence starting here.
+                    let start = self.pos - 1;
+                    let rest = &self.bytes[start..];
+                    let ch_len = utf8_len(rest[0]);
+                    let chunk = rest
+                        .get(..ch_len)
+                        .ok_or_else(|| Error("truncated UTF-8".into()))?;
+                    out.push_str(
+                        std::str::from_utf8(chunk).map_err(|_| Error("invalid UTF-8".into()))?,
+                    );
+                    self.pos = start + ch_len;
+                }
+            }
+        }
+    }
+
+    fn number(&mut self) -> Result<Value, Error> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        let mut is_float = false;
+        while let Some(b) = self.peek() {
+            match b {
+                b'0'..=b'9' => self.pos += 1,
+                b'.' | b'e' | b'E' | b'+' | b'-' => {
+                    is_float = true;
+                    self.pos += 1;
+                }
+                _ => break,
+            }
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos]).unwrap();
+        if is_float {
+            text.parse::<f64>()
+                .map(Value::F64)
+                .map_err(|e| Error(format!("bad number `{text}`: {e}")))
+        } else if let Some(stripped) = text.strip_prefix('-') {
+            stripped
+                .parse::<i64>()
+                .map(|n| Value::I64(-n))
+                .map_err(|e| Error(format!("bad number `{text}`: {e}")))
+        } else {
+            text.parse::<u64>()
+                .map(Value::U64)
+                .map_err(|e| Error(format!("bad number `{text}`: {e}")))
+        }
+    }
+}
+
+/// Length in bytes of the UTF-8 sequence starting with `b`.
+fn utf8_len(b: u8) -> usize {
+    match b {
+        0x00..=0x7F => 1,
+        0xC0..=0xDF => 2,
+        0xE0..=0xEF => 3,
+        _ => 4,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_scalars_and_containers() {
+        let v = Value::Map(vec![
+            ("a".into(), Value::U64(7)),
+            ("b".into(), Value::Seq(vec![Value::Bool(true), Value::Null])),
+            ("c".into(), Value::F64(0.5)),
+            ("d".into(), Value::Str("x\"y\n".into())),
+            ("e".into(), Value::I64(-3)),
+        ]);
+        let text = v.to_string();
+        assert_eq!(parse(&text).unwrap(), v);
+    }
+
+    #[test]
+    fn index_and_assign() {
+        let mut v = parse(r#"{"r": 8}"#).unwrap();
+        assert_eq!(v["r"], Value::U64(8));
+        v["r"] = json!(12345);
+        assert_eq!(v["r"].as_u64(), Some(12345));
+        assert_eq!(v["missing"], Value::Null);
+    }
+
+    #[test]
+    fn typed_roundtrip() {
+        let n: u32 = from_str("42").unwrap();
+        assert_eq!(n, 42);
+        let xs: Vec<u64> = from_str("[1, 2, 3]").unwrap();
+        assert_eq!(xs, vec![1, 2, 3]);
+        assert!(from_str::<u32>("\"nope\"").is_err());
+    }
+}
