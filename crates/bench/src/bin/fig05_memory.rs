@@ -21,8 +21,17 @@ fn main() {
     let mut table = Table::new(&["n", "gpu_peak", "apriori", "fpgrowth", "apriori_fits"]);
     for n in cfg.n_sweep() {
         let db = paper_instance(&cfg, n, 0.05);
-        // GPU pipeline: run it and take the accounted peak.
-        let report = mine(&db, &MinerConfig::default());
+        // GPU pipeline: run it and take the accounted peak (memory
+        // numbers are knob-independent; kernel/threads wired anyway so
+        // the flags are never silently ignored).
+        let report = mine(
+            &db,
+            &MinerConfig {
+                kernel: cfg.kernel,
+                threads: cfg.threads,
+                ..Default::default()
+            },
+        );
         let gpu = report.memory.peak_bytes();
         // Apriori: the counter array is predictable without allocating.
         let ap = apriori::pair_bytes_required(n) + db.heap_bytes();

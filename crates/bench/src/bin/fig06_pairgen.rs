@@ -29,6 +29,7 @@ fn main() {
             &MinerConfig {
                 minsup,
                 kernel: cfg.kernel,
+                threads: cfg.threads,
                 ..Default::default()
             },
         );

@@ -36,6 +36,7 @@ fn main() {
             &MinerConfig {
                 minsup,
                 kernel: cfg.kernel,
+                threads: cfg.threads,
                 ..Default::default()
             },
         );

@@ -33,6 +33,7 @@ fn main() {
             &MinerConfig {
                 minsup,
                 kernel: cfg.kernel,
+                threads: cfg.threads,
                 ..Default::default()
             },
         );
@@ -42,7 +43,10 @@ fn main() {
         };
         let (_, fp) = timer::time(|| fpgrowth::mine_pairs(&db, minsup));
         // Representative batmap width: device bytes per item row.
-        let width = report.memory.device_bytes / report.comparisons.max(1).isqrt().max(1);
+        // `comparisons` is exactly (n_padded choose 2), so n_padded
+        // recovers as isqrt(2c) + 1 (n(n-1) lies in ((n-1)^2, n^2)).
+        let n_padded = (2 * report.comparisons).isqrt() + 1;
+        let width = report.memory.device_bytes / n_padded.max(1);
         table.row_owned(vec![
             format!("{density}"),
             format!("{:.4}", report.timings.kernel_s),

@@ -47,6 +47,7 @@ fn main() {
             &MinerConfig {
                 minsup,
                 kernel: cfg.kernel,
+                threads: cfg.threads,
                 ..Default::default()
             },
         );

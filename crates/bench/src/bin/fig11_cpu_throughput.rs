@@ -26,15 +26,21 @@ fn main() {
     } else {
         40
     };
+    // `--threads N` (or BATMAP_THREADS) pins the sweep to one core
+    // count; the default sweeps the paper's 1/2/4/8.
+    let core_sweep: Vec<usize> = match cfg.threads.pinned() {
+        Some(cores) => vec![cores],
+        None => vec![1, 2, 4, 8],
+    };
     println!(
         "Figure 11 reproduction: CPU batmap-comparison throughput \
-         ({} MB working set, {reps} reps, kernel {})",
+         ({} MB working set, {reps} reps, kernel {}, cores {core_sweep:?})",
         words * 8 / 1_000_000,
         kernel.resolve()
     );
     let mut table = Table::new(&["cores", "throughput", "bytes_per_s"]);
     let mut rates = Vec::new();
-    for cores in [1usize, 2, 4, 8] {
+    for cores in core_sweep {
         let rate = scoped_pool(cores, || swar_throughput_with(kernel, words, reps));
         rates.push(rate);
         table.row_owned(vec![

@@ -1,0 +1,269 @@
+//! The perf harness: runs a fixed set of intersect/mine scenarios
+//! across kernel backends and thread counts and emits one
+//! machine-readable `BENCH_<scenario>.json` per scenario (schema in
+//! `bench::report`), so the repository accumulates a comparable perf
+//! trajectory and CI can gate on large regressions.
+//!
+//! ```text
+//! perf_suite [--out DIR] [--check BASELINE_DIR] [--factor F]
+//!            [--quick] [--seed N] [--kernel NAME] [--threads N]
+//! ```
+//!
+//! `--check` compares the fresh reports against the baseline JSONs in
+//! the given directory (the repo checks conservative floors into
+//! `crates/bench/baselines/`) and exits non-zero if any scenario's
+//! `pairs_per_s` dropped by more than `--factor` (default 2).
+
+use batmap::{KernelBackend, Parallelism, ALL_BACKENDS};
+use bench::report::{load_dir, regression_failures, DatasetParams, PerfReport};
+use datagen::uniform::{generate, UniformSpec};
+use hpcutil::{scoped_pool, Table};
+use pairminer::cpu::swar_throughput_with;
+use pairminer::{mine, Engine, MinerConfig};
+use std::path::PathBuf;
+
+struct Args {
+    out: PathBuf,
+    check: Option<PathBuf>,
+    factor: f64,
+    quick: bool,
+    seed: u64,
+    kernel: KernelBackend,
+    threads: Parallelism,
+}
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        out: PathBuf::from("."),
+        check: None,
+        factor: 2.0,
+        quick: false,
+        seed: 0x1DB5,
+        kernel: KernelBackend::Auto,
+        threads: Parallelism::Auto,
+    };
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let usage = "usage: perf_suite [--out DIR] [--check BASELINE_DIR] [--factor F] \
+                 [--quick] [--seed N] [--kernel NAME] [--threads N]";
+    let mut i = 0;
+    let value = |argv: &[String], i: &mut usize, what: &str| -> String {
+        *i += 1;
+        argv.get(*i).cloned().unwrap_or_else(|| {
+            eprintln!("{what} takes a value\n{usage}");
+            std::process::exit(2);
+        })
+    };
+    while i < argv.len() {
+        match argv[i].as_str() {
+            "--out" => args.out = PathBuf::from(value(&argv, &mut i, "--out")),
+            "--check" => args.check = Some(PathBuf::from(value(&argv, &mut i, "--check"))),
+            "--factor" => {
+                args.factor = value(&argv, &mut i, "--factor")
+                    .parse()
+                    .expect("--factor takes a float")
+            }
+            "--seed" => {
+                args.seed = value(&argv, &mut i, "--seed")
+                    .parse()
+                    .expect("--seed takes an integer")
+            }
+            "--kernel" => {
+                args.kernel = KernelBackend::from_name(&value(&argv, &mut i, "--kernel"))
+                    .unwrap_or_else(|| {
+                        eprintln!("--kernel takes auto|scalar|swar32|swar64");
+                        std::process::exit(2);
+                    })
+            }
+            "--threads" => {
+                args.threads = Parallelism::from_name(&value(&argv, &mut i, "--threads"))
+                    .unwrap_or_else(|| {
+                        eprintln!("--threads takes auto|serial|<count>");
+                        std::process::exit(2);
+                    })
+            }
+            "--quick" => args.quick = true,
+            other => {
+                eprintln!("unknown argument {other}\n{usage}");
+                std::process::exit(2);
+            }
+        }
+        i += 1;
+    }
+    args
+}
+
+/// The intersect micro-scenarios: the Fig. 11 positional comparison at
+/// one pinned core, once per concrete backend — the backend axis of the
+/// suite.
+fn intersect_scenarios(args: &Args) -> Vec<PerfReport> {
+    let words: usize = if args.quick { 1 << 16 } else { 1 << 18 };
+    let reps = if args.quick { 8 } else { 16 };
+    ALL_BACKENDS
+        .iter()
+        .map(|&backend| {
+            // `swar_throughput_with` times only its comparison loop
+            // (input setup and pool construction excluded), returning
+            // bytes/s over both arrays; derive the wall from it rather
+            // than re-timing around the pool, which would fold rayon
+            // setup noise into the regression-checked metric.
+            let bytes_per_s = scoped_pool(1, || swar_throughput_with(backend, words, reps));
+            let wall = (words * 4 * 2 * reps) as f64 / bytes_per_s;
+            PerfReport::new(
+                format!("intersect_{backend}"),
+                backend.name(),
+                "swar-sweep",
+                1,
+                wall,
+                (words * reps) as u64,
+                DatasetParams {
+                    n_items: 0,
+                    total_items: words,
+                    density: 0.0,
+                    seed: args.seed,
+                    k: 0,
+                },
+            )
+        })
+        .collect()
+}
+
+/// The mining scenarios: one fig11-style workload through the serial
+/// CPU engine, the parallel CPU engine, and the simulated GPU — the
+/// thread/engine axis of the suite.
+fn mine_scenarios(args: &Args) -> Vec<PerfReport> {
+    let (n_items, total_items) = if args.quick {
+        (256, 12_000)
+    } else {
+        (512, 60_000)
+    };
+    let density = 0.05;
+    let k = 64;
+    let db = generate(&UniformSpec {
+        n_items,
+        density,
+        total_items,
+        seed: args.seed,
+    });
+    let dataset = DatasetParams {
+        n_items,
+        total_items,
+        density,
+        seed: args.seed,
+        k,
+    };
+    let config = |engine: Engine, threads: Parallelism| MinerConfig {
+        k,
+        engine,
+        threads,
+        kernel: args.kernel,
+        ..Default::default()
+    };
+    let mut out = Vec::new();
+    for (scenario, engine, threads) in [
+        ("mine_cpu_serial", Engine::Cpu, Parallelism::Serial),
+        ("mine_cpu_parallel", Engine::Cpu, args.threads),
+        (
+            "mine_gpu_sim",
+            Engine::Gpu(gpu_sim::DeviceSpec::gtx285()),
+            Parallelism::Serial,
+        ),
+    ] {
+        let report = mine(&db, &config(engine.clone(), threads));
+        // CPU engines: host wall of the tile phase + postprocessing
+        // (the parallel engine folds in-worker harvesting into the tile
+        // phase, so the sum is the comparable quantity). GPU engine:
+        // simulated device seconds — deterministic for a fixed dataset.
+        let wall = if matches!(engine, Engine::Gpu(_)) {
+            report.timings.kernel_s
+        } else {
+            report.timings.kernel_s + report.timings.postprocess_s
+        };
+        let backend = args.kernel.resolve().name();
+        let engine_name = match &engine {
+            Engine::Gpu(_) => "gpu-sim",
+            Engine::Cpu => {
+                if threads == Parallelism::Serial {
+                    "cpu-serial"
+                } else {
+                    "cpu-parallel"
+                }
+            }
+        };
+        out.push(PerfReport::new(
+            scenario,
+            backend,
+            engine_name,
+            report.threads,
+            wall,
+            report.comparisons as u64,
+            dataset.clone(),
+        ));
+    }
+    out
+}
+
+fn main() {
+    let args = parse_args();
+    let mut reports = intersect_scenarios(&args);
+    reports.extend(mine_scenarios(&args));
+
+    let mut table = Table::new(&[
+        "scenario",
+        "backend",
+        "engine",
+        "threads",
+        "wall_s",
+        "pairs_per_s",
+    ]);
+    for r in &reports {
+        table.row_owned(vec![
+            r.scenario.clone(),
+            r.backend.clone(),
+            r.engine.clone(),
+            r.threads.to_string(),
+            format!("{:.4}", r.wall_s),
+            format!("{:.3e}", r.pairs_per_s),
+        ]);
+    }
+    table.print();
+
+    let serial = reports.iter().find(|r| r.scenario == "mine_cpu_serial");
+    let parallel = reports.iter().find(|r| r.scenario == "mine_cpu_parallel");
+    if let (Some(s), Some(p)) = (serial, parallel) {
+        println!(
+            "\nparallel CPU engine: {:.2}x pairs/s over serial ({} threads)",
+            p.pairs_per_s / s.pairs_per_s,
+            p.threads
+        );
+    }
+
+    for r in &reports {
+        let path = r.write_into(&args.out).expect("failed to write report");
+        println!("wrote {}", path.display());
+    }
+
+    if let Some(baseline_dir) = &args.check {
+        let baselines = load_dir(baseline_dir).expect("failed to load baselines");
+        if baselines.is_empty() {
+            eprintln!(
+                "warning: no BENCH_*.json baselines found in {}",
+                baseline_dir.display()
+            );
+        }
+        let failures = regression_failures(&reports, &baselines, args.factor);
+        if failures.is_empty() {
+            println!(
+                "\nregression check vs {} ({} scenarios, factor {}): OK",
+                baseline_dir.display(),
+                baselines.len(),
+                args.factor
+            );
+        } else {
+            eprintln!("\nregression check FAILED:");
+            for f in &failures {
+                eprintln!("  {f}");
+            }
+            std::process::exit(1);
+        }
+    }
+}

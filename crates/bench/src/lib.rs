@@ -12,8 +12,9 @@
 #![warn(missing_docs)]
 
 pub mod pbi;
+pub mod report;
 
-use batmap::KernelBackend;
+use batmap::{KernelBackend, Parallelism};
 use datagen::uniform::{generate, UniformSpec};
 use fim::TransactionDb;
 
@@ -34,6 +35,11 @@ pub struct HarnessConfig {
     pub seed: u64,
     /// Match-count backend the experiments dispatch through.
     pub kernel: KernelBackend,
+    /// Host-parallelism knob for the multicore engines
+    /// ([`Parallelism::Auto`] honours `BATMAP_THREADS`, then the
+    /// ambient pool; core-sweep binaries treat a pinned value as "run
+    /// only this core count").
+    pub threads: Parallelism,
 }
 
 impl Default for HarnessConfig {
@@ -45,6 +51,7 @@ impl Default for HarnessConfig {
             apriori_budget: 1 << 30,
             seed: 0x1DB5,
             kernel: KernelBackend::Auto,
+            threads: Parallelism::Auto,
         }
     }
 }
@@ -89,11 +96,18 @@ impl HarnessConfig {
                         std::process::exit(2);
                     });
                 }
+                "--threads" => {
+                    let name = value(&args, &mut i, "--threads takes auto|serial|<count>");
+                    cfg.threads = Parallelism::from_name(name).unwrap_or_else(|| {
+                        eprintln!("--threads takes auto|serial|<count>");
+                        std::process::exit(2);
+                    });
+                }
                 "--quick" => cfg.quick = true,
                 "--full" => cfg.full = true,
                 other => {
                     eprintln!(
-                        "unknown argument {other}\nusage: [--scale F] [--quick] [--full] [--budget BYTES] [--seed N] [--kernel NAME]"
+                        "unknown argument {other}\nusage: [--scale F] [--quick] [--full] [--budget BYTES] [--seed N] [--kernel NAME] [--threads N]"
                     );
                     std::process::exit(2);
                 }

@@ -1,0 +1,254 @@
+//! Machine-readable performance reports — the `BENCH_*.json`
+//! trajectory files.
+//!
+//! The `perf_suite` binary runs a fixed set of intersect/mine scenarios
+//! and emits one JSON file per scenario with a **stable schema**
+//! ([`SCHEMA_VERSION`]), so successive commits leave a comparable perf
+//! trail and CI can fail on large regressions against the baselines
+//! checked into `crates/bench/baselines/`.
+//!
+//! Schema (`BENCH_<scenario>.json`):
+//!
+//! ```json
+//! {
+//!   "schema_version": 1,
+//!   "scenario": "mine_cpu_parallel",
+//!   "backend": "swar64",
+//!   "engine": "cpu-parallel",
+//!   "threads": 8,
+//!   "wall_s": 0.0421,
+//!   "work_units": 1234567,
+//!   "pairs_per_s": 2.93e7,
+//!   "dataset": {"n_items": 800, "total_items": 100000,
+//!               "density": 0.05, "seed": 7605, "k": 64}
+//! }
+//! ```
+//!
+//! `work_units` is the scenario's own unit of useful work (reported
+//! pair comparisons for mining scenarios, word comparisons for the
+//! intersect micro-scenarios); `pairs_per_s = work_units / wall_s` is
+//! the regression-checked throughput metric. `wall_s` is host wall
+//! time, except for the `mine_gpu_sim` scenario where it is *simulated*
+//! device time (deterministic for a fixed dataset, which makes that
+//! baseline exact).
+
+use serde::{Deserialize, Serialize};
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// Version of the JSON schema emitted by [`PerfReport`]. Bump on any
+/// field change; the regression checker refuses to compare across
+/// versions.
+pub const SCHEMA_VERSION: u32 = 1;
+
+/// Generation parameters of a scenario's dataset.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DatasetParams {
+    /// Distinct items (0 for synthetic-array scenarios).
+    pub n_items: u32,
+    /// Total item occurrences (or array words for intersect
+    /// scenarios).
+    pub total_items: usize,
+    /// Per-transaction inclusion probability (0 when not applicable).
+    pub density: f64,
+    /// Generator / hashing seed.
+    pub seed: u64,
+    /// Tile side `k` (0 when not applicable).
+    pub k: usize,
+}
+
+/// One scenario's performance record.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PerfReport {
+    /// Schema version ([`SCHEMA_VERSION`]).
+    pub schema_version: u32,
+    /// Stable scenario name; the file is `BENCH_<scenario>.json`.
+    pub scenario: String,
+    /// Match-count backend the scenario dispatched through.
+    pub backend: String,
+    /// Executing engine (`cpu-serial`, `cpu-parallel`, `gpu-sim`,
+    /// `swar-sweep`).
+    pub engine: String,
+    /// Worker threads used.
+    pub threads: usize,
+    /// Measured seconds (host wall time; simulated device time for
+    /// `mine_gpu_sim`).
+    pub wall_s: f64,
+    /// Useful work units processed (scenario-specific; see module
+    /// docs).
+    pub work_units: u64,
+    /// `work_units / wall_s` — the regression-checked metric.
+    pub pairs_per_s: f64,
+    /// Dataset parameters, for reproducibility.
+    pub dataset: DatasetParams,
+}
+
+impl PerfReport {
+    /// Assemble a report, deriving `pairs_per_s` and stamping the
+    /// schema version.
+    pub fn new(
+        scenario: impl Into<String>,
+        backend: impl Into<String>,
+        engine: impl Into<String>,
+        threads: usize,
+        wall_s: f64,
+        work_units: u64,
+        dataset: DatasetParams,
+    ) -> Self {
+        PerfReport {
+            schema_version: SCHEMA_VERSION,
+            scenario: scenario.into(),
+            backend: backend.into(),
+            engine: engine.into(),
+            threads,
+            wall_s,
+            work_units,
+            pairs_per_s: work_units as f64 / wall_s.max(1e-12),
+            dataset,
+        }
+    }
+
+    /// File name this report is stored under.
+    pub fn file_name(&self) -> String {
+        format!("BENCH_{}.json", self.scenario)
+    }
+
+    /// Write the report into `dir` as `BENCH_<scenario>.json`.
+    pub fn write_into(&self, dir: &Path) -> io::Result<PathBuf> {
+        std::fs::create_dir_all(dir)?;
+        let path = dir.join(self.file_name());
+        let text = serde_json::to_string(self).map_err(io::Error::other)?;
+        std::fs::write(&path, text + "\n")?;
+        Ok(path)
+    }
+
+    /// Load one report from a JSON file.
+    pub fn load(path: &Path) -> io::Result<Self> {
+        let text = std::fs::read_to_string(path)?;
+        serde_json::from_str(&text).map_err(io::Error::other)
+    }
+}
+
+/// Load every `BENCH_*.json` in `dir` (missing directory → empty).
+pub fn load_dir(dir: &Path) -> io::Result<Vec<PerfReport>> {
+    let mut out = Vec::new();
+    let entries = match std::fs::read_dir(dir) {
+        Ok(entries) => entries,
+        Err(e) if e.kind() == io::ErrorKind::NotFound => return Ok(out),
+        Err(e) => return Err(e),
+    };
+    for entry in entries {
+        let path = entry?.path();
+        let name = path.file_name().and_then(|n| n.to_str()).unwrap_or("");
+        if name.starts_with("BENCH_") && name.ends_with(".json") {
+            out.push(PerfReport::load(&path)?);
+        }
+    }
+    out.sort_by(|a, b| a.scenario.cmp(&b.scenario));
+    Ok(out)
+}
+
+/// Compare `current` against `baselines` scenario by scenario. A
+/// scenario fails when its throughput dropped by more than `factor`
+/// (e.g. `factor = 2.0` fails anything slower than half the baseline).
+/// Returns the failure descriptions (empty = pass). A baseline
+/// scenario the run did not produce is itself a failure (a silently
+/// vanished scenario must not pass the gate — delete its baseline file
+/// when retiring it deliberately); current scenarios without a
+/// baseline are skipped, so new scenarios can land before their floor.
+pub fn regression_failures(
+    current: &[PerfReport],
+    baselines: &[PerfReport],
+    factor: f64,
+) -> Vec<String> {
+    let mut failures = Vec::new();
+    for base in baselines {
+        let Some(cur) = current.iter().find(|c| c.scenario == base.scenario) else {
+            failures.push(format!(
+                "scenario `{}` present in baselines but not produced by this run",
+                base.scenario
+            ));
+            continue;
+        };
+        if cur.schema_version != base.schema_version {
+            failures.push(format!(
+                "scenario `{}`: schema version {} vs baseline {} — refresh the baseline",
+                cur.scenario, cur.schema_version, base.schema_version
+            ));
+            continue;
+        }
+        if cur.pairs_per_s * factor < base.pairs_per_s {
+            failures.push(format!(
+                "scenario `{}` regressed >{factor}x: {:.3e} pairs/s vs baseline floor {:.3e}",
+                cur.scenario, cur.pairs_per_s, base.pairs_per_s
+            ));
+        }
+    }
+    failures
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample(scenario: &str, rate: f64) -> PerfReport {
+        let mut r = PerfReport::new(
+            scenario,
+            "swar64",
+            "cpu-parallel",
+            4,
+            1.0,
+            rate as u64,
+            DatasetParams {
+                n_items: 100,
+                total_items: 10_000,
+                density: 0.05,
+                seed: 7,
+                k: 64,
+            },
+        );
+        r.pairs_per_s = rate;
+        r
+    }
+
+    #[test]
+    fn roundtrips_through_json() {
+        let report = sample("mine_cpu_parallel", 1.5e7);
+        let text = serde_json::to_string(&report).unwrap();
+        let back: PerfReport = serde_json::from_str(&text).unwrap();
+        assert_eq!(back, report);
+        assert_eq!(report.file_name(), "BENCH_mine_cpu_parallel.json");
+    }
+
+    #[test]
+    fn write_and_load_dir() {
+        let dir = std::env::temp_dir().join(format!("batmap-report-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        sample("a", 1.0).write_into(&dir).unwrap();
+        sample("b", 2.0).write_into(&dir).unwrap();
+        let loaded = load_dir(&dir).unwrap();
+        assert_eq!(loaded.len(), 2);
+        assert_eq!(loaded[0].scenario, "a");
+        assert!(load_dir(&dir.join("missing")).unwrap().is_empty());
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn regression_gate() {
+        let base = vec![sample("x", 100.0), sample("y", 100.0)];
+        // Within 2x: pass.
+        let ok = vec![sample("x", 51.0), sample("y", 99.0)];
+        assert!(regression_failures(&ok, &base, 2.0).is_empty());
+        // Beyond 2x on one scenario: one failure.
+        let bad = vec![sample("x", 49.0), sample("y", 200.0)];
+        let failures = regression_failures(&bad, &base, 2.0);
+        assert_eq!(failures.len(), 1);
+        assert!(failures[0].contains("`x`"));
+        // Missing scenario: flagged.
+        let missing = vec![sample("y", 100.0)];
+        assert_eq!(regression_failures(&missing, &base, 2.0).len(), 1);
+        // Extra scenarios without a baseline are fine.
+        let extra = vec![sample("x", 100.0), sample("y", 100.0), sample("z", 1.0)];
+        assert!(regression_failures(&extra, &base, 2.0).is_empty());
+    }
+}

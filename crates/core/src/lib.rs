@@ -41,6 +41,8 @@
 //! * [`batmap`] — the immutable [`Batmap`] itself.
 //! * [`kernel`] — the pluggable [`kernel::MatchKernel`] backend layer
 //!   (scalar reference, SWAR-u32, SWAR-u64; runtime-selectable).
+//! * [`parallel`] — the [`Parallelism`] knob host-parallel phases share
+//!   (`BATMAP_THREADS` override, same plumbing style as the kernels).
 //! * [`swar`] — the paper's raw branch-free formulations (backend
 //!   internals and ablation material).
 //! * [`intersect`] — equal-width and folded intersection counting.
@@ -62,6 +64,7 @@ pub mod hash;
 pub mod intersect;
 pub mod kernel;
 pub mod multiway;
+pub mod parallel;
 pub mod params;
 pub mod slot;
 pub mod space;
@@ -75,6 +78,7 @@ pub use collection::BatmapCollection;
 pub use error::BatmapError;
 pub use kernel::{KernelBackend, MatchKernel, ALL_BACKENDS};
 pub use multiway::{intersect_count_probe, MultiwayBatmap, MultiwayParams};
+pub use parallel::Parallelism;
 pub use params::{BatmapParams, ParamsHandle, TABLES};
 pub use uncompressed::UncompressedBatmap;
 pub use update::UpdateOutcome;

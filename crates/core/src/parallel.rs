@@ -1,0 +1,166 @@
+//! Host-parallelism selection, mirroring the kernel-backend plumbing.
+//!
+//! The paper's multicore experiments (Figs. 9 and 11) sweep 1/2/4/8
+//! cores; everything in this workspace that fans work across host cores
+//! — batmap construction, the tiled CPU mining engine, the perf harness
+//! — takes a [`Parallelism`] knob instead of hard-coding a pool size.
+//! Like [`crate::KernelBackend`], the choice is runtime data: `Auto`
+//! defers to a `BATMAP_THREADS` environment override and otherwise uses
+//! whatever rayon pool is ambient (so `hpcutil::scoped_pool` sweeps
+//! keep working unchanged).
+
+use std::fmt;
+use std::sync::OnceLock;
+
+/// How many host threads a parallel phase may use.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum Parallelism {
+    /// Use the `BATMAP_THREADS` environment override if set, otherwise
+    /// the ambient rayon pool (host parallelism unless a scoped pool is
+    /// installed).
+    #[default]
+    Auto,
+    /// Strictly sequential execution (no worker threads at all) — the
+    /// baseline the speedup plots and equivalence tests compare
+    /// against.
+    Serial,
+    /// Exactly this many worker threads (≥ 2; lower values normalize to
+    /// [`Parallelism::Serial`] via [`Parallelism::threads`]).
+    Threads(usize),
+}
+
+impl Parallelism {
+    /// Canonical constructor from a raw thread count: `0` means
+    /// [`Parallelism::Auto`], `1` means [`Parallelism::Serial`].
+    pub fn threads(n: usize) -> Self {
+        match n {
+            0 => Parallelism::Auto,
+            1 => Parallelism::Serial,
+            n => Parallelism::Threads(n),
+        }
+    }
+
+    /// Parse a knob value as used by `--threads` and `BATMAP_THREADS`:
+    /// `auto`, `serial`, or a thread count.
+    pub fn from_name(name: &str) -> Option<Self> {
+        match name.trim().to_ascii_lowercase().as_str() {
+            "auto" => Some(Parallelism::Auto),
+            "serial" => Some(Parallelism::Serial),
+            n => n.parse::<usize>().ok().map(Parallelism::threads),
+        }
+    }
+
+    /// The thread count this knob pins, if it pins one: `Serial` and
+    /// `Threads(n)` always do; `Auto` only under a valid
+    /// `BATMAP_THREADS` override. `None` means "use the ambient pool".
+    pub fn pinned(self) -> Option<usize> {
+        match self {
+            Parallelism::Serial => Some(1),
+            Parallelism::Threads(n) => Some(n.max(2)),
+            Parallelism::Auto => env_override().and_then(Parallelism::pinned),
+        }
+    }
+
+    /// Concrete worker count given the ambient pool size (callers pass
+    /// `rayon::current_num_threads()`); always ≥ 1.
+    pub fn resolve_with(self, ambient: usize) -> usize {
+        self.pinned().unwrap_or(ambient.max(1))
+    }
+
+    /// Stable name, inverse of [`Parallelism::from_name`].
+    pub fn name(self) -> String {
+        match self {
+            Parallelism::Auto => "auto".to_string(),
+            Parallelism::Serial => "serial".to_string(),
+            Parallelism::Threads(n) => n.to_string(),
+        }
+    }
+}
+
+/// The cached `BATMAP_THREADS` override (`None` when unset, invalid, or
+/// explicitly `auto`).
+fn env_override() -> Option<Parallelism> {
+    static OVERRIDE: OnceLock<Option<Parallelism>> = OnceLock::new();
+    *OVERRIDE.get_or_init(|| {
+        let var = std::env::var("BATMAP_THREADS").ok()?;
+        match Parallelism::from_name(&var) {
+            Some(Parallelism::Auto) | None => {
+                if Parallelism::from_name(&var).is_none() {
+                    eprintln!(
+                        "warning: ignoring invalid BATMAP_THREADS={var} \
+                         (expected auto|serial|<count>); using ambient parallelism"
+                    );
+                }
+                None
+            }
+            Some(pinned) => Some(pinned),
+        }
+    })
+}
+
+impl fmt::Display for Parallelism {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.name())
+    }
+}
+
+// Serialized as the knob name (`auto`, `serial`, or a count) so stored
+// universe parameters stay readable, matching the kernel-backend
+// treatment.
+impl serde::Serialize for Parallelism {
+    fn serialize<S: serde::Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+        s.serialize_str(&self.name())
+    }
+}
+
+impl<'de> serde::Deserialize<'de> for Parallelism {
+    fn deserialize<D: serde::Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+        let name = String::deserialize(d)?;
+        Parallelism::from_name(&name)
+            .ok_or_else(|| serde::de::Error::custom(format!("unknown parallelism `{name}`")))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn names_roundtrip() {
+        for p in [
+            Parallelism::Auto,
+            Parallelism::Serial,
+            Parallelism::Threads(8),
+        ] {
+            assert_eq!(Parallelism::from_name(&p.name()), Some(p));
+        }
+        assert_eq!(Parallelism::from_name("0"), Some(Parallelism::Auto));
+        assert_eq!(Parallelism::from_name("1"), Some(Parallelism::Serial));
+        assert_eq!(Parallelism::from_name("4"), Some(Parallelism::Threads(4)));
+        assert_eq!(Parallelism::from_name("SERIAL"), Some(Parallelism::Serial));
+        assert_eq!(Parallelism::from_name("fast"), None);
+    }
+
+    #[test]
+    fn resolution_honours_pinning() {
+        assert_eq!(Parallelism::Serial.resolve_with(16), 1);
+        assert_eq!(Parallelism::Threads(4).resolve_with(16), 4);
+        assert_eq!(Parallelism::Serial.pinned(), Some(1));
+        assert_eq!(Parallelism::Threads(6).pinned(), Some(6));
+        // Auto without an override follows the ambient pool.
+        if std::env::var("BATMAP_THREADS").is_err() {
+            assert_eq!(Parallelism::Auto.resolve_with(3), 3);
+            assert_eq!(Parallelism::Auto.resolve_with(0), 1);
+        }
+    }
+
+    #[test]
+    fn serde_as_name() {
+        let text = serde_json::to_string(&Parallelism::Threads(8)).unwrap();
+        assert_eq!(text, "\"8\"");
+        let back: Parallelism = serde_json::from_str(&text).unwrap();
+        assert_eq!(back, Parallelism::Threads(8));
+        let auto: Parallelism = serde_json::from_str("\"auto\"").unwrap();
+        assert_eq!(auto, Parallelism::Auto);
+    }
+}

@@ -8,6 +8,7 @@
 
 use crate::hash::PermutationTriple;
 use crate::kernel::{KernelBackend, MatchKernel};
+use crate::parallel::Parallelism;
 use serde::{Deserialize, Serialize};
 use std::sync::Arc;
 
@@ -51,6 +52,13 @@ pub struct BatmapParams {
     /// serialized before this field existed stay readable.
     #[serde(default)]
     kernel: KernelBackend,
+    /// Host-parallelism knob for phases that build or scan many batmaps
+    /// of this universe at once (construction, the tiled CPU engine).
+    /// Excluded from the fingerprint for the same reason as the kernel
+    /// backend: it changes how work is scheduled, never what is
+    /// computed.
+    #[serde(default)]
+    threads: Parallelism,
     /// The shared permutations π₁..π₃.
     perms: PermutationTriple,
 }
@@ -99,6 +107,7 @@ impl BatmapParams {
             max_loop,
             seed,
             kernel: KernelBackend::Auto,
+            threads: Parallelism::Auto,
             perms: PermutationTriple::new(m, seed),
         }
     }
@@ -115,6 +124,21 @@ impl BatmapParams {
     #[inline]
     pub fn kernel_backend(&self) -> KernelBackend {
         self.kernel
+    }
+
+    /// Pin the host-parallelism knob for every parallel phase over this
+    /// universe (the default, [`Parallelism::Auto`], honours the
+    /// `BATMAP_THREADS` override and otherwise follows the ambient
+    /// rayon pool).
+    pub fn with_threads(mut self, threads: Parallelism) -> Self {
+        self.threads = threads;
+        self
+    }
+
+    /// The configured host-parallelism knob.
+    #[inline]
+    pub fn parallelism(&self) -> Parallelism {
+        self.threads
     }
 
     /// The match-count kernel implementation intersections over this
@@ -361,6 +385,15 @@ mod tests {
     #[should_panic]
     fn zero_universe_panics() {
         let _ = BatmapParams::new(0, 1);
+    }
+
+    #[test]
+    fn parallelism_choice_does_not_change_fingerprint() {
+        let auto = BatmapParams::new(1000, 1);
+        let pinned = BatmapParams::new(1000, 1).with_threads(Parallelism::Threads(4));
+        assert_eq!(auto.fingerprint(), pinned.fingerprint());
+        assert_eq!(pinned.parallelism(), Parallelism::Threads(4));
+        assert_eq!(auto.parallelism(), Parallelism::Auto);
     }
 
     #[test]

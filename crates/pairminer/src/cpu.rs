@@ -11,7 +11,10 @@ use batmap::KernelBackend;
 use rayon::prelude::*;
 
 /// Counts for one tile computed on the CPU: row-major `rows × cols`,
-/// identical layout to the GPU path.
+/// identical layout to the GPU path (diagonal tiles compute their full
+/// square, exactly as the lockstep kernel does — this is the
+/// GPU-parity reference; the mining executors use the triangular
+/// variants below).
 pub fn run_tile_cpu(pre: &Preprocessed, tile: &Tile) -> Vec<u64> {
     let mut counts = vec![0u64; tile.rows * tile.cols];
     counts
@@ -24,6 +27,61 @@ pub fn run_tile_cpu(pre: &Preprocessed, tile: &Tile) -> Vec<u64> {
                 *out = a.intersect_count(b);
             }
         });
+    counts
+}
+
+/// First tile-local column a row of this tile actually reports: `0` off
+/// the diagonal, `r + 1` on a diagonal tile (cells at or below the main
+/// diagonal are never reported, so the CPU engines skip computing
+/// them — the §III-C symmetry saving, applied *inside* the tile).
+#[inline]
+fn first_useful_col(tile: &Tile, r: usize) -> usize {
+    if tile.is_diagonal() {
+        r + 1
+    } else {
+        0
+    }
+}
+
+/// One row of tile counts, written into `row_out` (length `tile.cols`).
+#[inline]
+fn fill_row(pre: &Preprocessed, tile: &Tile, r: usize, row_out: &mut [u64]) {
+    let a = &pre.batmaps[tile.row_base + r];
+    for (c, out) in row_out
+        .iter_mut()
+        .enumerate()
+        .skip(first_useful_col(tile, r))
+    {
+        *out = a.intersect_count(&pre.batmaps[tile.col_base + c]);
+    }
+}
+
+/// Strictly sequential tile counts (no worker threads): row-major
+/// `rows × cols`, with the skipped at-or-below-diagonal cells of a
+/// diagonal tile left at zero. This is the serial baseline of the
+/// speedup story and the oracle of the parallel-equivalence tests.
+pub fn run_tile_cpu_serial(pre: &Preprocessed, tile: &Tile) -> Vec<u64> {
+    let mut counts = vec![0u64; tile.rows * tile.cols];
+    for r in 0..tile.rows {
+        fill_row(
+            pre,
+            tile,
+            r,
+            &mut counts[r * tile.cols..(r + 1) * tile.cols],
+        );
+    }
+    counts
+}
+
+/// Row-parallel tile counts with the same triangular skip as
+/// [`run_tile_cpu_serial`]: used by the parallel engine when a plan has
+/// fewer tiles than workers, so parallelism comes from inside the tile.
+pub fn run_tile_cpu_rows(pre: &Preprocessed, tile: &Tile) -> Vec<u64> {
+    let mut counts = vec![0u64; tile.rows * tile.cols];
+    counts
+        .par_chunks_mut(tile.cols)
+        .enumerate()
+        .for_each(|(r, row_out)| fill_row(pre, tile, r, row_out));
     counts
 }
 
@@ -103,6 +161,38 @@ mod tests {
             let gpu = run_tile(&DeviceSpec::gtx285(), &data, tile);
             let cpu = run_tile_cpu(&pre, &tile);
             assert_eq!(gpu.counts, cpu, "tile ({},{})", tile.p, tile.q);
+        }
+    }
+
+    #[test]
+    fn triangular_tile_runners_agree_with_full_square() {
+        let db = TransactionDb::new(
+            20,
+            (0..300usize)
+                .map(|t| {
+                    (0..20)
+                        .filter(|&i| (t + i as usize).is_multiple_of(4))
+                        .collect()
+                })
+                .collect(),
+        );
+        let v = VerticalDb::from_horizontal(&db);
+        let pre = preprocess(&v, 5, 128);
+        for tile in schedule(pre.padded_items(), 16) {
+            let full = run_tile_cpu(&pre, &tile);
+            let serial = run_tile_cpu_serial(&pre, &tile);
+            let rows = run_tile_cpu_rows(&pre, &tile);
+            assert_eq!(serial, rows, "tile ({},{})", tile.p, tile.q);
+            for r in 0..tile.rows {
+                for c in 0..tile.cols {
+                    let i = r * tile.cols + c;
+                    if tile.is_diagonal() && c <= r {
+                        assert_eq!(serial[i], 0, "skipped cell must stay zero");
+                    } else {
+                        assert_eq!(serial[i], full[i], "useful cell ({r},{c})");
+                    }
+                }
+            }
         }
     }
 

@@ -3,7 +3,8 @@
 //! End-to-end implementation of §III: host-side preprocessing (tidlists
 //! → batmaps, sorted by width), the k×k tile schedule with triangular
 //! symmetry, the §III-B comparison kernel executed on the `gpu-sim`
-//! substrate (or for real on host cores), and the failed-insertion
+//! substrate (or for real on host cores, serially or across all cores
+//! through the shared [`executor`] subsystem), and the failed-insertion
 //! postprocessing path.
 //!
 //! ```
@@ -22,6 +23,7 @@
 #![warn(missing_docs)]
 
 pub mod cpu;
+pub mod executor;
 pub mod failed;
 pub mod gpu;
 pub mod kitemsets;
@@ -30,8 +32,15 @@ pub mod miner;
 pub mod preprocess;
 pub mod schedule;
 
+pub use batmap::Parallelism;
+pub use executor::{
+    ExecReport, GpuSimExecutor, ParallelCpuExecutor, SerialCpuExecutor, TileConsumer, TileExecutor,
+    TilePlan,
+};
 pub use kitemsets::{mine_triples, TripleReport};
 pub use memory::MemoryReport;
 pub use miner::{mine, Engine, MinerConfig, MiningReport, Timings};
-pub use preprocess::{preprocess, preprocess_with_kernel, Preprocessed, BLOCK, GPU_MIN_SHIFT};
+pub use preprocess::{
+    preprocess, preprocess_with_kernel, preprocess_with_options, Preprocessed, BLOCK, GPU_MIN_SHIFT,
+};
 pub use schedule::{schedule, Tile};

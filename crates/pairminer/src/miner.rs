@@ -1,13 +1,14 @@
 //! The top-level pair miner: preprocessing → tiling → kernel →
 //! postprocessing, with full timing and memory accounting.
 
-use crate::cpu;
+use crate::executor::{
+    GpuSimExecutor, ParallelCpuExecutor, SerialCpuExecutor, TileConsumer, TileExecutor, TilePlan,
+};
 use crate::failed::FailedPairs;
-use crate::gpu::{self, DeviceData};
 use crate::memory::MemoryReport;
-use crate::preprocess::{preprocess_with_kernel, Preprocessed};
-use crate::schedule::{schedule, Tile};
-use batmap::KernelBackend;
+use crate::preprocess::{preprocess_with_options, Preprocessed};
+use crate::schedule::Tile;
+use batmap::{KernelBackend, Parallelism};
 use fim::pairs::{pair_key, PairMap};
 use fim::{TransactionDb, VerticalDb};
 use gpu_sim::{DeviceSpec, KernelStats};
@@ -40,6 +41,13 @@ pub struct MinerConfig {
     /// Match-count backend both engines dispatch through
     /// ([`KernelBackend::Auto`] picks the widest available kernel).
     pub kernel: KernelBackend,
+    /// Host-parallelism knob: drives batmap construction for both
+    /// engines and tile execution for the CPU engine
+    /// ([`Parallelism::Serial`] selects the strictly sequential tile
+    /// walk; the default [`Parallelism::Auto`] honours `BATMAP_THREADS`
+    /// and otherwise the ambient rayon pool, so
+    /// `hpcutil::scoped_pool(cores, …)` sweeps keep working).
+    pub threads: Parallelism,
 }
 
 impl Default for MinerConfig {
@@ -51,6 +59,7 @@ impl Default for MinerConfig {
             max_loop: 128,
             engine: Engine::Gpu(DeviceSpec::gtx285()),
             kernel: KernelBackend::Auto,
+            threads: Parallelism::Auto,
         }
     }
 }
@@ -63,9 +72,13 @@ pub struct Timings {
     pub preprocess_s: f64,
     /// One-time host→device transfer (simulated; 0 for CPU engine).
     pub transfer_s: f64,
-    /// Sum of tile kernel times (simulated for GPU, measured for CPU).
+    /// Tile comparison time: simulated device seconds for the GPU
+    /// engine, summed per-tile wall time for the serial CPU engine, and
+    /// wall time of the whole parallel region (in-worker harvesting
+    /// included) for the parallel CPU engine.
     pub kernel_s: f64,
-    /// Result harvesting + failed-pair merging + remapping.
+    /// Result harvesting + failed-pair merging + remapping, where the
+    /// engine can observe it separately from `kernel_s`.
     pub postprocess_s: f64,
 }
 
@@ -89,78 +102,81 @@ pub struct MiningReport {
     pub gpu_stats: Option<KernelStats>,
     /// Pair-occurrences recovered through the failed-insertion path.
     pub failed_pair_occurrences: u64,
-    /// Number of batmap comparisons executed.
+    /// Number of pair comparisons *reported* by the schedule — exactly
+    /// "(padded items choose 2)"; diagonal tiles count their strict
+    /// upper triangle only (see [`Tile::comparisons`]).
     pub comparisons: usize,
+    /// Worker threads the tile engine used (1 for the serial CPU
+    /// engine and for the simulated GPU's host loop).
+    pub threads: usize,
     /// Number of tiles whose simulated time exceeded the device
     /// watchdog (should be 0 with a sane `k`; §III-C).
     pub watchdog_violations: usize,
+}
+
+/// The miner's [`TileConsumer`]: folds each tile's counts straight into
+/// a sparse sorted-space pair map via [`harvest_tile`]. One instance per
+/// worker thread; workers own disjoint tiles, so merging is a plain
+/// union.
+struct HarvestConsumer<'a> {
+    pre: &'a Preprocessed,
+    failed: &'a FailedPairs,
+    minsup: u64,
+    out: PairMap,
+}
+
+impl TileConsumer for HarvestConsumer<'_> {
+    fn consume(&mut self, tile: &Tile, counts: &[u64]) {
+        harvest_tile(
+            tile,
+            counts,
+            self.pre,
+            self.failed,
+            self.minsup,
+            &mut self.out,
+        );
+    }
+
+    fn absorb(&mut self, other: Self) {
+        // Tiles partition the pair space, so keys never collide across
+        // workers; `+=` keeps the merge robust regardless.
+        for (key, support) in other.out {
+            *self.out.entry(key).or_insert(0) += support;
+        }
+    }
 }
 
 /// Mine all frequent pairs of `db`.
 pub fn mine(db: &TransactionDb, config: &MinerConfig) -> MiningReport {
     let mut sw = Stopwatch::start();
     let vertical = VerticalDb::from_horizontal(db);
-    let pre = preprocess_with_kernel(&vertical, config.seed, config.max_loop, config.kernel);
+    let pre = preprocess_with_options(
+        &vertical,
+        config.seed,
+        config.max_loop,
+        config.kernel,
+        config.threads,
+    );
     let preprocess_s = sw.lap().as_secs_f64();
-    let tiles = schedule(pre.padded_items(), config.k);
+    let plan = TilePlan::new(pre.padded_items(), config.k);
     let failed = FailedPairs::build(&pre.failed, db, &pre.item_to_sorted, config.k);
-    let comparisons = crate::schedule::total_comparisons(&tiles);
+    let comparisons = plan.reported_comparisons();
 
-    let mut sorted_pairs: PairMap = PairMap::default();
-    let mut kernel_s = 0.0;
-    let mut transfer_s = 0.0;
-    let mut gpu_stats: Option<KernelStats> = None;
-    let mut watchdog_violations = 0usize;
-    let mut device_bytes = 0usize;
-    let mut tile_buffer_bytes = 0usize;
-    let mut postprocess_s = 0.0;
-
-    match &config.engine {
-        Engine::Gpu(device) => {
-            let data = DeviceData::upload(&pre);
-            device_bytes = data.buffer.bytes();
-            // One queue for the whole run: batmaps transferred once
-            // (§III-B), then one launch per tile.
-            let mut queue = gpu_sim::CommandQueue::new(device);
-            queue.enqueue_transfer(&data.buffer);
-            for tile in &tiles {
-                let result = gpu::run_tile_queued(&mut queue, &data, *tile);
-                tile_buffer_bytes = tile_buffer_bytes.max(result.counts.len() * 8);
-                let mut post = Stopwatch::start();
-                harvest_tile(
-                    tile,
-                    &result.counts,
-                    &pre,
-                    &failed,
-                    config.minsup,
-                    &mut sorted_pairs,
-                );
-                postprocess_s += post.lap().as_secs_f64();
-            }
-            transfer_s = queue.transfer_seconds();
-            kernel_s = queue.elapsed_seconds() - queue.transfer_seconds();
-            watchdog_violations = queue.watchdog_violations();
-            gpu_stats = Some(*queue.stats());
-        }
-        Engine::Cpu => {
-            for tile in &tiles {
-                let mut t = Stopwatch::start();
-                let counts = cpu::run_tile_cpu(&pre, tile);
-                kernel_s += t.lap().as_secs_f64();
-                tile_buffer_bytes = tile_buffer_bytes.max(counts.len() * 8);
-                let mut post = Stopwatch::start();
-                harvest_tile(
-                    tile,
-                    &counts,
-                    &pre,
-                    &failed,
-                    config.minsup,
-                    &mut sorted_pairs,
-                );
-                postprocess_s += post.lap().as_secs_f64();
-            }
-        }
-    }
+    let make = || HarvestConsumer {
+        pre: &pre,
+        failed: &failed,
+        minsup: config.minsup,
+        out: PairMap::default(),
+    };
+    let (harvested, exec) = match &config.engine {
+        Engine::Gpu(device) => GpuSimExecutor { device }.execute(&pre, &plan, make),
+        Engine::Cpu => match config.threads {
+            Parallelism::Serial => SerialCpuExecutor.execute(&pre, &plan, make),
+            parallelism => ParallelCpuExecutor { parallelism }.execute(&pre, &plan, make),
+        },
+    };
+    let sorted_pairs = harvested.out;
+    let mut postprocess_s = exec.consume_s;
 
     // Remap to original item ids (thresholding already happened per
     // tile, as the paper does when each Z_{p,q} returns).
@@ -176,23 +192,24 @@ pub fn mine(db: &TransactionDb, config: &MinerConfig) -> MiningReport {
     let memory = MemoryReport {
         tidlists_bytes: vertical.heap_bytes(),
         preprocessed_bytes: pre.heap_bytes(),
-        device_bytes,
-        tile_buffer_bytes,
+        device_bytes: exec.device_bytes,
+        tile_buffer_bytes: exec.max_tile_buffer_bytes,
         failed_bytes: pre.failed.capacity() * 8,
     };
     MiningReport {
         pairs,
         timings: Timings {
             preprocess_s,
-            transfer_s,
-            kernel_s,
+            transfer_s: exec.transfer_s,
+            kernel_s: exec.kernel_s,
             postprocess_s,
         },
         memory,
-        gpu_stats,
+        gpu_stats: exec.gpu_stats,
         failed_pair_occurrences: failed.total(),
         comparisons,
-        watchdog_violations,
+        threads: exec.threads,
+        watchdog_violations: exec.watchdog_violations,
     }
 }
 
@@ -295,6 +312,36 @@ mod tests {
         );
         assert_eq!(report.pairs, brute_force_pairs(&db, 1));
         assert!(report.gpu_stats.is_none());
+        assert!(report.threads >= 1);
+    }
+
+    #[test]
+    fn serial_and_parallel_cpu_engines_agree() {
+        let db = test_db(40, 600, 7);
+        let serial = mine(
+            &db,
+            &MinerConfig {
+                engine: Engine::Cpu,
+                threads: Parallelism::Serial,
+                k: 16,
+                ..Default::default()
+            },
+        );
+        assert_eq!(serial.threads, 1);
+        assert_eq!(serial.pairs, brute_force_pairs(&db, 1));
+        for threads in [2usize, 4, 8] {
+            let parallel = mine(
+                &db,
+                &MinerConfig {
+                    engine: Engine::Cpu,
+                    threads: Parallelism::threads(threads),
+                    k: 16,
+                    ..Default::default()
+                },
+            );
+            assert_eq!(parallel.threads, threads);
+            assert_eq!(parallel.pairs, serial.pairs, "threads={threads}");
+        }
     }
 
     #[test]

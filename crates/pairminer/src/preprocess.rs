@@ -11,7 +11,7 @@
 //! Failed insertions are collected as `(sorted item index, tid)` pairs
 //! for the `F_b`/`M_{p,q}` postprocessing path.
 
-use batmap::{Batmap, BatmapParams, KernelBackend, ParamsHandle};
+use batmap::{Batmap, BatmapParams, KernelBackend, Parallelism, ParamsHandle};
 use fim::VerticalDb;
 use hpcutil::MemoryFootprint;
 use rayon::prelude::*;
@@ -82,15 +82,40 @@ pub fn preprocess_with_kernel(
     max_loop: u32,
     kernel: KernelBackend,
 ) -> Preprocessed {
+    preprocess_with_options(v, seed, max_loop, kernel, Parallelism::Auto)
+}
+
+/// Fully explicit preprocessing: match-count backend plus the
+/// host-parallelism knob, both pinned on the universe parameters so
+/// every downstream phase inherits them. Batmap construction runs in
+/// the pool the knob selects ([`Parallelism::Serial`] builds strictly
+/// sequentially).
+pub fn preprocess_with_options(
+    v: &VerticalDb,
+    seed: u64,
+    max_loop: u32,
+    kernel: KernelBackend,
+    threads: Parallelism,
+) -> Preprocessed {
     let m = v.m().max(1) as u64;
-    let params: ParamsHandle =
-        Arc::new(BatmapParams::with_options(m, seed, max_loop, GPU_MIN_SHIFT).with_kernel(kernel));
+    let params: ParamsHandle = Arc::new(
+        BatmapParams::with_options(m, seed, max_loop, GPU_MIN_SHIFT)
+            .with_kernel(kernel)
+            .with_threads(threads),
+    );
     let n = v.n_items();
-    // Parallel construction: one batmap per item.
-    let outcomes: Vec<batmap::BuildOutcome> = (0..n)
-        .into_par_iter()
-        .map(|item| Batmap::build_sorted(params.clone(), v.tidlist(item)))
-        .collect();
+    // Parallel construction: one batmap per item, in the configured
+    // pool (unpinned `Auto` keeps whatever pool is ambient).
+    let build = || -> Vec<batmap::BuildOutcome> {
+        (0..n)
+            .into_par_iter()
+            .map(|item| Batmap::build_sorted(params.clone(), v.tidlist(item)))
+            .collect()
+    };
+    let outcomes: Vec<batmap::BuildOutcome> = match params.parallelism().pinned() {
+        Some(workers) => hpcutil::scoped_pool(workers, build),
+        None => build(),
+    };
     // Sort positions by batmap width (ascending), ties by item id for
     // determinism.
     let mut positions: Vec<u32> = (0..n).collect();

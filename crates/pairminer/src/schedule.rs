@@ -33,8 +33,31 @@ impl Tile {
         self.p == self.q
     }
 
-    /// Number of batmap comparisons the kernel performs in this tile.
+    /// Number of pair comparisons this tile *reports*: the full
+    /// `rows × cols` rectangle off the diagonal, but only the strict
+    /// upper triangle on a diagonal tile — cells at or below the main
+    /// diagonal are filtered before reporting (`p = q` implies
+    /// `rows = cols` by construction). This is the executor's cost
+    /// model: a diagonal tile is roughly half the useful work of an
+    /// off-diagonal tile of the same size.
     pub fn comparisons(&self) -> usize {
+        if self.is_diagonal() {
+            // Strictly-above-diagonal cells of the rows × cols
+            // rectangle (kept general for robustness; diagonal tiles
+            // are square in every schedule this module builds).
+            let side = self.rows.min(self.cols);
+            let at_or_below =
+                side * (side + 1) / 2 + self.rows.saturating_sub(self.cols) * self.cols;
+            self.rows * self.cols - at_or_below
+        } else {
+            self.rows * self.cols
+        }
+    }
+
+    /// Number of comparisons the lockstep GPU kernel *executes* in this
+    /// tile: always the full `rows × cols` square (diagonal tiles
+    /// compute their lower triangle too and discard it; §III-C).
+    pub fn executed_comparisons(&self) -> usize {
         self.rows * self.cols
     }
 }
@@ -71,11 +94,18 @@ pub fn schedule(n_padded: usize, k: usize) -> Vec<Tile> {
     tiles
 }
 
-/// Total comparisons across a schedule — the "(n choose 2)-ish" count
-/// the symmetry optimization achieves (diagonal tiles still compute
-/// their full square; the report filters).
+/// Total *reported* comparisons across a schedule — exactly the
+/// "(n choose 2)" count the symmetry optimization achieves (diagonal
+/// tiles contribute their strict upper triangle only).
 pub fn total_comparisons(tiles: &[Tile]) -> usize {
     tiles.iter().map(Tile::comparisons).sum()
+}
+
+/// Total comparisons the lockstep kernel *executes* across a schedule
+/// (diagonal tiles compute their full square; the report filters — the
+/// "around (n choose 2)" framing of §III-C).
+pub fn total_executed_comparisons(tiles: &[Tile]) -> usize {
+    tiles.iter().map(Tile::executed_comparisons).sum()
 }
 
 #[cfg(test)]
@@ -116,10 +146,31 @@ mod tests {
         let k = 2048;
         let tiles = schedule(n, k);
         assert_eq!(tiles.len(), 3); // (0,0) (0,1) (1,1)
+                                    // Executed: 3·k² vs n² = 4·k² (the diagonal surplus is the k²
+                                    // overlap); reported: exactly (n choose 2).
+        assert_eq!(total_executed_comparisons(&tiles), 3 * k * k);
         let total = total_comparisons(&tiles);
-        // 3·k² vs n² = 4·k²: the diagonal surplus is the k² overlap.
-        assert_eq!(total, 3 * k * k);
-        assert!(total < n * n);
+        assert_eq!(total, n * (n - 1) / 2);
+        assert!(total < total_executed_comparisons(&tiles));
+    }
+
+    #[test]
+    fn reported_comparisons_are_exactly_n_choose_2() {
+        for (n, k) in [(96usize, 32usize), (80, 16), (64, 64), (4096, 2048)] {
+            let tiles = schedule(n, k);
+            assert_eq!(total_comparisons(&tiles), n * (n - 1) / 2, "n={n} k={k}");
+        }
+    }
+
+    #[test]
+    fn diagonal_tiles_report_strict_upper_triangle() {
+        let t = schedule(64, 64)[0];
+        assert!(t.is_diagonal());
+        assert_eq!(t.comparisons(), 64 * 63 / 2);
+        assert_eq!(t.executed_comparisons(), 64 * 64);
+        let off = schedule(128, 64)[1];
+        assert!(!off.is_diagonal());
+        assert_eq!(off.comparisons(), off.executed_comparisons());
     }
 
     #[test]

@@ -33,7 +33,7 @@ pub trait Rng: RngCore {
         T::sample_range(self, range)
     }
 
-    /// Bernoulli trial with success probability `p` (clamped to [0,1]).
+    /// Bernoulli trial with success probability `p` (clamped to \[0,1\]).
     fn random_bool(&mut self, p: f64) -> bool {
         self.random::<f64>() < p
     }
