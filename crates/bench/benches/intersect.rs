@@ -2,7 +2,7 @@
 //! per match-count backend) vs sorted merge vs bitmap AND, on the same
 //! underlying sets (the paper's core claim at micro scale).
 
-use batmap::{Batmap, BatmapParams, ALL_BACKENDS};
+use batmap::{available_backends, Batmap, BatmapParams};
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use fim::{merge, BitmapIndex, VerticalDb};
 use std::hint::black_box;
@@ -27,7 +27,7 @@ fn bench_intersect(c: &mut Criterion) {
 
     let mut g = c.benchmark_group("intersect_count");
     g.throughput(Throughput::Elements((2 * size) as u64));
-    for backend in ALL_BACKENDS {
+    for backend in available_backends() {
         let kernel = backend.kernel();
         let name = format!("batmap_positional_{}", backend.name());
         g.bench_function(BenchmarkId::new(name, size), |bench| {

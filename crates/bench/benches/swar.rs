@@ -2,14 +2,16 @@
 //! set.
 //!
 //! Two axes:
-//! * **backend** — every [`batmap::MatchKernel`] backend (scalar
-//!   reference, the paper's u32 formulation, the u64 popcount
-//!   widening), dispatched exactly as the intersection hot path does;
+//! * **backend** — every [`batmap::MatchKernel`] backend available on
+//!   this CPU (scalar reference, the paper's u32 formulation, the u64
+//!   popcount widening, and the SSE2/AVX2 SIMD kernels where the
+//!   hardware has them), dispatched exactly as the intersection hot
+//!   path does;
 //! * **dispatch ablation** — the raw u32 formulation called statically,
 //!   to show the trait-object indirection costs nothing measurable at
 //!   slice granularity.
 
-use batmap::{swar, ALL_BACKENDS};
+use batmap::{available_backends, swar};
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use std::hint::black_box;
 
@@ -29,7 +31,9 @@ fn bench_swar(c: &mut Criterion) {
     let mut g = c.benchmark_group("swar");
     g.throughput(Throughput::Bytes((words * 8) as u64));
     // The backend axis: the same dispatch the intersection path uses.
-    for backend in ALL_BACKENDS {
+    // Unavailable backends (e.g. avx2 on older CPUs) are skipped, not
+    // silently downgraded into duplicate measurements.
+    for backend in available_backends() {
         let kernel = backend.kernel();
         g.bench_function(BenchmarkId::new(backend.name(), words), |bench| {
             bench.iter(|| black_box(kernel.count_equal_width(&bytes_a, &bytes_b)))

@@ -90,9 +90,13 @@ impl HarnessConfig {
                         .expect("--seed takes an integer");
                 }
                 "--kernel" => {
-                    let name = value(&args, &mut i, "--kernel takes auto|scalar|swar32|swar64");
+                    let name = value(
+                        &args,
+                        &mut i,
+                        "--kernel takes auto|scalar|swar32|swar64|sse2|avx2",
+                    );
                     cfg.kernel = KernelBackend::from_name(name).unwrap_or_else(|| {
-                        eprintln!("--kernel takes auto|scalar|swar32|swar64");
+                        eprintln!("--kernel takes auto|scalar|swar32|swar64|sse2|avx2");
                         std::process::exit(2);
                     });
                 }
@@ -166,6 +170,39 @@ pub fn paper_instance(cfg: &HarnessConfig, n_items: u32, density: f64) -> Transa
         seed: cfg.seed,
     })
 }
+
+/// Build the one-vs-many workload shared by the `one_vs_many` criterion
+/// bench and the `perf_suite` `intersect_one_vs_many` scenario: one
+/// probe batmap of `ONE_VS_MANY_SET` elements in a 100k universe plus
+/// `candidates` same-support candidates (same support → same width →
+/// the batched driver's blocked equal-width path, the mining pipeline's
+/// common case — preprocessing sorts batmaps by width). One definition
+/// so the criterion trajectory and the regression-gated scenario stay
+/// comparable.
+pub fn one_vs_many_fixture(
+    candidates: usize,
+    seed: u64,
+    kernel: KernelBackend,
+) -> (batmap::Batmap, Vec<batmap::Batmap>) {
+    use batmap::{Batmap, BatmapParams};
+    const M: u32 = 100_000;
+    let set = ONE_VS_MANY_SET as u32;
+    let params = std::sync::Arc::new(BatmapParams::new(M as u64, seed).with_kernel(kernel));
+    let probe: Vec<u32> = (0..set).map(|i| i * (M / set)).collect();
+    let probe = Batmap::build(params.clone(), &probe).batmap;
+    let many: Vec<Batmap> = (0..candidates)
+        .map(|c| {
+            let elements: Vec<u32> = (0..set)
+                .map(|i| (i * (M / set) + c as u32 * 7) % M)
+                .collect();
+            Batmap::build(params.clone(), &elements).batmap
+        })
+        .collect();
+    (probe, many)
+}
+
+/// Elements per set in [`one_vs_many_fixture`].
+pub const ONE_VS_MANY_SET: usize = 4_000;
 
 /// A representative mining threshold for an instance: slightly above
 /// the mean pair support `m·p²`, so the output is the interesting tail

@@ -9,21 +9,49 @@
 //! against the whole smaller batmap. (Block `g` of `Bⱼ` maps to block
 //! `g mod (rᵢ/r₀)` of `Bᵢ` with identical within-block offsets, and
 //! blocks are laid out consecutively; see `BatmapParams::slot_of`.)
+//!
+//! Dispatch discipline: every entry point here selects its backend
+//! **once per intersection** (or once per batch) via
+//! [`KernelBackend::dispatch`] and then runs fully monomorphized bulk
+//! loops — no virtual call ever sits inside a per-word or per-chunk
+//! loop. The batched one-vs-many driver ([`count_one_vs_many_into`])
+//! additionally groups candidates of the probe's width into blocks so
+//! the SIMD backends keep each probe register load amortized across the
+//! block (see [`MatchKernel::count_equal_width_many`]); candidates of
+//! other widths fall back to the monomorphized pairwise path within the
+//! same dispatch.
 
-use crate::kernel::MatchKernel;
+use crate::kernel::{KernelBackend, KernelDispatch, MatchKernel};
 use crate::Batmap;
 
-/// `|a ∩ b|` using the backend configured on `a`'s universe parameters.
-/// Callers must have verified the batmaps share a universe (see
-/// [`Batmap::try_intersect_count`]).
+/// `|a ∩ b|` using the backend configured on `a`'s universe parameters,
+/// monomorphized through one dispatch. Callers must have verified the
+/// batmaps share a universe (see [`Batmap::try_intersect_count`]).
 pub(crate) fn count(a: &Batmap, b: &Batmap) -> u64 {
-    count_with(a.params().kernel(), a, b)
+    struct Count<'a>(&'a Batmap, &'a Batmap);
+    impl KernelDispatch for Count<'_> {
+        type Output = u64;
+        fn run<K: MatchKernel>(self, kernel: K) -> u64 {
+            count_pair(&kernel, self.0, self.1)
+        }
+    }
+    a.params().kernel_backend().dispatch(Count(a, b))
 }
 
 /// `|a ∩ b|` with an explicit match-count backend. This is the single
 /// entry point through which positional counting reaches a kernel; the
-/// per-backend bench axis drives it directly.
-pub fn count_with(kernel: &dyn MatchKernel, a: &Batmap, b: &Batmap) -> u64 {
+/// per-backend bench axis drives it directly. Generic over the kernel
+/// type so concrete callers monomorphize; `&dyn MatchKernel` works too
+/// (one virtual call per intersection, the bulk loop inside is still
+/// branch-free).
+pub fn count_with<K: MatchKernel + ?Sized>(kernel: &K, a: &Batmap, b: &Batmap) -> u64 {
+    count_pair(kernel, a, b)
+}
+
+/// The width-ordering + equal/wrapped split shared by every pairwise
+/// path.
+#[inline]
+fn count_pair<K: MatchKernel + ?Sized>(kernel: &K, a: &Batmap, b: &Batmap) -> u64 {
     let (small, large) = if a.width_bytes() <= b.width_bytes() {
         (a, b)
     } else {
@@ -36,10 +64,111 @@ pub fn count_with(kernel: &dyn MatchKernel, a: &Batmap, b: &Batmap) -> u64 {
     }
 }
 
-/// Count intersections of one batmap against many (a convenience used by
-/// the examples; the mining pipeline has its own tiled driver).
+/// Count intersections of one batmap against many, through the batched
+/// driver: one backend dispatch for the whole batch, equal-width
+/// candidates swept in register-blocked groups. Used by the examples
+/// and figure binaries; the mining tile executors route their row loops
+/// through [`count_one_vs_many_into`].
+///
+/// # Panics
+/// Panics if any candidate comes from a different universe.
 pub fn count_one_vs_many(one: &Batmap, many: &[Batmap]) -> Vec<u64> {
-    many.iter().map(|b| one.intersect_count(b)).collect()
+    let mut out = vec![0u64; many.len()];
+    count_one_vs_many_into(one, many, &mut out);
+    out
+}
+
+/// [`count_one_vs_many`] writing into a caller-provided slice (the tile
+/// executors reuse their row buffers), with the backend taken from
+/// `one`'s universe parameters.
+///
+/// # Panics
+/// Panics if `out.len() != many.len()` or any candidate comes from a
+/// different universe.
+pub fn count_one_vs_many_into(one: &Batmap, many: &[Batmap], out: &mut [u64]) {
+    count_one_vs_many_with(one.params().kernel_backend(), one, many, out);
+}
+
+/// [`count_one_vs_many_into`] with an explicit backend (the bench
+/// batch-size sweep drives each backend directly).
+///
+/// # Panics
+/// Panics if `out.len() != many.len()` or any candidate comes from a
+/// different universe.
+pub fn count_one_vs_many_with(
+    backend: KernelBackend,
+    one: &Batmap,
+    many: &[Batmap],
+    out: &mut [u64],
+) {
+    assert_eq!(out.len(), many.len(), "one output slot per candidate");
+    struct Batch<'a> {
+        one: &'a Batmap,
+        many: &'a [Batmap],
+        out: &'a mut [u64],
+    }
+    impl KernelDispatch for Batch<'_> {
+        type Output = ();
+        fn run<K: MatchKernel>(self, kernel: K) {
+            one_vs_many_sweep(&kernel, self.one, self.many, self.out);
+        }
+    }
+    backend.dispatch(Batch { one, many, out });
+}
+
+/// The monomorphized one-vs-many sweep: candidates that share the
+/// probe's width go through the kernel's blocked
+/// [`MatchKernel::count_equal_width_many`] (probe words stay hot in
+/// registers/L1 across the block); the rest take the pairwise
+/// equal/wrapped path — still inside this single dispatch.
+fn one_vs_many_sweep<K: MatchKernel>(kernel: &K, one: &Batmap, many: &[Batmap], out: &mut [u64]) {
+    let fp = one.params().fingerprint();
+    for b in many {
+        assert_eq!(
+            b.params().fingerprint(),
+            fp,
+            "batmaps from different universes"
+        );
+    }
+    let width = one.width_bytes();
+    // Common case (the tile executors' row loop: preprocessing sorts
+    // batmaps by width, so whole rows usually share one width): every
+    // candidate matches the probe — sweep straight into `out` in
+    // stack-buffered blocks, no heap allocation per row.
+    if many.iter().all(|b| b.width_bytes() == width) {
+        const SWEEP_BLOCK: usize = 8;
+        for (chunk, out_chunk) in many.chunks(SWEEP_BLOCK).zip(out.chunks_mut(SWEEP_BLOCK)) {
+            let mut bytes: [&[u8]; SWEEP_BLOCK] = [&[]; SWEEP_BLOCK];
+            for (slot, b) in bytes.iter_mut().zip(chunk) {
+                *slot = b.as_bytes();
+            }
+            kernel.count_equal_width_many(one.as_bytes(), &bytes[..chunk.len()], out_chunk);
+        }
+        return;
+    }
+    // Mixed widths: blocked sweep for the probe-width candidates,
+    // monomorphized pairwise path for the rest, scattered back by
+    // index (ordering does not matter for correctness). `Vec::new`
+    // defers allocation to the first width match, so a row whose width
+    // matches no column stays allocation-free like the fast path.
+    let mut eq_idx: Vec<usize> = Vec::new();
+    let mut eq_bytes: Vec<&[u8]> = Vec::new();
+    for (i, b) in many.iter().enumerate() {
+        if b.width_bytes() == width {
+            eq_idx.push(i);
+            eq_bytes.push(b.as_bytes());
+        } else {
+            out[i] = count_pair(kernel, one, b);
+        }
+    }
+    if eq_idx.is_empty() {
+        return;
+    }
+    let mut counts = vec![0u64; eq_bytes.len()];
+    kernel.count_equal_width_many(one.as_bytes(), &eq_bytes, &mut counts);
+    for (&i, c) in eq_idx.iter().zip(counts) {
+        out[i] = c;
+    }
 }
 
 /// Exact reference: decode both element sets and intersect them. Used by
@@ -75,14 +204,14 @@ mod tests {
 
     #[test]
     fn every_backend_counts_identically() {
-        use crate::kernel::ALL_BACKENDS;
+        use crate::kernel::available_backends;
         let p = Arc::new(BatmapParams::new(30_000, 5));
         let small: Vec<u32> = (0..200).map(|i| i * 11 % 30_000).collect();
         let large: Vec<u32> = (0..4000).map(|i| i * 7 % 30_000).collect();
         let bs = Batmap::build(p.clone(), &small).batmap;
         let bl = Batmap::build(p, &large).batmap;
         let expect = super::count_by_decoding(&bs, &bl);
-        for backend in ALL_BACKENDS {
+        for backend in available_backends() {
             assert_eq!(
                 super::count_with(backend.kernel(), &bs, &bl),
                 expect,
@@ -99,7 +228,7 @@ mod tests {
     #[test]
     fn params_pinned_backend_is_used() {
         use crate::kernel::KernelBackend;
-        for backend in crate::kernel::ALL_BACKENDS {
+        for backend in crate::kernel::available_backends() {
             let p = Arc::new(BatmapParams::new(10_000, 9).with_kernel(backend));
             let a = Batmap::build(p.clone(), &(0..800).collect::<Vec<_>>()).batmap;
             let b = Batmap::build(p, &(400..1200).collect::<Vec<_>>()).batmap;
@@ -126,5 +255,40 @@ mod tests {
         for (i, b) in many.iter().enumerate() {
             assert_eq!(counts[i], probe.intersect_count(b));
         }
+    }
+
+    #[test]
+    fn one_vs_many_batches_per_backend() {
+        // Mixed widths: some candidates share the probe's width (the
+        // blocked path), some are smaller/larger (the pairwise path).
+        let p = Arc::new(BatmapParams::new(50_000, 21));
+        let probe = Batmap::build(p.clone(), &(0..1000).collect::<Vec<_>>()).batmap;
+        let sizes = [50usize, 1000, 900, 4000, 1000, 1000, 30, 1100, 1000];
+        let many: Vec<Batmap> = sizes
+            .iter()
+            .map(|&n| {
+                Batmap::build(p.clone(), &(0..n as u32).map(|i| i * 3).collect::<Vec<_>>()).batmap
+            })
+            .collect();
+        assert!(
+            many.iter().any(|b| b.width_bytes() == probe.width_bytes()),
+            "fixture must exercise the blocked path"
+        );
+        let expect: Vec<u64> = many.iter().map(|b| probe.intersect_count(b)).collect();
+        for backend in crate::kernel::available_backends() {
+            let mut out = vec![0u64; many.len()];
+            super::count_one_vs_many_with(backend, &probe, &many, &mut out);
+            assert_eq!(out, expect, "backend {backend}");
+        }
+    }
+
+    #[test]
+    #[should_panic]
+    fn one_vs_many_rejects_foreign_universe() {
+        let p = Arc::new(BatmapParams::new(1_000, 1));
+        let q = Arc::new(BatmapParams::new(1_000, 2));
+        let probe = Batmap::build(p, &[1, 2, 3]).batmap;
+        let alien = Batmap::build(q, &[1, 2, 3]).batmap;
+        let _ = super::count_one_vs_many(&probe, &[alien]);
     }
 }

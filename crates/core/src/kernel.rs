@@ -1,24 +1,49 @@
 //! Pluggable match-count kernel backends.
 //!
 //! The §III-A branch-free word comparison is the workhorse of the whole
-//! paper, and the natural seam for hardware specialization: the same
-//! positional predicate can be evaluated byte-at-a-time (scalar
-//! reference), four lanes per 32-bit word (the paper's printed SWAR
-//! form), eight lanes per 64-bit word (popcount widening), and — in
-//! future backends — 16/32 lanes per SIMD register or on a real GPU.
+//! paper, and the natural seam for hardware specialization. The same
+//! positional predicate is evaluated at every lane width the host
+//! offers:
+//!
+//! | backend  | lanes/step | register        | availability |
+//! |----------|-----------:|-----------------|--------------|
+//! | `scalar` | 1          | byte            | everywhere (test oracle) |
+//! | `swar32` | 4          | `u32`           | everywhere (the paper's printed form) |
+//! | `swar64` | 8          | `u64`           | everywhere (widest portable) |
+//! | `sse2`   | 16         | 128-bit XMM     | `x86_64` baseline |
+//! | `avx2`   | 32         | 256-bit YMM     | `x86_64` with AVX2 (runtime-detected) |
 //!
 //! [`MatchKernel`] abstracts that choice. Every consumer of match
 //! counting — [`crate::intersect`], [`crate::multiway`], and the
 //! `pairminer` engines — dispatches through this trait; the raw
-//! formulations in [`crate::swar`] are backend internals (and ablation
-//! material for the benches).
+//! formulations in [`crate::swar`] and `crate::simd` (the latter
+//! `x86_64`-only, hence no doc link) are backend internals (and
+//! ablation material for the benches).
+//!
+//! **Dispatch happens once per intersection, not once per word.** Each
+//! backend implements the slice entry points (`count_equal_width`,
+//! `count_wrapped`, and the batched `count_equal_width_many`) as a
+//! monomorphized bulk loop over the whole input, and the intersection
+//! drivers select the backend through [`KernelBackend::dispatch`], so
+//! the inner loops contain no indirect calls at all. All wide backends
+//! share one tail path ([`crate::swar::match_count_slices`]) for widths
+//! that are not register multiples.
 //!
 //! Backend selection is runtime data, not a compile-time feature:
-//! [`KernelBackend::Auto`] resolves to the widest available kernel,
-//! honouring a `BATMAP_KERNEL` environment override, and can be pinned
-//! per universe via [`crate::BatmapParams::with_kernel`] or per mining
-//! run via the miner configuration.
+//! [`KernelBackend::Auto`] resolves to the widest backend *available on
+//! this CPU* (AVX2 where detected, SSE2 on any `x86_64`, SWAR-u64
+//! elsewhere), honouring a `BATMAP_KERNEL` environment override, and
+//! can be pinned per universe via [`crate::BatmapParams::with_kernel`]
+//! or per mining run via the miner configuration. Requesting a backend
+//! the CPU lacks downgrades (with a one-time warning) to the widest
+//! available one — counts are backend-independent, so a downgrade never
+//! changes results, only speed. The §III-B GPU simulator charges each
+//! backend its own amortized cost per staged word
+//! ([`MatchKernel::ops_per_staged_word`]), so simulated `--kernel`
+//! sweeps reflect lane width too.
 
+#[cfg(target_arch = "x86_64")]
+use crate::simd;
 use crate::swar;
 use std::fmt;
 use std::sync::OnceLock;
@@ -34,7 +59,7 @@ pub trait MatchKernel: fmt::Debug + Send + Sync {
     fn name(&self) -> &'static str;
 
     /// Lanes processed per inner-loop step (1 for scalar, 4 for u32
-    /// words, 8 for u64 words).
+    /// words, 8 for u64 words, 16 for SSE2, 32 for AVX2).
     fn lanes(&self) -> usize;
 
     /// Count matching slots of one 32-bit word of four slots — the
@@ -76,9 +101,26 @@ pub trait MatchKernel: fmt::Debug + Send + Sync {
             .sum()
     }
 
+    /// Count one probe array against many equal-width candidates,
+    /// writing `|probe ∩ candidateᵢ|` into `out[i]` — the kernel of the
+    /// batched one-vs-many driver ([`crate::intersect`]). The SIMD
+    /// backends override this with a chunk-major loop that loads each
+    /// probe register once per block of candidates, keeping the probe
+    /// hot in registers/L1 while sweeping the block.
+    ///
+    /// # Panics
+    /// Panics if `candidates` and `out` have different lengths or any
+    /// candidate's width differs from the probe's.
+    fn count_equal_width_many(&self, probe: &[u8], candidates: &[&[u8]], out: &mut [u64]) {
+        assert_eq!(candidates.len(), out.len(), "one output slot per candidate");
+        for (c, o) in candidates.iter().zip(out) {
+            *o = self.count_equal_width(probe, c);
+        }
+    }
+
     /// Equality of two full positional values (the §V multiway sweep,
     /// which stores uncompressed permuted values rather than slot
-    /// bytes). Branch-free in the SWAR backends.
+    /// bytes). Branch-free in the SWAR and SIMD backends.
     fn value_eq(&self, x: u64, y: u64) -> bool {
         x == y
     }
@@ -141,8 +183,8 @@ impl MatchKernel for SwarU32Kernel {
 }
 
 /// Popcount widening: eight slots per 64-bit word (the widest portable
-/// backend; `std::simd`/AVX2 and real-GPU backends slot in behind the
-/// same trait).
+/// backend; the SSE2/AVX2 backends in `crate::simd` slot in behind
+/// the same trait on `x86_64`).
 #[derive(Debug, Clone, Copy, Default)]
 pub struct SwarU64Kernel;
 
@@ -172,7 +214,7 @@ impl MatchKernel for SwarU64Kernel {
 /// Branch-free `x == y` for 64-bit values: `x ^ y` is zero iff equal,
 /// and `d | -d` has its top bit set iff `d != 0`.
 #[inline]
-fn branchless_eq(x: u64, y: u64) -> bool {
+pub(crate) fn branchless_eq(x: u64, y: u64) -> bool {
     let d = x ^ y;
     (d | d.wrapping_neg()) >> 63 == 0
 }
@@ -184,8 +226,8 @@ fn branchless_eq(x: u64, y: u64) -> bool {
 /// decision to [`KernelBackend::resolve`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
 pub enum KernelBackend {
-    /// Pick the widest available backend at runtime, honouring the
-    /// `BATMAP_KERNEL` environment override.
+    /// Pick the widest backend available on this CPU at runtime,
+    /// honouring the `BATMAP_KERNEL` environment override.
     #[default]
     Auto,
     /// Byte-at-a-time reference.
@@ -194,14 +236,29 @@ pub enum KernelBackend {
     SwarU32,
     /// Eight lanes per 64-bit word.
     SwarU64,
+    /// Sixteen lanes per 128-bit SSE2 register (`x86_64` only).
+    Sse2,
+    /// Thirty-two lanes per 256-bit AVX2 register (`x86_64` with AVX2).
+    Avx2,
 }
 
-/// The concrete (non-`Auto`) backends, widest last.
-pub const ALL_BACKENDS: [KernelBackend; 3] = [
+/// The concrete (non-`Auto`) backends, widest last. Iterate
+/// [`available_backends`] instead when the code will actually *execute*
+/// the backend — the tail of this list is not available on every CPU.
+pub const ALL_BACKENDS: [KernelBackend; 5] = [
     KernelBackend::Scalar,
     KernelBackend::SwarU32,
     KernelBackend::SwarU64,
+    KernelBackend::Sse2,
+    KernelBackend::Avx2,
 ];
+
+/// The concrete backends available on this CPU, widest last (bench axes
+/// and the CI kernel matrix iterate this so AVX2-less runners skip
+/// gracefully).
+pub fn available_backends() -> impl Iterator<Item = KernelBackend> {
+    ALL_BACKENDS.into_iter().filter(|b| b.is_available())
+}
 
 impl KernelBackend {
     /// Parse a backend name as used by `BATMAP_KERNEL` and bench labels.
@@ -211,6 +268,8 @@ impl KernelBackend {
             "scalar" => Some(KernelBackend::Scalar),
             "swar32" | "u32" => Some(KernelBackend::SwarU32),
             "swar64" | "u64" => Some(KernelBackend::SwarU64),
+            "sse2" => Some(KernelBackend::Sse2),
+            "avx2" => Some(KernelBackend::Avx2),
             _ => None,
         }
     }
@@ -222,51 +281,135 @@ impl KernelBackend {
             KernelBackend::Scalar => "scalar",
             KernelBackend::SwarU32 => "swar32",
             KernelBackend::SwarU64 => "swar64",
+            KernelBackend::Sse2 => "sse2",
+            KernelBackend::Avx2 => "avx2",
         }
     }
 
-    /// Resolve `Auto` to a concrete backend: the `BATMAP_KERNEL`
-    /// environment variable if set to a valid concrete name, otherwise
-    /// the widest portable kernel. Concrete backends resolve to
-    /// themselves.
+    /// Whether this backend can execute on the current CPU. `Auto` and
+    /// the portable backends are always available; `sse2` requires
+    /// `x86_64` (where it is baseline) and `avx2` additionally requires
+    /// runtime AVX2 detection.
+    pub fn is_available(self) -> bool {
+        match self {
+            KernelBackend::Auto
+            | KernelBackend::Scalar
+            | KernelBackend::SwarU32
+            | KernelBackend::SwarU64 => true,
+            #[cfg(target_arch = "x86_64")]
+            KernelBackend::Sse2 => true,
+            #[cfg(target_arch = "x86_64")]
+            KernelBackend::Avx2 => simd::avx2_available(),
+            #[cfg(not(target_arch = "x86_64"))]
+            KernelBackend::Sse2 | KernelBackend::Avx2 => false,
+        }
+    }
+
+    /// The widest backend available on this CPU (what `Auto` resolves
+    /// to absent an override): AVX2 where detected, SSE2 on any
+    /// `x86_64`, SWAR-u64 elsewhere.
+    pub fn widest_available() -> KernelBackend {
+        ALL_BACKENDS
+            .into_iter()
+            .rev()
+            .find(|b| b.is_available())
+            .expect("portable backends are always available")
+    }
+
+    /// The pure resolution rule behind [`KernelBackend::resolve`]:
+    /// map an optional `BATMAP_KERNEL` override string to a concrete,
+    /// *available* backend. Exposed so the resolution policy is unit
+    /// testable without mutating process environment.
+    ///
+    /// * `None` / `Some("auto")` → [`KernelBackend::widest_available`];
+    /// * a valid, available backend name → that backend;
+    /// * a valid but unavailable name (e.g. `avx2` on a CPU without
+    ///   AVX2) → the widest available backend, with a warning;
+    /// * an invalid name → the widest available backend, with a
+    ///   warning.
+    pub fn resolve_override(var: Option<&str>) -> KernelBackend {
+        let widest = Self::widest_available();
+        match var.map(KernelBackend::from_name) {
+            None | Some(Some(KernelBackend::Auto)) => widest,
+            Some(Some(concrete)) if concrete.is_available() => concrete,
+            Some(Some(concrete)) => {
+                // CI runs the kernel matrix on heterogeneous runners:
+                // degrade, don't die — counts are backend-independent.
+                eprintln!(
+                    "warning: BATMAP_KERNEL={} is not available on this CPU; using {}",
+                    concrete.name(),
+                    widest.name()
+                );
+                widest
+            }
+            Some(None) => {
+                // Never abort someone else's run over an env var, but
+                // don't let a typo silently produce data for the wrong
+                // experiment either.
+                eprintln!(
+                    "warning: ignoring invalid BATMAP_KERNEL={} \
+                     (expected auto|scalar|swar32|swar64|sse2|avx2); using {}",
+                    var.unwrap_or_default(),
+                    widest.name()
+                );
+                widest
+            }
+        }
+    }
+
+    /// Resolve to a concrete, available backend. `Auto` consults the
+    /// `BATMAP_KERNEL` environment variable once (cached) and otherwise
+    /// picks the widest backend this CPU supports; a concrete backend
+    /// resolves to itself when available and downgrades to the widest
+    /// available one (with a one-time warning) when not.
     pub fn resolve(self) -> KernelBackend {
         if self != KernelBackend::Auto {
-            return self;
+            if self.is_available() {
+                return self;
+            }
+            static DOWNGRADED: std::sync::Once = std::sync::Once::new();
+            DOWNGRADED.call_once(|| {
+                eprintln!(
+                    "warning: kernel backend {} is not available on this CPU; using {}",
+                    self.name(),
+                    KernelBackend::widest_available().name()
+                );
+            });
+            return KernelBackend::widest_available();
         }
         static AUTO: OnceLock<KernelBackend> = OnceLock::new();
         *AUTO.get_or_init(|| {
             let var = std::env::var("BATMAP_KERNEL").ok();
-            match var.as_deref().map(KernelBackend::from_name) {
-                Some(Some(KernelBackend::Auto)) | None => KernelBackend::SwarU64,
-                Some(Some(concrete)) => concrete,
-                Some(None) => {
-                    // Never abort someone else's run over an env var,
-                    // but don't let a typo silently produce data for
-                    // the wrong experiment either.
-                    eprintln!(
-                        "warning: ignoring invalid BATMAP_KERNEL={} \
-                         (expected auto|scalar|swar32|swar64); using swar64",
-                        var.as_deref().unwrap_or_default()
-                    );
-                    KernelBackend::SwarU64
-                }
-            }
+            KernelBackend::resolve_override(var.as_deref())
         })
     }
 
-    /// The kernel implementation this identifier selects.
+    /// The kernel implementation this identifier selects, as a trait
+    /// object. Handy for code that makes a handful of coarse calls (the
+    /// bench axes, the Fig. 11 sweep); hot loops should go through
+    /// [`KernelBackend::dispatch`] instead so the whole intersection
+    /// monomorphizes.
     pub fn kernel(self) -> &'static dyn MatchKernel {
         match self.resolve() {
             KernelBackend::Scalar => &ScalarKernel,
             KernelBackend::SwarU32 => &SwarU32Kernel,
             KernelBackend::SwarU64 => &SwarU64Kernel,
+            #[cfg(target_arch = "x86_64")]
+            KernelBackend::Sse2 => &simd::Sse2Kernel,
+            #[cfg(target_arch = "x86_64")]
+            KernelBackend::Avx2 => &simd::Avx2Kernel,
+            #[cfg(not(target_arch = "x86_64"))]
+            KernelBackend::Sse2 | KernelBackend::Avx2 => {
+                unreachable!("resolve() never selects an unavailable backend")
+            }
             KernelBackend::Auto => unreachable!("resolve() returns a concrete backend"),
         }
     }
 
     /// Monomorphizing dispatch: resolve the backend and run `op` with
     /// the concrete kernel type, so hot loops written against
-    /// `K: MatchKernel` pay no virtual call per position. This is the
+    /// `K: MatchKernel` pay no virtual call per position — the one
+    /// indirect step happens here, once per intersection. This is the
     /// single place that maps identifiers to types — new backends are
     /// added here once and every dispatch site inherits them.
     pub fn dispatch<D: KernelDispatch>(self, op: D) -> D::Output {
@@ -274,6 +417,14 @@ impl KernelBackend {
             KernelBackend::Scalar => op.run(ScalarKernel),
             KernelBackend::SwarU32 => op.run(SwarU32Kernel),
             KernelBackend::SwarU64 => op.run(SwarU64Kernel),
+            #[cfg(target_arch = "x86_64")]
+            KernelBackend::Sse2 => op.run(simd::Sse2Kernel),
+            #[cfg(target_arch = "x86_64")]
+            KernelBackend::Avx2 => op.run(simd::Avx2Kernel),
+            #[cfg(not(target_arch = "x86_64"))]
+            KernelBackend::Sse2 | KernelBackend::Avx2 => {
+                unreachable!("resolve() never selects an unavailable backend")
+            }
             KernelBackend::Auto => unreachable!("resolve() returns a concrete backend"),
         }
     }
@@ -343,10 +494,10 @@ mod tests {
 
     #[test]
     fn backends_agree_on_equal_width() {
-        for len in [0usize, 1, 3, 4, 7, 8, 15, 64, 257] {
+        for len in [0usize, 1, 3, 4, 7, 8, 15, 17, 31, 33, 64, 257] {
             let (xs, ys) = sample_arrays(len, 0xBEEF + len as u64);
             let expect = ScalarKernel.count_equal_width(&xs, &ys);
-            for backend in ALL_BACKENDS {
+            for backend in available_backends() {
                 assert_eq!(
                     backend.kernel().count_equal_width(&xs, &ys),
                     expect,
@@ -361,12 +512,28 @@ mod tests {
         let (small_x, _) = sample_arrays(64, 1);
         let (large, _) = sample_arrays(256, 2);
         let expect = ScalarKernel.count_wrapped(&large, &small_x);
-        for backend in ALL_BACKENDS {
+        for backend in available_backends() {
             assert_eq!(
                 backend.kernel().count_wrapped(&large, &small_x),
                 expect,
                 "backend {backend}"
             );
+        }
+    }
+
+    #[test]
+    fn backends_agree_on_batched_many() {
+        let (probe, _) = sample_arrays(96, 5);
+        let stores: Vec<Vec<u8>> = (0..9).map(|i| sample_arrays(96, 50 + i).0).collect();
+        let cands: Vec<&[u8]> = stores.iter().map(Vec::as_slice).collect();
+        let mut expect = vec![0u64; cands.len()];
+        ScalarKernel.count_equal_width_many(&probe, &cands, &mut expect);
+        for backend in available_backends() {
+            let mut out = vec![0u64; cands.len()];
+            backend
+                .kernel()
+                .count_equal_width_many(&probe, &cands, &mut out);
+            assert_eq!(out, expect, "backend {backend}");
         }
     }
 
@@ -378,7 +545,7 @@ mod tests {
         // Chunk 0 vs small: lanes 0 and 2 match with indicators set,
         // lane 1 keys equal but both indicators clear, lane 3 empty
         // => 2. Chunk 1 vs small: lanes 0 and 2 match 1|0 => 2.
-        for backend in ALL_BACKENDS {
+        for backend in available_backends() {
             assert_eq!(backend.kernel().count_wrapped(&large, &small), 2 + 2);
         }
     }
@@ -396,7 +563,7 @@ mod tests {
             let x = u32::from_le_bytes(cx.try_into().unwrap());
             let y = u32::from_le_bytes(cy.try_into().unwrap());
             let expect = ScalarKernel.count_word_u32(x, y);
-            for backend in ALL_BACKENDS {
+            for backend in available_backends() {
                 assert_eq!(backend.kernel().count_word_u32(x, y), expect);
             }
         }
@@ -408,7 +575,7 @@ mod tests {
         for &x in &values {
             for &y in &values {
                 assert_eq!(branchless_eq(x, y), x == y, "x={x:#x} y={y:#x}");
-                for backend in ALL_BACKENDS {
+                for backend in available_backends() {
                     assert_eq!(backend.kernel().value_eq(x, y), x == y);
                 }
             }
@@ -419,8 +586,11 @@ mod tests {
     fn auto_resolves_concrete_and_names_roundtrip() {
         let resolved = KernelBackend::Auto.resolve();
         assert_ne!(resolved, KernelBackend::Auto);
+        assert!(resolved.is_available());
         for backend in ALL_BACKENDS {
             assert_eq!(KernelBackend::from_name(backend.name()), Some(backend));
+        }
+        for backend in available_backends() {
             assert_eq!(backend.resolve(), backend);
         }
         assert_eq!(KernelBackend::from_name("AUTO"), Some(KernelBackend::Auto));
@@ -428,8 +598,75 @@ mod tests {
     }
 
     #[test]
+    fn override_resolution_policy() {
+        let widest = KernelBackend::widest_available();
+        assert!(widest.is_available());
+        // No override / explicit auto → widest available.
+        assert_eq!(KernelBackend::resolve_override(None), widest);
+        assert_eq!(KernelBackend::resolve_override(Some("auto")), widest);
+        // Typos degrade to widest available, never panic.
+        assert_eq!(KernelBackend::resolve_override(Some("bogus")), widest);
+        // Every concrete override resolves to something available:
+        // itself when the CPU has it, the widest fallback when not.
+        for backend in ALL_BACKENDS {
+            let resolved = KernelBackend::resolve_override(Some(backend.name()));
+            assert!(resolved.is_available(), "{backend} -> {resolved}");
+            if backend.is_available() {
+                assert_eq!(resolved, backend);
+            } else {
+                assert_eq!(resolved, widest);
+            }
+        }
+    }
+
+    #[test]
+    fn unavailable_backend_downgrades_in_resolve() {
+        for backend in ALL_BACKENDS {
+            let resolved = backend.resolve();
+            assert!(resolved.is_available(), "{backend} -> {resolved}");
+            // And the kernel it selects actually computes.
+            assert_eq!(backend.kernel().count_equal_width(&[], &[]), 0);
+        }
+    }
+
+    #[test]
     fn lanes_are_ordered_widest_last() {
         let lanes: Vec<usize> = ALL_BACKENDS.iter().map(|b| b.kernel().lanes()).collect();
-        assert_eq!(lanes, vec![1, 4, 8]);
+        // `kernel()` resolves unavailable backends to the widest
+        // available one, so the observed lane count is a floor of the
+        // nominal one on the tail of the list; the available prefix
+        // must be exactly the nominal ladder.
+        let nominal = [1usize, 4, 8, 16, 32];
+        for (i, backend) in ALL_BACKENDS.iter().enumerate() {
+            if backend.is_available() {
+                assert_eq!(lanes[i], nominal[i], "backend {backend}");
+            }
+        }
+        let avail: Vec<usize> = available_backends().map(|b| b.kernel().lanes()).collect();
+        assert!(
+            avail.windows(2).all(|w| w[0] < w[1]),
+            "widest last: {avail:?}"
+        );
+    }
+
+    #[test]
+    fn staged_word_cost_scales_down_with_lanes() {
+        // The GPU simulator's per-staged-word charge must be monotone
+        // non-increasing in lane width: scalar 32, the paper's u32 8,
+        // u64 8 (no staged-word pairing), sse2 2, avx2 1.
+        let costs: Vec<u64> = [
+            KernelBackend::Scalar,
+            KernelBackend::SwarU32,
+            KernelBackend::SwarU64,
+        ]
+        .iter()
+        .map(|b| b.kernel().ops_per_staged_word())
+        .collect();
+        assert_eq!(costs, vec![32, 8, 8]);
+        #[cfg(target_arch = "x86_64")]
+        {
+            assert_eq!(crate::simd::Sse2Kernel.ops_per_staged_word(), 2);
+            assert_eq!(crate::simd::Avx2Kernel.ops_per_staged_word(), 1);
+        }
     }
 }

@@ -40,7 +40,9 @@
 //! * [`builder`] — cuckoo 2-of-3 construction, failure handling.
 //! * [`batmap`] — the immutable [`Batmap`] itself.
 //! * [`kernel`] — the pluggable [`kernel::MatchKernel`] backend layer
-//!   (scalar reference, SWAR-u32, SWAR-u64; runtime-selectable).
+//!   (scalar reference, SWAR-u32, SWAR-u64, SSE2, AVX2;
+//!   runtime-selectable with CPU-feature detection).
+//! * `simd` — the true-SIMD SSE2/AVX2 kernels (`x86_64` only).
 //! * [`parallel`] — the [`Parallelism`] knob host-parallel phases share
 //!   (`BATMAP_THREADS` override, same plumbing style as the kernels).
 //! * [`swar`] — the paper's raw branch-free formulations (backend
@@ -66,6 +68,8 @@ pub mod kernel;
 pub mod multiway;
 pub mod parallel;
 pub mod params;
+#[cfg(target_arch = "x86_64")]
+pub mod simd;
 pub mod slot;
 pub mod space;
 pub mod swar;
@@ -76,7 +80,7 @@ pub use batmap::Batmap;
 pub use builder::{BatmapBuilder, BuildOutcome, InsertOutcome, InsertStats};
 pub use collection::BatmapCollection;
 pub use error::BatmapError;
-pub use kernel::{KernelBackend, MatchKernel, ALL_BACKENDS};
+pub use kernel::{available_backends, KernelBackend, MatchKernel, ALL_BACKENDS};
 pub use multiway::{intersect_count_probe, MultiwayBatmap, MultiwayParams};
 pub use parallel::Parallelism;
 pub use params::{BatmapParams, ParamsHandle, TABLES};

@@ -480,7 +480,7 @@ mod tests {
         let a: Vec<u32> = (0..600).map(|i| i * 3 % 9_000).collect();
         let b: Vec<u32> = (0..500).map(|i| i * 5 % 9_000).collect();
         let expect = exact_k_way(&[&a, &b]);
-        for backend in crate::kernel::ALL_BACKENDS {
+        for backend in crate::kernel::available_backends() {
             let p = Arc::new(MultiwayParams::new(9_000, 3, 0xD0F).with_kernel(backend));
             let ma = MultiwayBatmap::build(p.clone(), &a).unwrap();
             let mb = MultiwayBatmap::build(p, &b).unwrap();

@@ -56,7 +56,11 @@ impl Parallelism {
     pub fn pinned(self) -> Option<usize> {
         match self {
             Parallelism::Serial => Some(1),
-            Parallelism::Threads(n) => Some(n.max(2)),
+            // `Threads(n)` is normally ≥ 2 (the `threads()` constructor
+            // normalizes 0/1 away), but the variant is public: honour a
+            // directly-constructed `Threads(1)`/`Threads(0)` as one
+            // worker rather than silently running two.
+            Parallelism::Threads(n) => Some(n.max(1)),
             Parallelism::Auto => env_override().and_then(Parallelism::pinned),
         }
     }
@@ -147,6 +151,11 @@ mod tests {
         assert_eq!(Parallelism::Threads(4).resolve_with(16), 4);
         assert_eq!(Parallelism::Serial.pinned(), Some(1));
         assert_eq!(Parallelism::Threads(6).pinned(), Some(6));
+        // Directly-constructed degenerate counts pin one worker; they
+        // do not silently inflate to 2.
+        assert_eq!(Parallelism::Threads(1).pinned(), Some(1));
+        assert_eq!(Parallelism::Threads(0).pinned(), Some(1));
+        assert_eq!(Parallelism::Threads(1).resolve_with(16), 1);
         // Auto without an override follows the ambient pool.
         if std::env::var("BATMAP_THREADS").is_err() {
             assert_eq!(Parallelism::Auto.resolve_with(3), 3);

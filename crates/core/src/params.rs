@@ -113,8 +113,12 @@ impl BatmapParams {
     }
 
     /// Pin the match-count backend for every intersection over this
-    /// universe (the default, [`KernelBackend::Auto`], picks the widest
-    /// available kernel at first use).
+    /// universe. The default, [`KernelBackend::Auto`], picks the widest
+    /// kernel *available on this CPU* at first use (AVX2 where
+    /// detected, SSE2 on any `x86_64`, SWAR-u64 elsewhere), honouring a
+    /// `BATMAP_KERNEL=scalar|swar32|swar64|sse2|avx2` environment
+    /// override; pinning an unavailable backend downgrades to the
+    /// widest available one rather than failing.
     pub fn with_kernel(mut self, kernel: KernelBackend) -> Self {
         self.kernel = kernel;
         self
@@ -142,7 +146,12 @@ impl BatmapParams {
     }
 
     /// The match-count kernel implementation intersections over this
-    /// universe dispatch to.
+    /// universe dispatch to, as a trait object. The intersection
+    /// drivers themselves go through
+    /// [`KernelBackend::dispatch`](crate::kernel::KernelBackend::dispatch)
+    /// on [`Self::kernel_backend`] instead, so their bulk loops
+    /// monomorphize (one indirect step per intersection, none per
+    /// word).
     #[inline]
     pub fn kernel(&self) -> &'static dyn MatchKernel {
         self.kernel.kernel()

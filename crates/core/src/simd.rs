@@ -1,0 +1,444 @@
+//! True SIMD match-count backends: SSE2 (16 lanes) and AVX2 (32 lanes)
+//! via `std::arch`, with runtime CPU-feature detection.
+//!
+//! The §III-A predicate — count the byte lanes whose 7 key bits agree
+//! *and* whose indicator bits OR to 1 — maps directly onto packed byte
+//! compares:
+//!
+//! ```text
+//! keys  = (x ⊕ y) ∧ 0x7F..7F          per-lane key difference
+//! eq    = cmpeq_epi8(keys, 0)          0xFF where keys agree
+//! hit   = eq ∧ (x ∨ y)                 MSB set iff counted match
+//! count += popcount(movemask_epi8(hit))
+//! ```
+//!
+//! `movemask_epi8` extracts exactly the per-lane MSB — which is the
+//! indicator bit of `x ∨ y` masked by the key-equality verdict — so one
+//! `popcount` per register finishes the horizontal add that costs the
+//! SWAR formulations four shifts (u32) or a scalar `popcnt` per eight
+//! lanes (u64).
+//!
+//! Three design rules shared by both backends (and mirrored by the SWAR
+//! slice kernels in [`crate::swar`]):
+//!
+//! * **bulk loops, one dispatch** — the slice entry points
+//!   ([`MatchKernel::count_equal_width`], `count_wrapped`, and the
+//!   batched `count_equal_width_many`) each run the whole input inside
+//!   a single monomorphized `#[target_feature]` function, so selecting
+//!   a backend costs one virtual call per *intersection*, never one per
+//!   word;
+//! * **shared tail handling** — widths are rarely register multiples
+//!   (`3·r` bytes); every backend finishes the ragged tail through
+//!   [`swar::match_count_slices`] (u64 body + scalar edge), so a width
+//!   shorter than one register degrades gracefully instead of reading
+//!   out of bounds;
+//! * **wrapped chunk layout** — the §II different-width comparison
+//!   walks the large batmap in `|small|`-byte chunks; each chunk reuses
+//!   the equal-width loop, tails included, inside the same
+//!   `#[target_feature]` region.
+//!
+//! Safety: the public kernel types are safe. The AVX2 entry points
+//! assert `avx2` support before entering `#[target_feature]` code (the
+//! check is one cached atomic load); SSE2 is part of the `x86_64`
+//! baseline, so its intrinsics need no detection. The whole module is
+//! compiled only on `x86_64` — [`crate::kernel::KernelBackend`] reports
+//! both backends unavailable elsewhere and `resolve()` falls back to
+//! the portable SWAR kernels.
+
+use crate::kernel::MatchKernel;
+use crate::swar;
+use std::arch::x86_64::*;
+
+/// Candidates processed per accumulator block of the batched
+/// one-vs-many loops: enough to amortize each probe-register load
+/// across several comparisons, few enough that the per-candidate
+/// accumulators stay in registers.
+pub const MANY_BLOCK: usize = 4;
+
+/// Abort if `candidates`/`out` disagree or a candidate's width differs
+/// from the probe's (the batched loops index all arrays in lockstep).
+fn check_many(probe: &[u8], candidates: &[&[u8]], out: &[u64]) {
+    assert_eq!(candidates.len(), out.len(), "one output slot per candidate");
+    for c in candidates {
+        assert_eq!(
+            c.len(),
+            probe.len(),
+            "batched candidates must match the probe width"
+        );
+    }
+}
+
+// ---------------------------------------------------------------------
+// SSE2 — 16 lanes per 128-bit register (baseline on x86_64).
+// ---------------------------------------------------------------------
+
+/// Matching lanes of two 128-bit registers of 16 slots each, as a
+/// popcounted movemask.
+#[inline]
+fn hit_count_128(x: __m128i, y: __m128i) -> u32 {
+    // SAFETY: SSE2 is a baseline target feature of every x86_64 target.
+    unsafe {
+        let keys = _mm_and_si128(_mm_xor_si128(x, y), _mm_set1_epi8(0x7F));
+        let eq = _mm_cmpeq_epi8(keys, _mm_setzero_si128());
+        let hit = _mm_and_si128(eq, _mm_or_si128(x, y));
+        (_mm_movemask_epi8(hit) as u32).count_ones()
+    }
+}
+
+/// Equal-width count over the 16-byte body, tail through the shared
+/// SWAR path. Asserts its own length precondition — the vector loads
+/// below read both slices up to the body bound, so equal length is a
+/// safety requirement, not just a correctness one.
+fn sse2_count_equal_width(xs: &[u8], ys: &[u8]) -> u64 {
+    assert_eq!(xs.len(), ys.len(), "batmap slices must have equal width");
+    let body = xs.len() & !15;
+    let mut count = 0u64;
+    let mut base = 0;
+    while base < body {
+        // SAFETY: `base + 16 <= body <= len` on both slices; unaligned
+        // loads are explicitly permitted by `_mm_loadu_si128`.
+        let (x, y) = unsafe {
+            (
+                _mm_loadu_si128(xs.as_ptr().add(base) as *const __m128i),
+                _mm_loadu_si128(ys.as_ptr().add(base) as *const __m128i),
+            )
+        };
+        count += hit_count_128(x, y) as u64;
+        base += 16;
+    }
+    count + swar::match_count_slices(&xs[body..], &ys[body..])
+}
+
+/// One probe against a block of equal-width candidates, chunk-major:
+/// each 16-byte probe register is loaded once and compared against the
+/// same offset of every candidate in the block. Asserts the width
+/// precondition itself (the loads index every candidate up to the
+/// probe's body bound), so the function is safe without relying on the
+/// caller's [`check_many`].
+fn sse2_count_many(probe: &[u8], candidates: &[&[u8]], out: &mut [u64]) {
+    for c in candidates {
+        assert_eq!(
+            c.len(),
+            probe.len(),
+            "batched candidates must match the probe width"
+        );
+    }
+    for (block, out_block) in candidates
+        .chunks(MANY_BLOCK)
+        .zip(out.chunks_mut(MANY_BLOCK))
+    {
+        let mut acc = [0u64; MANY_BLOCK];
+        let body = probe.len() & !15;
+        let mut base = 0;
+        while base < body {
+            // SAFETY: every candidate has the probe's length (asserted
+            // above) and `base + 16 <= body`.
+            unsafe {
+                let p = _mm_loadu_si128(probe.as_ptr().add(base) as *const __m128i);
+                for (j, c) in block.iter().enumerate() {
+                    let q = _mm_loadu_si128(c.as_ptr().add(base) as *const __m128i);
+                    acc[j] += hit_count_128(p, q) as u64;
+                }
+            }
+            base += 16;
+        }
+        for (j, c) in block.iter().enumerate() {
+            out_block[j] = acc[j] + swar::match_count_slices(&probe[body..], &c[body..]);
+        }
+    }
+}
+
+/// 16 lanes per step through 128-bit SSE2 registers.
+///
+/// Part of the `x86_64` baseline instruction set, so this backend is
+/// always available on that architecture (no runtime check on the hot
+/// path).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Sse2Kernel;
+
+impl MatchKernel for Sse2Kernel {
+    fn name(&self) -> &'static str {
+        "sse2"
+    }
+    fn lanes(&self) -> usize {
+        16
+    }
+    fn count_word_u32(&self, x: u32, y: u32) -> u32 {
+        // A single staged word cannot fill a register; use the paper's
+        // u32 formulation (the simulator cost below models the staged
+        // loop, where four words share one 128-bit comparison).
+        swar::match_count_u32(x, y)
+    }
+    fn ops_per_staged_word(&self) -> u64 {
+        // Four staged 32-bit words per 128-bit comparison sequence
+        // (~8 ops): the paper's per-u32 charge of 8 amortizes to 2.
+        2
+    }
+    fn count_equal_width(&self, xs: &[u8], ys: &[u8]) -> u64 {
+        assert_eq!(xs.len(), ys.len(), "batmap slices must have equal width");
+        sse2_count_equal_width(xs, ys)
+    }
+    // `count_wrapped` keeps the trait default: on this concrete type
+    // the default's per-chunk `self.count_equal_width` call inlines to
+    // `sse2_count_equal_width` (SSE2 needs no feature gate, so there is
+    // no `#[target_feature]` region to keep the loop inside — unlike
+    // the AVX2 impl, which overrides for exactly that reason).
+    fn count_equal_width_many(&self, probe: &[u8], candidates: &[&[u8]], out: &mut [u64]) {
+        check_many(probe, candidates, out);
+        sse2_count_many(probe, candidates, out);
+    }
+    fn value_eq(&self, x: u64, y: u64) -> bool {
+        crate::kernel::branchless_eq(x, y)
+    }
+}
+
+// ---------------------------------------------------------------------
+// AVX2 — 32 lanes per 256-bit register (runtime-detected).
+// ---------------------------------------------------------------------
+
+/// True iff this CPU supports the AVX2 backend.
+#[inline]
+pub fn avx2_available() -> bool {
+    // `is_x86_feature_detected!` caches its CPUID probe in an atomic,
+    // so this is one relaxed load after the first call.
+    is_x86_feature_detected!("avx2")
+}
+
+/// Abort rather than execute AVX2 code on a CPU without it. Guards the
+/// safe entry points of [`Avx2Kernel`]; dispatch normally prevents this
+/// (``resolve()`` never selects an unavailable backend), but the kernel
+/// type itself is public.
+#[inline]
+fn assert_avx2() {
+    assert!(
+        avx2_available(),
+        "AVX2 match kernel selected on a CPU without AVX2 \
+         (use KernelBackend::Auto or resolve() to pick an available backend)"
+    );
+}
+
+/// Matching lanes of two 256-bit registers of 32 slots each.
+#[inline]
+#[target_feature(enable = "avx2")]
+unsafe fn hit_count_256(x: __m256i, y: __m256i) -> u32 {
+    let keys = _mm256_and_si256(_mm256_xor_si256(x, y), _mm256_set1_epi8(0x7F));
+    let eq = _mm256_cmpeq_epi8(keys, _mm256_setzero_si256());
+    let hit = _mm256_and_si256(eq, _mm256_or_si256(x, y));
+    (_mm256_movemask_epi8(hit) as u32).count_ones()
+}
+
+/// Equal-width count over the 32-byte body, tail through the shared
+/// SWAR path.
+///
+/// # Safety
+/// The CPU must support AVX2.
+#[target_feature(enable = "avx2")]
+unsafe fn avx2_count_equal_width(xs: &[u8], ys: &[u8]) -> u64 {
+    debug_assert_eq!(xs.len(), ys.len());
+    let body = xs.len() & !31;
+    let mut count = 0u64;
+    let mut base = 0;
+    while base < body {
+        let x = _mm256_loadu_si256(xs.as_ptr().add(base) as *const __m256i);
+        let y = _mm256_loadu_si256(ys.as_ptr().add(base) as *const __m256i);
+        count += hit_count_256(x, y) as u64;
+        base += 32;
+    }
+    count + swar::match_count_slices(&xs[body..], &ys[body..])
+}
+
+/// The wrapped (§II folded) comparison, entirely inside one AVX2
+/// region: each `|small|`-byte chunk of `large` reuses the equal-width
+/// loop, ragged tails included.
+///
+/// # Safety
+/// The CPU must support AVX2.
+#[target_feature(enable = "avx2")]
+unsafe fn avx2_count_wrapped(large: &[u8], small: &[u8]) -> u64 {
+    let mut count = 0u64;
+    for chunk in large.chunks_exact(small.len()) {
+        count += avx2_count_equal_width(chunk, small);
+    }
+    count
+}
+
+/// One probe against a block of equal-width candidates, chunk-major
+/// (see [`sse2_count_many`]).
+///
+/// # Safety
+/// The CPU must support AVX2; every candidate must have the probe's
+/// length.
+#[target_feature(enable = "avx2")]
+unsafe fn avx2_count_many(probe: &[u8], candidates: &[&[u8]], out: &mut [u64]) {
+    for (block, out_block) in candidates
+        .chunks(MANY_BLOCK)
+        .zip(out.chunks_mut(MANY_BLOCK))
+    {
+        let mut acc = [0u64; MANY_BLOCK];
+        let body = probe.len() & !31;
+        let mut base = 0;
+        while base < body {
+            let p = _mm256_loadu_si256(probe.as_ptr().add(base) as *const __m256i);
+            for (j, c) in block.iter().enumerate() {
+                let q = _mm256_loadu_si256(c.as_ptr().add(base) as *const __m256i);
+                acc[j] += hit_count_256(p, q) as u64;
+            }
+            base += 32;
+        }
+        for (j, c) in block.iter().enumerate() {
+            out_block[j] = acc[j] + swar::match_count_slices(&probe[body..], &c[body..]);
+        }
+    }
+}
+
+/// 32 lanes per step through 256-bit AVX2 registers — the widest CPU
+/// backend. Requires runtime detection ([`avx2_available`]); the safe
+/// entry points assert support before entering vector code.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Avx2Kernel;
+
+impl MatchKernel for Avx2Kernel {
+    fn name(&self) -> &'static str {
+        "avx2"
+    }
+    fn lanes(&self) -> usize {
+        32
+    }
+    fn count_word_u32(&self, x: u32, y: u32) -> u32 {
+        // Single staged word: the vector width buys nothing here (see
+        // `Sse2Kernel::count_word_u32`); cost is modelled by
+        // `ops_per_staged_word` for the staged loop instead.
+        swar::match_count_u32(x, y)
+    }
+    fn ops_per_staged_word(&self) -> u64 {
+        // Eight staged 32-bit words per 256-bit comparison sequence:
+        // the paper's per-u32 charge of 8 amortizes to 1.
+        1
+    }
+    fn count_equal_width(&self, xs: &[u8], ys: &[u8]) -> u64 {
+        assert_eq!(xs.len(), ys.len(), "batmap slices must have equal width");
+        assert_avx2();
+        // SAFETY: AVX2 support just asserted.
+        unsafe { avx2_count_equal_width(xs, ys) }
+    }
+    fn count_wrapped(&self, large: &[u8], small: &[u8]) -> u64 {
+        assert!(!small.is_empty());
+        assert_eq!(
+            large.len() % small.len(),
+            0,
+            "large width {} must be a multiple of small width {}",
+            large.len(),
+            small.len()
+        );
+        assert_avx2();
+        // SAFETY: AVX2 support just asserted.
+        unsafe { avx2_count_wrapped(large, small) }
+    }
+    fn count_equal_width_many(&self, probe: &[u8], candidates: &[&[u8]], out: &mut [u64]) {
+        check_many(probe, candidates, out);
+        assert_avx2();
+        // SAFETY: AVX2 support asserted; widths checked by check_many.
+        unsafe { avx2_count_many(probe, candidates, out) }
+    }
+    fn value_eq(&self, x: u64, y: u64) -> bool {
+        crate::kernel::branchless_eq(x, y)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::kernel::ScalarKernel;
+
+    fn sample(len: usize, seed: u64) -> (Vec<u8>, Vec<u8>) {
+        let mut state = seed | 1;
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state
+        };
+        let gen = |next: &mut dyn FnMut() -> u64| -> Vec<u8> {
+            (0..len)
+                .map(|_| {
+                    let r = next();
+                    if r.is_multiple_of(4) {
+                        0x7F
+                    } else {
+                        ((r >> 8) as u8 % 0x7F) | if r & 1 == 1 { 0x80 } else { 0 }
+                    }
+                })
+                .collect()
+        };
+        (gen(&mut next), gen(&mut next))
+    }
+
+    #[test]
+    fn sse2_matches_scalar_on_ragged_widths() {
+        for len in [0usize, 1, 7, 15, 16, 17, 31, 32, 33, 63, 64, 100, 255, 1024] {
+            let (xs, ys) = sample(len, 0xACE + len as u64);
+            assert_eq!(
+                Sse2Kernel.count_equal_width(&xs, &ys),
+                ScalarKernel.count_equal_width(&xs, &ys),
+                "len {len}"
+            );
+        }
+    }
+
+    #[test]
+    fn avx2_matches_scalar_on_ragged_widths() {
+        if !avx2_available() {
+            eprintln!("skipping: no AVX2 on this CPU");
+            return;
+        }
+        for len in [0usize, 1, 15, 16, 31, 32, 33, 63, 64, 65, 96, 255, 1024] {
+            let (xs, ys) = sample(len, 0xBEE + len as u64);
+            assert_eq!(
+                Avx2Kernel.count_equal_width(&xs, &ys),
+                ScalarKernel.count_equal_width(&xs, &ys),
+                "len {len}"
+            );
+        }
+    }
+
+    #[test]
+    fn wrapped_matches_scalar() {
+        for small_len in [4usize, 12, 20, 48, 100] {
+            let (small, _) = sample(small_len, 3);
+            let (large, _) = sample(small_len * 5, 4);
+            let expect = ScalarKernel.count_wrapped(&large, &small);
+            assert_eq!(Sse2Kernel.count_wrapped(&large, &small), expect);
+            if avx2_available() {
+                assert_eq!(Avx2Kernel.count_wrapped(&large, &small), expect);
+            }
+        }
+    }
+
+    #[test]
+    fn batched_many_matches_pointwise() {
+        let (probe, _) = sample(200, 7);
+        let stores: Vec<Vec<u8>> = (0..11).map(|i| sample(200, 100 + i).0).collect();
+        let cands: Vec<&[u8]> = stores.iter().map(Vec::as_slice).collect();
+        let expect: Vec<u64> = cands
+            .iter()
+            .map(|c| ScalarKernel.count_equal_width(&probe, c))
+            .collect();
+        let mut out = vec![0u64; cands.len()];
+        Sse2Kernel.count_equal_width_many(&probe, &cands, &mut out);
+        assert_eq!(out, expect, "sse2 batched");
+        if avx2_available() {
+            out.fill(0);
+            Avx2Kernel.count_equal_width_many(&probe, &cands, &mut out);
+            assert_eq!(out, expect, "avx2 batched");
+        }
+    }
+
+    #[test]
+    #[should_panic]
+    fn batched_rejects_width_mismatch() {
+        let probe = vec![0x7Fu8; 32];
+        let narrow = vec![0x7Fu8; 16];
+        let mut out = [0u64; 1];
+        Sse2Kernel.count_equal_width_many(&probe, &[&narrow], &mut out);
+    }
+}

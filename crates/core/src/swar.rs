@@ -18,7 +18,11 @@
 //!
 //! We provide the faithful u32 kernel, a u64 widening (used by the CPU
 //! pipeline; benchmarked in `benches/swar.rs`), and a byte-at-a-time
-//! scalar reference that the property tests compare against.
+//! scalar reference that the property tests compare against. The true
+//! 16/32-lane SIMD formulations live in `crate::simd` (`x86_64` only);
+//! they reuse [`match_count_slices`] as the shared tail path for widths
+//! that are not register multiples, so every wide backend degrades
+//! through the same u64-then-scalar edge handling.
 
 /// Per-lane indicator-bit mask, 4 lanes.
 const HI32: u32 = 0x8080_8080;

@@ -7,6 +7,7 @@
 
 use crate::preprocess::Preprocessed;
 use crate::schedule::Tile;
+use batmap::intersect;
 use batmap::KernelBackend;
 use rayon::prelude::*;
 
@@ -22,10 +23,8 @@ pub fn run_tile_cpu(pre: &Preprocessed, tile: &Tile) -> Vec<u64> {
         .enumerate()
         .for_each(|(r, row_out)| {
             let a = &pre.batmaps[tile.row_base + r];
-            for (c, out) in row_out.iter_mut().enumerate() {
-                let b = &pre.batmaps[tile.col_base + c];
-                *out = a.intersect_count(b);
-            }
+            let cols = &pre.batmaps[tile.col_base..tile.col_base + tile.cols];
+            intersect::count_one_vs_many_into(a, cols, row_out);
         });
     counts
 }
@@ -44,16 +43,20 @@ fn first_useful_col(tile: &Tile, r: usize) -> usize {
 }
 
 /// One row of tile counts, written into `row_out` (length `tile.cols`).
+///
+/// Routes through the batched one-vs-many driver
+/// ([`intersect::count_one_vs_many_into`]): the backend is dispatched
+/// once for the whole row and the row batmap's words stay hot in
+/// registers/L1 while the candidate block is swept.
 #[inline]
 fn fill_row(pre: &Preprocessed, tile: &Tile, r: usize, row_out: &mut [u64]) {
     let a = &pre.batmaps[tile.row_base + r];
-    for (c, out) in row_out
-        .iter_mut()
-        .enumerate()
-        .skip(first_useful_col(tile, r))
-    {
-        *out = a.intersect_count(&pre.batmaps[tile.col_base + c]);
+    let first = first_useful_col(tile, r);
+    if first >= tile.cols {
+        return; // last row of a diagonal tile reports nothing
     }
+    let cols = &pre.batmaps[tile.col_base + first..tile.col_base + tile.cols];
+    intersect::count_one_vs_many_into(a, cols, &mut row_out[first..]);
 }
 
 /// Strictly sequential tile counts (no worker threads): row-major
@@ -117,8 +120,10 @@ pub fn swar_throughput_with(backend: KernelBackend, words: usize, reps: usize) -
         .collect();
     let kernel = backend.kernel();
     let threads = rayon::current_num_threads();
-    // Per-thread chunk, kept word-aligned for the widest kernel.
-    let chunk = (a.len().div_ceil(threads)).next_multiple_of(8);
+    // Per-thread chunk, kept register-aligned for the widest kernel
+    // (32-byte AVX2 lanes) so no chunk boundary pushes bytes through
+    // the tail path inside the timed loop.
+    let chunk = (a.len().div_ceil(threads)).next_multiple_of(32);
     let t0 = std::time::Instant::now();
     let mut total = 0u64;
     for _ in 0..reps {

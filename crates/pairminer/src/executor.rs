@@ -27,6 +27,14 @@
 //! exactly once, and on a diagonal tile only the strict-upper-triangle
 //! cells carry meaningful counts (the rest are unspecified — the CPU
 //! executors leave them zero, the GPU executor computes them).
+//!
+//! Both CPU tile runners (`pairminer::cpu`) feed each tile row through
+//! the batched one-vs-many intersection driver
+//! (`batmap::intersect::count_one_vs_many_into`): the match-count
+//! backend is dispatched once per row, the row's batmap stays hot in
+//! registers/L1 across the column block, and equal-width column runs
+//! (common — preprocessing sorts batmaps by width) take the kernels'
+//! register-blocked sweep.
 
 use crate::cpu;
 use crate::gpu::{self, DeviceData};

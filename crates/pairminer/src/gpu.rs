@@ -372,6 +372,51 @@ mod tests {
     }
 
     #[test]
+    fn simulated_cost_scales_with_kernel_lane_width() {
+        // The simulator charges each backend its own amortized ops per
+        // staged word, so a wider backend must never simulate slower on
+        // identical data. Counts must be identical regardless.
+        use crate::preprocess::preprocess_with_kernel;
+        use batmap::KernelBackend;
+        let db = TransactionDb::new(
+            16,
+            (0..600usize)
+                .map(|t| {
+                    (0..16)
+                        .filter(|&i| (t + i as usize).is_multiple_of(3))
+                        .collect()
+                })
+                .collect(),
+        );
+        let v = VerticalDb::from_horizontal(&db);
+        let device = DeviceSpec::gtx285();
+        let mut prev: Option<(f64, Vec<u64>)> = None;
+        for backend in [
+            KernelBackend::SwarU32,
+            KernelBackend::Sse2,
+            KernelBackend::Avx2,
+        ] {
+            if !backend.is_available() {
+                continue;
+            }
+            let pre = preprocess_with_kernel(&v, 7, 128, backend);
+            let data = DeviceData::upload(&pre);
+            let tile = crate::schedule::schedule(pre.padded_items(), 16)[0];
+            let result = run_tile(&device, &data, tile);
+            let secs = result.report.seconds();
+            if let Some((prev_secs, prev_counts)) = &prev {
+                assert!(
+                    secs <= *prev_secs,
+                    "wider backend {} simulated slower: {secs} > {prev_secs}",
+                    backend.name()
+                );
+                assert_eq!(&result.counts, prev_counts, "backend {}", backend.name());
+            }
+            prev = Some((secs, result.counts));
+        }
+    }
+
+    #[test]
     fn transfer_time_positive() {
         let (_, pre) = fixture(16, 100, 4);
         let data = DeviceData::upload(&pre);

@@ -1,0 +1,202 @@
+//! Property tests pinning the true SIMD match kernels (SSE2/AVX2) and
+//! the batched one-vs-many driver to the scalar reference, plus unit
+//! tests of the `Auto`/`BATMAP_KERNEL` resolution policy.
+//!
+//! On hardware without a backend (e.g. no AVX2) the corresponding
+//! assertions skip: `available_backends()` simply does not yield it,
+//! which is exactly the graceful degradation the CI kernel matrix
+//! relies on.
+
+use batmap::kernel::ScalarKernel;
+use batmap::{available_backends, intersect, Batmap, BatmapParams, KernelBackend, MatchKernel};
+use proptest::collection::btree_set;
+use proptest::prelude::*;
+use std::sync::Arc;
+
+const M: u64 = 30_000;
+
+/// SIMD-capable backends only (lanes wider than one register byte
+/// stream): the subject of this file. Empty off-x86_64.
+fn simd_backends() -> Vec<KernelBackend> {
+    available_backends()
+        .filter(|b| matches!(b, KernelBackend::Sse2 | KernelBackend::Avx2))
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// SSE2/AVX2 `count_equal_width` equals the scalar reference for
+    /// arbitrary widths — including ragged tails shorter than one
+    /// 16/32-byte register and widths straddling register boundaries.
+    #[test]
+    fn simd_equal_width_matches_scalar(
+        bytes in proptest::collection::vec((any::<u8>(), any::<u8>()), 0..200),
+    ) {
+        let xs: Vec<u8> = bytes.iter().map(|(x, _)| *x).collect();
+        let ys: Vec<u8> = bytes.iter().map(|(_, y)| *y).collect();
+        let expect = ScalarKernel.count_equal_width(&xs, &ys);
+        for backend in simd_backends() {
+            prop_assert_eq!(
+                backend.kernel().count_equal_width(&xs, &ys),
+                expect,
+                "backend {}, width {}", backend, xs.len()
+            );
+        }
+    }
+
+    /// SSE2/AVX2 `count_wrapped` equals the scalar reference on the §II
+    /// small-vs-large chunk layout — small widths below one register
+    /// included, so the wrapped loop exercises pure-tail chunks.
+    #[test]
+    fn simd_wrapped_matches_scalar(
+        small in proptest::collection::vec(any::<u8>(), 1..48),
+        factor in 1usize..6,
+        seed in any::<u64>(),
+    ) {
+        // Derive the large array deterministically from the seed so the
+        // chunks differ from each other.
+        let mut state = seed | 1;
+        let large: Vec<u8> = (0..small.len() * factor)
+            .map(|_| {
+                state ^= state << 13;
+                state ^= state >> 7;
+                state ^= state << 17;
+                state as u8
+            })
+            .collect();
+        let expect = ScalarKernel.count_wrapped(&large, &small);
+        for backend in simd_backends() {
+            prop_assert_eq!(
+                backend.kernel().count_wrapped(&large, &small),
+                expect,
+                "backend {}, small {}, factor {}", backend, small.len(), factor
+            );
+        }
+    }
+
+    /// The batched `count_equal_width_many` kernel primitive equals the
+    /// per-candidate loop for arbitrary widths and candidate counts
+    /// (ragged blocks smaller than the accumulator width included).
+    #[test]
+    fn simd_batched_many_matches_scalar(
+        probe in proptest::collection::vec(any::<u8>(), 0..150),
+        n_candidates in 0usize..11,
+        seed in any::<u64>(),
+    ) {
+        let mut state = seed | 1;
+        let stores: Vec<Vec<u8>> = (0..n_candidates)
+            .map(|_| {
+                (0..probe.len())
+                    .map(|_| {
+                        state ^= state << 13;
+                        state ^= state >> 7;
+                        state ^= state << 17;
+                        state as u8
+                    })
+                    .collect()
+            })
+            .collect();
+        let cands: Vec<&[u8]> = stores.iter().map(Vec::as_slice).collect();
+        let mut expect = vec![0u64; cands.len()];
+        ScalarKernel.count_equal_width_many(&probe, &cands, &mut expect);
+        for backend in simd_backends() {
+            let mut out = vec![0u64; cands.len()];
+            backend.kernel().count_equal_width_many(&probe, &cands, &mut out);
+            prop_assert_eq!(
+                &out, &expect,
+                "backend {}, width {}, candidates {}", backend, probe.len(), n_candidates
+            );
+        }
+    }
+
+    /// End to end: the batched one-vs-many driver returns exactly the
+    /// pointwise intersection counts for arbitrary batmap sets with
+    /// mixed widths (blocked equal-width path and pairwise fallback in
+    /// one batch), under every available backend.
+    #[test]
+    fn one_vs_many_driver_matches_pointwise(
+        probe in btree_set(0u32..M as u32, 1..500),
+        sets in proptest::collection::vec(btree_set(0u32..M as u32, 0..500), 0..8),
+        seed in 0u64..200,
+    ) {
+        let params = Arc::new(BatmapParams::new(M, seed));
+        let probe_v: Vec<u32> = probe.iter().copied().collect();
+        let bp = Batmap::build_sorted(params.clone(), &probe_v).batmap;
+        prop_assume!(bp.len() == probe_v.len());
+        let many: Vec<Batmap> = sets
+            .iter()
+            .map(|s| {
+                let v: Vec<u32> = s.iter().copied().collect();
+                Batmap::build_sorted(params.clone(), &v).batmap
+            })
+            .collect();
+        prop_assume!(many.iter().zip(&sets).all(|(m, s)| m.len() == s.len()));
+        let expect: Vec<u64> = sets
+            .iter()
+            .map(|s| probe.intersection(s).count() as u64)
+            .collect();
+        for backend in available_backends() {
+            let mut out = vec![0u64; many.len()];
+            intersect::count_one_vs_many_with(backend, &bp, &many, &mut out);
+            prop_assert_eq!(&out, &expect, "backend {}", backend);
+        }
+        // And the params-driven entry point (what the tile executors
+        // and examples call).
+        prop_assert_eq!(intersect::count_one_vs_many(&bp, &many), expect);
+    }
+}
+
+#[test]
+fn auto_resolution_under_forced_overrides() {
+    let widest = KernelBackend::widest_available();
+    assert!(widest.is_available());
+    // Absent/auto overrides resolve to the widest available backend.
+    assert_eq!(KernelBackend::resolve_override(None), widest);
+    assert_eq!(KernelBackend::resolve_override(Some("auto")), widest);
+    assert_eq!(KernelBackend::resolve_override(Some("  AUTO ")), widest);
+    // Each forced concrete override resolves to itself when the CPU
+    // supports it and downgrades to the widest available when not —
+    // never to something unavailable, never to Auto.
+    for (name, backend) in [
+        ("scalar", KernelBackend::Scalar),
+        ("swar32", KernelBackend::SwarU32),
+        ("swar64", KernelBackend::SwarU64),
+        ("sse2", KernelBackend::Sse2),
+        ("avx2", KernelBackend::Avx2),
+    ] {
+        let resolved = KernelBackend::resolve_override(Some(name));
+        assert_ne!(resolved, KernelBackend::Auto);
+        assert!(resolved.is_available(), "{name} -> {resolved}");
+        if backend.is_available() {
+            assert_eq!(resolved, backend, "{name}");
+        } else {
+            assert_eq!(resolved, widest, "{name} must downgrade");
+        }
+    }
+    // Garbage degrades instead of failing (CI matrix safety).
+    assert_eq!(KernelBackend::resolve_override(Some("neon")), widest);
+    // Whatever the ambient BATMAP_KERNEL says, the process-wide Auto
+    // resolution must obey the same policy.
+    let ambient = std::env::var("BATMAP_KERNEL").ok();
+    assert_eq!(
+        KernelBackend::Auto.resolve(),
+        KernelBackend::resolve_override(ambient.as_deref())
+    );
+}
+
+#[test]
+fn simd_backends_report_their_lane_widths() {
+    for backend in simd_backends() {
+        let kernel = backend.kernel();
+        let lanes = kernel.lanes();
+        match backend {
+            KernelBackend::Sse2 => assert_eq!(lanes, 16),
+            KernelBackend::Avx2 => assert_eq!(lanes, 32),
+            _ => unreachable!(),
+        }
+        // The GPU simulator's amortized per-staged-word charge shrinks
+        // with lane width: 32/lanes·4 … i.e. 2 for sse2, 1 for avx2.
+        assert_eq!(kernel.ops_per_staged_word(), (32 / lanes) as u64);
+    }
+}
