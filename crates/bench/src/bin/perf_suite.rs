@@ -22,7 +22,7 @@ use bench::report::{load_dir, regression_failures, DatasetParams, PerfReport};
 use datagen::uniform::{generate, UniformSpec};
 use hpcutil::{scoped_pool, Table};
 use pairminer::cpu::swar_throughput_with;
-use pairminer::{mine, Engine, MinerConfig};
+use pairminer::{mine, Engine, LevelwiseConfig, LevelwiseMiner, MinerConfig};
 use std::path::PathBuf;
 
 struct Args {
@@ -259,10 +259,74 @@ fn mine_scenarios(args: &Args) -> Vec<PerfReport> {
     out
 }
 
+/// The levelwise scenario: frequent itemsets to depth 4 on d-of-(d+1)
+/// multiway batmaps — the §V workload the paper proposes but never
+/// evaluates. The regression-checked metric is candidate supports
+/// counted per second across levels 3..=4 (the positional-sweep work;
+/// the pair stage is gated separately by the `mine_*` scenarios).
+fn levelwise_scenario(args: &Args) -> PerfReport {
+    const DEPTH: usize = 4;
+    let (n_items, total_items, minsup) = if args.quick {
+        (24, 12_000, 16u64)
+    } else {
+        (32, 48_000, 40)
+    };
+    let density = 0.3;
+    let db = generate(&UniformSpec {
+        n_items,
+        density,
+        total_items,
+        seed: args.seed,
+    });
+    let config = LevelwiseConfig {
+        depth: DEPTH,
+        pair: MinerConfig {
+            k: 64,
+            minsup,
+            engine: Engine::Cpu,
+            kernel: args.kernel,
+            threads: args.threads,
+            ..Default::default()
+        },
+        ..Default::default()
+    };
+    let report = LevelwiseMiner::new(config).mine(&db);
+    let work: u64 = report
+        .levels
+        .iter()
+        .filter(|l| l.k > 2)
+        .map(|l| l.candidates as u64)
+        .sum();
+    let wall: f64 = report
+        .levels
+        .iter()
+        .filter(|l| l.k > 2)
+        .map(|l| l.wall_s)
+        .sum();
+    assert!(work > 0, "levelwise scenario generated no candidates");
+    let threads = report.pair_report.as_ref().map_or(1, |r| r.threads);
+    PerfReport::new(
+        "mine_levelwise",
+        args.kernel.resolve().name(),
+        "levelwise",
+        threads,
+        wall,
+        work,
+        DatasetParams {
+            n_items,
+            total_items,
+            density,
+            seed: args.seed,
+            k: 64,
+        },
+    )
+}
+
 fn main() {
     let args = parse_args();
     let (mut reports, mut skipped) = intersect_scenarios(&args);
     reports.extend(mine_scenarios(&args));
+    reports.push(levelwise_scenario(&args));
     let kernel_pinned = args.kernel != KernelBackend::Auto
         || KernelBackend::Auto.resolve() != KernelBackend::widest_available();
     if kernel_pinned {
@@ -278,6 +342,7 @@ fn main() {
             "mine_cpu_serial",
             "mine_cpu_parallel",
             "mine_gpu_sim",
+            "mine_levelwise",
         ] {
             skipped.push(scenario.to_string());
         }

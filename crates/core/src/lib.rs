@@ -51,9 +51,58 @@
 //! * [`uncompressed`] — the abstract `3×r` reference structure.
 //! * [`update`] — in-place insert/remove with automatic growth.
 //! * [`analysis`] — empirical validation of the §II-B bounds.
-//! * [`multiway`] — the §V extensions: d-of-(d+1) batmaps and probe
+//! * [`multiway`] — the §V extensions: d-of-(d+1) batmaps (with the
+//!   batched one-vs-many driver the levelwise miner uses) and probe
 //!   counting.
 //! * [`space`] — space accounting vs the information-theoretic minimum.
+//!
+//! ## Environment overrides
+//!
+//! This is the canonical description of the two runtime knobs every
+//! binary in the workspace honours; README and the figure binaries
+//! point here.
+//!
+//! ### `BATMAP_KERNEL` — match-count backend
+//!
+//! `BATMAP_KERNEL=scalar|swar32|swar64|sse2|avx2` steers what
+//! [`KernelBackend::Auto`] resolves to. Resolution rules
+//! ([`KernelBackend::resolve_override`] is the pure form):
+//!
+//! 1. An explicit backend ([`params::BatmapParams::with_kernel`],
+//!    `MinerConfig::kernel`, `--kernel NAME`) wins; `Auto` consults the
+//!    environment.
+//! 2. `Auto` with no (valid) override resolves to the **widest backend
+//!    available on this CPU**: avx2 where detected, sse2 on any
+//!    x86_64, swar64 elsewhere.
+//! 3. Requesting a backend the CPU lacks (e.g. `avx2` on an AVX2-less
+//!    host) **downgrades** to the widest available one with a one-time
+//!    warning. Counts are backend-independent, so a downgrade only
+//!    changes speed, never results.
+//! 4. An unparseable value is ignored, also with a one-time warning.
+//!
+//! The variable is read once per process and cached.
+//!
+//! ### `BATMAP_THREADS` — host parallelism
+//!
+//! `BATMAP_THREADS=serial|<count>` steers what [`Parallelism::Auto`]
+//! resolves to, for every host-parallel phase (batmap construction,
+//! the parallel tiled CPU mining engine, the levelwise miner's
+//! candidate counting):
+//!
+//! 1. An explicit knob (`Parallelism::Serial` / `Parallelism::Threads`,
+//!    `--threads`, `MinerConfig::threads`) wins; `Auto` consults the
+//!    environment.
+//! 2. `Auto` with no (valid) override follows the **ambient rayon
+//!    pool** — so `hpcutil::scoped_pool(cores, …)` sweeps keep working
+//!    unchanged.
+//! 3. `serial` (or `1`) selects strictly sequential execution; `0` and
+//!    `auto` mean `Auto`; an unparseable value is ignored with a
+//!    one-time warning. The variable is read once per process and
+//!    cached.
+//!
+//! Neither knob ever changes *what* is computed — both are pure
+//! speed/placement choices, which is why they are runtime data rather
+//! than compile-time features.
 
 #![warn(missing_docs)]
 

@@ -142,9 +142,17 @@ pub fn mine(db: &TransactionDb, minsup: u64, max_len: usize) -> Vec<Itemset> {
     results
 }
 
-/// Candidate generation: join `L_k` itemsets sharing a (k−1)-prefix,
-/// then prune candidates with an infrequent k-subset (`L_k` is sorted).
-fn generate_candidates(lk: &[Vec<u32>]) -> Vec<Vec<u32>> {
+/// Candidate generation — the Apriori join: combine `L_k` itemsets
+/// sharing a (k−1)-prefix, then prune candidates with an infrequent
+/// k-subset. `lk` must be sorted (lexicographically, items ascending
+/// within each set); the output is sorted the same way, and candidates
+/// sharing a (k−1)-prefix are consecutive — the grouping the levelwise
+/// batmap miner's batched counting relies on.
+///
+/// Public so engines counting supports differently (e.g.
+/// `pairminer`'s multiway-batmap levelwise miner) reuse exactly this
+/// join and stay cross-checkable against [`mine`].
+pub fn generate_candidates(lk: &[Vec<u32>]) -> Vec<Vec<u32>> {
     let mut out = Vec::new();
     for (a, x) in lk.iter().enumerate() {
         for y in &lk[a + 1..] {
@@ -170,8 +178,9 @@ fn generate_candidates(lk: &[Vec<u32>]) -> Vec<Vec<u32>> {
 
 /// Count candidate supports with one pass over the database, indexing
 /// candidates by their first item to avoid the full subset test per
-/// transaction.
-fn count_candidates(db: &TransactionDb, candidates: &[Vec<u32>]) -> Vec<u64> {
+/// transaction. Public as the exact horizontal-scan oracle the
+/// positional-count engines are property-tested against.
+pub fn count_candidates(db: &TransactionDb, candidates: &[Vec<u32>]) -> Vec<u64> {
     let mut by_first: FxHashMap<u32, Vec<usize>> = FxHashMap::default();
     for (idx, c) in candidates.iter().enumerate() {
         by_first.entry(c[0]).or_default().push(idx);

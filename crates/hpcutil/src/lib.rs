@@ -13,6 +13,8 @@
 //! * [`stats`] — summary statistics and throughput unit helpers,
 //! * [`table`] — aligned text tables for the figure binaries.
 
+#![warn(missing_docs)]
+
 pub mod fxhash;
 pub mod mem;
 pub mod stats;

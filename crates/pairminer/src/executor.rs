@@ -97,24 +97,49 @@ impl TilePlan {
     /// Buckets are never empty unless there are fewer tiles than
     /// workers.
     pub fn balanced_buckets(&self, workers: usize) -> Vec<Vec<Tile>> {
-        let workers = workers.max(1);
-        let mut order: Vec<&Tile> = self.tiles.iter().collect();
-        order.sort_by_key(|t| std::cmp::Reverse((t.comparisons(), t.p, t.q)));
-        let mut buckets: Vec<(usize, Vec<Tile>)> = vec![(0, Vec::new()); workers];
-        for tile in order {
-            let lightest = buckets
-                .iter_mut()
-                .min_by_key(|(load, _)| *load)
-                .expect("workers >= 1");
-            lightest.0 += tile.comparisons();
-            lightest.1.push(*tile);
-        }
-        buckets
-            .into_iter()
-            .map(|(_, tiles)| tiles)
-            .filter(|b| !b.is_empty())
-            .collect()
+        balanced_partition(self.tiles.clone(), workers, |t| t.comparisons())
     }
+}
+
+/// Partition `items` into at most `workers` cost-balanced buckets by
+/// the longest-processing-time greedy rule: heaviest item first (input
+/// order breaks ties, so the result is deterministic), always into the
+/// currently lightest bucket. Buckets are never empty unless there are
+/// fewer items than workers.
+///
+/// This is the work-partitioning rule every parallel phase of the
+/// mining engines shares: [`TilePlan::balanced_buckets`] applies it to
+/// tiles with the comparison-count cost model, and the levelwise
+/// miner's candidate counting (`crate::levelwise`) applies it to
+/// prefix-groups of Apriori candidates.
+pub fn balanced_partition<T>(
+    items: Vec<T>,
+    workers: usize,
+    cost: impl Fn(&T) -> usize,
+) -> Vec<Vec<T>> {
+    let workers = workers.max(1);
+    let mut order: Vec<(usize, usize, T)> = items
+        .into_iter()
+        .enumerate()
+        .map(|(i, t)| (cost(&t), i, t))
+        .collect();
+    // Heaviest first; equal costs keep their input order.
+    order.sort_by(|a, b| b.0.cmp(&a.0).then(a.1.cmp(&b.1)));
+    let mut buckets: Vec<(usize, Vec<T>)> = Vec::with_capacity(workers);
+    buckets.resize_with(workers, || (0, Vec::new()));
+    for (cost, _, item) in order {
+        let lightest = buckets
+            .iter_mut()
+            .min_by_key(|(load, _)| *load)
+            .expect("workers >= 1");
+        lightest.0 += cost;
+        lightest.1.push(item);
+    }
+    buckets
+        .into_iter()
+        .map(|(_, items)| items)
+        .filter(|b| !b.is_empty())
+        .collect()
 }
 
 /// Where tile results land. One consumer per worker thread; the

@@ -1,21 +1,20 @@
-//! Frequent k-itemset mining with multiway batmaps — the §V program
-//! carried out for k = 3.
+//! Frequent triple mining — the levelwise engine pinned to d = 3.
 //!
-//! The paper closes by proposing d-of-(d+1) batmaps so that "itemsets
-//! of size up to d would have at least one position witnessing their
-//! intersection". This module uses exactly that: frequent pairs come
-//! from the ordinary pipeline, candidate triples from the Apriori join
-//! over frequent pairs (a triple can only be frequent if all three of
-//! its pairs are), and each candidate's support is one 3-way positional
-//! count on d = 3 batmaps — no tidlist re-materialization, no
-//! horizontal rescan.
+//! Historically this module carried out the paper's §V d-of-(d+1)
+//! program for k = 3 with its own candidate join and counting loop;
+//! that machinery is now the general [`crate::levelwise`] engine, and
+//! [`mine_triples`] is a thin depth-3 configuration of it kept for the
+//! triple-mining call sites: frequent pairs come from any pair engine,
+//! candidate triples from the Apriori join over them, and each
+//! candidate's support is one 3-way positional count on d = 3 batmaps —
+//! no tidlist re-materialization, no horizontal rescan (except the
+//! exact-merge fallback for items whose multiway insertion failed).
 
-use batmap::{MultiwayBatmap, MultiwayParams};
+use crate::levelwise::{LevelwiseConfig, LevelwiseMiner};
+use crate::miner::MinerConfig;
 use fim::apriori::Itemset;
 use fim::pairs::PairMap;
-use fim::{TransactionDb, VerticalDb};
-use hpcutil::{FxHashMap, FxHashSet};
-use std::sync::Arc;
+use fim::TransactionDb;
 
 /// Result of triple mining.
 #[derive(Debug, Clone)]
@@ -30,115 +29,35 @@ pub struct TripleReport {
 }
 
 /// Mine frequent triples: `frequent_pairs` must be the minsup-filtered
-/// pair supports of `db` (from any engine).
+/// pair supports of `db` (from any engine). Equivalent to running
+/// [`LevelwiseMiner`] at `depth = 3` seeded with the same pairs and
+/// keeping the level-3 results.
 pub fn mine_triples(db: &TransactionDb, frequent_pairs: &PairMap, minsup: u64) -> TripleReport {
-    let candidates = candidate_triples(frequent_pairs);
-    let n_candidates = candidates.len();
-    if candidates.is_empty() {
-        return TripleReport {
-            triples: Vec::new(),
-            candidates: 0,
-            fallback_items: 0,
-        };
-    }
-    // Build d = 3 multiway batmaps only for items that appear in some
-    // candidate.
-    let vertical = VerticalDb::from_horizontal(db);
-    let params = Arc::new(MultiwayParams::new(vertical.m().max(1) as u64, 3, 0x3B47));
-    let items: FxHashSet<u32> = candidates.iter().flat_map(|c| c.iter().copied()).collect();
-    let mut maps: FxHashMap<u32, Option<MultiwayBatmap>> = FxHashMap::default();
-    let mut fallback_items = 0usize;
-    for &item in &items {
-        let built = MultiwayBatmap::build(params.clone(), vertical.tidlist(item));
-        if built.is_none() {
-            fallback_items += 1;
-        }
-        maps.insert(item, built);
-    }
-    let mut triples = Vec::new();
-    for cand in candidates {
-        let [a, b, c] = cand;
-        let support = match (&maps[&a], &maps[&b], &maps[&c]) {
-            (Some(ma), Some(mb), Some(mc)) => MultiwayBatmap::intersect_count(&[ma, mb, mc]),
-            // Rare fallback (a multiway insertion failed): exact 3-way
-            // merge over the tidlists.
-            _ => three_way_merge(
-                vertical.tidlist(a),
-                vertical.tidlist(b),
-                vertical.tidlist(c),
-            ),
-        };
-        if support >= minsup {
-            triples.push(Itemset {
-                items: vec![a, b, c],
-                support,
-            });
-        }
-    }
-    triples.sort_unstable_by(|x, y| x.items.cmp(&y.items));
+    let miner = LevelwiseMiner::new(LevelwiseConfig {
+        depth: 3,
+        pair: MinerConfig {
+            minsup,
+            ..Default::default()
+        },
+        ..Default::default()
+    });
+    let report = miner.mine_from_pairs(db, frequent_pairs);
+    let candidates = report.level(3).map_or(0, |l| l.candidates);
     TripleReport {
-        triples,
-        candidates: n_candidates,
-        fallback_items,
+        triples: report
+            .itemsets
+            .into_iter()
+            .filter(|s| s.items.len() == 3)
+            .collect(),
+        candidates,
+        fallback_items: report.fallback_items,
     }
-}
-
-/// Apriori candidate generation specialized for triples: `{a,b,c}` is a
-/// candidate iff `{a,b}`, `{a,c}`, `{b,c}` are all frequent.
-fn candidate_triples(pairs: &PairMap) -> Vec<[u32; 3]> {
-    // Adjacency of the frequent-pair graph.
-    let mut adj: FxHashMap<u32, Vec<u32>> = FxHashMap::default();
-    for &(i, j) in pairs.keys() {
-        adj.entry(i).or_default().push(j);
-    }
-    for list in adj.values_mut() {
-        list.sort_unstable();
-    }
-    let mut out = Vec::new();
-    for (&a, exts) in &adj {
-        for (idx, &b) in exts.iter().enumerate() {
-            for &c in &exts[idx + 1..] {
-                // a < b < c by construction; check the third edge.
-                if pairs.contains_key(&(b, c)) {
-                    out.push([a, b, c]);
-                }
-            }
-        }
-    }
-    out.sort_unstable();
-    out
-}
-
-/// Exact three-way sorted-merge count (fallback path).
-fn three_way_merge(a: &[u32], b: &[u32], c: &[u32]) -> u64 {
-    let (mut i, mut j, mut k) = (0usize, 0usize, 0usize);
-    let mut count = 0u64;
-    while i < a.len() && j < b.len() && k < c.len() {
-        let (x, y, z) = (a[i], b[j], c[k]);
-        let max = x.max(y).max(z);
-        if x == y && y == z {
-            count += 1;
-            i += 1;
-            j += 1;
-            k += 1;
-        } else {
-            if x < max {
-                i += 1;
-            }
-            if y < max {
-                j += 1;
-            }
-            if z < max {
-                k += 1;
-            }
-        }
-    }
-    count
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::levelwise::LevelwiseReport;
     use crate::{mine, MinerConfig};
     use fim::apriori;
 
@@ -151,18 +70,22 @@ mod tests {
         )
     }
 
+    fn frequent_pairs(d: &TransactionDb, minsup: u64) -> PairMap {
+        mine(
+            d,
+            &MinerConfig {
+                minsup,
+                ..Default::default()
+            },
+        )
+        .pairs
+    }
+
     #[test]
     fn triples_match_apriori_level3() {
         let d = db();
         for minsup in [20u64, 60, 120] {
-            let pairs = mine(
-                &d,
-                &MinerConfig {
-                    minsup,
-                    ..Default::default()
-                },
-            )
-            .pairs;
+            let pairs = frequent_pairs(&d, minsup);
             let got = mine_triples(&d, &pairs, minsup);
             let mut expect: Vec<Itemset> = apriori::mine(&d, minsup, 3)
                 .into_iter()
@@ -174,31 +97,41 @@ mod tests {
     }
 
     #[test]
+    fn matches_levelwise_depth3_exactly() {
+        let d = db();
+        for minsup in [20u64, 60] {
+            let pairs = frequent_pairs(&d, minsup);
+            let triples = mine_triples(&d, &pairs, minsup);
+            let levelwise: LevelwiseReport = LevelwiseMiner::new(LevelwiseConfig {
+                depth: 3,
+                pair: MinerConfig {
+                    minsup,
+                    ..Default::default()
+                },
+                ..Default::default()
+            })
+            .mine_from_pairs(&d, &pairs);
+            let expect: Vec<Itemset> = levelwise
+                .itemsets
+                .iter()
+                .filter(|s| s.items.len() == 3)
+                .cloned()
+                .collect();
+            assert_eq!(triples.triples, expect, "minsup={minsup}");
+            assert_eq!(
+                triples.candidates,
+                levelwise.level(3).unwrap().candidates,
+                "minsup={minsup}"
+            );
+        }
+    }
+
+    #[test]
     fn no_frequent_pairs_no_triples() {
         let d = db();
         let report = mine_triples(&d, &PairMap::default(), 1);
         assert!(report.triples.is_empty());
         assert_eq!(report.candidates, 0);
-    }
-
-    #[test]
-    fn candidate_join_requires_all_three_edges() {
-        let mut pairs = PairMap::default();
-        pairs.insert((0, 1), 10);
-        pairs.insert((0, 2), 10);
-        // Missing (1,2): no candidate.
-        assert!(candidate_triples(&pairs).is_empty());
-        pairs.insert((1, 2), 10);
-        assert_eq!(candidate_triples(&pairs), vec![[0, 1, 2]]);
-    }
-
-    #[test]
-    fn three_way_merge_exact() {
-        let a: Vec<u32> = (0..300).map(|i| i * 2).collect();
-        let b: Vec<u32> = (0..200).map(|i| i * 3).collect();
-        let c: Vec<u32> = (0..120).map(|i| i * 5).collect();
-        // Multiples of 30 below min(600, 600, 600).
-        assert_eq!(three_way_merge(&a, &b, &c), 20);
-        assert_eq!(three_way_merge(&a, &[], &c), 0);
+        assert_eq!(report.fallback_items, 0, "no multiway maps built");
     }
 }

@@ -27,6 +27,7 @@ pub mod executor;
 pub mod failed;
 pub mod gpu;
 pub mod kitemsets;
+pub mod levelwise;
 pub mod memory;
 pub mod miner;
 pub mod preprocess;
@@ -34,10 +35,11 @@ pub mod schedule;
 
 pub use batmap::Parallelism;
 pub use executor::{
-    ExecReport, GpuSimExecutor, ParallelCpuExecutor, SerialCpuExecutor, TileConsumer, TileExecutor,
-    TilePlan,
+    balanced_partition, ExecReport, GpuSimExecutor, ParallelCpuExecutor, SerialCpuExecutor,
+    TileConsumer, TileExecutor, TilePlan,
 };
 pub use kitemsets::{mine_triples, TripleReport};
+pub use levelwise::{LevelReport, LevelwiseConfig, LevelwiseMiner, LevelwiseReport};
 pub use memory::MemoryReport;
 pub use miner::{mine, Engine, MinerConfig, MiningReport, Timings};
 pub use preprocess::{

@@ -32,3 +32,10 @@ pub use fim;
 pub use gpu_sim;
 pub use hpcutil;
 pub use pairminer;
+
+/// Registers every fenced Rust block of the repository README as a
+/// doctest, so `cargo test --doc` fails when a README example rots.
+/// The struct itself compiles away outside doctest builds.
+#[doc = include_str!("../README.md")]
+#[cfg(doctest)]
+pub struct ReadmeDoctests;

@@ -1,0 +1,131 @@
+//! Property-based tests of the levelwise k-itemset engine: random
+//! databases, every depth up to 5, two independent oracles (levelwise
+//! Apriori and FP-Growth), and the forced-fallback failure path.
+
+use fim::apriori::{self, Itemset};
+use fim::{fpgrowth, TransactionDb};
+use pairminer::{
+    mine, mine_triples, Engine, LevelwiseConfig, LevelwiseMiner, MinerConfig, Parallelism,
+};
+use proptest::collection::vec;
+use proptest::prelude::*;
+
+fn arb_db() -> impl Strategy<Value = TransactionDb> {
+    // Up to 50 transactions over up to 16 items, wide enough for
+    // frequent itemsets beyond pairs to appear regularly.
+    (3u32..16, 1usize..50).prop_flat_map(|(n, m)| {
+        vec(vec(0u32..n, 0..(n as usize).min(10)), m).prop_map(move |ts| TransactionDb::new(n, ts))
+    })
+}
+
+fn levelwise_config(depth: usize, minsup: u64) -> LevelwiseConfig {
+    LevelwiseConfig {
+        depth,
+        pair: MinerConfig {
+            minsup,
+            engine: Engine::Cpu,
+            ..Default::default()
+        },
+        ..Default::default()
+    }
+}
+
+/// Canonical ordering shared by engine output and oracles.
+fn canonical(mut sets: Vec<Itemset>) -> Vec<Itemset> {
+    sets.sort_unstable_by(|a, b| (a.items.len(), &a.items).cmp(&(b.items.len(), &b.items)));
+    sets
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(40))]
+
+    /// The levelwise batmap engine equals the Apriori oracle for every
+    /// depth up to 5 and arbitrary minsup.
+    #[test]
+    fn levelwise_matches_apriori_oracle(
+        db in arb_db(),
+        minsup in 1u64..6,
+        depth in 2usize..6,
+    ) {
+        let report = LevelwiseMiner::new(levelwise_config(depth, minsup)).mine(&db);
+        let expect = canonical(apriori::mine(&db, minsup, depth));
+        prop_assert_eq!(report.itemsets, expect);
+    }
+
+    /// …and equals FP-Growth, a structurally unrelated second oracle.
+    #[test]
+    fn levelwise_matches_fpgrowth(db in arb_db(), minsup in 1u64..6, depth in 3usize..6) {
+        let report = LevelwiseMiner::new(levelwise_config(depth, minsup)).mine(&db);
+        let expect = canonical(
+            fpgrowth::mine(&db, minsup, depth)
+                .into_iter()
+                .filter(|s| s.items.len() >= 2)
+                .collect(),
+        );
+        prop_assert_eq!(report.itemsets, expect);
+    }
+
+    /// The forced-fallback path (multiway builds failing at MaxLoop 1
+    /// with no range growth) is exact too, at every depth.
+    #[test]
+    fn forced_fallback_is_exact(db in arb_db(), minsup in 1u64..4, depth in 3usize..6) {
+        let mut config = levelwise_config(depth, minsup);
+        config.multiway_max_loop = 1;
+        config.growth_doublings = 0;
+        let report = LevelwiseMiner::new(config).mine(&db);
+        let expect = canonical(apriori::mine(&db, minsup, depth));
+        prop_assert_eq!(report.itemsets, expect);
+    }
+
+    /// Depth 3 through the `kitemsets` façade equals the general
+    /// engine's level 3 and the Apriori oracle's triples.
+    #[test]
+    fn triples_equal_levelwise_depth3(db in arb_db(), minsup in 1u64..5) {
+        let pairs = mine(&db, &MinerConfig { minsup, ..Default::default() }).pairs;
+        let triples = mine_triples(&db, &pairs, minsup);
+        let expect: Vec<Itemset> = canonical(apriori::mine(&db, minsup, 3))
+            .into_iter()
+            .filter(|s| s.items.len() == 3)
+            .collect();
+        prop_assert_eq!(&triples.triples, &expect);
+        let report = LevelwiseMiner::new(levelwise_config(3, minsup)).mine_from_pairs(&db, &pairs);
+        let from_engine: Vec<Itemset> = report
+            .itemsets
+            .into_iter()
+            .filter(|s| s.items.len() == 3)
+            .collect();
+        prop_assert_eq!(triples.triples, from_engine);
+    }
+
+    /// Thread counts never change results (the LPT candidate
+    /// partitioning is a pure work split).
+    #[test]
+    fn parallel_counting_matches_serial(db in arb_db(), threads in 2usize..6) {
+        let mut serial_config = levelwise_config(4, 2);
+        serial_config.pair.threads = Parallelism::Serial;
+        let serial = LevelwiseMiner::new(serial_config).mine(&db);
+        let mut parallel_config = levelwise_config(4, 2);
+        parallel_config.pair.threads = Parallelism::threads(threads);
+        let parallel = LevelwiseMiner::new(parallel_config).mine(&db);
+        prop_assert_eq!(serial.itemsets, parallel.itemsets);
+    }
+
+    /// Structural invariants of the report: one level per k, per-level
+    /// tallies consistent, empty levels present.
+    #[test]
+    fn level_reports_are_complete(db in arb_db(), minsup in 1u64..8, depth in 2usize..6) {
+        let report = LevelwiseMiner::new(levelwise_config(depth, minsup)).mine(&db);
+        prop_assert_eq!(report.levels.len(), depth - 1);
+        for (i, level) in report.levels.iter().enumerate() {
+            prop_assert_eq!(level.k, i + 2);
+            prop_assert!(level.frequent <= level.candidates);
+            prop_assert_eq!(
+                level.frequent,
+                report.itemsets.iter().filter(|s| s.items.len() == level.k).count()
+            );
+            if level.k > 2 {
+                prop_assert_eq!(level.batched + level.fallback, level.candidates);
+            }
+        }
+    }
+}
