@@ -17,13 +17,48 @@
 //! on a runner without AVX2) are skipped, and their baselines are
 //! excluded from the check rather than reported as vanished.
 
-use batmap::{intersect, KernelBackend, Parallelism, ALL_BACKENDS};
+use batmap::{intersect, ArenaBuilder, KernelBackend, Parallelism, ALL_BACKENDS};
 use bench::report::{load_dir, regression_failures, DatasetParams, PerfReport};
 use datagen::uniform::{generate, UniformSpec};
+use fim::VerticalDb;
 use hpcutil::{scoped_pool, Table};
 use pairminer::cpu::swar_throughput_with;
-use pairminer::{mine, Engine, LevelwiseConfig, LevelwiseMiner, MinerConfig};
+use pairminer::{
+    mine, preprocess_with_options, Engine, LevelwiseConfig, LevelwiseMiner, MinerConfig,
+};
+use rayon::prelude::*;
+use std::alloc::{GlobalAlloc, Layout, System};
 use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Counting wrapper around the system allocator: the `preprocess_arena`
+/// scenario reports heap-allocation counts alongside throughput, so the
+/// bench report shows the arena build doing measurably fewer
+/// allocations than the per-box baseline (one `Box<[u8]>` per set plus
+/// per-set scratch), not just equal-or-better speed.
+struct CountingAlloc;
+
+static ALLOC_COUNT: AtomicU64 = AtomicU64::new(0);
+
+// SAFETY: delegates every operation to `System` unchanged; the counter
+// update has no effect on allocation behaviour.
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOC_COUNT.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.alloc(layout) }
+    }
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAlloc = CountingAlloc;
+
+/// Heap allocations observed so far (monotone counter).
+fn allocs() -> u64 {
+    ALLOC_COUNT.load(Ordering::Relaxed)
+}
 
 struct Args {
     out: PathBuf,
@@ -165,6 +200,174 @@ fn one_vs_many_scenario(args: &Args) -> PerfReport {
             n_items: CANDIDATES as u32,
             total_items: bench::ONE_VS_MANY_SET,
             density: 0.0,
+            seed: args.seed,
+            k: 0,
+        },
+    )
+}
+
+/// The batched one-vs-many driver over **arena-backed views** — the
+/// exact shape of the mining tile executors' row loop since the storage
+/// refactor (zero-copy `BatmapRef` operands out of one contiguous
+/// buffer). Gated separately from `intersect_one_vs_many` so a
+/// regression in the view path cannot hide behind the owned path.
+fn intersect_arena_scenario(args: &Args) -> PerfReport {
+    const CANDIDATES: usize = 64;
+    let reps = if args.quick { 40 } else { 200 };
+    let (probe, many) = bench::one_vs_many_fixture(CANDIDATES, args.seed, args.kernel);
+    let mut builder = ArenaBuilder::new(probe.params().clone());
+    builder.push(&probe);
+    for b in &many {
+        builder.push(b);
+    }
+    let arena = builder.finish();
+    let probe_view = arena.get(0);
+    let views = arena.views(1..arena.len());
+    let mut out = vec![0u64; views.len()];
+    let t0 = std::time::Instant::now();
+    for _ in 0..reps {
+        intersect::count_one_vs_many_into(&probe_view, &views, &mut out);
+    }
+    let wall = t0.elapsed().as_secs_f64();
+    std::hint::black_box(&out);
+    PerfReport::new(
+        "intersect_arena",
+        args.kernel.resolve().name(),
+        "batched-1vN-arena",
+        1,
+        wall,
+        (CANDIDATES * reps) as u64,
+        DatasetParams {
+            n_items: CANDIDATES as u32,
+            total_items: bench::ONE_VS_MANY_SET,
+            density: 0.0,
+            seed: args.seed,
+            k: 0,
+        },
+    )
+}
+
+/// Preprocessing throughput: sets/s built **into the arena** (the
+/// shipped two-pass in-place path) vs the pre-refactor per-box baseline
+/// (one owned `Batmap` per item, then a width sort). Reports the arena
+/// number as the gated scenario and prints the comparison — including
+/// heap-allocation counts per run, where the arena path must be
+/// strictly leaner — so the bench report documents both halves of the
+/// storage claim (fewer allocations, no lost throughput).
+fn preprocess_arena_scenario(args: &Args) -> PerfReport {
+    let (n_items, total_items) = if args.quick {
+        (256u32, 12_000usize)
+    } else {
+        (512, 60_000)
+    };
+    let density = 0.05;
+    let reps = if args.quick { 5 } else { 8 };
+    let db = generate(&UniformSpec {
+        n_items,
+        density,
+        total_items,
+        seed: args.seed,
+    });
+    let v = VerticalDb::from_horizontal(&db);
+
+    let run_arena = || {
+        let pre = preprocess_with_options(&v, args.seed, 128, args.kernel, args.threads);
+        std::hint::black_box(&pre);
+        pre.padded_items()
+    };
+
+    // Per-box baseline: the pre-arena preprocess, faithfully — one
+    // heap-boxed batmap per item built in parallel, positions sorted by
+    // width, stats and failures aggregated, batmaps reordered into
+    // sorted order (no clones, via Option-take), padding pushed. Same
+    // parallelism shape, so the only difference is the storage layer.
+    let params = std::sync::Arc::new(
+        batmap::BatmapParams::with_options(
+            v.m().max(1) as u64,
+            args.seed,
+            128,
+            pairminer::GPU_MIN_SHIFT,
+        )
+        .with_kernel(args.kernel),
+    );
+    let run_boxed = || {
+        let n = v.n_items();
+        let outcomes: Vec<batmap::BuildOutcome> = (0..n)
+            .into_par_iter()
+            .map(|item| batmap::Batmap::build_sorted(params.clone(), v.tidlist(item)))
+            .collect();
+        let mut positions: Vec<u32> = (0..n).collect();
+        positions.sort_by_key(|&i| (outcomes[i as usize].batmap.width_bytes(), i));
+        let mut item_to_sorted = vec![0u32; n as usize];
+        for (s, &item) in positions.iter().enumerate() {
+            item_to_sorted[item as usize] = s as u32;
+        }
+        let mut stats = batmap::InsertStats::default();
+        let mut failed = Vec::new();
+        let mut batmaps = Vec::with_capacity(positions.len().next_multiple_of(pairminer::BLOCK));
+        let mut slots: Vec<Option<batmap::BuildOutcome>> = outcomes.into_iter().map(Some).collect();
+        for (s, &item) in positions.iter().enumerate() {
+            let out = slots[item as usize].take().expect("each item used once");
+            stats.elements += out.stats.elements;
+            stats.moves += out.stats.moves;
+            stats.failures += out.stats.failures;
+            for &tid in &out.failed {
+                failed.push((s as u32, tid));
+            }
+            batmaps.push(out.batmap);
+        }
+        while batmaps.len() % pairminer::BLOCK != 0 {
+            batmaps.push(batmap::Batmap::build_sorted(params.clone(), &[]).batmap);
+        }
+        (batmaps, item_to_sorted, failed, stats)
+    };
+    // Allocation counts first (deterministic), then interleaved timed
+    // reps with best-of-reps on both sides — robust against the noise
+    // of shared CI runners, where a back-to-back block measurement can
+    // swing either comparison by several percent.
+    let a0 = allocs();
+    let sets = run_arena();
+    let arena_allocs = allocs() - a0;
+    let b0 = allocs();
+    std::hint::black_box(run_boxed());
+    let boxed_allocs = allocs() - b0;
+    let mut arena_best = f64::INFINITY;
+    let mut boxed_best = f64::INFINITY;
+    for _ in 0..reps {
+        let t = std::time::Instant::now();
+        std::hint::black_box(run_arena());
+        arena_best = arena_best.min(t.elapsed().as_secs_f64());
+        let t = std::time::Instant::now();
+        std::hint::black_box(run_boxed());
+        boxed_best = boxed_best.min(t.elapsed().as_secs_f64());
+    }
+
+    println!(
+        "preprocess_arena: {:.3e} sets/s into the arena vs {:.3e} sets/s per-box \
+         ({:.2}x); {} vs {} heap allocations per build",
+        sets as f64 / arena_best,
+        sets as f64 / boxed_best,
+        boxed_best / arena_best,
+        arena_allocs,
+        boxed_allocs,
+    );
+    assert!(
+        arena_allocs < boxed_allocs,
+        "arena build must allocate less than the per-box baseline \
+         ({arena_allocs} vs {boxed_allocs})"
+    );
+
+    PerfReport::new(
+        "preprocess_arena",
+        args.kernel.resolve().name(),
+        "arena-build",
+        args.threads.resolve_with(rayon::current_num_threads()),
+        arena_best,
+        sets as u64,
+        DatasetParams {
+            n_items,
+            total_items,
+            density,
             seed: args.seed,
             k: 0,
         },
@@ -325,6 +528,8 @@ fn levelwise_scenario(args: &Args) -> PerfReport {
 fn main() {
     let args = parse_args();
     let (mut reports, mut skipped) = intersect_scenarios(&args);
+    reports.push(intersect_arena_scenario(&args));
+    reports.push(preprocess_arena_scenario(&args));
     reports.extend(mine_scenarios(&args));
     reports.push(levelwise_scenario(&args));
     let kernel_pinned = args.kernel != KernelBackend::Auto
@@ -339,6 +544,7 @@ fn main() {
         // scenarios always measure their own backend and stay gated.
         for scenario in [
             "intersect_one_vs_many",
+            "intersect_arena",
             "mine_cpu_serial",
             "mine_cpu_parallel",
             "mine_gpu_sim",

@@ -1,0 +1,818 @@
+//! Arena-backed batmap storage: one contiguous, word-aligned backing
+//! store for all sets of a corpus, with zero-copy views and versioned
+//! snapshot persistence.
+//!
+//! The paper's layout is pure positional data — `3·r` one-byte slots
+//! per set — so nothing about it requires per-set heap allocations.
+//! [`BatmapArena`] packs every set's slot bytes into a single `u64`
+//! backing buffer (each set's window starts on a 64-byte boundary, the
+//! §III-B slice unit) plus an offset/range/len directory, and hands out
+//! borrowed [`BatmapRef`] views. A view is three words on the stack; it
+//! intersects, decodes, and sweeps exactly like an owned
+//! [`Batmap`] because every hot path is generic over
+//! [`AsSlots`].
+//!
+//! Two ways to build one:
+//!
+//! * [`ArenaBuilder`] — push existing sets (owned or views) one at a
+//!   time; the arena copies their bytes. The convenience path
+//!   ([`crate::BatmapCollection`] uses it).
+//! * [`BatmapArena::with_ranges`] — reserve the full layout up front
+//!   (ranges are deterministic from set sizes, so preprocessing knows
+//!   them before building) and cuckoo-build **in place** through
+//!   [`ArenaStage::set_slices`]. This is the mining pipeline's
+//!   allocation-free bulk path: per-worker bump segments of the final
+//!   buffer, no per-set boxes, no compaction copy.
+//!
+//! On top of the contiguous layout, [`BatmapArena::write_to`] /
+//! [`BatmapArena::read_from`] persist a corpus as a versioned snapshot
+//! with a checked header (magic, version, full universe parameters,
+//! fingerprint, directory bounds, checksum), so a corpus can be built
+//! once and served by later processes without rebuilding. Counts are
+//! kernel-backend-independent, so a snapshot written on an AVX2 host is
+//! served byte-identically by a SWAR-only one; the header records that
+//! invariant explicitly and the loader enforces it.
+
+use crate::batmap::AsSlots;
+use crate::error::SnapshotError;
+use crate::params::{BatmapParams, ParamsHandle, EMPTY_SLOT, TABLES};
+use crate::{intersect, Batmap, BatmapError};
+use hpcutil::MemoryFootprint;
+use serde::{Deserialize, Serialize};
+use std::io::{Read, Write};
+use std::sync::Arc;
+
+/// Every set's window starts on this byte boundary: the 64-byte slice
+/// the §III-B kernel stages through shared memory, and a cache line on
+/// every CPU we target. GPU-shift widths are multiples of 64, so the
+/// mining pipeline wastes no padding at all.
+pub const SET_ALIGN: usize = 64;
+
+/// Magic bytes opening every arena snapshot.
+pub const SNAPSHOT_MAGIC: [u8; 8] = *b"BATMAPAR";
+
+/// Snapshot format version ([`BatmapArena::read_from`] refuses others).
+pub const SNAPSHOT_VERSION: u32 = 1;
+
+/// Directory entry: where one set lives in the backing store.
+#[derive(Debug, Clone, Copy)]
+struct SetDir {
+    /// Byte offset of the set's first slot (multiple of [`SET_ALIGN`]).
+    offset: usize,
+    /// Per-table range `r` (power of two ≥ `r₀`; width is `3·r` bytes).
+    r: u64,
+    /// Stored cardinality.
+    len: usize,
+}
+
+/// All slot bytes of a corpus in one contiguous, word-aligned buffer,
+/// plus the offset/range/len directory. See the module docs.
+#[derive(Debug, Clone)]
+pub struct BatmapArena {
+    params: ParamsHandle,
+    /// Backing store; viewed as bytes (`u64` only for alignment).
+    words: Box<[u64]>,
+    dir: Box<[SetDir]>,
+}
+
+/// A borrowed, zero-copy view of one set inside a [`BatmapArena`].
+///
+/// Three words on the stack; `Copy`. Interoperates with owned
+/// [`Batmap`]s from the same universe through every generic
+/// entry point (the [`AsSlots`] seam).
+#[derive(Debug, Clone, Copy)]
+pub struct BatmapRef<'a> {
+    params: &'a ParamsHandle,
+    r: u64,
+    bytes: &'a [u8],
+    len: usize,
+}
+
+/// View a word buffer as bytes (sound: `u8` has no alignment or
+/// validity requirements, and the length covers exactly the buffer).
+fn words_as_bytes(words: &[u64]) -> &[u8] {
+    // SAFETY: `words` is a live, initialized allocation of
+    // `words.len() * 8` bytes; any byte pattern is a valid `u8`.
+    unsafe { std::slice::from_raw_parts(words.as_ptr().cast::<u8>(), words.len() * 8) }
+}
+
+/// Mutable byte view of a word buffer (same soundness argument).
+fn words_as_bytes_mut(words: &mut [u64]) -> &mut [u8] {
+    // SAFETY: as in `words_as_bytes`, plus exclusive access via `&mut`.
+    unsafe { std::slice::from_raw_parts_mut(words.as_mut_ptr().cast::<u8>(), words.len() * 8) }
+}
+
+/// Number of backing words for `total_bytes` of payload.
+fn words_for(total_bytes: usize) -> usize {
+    total_bytes.div_ceil(8)
+}
+
+impl BatmapArena {
+    /// The shared universe parameters.
+    pub fn params(&self) -> &ParamsHandle {
+        &self.params
+    }
+
+    /// Number of sets stored.
+    pub fn len(&self) -> usize {
+        self.dir.len()
+    }
+
+    /// True when the arena holds no sets.
+    pub fn is_empty(&self) -> bool {
+        self.dir.is_empty()
+    }
+
+    /// Zero-copy view of set `i`.
+    ///
+    /// # Panics
+    /// Panics if `i` is out of bounds.
+    pub fn get(&self, i: usize) -> BatmapRef<'_> {
+        let d = self.dir[i];
+        let width = (TABLES as u64 * d.r) as usize;
+        BatmapRef {
+            params: &self.params,
+            r: d.r,
+            bytes: &words_as_bytes(&self.words)[d.offset..d.offset + width],
+            len: d.len,
+        }
+    }
+
+    /// Views of the sets in `range`, in order (the tile executors
+    /// materialize one such column block per tile).
+    pub fn views(&self, range: std::ops::Range<usize>) -> Vec<BatmapRef<'_>> {
+        range.map(|i| self.get(i)).collect()
+    }
+
+    /// Iterate over all views in index order.
+    pub fn iter(&self) -> impl Iterator<Item = BatmapRef<'_>> {
+        (0..self.len()).map(|i| self.get(i))
+    }
+
+    /// Total slot bytes across all sets (directory widths; excludes
+    /// alignment padding).
+    pub fn slot_bytes_total(&self) -> usize {
+        self.dir
+            .iter()
+            .map(|d| (TABLES as u64 * d.r) as usize)
+            .sum()
+    }
+
+    /// Bytes of the backing store (slot bytes plus alignment padding).
+    pub fn backing_bytes(&self) -> usize {
+        self.words.len() * 8
+    }
+
+    /// Reserve the full arena layout for sets with the given per-table
+    /// ranges, for in-place construction. Alignment-gap bytes are
+    /// initialized to [`EMPTY_SLOT`] (so snapshots are deterministic);
+    /// the set windows themselves start **zeroed, not empty** — `0x00`
+    /// decodes as a live key-0 slot, so every window must be written
+    /// before the arena is used: fill each set through
+    /// [`ArenaStage::set_slices`] (`BatmapBuilder::finish_into`
+    /// overwrites its window entirely) and seal with
+    /// [`ArenaStage::finish`].
+    ///
+    /// # Panics
+    /// Panics if any range is not a power of two ≥ the parameters' `r₀`.
+    pub fn with_ranges(params: ParamsHandle, ranges: &[u64]) -> ArenaStage {
+        let mut dir = Vec::with_capacity(ranges.len());
+        let mut offset = 0usize;
+        for &r in ranges {
+            assert!(
+                r.is_power_of_two() && r >= params.r0(),
+                "range {r} invalid for this universe (r₀ = {})",
+                params.r0()
+            );
+            dir.push(SetDir { offset, r, len: 0 });
+            offset += ((TABLES as u64 * r) as usize).next_multiple_of(SET_ALIGN);
+        }
+        let mut words = vec![0u64; words_for(offset)].into_boxed_slice();
+        // Only the alignment gaps are initialized here (for snapshot
+        // determinism): every set window must be — and in the build
+        // paths is — overwritten wholesale by
+        // `BatmapBuilder::finish_into`, so pre-filling them would be a
+        // redundant memset of the whole corpus. With the GPU shift,
+        // widths are multiples of SET_ALIGN and there are no gaps at
+        // all, so this loop touches nothing.
+        let bytes = words_as_bytes_mut(&mut words);
+        let mut gap_start = 0usize;
+        for d in &dir {
+            bytes[gap_start..d.offset].fill(EMPTY_SLOT);
+            gap_start = d.offset + (TABLES as u64 * d.r) as usize;
+        }
+        bytes[gap_start..].fill(EMPTY_SLOT);
+        ArenaStage {
+            arena: BatmapArena {
+                params,
+                words,
+                dir: dir.into_boxed_slice(),
+            },
+        }
+    }
+
+    /// Persist this arena as a versioned snapshot.
+    ///
+    /// Layout: [`SNAPSHOT_MAGIC`], version (`u32` LE), header length
+    /// (`u32` LE), JSON header (full [`BatmapParams`], fingerprint, set
+    /// count, payload size, checksum, and the kernel-independence
+    /// marker), the directory (three `u64` LE per set), then the raw
+    /// backing bytes. [`BatmapArena::read_from`] checks every field
+    /// before accepting the payload.
+    pub fn write_to<W: Write>(&self, w: &mut W) -> std::io::Result<()> {
+        let payload = words_as_bytes(&self.words);
+        let mut dir_bytes = Vec::with_capacity(self.dir.len() * 24);
+        for d in self.dir.iter() {
+            dir_bytes.extend_from_slice(&(d.offset as u64).to_le_bytes());
+            dir_bytes.extend_from_slice(&d.r.to_le_bytes());
+            dir_bytes.extend_from_slice(&(d.len as u64).to_le_bytes());
+        }
+        let header = SnapshotHeader {
+            params: (*self.params).clone(),
+            fingerprint: self.params.fingerprint(),
+            n_sets: self.dir.len() as u64,
+            payload_bytes: payload.len() as u64,
+            checksum: fnv1a(&dir_bytes, fnv1a(payload, FNV_OFFSET)),
+            counts_kernel_independent: true,
+        };
+        let header_json = serde_json::to_string(&header)
+            .map_err(|e| std::io::Error::other(format!("snapshot header: {e}")))?;
+        w.write_all(&SNAPSHOT_MAGIC)?;
+        w.write_all(&SNAPSHOT_VERSION.to_le_bytes())?;
+        w.write_all(&(header_json.len() as u32).to_le_bytes())?;
+        w.write_all(header_json.as_bytes())?;
+        w.write_all(&dir_bytes)?;
+        w.write_all(payload)?;
+        Ok(())
+    }
+
+    /// Load an arena from a snapshot written by [`BatmapArena::write_to`].
+    ///
+    /// Every header field is checked before the payload is trusted:
+    /// magic and version, parameter self-consistency (the stored
+    /// fingerprint must match one recomputed from the stored
+    /// parameters — a corrupted or spliced header fails here), the
+    /// kernel-independence marker, directory sanity (ranges powers of
+    /// two ≥ `r₀`, aligned non-overlapping monotone offsets, windows in
+    /// bounds, plausible cardinalities), and the payload checksum.
+    pub fn read_from<R: Read>(r: &mut R) -> Result<Self, SnapshotError> {
+        let bad = |what: &str| SnapshotError::Format(what.to_string());
+        let mut magic = [0u8; 8];
+        r.read_exact(&mut magic)?;
+        if magic != SNAPSHOT_MAGIC {
+            return Err(bad("not a batmap arena snapshot (bad magic)"));
+        }
+        let mut u32buf = [0u8; 4];
+        r.read_exact(&mut u32buf)?;
+        let version = u32::from_le_bytes(u32buf);
+        if version != SNAPSHOT_VERSION {
+            return Err(SnapshotError::Format(format!(
+                "unsupported snapshot version {version} (this build reads {SNAPSHOT_VERSION})"
+            )));
+        }
+        r.read_exact(&mut u32buf)?;
+        let header_len = u32::from_le_bytes(u32buf) as usize;
+        if header_len > 1 << 20 {
+            return Err(bad("implausible header length"));
+        }
+        let mut header_bytes = vec![0u8; header_len];
+        r.read_exact(&mut header_bytes)?;
+        let header_json =
+            std::str::from_utf8(&header_bytes).map_err(|_| bad("header is not valid UTF-8"))?;
+        let header: SnapshotHeader = serde_json::from_str(header_json)
+            .map_err(|e| SnapshotError::Format(format!("header does not parse: {e}")))?;
+        if !header.counts_kernel_independent {
+            // The invariant every reader relies on: any match-count
+            // backend may serve this corpus. A writer that ever breaks
+            // it must clear the flag, and we must refuse the file.
+            return Err(bad("snapshot disclaims kernel-independent counts"));
+        }
+        if header.fingerprint != header.params.fingerprint() {
+            return Err(bad(
+                "header fingerprint does not match its own parameters (corrupted header)",
+            ));
+        }
+        let params: ParamsHandle = Arc::new(header.params);
+        let n_sets = usize::try_from(header.n_sets).map_err(|_| bad("set count overflow"))?;
+        let payload_bytes =
+            usize::try_from(header.payload_bytes).map_err(|_| bad("payload size overflow"))?;
+        if payload_bytes % 8 != 0 {
+            return Err(bad("payload not a whole number of words"));
+        }
+        // Size fields come from a header that is parse- and
+        // fingerprint-checked but not yet checksummed against the data,
+        // so never allocate what *it* claims up front: `take`-bounded
+        // reads grow with the bytes the stream actually delivers, and a
+        // lying or corrupted header surfaces as a truncation error
+        // instead of a multi-terabyte allocation request (which would
+        // abort the process rather than return a `SnapshotError`).
+        let dir_len = n_sets
+            .checked_mul(24)
+            .ok_or_else(|| bad("directory overflow"))?;
+        let mut dir_bytes = Vec::new();
+        r.by_ref()
+            .take(dir_len as u64)
+            .read_to_end(&mut dir_bytes)?;
+        if dir_bytes.len() != dir_len {
+            return Err(bad("truncated directory"));
+        }
+        let mut payload = Vec::new();
+        r.by_ref()
+            .take(payload_bytes as u64)
+            .read_to_end(&mut payload)?;
+        if payload.len() != payload_bytes {
+            return Err(bad("truncated payload"));
+        }
+        let mut words = vec![0u64; payload_bytes / 8].into_boxed_slice();
+        words_as_bytes_mut(&mut words).copy_from_slice(&payload);
+        drop(payload);
+        if fnv1a(&dir_bytes, fnv1a(words_as_bytes(&words), FNV_OFFSET)) != header.checksum {
+            return Err(bad("checksum mismatch (corrupted directory or payload)"));
+        }
+        let mut dir = Vec::with_capacity(n_sets);
+        let mut next_free = 0usize;
+        for entry in dir_bytes.chunks_exact(24) {
+            let offset = u64::from_le_bytes(entry[0..8].try_into().unwrap());
+            let r_set = u64::from_le_bytes(entry[8..16].try_into().unwrap());
+            let len = u64::from_le_bytes(entry[16..24].try_into().unwrap());
+            let offset = usize::try_from(offset).map_err(|_| bad("offset overflow"))?;
+            if !r_set.is_power_of_two() || r_set < params.r0() {
+                return Err(bad("directory range not a power of two ≥ r₀"));
+            }
+            let width = (TABLES as u64 * r_set) as usize;
+            if offset % SET_ALIGN != 0 || offset < next_free {
+                return Err(bad("directory offsets unaligned or overlapping"));
+            }
+            if offset
+                .checked_add(width)
+                .is_none_or(|end| end > payload_bytes)
+            {
+                return Err(bad("set window out of payload bounds"));
+            }
+            // Each element occupies 2 of the 3·r slots.
+            if len > (3 * r_set) / 2 {
+                return Err(bad("stored cardinality exceeds slot capacity"));
+            }
+            next_free = offset + width;
+            dir.push(SetDir {
+                offset,
+                r: r_set,
+                len: len as usize,
+            });
+        }
+        Ok(BatmapArena {
+            params,
+            words,
+            dir: dir.into_boxed_slice(),
+        })
+    }
+}
+
+impl MemoryFootprint for BatmapArena {
+    fn heap_bytes(&self) -> usize {
+        self.backing_bytes() + self.dir.len() * std::mem::size_of::<SetDir>()
+    }
+}
+
+/// A [`BatmapArena`] whose layout is fixed but whose slots are still
+/// being filled in place (see [`BatmapArena::with_ranges`]).
+#[derive(Debug)]
+pub struct ArenaStage {
+    arena: BatmapArena,
+}
+
+impl ArenaStage {
+    /// The shared universe parameters.
+    pub fn params(&self) -> &ParamsHandle {
+        &self.arena.params
+    }
+
+    /// Disjoint mutable slot windows, one per set in directory order.
+    /// Hand contiguous runs of these to worker threads: each run is one
+    /// worker's bump segment of the final buffer.
+    pub fn set_slices(&mut self) -> Vec<&mut [u8]> {
+        let dir = &self.arena.dir;
+        let mut rest = words_as_bytes_mut(&mut self.arena.words);
+        let mut consumed = 0usize;
+        let mut out = Vec::with_capacity(dir.len());
+        for d in dir.iter() {
+            let width = (TABLES as u64 * d.r) as usize;
+            let (_, tail) = std::mem::take(&mut rest).split_at_mut(d.offset - consumed);
+            let (set, tail) = tail.split_at_mut(width);
+            out.push(set);
+            consumed = d.offset + width;
+            rest = tail;
+        }
+        out
+    }
+
+    /// Record the stored cardinalities (in directory order) and seal the
+    /// arena.
+    ///
+    /// # Panics
+    /// Panics if `lens.len()` differs from the set count.
+    pub fn finish(mut self, lens: &[usize]) -> BatmapArena {
+        assert_eq!(lens.len(), self.arena.dir.len(), "one length per set");
+        for (d, &len) in self.arena.dir.iter_mut().zip(lens) {
+            d.len = len;
+        }
+        self.arena
+    }
+}
+
+/// Incremental arena construction by copying existing sets (owned
+/// [`Batmap`]s or views from another arena).
+#[derive(Debug)]
+pub struct ArenaBuilder {
+    params: ParamsHandle,
+    bytes: Vec<u8>,
+    dir: Vec<SetDir>,
+}
+
+impl ArenaBuilder {
+    /// Start an empty arena over `params`.
+    pub fn new(params: ParamsHandle) -> Self {
+        ArenaBuilder {
+            params,
+            bytes: Vec::new(),
+            dir: Vec::new(),
+        }
+    }
+
+    /// Append a copy of `set`'s slot bytes; returns its index.
+    ///
+    /// # Panics
+    /// Panics if `set` comes from a different universe.
+    pub fn push(&mut self, set: &impl AsSlots) -> usize {
+        assert_eq!(
+            set.params().fingerprint(),
+            self.params.fingerprint(),
+            "set from a different universe"
+        );
+        let offset = self.bytes.len().next_multiple_of(SET_ALIGN);
+        self.bytes.resize(offset, EMPTY_SLOT);
+        self.bytes.extend_from_slice(set.slot_bytes());
+        self.dir.push(SetDir {
+            offset,
+            r: set.range(),
+            len: set.len(),
+        });
+        self.dir.len() - 1
+    }
+
+    /// Number of sets pushed so far.
+    pub fn len(&self) -> usize {
+        self.dir.len()
+    }
+
+    /// True when nothing has been pushed.
+    pub fn is_empty(&self) -> bool {
+        self.dir.is_empty()
+    }
+
+    /// Seal into an immutable, word-aligned arena.
+    pub fn finish(self) -> BatmapArena {
+        let mut words = vec![0u64; words_for(self.bytes.len())].into_boxed_slice();
+        let buf = words_as_bytes_mut(&mut words);
+        buf[..self.bytes.len()].copy_from_slice(&self.bytes);
+        buf[self.bytes.len()..].fill(EMPTY_SLOT);
+        BatmapArena {
+            params: self.params,
+            words,
+            dir: self.dir.into_boxed_slice(),
+        }
+    }
+}
+
+impl<'a> BatmapRef<'a> {
+    /// The universe parameters this view's corpus shares.
+    pub fn params(&self) -> &'a ParamsHandle {
+        self.params
+    }
+
+    /// Per-table hash range `r`.
+    pub fn range(&self) -> u64 {
+        self.r
+    }
+
+    /// Width of the representation in bytes (`3·r`).
+    pub fn width_bytes(&self) -> usize {
+        self.bytes.len()
+    }
+
+    /// Number of elements stored.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True when the set is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// The raw slot bytes.
+    pub fn as_bytes(&self) -> &'a [u8] {
+        self.bytes
+    }
+
+    /// Exact membership test (see [`AsSlots::contains`]).
+    pub fn contains(&self, x: u32) -> bool {
+        AsSlots::contains(self, x)
+    }
+
+    /// Enumerate the stored elements (see [`AsSlots::elements`]).
+    pub fn elements(&self) -> Vec<u32> {
+        AsSlots::elements(self)
+    }
+
+    /// Copy this view into an owned [`Batmap`] (the escape hatch when a
+    /// set must outlive its arena).
+    pub fn to_batmap(&self) -> Batmap {
+        Batmap::from_raw_parts(self.params.clone(), self.r, self.bytes.into(), self.len)
+    }
+
+    /// `|self ∩ other|` by positional comparison, against any storage.
+    ///
+    /// # Panics
+    /// Panics if the operands come from different universes.
+    pub fn intersect_count(&self, other: &impl AsSlots) -> u64 {
+        self.try_intersect_count(other)
+            .expect("batmaps from different universes")
+    }
+
+    /// Fallible [`BatmapRef::intersect_count`].
+    pub fn try_intersect_count(&self, other: &impl AsSlots) -> Result<u64, BatmapError> {
+        intersect::try_count(self, other)
+    }
+
+    /// [`BatmapRef::intersect_count`] with an explicit match-count
+    /// backend.
+    ///
+    /// # Panics
+    /// Panics if the operands come from different universes.
+    pub fn intersect_count_with(
+        &self,
+        kernel: &dyn crate::kernel::MatchKernel,
+        other: &impl AsSlots,
+    ) -> u64 {
+        assert_eq!(
+            self.params.fingerprint(),
+            other.params().fingerprint(),
+            "batmaps from different universes"
+        );
+        intersect::count_with(kernel, self, other)
+    }
+}
+
+impl AsSlots for BatmapRef<'_> {
+    fn params(&self) -> &ParamsHandle {
+        self.params
+    }
+    fn range(&self) -> u64 {
+        self.r
+    }
+    fn slot_bytes(&self) -> &[u8] {
+        self.bytes
+    }
+    fn len(&self) -> usize {
+        self.len
+    }
+}
+
+/// The checked snapshot header (serialized as JSON inside the binary
+/// envelope so it stays human-inspectable with `strings`/`head`).
+#[derive(Debug, Serialize, Deserialize)]
+struct SnapshotHeader {
+    /// Full universe parameters, including the advisory kernel backend
+    /// and parallelism knobs (neither affects counts).
+    params: BatmapParams,
+    /// `params.fingerprint()` at write time; re-derived and compared on
+    /// load, so a header whose defining scalars were corrupted — or
+    /// spliced from another universe — is rejected before any count can
+    /// silently disagree.
+    fingerprint: u64,
+    /// Number of sets in the directory.
+    n_sets: u64,
+    /// Bytes of backing payload.
+    payload_bytes: u64,
+    /// FNV-1a over payload then directory bytes.
+    checksum: u64,
+    /// The serving invariant: counts do not depend on the match-count
+    /// backend, so any host may serve this corpus with its widest
+    /// available kernel. Always written `true`; readers refuse `false`.
+    counts_kernel_independent: bool,
+}
+
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+
+/// The snapshot envelope's FNV-1a checksum, exposed so wrappers that
+/// embed an arena snapshot (the `pairminer` corpus snapshot) can
+/// protect their own side tables with the same primitive.
+pub fn snapshot_checksum(bytes: &[u8]) -> u64 {
+    fnv1a(bytes, FNV_OFFSET)
+}
+
+/// FNV-1a folded over `bytes`, seeded with `seed` (chain calls to hash
+/// multiple regions).
+fn fnv1a(bytes: &[u8], seed: u64) -> u64 {
+    let mut h = seed;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x100_0000_01b3);
+    }
+    h
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::params::BatmapParams;
+    use crate::Batmap;
+
+    fn params(m: u64) -> ParamsHandle {
+        Arc::new(BatmapParams::new(m, 0xA12E))
+    }
+
+    fn sets() -> Vec<Vec<u32>> {
+        vec![
+            (0..900).map(|i| i * 3 % 20_000).collect(),
+            (0..50).map(|i| i * 11).collect(),
+            vec![],
+            (0..2500).map(|i| i * 7 % 20_000).collect(),
+        ]
+    }
+
+    fn build_arena(p: &ParamsHandle) -> (Vec<Batmap>, BatmapArena) {
+        let owned: Vec<Batmap> = sets()
+            .iter()
+            .map(|s| Batmap::build(p.clone(), s).batmap)
+            .collect();
+        let mut b = ArenaBuilder::new(p.clone());
+        for bm in &owned {
+            b.push(bm);
+        }
+        (owned, b.finish())
+    }
+
+    #[test]
+    fn views_mirror_owned_batmaps() {
+        let p = params(20_000);
+        let (owned, arena) = build_arena(&p);
+        assert_eq!(arena.len(), owned.len());
+        for (i, bm) in owned.iter().enumerate() {
+            let v = arena.get(i);
+            assert_eq!(v.len(), bm.len());
+            assert_eq!(v.range(), bm.range());
+            assert_eq!(v.as_bytes(), bm.as_bytes());
+            let mut ve = v.elements();
+            let mut be = bm.elements();
+            ve.sort_unstable();
+            be.sort_unstable();
+            assert_eq!(ve, be);
+        }
+    }
+
+    #[test]
+    fn views_are_word_aligned_and_counts_agree_both_ways() {
+        let p = params(20_000);
+        let (owned, arena) = build_arena(&p);
+        for i in 0..owned.len() {
+            assert_eq!(arena.get(i).as_bytes().as_ptr() as usize % 8, 0);
+            for (j, bm) in owned.iter().enumerate() {
+                let expect = owned[i].intersect_count(bm);
+                assert_eq!(arena.get(i).intersect_count(&arena.get(j)), expect);
+                // Mixed storage: view vs owned and owned vs view.
+                assert_eq!(arena.get(i).intersect_count(bm), expect);
+                assert_eq!(owned[i].intersect_count(&arena.get(j)), expect);
+            }
+        }
+    }
+
+    #[test]
+    fn views_as_one_vs_many_candidates() {
+        let p = params(20_000);
+        let (owned, arena) = build_arena(&p);
+        let views = arena.views(0..arena.len());
+        let probe = arena.get(3);
+        let counts = intersect::count_one_vs_many(&probe, &views);
+        for (j, bm) in owned.iter().enumerate() {
+            assert_eq!(counts[j], owned[3].intersect_count(bm));
+        }
+    }
+
+    #[test]
+    fn to_batmap_detaches() {
+        let p = params(20_000);
+        let (owned, arena) = build_arena(&p);
+        let detached = arena.get(0).to_batmap();
+        drop(arena);
+        assert_eq!(detached.intersect_count(&owned[0]), owned[0].len() as u64);
+    }
+
+    #[test]
+    fn in_place_stage_matches_builder_path() {
+        let p = params(20_000);
+        let (_, pushed) = build_arena(&p);
+        let ranges: Vec<u64> = sets().iter().map(|s| p.range_for(s.len())).collect();
+        let mut stage = BatmapArena::with_ranges(p.clone(), &ranges);
+        let mut lens = Vec::new();
+        {
+            let slices = stage.set_slices();
+            let mut builder = crate::builder::BatmapBuilder::with_capacity(p.clone(), 0);
+            for (s, out) in sets().iter().zip(slices) {
+                let mut sorted = s.clone();
+                sorted.sort_unstable();
+                sorted.dedup();
+                builder.reset(sorted.len());
+                builder.extend_sorted_dedup(&sorted);
+                let outcome = builder.finish_into(out);
+                assert!(outcome.failed.is_empty());
+                lens.push(outcome.len);
+            }
+        }
+        let staged = stage.finish(&lens);
+        assert_eq!(staged.len(), pushed.len());
+        for i in 0..staged.len() {
+            assert_eq!(staged.get(i).as_bytes(), pushed.get(i).as_bytes());
+            assert_eq!(staged.get(i).len(), pushed.get(i).len());
+        }
+    }
+
+    #[test]
+    fn snapshot_roundtrip_is_exact() {
+        let p = params(20_000);
+        let (owned, arena) = build_arena(&p);
+        let mut buf = Vec::new();
+        arena.write_to(&mut buf).unwrap();
+        let loaded = BatmapArena::read_from(&mut buf.as_slice()).unwrap();
+        assert_eq!(loaded.len(), arena.len());
+        assert_eq!(loaded.params().fingerprint(), arena.params().fingerprint());
+        for i in 0..arena.len() {
+            assert_eq!(loaded.get(i).as_bytes(), arena.get(i).as_bytes());
+            assert_eq!(loaded.get(i).len(), arena.get(i).len());
+            // Loaded views interoperate with the original owned sets.
+            for (j, bm) in owned.iter().enumerate() {
+                assert_eq!(
+                    loaded.get(i).intersect_count(bm),
+                    arena.get(i).intersect_count(&arena.get(j))
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn snapshot_rejects_corruption() {
+        let p = params(20_000);
+        let (_, arena) = build_arena(&p);
+        let mut buf = Vec::new();
+        arena.write_to(&mut buf).unwrap();
+
+        // Bad magic.
+        let mut bad = buf.clone();
+        bad[0] ^= 0xFF;
+        assert!(BatmapArena::read_from(&mut bad.as_slice()).is_err());
+
+        // Bad version.
+        let mut bad = buf.clone();
+        bad[8] = 99;
+        assert!(BatmapArena::read_from(&mut bad.as_slice()).is_err());
+
+        // Corrupted header JSON (flip a byte inside the header region).
+        let mut bad = buf.clone();
+        bad[20] ^= 0x01;
+        assert!(BatmapArena::read_from(&mut bad.as_slice()).is_err());
+
+        // Corrupted payload (checksum catches it).
+        let mut bad = buf.clone();
+        let last = bad.len() - 1;
+        bad[last] ^= 0x40;
+        assert!(BatmapArena::read_from(&mut bad.as_slice()).is_err());
+
+        // Truncation.
+        let bad = &buf[..buf.len() - 16];
+        assert!(BatmapArena::read_from(&mut &bad[..]).is_err());
+
+        // The pristine buffer still loads.
+        assert!(BatmapArena::read_from(&mut buf.as_slice()).is_ok());
+    }
+
+    #[test]
+    fn empty_arena_roundtrips() {
+        let p = params(1_000);
+        let arena = ArenaBuilder::new(p).finish();
+        assert!(arena.is_empty());
+        let mut buf = Vec::new();
+        arena.write_to(&mut buf).unwrap();
+        let loaded = BatmapArena::read_from(&mut buf.as_slice()).unwrap();
+        assert_eq!(loaded.len(), 0);
+    }
+
+    #[test]
+    #[should_panic]
+    fn builder_rejects_foreign_universe() {
+        let a = params(1_000);
+        let b = Arc::new(BatmapParams::new(1_000, 0xFFFF_1234));
+        let bm = Batmap::build(b, &[1, 2, 3]).batmap;
+        ArenaBuilder::new(a).push(&bm);
+    }
+}

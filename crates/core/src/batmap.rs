@@ -7,6 +7,84 @@ use crate::slot;
 use crate::BatmapError;
 use hpcutil::MemoryFootprint;
 
+/// Storage-agnostic view of one batmap: the slot words, the universe
+/// parameters they were built from, and the stored cardinality.
+///
+/// This is the seam that makes the hot paths independent of *where* the
+/// slot bytes live: [`Batmap`] owns its bytes in a private `Box<[u8]>`,
+/// while [`crate::arena::BatmapRef`] borrows a window of a
+/// [`crate::arena::BatmapArena`]'s contiguous backing store. Everything
+/// downstream — [`crate::intersect`], the kernel dispatch, the
+/// [`crate::multiway`] probe sweep, and the `pairminer` tile engines —
+/// is generic over this trait, so owned and arena-backed sets flow
+/// through the same monomorphized loops and produce identical counts.
+///
+/// The provided decode helpers ([`AsSlots::contains`],
+/// [`AsSlots::elements`]) work purely from the accessors, so any
+/// implementor gets exact membership and enumeration for free.
+pub trait AsSlots {
+    /// The universe parameters this set was built from.
+    fn params(&self) -> &ParamsHandle;
+
+    /// Per-table hash range `r` (power of two, ≥ `r₀`).
+    fn range(&self) -> u64;
+
+    /// The raw slot bytes (`3·r` of them, four slots per 32-bit word).
+    fn slot_bytes(&self) -> &[u8];
+
+    /// Number of elements stored.
+    fn len(&self) -> usize;
+
+    /// Width of the representation in bytes (`3·r`, the paper's `|Bᵢ|`).
+    fn width_bytes(&self) -> usize {
+        self.slot_bytes().len()
+    }
+
+    /// True when the set is empty.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Membership test — exact (no false positives): a slot's position
+    /// plus its 7 stored key bits uniquely identify the permuted value,
+    /// and the permuted value uniquely identifies the element.
+    fn contains(&self, x: u32) -> bool {
+        let params = self.params();
+        let r = self.range();
+        let bytes = self.slot_bytes();
+        debug_assert!((x as u64) < params.m());
+        (0..TABLES).any(|t| {
+            let pi = params.perms().apply(t, x as u64);
+            let idx = params.slot_of(t, pi, r);
+            let b = bytes[idx];
+            !slot::is_empty(b) && slot::key(b) == params.key_of(pi)
+        })
+    }
+
+    /// Enumerate the stored elements, in unspecified order.
+    ///
+    /// Exactly one of an element's two copies carries the indicator bit
+    /// (the copy whose sibling is in the *next* table), so scanning for
+    /// set indicator bits yields each element once.
+    fn elements(&self) -> Vec<u32> {
+        let params = self.params();
+        let r = self.range();
+        let mut out = Vec::with_capacity(self.len());
+        for (idx, &b) in self.slot_bytes().iter().enumerate() {
+            if !slot::indicator(b) {
+                continue;
+            }
+            let t = params.table_of_slot(idx);
+            let pi = params
+                .decode_slot(idx, slot::key(b), r)
+                .expect("live slot must decode");
+            out.push(params.perms().invert(t, pi) as u32);
+        }
+        debug_assert_eq!(out.len(), self.len());
+        out
+    }
+}
+
 /// A set of elements from `{0..m-1}` in the paper's compressed 2-of-3
 /// layout: `3·r` one-byte slots, four to a machine word, intersectable
 /// against any other batmap built from the same [`crate::BatmapParams`]
@@ -100,53 +178,30 @@ impl Batmap {
     /// key bits uniquely identify the permuted value, and the permuted
     /// value uniquely identifies the element.
     pub fn contains(&self, x: u32) -> bool {
-        debug_assert!((x as u64) < self.params.m());
-        (0..TABLES).any(|t| {
-            let pi = self.params.perms().apply(t, x as u64);
-            let idx = self.params.slot_of(t, pi, self.r);
-            let b = self.bytes[idx];
-            !slot::is_empty(b) && slot::key(b) == self.params.key_of(pi)
-        })
+        AsSlots::contains(self, x)
     }
 
-    /// Enumerate the stored elements, in unspecified order.
-    ///
-    /// Exactly one of an element's two copies carries the indicator bit
-    /// (the copy whose sibling is in the *next* table), so scanning for
-    /// set indicator bits yields each element once.
+    /// Enumerate the stored elements, in unspecified order (see
+    /// [`AsSlots::elements`]).
     pub fn elements(&self) -> Vec<u32> {
-        let mut out = Vec::with_capacity(self.len);
-        for (idx, &b) in self.bytes.iter().enumerate() {
-            if !slot::indicator(b) {
-                continue;
-            }
-            let t = self.params.table_of_slot(idx);
-            let pi = self
-                .params
-                .decode_slot(idx, slot::key(b), self.r)
-                .expect("live slot must decode");
-            out.push(self.params.perms().invert(t, pi) as u32);
-        }
-        debug_assert_eq!(out.len(), self.len);
-        out
+        AsSlots::elements(self)
     }
 
-    /// `|self ∩ other|` by positional comparison (§II / §III-A).
+    /// `|self ∩ other|` by positional comparison (§II / §III-A), against
+    /// any storage ([`Batmap`] or an arena-backed
+    /// [`crate::arena::BatmapRef`]).
     ///
     /// # Panics
     /// Panics if the two batmaps come from different universes; use
     /// [`Self::try_intersect_count`] for a fallible variant.
-    pub fn intersect_count(&self, other: &Batmap) -> u64 {
+    pub fn intersect_count(&self, other: &impl AsSlots) -> u64 {
         self.try_intersect_count(other)
             .expect("batmaps from different universes")
     }
 
     /// Fallible [`Self::intersect_count`].
-    pub fn try_intersect_count(&self, other: &Batmap) -> Result<u64, BatmapError> {
-        if self.params.fingerprint() != other.params.fingerprint() {
-            return Err(BatmapError::UniverseMismatch);
-        }
-        Ok(intersect::count(self, other))
+    pub fn try_intersect_count(&self, other: &impl AsSlots) -> Result<u64, BatmapError> {
+        intersect::try_count(self, other)
     }
 
     /// [`Self::intersect_count`] with an explicit match-count backend,
@@ -157,11 +212,11 @@ impl Batmap {
     pub fn intersect_count_with(
         &self,
         kernel: &dyn crate::kernel::MatchKernel,
-        other: &Batmap,
+        other: &impl AsSlots,
     ) -> u64 {
         assert_eq!(
             self.params.fingerprint(),
-            other.params.fingerprint(),
+            other.params().fingerprint(),
             "batmaps from different universes"
         );
         intersect::count_with(kernel, self, other)
@@ -192,6 +247,21 @@ impl Batmap {
     pub(crate) fn replace_with(&mut self, other: Batmap) {
         debug_assert_eq!(self.params.fingerprint(), other.params.fingerprint());
         *self = other;
+    }
+}
+
+impl AsSlots for Batmap {
+    fn params(&self) -> &ParamsHandle {
+        &self.params
+    }
+    fn range(&self) -> u64 {
+        self.r
+    }
+    fn slot_bytes(&self) -> &[u8] {
+        &self.bytes
+    }
+    fn len(&self) -> usize {
+        self.len
     }
 }
 

@@ -23,7 +23,8 @@ use crate::Batmap;
 const VACANT: u32 = u32::MAX;
 
 /// Instrumentation counters for the §II-B analysis experiments.
-#[derive(Debug, Clone, Default, PartialEq, Eq)]
+/// Serializable so preprocessed-corpus snapshots can carry them.
+#[derive(Debug, Clone, Default, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
 pub struct InsertStats {
     /// Number of `insert` calls (elements attempted).
     pub elements: u64,
@@ -57,6 +58,20 @@ pub struct BuildOutcome {
     /// §III-C). Empty in the overwhelmingly common case.
     pub failed: Vec<u32>,
     /// Construction statistics.
+    pub stats: InsertStats,
+}
+
+/// Result of materializing a set **in place** into arena-owned storage
+/// ([`BatmapBuilder::finish_into`]): everything a [`BuildOutcome`]
+/// carries except the batmap itself, whose slot bytes now live in the
+/// caller's buffer.
+#[derive(Debug, Clone)]
+pub struct ArenaSetOutcome {
+    /// Number of elements actually placed.
+    pub len: usize,
+    /// Elements that could not be placed (§III-C).
+    pub failed: Vec<u32>,
+    /// Construction statistics for this set.
     pub stats: InsertStats,
 }
 
@@ -202,29 +217,64 @@ impl BatmapBuilder {
         InsertOutcome::Inserted
     }
 
-    /// Materialize the compressed byte representation and finish.
+    /// Re-arm this builder for a fresh set of `expected_size` elements,
+    /// reusing the occupant allocation. The arena preprocessing path
+    /// keeps one builder per worker and resets it per set, so the only
+    /// per-set allocations left are the (usually empty) failure list.
+    pub fn reset(&mut self, expected_size: usize) {
+        self.r = self.params.range_for(expected_size);
+        self.occupants.clear();
+        self.occupants
+            .resize((TABLES as u64 * self.r) as usize, VACANT);
+        self.len = 0;
+        self.failed.clear();
+        self.stats = InsertStats::default();
+    }
+
+    /// Run the sorted-dedup bulk insertion loop (the body of
+    /// [`build_sorted_dedup`]) against this builder. Elements must be
+    /// sorted and duplicate-free; the builder must be sized for them.
+    pub fn extend_sorted_dedup(&mut self, elements: &[u32]) {
+        for &x in elements {
+            self.stats.elements += 1;
+            let mut placed = true;
+            for _copy in 0..2 {
+                if let Err(nestless) = self.insert_copy(x) {
+                    self.recover(x, nestless);
+                    placed = false;
+                    break;
+                }
+            }
+            if placed {
+                self.len += 1;
+            }
+        }
+    }
+
+    /// Write the compressed byte representation into `bytes` (which must
+    /// already be [`EMPTY_SLOT`]-filled and exactly `3·r` long).
     ///
     /// The indicator bits are computed here in one pass: for each placed
     /// copy we locate the element's other copy and apply the cyclic rule
     /// of Fig. 3 (`b = 1` iff the other copy is in the next table).
-    pub fn finish(self) -> BuildOutcome {
-        let params = self.params;
-        let width = self.occupants.len();
-        let mut bytes = vec![EMPTY_SLOT; width].into_boxed_slice();
+    fn materialize(&self, bytes: &mut [u8]) {
+        debug_assert_eq!(bytes.len(), self.occupants.len());
         for (idx, &occ) in self.occupants.iter().enumerate() {
             if occ == VACANT {
                 continue;
             }
-            let here = params.table_of_slot(idx);
-            let pi = params.perms().apply(here, occ as u64);
-            debug_assert_eq!(params.slot_of(here, pi, self.r), idx);
+            let here = self.params.table_of_slot(idx);
+            let pi = self.params.perms().apply(here, occ as u64);
+            debug_assert_eq!(self.params.slot_of(here, pi, self.r), idx);
             // Locate the other copy among the other two tables.
             let mut other = usize::MAX;
             for t in 0..TABLES {
                 if t == here {
                     continue;
                 }
-                let cand = params.slot_of(t, params.perms().apply(t, occ as u64), self.r);
+                let cand = self
+                    .params
+                    .slot_of(t, self.params.perms().apply(t, occ as u64), self.r);
                 if self.occupants[cand] == occ {
                     debug_assert_eq!(other, usize::MAX, "element {occ} placed 3 times");
                     other = t;
@@ -232,13 +282,39 @@ impl BatmapBuilder {
             }
             assert_ne!(other, usize::MAX, "element {occ} has a single copy");
             let indicator = slot::indicator_for(here, other);
-            bytes[idx] = slot::pack(params.key_of(pi), indicator);
+            bytes[idx] = slot::pack(self.params.key_of(pi), indicator);
         }
-        let batmap = Batmap::from_raw_parts(params, self.r, bytes, self.len);
+    }
+
+    /// Materialize the compressed byte representation and finish.
+    pub fn finish(self) -> BuildOutcome {
+        let width = self.occupants.len();
+        let mut bytes = vec![EMPTY_SLOT; width].into_boxed_slice();
+        self.materialize(&mut bytes);
+        let batmap = Batmap::from_raw_parts(self.params, self.r, bytes, self.len);
         BuildOutcome {
             batmap,
             failed: self.failed,
             stats: self.stats,
+        }
+    }
+
+    /// Materialize straight into caller-owned storage (an arena slot) and
+    /// hand back everything except the bytes. `out` must be exactly
+    /// `3·r` long; it is overwritten entirely. The builder stays usable —
+    /// call [`BatmapBuilder::reset`] before building the next set.
+    pub fn finish_into(&mut self, out: &mut [u8]) -> ArenaSetOutcome {
+        assert_eq!(
+            out.len(),
+            self.occupants.len(),
+            "arena slot width must match the builder's 3·r"
+        );
+        out.fill(EMPTY_SLOT);
+        self.materialize(out);
+        ArenaSetOutcome {
+            len: self.len,
+            failed: std::mem::take(&mut self.failed),
+            stats: std::mem::take(&mut self.stats),
         }
     }
 }
@@ -256,20 +332,7 @@ pub fn build(params: ParamsHandle, elements: &[u32]) -> BuildOutcome {
 /// `contains` pre-check per insert).
 pub fn build_sorted_dedup(params: ParamsHandle, elements: &[u32]) -> BuildOutcome {
     let mut builder = BatmapBuilder::with_capacity(params, elements.len());
-    for &x in elements {
-        builder.stats.elements += 1;
-        let mut placed = true;
-        for _copy in 0..2 {
-            if let Err(nestless) = builder.insert_copy(x) {
-                builder.recover(x, nestless);
-                placed = false;
-                break;
-            }
-        }
-        if placed {
-            builder.len += 1;
-        }
-    }
+    builder.extend_sorted_dedup(elements);
     builder.finish()
 }
 

@@ -5,24 +5,47 @@
 //! failure-recovering driver; this type is the simple library entry
 //! point for applications that just want "N sets, give me counts"
 //! (boolean matrix products, join-projects, similarity matrices).
+//!
+//! Storage is one contiguous [`BatmapArena`] (not a `Box<[u8]>` per
+//! set), so a collection can be persisted with
+//! [`BatmapCollection::arena`] + [`BatmapArena::write_to`] and served
+//! from a snapshot by a later process.
+//!
+//! ## Exactness guarantee
+//!
+//! Every counting method on this type is **exact**, even when cuckoo
+//! construction dropped elements: the positional count only sees the
+//! stored remainder of each set, so [`BatmapCollection::intersect_count`]
+//! applies the failed-insertion correction (the same recovery the
+//! mining pipeline's `pairminer::failed` path performs): with
+//! `Aᵢ = A'ᵢ ⊎ Fᵢ` (stored ⊎ failed),
+//!
+//! ```text
+//! |Aᵢ ∩ Aⱼ| = |A'ᵢ ∩ A'ⱼ|  (positional sweep)
+//!           + |Fᵢ ∩ A'ⱼ|   (membership probes into j's batmap)
+//!           + |A'ᵢ ∩ Fⱼ|   (membership probes into i's batmap)
+//!           + |Fᵢ ∩ Fⱼ|    (sorted-merge of the two failure lists)
+//! ```
+//!
+//! Failures are absent at the paper's load factors, so the correction
+//! terms are almost always empty and cost nothing; when they are not,
+//! the counts stay right instead of silently undercounting.
 
+use crate::arena::{ArenaBuilder, BatmapArena, BatmapRef};
 use crate::builder;
 use crate::params::{BatmapParams, ParamsHandle};
-use crate::Batmap;
 use hpcutil::MemoryFootprint;
 use std::sync::Arc;
 
-/// A family of batmaps over one shared universe.
+/// A family of batmaps over one shared universe, stored contiguously.
 #[derive(Debug, Clone)]
 pub struct BatmapCollection {
-    params: ParamsHandle,
-    batmaps: Vec<Batmap>,
-    /// `(set index, element)` pairs that failed insertion. Counts
-    /// involving a set listed here undercount by up to its number of
-    /// failed elements; [`Self::failed`] exposes them so callers can
-    /// correct (as `pairminer::failed` does) or rebuild with another
-    /// seed.
+    arena: BatmapArena,
+    /// `(set index, element)` pairs that failed insertion, in set order.
     failed: Vec<(u32, u32)>,
+    /// Per-set sorted failure lists (indices into `failed` would save
+    /// memory, but failures are rare enough that clarity wins).
+    failed_by_set: Vec<Vec<u32>>,
 }
 
 impl BatmapCollection {
@@ -33,67 +56,119 @@ impl BatmapCollection {
 
     /// Build with explicit parameters (e.g. a GPU-compatible shift).
     pub fn with_params(params: ParamsHandle, sets: &[Vec<u32>]) -> Self {
-        let mut batmaps = Vec::with_capacity(sets.len());
+        let mut arena = ArenaBuilder::new(params.clone());
         let mut failed = Vec::new();
+        let mut failed_by_set = vec![Vec::new(); sets.len()];
         for (idx, set) in sets.iter().enumerate() {
             let out = builder::build(params.clone(), set);
-            for x in out.failed {
+            for &x in &out.failed {
                 failed.push((idx as u32, x));
             }
-            batmaps.push(out.batmap);
+            let mut fs = out.failed;
+            fs.sort_unstable();
+            failed_by_set[idx] = fs;
+            arena.push(&out.batmap);
         }
         BatmapCollection {
-            params,
-            batmaps,
+            arena: arena.finish(),
             failed,
+            failed_by_set,
+        }
+    }
+
+    /// Adopt an existing arena (e.g. one loaded from a snapshot). The
+    /// arena must have been built loss-free: a snapshot carries no
+    /// failure lists, so counts over it assume none were needed (which
+    /// [`BatmapCollection::failed`] being empty asserts to callers).
+    pub fn from_arena(arena: BatmapArena) -> Self {
+        let n = arena.len();
+        BatmapCollection {
+            arena,
+            failed: Vec::new(),
+            failed_by_set: vec![Vec::new(); n],
         }
     }
 
     /// Number of sets.
     pub fn len(&self) -> usize {
-        self.batmaps.len()
+        self.arena.len()
     }
 
     /// True when the collection holds no sets.
     pub fn is_empty(&self) -> bool {
-        self.batmaps.is_empty()
+        self.arena.is_empty()
     }
 
     /// The shared parameters.
     pub fn params(&self) -> &ParamsHandle {
-        &self.params
+        self.arena.params()
     }
 
-    /// The batmap of set `i`.
-    pub fn get(&self, i: usize) -> &Batmap {
-        &self.batmaps[i]
+    /// Zero-copy view of set `i`'s batmap.
+    pub fn get(&self, i: usize) -> BatmapRef<'_> {
+        self.arena.get(i)
+    }
+
+    /// The backing arena (for snapshot persistence or bulk sweeps).
+    pub fn arena(&self) -> &BatmapArena {
+        &self.arena
     }
 
     /// Elements whose insertion failed, as `(set index, element)`.
+    /// Counts remain exact regardless (see the module docs); this is
+    /// informational — e.g. to decide on a rebuild with another seed
+    /// before persisting, since snapshots drop the failure lists.
     pub fn failed(&self) -> &[(u32, u32)] {
         &self.failed
     }
 
-    /// `|setᵢ ∩ setⱼ|`.
+    /// `|setᵢ ∩ setⱼ|` — exact, including elements whose insertion
+    /// failed (see the module-level exactness guarantee).
     pub fn intersect_count(&self, i: usize, j: usize) -> u64 {
-        self.batmaps[i].intersect_count(&self.batmaps[j])
+        let a = self.arena.get(i);
+        let b = self.arena.get(j);
+        let mut count = a.intersect_count(&b);
+        let (fi, fj) = (&self.failed_by_set[i], &self.failed_by_set[j]);
+        if fi.is_empty() && fj.is_empty() {
+            return count;
+        }
+        if i == j {
+            // Self-intersection: the failed elements belong to the set.
+            return count + fi.len() as u64;
+        }
+        // |Fᵢ ∩ A'ⱼ| and |A'ᵢ ∩ Fⱼ|: O(1) exact membership probes.
+        count += fi.iter().filter(|&&x| b.contains(x)).count() as u64;
+        count += fj.iter().filter(|&&x| a.contains(x)).count() as u64;
+        // |Fᵢ ∩ Fⱼ|: both lists are sorted.
+        let (mut pi, mut pj) = (0usize, 0usize);
+        while pi < fi.len() && pj < fj.len() {
+            match fi[pi].cmp(&fj[pj]) {
+                std::cmp::Ordering::Less => pi += 1,
+                std::cmp::Ordering::Greater => pj += 1,
+                std::cmp::Ordering::Equal => {
+                    count += 1;
+                    pi += 1;
+                    pj += 1;
+                }
+            }
+        }
+        count
     }
 
-    /// Counts of set `i` against every set (including itself).
+    /// Counts of set `i` against every set (including itself). Exact
+    /// (routes through [`BatmapCollection::intersect_count`]).
     pub fn count_against_all(&self, i: usize) -> Vec<u64> {
-        let probe = &self.batmaps[i];
-        self.batmaps
-            .iter()
-            .map(|b| probe.intersect_count(b))
+        (0..self.len())
+            .map(|j| self.intersect_count(i, j))
             .collect()
     }
 
     /// All pairwise counts `(i, j, |setᵢ ∩ setⱼ|)` for `i < j`,
-    /// omitting empty intersections.
+    /// omitting empty intersections. Exact.
     pub fn all_pairs(&self) -> Vec<(u32, u32, u64)> {
         let mut out = Vec::new();
-        for i in 0..self.batmaps.len() {
-            for j in (i + 1)..self.batmaps.len() {
+        for i in 0..self.len() {
+            for j in (i + 1)..self.len() {
                 let c = self.intersect_count(i, j);
                 if c > 0 {
                     out.push((i as u32, j as u32, c));
@@ -106,11 +181,13 @@ impl BatmapCollection {
 
 impl MemoryFootprint for BatmapCollection {
     fn heap_bytes(&self) -> usize {
-        self.batmaps
-            .iter()
-            .map(MemoryFootprint::heap_bytes)
-            .sum::<usize>()
+        self.arena.heap_bytes()
             + self.failed.capacity() * 8
+            + self
+                .failed_by_set
+                .iter()
+                .map(|f| f.capacity() * 4)
+                .sum::<usize>()
     }
 }
 
@@ -170,9 +247,62 @@ mod tests {
     }
 
     #[test]
-    fn footprint_sums_batmaps() {
+    fn counts_stay_exact_under_forced_failures() {
+        // MaxLoop = 1 on dense sets in a large universe forces dropped
+        // insertions; every counting method must correct for them.
+        let params = Arc::new(BatmapParams::with_max_loop(1 << 15, 0xFEED, 1));
+        let s: Vec<Vec<u32>> = vec![
+            (0..4000u32).collect(),
+            (0..4000u32).map(|i| i * 2 % (1 << 15)).collect(),
+            (1000..3000u32).collect(),
+        ];
+        let c = BatmapCollection::with_params(params, &s);
+        assert!(
+            !c.failed().is_empty(),
+            "fixture must actually force failures"
+        );
+        for i in 0..s.len() {
+            for j in 0..s.len() {
+                assert_eq!(
+                    c.intersect_count(i, j),
+                    exact(&s[i], &s[j]),
+                    "pair ({i},{j}) with failures"
+                );
+            }
+        }
+        // The row and all-pairs views inherit the correction.
+        for (i, row) in (0..s.len()).map(|i| (i, c.count_against_all(i))) {
+            for (j, &got) in row.iter().enumerate() {
+                assert_eq!(got, exact(&s[i], &s[j]));
+            }
+        }
+        for (i, j, got) in c.all_pairs() {
+            assert_eq!(got, exact(&s[i as usize], &s[j as usize]));
+        }
+    }
+
+    #[test]
+    fn snapshot_served_collection_counts_identically() {
+        let s = sets();
+        let c = BatmapCollection::build(10_000, 5, &s);
+        assert!(c.failed().is_empty(), "loss-free build required to persist");
+        let mut buf = Vec::new();
+        c.arena().write_to(&mut buf).unwrap();
+        let served = BatmapCollection::from_arena(
+            crate::BatmapArena::read_from(&mut buf.as_slice()).unwrap(),
+        );
+        assert_eq!(served.len(), c.len());
+        for i in 0..c.len() {
+            for j in 0..c.len() {
+                assert_eq!(served.intersect_count(i, j), c.intersect_count(i, j));
+            }
+        }
+    }
+
+    #[test]
+    fn footprint_counts_arena() {
         let c = BatmapCollection::build(10_000, 5, &sets());
-        let direct: usize = (0..c.len()).map(|i| c.get(i).heap_bytes()).sum();
+        let direct: usize = (0..c.len()).map(|i| c.get(i).width_bytes()).sum();
         assert!(c.heap_bytes() >= direct);
     }
 }

@@ -23,6 +23,43 @@ impl fmt::Display for BatmapError {
 
 impl std::error::Error for BatmapError {}
 
+/// Errors loading a persisted [`crate::arena::BatmapArena`] snapshot.
+#[derive(Debug)]
+pub enum SnapshotError {
+    /// The underlying reader failed (including unexpected EOF — a
+    /// truncated snapshot surfaces here).
+    Io(std::io::Error),
+    /// The bytes do not form a valid snapshot: bad magic, unsupported
+    /// version, corrupted or inconsistent header, out-of-bounds
+    /// directory, or checksum mismatch. The message names the first
+    /// check that failed.
+    Format(String),
+}
+
+impl fmt::Display for SnapshotError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SnapshotError::Io(e) => write!(f, "snapshot I/O error: {e}"),
+            SnapshotError::Format(what) => write!(f, "invalid snapshot: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for SnapshotError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            SnapshotError::Io(e) => Some(e),
+            SnapshotError::Format(_) => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for SnapshotError {
+    fn from(e: std::io::Error) -> Self {
+        SnapshotError::Io(e)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -31,5 +68,9 @@ mod tests {
     fn display_is_informative() {
         let s = BatmapError::UniverseMismatch.to_string();
         assert!(s.contains("universe"));
+        let s = SnapshotError::Format("bad magic".into()).to_string();
+        assert!(s.contains("bad magic"));
+        let io = SnapshotError::from(std::io::Error::other("boom"));
+        assert!(io.to_string().contains("boom"));
     }
 }

@@ -21,15 +21,17 @@
 //! other widths fall back to the monomorphized pairwise path within the
 //! same dispatch.
 
+use crate::batmap::AsSlots;
 use crate::kernel::{KernelBackend, KernelDispatch, MatchKernel};
-use crate::Batmap;
+use crate::BatmapError;
 
 /// `|a ∩ b|` using the backend configured on `a`'s universe parameters,
-/// monomorphized through one dispatch. Callers must have verified the
-/// batmaps share a universe (see [`Batmap::try_intersect_count`]).
-pub(crate) fn count(a: &Batmap, b: &Batmap) -> u64 {
-    struct Count<'a>(&'a Batmap, &'a Batmap);
-    impl KernelDispatch for Count<'_> {
+/// monomorphized through one dispatch. Generic over the storage of both
+/// operands ([`crate::Batmap`] or [`crate::arena::BatmapRef`]). Callers
+/// must have verified the batmaps share a universe (see [`try_count`]).
+pub(crate) fn count<A: AsSlots + ?Sized, B: AsSlots + ?Sized>(a: &A, b: &B) -> u64 {
+    struct Count<'a, A: ?Sized, B: ?Sized>(&'a A, &'a B);
+    impl<A: AsSlots + ?Sized, B: AsSlots + ?Sized> KernelDispatch for Count<'_, A, B> {
         type Output = u64;
         fn run<K: MatchKernel>(self, kernel: K) -> u64 {
             count_pair(&kernel, self.0, self.1)
@@ -38,29 +40,51 @@ pub(crate) fn count(a: &Batmap, b: &Batmap) -> u64 {
     a.params().kernel_backend().dispatch(Count(a, b))
 }
 
+/// Fallible `|a ∩ b|`: checks the universe fingerprints, then counts
+/// with the backend configured on `a`'s parameters. The storage-agnostic
+/// entry point behind `Batmap::try_intersect_count` and
+/// `BatmapRef::try_intersect_count`.
+pub fn try_count<A: AsSlots + ?Sized, B: AsSlots + ?Sized>(
+    a: &A,
+    b: &B,
+) -> Result<u64, BatmapError> {
+    if a.params().fingerprint() != b.params().fingerprint() {
+        return Err(BatmapError::UniverseMismatch);
+    }
+    Ok(count(a, b))
+}
+
 /// `|a ∩ b|` with an explicit match-count backend. This is the single
 /// entry point through which positional counting reaches a kernel; the
 /// per-backend bench axis drives it directly. Generic over the kernel
-/// type so concrete callers monomorphize; `&dyn MatchKernel` works too
-/// (one virtual call per intersection, the bulk loop inside is still
-/// branch-free).
-pub fn count_with<K: MatchKernel + ?Sized>(kernel: &K, a: &Batmap, b: &Batmap) -> u64 {
+/// type so concrete callers monomorphize (`&dyn MatchKernel` works too —
+/// one virtual call per intersection, the bulk loop inside is still
+/// branch-free) and over the operand storage.
+pub fn count_with<K, A, B>(kernel: &K, a: &A, b: &B) -> u64
+where
+    K: MatchKernel + ?Sized,
+    A: AsSlots + ?Sized,
+    B: AsSlots + ?Sized,
+{
     count_pair(kernel, a, b)
 }
 
 /// The width-ordering + equal/wrapped split shared by every pairwise
 /// path.
 #[inline]
-fn count_pair<K: MatchKernel + ?Sized>(kernel: &K, a: &Batmap, b: &Batmap) -> u64 {
-    let (small, large) = if a.width_bytes() <= b.width_bytes() {
-        (a, b)
+fn count_pair<K, A, B>(kernel: &K, a: &A, b: &B) -> u64
+where
+    K: MatchKernel + ?Sized,
+    A: AsSlots + ?Sized,
+    B: AsSlots + ?Sized,
+{
+    let (wa, wb) = (a.width_bytes(), b.width_bytes());
+    if wa == wb {
+        kernel.count_equal_width(a.slot_bytes(), b.slot_bytes())
+    } else if wa < wb {
+        kernel.count_wrapped(b.slot_bytes(), a.slot_bytes())
     } else {
-        (b, a)
-    };
-    if small.width_bytes() == large.width_bytes() {
-        kernel.count_equal_width(small.as_bytes(), large.as_bytes())
-    } else {
-        kernel.count_wrapped(large.as_bytes(), small.as_bytes())
+        kernel.count_wrapped(a.slot_bytes(), b.slot_bytes())
     }
 }
 
@@ -68,11 +92,11 @@ fn count_pair<K: MatchKernel + ?Sized>(kernel: &K, a: &Batmap, b: &Batmap) -> u6
 /// driver: one backend dispatch for the whole batch, equal-width
 /// candidates swept in register-blocked groups. Used by the examples
 /// and figure binaries; the mining tile executors route their row loops
-/// through [`count_one_vs_many_into`].
+/// through [`count_one_vs_many_into`] with arena-backed views.
 ///
 /// # Panics
 /// Panics if any candidate comes from a different universe.
-pub fn count_one_vs_many(one: &Batmap, many: &[Batmap]) -> Vec<u64> {
+pub fn count_one_vs_many<A: AsSlots, B: AsSlots>(one: &A, many: &[B]) -> Vec<u64> {
     let mut out = vec![0u64; many.len()];
     count_one_vs_many_into(one, many, &mut out);
     out
@@ -85,7 +109,7 @@ pub fn count_one_vs_many(one: &Batmap, many: &[Batmap]) -> Vec<u64> {
 /// # Panics
 /// Panics if `out.len() != many.len()` or any candidate comes from a
 /// different universe.
-pub fn count_one_vs_many_into(one: &Batmap, many: &[Batmap], out: &mut [u64]) {
+pub fn count_one_vs_many_into<A: AsSlots, B: AsSlots>(one: &A, many: &[B], out: &mut [u64]) {
     count_one_vs_many_with(one.params().kernel_backend(), one, many, out);
 }
 
@@ -95,19 +119,19 @@ pub fn count_one_vs_many_into(one: &Batmap, many: &[Batmap], out: &mut [u64]) {
 /// # Panics
 /// Panics if `out.len() != many.len()` or any candidate comes from a
 /// different universe.
-pub fn count_one_vs_many_with(
+pub fn count_one_vs_many_with<A: AsSlots, B: AsSlots>(
     backend: KernelBackend,
-    one: &Batmap,
-    many: &[Batmap],
+    one: &A,
+    many: &[B],
     out: &mut [u64],
 ) {
     assert_eq!(out.len(), many.len(), "one output slot per candidate");
-    struct Batch<'a> {
-        one: &'a Batmap,
-        many: &'a [Batmap],
+    struct Batch<'a, A, B> {
+        one: &'a A,
+        many: &'a [B],
         out: &'a mut [u64],
     }
-    impl KernelDispatch for Batch<'_> {
+    impl<A: AsSlots, B: AsSlots> KernelDispatch for Batch<'_, A, B> {
         type Output = ();
         fn run<K: MatchKernel>(self, kernel: K) {
             one_vs_many_sweep(&kernel, self.one, self.many, self.out);
@@ -121,7 +145,12 @@ pub fn count_one_vs_many_with(
 /// [`MatchKernel::count_equal_width_many`] (probe words stay hot in
 /// registers/L1 across the block); the rest take the pairwise
 /// equal/wrapped path — still inside this single dispatch.
-fn one_vs_many_sweep<K: MatchKernel>(kernel: &K, one: &Batmap, many: &[Batmap], out: &mut [u64]) {
+fn one_vs_many_sweep<K: MatchKernel, A: AsSlots, B: AsSlots>(
+    kernel: &K,
+    one: &A,
+    many: &[B],
+    out: &mut [u64],
+) {
     let fp = one.params().fingerprint();
     for b in many {
         assert_eq!(
@@ -140,9 +169,9 @@ fn one_vs_many_sweep<K: MatchKernel>(kernel: &K, one: &Batmap, many: &[Batmap], 
         for (chunk, out_chunk) in many.chunks(SWEEP_BLOCK).zip(out.chunks_mut(SWEEP_BLOCK)) {
             let mut bytes: [&[u8]; SWEEP_BLOCK] = [&[]; SWEEP_BLOCK];
             for (slot, b) in bytes.iter_mut().zip(chunk) {
-                *slot = b.as_bytes();
+                *slot = b.slot_bytes();
             }
-            kernel.count_equal_width_many(one.as_bytes(), &bytes[..chunk.len()], out_chunk);
+            kernel.count_equal_width_many(one.slot_bytes(), &bytes[..chunk.len()], out_chunk);
         }
         return;
     }
@@ -156,7 +185,7 @@ fn one_vs_many_sweep<K: MatchKernel>(kernel: &K, one: &Batmap, many: &[Batmap], 
     for (i, b) in many.iter().enumerate() {
         if b.width_bytes() == width {
             eq_idx.push(i);
-            eq_bytes.push(b.as_bytes());
+            eq_bytes.push(b.slot_bytes());
         } else {
             out[i] = count_pair(kernel, one, b);
         }
@@ -165,7 +194,7 @@ fn one_vs_many_sweep<K: MatchKernel>(kernel: &K, one: &Batmap, many: &[Batmap], 
         return;
     }
     let mut counts = vec![0u64; eq_bytes.len()];
-    kernel.count_equal_width_many(one.as_bytes(), &eq_bytes, &mut counts);
+    kernel.count_equal_width_many(one.slot_bytes(), &eq_bytes, &mut counts);
     for (&i, c) in eq_idx.iter().zip(counts) {
         out[i] = c;
     }
@@ -174,7 +203,7 @@ fn one_vs_many_sweep<K: MatchKernel>(kernel: &K, one: &Batmap, many: &[Batmap], 
 /// Exact reference: decode both element sets and intersect them. Used by
 /// tests and the verification examples; O(n log n) and branchy — the very
 /// thing the paper avoids on the hot path.
-pub fn count_by_decoding(a: &Batmap, b: &Batmap) -> u64 {
+pub fn count_by_decoding<A: AsSlots + ?Sized, B: AsSlots + ?Sized>(a: &A, b: &B) -> u64 {
     let mut ea = a.elements();
     ea.sort_unstable();
     let mut count = 0u64;

@@ -38,7 +38,11 @@
 //! * [`hash`] — the seeded Feistel permutations `π₁..π₃`.
 //! * [`slot`] — the 8-bit slot encoding (7-bit key + indicator bit).
 //! * [`builder`] — cuckoo 2-of-3 construction, failure handling.
-//! * [`batmap`] — the immutable [`Batmap`] itself.
+//! * [`batmap`] — the immutable [`Batmap`] itself, and the [`AsSlots`]
+//!   storage seam every counting path is generic over.
+//! * [`arena`] — contiguous corpus storage: [`arena::BatmapArena`],
+//!   zero-copy [`arena::BatmapRef`] views, and versioned snapshot
+//!   persistence.
 //! * [`kernel`] — the pluggable [`kernel::MatchKernel`] backend layer
 //!   (scalar reference, SWAR-u32, SWAR-u64, SSE2, AVX2;
 //!   runtime-selectable with CPU-feature detection).
@@ -107,6 +111,7 @@
 #![warn(missing_docs)]
 
 pub mod analysis;
+pub mod arena;
 pub mod batmap;
 pub mod builder;
 pub mod collection;
@@ -125,10 +130,11 @@ pub mod swar;
 pub mod uncompressed;
 pub mod update;
 
-pub use batmap::Batmap;
-pub use builder::{BatmapBuilder, BuildOutcome, InsertOutcome, InsertStats};
+pub use arena::{ArenaBuilder, ArenaStage, BatmapArena, BatmapRef};
+pub use batmap::{AsSlots, Batmap};
+pub use builder::{ArenaSetOutcome, BatmapBuilder, BuildOutcome, InsertOutcome, InsertStats};
 pub use collection::BatmapCollection;
-pub use error::BatmapError;
+pub use error::{BatmapError, SnapshotError};
 pub use kernel::{available_backends, KernelBackend, MatchKernel, ALL_BACKENDS};
 pub use multiway::{intersect_count_probe, MultiwayBatmap, MultiwayParams};
 pub use parallel::Parallelism;

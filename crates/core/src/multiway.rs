@@ -24,7 +24,7 @@
 //! extension, benchmarked in `benches/` but not routed to the GPU
 //! kernel. DESIGN.md lists compressing it as future work.
 
-use crate::batmap::Batmap;
+use crate::batmap::AsSlots;
 use crate::hash::Permutation;
 use crate::kernel::{KernelBackend, KernelDispatch, MatchKernel};
 use serde::{Deserialize, Serialize};
@@ -487,8 +487,11 @@ impl MultiwayBatmap {
 ///
 /// Exact for any `k ≥ 1`, at the cost of decoding the smallest set and
 /// `k−1` membership probes per element (irregular access — the
-/// trade-off the d-of-(d+1) structure avoids).
-pub fn intersect_count_probe(sets: &[&Batmap]) -> u64 {
+/// trade-off the d-of-(d+1) structure avoids). Generic over the storage
+/// seam ([`AsSlots`]): the operand list may hold owned
+/// [`crate::Batmap`]s or arena-backed [`crate::arena::BatmapRef`]
+/// views — one storage type per call (the list is homogeneous in `T`).
+pub fn intersect_count_probe<T: AsSlots>(sets: &[&T]) -> u64 {
     assert!(!sets.is_empty());
     let smallest = sets
         .iter()
@@ -508,6 +511,7 @@ pub fn intersect_count_probe(sets: &[&Batmap]) -> u64 {
 mod tests {
     use super::*;
     use crate::params::BatmapParams;
+    use crate::Batmap;
     use std::collections::BTreeSet;
 
     fn multi_params(m: u64, d: usize) -> Arc<MultiwayParams> {

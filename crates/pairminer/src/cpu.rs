@@ -8,7 +8,7 @@
 use crate::preprocess::Preprocessed;
 use crate::schedule::Tile;
 use batmap::intersect;
-use batmap::KernelBackend;
+use batmap::{BatmapRef, KernelBackend};
 use rayon::prelude::*;
 
 /// Counts for one tile computed on the CPU: row-major `rows × cols`,
@@ -16,15 +16,19 @@ use rayon::prelude::*;
 /// square, exactly as the lockstep kernel does — this is the
 /// GPU-parity reference; the mining executors use the triangular
 /// variants below).
+///
+/// All row/column operands are zero-copy [`BatmapRef`] views into the
+/// preprocessed arena — the column block is materialized once per tile
+/// (a `Vec` of three-word views), never the slot bytes themselves.
 pub fn run_tile_cpu(pre: &Preprocessed, tile: &Tile) -> Vec<u64> {
+    let cols = pre.arena.views(tile.col_base..tile.col_base + tile.cols);
     let mut counts = vec![0u64; tile.rows * tile.cols];
     counts
         .par_chunks_mut(tile.cols)
         .enumerate()
         .for_each(|(r, row_out)| {
-            let a = &pre.batmaps[tile.row_base + r];
-            let cols = &pre.batmaps[tile.col_base..tile.col_base + tile.cols];
-            intersect::count_one_vs_many_into(a, cols, row_out);
+            let a = pre.batmap(tile.row_base + r);
+            intersect::count_one_vs_many_into(&a, &cols, row_out);
         });
     counts
 }
@@ -47,16 +51,22 @@ fn first_useful_col(tile: &Tile, r: usize) -> usize {
 /// Routes through the batched one-vs-many driver
 /// ([`intersect::count_one_vs_many_into`]): the backend is dispatched
 /// once for the whole row and the row batmap's words stay hot in
-/// registers/L1 while the candidate block is swept.
+/// registers/L1 while the candidate block is swept. `cols` is the
+/// tile's column block of arena views, shared across rows.
 #[inline]
-fn fill_row(pre: &Preprocessed, tile: &Tile, r: usize, row_out: &mut [u64]) {
-    let a = &pre.batmaps[tile.row_base + r];
+fn fill_row(
+    pre: &Preprocessed,
+    cols: &[BatmapRef<'_>],
+    tile: &Tile,
+    r: usize,
+    row_out: &mut [u64],
+) {
+    let a = pre.batmap(tile.row_base + r);
     let first = first_useful_col(tile, r);
     if first >= tile.cols {
         return; // last row of a diagonal tile reports nothing
     }
-    let cols = &pre.batmaps[tile.col_base + first..tile.col_base + tile.cols];
-    intersect::count_one_vs_many_into(a, cols, &mut row_out[first..]);
+    intersect::count_one_vs_many_into(&a, &cols[first..], &mut row_out[first..]);
 }
 
 /// Strictly sequential tile counts (no worker threads): row-major
@@ -64,10 +74,12 @@ fn fill_row(pre: &Preprocessed, tile: &Tile, r: usize, row_out: &mut [u64]) {
 /// diagonal tile left at zero. This is the serial baseline of the
 /// speedup story and the oracle of the parallel-equivalence tests.
 pub fn run_tile_cpu_serial(pre: &Preprocessed, tile: &Tile) -> Vec<u64> {
+    let cols = pre.arena.views(tile.col_base..tile.col_base + tile.cols);
     let mut counts = vec![0u64; tile.rows * tile.cols];
     for r in 0..tile.rows {
         fill_row(
             pre,
+            &cols,
             tile,
             r,
             &mut counts[r * tile.cols..(r + 1) * tile.cols],
@@ -80,11 +92,12 @@ pub fn run_tile_cpu_serial(pre: &Preprocessed, tile: &Tile) -> Vec<u64> {
 /// [`run_tile_cpu_serial`]: used by the parallel engine when a plan has
 /// fewer tiles than workers, so parallelism comes from inside the tile.
 pub fn run_tile_cpu_rows(pre: &Preprocessed, tile: &Tile) -> Vec<u64> {
+    let cols = pre.arena.views(tile.col_base..tile.col_base + tile.cols);
     let mut counts = vec![0u64; tile.rows * tile.cols];
     counts
         .par_chunks_mut(tile.cols)
         .enumerate()
-        .for_each(|(r, row_out)| fill_row(pre, tile, r, row_out));
+        .for_each(|(r, row_out)| fill_row(pre, &cols, tile, r, row_out));
     counts
 }
 

@@ -34,7 +34,10 @@
 //! backend is dispatched once per row, the row's batmap stays hot in
 //! registers/L1 across the column block, and equal-width column runs
 //! (common — preprocessing sorts batmaps by width) take the kernels'
-//! register-blocked sweep.
+//! register-blocked sweep. All operands are zero-copy `BatmapRef`
+//! views into the preprocessed corpus's contiguous `BatmapArena`
+//! (width-sorted sets sit width-adjacent in one buffer, so a tile walk
+//! streams linearly instead of chasing per-set boxes).
 
 use crate::cpu;
 use crate::gpu::{self, DeviceData};

@@ -43,13 +43,15 @@ pub struct DeviceData {
 }
 
 impl DeviceData {
-    /// Pack the preprocessed batmaps for upload.
+    /// Pack the preprocessed batmaps for upload, reading zero-copy
+    /// views straight out of the arena (the host-side copy here models
+    /// the host→device transfer itself).
     pub fn upload(pre: &Preprocessed) -> Self {
-        let total_words: usize = pre.batmaps.iter().map(|b| b.width_bytes() / 4).sum();
+        let total_words: usize = pre.batmap_bytes() / 4;
         let mut words = Vec::with_capacity(total_words);
-        let mut offsets = Vec::with_capacity(pre.batmaps.len());
-        let mut slices = Vec::with_capacity(pre.batmaps.len());
-        for bm in &pre.batmaps {
+        let mut offsets = Vec::with_capacity(pre.padded_items());
+        let mut slices = Vec::with_capacity(pre.padded_items());
+        for bm in pre.arena.iter() {
             assert_eq!(
                 bm.width_bytes() % 64,
                 0,
@@ -271,7 +273,7 @@ mod tests {
         let result = run_tile(&device, &data, tile);
         for i in 0..pre.padded_items() {
             for j in 0..pre.padded_items() {
-                let expect = pre.batmaps[i].intersect_count(&pre.batmaps[j]);
+                let expect = pre.batmap(i).intersect_count(&pre.batmap(j));
                 let got = result.counts[i * tile.cols + j];
                 assert_eq!(got, expect, "pair ({i},{j})");
             }
@@ -296,10 +298,10 @@ mod tests {
             for j in 0..tile.cols {
                 assert_eq!(
                     result.counts[i * tile.cols + j],
-                    pre.batmaps[i].intersect_count(&pre.batmaps[j]),
+                    pre.batmap(i).intersect_count(&pre.batmap(j)),
                     "pair ({i},{j}) widths {} {}",
-                    pre.batmaps[i].width_bytes(),
-                    pre.batmaps[j].width_bytes()
+                    pre.batmap(i).width_bytes(),
+                    pre.batmap(j).width_bytes()
                 );
             }
         }
@@ -351,9 +353,9 @@ mod tests {
         let v = VerticalDb::new(1000, tids);
         let pre = preprocess(&v, 3, 128);
         let widths: std::collections::BTreeSet<usize> =
-            pre.batmaps.iter().map(|b| b.width_bytes()).collect();
+            pre.arena.iter().map(|b| b.width_bytes()).collect();
         assert_eq!(widths.len(), 1, "fixture must be same-width");
-        let slices = pre.batmaps[0].width_bytes() as u64 / 64;
+        let slices = pre.batmap(0).width_bytes() as u64 / 64;
         let data = DeviceData::upload(&pre);
         let tile = crate::schedule::schedule(pre.padded_items(), 16)[0];
         let result = run_tile(&DeviceSpec::gtx285(), &data, tile);

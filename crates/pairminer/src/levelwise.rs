@@ -178,6 +178,23 @@ impl LevelwiseMiner {
         report
     }
 
+    /// [`LevelwiseMiner::mine`] with an **already-built** pair corpus —
+    /// e.g. one loaded from a snapshot
+    /// (`Preprocessed::read_snapshot`) — so level 2 skips
+    /// preprocessing entirely (`crate::miner::mine_preprocessed`).
+    /// Produces the same itemsets as a full run over the database the
+    /// corpus was built from (pinned by `tests/snapshot.rs`).
+    pub fn mine_with_preprocessed(
+        &self,
+        db: &TransactionDb,
+        pre: &crate::preprocess::Preprocessed,
+    ) -> LevelwiseReport {
+        let pair_report = crate::miner::mine_preprocessed(db, pre, &self.config.pair);
+        let mut report = self.mine_from_pairs(db, &pair_report.pairs);
+        report.pair_report = Some(pair_report);
+        report
+    }
+
     /// Mine levels `3..=depth` on top of caller-supplied frequent
     /// pairs. `frequent_pairs` must be the minsup-filtered pair
     /// supports of `db` (from any engine); level 2 is reported from

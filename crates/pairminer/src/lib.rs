@@ -41,7 +41,7 @@ pub use executor::{
 pub use kitemsets::{mine_triples, TripleReport};
 pub use levelwise::{LevelReport, LevelwiseConfig, LevelwiseMiner, LevelwiseReport};
 pub use memory::MemoryReport;
-pub use miner::{mine, Engine, MinerConfig, MiningReport, Timings};
+pub use miner::{mine, mine_preprocessed, Engine, MinerConfig, MiningReport, Timings};
 pub use preprocess::{
     preprocess, preprocess_with_kernel, preprocess_with_options, Preprocessed, BLOCK, GPU_MIN_SHIFT,
 };

@@ -146,7 +146,8 @@ impl TileConsumer for HarvestConsumer<'_> {
     }
 }
 
-/// Mine all frequent pairs of `db`.
+/// Mine all frequent pairs of `db`: preprocess into an arena-backed
+/// corpus, then run the tile pipeline over it.
 pub fn mine(db: &TransactionDb, config: &MinerConfig) -> MiningReport {
     let mut sw = Stopwatch::start();
     let vertical = VerticalDb::from_horizontal(db);
@@ -158,21 +159,68 @@ pub fn mine(db: &TransactionDb, config: &MinerConfig) -> MiningReport {
         config.threads,
     );
     let preprocess_s = sw.lap().as_secs_f64();
+    mine_over(db, &pre, vertical.heap_bytes(), preprocess_s, config)
+}
+
+/// Mine with an **already-built** corpus — e.g. one loaded from a
+/// snapshot ([`Preprocessed::read_snapshot`]) — skipping preprocessing
+/// entirely. Produces the same pairs as [`mine`] would for the database
+/// the corpus was built from (pinned by `tests/snapshot.rs`).
+///
+/// `db` must be the database `pre` was preprocessed from (it backs the
+/// failed-insertion recovery path and the final id remap). Of the
+/// configuration, only `k`, `minsup`, `engine`, and `threads` apply
+/// here; `seed`, `max_loop`, and `kernel` were fixed at preprocessing
+/// time and travel inside `pre.params`.
+///
+/// # Panics
+/// Panics if `pre` was visibly built from a different database
+/// (mismatched item count or universe size).
+pub fn mine_preprocessed(
+    db: &TransactionDb,
+    pre: &Preprocessed,
+    config: &MinerConfig,
+) -> MiningReport {
+    assert_eq!(
+        pre.n_items,
+        db.n_items(),
+        "corpus was preprocessed from a different database (item count)"
+    );
+    assert_eq!(
+        pre.params.m(),
+        (db.len() as u64).max(1),
+        "corpus was preprocessed from a different database (universe size)"
+    );
+    // `timings.preprocess_s` is 0 by definition here: serving a
+    // snapshot is exactly the act of not paying that phase again. The
+    // tidlist bytes the memory report would normally charge were never
+    // materialized either.
+    mine_over(db, pre, 0, 0.0, config)
+}
+
+/// The engine-independent tile pipeline over a built corpus.
+fn mine_over(
+    db: &TransactionDb,
+    pre: &Preprocessed,
+    tidlists_bytes: usize,
+    preprocess_s: f64,
+    config: &MinerConfig,
+) -> MiningReport {
     let plan = TilePlan::new(pre.padded_items(), config.k);
     let failed = FailedPairs::build(&pre.failed, db, &pre.item_to_sorted, config.k);
     let comparisons = plan.reported_comparisons();
 
     let make = || HarvestConsumer {
-        pre: &pre,
+        pre,
         failed: &failed,
         minsup: config.minsup,
         out: PairMap::default(),
     };
     let (harvested, exec) = match &config.engine {
-        Engine::Gpu(device) => GpuSimExecutor { device }.execute(&pre, &plan, make),
+        Engine::Gpu(device) => GpuSimExecutor { device }.execute(pre, &plan, make),
         Engine::Cpu => match config.threads {
-            Parallelism::Serial => SerialCpuExecutor.execute(&pre, &plan, make),
-            parallelism => ParallelCpuExecutor { parallelism }.execute(&pre, &plan, make),
+            Parallelism::Serial => SerialCpuExecutor.execute(pre, &plan, make),
+            parallelism => ParallelCpuExecutor { parallelism }.execute(pre, &plan, make),
         },
     };
     let sorted_pairs = harvested.out;
@@ -190,7 +238,7 @@ pub fn mine(db: &TransactionDb, config: &MinerConfig) -> MiningReport {
     postprocess_s += post.lap().as_secs_f64();
 
     let memory = MemoryReport {
-        tidlists_bytes: vertical.heap_bytes(),
+        tidlists_bytes,
         preprocessed_bytes: pre.heap_bytes(),
         device_bytes: exec.device_bytes,
         tile_buffer_bytes: exec.max_tile_buffer_bytes,

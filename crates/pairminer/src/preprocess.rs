@@ -1,20 +1,42 @@
-//! Host-side preprocessing (§III-C, first half).
+//! Host-side preprocessing (§III-C, first half), building straight into
+//! a contiguous [`BatmapArena`].
 //!
 //! Tidlists become batmaps (built in parallel — construction of
-//! different sets is independent), then the batmaps are **sorted by
-//! increasing width** so that the 16-wide comparison blocks of the GPU
-//! kernel group batmaps of similar width ("resulting in a strongly
-//! reduced computation time for the subresults for narrow batmaps").
-//! The item list is padded with empty batmaps to a multiple of 16 so
-//! every work group is full.
+//! different sets is independent), **sorted by increasing width** so
+//! that the 16-wide comparison blocks of the GPU kernel group batmaps
+//! of similar width ("resulting in a strongly reduced computation time
+//! for the subresults for narrow batmaps"). The item list is padded
+//! with empty batmaps to a multiple of 16 so every work group is full.
+//!
+//! Storage is two-pass and allocation-lean:
+//!
+//! 1. **Size pass** — a batmap's range is deterministic from its
+//!    tidlist length (`BatmapParams::range_for`), so the width-sorted
+//!    order and every arena offset are known *before* any cuckoo work.
+//!    One contiguous, word-aligned buffer is reserved for the whole
+//!    corpus ([`BatmapArena::with_ranges`]).
+//! 2. **Build pass** — workers take contiguous runs of the width-sorted
+//!    sets (each run is one bump segment of the final buffer) and
+//!    cuckoo-build **in place** through disjoint `&mut [u8]` windows,
+//!    each worker reusing a single scratch [`batmap::BatmapBuilder`].
+//!    No per-set `Box<[u8]>`, no compaction copy afterwards — the
+//!    width-sorted compaction is implicit in the precomputed layout.
 //!
 //! Failed insertions are collected as `(sorted item index, tid)` pairs
 //! for the `F_b`/`M_{p,q}` postprocessing path.
+//!
+//! The result can be persisted with [`Preprocessed::write_snapshot`]
+//! and served by a later process via [`Preprocessed::read_snapshot`]
+//! without rebuilding (see `miner::mine_preprocessed`).
 
-use batmap::{Batmap, BatmapParams, KernelBackend, Parallelism, ParamsHandle};
+use batmap::{
+    ArenaSetOutcome, BatmapArena, BatmapBuilder, BatmapParams, BatmapRef, KernelBackend,
+    Parallelism, ParamsHandle, SnapshotError,
+};
 use fim::VerticalDb;
 use hpcutil::MemoryFootprint;
 use rayon::prelude::*;
+use std::io::{Read, Write};
 use std::sync::Arc;
 
 /// Width of the comparison block: the kernel's work groups are 16×16.
@@ -24,14 +46,21 @@ pub const BLOCK: usize = 16;
 /// every width a multiple of 64 bytes (16 words), the slice unit.
 pub const GPU_MIN_SHIFT: u32 = 6;
 
+/// Magic bytes opening a preprocessed-corpus snapshot (wraps an arena
+/// snapshot with the mining side tables).
+pub const PRE_SNAPSHOT_MAGIC: [u8; 8] = *b"BMPREPRO";
+
+/// Preprocessed-corpus snapshot format version.
+pub const PRE_SNAPSHOT_VERSION: u32 = 1;
+
 /// Output of preprocessing.
 #[derive(Debug, Clone)]
 pub struct Preprocessed {
     /// Universe parameters all batmaps share.
     pub params: ParamsHandle,
-    /// Batmaps sorted by increasing width, padded with empty batmaps to
-    /// a multiple of [`BLOCK`].
-    pub batmaps: Vec<Batmap>,
+    /// All batmaps in one contiguous arena, sorted by increasing width,
+    /// padded with empty batmaps to a multiple of [`BLOCK`].
+    pub arena: BatmapArena,
     /// `order[s] = original item id` of sorted position `s` (length =
     /// real item count; padding positions have no entry).
     pub order: Vec<u32>,
@@ -48,18 +77,145 @@ pub struct Preprocessed {
 impl Preprocessed {
     /// Item count including padding (multiple of 16).
     pub fn padded_items(&self) -> usize {
-        self.batmaps.len()
+        self.arena.len()
+    }
+
+    /// Zero-copy view of the batmap at sorted position `s`.
+    pub fn batmap(&self, s: usize) -> BatmapRef<'_> {
+        self.arena.get(s)
     }
 
     /// Total bytes of all batmap slot arrays (the device-resident data).
     pub fn batmap_bytes(&self) -> usize {
-        self.batmaps.iter().map(Batmap::width_bytes).sum()
+        self.arena.slot_bytes_total()
     }
+
+    /// Persist this corpus: a small JSON side-table header (order maps,
+    /// failures, stats) followed by the arena snapshot
+    /// ([`BatmapArena::write_to`]). A later process can
+    /// [`Preprocessed::read_snapshot`] it and mine without rebuilding.
+    pub fn write_snapshot<W: Write>(&self, w: &mut W) -> std::io::Result<()> {
+        let header = PreSnapshotHeader {
+            n_items: self.n_items,
+            order: self.order.clone(),
+            item_to_sorted: self.item_to_sorted.clone(),
+            failed_set: self.failed.iter().map(|&(s, _)| s).collect(),
+            failed_tid: self.failed.iter().map(|&(_, t)| t).collect(),
+            stats: self.stats.clone(),
+        };
+        let header_json = serde_json::to_string(&header)
+            .map_err(|e| std::io::Error::other(format!("snapshot header: {e}")))?;
+        w.write_all(&PRE_SNAPSHOT_MAGIC)?;
+        w.write_all(&PRE_SNAPSHOT_VERSION.to_le_bytes())?;
+        w.write_all(&(header_json.len() as u32).to_le_bytes())?;
+        // The side tables feed array indexing on the serving path
+        // (`FailedPairs::build`, the order remap), so they get the same
+        // corruption protection the arena gives its directory/payload.
+        w.write_all(&batmap::arena::snapshot_checksum(header_json.as_bytes()).to_le_bytes())?;
+        w.write_all(header_json.as_bytes())?;
+        self.arena.write_to(w)
+    }
+
+    /// Load a corpus persisted by [`Preprocessed::write_snapshot`],
+    /// re-checking the side tables against the embedded arena snapshot
+    /// (which performs its own header/checksum validation).
+    pub fn read_snapshot<R: Read>(r: &mut R) -> Result<Self, SnapshotError> {
+        let bad = |what: &str| SnapshotError::Format(what.to_string());
+        let mut magic = [0u8; 8];
+        r.read_exact(&mut magic)?;
+        if magic != PRE_SNAPSHOT_MAGIC {
+            return Err(bad("not a preprocessed-corpus snapshot (bad magic)"));
+        }
+        let mut u32buf = [0u8; 4];
+        r.read_exact(&mut u32buf)?;
+        let version = u32::from_le_bytes(u32buf);
+        if version != PRE_SNAPSHOT_VERSION {
+            return Err(SnapshotError::Format(format!(
+                "unsupported corpus snapshot version {version}"
+            )));
+        }
+        r.read_exact(&mut u32buf)?;
+        let header_len = u32::from_le_bytes(u32buf) as usize;
+        let mut u64buf = [0u8; 8];
+        r.read_exact(&mut u64buf)?;
+        let header_checksum = u64::from_le_bytes(u64buf);
+        // `take`-bounded read: a corrupted length field surfaces as a
+        // truncation error, never as an up-to-4-GiB allocation.
+        let mut header_bytes = Vec::new();
+        r.by_ref()
+            .take(header_len as u64)
+            .read_to_end(&mut header_bytes)?;
+        if header_bytes.len() != header_len {
+            return Err(bad("truncated corpus header"));
+        }
+        if batmap::arena::snapshot_checksum(&header_bytes) != header_checksum {
+            return Err(bad("corpus header checksum mismatch"));
+        }
+        let header: PreSnapshotHeader = std::str::from_utf8(&header_bytes)
+            .ok()
+            .and_then(|s| serde_json::from_str(s).ok())
+            .ok_or_else(|| bad("corpus header does not parse"))?;
+        let arena = BatmapArena::read_from(r)?;
+        let n = header.n_items as usize;
+        if arena.len() < n || arena.len() % BLOCK != 0 {
+            return Err(bad("arena set count inconsistent with item count"));
+        }
+        if header.order.len() != n || header.item_to_sorted.len() != n {
+            return Err(bad("order maps inconsistent with item count"));
+        }
+        for (s, &item) in header.order.iter().enumerate() {
+            if (item as usize) >= n || header.item_to_sorted[item as usize] != s as u32 {
+                return Err(bad("order maps are not inverse permutations"));
+            }
+        }
+        if header.failed_set.len() != header.failed_tid.len() {
+            return Err(bad("failure list columns disagree in length"));
+        }
+        if header.failed_set.iter().any(|&s| (s as usize) >= n) {
+            return Err(bad("failure list references an out-of-range item"));
+        }
+        // Failed tids index the serving database's transaction list
+        // (`FailedPairs::build`); the universe size bounds them.
+        if header
+            .failed_tid
+            .iter()
+            .any(|&tid| (tid as u64) >= arena.params().m())
+        {
+            return Err(bad("failure list references an out-of-universe tid"));
+        }
+        let failed = header
+            .failed_set
+            .into_iter()
+            .zip(header.failed_tid)
+            .collect();
+        Ok(Preprocessed {
+            params: arena.params().clone(),
+            arena,
+            order: header.order,
+            item_to_sorted: header.item_to_sorted,
+            n_items: header.n_items,
+            failed,
+            stats: header.stats,
+        })
+    }
+}
+
+/// JSON side tables of a [`Preprocessed`] snapshot (everything the
+/// arena itself does not carry). The failure list is stored as two
+/// parallel columns (`failed[i] = (failed_set[i], failed_tid[i])`).
+#[derive(serde::Serialize, serde::Deserialize)]
+struct PreSnapshotHeader {
+    n_items: u32,
+    order: Vec<u32>,
+    item_to_sorted: Vec<u32>,
+    failed_set: Vec<u32>,
+    failed_tid: Vec<u32>,
+    stats: batmap::InsertStats,
 }
 
 impl MemoryFootprint for Preprocessed {
     fn heap_bytes(&self) -> usize {
-        self.batmap_bytes()
+        self.arena.heap_bytes()
             + self.order.capacity() * 4
             + self.item_to_sorted.capacity() * 4
             + self.failed.capacity() * 8
@@ -89,7 +245,7 @@ pub fn preprocess_with_kernel(
 /// host-parallelism knob, both pinned on the universe parameters so
 /// every downstream phase inherits them. Batmap construction runs in
 /// the pool the knob selects ([`Parallelism::Serial`] builds strictly
-/// sequentially).
+/// sequentially, exercising the single-segment path).
 pub fn preprocess_with_options(
     v: &VerticalDb,
     seed: u64,
@@ -104,49 +260,90 @@ pub fn preprocess_with_options(
             .with_threads(threads),
     );
     let n = v.n_items();
-    // Parallel construction: one batmap per item, in the configured
-    // pool (unpinned `Auto` keeps whatever pool is ambient).
-    let build = || -> Vec<batmap::BuildOutcome> {
-        (0..n)
-            .into_par_iter()
-            .map(|item| Batmap::build_sorted(params.clone(), v.tidlist(item)))
-            .collect()
-    };
-    let outcomes: Vec<batmap::BuildOutcome> = match params.parallelism().pinned() {
-        Some(workers) => hpcutil::scoped_pool(workers, build),
-        None => build(),
-    };
-    // Sort positions by batmap width (ascending), ties by item id for
-    // determinism.
+    // Size pass: ranges are deterministic from tidlist lengths, so the
+    // width-sorted order (ties by item id, for determinism) and the
+    // whole arena layout exist before any cuckoo work.
     let mut positions: Vec<u32> = (0..n).collect();
-    positions.sort_by_key(|&i| (outcomes[i as usize].batmap.width_bytes(), i));
+    positions.sort_by_key(|&i| (params.range_for(v.tidlist(i).len()), i));
     let mut item_to_sorted = vec![0u32; n as usize];
     for (s, &item) in positions.iter().enumerate() {
         item_to_sorted[item as usize] = s as u32;
     }
+    let padded = (n as usize).next_multiple_of(BLOCK);
+    let empty_range = params.range_for(0);
+    let ranges: Vec<u64> = positions
+        .iter()
+        .map(|&i| params.range_for(v.tidlist(i).len()))
+        .chain(std::iter::repeat_n(empty_range, padded - n as usize))
+        .collect();
+    let mut stage = BatmapArena::with_ranges(params.clone(), &ranges);
+
+    // Build pass: cuckoo-build each set in place. One reusable scratch
+    // builder per worker; workers own contiguous runs of the
+    // width-sorted sets — bump segments of the final buffer.
+    let tidlist_of = |s: usize| -> &[u32] {
+        if s < n as usize {
+            v.tidlist(positions[s])
+        } else {
+            &[]
+        }
+    };
+    let build_segment = |jobs: Vec<(usize, &mut [u8])>| -> Vec<ArenaSetOutcome> {
+        let mut builder = BatmapBuilder::with_capacity(params.clone(), 0);
+        jobs.into_iter()
+            .map(|(s, out)| {
+                let elements = tidlist_of(s);
+                builder.reset(elements.len());
+                builder.extend_sorted_dedup(elements);
+                builder.finish_into(out)
+            })
+            .collect()
+    };
+    let outcomes: Vec<ArenaSetOutcome> = {
+        let jobs: Vec<(usize, &mut [u8])> = stage.set_slices().into_iter().enumerate().collect();
+        let parallel = |jobs: Vec<(usize, &mut [u8])>, workers: usize| -> Vec<ArenaSetOutcome> {
+            let per = jobs.len().div_ceil(workers.max(1)).max(1);
+            let mut segments: Vec<Vec<(usize, &mut [u8])>> = Vec::new();
+            let mut jobs = jobs;
+            while !jobs.is_empty() {
+                let tail = jobs.split_off(jobs.len().min(per));
+                segments.push(std::mem::replace(&mut jobs, tail));
+            }
+            segments
+                .into_par_iter()
+                .map(&build_segment)
+                .collect::<Vec<Vec<ArenaSetOutcome>>>()
+                .into_iter()
+                .flatten()
+                .collect()
+        };
+        match params.parallelism().pinned() {
+            // Strictly sequential: one segment, no worker threads.
+            Some(1) => build_segment(jobs),
+            Some(workers) => hpcutil::scoped_pool(workers, || parallel(jobs, workers)),
+            None => {
+                let workers = rayon::current_num_threads();
+                parallel(jobs, workers)
+            }
+        }
+    };
+    let lens: Vec<usize> = outcomes.iter().map(|o| o.len).collect();
+    let arena = stage.finish(&lens);
+
     let mut stats = batmap::InsertStats::default();
     let mut failed = Vec::new();
-    let mut batmaps = Vec::with_capacity(positions.len().next_multiple_of(BLOCK));
-    // Consume outcomes in sorted order without cloning the batmaps.
-    let mut slots: Vec<Option<batmap::BuildOutcome>> = outcomes.into_iter().map(Some).collect();
-    for (s, &item) in positions.iter().enumerate() {
-        let out = slots[item as usize].take().expect("each item used once");
+    for (s, out) in outcomes.into_iter().enumerate() {
         stats.elements += out.stats.elements;
         stats.moves += out.stats.moves;
         stats.max_transcript = stats.max_transcript.max(out.stats.max_transcript);
         stats.failures += out.stats.failures;
-        for &tid in &out.failed {
+        for tid in out.failed {
             failed.push((s as u32, tid));
         }
-        batmaps.push(out.batmap);
-    }
-    // Pad with empty batmaps so work groups are always full.
-    while batmaps.len() % BLOCK != 0 {
-        batmaps.push(Batmap::build_sorted(params.clone(), &[]).batmap);
     }
     Preprocessed {
         params,
-        batmaps,
+        arena,
         order: positions,
         item_to_sorted,
         n_items: n,
@@ -180,8 +377,8 @@ mod tests {
         let pre = preprocess(&vertical(), 1, 128);
         assert_eq!(pre.n_items, 5);
         assert_eq!(pre.padded_items() % BLOCK, 0);
-        for w in pre.batmaps.windows(2) {
-            assert!(w[0].width_bytes() <= w[1].width_bytes());
+        for s in 1..pre.padded_items() {
+            assert!(pre.batmap(s - 1).width_bytes() <= pre.batmap(s).width_bytes());
         }
     }
 
@@ -200,7 +397,7 @@ mod tests {
         assert!(pre.failed.is_empty());
         for item in 0..v.n_items() {
             let s = pre.item_to_sorted[item as usize] as usize;
-            let bm = &pre.batmaps[s];
+            let bm = pre.batmap(s);
             assert_eq!(bm.len() as u64, v.support(item), "item {item}");
             for &tid in v.tidlist(item) {
                 assert!(bm.contains(tid));
@@ -208,14 +405,15 @@ mod tests {
         }
         // Padding is empty.
         for pad in pre.n_items as usize..pre.padded_items() {
-            assert!(pre.batmaps[pad].is_empty());
+            assert!(pre.batmap(pad).is_empty());
         }
     }
 
     #[test]
     fn widths_are_slice_aligned_for_gpu() {
         let pre = preprocess(&vertical(), 4, 128);
-        for bm in &pre.batmaps {
+        for s in 0..pre.padded_items() {
+            let bm = pre.batmap(s);
             assert_eq!(
                 bm.width_bytes() % 64,
                 0,
@@ -223,6 +421,80 @@ mod tests {
                 bm.width_bytes()
             );
         }
+    }
+
+    #[test]
+    fn serial_and_parallel_builds_are_byte_identical() {
+        // The in-place arena build must produce the same bytes no
+        // matter how work is segmented across workers.
+        let v = vertical();
+        let serial = preprocess_with_options(&v, 9, 128, KernelBackend::Auto, Parallelism::Serial);
+        for threads in [2usize, 3, 8] {
+            let par = preprocess_with_options(
+                &v,
+                9,
+                128,
+                KernelBackend::Auto,
+                Parallelism::threads(threads),
+            );
+            assert_eq!(par.padded_items(), serial.padded_items());
+            for s in 0..serial.padded_items() {
+                assert_eq!(
+                    par.batmap(s).as_bytes(),
+                    serial.batmap(s).as_bytes(),
+                    "set {s} threads {threads}"
+                );
+            }
+            assert_eq!(par.failed, serial.failed);
+            assert_eq!(par.stats, serial.stats);
+        }
+    }
+
+    #[test]
+    fn snapshot_roundtrip_preserves_everything() {
+        let v = vertical();
+        let pre = preprocess(&v, 6, 128);
+        let mut buf = Vec::new();
+        pre.write_snapshot(&mut buf).unwrap();
+        let loaded = Preprocessed::read_snapshot(&mut buf.as_slice()).unwrap();
+        assert_eq!(loaded.n_items, pre.n_items);
+        assert_eq!(loaded.order, pre.order);
+        assert_eq!(loaded.item_to_sorted, pre.item_to_sorted);
+        assert_eq!(loaded.failed, pre.failed);
+        assert_eq!(loaded.stats, pre.stats);
+        assert_eq!(loaded.params.fingerprint(), pre.params.fingerprint());
+        for s in 0..pre.padded_items() {
+            assert_eq!(loaded.batmap(s).as_bytes(), pre.batmap(s).as_bytes());
+            assert_eq!(loaded.batmap(s).len(), pre.batmap(s).len());
+        }
+    }
+
+    #[test]
+    fn snapshot_rejects_corruption() {
+        let pre = preprocess(&vertical(), 6, 128);
+        let mut buf = Vec::new();
+        pre.write_snapshot(&mut buf).unwrap();
+        let mut bad = buf.clone();
+        bad[0] ^= 0xFF; // magic
+        assert!(Preprocessed::read_snapshot(&mut bad.as_slice()).is_err());
+        let mut bad = buf.clone();
+        let last = bad.len() - 1;
+        bad[last] ^= 0x10; // arena payload → checksum mismatch
+        assert!(Preprocessed::read_snapshot(&mut bad.as_slice()).is_err());
+        // The JSON side table (order maps, failure lists) starts right
+        // after magic+version+length+checksum (24 bytes); any flip in
+        // it must trip the header checksum — a corrupted failed_tid
+        // must never reach `FailedPairs::build` as a panic or, worse,
+        // silently wrong counts.
+        for poke in [24usize, 40, 64] {
+            let mut bad = buf.clone();
+            bad[poke] ^= 0x01;
+            assert!(
+                Preprocessed::read_snapshot(&mut bad.as_slice()).is_err(),
+                "side-table corruption at byte {poke} must be rejected"
+            );
+        }
+        assert!(Preprocessed::read_snapshot(&mut buf.as_slice()).is_ok());
     }
 
     #[test]
@@ -243,7 +515,7 @@ mod tests {
             // (failures can only happen for real insertions)…
             assert!(v.tidlist(item).contains(&tid));
             // …and must be absent from the built batmap.
-            assert!(!pre.batmaps[s as usize].contains(tid));
+            assert!(!pre.batmap(s as usize).contains(tid));
         }
     }
 }

@@ -1,0 +1,152 @@
+//! Snapshot-serving equivalence, pinned: `mine` end-to-end over the
+//! tiled engines and `mine_levelwise` must produce identical reports
+//! whether the corpus is freshly built inside `mine`, arena-built
+//! up front (`preprocess` + `mine_preprocessed`), or loaded from a
+//! persisted snapshot (`write_snapshot` → `read_snapshot` →
+//! `mine_preprocessed`) — the storage layer and the persistence format
+//! must be invisible to every mining result.
+
+use batmap::Parallelism;
+use fim::{TransactionDb, VerticalDb};
+use gpu_sim::DeviceSpec;
+use pairminer::{
+    mine, mine_preprocessed, preprocess_with_options, Engine, LevelwiseConfig, LevelwiseMiner,
+    MinerConfig, Preprocessed,
+};
+
+fn db() -> TransactionDb {
+    TransactionDb::new(
+        36,
+        (0..800usize)
+            .map(|t| (0..36u32).filter(|&i| (t as u32 + i * 7) % 9 < 2).collect())
+            .collect(),
+    )
+}
+
+/// Build the corpus exactly as `mine` would for `config`, then push it
+/// through a snapshot write→read cycle.
+fn snapshot_corpus(d: &TransactionDb, config: &MinerConfig) -> Preprocessed {
+    let vertical = VerticalDb::from_horizontal(d);
+    let pre = preprocess_with_options(
+        &vertical,
+        config.seed,
+        config.max_loop,
+        config.kernel,
+        config.threads,
+    );
+    let mut buf = Vec::new();
+    pre.write_snapshot(&mut buf).unwrap();
+    Preprocessed::read_snapshot(&mut buf.as_slice()).unwrap()
+}
+
+#[test]
+fn mine_is_identical_fresh_arena_built_and_snapshot_loaded() {
+    let d = db();
+    for engine in [Engine::Cpu, Engine::Gpu(DeviceSpec::gtx285())] {
+        for threads in [Parallelism::Serial, Parallelism::threads(4)] {
+            let config = MinerConfig {
+                k: 32,
+                engine: engine.clone(),
+                threads,
+                ..Default::default()
+            };
+            // Freshly built inside `mine`.
+            let fresh = mine(&d, &config);
+            // Arena-built up front, served without re-preprocessing.
+            let vertical = VerticalDb::from_horizontal(&d);
+            let pre = preprocess_with_options(
+                &vertical,
+                config.seed,
+                config.max_loop,
+                config.kernel,
+                config.threads,
+            );
+            let arena_built = mine_preprocessed(&d, &pre, &config);
+            // Loaded from a persisted snapshot.
+            let loaded = snapshot_corpus(&d, &config);
+            let snapshot_served = mine_preprocessed(&d, &loaded, &config);
+
+            let label = format!("engine {engine:?} threads {threads}");
+            assert_eq!(fresh.pairs, arena_built.pairs, "{label} (arena-built)");
+            assert_eq!(fresh.pairs, snapshot_served.pairs, "{label} (snapshot)");
+            assert_eq!(fresh.comparisons, snapshot_served.comparisons, "{label}");
+            assert_eq!(
+                fresh.failed_pair_occurrences, snapshot_served.failed_pair_occurrences,
+                "{label}"
+            );
+            // Serving a snapshot pays no preprocessing.
+            assert_eq!(snapshot_served.timings.preprocess_s, 0.0, "{label}");
+        }
+    }
+}
+
+#[test]
+fn snapshot_serving_recovers_failed_insertions_too() {
+    // MaxLoop = 1 forces failed insertions; the snapshot carries the
+    // failure list, so the served counts stay exact.
+    let d = TransactionDb::new(
+        24,
+        (0..3000usize)
+            .map(|t| {
+                (0..24u32)
+                    .filter(|&i| (t as u32 + i * 7) % 30 < 2)
+                    .collect()
+            })
+            .collect(),
+    );
+    let config = MinerConfig {
+        max_loop: 1,
+        ..Default::default()
+    };
+    let fresh = mine(&d, &config);
+    assert!(
+        fresh.failed_pair_occurrences > 0,
+        "fixture must force failures"
+    );
+    let loaded = snapshot_corpus(&d, &config);
+    assert!(!loaded.failed.is_empty(), "snapshot must carry failures");
+    let served = mine_preprocessed(&d, &loaded, &config);
+    assert_eq!(fresh.pairs, served.pairs);
+    assert_eq!(
+        fresh.failed_pair_occurrences,
+        served.failed_pair_occurrences
+    );
+    assert_eq!(fresh.pairs, fim::pairs::brute_force_pairs(&d, 1));
+}
+
+#[test]
+fn mine_levelwise_is_identical_fresh_and_snapshot_loaded() {
+    let d = db();
+    let config = LevelwiseConfig {
+        depth: 4,
+        pair: MinerConfig {
+            minsup: 25,
+            engine: Engine::Cpu,
+            ..Default::default()
+        },
+        ..Default::default()
+    };
+    let miner = LevelwiseMiner::new(config.clone());
+    let fresh = miner.mine(&d);
+    let loaded = snapshot_corpus(&d, &config.pair);
+    let served = miner.mine_with_preprocessed(&d, &loaded);
+    assert_eq!(fresh.itemsets, served.itemsets);
+    assert_eq!(fresh.levels.len(), served.levels.len());
+    for (f, s) in fresh.levels.iter().zip(&served.levels) {
+        assert_eq!(
+            (f.k, f.candidates, f.frequent),
+            (s.k, s.candidates, s.frequent)
+        );
+    }
+    assert!(served.pair_report.is_some());
+}
+
+#[test]
+fn mine_preprocessed_rejects_mismatched_database() {
+    let d = db();
+    let other = TransactionDb::new(12, vec![vec![0, 1], vec![1, 2]]);
+    let config = MinerConfig::default();
+    let loaded = snapshot_corpus(&d, &config);
+    let result = std::panic::catch_unwind(|| mine_preprocessed(&other, &loaded, &config));
+    assert!(result.is_err(), "foreign database must be rejected");
+}
