@@ -7,6 +7,7 @@
 //! ```text
 //! perf_suite [--out DIR] [--check BASELINE_DIR] [--factor F]
 //!            [--quick] [--seed N] [--kernel NAME] [--threads N]
+//!            [--repr NAME]
 //! ```
 //!
 //! `--check` compares the fresh reports against the baseline JSONs in
@@ -17,19 +18,25 @@
 //! on a runner without AVX2) are skipped, and their baselines are
 //! excluded from the check rather than reported as vanished.
 
-use batmap::{intersect, ArenaBuilder, KernelBackend, Parallelism, ALL_BACKENDS};
+use batmap::{
+    intersect, ArenaBuilder, BatmapParams, KernelBackend, Parallelism, ReprPolicy, SetRepr,
+    ALL_BACKENDS,
+};
 use bench::report::{load_dir, regression_failures, DatasetParams, PerfReport};
 use datagen::uniform::{generate, UniformSpec};
+use datagen::webdocs::{self, WebDocsSpec};
 use fim::VerticalDb;
 use hpcutil::{scoped_pool, Table};
 use pairminer::cpu::swar_throughput_with;
 use pairminer::{
-    mine, preprocess_with_options, Engine, LevelwiseConfig, LevelwiseMiner, MinerConfig,
+    mine, preprocess_with_options, preprocess_with_repr, Engine, LevelwiseConfig, LevelwiseMiner,
+    MinerConfig,
 };
 use rayon::prelude::*;
 use std::alloc::{GlobalAlloc, Layout, System};
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 
 /// Counting wrapper around the system allocator: the `preprocess_arena`
 /// scenario reports heap-allocation counts alongside throughput, so the
@@ -68,6 +75,7 @@ struct Args {
     seed: u64,
     kernel: KernelBackend,
     threads: Parallelism,
+    repr: ReprPolicy,
 }
 
 fn parse_args() -> Args {
@@ -79,10 +87,11 @@ fn parse_args() -> Args {
         seed: 0x1DB5,
         kernel: KernelBackend::Auto,
         threads: Parallelism::Auto,
+        repr: ReprPolicy::Auto,
     };
     let argv: Vec<String> = std::env::args().skip(1).collect();
     let usage = "usage: perf_suite [--out DIR] [--check BASELINE_DIR] [--factor F] \
-                 [--quick] [--seed N] [--kernel NAME] [--threads N]";
+                 [--quick] [--seed N] [--kernel NAME] [--threads N] [--repr NAME]";
     let mut i = 0;
     let value = |argv: &[String], i: &mut usize, what: &str| -> String {
         *i += 1;
@@ -116,6 +125,13 @@ fn parse_args() -> Args {
                 args.threads = Parallelism::from_name(&value(&argv, &mut i, "--threads"))
                     .unwrap_or_else(|| {
                         eprintln!("--threads takes auto|serial|<count>");
+                        std::process::exit(2);
+                    })
+            }
+            "--repr" => {
+                args.repr =
+                    ReprPolicy::from_name(&value(&argv, &mut i, "--repr")).unwrap_or_else(|| {
+                        eprintln!("--repr takes auto|batmap|bitmap|tidlist|hybrid");
                         std::process::exit(2);
                     })
             }
@@ -403,6 +419,7 @@ fn mine_scenarios(args: &Args) -> Vec<PerfReport> {
         engine,
         threads,
         kernel,
+        repr: args.repr,
         ..Default::default()
     };
     let mut out = Vec::new();
@@ -489,6 +506,7 @@ fn levelwise_scenario(args: &Args) -> PerfReport {
             engine: Engine::Cpu,
             kernel: args.kernel,
             threads: args.threads,
+            repr: args.repr,
             ..Default::default()
         },
         ..Default::default()
@@ -525,13 +543,172 @@ fn levelwise_scenario(args: &Args) -> PerfReport {
     )
 }
 
+/// The hybrid-storage headline scenario: end-to-end pair mining on a
+/// zipfian webdocs corpus, hybrid representation policy vs pure batmap.
+/// Zipfian corpora are exactly where one layout fits nobody: a dense
+/// head (every set ≥ m/32 of the universe), a long sparse tail (raw
+/// tidlists beat the r₀-floored batmap width), and a middle band where
+/// the batmap sweep wins. Logs the chosen-representation histogram and
+/// the speedup, asserts the hybrid run reports identical pairs, and
+/// gates on the hybrid wall. Both policies are pinned explicitly, so
+/// the scenario is independent of `BATMAP_REPR`.
+fn mine_hybrid_zipf_scenario(args: &Args) -> PerfReport {
+    let (documents, mean_doc_len, reps) = if args.quick {
+        (800usize, 60usize, 3)
+    } else {
+        (2_000, 80, 5)
+    };
+    let spec = WebDocsSpec {
+        documents,
+        mean_doc_len,
+        seed: args.seed,
+        ..Default::default()
+    };
+    let db = webdocs::generate(&spec);
+    let config = |repr: ReprPolicy| MinerConfig {
+        k: 64,
+        engine: Engine::Cpu,
+        kernel: args.kernel,
+        threads: args.threads,
+        repr,
+        ..Default::default()
+    };
+
+    // The chosen-representation histogram, from one preprocessing pass
+    // with the same parameters the timed hybrid runs use.
+    let cfg = config(ReprPolicy::Hybrid);
+    let v = VerticalDb::from_horizontal(&db);
+    let pre = preprocess_with_repr(
+        &v,
+        cfg.seed,
+        cfg.max_loop,
+        args.kernel,
+        args.threads,
+        ReprPolicy::Hybrid,
+    );
+    let hist = pre.repr_histogram();
+    println!(
+        "mine_hybrid_zipf: {} items stored as {} batmap / {} bitmap / {} tidlist",
+        pre.n_items,
+        hist[SetRepr::Batmap.tag() as usize],
+        hist[SetRepr::Bitmap.tag() as usize],
+        hist[SetRepr::Tidlist.tag() as usize],
+    );
+    assert!(
+        hist.iter().all(|&n| n > 0),
+        "the zipf corpus must exercise all three representations, got {hist:?}"
+    );
+    drop(pre);
+
+    // Interleaved best-of-reps on both sides, like `preprocess_arena`.
+    let mut hybrid_best = f64::INFINITY;
+    let mut batmap_best = f64::INFINITY;
+    let mut hybrid_report = None;
+    let mut batmap_pairs = None;
+    for _ in 0..reps {
+        let r = mine(&db, &config(ReprPolicy::Hybrid));
+        hybrid_best = hybrid_best.min(r.timings.total_s());
+        hybrid_report = Some(r);
+        let r = mine(&db, &config(ReprPolicy::Batmap));
+        batmap_best = batmap_best.min(r.timings.total_s());
+        batmap_pairs = Some(r.pairs);
+    }
+    let hybrid_report = hybrid_report.expect("reps > 0");
+    assert_eq!(
+        hybrid_report.pairs,
+        batmap_pairs.expect("reps > 0"),
+        "hybrid and pure-batmap mining must report identical pairs"
+    );
+    let speedup = batmap_best / hybrid_best;
+    println!(
+        "mine_hybrid_zipf: hybrid {hybrid_best:.3}s vs batmap {batmap_best:.3}s \
+         end-to-end ({speedup:.2}x)"
+    );
+    assert!(
+        speedup >= 1.15,
+        "hybrid storage must beat pure batmap by ≥1.15x on the zipf corpus, got {speedup:.2}x"
+    );
+
+    let total_items: usize = (0..v.n_items()).map(|i| v.tidlist(i).len()).sum();
+    PerfReport::new(
+        "mine_hybrid_zipf",
+        args.kernel.resolve().name(),
+        "cpu-hybrid",
+        hybrid_report.threads,
+        hybrid_best,
+        hybrid_report.comparisons as u64,
+        DatasetParams {
+            n_items: db.n_items(),
+            total_items,
+            density: total_items as f64 / (db.n_items() as f64 * documents as f64),
+            seed: args.seed,
+            k: 64,
+        },
+    )
+}
+
+/// The mixed-representation kernel micro-scenario: every pairing of
+/// {batmap, bitmap, tidlist} counted through `count_mixed_with` over
+/// arena payload views — the seam the hybrid tile executors run on,
+/// gated separately so a regression in one cross-representation path
+/// cannot hide behind the (much faster) same-representation ones.
+fn intersect_mixed_scenario(args: &Args) -> PerfReport {
+    const M: u64 = 4096;
+    let reps = if args.quick { 2_000 } else { 10_000 };
+    let params = Arc::new(
+        BatmapParams::with_options(M, args.seed, 128, pairminer::GPU_MIN_SHIFT)
+            .with_kernel(args.kernel),
+    );
+    let mut builder = ArenaBuilder::new(params);
+    // One set per representation band: dense (every 2nd element), the
+    // batmap middle band (every 16th), and a sparse tail (every 512th).
+    for (stride, repr) in [
+        (2u64, SetRepr::Bitmap),
+        (16, SetRepr::Batmap),
+        (512, SetRepr::Tidlist),
+    ] {
+        let elements: Vec<u32> = (0..M).step_by(stride as usize).map(|x| x as u32).collect();
+        builder.push_elements(&elements, repr);
+    }
+    let arena = builder.finish();
+    let views: Vec<batmap::SetView> = arena.payload_views(0..arena.len());
+    let mut acc = 0u64;
+    let t0 = std::time::Instant::now();
+    for _ in 0..reps {
+        for a in &views {
+            for b in &views {
+                acc += intersect::count_mixed_with(args.kernel, a, b);
+            }
+        }
+    }
+    let wall = t0.elapsed().as_secs_f64();
+    std::hint::black_box(acc);
+    PerfReport::new(
+        "intersect_mixed",
+        args.kernel.resolve().name(),
+        "mixed-pairings",
+        1,
+        wall,
+        (views.len() * views.len() * reps) as u64,
+        DatasetParams {
+            n_items: views.len() as u32,
+            total_items: M as usize,
+            density: 0.0,
+            seed: args.seed,
+            k: 0,
+        },
+    )
+}
+
 fn main() {
     let args = parse_args();
     let (mut reports, mut skipped) = intersect_scenarios(&args);
     reports.push(intersect_arena_scenario(&args));
     reports.push(preprocess_arena_scenario(&args));
+    reports.push(intersect_mixed_scenario(&args));
     reports.extend(mine_scenarios(&args));
     reports.push(levelwise_scenario(&args));
+    reports.push(mine_hybrid_zipf_scenario(&args));
     let kernel_pinned = args.kernel != KernelBackend::Auto
         || KernelBackend::Auto.resolve() != KernelBackend::widest_available();
     if kernel_pinned {
@@ -545,10 +722,12 @@ fn main() {
         for scenario in [
             "intersect_one_vs_many",
             "intersect_arena",
+            "intersect_mixed",
             "mine_cpu_serial",
             "mine_cpu_parallel",
             "mine_gpu_sim",
             "mine_levelwise",
+            "mine_hybrid_zipf",
         ] {
             skipped.push(scenario.to_string());
         }
@@ -556,6 +735,27 @@ fn main() {
             "note: kernel pinned to {} (--kernel or BATMAP_KERNEL) — \
              kernel-sensitive baselines excluded from the check",
             args.kernel.resolve()
+        );
+    }
+    let repr_pinned =
+        args.repr != ReprPolicy::Auto || ReprPolicy::Auto.resolve() != ReprPolicy::Batmap;
+    if repr_pinned {
+        // The mining floors were recorded under the default pure-batmap
+        // corpus; a pinned storage policy (an explicit `--repr`, or a
+        // `BATMAP_REPR` override steering `Auto`) changes what those
+        // scenarios measure. The hybrid scenarios pin their own
+        // policies internally and stay gated; `mine_gpu_sim` forces an
+        // all-batmap corpus and is repr-insensitive by construction.
+        for scenario in ["mine_cpu_serial", "mine_cpu_parallel", "mine_levelwise"] {
+            let scenario = scenario.to_string();
+            if !skipped.contains(&scenario) {
+                skipped.push(scenario);
+            }
+        }
+        eprintln!(
+            "note: repr policy pinned to {} (--repr or BATMAP_REPR) — \
+             repr-sensitive baselines excluded from the check",
+            args.repr.resolve()
         );
     }
 

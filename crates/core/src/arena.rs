@@ -1,16 +1,20 @@
-//! Arena-backed batmap storage: one contiguous, word-aligned backing
-//! store for all sets of a corpus, with zero-copy views and versioned
-//! snapshot persistence.
+//! Arena-backed set storage: one contiguous, word-aligned backing
+//! store for all sets of a corpus — each in its own typed
+//! representation — with zero-copy views and versioned snapshot
+//! persistence.
 //!
-//! The paper's layout is pure positional data — `3·r` one-byte slots
-//! per set — so nothing about it requires per-set heap allocations.
-//! [`BatmapArena`] packs every set's slot bytes into a single `u64`
-//! backing buffer (each set's window starts on a 64-byte boundary, the
-//! §III-B slice unit) plus an offset/range/len directory, and hands out
-//! borrowed [`BatmapRef`] views. A view is three words on the stack; it
-//! intersects, decodes, and sweeps exactly like an owned
-//! [`Batmap`] because every hot path is generic over
-//! [`AsSlots`].
+//! Every representation here is pure positional data — `3·r` one-byte
+//! slots for a batmap, `⌈m/64⌉` words for an uncompressed bitmap,
+//! `4·len` bytes for a sorted tidlist — so nothing about any of them
+//! requires per-set heap allocations. [`BatmapArena`] packs every set's
+//! payload bytes into a single `u64` backing buffer (each set's window
+//! starts on a 64-byte boundary, the §III-B slice unit) plus an
+//! offset/range/len/representation directory, and hands out borrowed
+//! views: [`BatmapRef`] for batmap sets (three words on the stack,
+//! intersecting, decoding, and sweeping exactly like an owned
+//! [`Batmap`] because every hot path is generic over [`AsSlots`]), and
+//! the typed [`SetView`] for corpora that mix representations (the
+//! hybrid storage seam — see [`crate::repr`]).
 //!
 //! Two ways to build one:
 //!
@@ -36,6 +40,10 @@
 use crate::batmap::AsSlots;
 use crate::error::SnapshotError;
 use crate::params::{BatmapParams, ParamsHandle, EMPTY_SLOT, TABLES};
+use crate::repr::{
+    bitmap_width_bytes, encode_bitmap_into, encode_tidlist_into, tidlist_width_bytes, BitmapRef,
+    SetRepr, SetView, TidlistRef, REPR_COUNT,
+};
 use crate::{intersect, Batmap, BatmapError};
 use hpcutil::MemoryFootprint;
 use serde::{Deserialize, Serialize};
@@ -52,17 +60,88 @@ pub const SET_ALIGN: usize = 64;
 pub const SNAPSHOT_MAGIC: [u8; 8] = *b"BATMAPAR";
 
 /// Snapshot format version ([`BatmapArena::read_from`] refuses others).
-pub const SNAPSHOT_VERSION: u32 = 1;
+/// Version 2 added the per-set representation tag to the directory
+/// (24-byte entries became 32-byte entries); version-1 files are
+/// refused with a clear [`SnapshotError`], not misparsed.
+pub const SNAPSHOT_VERSION: u32 = 2;
 
-/// Directory entry: where one set lives in the backing store.
+/// Directory entry: where one set lives in the backing store and what
+/// layout its bytes are in.
 #[derive(Debug, Clone, Copy)]
 struct SetDir {
-    /// Byte offset of the set's first slot (multiple of [`SET_ALIGN`]).
+    /// Byte offset of the set's first payload byte (multiple of
+    /// [`SET_ALIGN`]).
     offset: usize,
-    /// Per-table range `r` (power of two ≥ `r₀`; width is `3·r` bytes).
+    /// Per-table range `r` for batmap sets (power of two ≥ `r₀`; width
+    /// is `3·r` bytes). Stored as `0` for the other representations,
+    /// whose widths derive from `m` (bitmap) or `len` (tidlist).
     r: u64,
     /// Stored cardinality.
     len: usize,
+    /// Storage representation of this set's payload bytes.
+    repr: SetRepr,
+}
+
+/// Payload width in bytes of one directory entry.
+fn dir_width(params: &BatmapParams, d: &SetDir) -> usize {
+    match d.repr {
+        SetRepr::Batmap => (TABLES as u64 * d.r) as usize,
+        SetRepr::Bitmap => bitmap_width_bytes(params.m()),
+        SetRepr::Tidlist => tidlist_width_bytes(d.len),
+    }
+}
+
+/// Layout request for one set in [`BatmapArena::with_layout`]: the
+/// representation plus whatever sizes it needs reserved up front.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SetSpec {
+    /// Representation the set's window will hold.
+    pub repr: SetRepr,
+    /// Batmap per-table range (ignored by the other representations).
+    pub r: u64,
+    /// Cardinality the window is sized for. A tidlist window is exactly
+    /// `4·len` bytes, so for tidlists this must be the final stored
+    /// cardinality; for the fixed-width representations it is advisory
+    /// and [`ArenaStage::finish`] overwrites it.
+    pub len: usize,
+}
+
+impl SetSpec {
+    /// A batmap window of range `r`.
+    pub fn batmap(r: u64) -> Self {
+        SetSpec {
+            repr: SetRepr::Batmap,
+            r,
+            len: 0,
+        }
+    }
+
+    /// An uncompressed-bitmap window (width comes from the universe).
+    pub fn bitmap(len: usize) -> Self {
+        SetSpec {
+            repr: SetRepr::Bitmap,
+            r: 0,
+            len,
+        }
+    }
+
+    /// A tidlist window of exactly `len` elements.
+    pub fn tidlist(len: usize) -> Self {
+        SetSpec {
+            repr: SetRepr::Tidlist,
+            r: 0,
+            len,
+        }
+    }
+
+    /// Payload width in bytes this spec reserves.
+    pub fn width_bytes(&self, params: &BatmapParams) -> usize {
+        match self.repr {
+            SetRepr::Batmap => (TABLES as u64 * self.r) as usize,
+            SetRepr::Bitmap => bitmap_width_bytes(params.m()),
+            SetRepr::Tidlist => tidlist_width_bytes(self.len),
+        }
+    }
 }
 
 /// All slot bytes of a corpus in one contiguous, word-aligned buffer,
@@ -123,12 +202,20 @@ impl BatmapArena {
         self.dir.is_empty()
     }
 
-    /// Zero-copy view of set `i`.
+    /// Zero-copy batmap view of set `i` (the legacy all-batmap entry
+    /// point; hybrid consumers use [`BatmapArena::payload`]).
     ///
     /// # Panics
-    /// Panics if `i` is out of bounds.
+    /// Panics if `i` is out of bounds or set `i` is not stored as a
+    /// batmap.
     pub fn get(&self, i: usize) -> BatmapRef<'_> {
         let d = self.dir[i];
+        assert_eq!(
+            d.repr,
+            SetRepr::Batmap,
+            "set {i} is stored as a {}; use BatmapArena::payload for hybrid arenas",
+            d.repr
+        );
         let width = (TABLES as u64 * d.r) as usize;
         BatmapRef {
             params: &self.params,
@@ -138,24 +225,85 @@ impl BatmapArena {
         }
     }
 
-    /// Views of the sets in `range`, in order (the tile executors
-    /// materialize one such column block per tile).
+    /// Storage representation of set `i`.
+    ///
+    /// # Panics
+    /// Panics if `i` is out of bounds.
+    pub fn repr(&self, i: usize) -> SetRepr {
+        self.dir[i].repr
+    }
+
+    /// True when every set is stored as a batmap (the legacy corpus
+    /// shape; lets executors keep the all-batmap fast path).
+    pub fn is_all_batmap(&self) -> bool {
+        self.dir.iter().all(|d| d.repr == SetRepr::Batmap)
+    }
+
+    /// How many sets each representation holds, indexed by
+    /// [`SetRepr::tag`] (the chosen-representation histogram the perf
+    /// scenarios log).
+    pub fn repr_histogram(&self) -> [usize; REPR_COUNT] {
+        let mut h = [0usize; REPR_COUNT];
+        for d in self.dir.iter() {
+            h[d.repr.tag() as usize] += 1;
+        }
+        h
+    }
+
+    /// Zero-copy typed view of set `i`, whatever its representation
+    /// (the hybrid storage seam).
+    ///
+    /// # Panics
+    /// Panics if `i` is out of bounds.
+    pub fn payload(&self, i: usize) -> SetView<'_> {
+        let d = self.dir[i];
+        let bytes = &words_as_bytes(&self.words)[d.offset..d.offset + dir_width(&self.params, &d)];
+        match d.repr {
+            SetRepr::Batmap => SetView::Batmap(BatmapRef {
+                params: &self.params,
+                r: d.r,
+                bytes,
+                len: d.len,
+            }),
+            SetRepr::Bitmap => SetView::Bitmap(BitmapRef {
+                params: &self.params,
+                bytes,
+                len: d.len,
+            }),
+            SetRepr::Tidlist => SetView::Tidlist(TidlistRef {
+                params: &self.params,
+                bytes,
+            }),
+        }
+    }
+
+    /// Batmap views of the sets in `range`, in order (the all-batmap
+    /// tile executors materialize one such column block per tile).
+    ///
+    /// # Panics
+    /// Panics if any set in `range` is not stored as a batmap.
     pub fn views(&self, range: std::ops::Range<usize>) -> Vec<BatmapRef<'_>> {
         range.map(|i| self.get(i)).collect()
     }
 
-    /// Iterate over all views in index order.
+    /// Typed views of the sets in `range`, in order (the hybrid tile
+    /// executors' column block).
+    pub fn payload_views(&self, range: std::ops::Range<usize>) -> Vec<SetView<'_>> {
+        range.map(|i| self.payload(i)).collect()
+    }
+
+    /// Iterate over all batmap views in index order.
+    ///
+    /// # Panics
+    /// Panics (lazily, per item) if a set is not stored as a batmap.
     pub fn iter(&self) -> impl Iterator<Item = BatmapRef<'_>> {
         (0..self.len()).map(|i| self.get(i))
     }
 
-    /// Total slot bytes across all sets (directory widths; excludes
+    /// Total payload bytes across all sets (directory widths; excludes
     /// alignment padding).
     pub fn slot_bytes_total(&self) -> usize {
-        self.dir
-            .iter()
-            .map(|d| (TABLES as u64 * d.r) as usize)
-            .sum()
+        self.dir.iter().map(|d| dir_width(&self.params, d)).sum()
     }
 
     /// Bytes of the backing store (slot bytes plus alignment padding).
@@ -176,30 +324,60 @@ impl BatmapArena {
     /// # Panics
     /// Panics if any range is not a power of two ≥ the parameters' `r₀`.
     pub fn with_ranges(params: ParamsHandle, ranges: &[u64]) -> ArenaStage {
-        let mut dir = Vec::with_capacity(ranges.len());
+        let specs: Vec<SetSpec> = ranges.iter().map(|&r| SetSpec::batmap(r)).collect();
+        Self::with_layout(params, &specs)
+    }
+
+    /// Reserve the full arena layout for sets with the given per-set
+    /// representations and sizes, for in-place construction — the
+    /// hybrid generalization of [`BatmapArena::with_ranges`]. The same
+    /// window contract applies: alignment-gap bytes are initialized (to
+    /// [`EMPTY_SLOT`], for snapshot determinism), the set windows
+    /// themselves must be fully overwritten before the arena is used
+    /// (`BatmapBuilder::finish_into` and the
+    /// [`crate::repr::encode_bitmap_into`] /
+    /// [`crate::repr::encode_tidlist_into`] encoders all do).
+    ///
+    /// # Panics
+    /// Panics if any batmap spec's range is not a power of two ≥ the
+    /// parameters' `r₀`.
+    pub fn with_layout(params: ParamsHandle, specs: &[SetSpec]) -> ArenaStage {
+        let mut dir = Vec::with_capacity(specs.len());
         let mut offset = 0usize;
-        for &r in ranges {
-            assert!(
-                r.is_power_of_two() && r >= params.r0(),
-                "range {r} invalid for this universe (r₀ = {})",
-                params.r0()
-            );
-            dir.push(SetDir { offset, r, len: 0 });
-            offset += ((TABLES as u64 * r) as usize).next_multiple_of(SET_ALIGN);
+        for spec in specs {
+            if spec.repr == SetRepr::Batmap {
+                assert!(
+                    spec.r.is_power_of_two() && spec.r >= params.r0(),
+                    "range {} invalid for this universe (r₀ = {})",
+                    spec.r,
+                    params.r0()
+                );
+            }
+            let d = SetDir {
+                offset,
+                r: if spec.repr == SetRepr::Batmap {
+                    spec.r
+                } else {
+                    0
+                },
+                len: spec.len,
+                repr: spec.repr,
+            };
+            offset += dir_width(&params, &d).next_multiple_of(SET_ALIGN);
+            dir.push(d);
         }
         let mut words = vec![0u64; words_for(offset)].into_boxed_slice();
         // Only the alignment gaps are initialized here (for snapshot
         // determinism): every set window must be — and in the build
-        // paths is — overwritten wholesale by
-        // `BatmapBuilder::finish_into`, so pre-filling them would be a
-        // redundant memset of the whole corpus. With the GPU shift,
-        // widths are multiples of SET_ALIGN and there are no gaps at
-        // all, so this loop touches nothing.
+        // paths is — overwritten wholesale, so pre-filling them would be
+        // a redundant memset of the whole corpus. With the GPU shift,
+        // batmap widths are multiples of SET_ALIGN; gaps appear only
+        // after bitmap/tidlist windows.
         let bytes = words_as_bytes_mut(&mut words);
         let mut gap_start = 0usize;
         for d in &dir {
             bytes[gap_start..d.offset].fill(EMPTY_SLOT);
-            gap_start = d.offset + (TABLES as u64 * d.r) as usize;
+            gap_start = d.offset + dir_width(&params, d);
         }
         bytes[gap_start..].fill(EMPTY_SLOT);
         ArenaStage {
@@ -216,16 +394,18 @@ impl BatmapArena {
     /// Layout: [`SNAPSHOT_MAGIC`], version (`u32` LE), header length
     /// (`u32` LE), JSON header (full [`BatmapParams`], fingerprint, set
     /// count, payload size, checksum, and the kernel-independence
-    /// marker), the directory (three `u64` LE per set), then the raw
-    /// backing bytes. [`BatmapArena::read_from`] checks every field
-    /// before accepting the payload.
+    /// marker), the directory (four `u64` LE per set: offset, range,
+    /// cardinality, representation tag), then the raw backing bytes.
+    /// [`BatmapArena::read_from`] checks every field before accepting
+    /// the payload.
     pub fn write_to<W: Write>(&self, w: &mut W) -> std::io::Result<()> {
         let payload = words_as_bytes(&self.words);
-        let mut dir_bytes = Vec::with_capacity(self.dir.len() * 24);
+        let mut dir_bytes = Vec::with_capacity(self.dir.len() * 32);
         for d in self.dir.iter() {
             dir_bytes.extend_from_slice(&(d.offset as u64).to_le_bytes());
             dir_bytes.extend_from_slice(&d.r.to_le_bytes());
             dir_bytes.extend_from_slice(&(d.len as u64).to_le_bytes());
+            dir_bytes.extend_from_slice(&d.repr.tag().to_le_bytes());
         }
         let header = SnapshotHeader {
             params: (*self.params).clone(),
@@ -307,7 +487,7 @@ impl BatmapArena {
         // instead of a multi-terabyte allocation request (which would
         // abort the process rather than return a `SnapshotError`).
         let dir_len = n_sets
-            .checked_mul(24)
+            .checked_mul(32)
             .ok_or_else(|| bad("directory overflow"))?;
         let mut dir_bytes = Vec::new();
         r.by_ref()
@@ -331,15 +511,48 @@ impl BatmapArena {
         }
         let mut dir = Vec::with_capacity(n_sets);
         let mut next_free = 0usize;
-        for entry in dir_bytes.chunks_exact(24) {
+        for entry in dir_bytes.chunks_exact(32) {
             let offset = u64::from_le_bytes(entry[0..8].try_into().unwrap());
             let r_set = u64::from_le_bytes(entry[8..16].try_into().unwrap());
             let len = u64::from_le_bytes(entry[16..24].try_into().unwrap());
+            let tag = u64::from_le_bytes(entry[24..32].try_into().unwrap());
             let offset = usize::try_from(offset).map_err(|_| bad("offset overflow"))?;
-            if !r_set.is_power_of_two() || r_set < params.r0() {
-                return Err(bad("directory range not a power of two ≥ r₀"));
-            }
-            let width = (TABLES as u64 * r_set) as usize;
+            let repr = SetRepr::from_tag(tag).ok_or_else(|| {
+                SnapshotError::Format(format!("unknown representation tag {tag}"))
+            })?;
+            let width = match repr {
+                SetRepr::Batmap => {
+                    if !r_set.is_power_of_two() || r_set < params.r0() {
+                        return Err(bad("directory range not a power of two ≥ r₀"));
+                    }
+                    // Each element occupies 2 of the 3·r slots.
+                    if len > (3 * r_set) / 2 {
+                        return Err(bad("stored cardinality exceeds slot capacity"));
+                    }
+                    (TABLES as u64 * r_set) as usize
+                }
+                SetRepr::Bitmap => {
+                    if r_set != 0 {
+                        return Err(bad("bitmap entry carries a batmap range"));
+                    }
+                    if len > params.m() {
+                        return Err(bad("stored cardinality exceeds the universe"));
+                    }
+                    bitmap_width_bytes(params.m())
+                }
+                SetRepr::Tidlist => {
+                    if r_set != 0 {
+                        return Err(bad("tidlist entry carries a batmap range"));
+                    }
+                    if len > params.m() {
+                        return Err(bad("stored cardinality exceeds the universe"));
+                    }
+                    usize::try_from(len)
+                        .ok()
+                        .and_then(|l| l.checked_mul(4))
+                        .ok_or_else(|| bad("tidlist width overflow"))?
+                }
+            };
             if offset % SET_ALIGN != 0 || offset < next_free {
                 return Err(bad("directory offsets unaligned or overlapping"));
             }
@@ -349,15 +562,12 @@ impl BatmapArena {
             {
                 return Err(bad("set window out of payload bounds"));
             }
-            // Each element occupies 2 of the 3·r slots.
-            if len > (3 * r_set) / 2 {
-                return Err(bad("stored cardinality exceeds slot capacity"));
-            }
             next_free = offset + width;
             dir.push(SetDir {
                 offset,
                 r: r_set,
                 len: len as usize,
+                repr,
             });
         }
         Ok(BatmapArena {
@@ -391,12 +601,13 @@ impl ArenaStage {
     /// Hand contiguous runs of these to worker threads: each run is one
     /// worker's bump segment of the final buffer.
     pub fn set_slices(&mut self) -> Vec<&mut [u8]> {
+        let params = self.arena.params.clone();
         let dir = &self.arena.dir;
         let mut rest = words_as_bytes_mut(&mut self.arena.words);
         let mut consumed = 0usize;
         let mut out = Vec::with_capacity(dir.len());
         for d in dir.iter() {
-            let width = (TABLES as u64 * d.r) as usize;
+            let width = dir_width(&params, d);
             let (_, tail) = std::mem::take(&mut rest).split_at_mut(d.offset - consumed);
             let (set, tail) = tail.split_at_mut(width);
             out.push(set);
@@ -410,10 +621,16 @@ impl ArenaStage {
     /// arena.
     ///
     /// # Panics
-    /// Panics if `lens.len()` differs from the set count.
+    /// Panics if `lens.len()` differs from the set count, or if a
+    /// tidlist set's length differs from the one its window was laid
+    /// out for (a tidlist window is exactly `4·len` bytes, so the
+    /// cardinality is part of the layout, not a late-bound fact).
     pub fn finish(mut self, lens: &[usize]) -> BatmapArena {
         assert_eq!(lens.len(), self.arena.dir.len(), "one length per set");
         for (d, &len) in self.arena.dir.iter_mut().zip(lens) {
+            if d.repr == SetRepr::Tidlist {
+                assert_eq!(d.len, len, "tidlist cardinality fixed at layout time");
+            }
             d.len = len;
         }
         self.arena
@@ -456,6 +673,60 @@ impl ArenaBuilder {
             offset,
             r: set.range(),
             len: set.len(),
+            repr: SetRepr::Batmap,
+        });
+        self.dir.len() - 1
+    }
+
+    /// Append a set built from `elements` (any order, duplicates
+    /// tolerated) in the given representation; returns its index. This
+    /// is the forced-representation path the hybrid tests and the
+    /// `intersect_mixed` scenario use to assemble arbitrary mixed
+    /// corpora.
+    ///
+    /// # Panics
+    /// Panics if an element is outside the universe, or if `repr` is
+    /// [`SetRepr::Batmap`] and the cuckoo build does not place every
+    /// element (raise `max_loop` or the seed in that unlikely case).
+    pub fn push_elements(&mut self, elements: &[u32], repr: SetRepr) -> usize {
+        let mut sorted = elements.to_vec();
+        sorted.sort_unstable();
+        sorted.dedup();
+        if let Some(&max) = sorted.last() {
+            assert!(
+                (max as u64) < self.params.m(),
+                "element {max} outside universe of size {}",
+                self.params.m()
+            );
+        }
+        if repr == SetRepr::Batmap {
+            let outcome = Batmap::build_sorted(self.params.clone(), &sorted);
+            assert!(
+                outcome.failed.is_empty(),
+                "batmap build failed to place {} elements",
+                outcome.failed.len()
+            );
+            return self.push(&outcome.batmap);
+        }
+        let offset = self.bytes.len().next_multiple_of(SET_ALIGN);
+        self.bytes.resize(offset, EMPTY_SLOT);
+        let width = match repr {
+            SetRepr::Bitmap => bitmap_width_bytes(self.params.m()),
+            SetRepr::Tidlist => tidlist_width_bytes(sorted.len()),
+            SetRepr::Batmap => unreachable!(),
+        };
+        self.bytes.resize(offset + width, 0);
+        let window = &mut self.bytes[offset..];
+        match repr {
+            SetRepr::Bitmap => encode_bitmap_into(&sorted, window),
+            SetRepr::Tidlist => encode_tidlist_into(&sorted, window),
+            SetRepr::Batmap => unreachable!(),
+        }
+        self.dir.push(SetDir {
+            offset,
+            r: 0,
+            len: sorted.len(),
+            repr,
         });
         self.dir.len() - 1
     }
@@ -814,5 +1085,203 @@ mod tests {
         let b = Arc::new(BatmapParams::new(1_000, 0xFFFF_1234));
         let bm = Batmap::build(b, &[1, 2, 3]).batmap;
         ArenaBuilder::new(a).push(&bm);
+    }
+
+    fn build_hybrid(p: &ParamsHandle) -> BatmapArena {
+        let reprs = [
+            SetRepr::Batmap,
+            SetRepr::Tidlist,
+            SetRepr::Bitmap,
+            SetRepr::Bitmap,
+        ];
+        let mut b = ArenaBuilder::new(p.clone());
+        for (s, &repr) in sets().iter().zip(&reprs) {
+            b.push_elements(s, repr);
+        }
+        b.finish()
+    }
+
+    #[test]
+    fn hybrid_payload_views_report_exact_sets() {
+        let p = params(20_000);
+        let arena = build_hybrid(&p);
+        assert!(!arena.is_all_batmap());
+        assert_eq!(arena.repr_histogram(), [1, 2, 1]);
+        for (i, s) in sets().iter().enumerate() {
+            let mut expect = s.clone();
+            expect.sort_unstable();
+            expect.dedup();
+            let v = arena.payload(i);
+            assert_eq!(v.repr(), arena.repr(i));
+            assert_eq!(v.len(), expect.len());
+            let mut got = v.elements();
+            got.sort_unstable();
+            assert_eq!(got, expect, "set {i}");
+            for &x in expect.iter().take(50) {
+                assert!(v.contains(x));
+            }
+        }
+        // The typed column block mirrors per-index payloads.
+        let views = arena.payload_views(0..arena.len());
+        assert_eq!(views.len(), arena.len());
+        for (i, v) in views.iter().enumerate() {
+            assert_eq!(v.repr(), arena.repr(i));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "use BatmapArena::payload")]
+    fn get_refuses_non_batmap_sets() {
+        let p = params(20_000);
+        build_hybrid(&p).get(1);
+    }
+
+    #[test]
+    fn hybrid_snapshot_roundtrip_preserves_reprs() {
+        let p = params(20_000);
+        let arena = build_hybrid(&p);
+        let mut buf = Vec::new();
+        arena.write_to(&mut buf).unwrap();
+        let loaded = BatmapArena::read_from(&mut buf.as_slice()).unwrap();
+        assert_eq!(loaded.repr_histogram(), arena.repr_histogram());
+        for i in 0..arena.len() {
+            assert_eq!(loaded.repr(i), arena.repr(i));
+            let mut a = loaded.payload(i).elements();
+            let mut b = arena.payload(i).elements();
+            a.sort_unstable();
+            b.sort_unstable();
+            assert_eq!(a, b, "set {i}");
+        }
+    }
+
+    #[test]
+    fn snapshot_rejects_version_1_files() {
+        // The version field sits outside the checksum, so rewriting it
+        // to the pre-representation-tag version must surface as a clean
+        // version rejection — not a checksum panic or a misparse of the
+        // 24-byte-entry directory.
+        let p = params(20_000);
+        let (_, arena) = build_arena(&p);
+        let mut buf = Vec::new();
+        arena.write_to(&mut buf).unwrap();
+        buf[8..12].copy_from_slice(&1u32.to_le_bytes());
+        match BatmapArena::read_from(&mut buf.as_slice()) {
+            Err(SnapshotError::Format(msg)) => {
+                assert!(msg.contains("version 1"), "unexpected message: {msg}");
+                assert!(msg.contains("reads 2"), "unexpected message: {msg}");
+            }
+            other => panic!("expected a version Format error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn snapshot_rejects_unknown_repr_tag() {
+        let p = params(20_000);
+        let arena = build_hybrid(&p);
+        let mut buf = Vec::new();
+        arena.write_to(&mut buf).unwrap();
+        // Locate the directory: magic(8) + version(4) + header_len(4) +
+        // header JSON, then 32-byte entries. Poke the first entry's tag
+        // and re-seal the checksum so only the tag check can fire.
+        let header_len = u32::from_le_bytes(buf[12..16].try_into().unwrap()) as usize;
+        let dir_start = 16 + header_len;
+        buf[dir_start + 24..dir_start + 32].copy_from_slice(&7u64.to_le_bytes());
+        let json = std::str::from_utf8(&buf[16..dir_start])
+            .unwrap()
+            .to_string();
+        let dir_len = arena.len() * 32;
+        let checksum = fnv1a(
+            &buf[dir_start..dir_start + dir_len],
+            fnv1a(&buf[dir_start + dir_len..], FNV_OFFSET),
+        );
+        let resealed = regex_replace_checksum(&json, checksum);
+        let mut patched = buf[..16].to_vec();
+        patched[12..16].copy_from_slice(&(resealed.len() as u32).to_le_bytes());
+        patched.extend_from_slice(resealed.as_bytes());
+        patched.extend_from_slice(&buf[dir_start..]);
+        match BatmapArena::read_from(&mut patched.as_slice()) {
+            Err(SnapshotError::Format(msg)) => {
+                assert!(msg.contains("unknown representation tag"), "{msg}");
+            }
+            other => panic!("expected a tag Format error, got {other:?}"),
+        }
+    }
+
+    /// Swap the `"checksum":N` field inside a snapshot header (test
+    /// helper; JSON numbers here are plain `u64` decimals).
+    fn regex_replace_checksum(json: &str, checksum: u64) -> String {
+        let key = "\"checksum\":";
+        let start = json.find(key).unwrap() + key.len();
+        let end = start
+            + json[start..]
+                .find(|c: char| !c.is_ascii_digit())
+                .unwrap_or(json.len() - start);
+        format!("{}{}{}", &json[..start], checksum, &json[end..])
+    }
+
+    #[test]
+    fn with_layout_hybrid_stage_matches_builder_path() {
+        let p = params(20_000);
+        let reprs = [
+            SetRepr::Batmap,
+            SetRepr::Tidlist,
+            SetRepr::Bitmap,
+            SetRepr::Bitmap,
+        ];
+        let normalized: Vec<Vec<u32>> = sets()
+            .iter()
+            .map(|s| {
+                let mut v = s.clone();
+                v.sort_unstable();
+                v.dedup();
+                v
+            })
+            .collect();
+        let specs: Vec<SetSpec> = normalized
+            .iter()
+            .zip(&reprs)
+            .map(|(s, &repr)| match repr {
+                SetRepr::Batmap => SetSpec::batmap(p.range_for(s.len())),
+                SetRepr::Bitmap => SetSpec::bitmap(s.len()),
+                SetRepr::Tidlist => SetSpec::tidlist(s.len()),
+            })
+            .collect();
+        let mut stage = BatmapArena::with_layout(p.clone(), &specs);
+        let mut lens = Vec::new();
+        {
+            let slices = stage.set_slices();
+            let mut builder = crate::builder::BatmapBuilder::with_capacity(p.clone(), 0);
+            for ((s, out), &repr) in normalized.iter().zip(slices).zip(&reprs) {
+                match repr {
+                    SetRepr::Batmap => {
+                        builder.reset(s.len());
+                        builder.extend_sorted_dedup(s);
+                        let outcome = builder.finish_into(out);
+                        assert!(outcome.failed.is_empty());
+                        lens.push(outcome.len);
+                    }
+                    SetRepr::Bitmap => {
+                        crate::repr::encode_bitmap_into(s, out);
+                        lens.push(s.len());
+                    }
+                    SetRepr::Tidlist => {
+                        crate::repr::encode_tidlist_into(s, out);
+                        lens.push(s.len());
+                    }
+                }
+            }
+        }
+        let staged = stage.finish(&lens);
+        let pushed = build_hybrid(&p);
+        assert_eq!(staged.len(), pushed.len());
+        for i in 0..staged.len() {
+            assert_eq!(staged.repr(i), pushed.repr(i));
+            assert_eq!(staged.payload(i).len(), pushed.payload(i).len());
+            let mut a = staged.payload(i).elements();
+            let mut b = pushed.payload(i).elements();
+            a.sort_unstable();
+            b.sort_unstable();
+            assert_eq!(a, b, "set {i}");
+        }
     }
 }

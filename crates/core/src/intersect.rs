@@ -21,9 +21,11 @@
 //! other widths fall back to the monomorphized pairwise path within the
 //! same dispatch.
 
+use crate::arena::BatmapRef;
 use crate::batmap::AsSlots;
 use crate::kernel::{KernelBackend, KernelDispatch, MatchKernel};
-use crate::BatmapError;
+use crate::repr::{for_each_batmap_element, BitmapRef, SetView, TidlistRef};
+use crate::{slot, BatmapError, TABLES};
 
 /// `|a ∩ b|` using the backend configured on `a`'s universe parameters,
 /// monomorphized through one dispatch. Generic over the storage of both
@@ -200,6 +202,319 @@ fn one_vs_many_sweep<K: MatchKernel, A: AsSlots, B: AsSlots>(
     }
 }
 
+/// `|a ∩ b|` between two typed set views, using the backend configured
+/// on `a`'s universe parameters — the hybrid storage counterpart of the
+/// batmap-only entry points above. Every representation pairing is
+/// exact; see [`count_mixed_with`] for the kernel matrix.
+///
+/// # Panics
+/// Panics if the operands come from different universes.
+pub fn count_mixed(a: &SetView<'_>, b: &SetView<'_>) -> u64 {
+    count_mixed_with(a.params().kernel_backend(), a, b)
+}
+
+/// [`count_mixed`] with an explicit match-count backend (which only the
+/// batmap×batmap arm consults — the other kernels are
+/// representation-specific, not backend-specific).
+///
+/// The pairing matrix:
+///
+/// * batmap×batmap — the existing positional SIMD dispatch, unchanged;
+/// * bitmap×bitmap — word-wise AND + popcount sweep (widths are equal
+///   by construction: both `⌈m/64⌉` words);
+/// * tidlist×tidlist — galloping merge, probing the shorter list into
+///   the longer with an exponential-then-binary lower-bound search;
+/// * every cross-representation pair — the sparser operand's elements
+///   stream against the denser operand's O(1)/O(log n) membership test
+///   (a batmap streams via its allocation-free indicator-bit walk).
+///
+/// # Panics
+/// Panics if the operands come from different universes.
+pub fn count_mixed_with(backend: KernelBackend, a: &SetView<'_>, b: &SetView<'_>) -> u64 {
+    assert_eq!(
+        a.params().fingerprint(),
+        b.params().fingerprint(),
+        "sets from different universes"
+    );
+    count_mixed_pair(backend, a, b)
+}
+
+/// The pairing matrix itself, with the universe check hoisted out — the
+/// row driver below validates once per row, not once per pair.
+fn count_mixed_pair(backend: KernelBackend, a: &SetView<'_>, b: &SetView<'_>) -> u64 {
+    match (a, b) {
+        (SetView::Batmap(x), SetView::Batmap(y)) => {
+            struct Pair<'a>(BatmapRef<'a>, BatmapRef<'a>);
+            impl KernelDispatch for Pair<'_> {
+                type Output = u64;
+                fn run<K: MatchKernel>(self, kernel: K) -> u64 {
+                    count_pair(&kernel, &self.0, &self.1)
+                }
+            }
+            backend.dispatch(Pair(*x, *y))
+        }
+        (SetView::Bitmap(x), SetView::Bitmap(y)) => count_bitmap_bitmap(x, y),
+        (SetView::Tidlist(x), SetView::Tidlist(y)) => count_tidlist_tidlist(x, y),
+        (SetView::Batmap(bm), SetView::Tidlist(t)) | (SetView::Tidlist(t), SetView::Batmap(bm)) => {
+            if t.len() <= bm.len() {
+                (0..t.len()).filter(|&i| bm.contains(t.get(i))).count() as u64
+            } else {
+                let mut n = 0u64;
+                for_each_batmap_element(bm, |x| n += t.contains(x) as u64);
+                n
+            }
+        }
+        (SetView::Batmap(bm), SetView::Bitmap(bv)) | (SetView::Bitmap(bv), SetView::Batmap(bm)) => {
+            if bm.len() <= bv.len() {
+                let mut n = 0u64;
+                for_each_batmap_element(bm, |x| n += bv.contains(x) as u64);
+                n
+            } else {
+                let mut n = 0u64;
+                bv.for_each(|x| n += bm.contains(x) as u64);
+                n
+            }
+        }
+        (SetView::Bitmap(bv), SetView::Tidlist(t)) | (SetView::Tidlist(t), SetView::Bitmap(bv)) => {
+            if t.len() <= bv.len() {
+                (0..t.len()).filter(|&i| bv.contains(t.get(i))).count() as u64
+            } else {
+                let mut n = 0u64;
+                bv.for_each(|x| n += t.contains(x) as u64);
+                n
+            }
+        }
+    }
+}
+
+/// Count intersections of one typed view against many, the hybrid tile
+/// executors' row primitive. The backend is resolved once per row;
+/// batmap candidates of a batmap probe are batched through the
+/// register-blocked [`count_one_vs_many_with`] sweep, everything else
+/// takes the per-pair mixed kernels.
+///
+/// # Panics
+/// Panics if `out.len() != many.len()` or any candidate comes from a
+/// different universe.
+pub fn count_mixed_one_vs_many_into(one: &SetView<'_>, many: &[SetView<'_>], out: &mut [u64]) {
+    assert_eq!(out.len(), many.len(), "one output slot per candidate");
+    if let Some(first) = many.first() {
+        // One universe check per row; candidates of a row all come from
+        // the same arena, so per-pair re-validation (a fingerprint hash
+        // on both sides, ~88M times for a 13k-item corpus) would be
+        // pure overhead on the hot path.
+        assert_eq!(
+            one.params().fingerprint(),
+            first.params().fingerprint(),
+            "sets from different universes"
+        );
+    }
+    let backend = one.params().kernel_backend();
+    match one {
+        SetView::Batmap(probe) => {
+            // Recover the batched equal-width sweep for the batmap
+            // portion of the row (preprocessing sorts by width, so
+            // batmap columns cluster); the `Vec`s defer allocation
+            // until the first batmap candidate. Against sparse
+            // candidates the probe's elements are decoded once per row
+            // (`elements()` pays one Feistel inversion per element —
+            // far too much to redo per pair) and merged directly.
+            let mut bm_idx: Vec<usize> = Vec::new();
+            let mut bm_views: Vec<BatmapRef<'_>> = Vec::new();
+            let mut elems: Option<Vec<u32>> = None;
+            for (i, c) in many.iter().enumerate() {
+                match c {
+                    SetView::Batmap(b) => {
+                        bm_idx.push(i);
+                        bm_views.push(*b);
+                    }
+                    _ => {
+                        let elems = elems.get_or_insert_with(|| {
+                            let mut e = probe.elements();
+                            e.sort_unstable();
+                            e
+                        });
+                        out[i] = match c {
+                            SetView::Tidlist(t) => count_sorted_vs_tidlist(elems, t),
+                            SetView::Bitmap(b) => {
+                                elems.iter().filter(|&&x| b.contains(x)).count() as u64
+                            }
+                            SetView::Batmap(_) => unreachable!("handled above"),
+                        };
+                    }
+                }
+            }
+            if !bm_idx.is_empty() {
+                let mut counts = vec![0u64; bm_views.len()];
+                count_one_vs_many_with(backend, probe, &bm_views, &mut counts);
+                for (&i, c) in bm_idx.iter().zip(counts) {
+                    out[i] = c;
+                }
+            }
+        }
+        SetView::Tidlist(probe) => {
+            // Decode the probe's elements once for the whole row — on a
+            // zipfian corpus the sparse tail dominates, so this is the
+            // hottest row shape by far, and re-decoding the probe for
+            // every candidate costs more than the merges themselves.
+            // For batmap candidates, additionally precompute each
+            // element's permuted values and slot keys (lazily — only
+            // rows that meet a batmap candidate pay the Feistel
+            // applies), turning every such pair into a handful of
+            // direct slot reads.
+            let elems = probe.elements();
+            let mut probes: Option<Vec<[(u64, u8); 3]>> = None;
+            for (o, c) in out.iter_mut().zip(many) {
+                *o = match c {
+                    SetView::Tidlist(t) => count_sorted_vs_tidlist(&elems, t),
+                    SetView::Bitmap(b) => elems.iter().filter(|&&x| b.contains(x)).count() as u64,
+                    SetView::Batmap(bm) => {
+                        let probes = probes.get_or_insert_with(|| {
+                            let params = probe.params();
+                            elems
+                                .iter()
+                                .map(|&x| {
+                                    std::array::from_fn(|t| {
+                                        let pi = params.perms().apply(t, x as u64);
+                                        (pi, params.key_of(pi))
+                                    })
+                                })
+                                .collect()
+                        });
+                        count_slot_probes_vs_batmap(probes, bm)
+                    }
+                };
+            }
+        }
+        SetView::Bitmap(_) => {
+            for (o, c) in out.iter_mut().zip(many) {
+                *o = count_mixed_pair(backend, one, c);
+            }
+        }
+    }
+}
+
+/// Membership count of precomputed slot probes — `(πₜ(x), key)` per
+/// table for each probed element — against one batmap: the positional
+/// part of [`AsSlots::contains`] with the Feistel applies hoisted out,
+/// so a sparse row probes each batmap candidate with plain slot reads.
+fn count_slot_probes_vs_batmap(probes: &[[(u64, u8); 3]], bm: &BatmapRef<'_>) -> u64 {
+    let params = bm.params();
+    let r = bm.range();
+    let bytes = bm.as_bytes();
+    probes
+        .iter()
+        .filter(|p| {
+            (0..TABLES).any(|t| {
+                let (pi, key) = p[t];
+                let b = bytes[params.slot_of(t, pi, r)];
+                !slot::is_empty(b) && slot::key(b) == key
+            })
+        })
+        .count() as u64
+}
+
+/// Intersection count of a decoded sorted element slice against a
+/// tidlist view: galloping probe of the smaller side into the larger,
+/// like [`count_tidlist_tidlist`] but with one side already decoded.
+fn count_sorted_vs_tidlist(probe: &[u32], t: &TidlistRef<'_>) -> u64 {
+    let mut count = 0u64;
+    let mut from = 0usize;
+    if probe.len() <= t.len() {
+        for &x in probe {
+            if from >= t.len() {
+                break;
+            }
+            let pos = gallop_lower_bound(t, from, x);
+            if pos < t.len() && t.get(pos) == x {
+                count += 1;
+                from = pos + 1;
+            } else {
+                from = pos;
+            }
+        }
+    } else {
+        for i in 0..t.len() {
+            if from >= probe.len() {
+                break;
+            }
+            let x = t.get(i);
+            let pos = from + probe[from..].partition_point(|&v| v < x);
+            if pos < probe.len() && probe[pos] == x {
+                count += 1;
+                from = pos + 1;
+            } else {
+                from = pos;
+            }
+        }
+    }
+    count
+}
+
+/// Word-wise AND + popcount over two equal-width bitmaps.
+fn count_bitmap_bitmap(a: &BitmapRef<'_>, b: &BitmapRef<'_>) -> u64 {
+    debug_assert_eq!(a.width_bytes(), b.width_bytes());
+    a.as_bytes()
+        .chunks_exact(8)
+        .zip(b.as_bytes().chunks_exact(8))
+        .map(|(ca, cb)| {
+            let wa = u64::from_le_bytes(ca.try_into().unwrap());
+            let wb = u64::from_le_bytes(cb.try_into().unwrap());
+            (wa & wb).count_ones() as u64
+        })
+        .sum()
+}
+
+/// Galloping merge of two sorted tidlists: probe the shorter into the
+/// longer, each probe resuming where the last one landed.
+fn count_tidlist_tidlist(a: &TidlistRef<'_>, b: &TidlistRef<'_>) -> u64 {
+    let (small, large) = if a.len() <= b.len() { (a, b) } else { (b, a) };
+    let mut count = 0u64;
+    let mut from = 0usize;
+    for i in 0..small.len() {
+        if from >= large.len() {
+            break;
+        }
+        let x = small.get(i);
+        let pos = gallop_lower_bound(large, from, x);
+        if pos < large.len() && large.get(pos) == x {
+            count += 1;
+            from = pos + 1;
+        } else {
+            from = pos;
+        }
+    }
+    count
+}
+
+/// First index `≥ from` whose element is `≥ x`: exponential widening
+/// from `from` (so runs of nearby probes cost O(log gap), not
+/// O(log n)), then binary search inside the bracketed window.
+fn gallop_lower_bound(t: &TidlistRef<'_>, from: usize, x: u32) -> usize {
+    let n = t.len();
+    if from >= n || t.get(from) >= x {
+        return from;
+    }
+    // Invariant: t.get(lo) < x.
+    let mut lo = from;
+    let mut step = 1usize;
+    while lo + step < n && t.get(lo + step) < x {
+        lo += step;
+        step <<= 1;
+    }
+    let mut hi = (lo + step).min(n); // t.get(hi) ≥ x, or hi == n
+    let mut l = lo + 1;
+    while l < hi {
+        let mid = l + (hi - l) / 2;
+        if t.get(mid) < x {
+            l = mid + 1;
+        } else {
+            hi = mid;
+        }
+    }
+    hi
+}
+
 /// Exact reference: decode both element sets and intersect them. Used by
 /// tests and the verification examples; O(n log n) and branchy — the very
 /// thing the paper avoids on the hot path.
@@ -319,5 +634,105 @@ mod tests {
         let probe = Batmap::build(p, &[1, 2, 3]).batmap;
         let alien = Batmap::build(q, &[1, 2, 3]).batmap;
         let _ = super::count_one_vs_many(&probe, &[alien]);
+    }
+
+    use crate::arena::ArenaBuilder;
+    use crate::repr::SetRepr;
+
+    const ALL_REPRS: [SetRepr; 3] = [SetRepr::Batmap, SetRepr::Bitmap, SetRepr::Tidlist];
+
+    /// Sorted-intersection oracle over raw element lists.
+    fn oracle(a: &[u32], b: &[u32]) -> u64 {
+        let mut sa: Vec<u32> = a.to_vec();
+        sa.sort_unstable();
+        sa.dedup();
+        let mut sb: Vec<u32> = b.to_vec();
+        sb.sort_unstable();
+        sb.dedup();
+        sb.iter().filter(|x| sa.binary_search(x).is_ok()).count() as u64
+    }
+
+    #[test]
+    fn mixed_pairings_match_oracle() {
+        let p = Arc::new(BatmapParams::new(8_000, 0xBEE5));
+        let fixtures: Vec<Vec<u32>> = vec![
+            vec![],
+            (0..7).map(|i| i * 1000).collect(),
+            (0..500).map(|i| i * 13 % 8_000).collect(),
+            (0..6000).map(|i| i * 7 % 8_000).collect(),
+        ];
+        for sa in &fixtures {
+            for sb in &fixtures {
+                let expect = oracle(sa, sb);
+                for ra in ALL_REPRS {
+                    for rb in ALL_REPRS {
+                        let mut builder = ArenaBuilder::new(p.clone());
+                        builder.push_elements(sa, ra);
+                        builder.push_elements(sb, rb);
+                        let arena = builder.finish();
+                        let (va, vb) = (arena.payload(0), arena.payload(1));
+                        assert_eq!(
+                            super::count_mixed(&va, &vb),
+                            expect,
+                            "{ra}×{rb} |a|={} |b|={}",
+                            sa.len(),
+                            sb.len()
+                        );
+                        // Symmetry: the probe-the-sparser choice must
+                        // not change the count.
+                        assert_eq!(super::count_mixed(&vb, &va), expect, "{rb}×{ra} swapped");
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn mixed_one_vs_many_matches_pointwise() {
+        let p = Arc::new(BatmapParams::new(8_000, 0xBEE5));
+        let mut builder = ArenaBuilder::new(p.clone());
+        let sets: Vec<Vec<u32>> = (0..9)
+            .map(|k| (0..(30 + 700 * k)).map(|i| (i * (k + 3)) % 8_000).collect())
+            .collect();
+        for (k, s) in sets.iter().enumerate() {
+            builder.push_elements(s, ALL_REPRS[k % 3]);
+        }
+        let arena = builder.finish();
+        let views = arena.payload_views(0..arena.len());
+        for probe_idx in 0..views.len() {
+            let probe = arena.payload(probe_idx);
+            let mut out = vec![0u64; views.len()];
+            super::count_mixed_one_vs_many_into(&probe, &views, &mut out);
+            for (j, v) in views.iter().enumerate() {
+                assert_eq!(
+                    out[j],
+                    super::count_mixed(&probe, v),
+                    "probe {probe_idx} vs {j}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn gallop_lower_bound_brackets_correctly() {
+        let p = Arc::new(BatmapParams::new(1_000, 3));
+        let elements: Vec<u32> = vec![2, 3, 5, 8, 13, 21, 34, 55, 89, 144, 233, 377, 610, 987];
+        let mut builder = ArenaBuilder::new(p);
+        builder.push_elements(&elements, SetRepr::Tidlist);
+        let arena = builder.finish();
+        let crate::repr::SetView::Tidlist(t) = arena.payload(0) else {
+            panic!("tidlist expected");
+        };
+        for from in 0..=elements.len() {
+            for x in 0..1000u32 {
+                let expect =
+                    from + elements[from.min(elements.len())..].partition_point(|&e| e < x);
+                assert_eq!(
+                    super::gallop_lower_bound(&t, from, x),
+                    expect.min(elements.len()).max(from),
+                    "from={from} x={x}"
+                );
+            }
+        }
     }
 }

@@ -43,6 +43,10 @@
 //! * [`arena`] — contiguous corpus storage: [`arena::BatmapArena`],
 //!   zero-copy [`arena::BatmapRef`] views, and versioned snapshot
 //!   persistence.
+//! * [`repr`] — per-set storage representations ([`SetRepr`]: batmap,
+//!   uncompressed bitmap, sorted tidlist), the density-based
+//!   [`ReprPolicy`] selection knob (`BATMAP_REPR`), and the typed
+//!   [`SetView`] the mixed kernels consume.
 //! * [`kernel`] — the pluggable [`kernel::MatchKernel`] backend layer
 //!   (scalar reference, SWAR-u32, SWAR-u64, SSE2, AVX2;
 //!   runtime-selectable with CPU-feature detection).
@@ -62,7 +66,7 @@
 //!
 //! ## Environment overrides
 //!
-//! This is the canonical description of the two runtime knobs every
+//! This is the canonical description of the three runtime knobs every
 //! binary in the workspace honours; README and the figure binaries
 //! point here.
 //!
@@ -104,9 +108,33 @@
 //!    one-time warning. The variable is read once per process and
 //!    cached.
 //!
-//! Neither knob ever changes *what* is computed — both are pure
+//! ### `BATMAP_REPR` — storage representation policy
+//!
+//! `BATMAP_REPR=auto|batmap|bitmap|tidlist|hybrid` steers what
+//! [`ReprPolicy::Auto`] resolves to — which layout each set of a
+//! preprocessed corpus is stored in (see [`repr`] for the selection
+//! thresholds):
+//!
+//! 1. An explicit policy ([`params::BatmapParams::with_repr`],
+//!    `MinerConfig::repr`, `--repr NAME`) wins; `Auto` consults the
+//!    environment.
+//! 2. `Auto` with no (valid) override resolves to **`batmap`** — the
+//!    legacy pure-batmap corpus; hybrid storage is opt-in.
+//! 3. `hybrid` picks the cheapest representation per set by density
+//!    (dense → bitmap, sparse tail → tidlist, middle band → batmap);
+//!    `bitmap`/`tidlist` force one layout everywhere (ablation modes).
+//! 4. An unparseable value is ignored with a warning, falling back to
+//!    `batmap`. The variable is read once per process and cached.
+//!
+//! The GPU-sim engine requires an all-batmap corpus, so it pins
+//! `batmap` regardless of this knob (with a one-time warning if the
+//! configuration asked for something else).
+//!
+//! None of these knobs ever changes *what* is computed — all are pure
 //! speed/placement choices, which is why they are runtime data rather
-//! than compile-time features.
+//! than compile-time features. In particular every representation's
+//! intersection kernel is exact, so hybrid and pure-batmap runs report
+//! identical counts.
 
 #![warn(missing_docs)]
 
@@ -122,6 +150,7 @@ pub mod kernel;
 pub mod multiway;
 pub mod parallel;
 pub mod params;
+pub mod repr;
 #[cfg(target_arch = "x86_64")]
 pub mod simd;
 pub mod slot;
@@ -130,7 +159,7 @@ pub mod swar;
 pub mod uncompressed;
 pub mod update;
 
-pub use arena::{ArenaBuilder, ArenaStage, BatmapArena, BatmapRef};
+pub use arena::{ArenaBuilder, ArenaStage, BatmapArena, BatmapRef, SetSpec};
 pub use batmap::{AsSlots, Batmap};
 pub use builder::{ArenaSetOutcome, BatmapBuilder, BuildOutcome, InsertOutcome, InsertStats};
 pub use collection::BatmapCollection;
@@ -139,5 +168,6 @@ pub use kernel::{available_backends, KernelBackend, MatchKernel, ALL_BACKENDS};
 pub use multiway::{intersect_count_probe, MultiwayBatmap, MultiwayParams};
 pub use parallel::Parallelism;
 pub use params::{BatmapParams, ParamsHandle, TABLES};
+pub use repr::{BitmapRef, ReprPolicy, SetRepr, SetView, TidlistRef, ALL_REPR_POLICIES};
 pub use uncompressed::UncompressedBatmap;
 pub use update::UpdateOutcome;

@@ -9,6 +9,7 @@
 use crate::hash::PermutationTriple;
 use crate::kernel::{KernelBackend, MatchKernel};
 use crate::parallel::Parallelism;
+use crate::repr::ReprPolicy;
 use serde::{Deserialize, Serialize};
 use std::sync::Arc;
 
@@ -59,6 +60,12 @@ pub struct BatmapParams {
     /// computed.
     #[serde(default)]
     threads: Parallelism,
+    /// Storage-representation policy for corpora built over this
+    /// universe (which layout each set's bytes use). Excluded from the
+    /// fingerprint like the kernel backend: it changes layout and
+    /// speed, never what any intersection counts.
+    #[serde(default)]
+    repr: ReprPolicy,
     /// The shared permutations π₁..π₃.
     perms: PermutationTriple,
 }
@@ -108,6 +115,7 @@ impl BatmapParams {
             seed,
             kernel: KernelBackend::Auto,
             threads: Parallelism::Auto,
+            repr: ReprPolicy::Auto,
             perms: PermutationTriple::new(m, seed),
         }
     }
@@ -143,6 +151,21 @@ impl BatmapParams {
     #[inline]
     pub fn parallelism(&self) -> Parallelism {
         self.threads
+    }
+
+    /// Pin the storage-representation policy for corpora built over
+    /// this universe (the default, [`ReprPolicy::Auto`], honours the
+    /// `BATMAP_REPR` override and otherwise keeps the legacy
+    /// pure-batmap layout).
+    pub fn with_repr(mut self, repr: ReprPolicy) -> Self {
+        self.repr = repr;
+        self
+    }
+
+    /// The configured storage-representation policy.
+    #[inline]
+    pub fn repr_policy(&self) -> ReprPolicy {
+        self.repr
     }
 
     /// The match-count kernel implementation intersections over this
@@ -414,5 +437,14 @@ mod tests {
         assert_eq!(scalar.kernel_backend(), KernelBackend::Scalar);
         assert_eq!(scalar.kernel().name(), "scalar");
         assert_eq!(auto.kernel_backend(), KernelBackend::Auto);
+    }
+
+    #[test]
+    fn repr_choice_does_not_change_fingerprint() {
+        let auto = BatmapParams::new(1000, 1);
+        let hybrid = BatmapParams::new(1000, 1).with_repr(ReprPolicy::Hybrid);
+        assert_eq!(auto.fingerprint(), hybrid.fingerprint());
+        assert_eq!(hybrid.repr_policy(), ReprPolicy::Hybrid);
+        assert_eq!(auto.repr_policy(), ReprPolicy::Auto);
     }
 }

@@ -8,7 +8,7 @@
 use crate::preprocess::Preprocessed;
 use crate::schedule::Tile;
 use batmap::intersect;
-use batmap::{BatmapRef, KernelBackend};
+use batmap::{BatmapRef, KernelBackend, SetView};
 use rayon::prelude::*;
 
 /// Counts for one tile computed on the CPU: row-major `rows × cols`,
@@ -17,19 +17,34 @@ use rayon::prelude::*;
 /// GPU-parity reference; the mining executors use the triangular
 /// variants below).
 ///
-/// All row/column operands are zero-copy [`BatmapRef`] views into the
-/// preprocessed arena — the column block is materialized once per tile
-/// (a `Vec` of three-word views), never the slot bytes themselves.
+/// All row/column operands are zero-copy views into the preprocessed
+/// arena — the column block is materialized once per tile (a `Vec` of
+/// few-word views), never the payload bytes themselves. An all-batmap
+/// corpus takes the legacy register-blocked sweep; a hybrid corpus
+/// routes every row through the mixed-representation kernels.
 pub fn run_tile_cpu(pre: &Preprocessed, tile: &Tile) -> Vec<u64> {
-    let cols = pre.arena.views(tile.col_base..tile.col_base + tile.cols);
     let mut counts = vec![0u64; tile.rows * tile.cols];
-    counts
-        .par_chunks_mut(tile.cols)
-        .enumerate()
-        .for_each(|(r, row_out)| {
-            let a = pre.batmap(tile.row_base + r);
-            intersect::count_one_vs_many_into(&a, &cols, row_out);
-        });
+    if pre.arena.is_all_batmap() {
+        let cols = pre.arena.views(tile.col_base..tile.col_base + tile.cols);
+        counts
+            .par_chunks_mut(tile.cols)
+            .enumerate()
+            .for_each(|(r, row_out)| {
+                let a = pre.batmap(tile.row_base + r);
+                intersect::count_one_vs_many_into(&a, &cols, row_out);
+            });
+    } else {
+        let cols = pre
+            .arena
+            .payload_views(tile.col_base..tile.col_base + tile.cols);
+        counts
+            .par_chunks_mut(tile.cols)
+            .enumerate()
+            .for_each(|(r, row_out)| {
+                let a = pre.payload(tile.row_base + r);
+                intersect::count_mixed_one_vs_many_into(&a, &cols, row_out);
+            });
+    }
     counts
 }
 
@@ -69,21 +84,54 @@ fn fill_row(
     intersect::count_one_vs_many_into(&a, &cols[first..], &mut row_out[first..]);
 }
 
+/// [`fill_row`] for hybrid corpora: same triangular skip, routed
+/// through the mixed-representation row driver.
+#[inline]
+fn fill_row_mixed(
+    pre: &Preprocessed,
+    cols: &[SetView<'_>],
+    tile: &Tile,
+    r: usize,
+    row_out: &mut [u64],
+) {
+    let a = pre.payload(tile.row_base + r);
+    let first = first_useful_col(tile, r);
+    if first >= tile.cols {
+        return; // last row of a diagonal tile reports nothing
+    }
+    intersect::count_mixed_one_vs_many_into(&a, &cols[first..], &mut row_out[first..]);
+}
+
 /// Strictly sequential tile counts (no worker threads): row-major
 /// `rows × cols`, with the skipped at-or-below-diagonal cells of a
 /// diagonal tile left at zero. This is the serial baseline of the
 /// speedup story and the oracle of the parallel-equivalence tests.
 pub fn run_tile_cpu_serial(pre: &Preprocessed, tile: &Tile) -> Vec<u64> {
-    let cols = pre.arena.views(tile.col_base..tile.col_base + tile.cols);
     let mut counts = vec![0u64; tile.rows * tile.cols];
-    for r in 0..tile.rows {
-        fill_row(
-            pre,
-            &cols,
-            tile,
-            r,
-            &mut counts[r * tile.cols..(r + 1) * tile.cols],
-        );
+    if pre.arena.is_all_batmap() {
+        let cols = pre.arena.views(tile.col_base..tile.col_base + tile.cols);
+        for r in 0..tile.rows {
+            fill_row(
+                pre,
+                &cols,
+                tile,
+                r,
+                &mut counts[r * tile.cols..(r + 1) * tile.cols],
+            );
+        }
+    } else {
+        let cols = pre
+            .arena
+            .payload_views(tile.col_base..tile.col_base + tile.cols);
+        for r in 0..tile.rows {
+            fill_row_mixed(
+                pre,
+                &cols,
+                tile,
+                r,
+                &mut counts[r * tile.cols..(r + 1) * tile.cols],
+            );
+        }
     }
     counts
 }
@@ -92,12 +140,22 @@ pub fn run_tile_cpu_serial(pre: &Preprocessed, tile: &Tile) -> Vec<u64> {
 /// [`run_tile_cpu_serial`]: used by the parallel engine when a plan has
 /// fewer tiles than workers, so parallelism comes from inside the tile.
 pub fn run_tile_cpu_rows(pre: &Preprocessed, tile: &Tile) -> Vec<u64> {
-    let cols = pre.arena.views(tile.col_base..tile.col_base + tile.cols);
     let mut counts = vec![0u64; tile.rows * tile.cols];
-    counts
-        .par_chunks_mut(tile.cols)
-        .enumerate()
-        .for_each(|(r, row_out)| fill_row(pre, &cols, tile, r, row_out));
+    if pre.arena.is_all_batmap() {
+        let cols = pre.arena.views(tile.col_base..tile.col_base + tile.cols);
+        counts
+            .par_chunks_mut(tile.cols)
+            .enumerate()
+            .for_each(|(r, row_out)| fill_row(pre, &cols, tile, r, row_out));
+    } else {
+        let cols = pre
+            .arena
+            .payload_views(tile.col_base..tile.col_base + tile.cols);
+        counts
+            .par_chunks_mut(tile.cols)
+            .enumerate()
+            .for_each(|(r, row_out)| fill_row_mixed(pre, &cols, tile, r, row_out));
+    }
     counts
 }
 
@@ -218,5 +276,63 @@ mod tests {
     fn throughput_is_positive_and_scales_sanely() {
         let rate = hpcutil::scoped_pool(2, || swar_throughput(1 << 16, 4));
         assert!(rate > 1e6, "implausibly low rate {rate}");
+    }
+
+    #[test]
+    fn hybrid_tile_runners_agree_and_match_oracle() {
+        use crate::preprocess::preprocess_with_repr;
+        use batmap::{Parallelism, ReprPolicy};
+        // Skewed density so the hybrid policy genuinely mixes layouts.
+        let db = TransactionDb::new(
+            12,
+            (0..800u32)
+                .map(|t| {
+                    (0..12u32)
+                        .filter(|&i| match i {
+                            0 => true,
+                            1..=3 => t % 50 == i,
+                            _ => t % 211 == i % 7,
+                        })
+                        .collect()
+                })
+                .collect(),
+        );
+        let v = VerticalDb::from_horizontal(&db);
+        let pre = preprocess_with_repr(
+            &v,
+            5,
+            128,
+            batmap::KernelBackend::Auto,
+            Parallelism::Auto,
+            ReprPolicy::Hybrid,
+        );
+        assert!(!pre.arena.is_all_batmap(), "fixture must be hybrid");
+        let oracle = |a: usize, b: usize| -> u64 {
+            let mut ea = pre.payload(a).elements();
+            ea.sort_unstable();
+            pre.payload(b)
+                .elements()
+                .iter()
+                .filter(|x| ea.binary_search(x).is_ok())
+                .count() as u64
+        };
+        for tile in schedule(pre.padded_items(), 16) {
+            let full = run_tile_cpu(&pre, &tile);
+            let serial = run_tile_cpu_serial(&pre, &tile);
+            let rows = run_tile_cpu_rows(&pre, &tile);
+            assert_eq!(serial, rows, "tile ({},{})", tile.p, tile.q);
+            for r in 0..tile.rows {
+                for c in 0..tile.cols {
+                    let i = r * tile.cols + c;
+                    let expect = oracle(tile.row_base + r, tile.col_base + c);
+                    assert_eq!(full[i], expect, "full cell ({r},{c})");
+                    if tile.is_diagonal() && c <= r {
+                        assert_eq!(serial[i], 0, "skipped cell must stay zero");
+                    } else {
+                        assert_eq!(serial[i], expect, "useful cell ({r},{c})");
+                    }
+                }
+            }
+        }
     }
 }

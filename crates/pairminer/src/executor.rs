@@ -34,10 +34,13 @@
 //! backend is dispatched once per row, the row's batmap stays hot in
 //! registers/L1 across the column block, and equal-width column runs
 //! (common — preprocessing sorts batmaps by width) take the kernels'
-//! register-blocked sweep. All operands are zero-copy `BatmapRef`
-//! views into the preprocessed corpus's contiguous `BatmapArena`
-//! (width-sorted sets sit width-adjacent in one buffer, so a tile walk
-//! streams linearly instead of chasing per-set boxes).
+//! register-blocked sweep. All operands are zero-copy payload views
+//! into the preprocessed corpus's contiguous `BatmapArena` —
+//! `BatmapRef`s for an all-batmap corpus, typed `SetView`s (batmap /
+//! bitmap / tidlist, routed through the mixed-representation kernels)
+//! for a hybrid one (width-sorted sets sit width-adjacent in one
+//! buffer, so a tile walk streams linearly instead of chasing per-set
+//! boxes).
 
 use crate::cpu;
 use crate::gpu::{self, DeviceData};

@@ -47,6 +47,11 @@ impl DeviceData {
     /// views straight out of the arena (the host-side copy here models
     /// the host→device transfer itself).
     pub fn upload(pre: &Preprocessed) -> Self {
+        assert!(
+            pre.arena.is_all_batmap(),
+            "the GPU engine requires an all-batmap corpus; \
+             re-preprocess with ReprPolicy::Batmap"
+        );
         let total_words: usize = pre.batmap_bytes() / 4;
         let mut words = Vec::with_capacity(total_words);
         let mut offsets = Vec::with_capacity(pre.padded_items());

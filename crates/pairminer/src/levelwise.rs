@@ -30,6 +30,11 @@
 //!    its item, and every candidate containing a marked item is
 //!    counted by an exact k-way sorted-tidlist merge instead — the
 //!    generalization of the pairwise pipeline's failed-insertion path.
+//!    Under a hybrid storage policy ([`batmap::ReprPolicy`], via the
+//!    pair stage's `repr`) the same path is taken *deliberately* for
+//!    items the policy stores as raw tidlists: the k-way batmap sweep
+//!    doesn't apply to the sparse tail, and merging a handful of tids
+//!    exactly is cheaper than building a d-of-(d+1) batmap for them.
 //!
 //! Levels that produce no candidates are still reported — as
 //! zero-candidate [`LevelReport`]s — and short-circuit all the work
@@ -41,7 +46,7 @@
 
 use crate::executor::balanced_partition;
 use crate::miner::{mine, MinerConfig, MiningReport};
-use batmap::{MultiwayBatmap, MultiwayParams, Parallelism};
+use batmap::{BatmapParams, MultiwayBatmap, MultiwayParams, Parallelism, SetRepr};
 use fim::apriori::{generate_candidates, Itemset};
 use fim::pairs::PairMap;
 use fim::{TransactionDb, VerticalDb};
@@ -113,8 +118,10 @@ pub struct LevelwiseReport {
     pub itemsets: Vec<Itemset>,
     /// One entry per level `k = 2..=depth`, in order.
     pub levels: Vec<LevelReport>,
-    /// Items whose multiway build failed (their candidates took the
-    /// exact fallback path).
+    /// Items whose multiway build failed — or whose storage policy
+    /// routed them straight to the exact merge (tidlist-repr items
+    /// under a hybrid policy). Their candidates took the exact
+    /// fallback path.
     pub fallback_items: usize,
     /// The pair stage's full report when this run mined level 2 itself
     /// ([`LevelwiseMiner::mine`]); `None` when seeded from caller
@@ -147,7 +154,8 @@ pub struct LevelwiseMiner {
 }
 
 /// Multiway maps built so far: `None` marks an item whose build failed
-/// even after growth (its candidates take the exact fallback).
+/// even after growth — or that the storage policy deliberately left as
+/// a raw tidlist (its candidates take the exact fallback either way).
 type MapCache = FxHashMap<u32, Option<MultiwayBatmap>>;
 
 impl LevelwiseMiner {
@@ -222,7 +230,11 @@ impl LevelwiseMiner {
         // item's map only once it appears in one.
         let mut vertical: Option<VerticalDb> = None;
         let mut params: Option<Arc<MultiwayParams>> = None;
+        let mut gate: Option<BatmapParams> = None;
         let mut maps: MapCache = MapCache::default();
+        // The resolved storage policy decides which items get multiway
+        // maps at all; resolved once so the env read happens up front.
+        let repr = self.config.pair.repr.resolve();
 
         for k in 3..=self.config.depth {
             let mut sw = Stopwatch::start();
@@ -256,12 +268,33 @@ impl LevelwiseMiner {
                     .with_kernel(self.config.pair.kernel),
                 )
             });
+            // The gate reproduces the pair corpus' range geometry
+            // (same r₀ floor as `crate::preprocess`), so "tidlist
+            // item" below means exactly the items a hybrid pair
+            // corpus stores as raw tidlists.
+            let gate = gate.get_or_insert_with(|| {
+                BatmapParams::with_options(
+                    vertical.m().max(1) as u64,
+                    self.config.pair.seed,
+                    self.config.pair.max_loop,
+                    crate::preprocess::GPU_MIN_SHIFT,
+                )
+            });
             for cand in &candidates {
                 for &item in cand {
                     maps.entry(item).or_insert_with(|| {
+                        let tidlist = vertical.tidlist(item);
+                        // Items the storage policy keeps as raw
+                        // tidlists skip the sweep machinery entirely:
+                        // the exact merge is their native counter.
+                        let chosen =
+                            repr.choose(tidlist.len(), gate.m(), gate.range_for(tidlist.len()));
+                        if chosen == SetRepr::Tidlist {
+                            return None;
+                        }
                         MultiwayBatmap::build_with_growth(
                             params.clone(),
-                            vertical.tidlist(item),
+                            tidlist,
                             self.config.growth_doublings,
                         )
                     });
@@ -581,6 +614,48 @@ mod tests {
             let parallel = LevelwiseMiner::new(cfg).mine(&d);
             assert_eq!(parallel.itemsets, serial.itemsets, "threads={threads}");
         }
+    }
+
+    #[test]
+    fn hybrid_policy_matches_batmap_and_routes_tidlists_to_exact_merge() {
+        // Dense head (bitmap band) plus sparse co-occurring tails
+        // (tidlist band at the r₀ = 64 floor: len 8 ≤ 12): the hybrid
+        // policy must skip multiway builds for the sparse items,
+        // count their candidates by the exact merge, and still report
+        // exactly the pure-batmap itemsets.
+        let d = TransactionDb::new(
+            10,
+            (0..800usize)
+                .map(|t| {
+                    (0..10u32)
+                        .filter(|&i| {
+                            if i < 3 {
+                                (t as u32 + i) % 3 < 2
+                            } else {
+                                t as u32 % 100 == i % 2
+                            }
+                        })
+                        .collect()
+                })
+                .collect(),
+        );
+        let mut batmap_cfg = config(4, 4);
+        batmap_cfg.pair.repr = batmap::ReprPolicy::Batmap;
+        let baseline = LevelwiseMiner::new(batmap_cfg).mine(&d);
+        assert_eq!(baseline.itemsets, oracle(&d, 4, 4));
+        assert_eq!(baseline.fallback_items, 0, "pure batmap never falls back");
+
+        let mut hybrid_cfg = config(4, 4);
+        hybrid_cfg.pair.repr = batmap::ReprPolicy::Hybrid;
+        let hybrid = LevelwiseMiner::new(hybrid_cfg).mine(&d);
+        assert_eq!(hybrid.itemsets, baseline.itemsets);
+        assert!(
+            hybrid.fallback_items >= 4,
+            "sparse tidlist items must skip multiway builds, got {}",
+            hybrid.fallback_items
+        );
+        let fallbacks: usize = hybrid.levels.iter().map(|l| l.fallback).sum();
+        assert!(fallbacks > 0, "their candidates take the exact merge");
     }
 
     #[test]

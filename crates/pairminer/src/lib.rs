@@ -33,7 +33,7 @@ pub mod miner;
 pub mod preprocess;
 pub mod schedule;
 
-pub use batmap::Parallelism;
+pub use batmap::{Parallelism, ReprPolicy, SetRepr};
 pub use executor::{
     balanced_partition, ExecReport, GpuSimExecutor, ParallelCpuExecutor, SerialCpuExecutor,
     TileConsumer, TileExecutor, TilePlan,
@@ -43,6 +43,7 @@ pub use levelwise::{LevelReport, LevelwiseConfig, LevelwiseMiner, LevelwiseRepor
 pub use memory::MemoryReport;
 pub use miner::{mine, mine_preprocessed, Engine, MinerConfig, MiningReport, Timings};
 pub use preprocess::{
-    preprocess, preprocess_with_kernel, preprocess_with_options, Preprocessed, BLOCK, GPU_MIN_SHIFT,
+    preprocess, preprocess_with_kernel, preprocess_with_options, preprocess_with_repr,
+    Preprocessed, BLOCK, GPU_MIN_SHIFT,
 };
 pub use schedule::{schedule, Tile};

@@ -6,9 +6,9 @@ use crate::executor::{
 };
 use crate::failed::FailedPairs;
 use crate::memory::MemoryReport;
-use crate::preprocess::{preprocess_with_options, Preprocessed};
+use crate::preprocess::{preprocess_with_repr, Preprocessed};
 use crate::schedule::Tile;
-use batmap::{KernelBackend, Parallelism};
+use batmap::{KernelBackend, Parallelism, ReprPolicy};
 use fim::pairs::{pair_key, PairMap};
 use fim::{TransactionDb, VerticalDb};
 use gpu_sim::{DeviceSpec, KernelStats};
@@ -48,6 +48,12 @@ pub struct MinerConfig {
     /// and otherwise the ambient rayon pool, so
     /// `hpcutil::scoped_pool(cores, …)` sweeps keep working).
     pub threads: Parallelism,
+    /// Storage-representation policy for the preprocessed corpus
+    /// ([`ReprPolicy::Auto`] honours `BATMAP_REPR`; `Hybrid` picks
+    /// batmap/bitmap/tidlist per set by density). The GPU engine needs
+    /// an all-batmap corpus, so it pins `Batmap` regardless, with a
+    /// one-time warning if the configuration asked for something else.
+    pub repr: ReprPolicy,
 }
 
 impl Default for MinerConfig {
@@ -60,6 +66,7 @@ impl Default for MinerConfig {
             engine: Engine::Gpu(DeviceSpec::gtx285()),
             kernel: KernelBackend::Auto,
             threads: Parallelism::Auto,
+            repr: ReprPolicy::Auto,
         }
     }
 }
@@ -151,12 +158,31 @@ impl TileConsumer for HarvestConsumer<'_> {
 pub fn mine(db: &TransactionDb, config: &MinerConfig) -> MiningReport {
     let mut sw = Stopwatch::start();
     let vertical = VerticalDb::from_horizontal(db);
-    let pre = preprocess_with_options(
+    let repr = match &config.engine {
+        Engine::Cpu => config.repr,
+        Engine::Gpu(_) => {
+            // The simulated device kernel walks fixed-width slot rows,
+            // so the corpus must be all-batmap.
+            if !matches!(config.repr.resolve(), ReprPolicy::Batmap) {
+                static WARNED: std::sync::Once = std::sync::Once::new();
+                WARNED.call_once(|| {
+                    eprintln!(
+                        "warning: the GPU engine requires an all-batmap corpus; \
+                         ignoring repr policy {} and using batmap",
+                        config.repr.resolve()
+                    );
+                });
+            }
+            ReprPolicy::Batmap
+        }
+    };
+    let pre = preprocess_with_repr(
         &vertical,
         config.seed,
         config.max_loop,
         config.kernel,
         config.threads,
+        repr,
     );
     let preprocess_s = sw.lap().as_secs_f64();
     mine_over(db, &pre, vertical.heap_bytes(), preprocess_s, config)
@@ -170,8 +196,10 @@ pub fn mine(db: &TransactionDb, config: &MinerConfig) -> MiningReport {
 /// `db` must be the database `pre` was preprocessed from (it backs the
 /// failed-insertion recovery path and the final id remap). Of the
 /// configuration, only `k`, `minsup`, `engine`, and `threads` apply
-/// here; `seed`, `max_loop`, and `kernel` were fixed at preprocessing
-/// time and travel inside `pre.params`.
+/// here; `seed`, `max_loop`, `kernel`, and `repr` were fixed at
+/// preprocessing time and travel inside `pre.params` / the arena's
+/// per-set representation tags. (A hybrid snapshot can only be served
+/// by the CPU engine — the GPU engine needs an all-batmap corpus.)
 ///
 /// # Panics
 /// Panics if `pre` was visibly built from a different database
@@ -465,6 +493,52 @@ mod tests {
         assert!(report.timings.total_s() >= report.timings.kernel_s);
         assert!(report.timings.transfer_s > 0.0);
         assert!(report.comparisons > 0);
+    }
+
+    #[test]
+    fn hybrid_repr_mines_identically_on_cpu() {
+        // Dense enough for some bitmap picks and sparse enough for
+        // tidlist picks, so the hybrid corpus genuinely mixes layouts.
+        let db = test_db(30, 3000, 9);
+        let oracle = brute_force_pairs(&db, 1);
+        let batmap_report = mine(
+            &db,
+            &MinerConfig {
+                engine: Engine::Cpu,
+                repr: ReprPolicy::Batmap,
+                ..Default::default()
+            },
+        );
+        assert_eq!(batmap_report.pairs, oracle);
+        for repr in batmap::ALL_REPR_POLICIES {
+            for threads in [Parallelism::Serial, Parallelism::threads(3)] {
+                let report = mine(
+                    &db,
+                    &MinerConfig {
+                        engine: Engine::Cpu,
+                        repr,
+                        threads,
+                        k: 16,
+                        ..Default::default()
+                    },
+                );
+                assert_eq!(report.pairs, oracle, "repr {repr} threads {threads:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn gpu_engine_pins_batmap_under_hybrid_repr() {
+        let db = test_db(24, 400, 7);
+        let report = mine(
+            &db,
+            &MinerConfig {
+                repr: ReprPolicy::Hybrid,
+                ..config_gpu(2048)
+            },
+        );
+        assert_eq!(report.pairs, brute_force_pairs(&db, 1));
+        assert!(report.gpu_stats.is_some());
     }
 
     #[test]

@@ -7,6 +7,10 @@
 //! of similar width ("resulting in a strongly reduced computation time
 //! for the subresults for narrow batmaps"). The item list is padded
 //! with empty batmaps to a multiple of 16 so every work group is full.
+//! Under a hybrid storage policy ([`preprocess_with_repr`]) each item
+//! may instead become an uncompressed bitmap (dense head) or a raw
+//! tidlist (sparse tail) — same arena, same width-sorted order, typed
+//! views via [`Preprocessed::payload`].
 //!
 //! Storage is two-pass and allocation-lean:
 //!
@@ -31,7 +35,7 @@
 
 use batmap::{
     ArenaSetOutcome, BatmapArena, BatmapBuilder, BatmapParams, BatmapRef, KernelBackend,
-    Parallelism, ParamsHandle, SnapshotError,
+    Parallelism, ParamsHandle, ReprPolicy, SetRepr, SetSpec, SetView, SnapshotError,
 };
 use fim::VerticalDb;
 use hpcutil::MemoryFootprint;
@@ -58,8 +62,10 @@ pub const PRE_SNAPSHOT_VERSION: u32 = 1;
 pub struct Preprocessed {
     /// Universe parameters all batmaps share.
     pub params: ParamsHandle,
-    /// All batmaps in one contiguous arena, sorted by increasing width,
-    /// padded with empty batmaps to a multiple of [`BLOCK`].
+    /// All sets in one contiguous arena, sorted by increasing payload
+    /// width and padded with empty sets to a multiple of [`BLOCK`].
+    /// All-batmap under the legacy entry points; a mix of typed
+    /// representations under [`preprocess_with_repr`].
     pub arena: BatmapArena,
     /// `order[s] = original item id` of sorted position `s` (length =
     /// real item count; padding positions have no entry).
@@ -81,8 +87,24 @@ impl Preprocessed {
     }
 
     /// Zero-copy view of the batmap at sorted position `s`.
+    ///
+    /// # Panics
+    /// Panics if set `s` is not stored as a batmap (hybrid corpora route
+    /// through [`Preprocessed::payload`] instead).
     pub fn batmap(&self, s: usize) -> BatmapRef<'_> {
         self.arena.get(s)
+    }
+
+    /// Zero-copy typed view of the set at sorted position `s`, whatever
+    /// its representation (the hybrid executors' entry point).
+    pub fn payload(&self, s: usize) -> SetView<'_> {
+        self.arena.payload(s)
+    }
+
+    /// How many sets each representation holds (indexed by
+    /// [`SetRepr::tag`]) — the histogram the perf scenarios log.
+    pub fn repr_histogram(&self) -> [usize; batmap::repr::REPR_COUNT] {
+        self.arena.repr_histogram()
     }
 
     /// Total bytes of all batmap slot arrays (the device-resident data).
@@ -246,6 +268,12 @@ pub fn preprocess_with_kernel(
 /// every downstream phase inherits them. Batmap construction runs in
 /// the pool the knob selects ([`Parallelism::Serial`] builds strictly
 /// sequentially, exercising the single-segment path).
+///
+/// The storage policy is pinned to [`ReprPolicy::Batmap`]: this is the
+/// legacy all-batmap entry point (the GPU upload path and the existing
+/// snapshot fixtures rely on it), deliberately *not* consulting the
+/// `BATMAP_REPR` environment override. Hybrid corpora come from
+/// [`preprocess_with_repr`].
 pub fn preprocess_with_options(
     v: &VerticalDb,
     seed: u64,
@@ -253,33 +281,77 @@ pub fn preprocess_with_options(
     kernel: KernelBackend,
     threads: Parallelism,
 ) -> Preprocessed {
+    preprocess_with_repr(v, seed, max_loop, kernel, threads, ReprPolicy::Batmap)
+}
+
+/// Preprocessing with an explicit storage-representation policy — the
+/// hybrid storage entry point.
+///
+/// [`ReprPolicy::Batmap`] reproduces [`preprocess_with_options`]
+/// byte-for-byte. [`ReprPolicy::Hybrid`] picks the cheapest layout per
+/// item by density (see `batmap::repr` for the thresholds); the forced
+/// policies are ablation/testing modes. [`ReprPolicy::Auto`] resolves
+/// through the `BATMAP_REPR` environment override (defaulting to the
+/// legacy pure-batmap corpus).
+///
+/// The corpus keeps the legacy shape guarantees either way: sets sorted
+/// by increasing payload width (ties by item id), padding appended
+/// **after** every real item (the harvest path depends on padding rows
+/// sitting at the end of the sorted order), and every set built in
+/// place into one contiguous arena.
+pub fn preprocess_with_repr(
+    v: &VerticalDb,
+    seed: u64,
+    max_loop: u32,
+    kernel: KernelBackend,
+    threads: Parallelism,
+    repr: ReprPolicy,
+) -> Preprocessed {
     let m = v.m().max(1) as u64;
     let params: ParamsHandle = Arc::new(
         BatmapParams::with_options(m, seed, max_loop, GPU_MIN_SHIFT)
             .with_kernel(kernel)
-            .with_threads(threads),
+            .with_threads(threads)
+            .with_repr(repr),
     );
+    let resolved = repr.resolve();
+    let spec_for = |len: usize| -> SetSpec {
+        let range = params.range_for(len);
+        match resolved.choose(len, m, range) {
+            SetRepr::Batmap => SetSpec::batmap(range),
+            SetRepr::Bitmap => SetSpec::bitmap(len),
+            SetRepr::Tidlist => SetSpec::tidlist(len),
+        }
+    };
     let n = v.n_items();
-    // Size pass: ranges are deterministic from tidlist lengths, so the
-    // width-sorted order (ties by item id, for determinism) and the
-    // whole arena layout exist before any cuckoo work.
+    // Size pass: every width is deterministic from the tidlist length
+    // (a batmap's range, a bitmap's universe, a tidlist's cardinality),
+    // so the width-sorted order (ties by item id, for determinism) and
+    // the whole arena layout exist before any build work. With the
+    // pure-batmap policy the width is `3·range_for(len)` — monotone in
+    // the range — so this order is exactly the legacy one.
     let mut positions: Vec<u32> = (0..n).collect();
-    positions.sort_by_key(|&i| (params.range_for(v.tidlist(i).len()), i));
+    positions.sort_by_key(|&i| {
+        let spec = spec_for(v.tidlist(i).len());
+        (spec.width_bytes(&params), i)
+    });
     let mut item_to_sorted = vec![0u32; n as usize];
     for (s, &item) in positions.iter().enumerate() {
         item_to_sorted[item as usize] = s as u32;
     }
     let padded = (n as usize).next_multiple_of(BLOCK);
-    let empty_range = params.range_for(0);
-    let ranges: Vec<u64> = positions
+    let empty_spec = spec_for(0);
+    let specs: Vec<SetSpec> = positions
         .iter()
-        .map(|&i| params.range_for(v.tidlist(i).len()))
-        .chain(std::iter::repeat_n(empty_range, padded - n as usize))
+        .map(|&i| spec_for(v.tidlist(i).len()))
+        .chain(std::iter::repeat_n(empty_spec, padded - n as usize))
         .collect();
-    let mut stage = BatmapArena::with_ranges(params.clone(), &ranges);
+    let mut stage = BatmapArena::with_layout(params.clone(), &specs);
 
-    // Build pass: cuckoo-build each set in place. One reusable scratch
-    // builder per worker; workers own contiguous runs of the
+    // Build pass: materialize each set in place. Batmap sets cuckoo-
+    // build through one reusable scratch builder per worker; bitmap and
+    // tidlist sets are direct encodes (every element always "places", so
+    // they contribute no failures). Workers own contiguous runs of the
     // width-sorted sets — bump segments of the final buffer.
     let tidlist_of = |s: usize| -> &[u32] {
         if s < n as usize {
@@ -293,9 +365,21 @@ pub fn preprocess_with_options(
         jobs.into_iter()
             .map(|(s, out)| {
                 let elements = tidlist_of(s);
-                builder.reset(elements.len());
-                builder.extend_sorted_dedup(elements);
-                builder.finish_into(out)
+                match specs[s].repr {
+                    SetRepr::Batmap => {
+                        builder.reset(elements.len());
+                        builder.extend_sorted_dedup(elements);
+                        builder.finish_into(out)
+                    }
+                    SetRepr::Bitmap => {
+                        batmap::repr::encode_bitmap_into(elements, out);
+                        direct_outcome(elements.len())
+                    }
+                    SetRepr::Tidlist => {
+                        batmap::repr::encode_tidlist_into(elements, out);
+                        direct_outcome(elements.len())
+                    }
+                }
             })
             .collect()
     };
@@ -349,6 +433,19 @@ pub fn preprocess_with_options(
         n_items: n,
         failed,
         stats,
+    }
+}
+
+/// Outcome of a direct (non-cuckoo) encode: every element placed, no
+/// moves, no failures.
+fn direct_outcome(len: usize) -> ArenaSetOutcome {
+    ArenaSetOutcome {
+        len,
+        failed: Vec::new(),
+        stats: batmap::InsertStats {
+            elements: len as u64,
+            ..Default::default()
+        },
     }
 }
 
@@ -495,6 +592,141 @@ mod tests {
             );
         }
         assert!(Preprocessed::read_snapshot(&mut buf.as_slice()).is_ok());
+    }
+
+    /// A skewed fixture: a dense head item, mid-band items, and a
+    /// sparse tail, over a universe big enough that `r₀` padding is
+    /// felt.
+    fn skewed_vertical() -> VerticalDb {
+        let n_items = 12u32;
+        // With m = 800 and r₀ = 64 the hybrid bands are: bitmap at
+        // len ≥ 25 (density 1/32), tidlist at len ≤ 12 (16·len ≤ 3·64),
+        // batmap in between.
+        let db = TransactionDb::new(
+            n_items,
+            (0..800u32)
+                .map(|t| {
+                    (0..n_items)
+                        .filter(|&i| match i {
+                            0 => true,             // dense head → bitmap
+                            1..=3 => t % 50 == i,  // len 16 → batmap
+                            _ => t % 211 == i % 7, // len ≤ 4 → tidlist
+                        })
+                        .collect()
+                })
+                .collect(),
+        );
+        VerticalDb::from_horizontal(&db)
+    }
+
+    #[test]
+    fn hybrid_corpus_mixes_representations_and_stays_exact() {
+        let v = skewed_vertical();
+        let pre = preprocess_with_repr(
+            &v,
+            11,
+            128,
+            KernelBackend::Auto,
+            Parallelism::Auto,
+            ReprPolicy::Hybrid,
+        );
+        let hist = pre.repr_histogram();
+        assert!(
+            hist.iter().all(|&c| c > 0),
+            "fixture must exercise all three representations: {hist:?}"
+        );
+        assert!(pre.failed.is_empty(), "direct encodes cannot fail");
+        // Real items are width-sorted; padding rides at the end
+        // (harvest depends on this), whatever its width.
+        for s in 1..pre.n_items as usize {
+            assert!(pre.payload(s - 1).width_bytes() <= pre.payload(s).width_bytes());
+        }
+        for pad in pre.n_items as usize..pre.padded_items() {
+            assert!(pre.payload(pad).is_empty());
+        }
+        // Every item's elements survive exactly.
+        for item in 0..v.n_items() {
+            let s = pre.item_to_sorted[item as usize] as usize;
+            let view = pre.payload(s);
+            assert_eq!(view.len() as u64, v.support(item), "item {item}");
+            for &tid in v.tidlist(item) {
+                assert!(view.contains(tid), "item {item} lost tid {tid}");
+            }
+        }
+    }
+
+    #[test]
+    fn batmap_policy_is_byte_identical_to_legacy() {
+        let v = skewed_vertical();
+        let legacy = preprocess_with_options(&v, 21, 128, KernelBackend::Auto, Parallelism::Auto);
+        let pinned = preprocess_with_repr(
+            &v,
+            21,
+            128,
+            KernelBackend::Auto,
+            Parallelism::Auto,
+            ReprPolicy::Batmap,
+        );
+        assert_eq!(pinned.order, legacy.order);
+        assert!(pinned.arena.is_all_batmap());
+        for s in 0..legacy.padded_items() {
+            assert_eq!(pinned.batmap(s).as_bytes(), legacy.batmap(s).as_bytes());
+        }
+        assert_eq!(pinned.failed, legacy.failed);
+        assert_eq!(pinned.stats, legacy.stats);
+    }
+
+    #[test]
+    fn hybrid_serial_and_parallel_builds_are_byte_identical() {
+        let v = skewed_vertical();
+        let serial = preprocess_with_repr(
+            &v,
+            9,
+            128,
+            KernelBackend::Auto,
+            Parallelism::Serial,
+            ReprPolicy::Hybrid,
+        );
+        for threads in [2usize, 3, 8] {
+            let par = preprocess_with_repr(
+                &v,
+                9,
+                128,
+                KernelBackend::Auto,
+                Parallelism::threads(threads),
+                ReprPolicy::Hybrid,
+            );
+            assert_eq!(par.padded_items(), serial.padded_items());
+            for s in 0..serial.padded_items() {
+                assert_eq!(par.arena.repr(s), serial.arena.repr(s), "set {s}");
+                let (a, b) = (par.payload(s), serial.payload(s));
+                assert_eq!(a.len(), b.len(), "set {s} threads {threads}");
+                assert_eq!(a.elements(), b.elements(), "set {s} threads {threads}");
+            }
+            assert_eq!(par.failed, serial.failed);
+            assert_eq!(par.stats, serial.stats);
+        }
+    }
+
+    #[test]
+    fn hybrid_snapshot_roundtrip_preserves_reprs() {
+        let v = skewed_vertical();
+        let pre = preprocess_with_repr(
+            &v,
+            6,
+            128,
+            KernelBackend::Auto,
+            Parallelism::Auto,
+            ReprPolicy::Hybrid,
+        );
+        let mut buf = Vec::new();
+        pre.write_snapshot(&mut buf).unwrap();
+        let loaded = Preprocessed::read_snapshot(&mut buf.as_slice()).unwrap();
+        assert_eq!(loaded.repr_histogram(), pre.repr_histogram());
+        for s in 0..pre.padded_items() {
+            assert_eq!(loaded.arena.repr(s), pre.arena.repr(s));
+            assert_eq!(loaded.payload(s).elements(), pre.payload(s).elements());
+        }
     }
 
     #[test]
