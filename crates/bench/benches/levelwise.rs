@@ -34,7 +34,7 @@ fn bench_levelwise(c: &mut Criterion) {
             pair: MinerConfig {
                 minsup,
                 engine: Engine::Cpu,
-                threads: Parallelism::Serial,
+                options: batmap::EngineOptions::auto().threads(Parallelism::Serial),
                 ..Default::default()
             },
             ..Default::default()

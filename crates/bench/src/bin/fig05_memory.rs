@@ -27,8 +27,7 @@ fn main() {
         let report = mine(
             &db,
             &MinerConfig {
-                kernel: cfg.kernel,
-                threads: cfg.threads,
+                options: cfg.options,
                 ..Default::default()
             },
         );

@@ -32,8 +32,7 @@ fn main() {
             &db,
             &MinerConfig {
                 minsup,
-                kernel: cfg.kernel,
-                threads: cfg.threads,
+                options: cfg.options,
                 ..Default::default()
             },
         );

@@ -46,8 +46,7 @@ fn main() {
             &db,
             &MinerConfig {
                 minsup,
-                kernel: cfg.kernel,
-                threads: cfg.threads,
+                options: cfg.options,
                 ..Default::default()
             },
         );

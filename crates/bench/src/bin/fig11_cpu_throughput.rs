@@ -14,7 +14,7 @@ fn main() {
     let cfg = HarnessConfig::from_args();
     // The paper's Fig. 11 measured the u32 SWAR formulation, so that
     // stays the default here; `--kernel` swaps the backend explicitly.
-    let kernel = match cfg.kernel {
+    let kernel = match cfg.options.kernel {
         batmap::KernelBackend::Auto => batmap::KernelBackend::SwarU32,
         pinned => pinned,
     };
@@ -28,7 +28,7 @@ fn main() {
     };
     // `--threads N` (or BATMAP_THREADS) pins the sweep to one core
     // count; the default sweeps the paper's 1/2/4/8.
-    let core_sweep: Vec<usize> = match cfg.threads.pinned() {
+    let core_sweep: Vec<usize> = match cfg.options.threads.pinned() {
         Some(cores) => vec![cores],
         None => vec![1, 2, 4, 8],
     };

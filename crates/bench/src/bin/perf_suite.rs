@@ -19,8 +19,8 @@
 //! excluded from the check rather than reported as vanished.
 
 use batmap::{
-    intersect, ArenaBuilder, BatmapParams, KernelBackend, Parallelism, ReprPolicy, SetRepr,
-    ALL_BACKENDS,
+    intersect, ArenaBuilder, BatmapParams, EngineOptions, KernelBackend, Parallelism, ReprPolicy,
+    SetRepr, ALL_BACKENDS,
 };
 use bench::report::{load_dir, regression_failures, DatasetParams, PerfReport};
 use datagen::uniform::{generate, UniformSpec};
@@ -28,10 +28,7 @@ use datagen::webdocs::{self, WebDocsSpec};
 use fim::VerticalDb;
 use hpcutil::{scoped_pool, Table};
 use pairminer::cpu::swar_throughput_with;
-use pairminer::{
-    mine, preprocess_with_options, preprocess_with_repr, Engine, LevelwiseConfig, LevelwiseMiner,
-    MinerConfig,
-};
+use pairminer::{mine, preprocess_with, Engine, LevelwiseConfig, LevelwiseMiner, MinerConfig};
 use rayon::prelude::*;
 use std::alloc::{GlobalAlloc, Layout, System};
 use std::path::PathBuf;
@@ -73,9 +70,7 @@ struct Args {
     factor: f64,
     quick: bool,
     seed: u64,
-    kernel: KernelBackend,
-    threads: Parallelism,
-    repr: ReprPolicy,
+    options: EngineOptions,
 }
 
 fn parse_args() -> Args {
@@ -85,18 +80,19 @@ fn parse_args() -> Args {
         factor: 2.0,
         quick: false,
         seed: 0x1DB5,
-        kernel: KernelBackend::Auto,
-        threads: Parallelism::Auto,
-        repr: ReprPolicy::Auto,
+        options: EngineOptions::auto(),
     };
     let argv: Vec<String> = std::env::args().skip(1).collect();
     let usage = "usage: perf_suite [--out DIR] [--check BASELINE_DIR] [--factor F] \
-                 [--quick] [--seed N] [--kernel NAME] [--threads N] [--repr NAME]";
+                 [--quick] [--seed N] plus the engine flags:\n";
     let mut i = 0;
     let value = |argv: &[String], i: &mut usize, what: &str| -> String {
         *i += 1;
         argv.get(*i).cloned().unwrap_or_else(|| {
-            eprintln!("{what} takes a value\n{usage}");
+            eprintln!(
+                "{what} takes a value\n{usage}{}",
+                batmap::options::FLAGS_USAGE
+            );
             std::process::exit(2);
         })
     };
@@ -114,30 +110,19 @@ fn parse_args() -> Args {
                     .parse()
                     .expect("--seed takes an integer")
             }
-            "--kernel" => {
-                args.kernel = KernelBackend::from_name(&value(&argv, &mut i, "--kernel"))
-                    .unwrap_or_else(|| {
-                        eprintln!("--kernel takes auto|scalar|swar32|swar64|sse2|avx2");
-                        std::process::exit(2);
-                    })
-            }
-            "--threads" => {
-                args.threads = Parallelism::from_name(&value(&argv, &mut i, "--threads"))
-                    .unwrap_or_else(|| {
-                        eprintln!("--threads takes auto|serial|<count>");
-                        std::process::exit(2);
-                    })
-            }
-            "--repr" => {
-                args.repr =
-                    ReprPolicy::from_name(&value(&argv, &mut i, "--repr")).unwrap_or_else(|| {
-                        eprintln!("--repr takes auto|batmap|bitmap|tidlist|hybrid");
-                        std::process::exit(2);
-                    })
+            flag @ ("--kernel" | "--threads" | "--repr") => {
+                let v = value(&argv, &mut i, flag);
+                if let Err(message) = args.options.set_flag(flag, &v) {
+                    eprintln!("{message}\n{usage}{}", batmap::options::FLAGS_USAGE);
+                    std::process::exit(2);
+                }
             }
             "--quick" => args.quick = true,
             other => {
-                eprintln!("unknown argument {other}\n{usage}");
+                eprintln!(
+                    "unknown argument {other}\n{usage}{}",
+                    batmap::options::FLAGS_USAGE
+                );
                 std::process::exit(2);
             }
         }
@@ -148,19 +133,23 @@ fn parse_args() -> Args {
 
 /// The intersect micro-scenarios: the Fig. 11 positional comparison at
 /// one pinned core, once per concrete backend available on this CPU —
-/// the backend axis of the suite. Returns the reports plus the names of
-/// scenarios skipped for lack of hardware support (their baselines are
-/// excluded from the regression check).
-fn intersect_scenarios(args: &Args) -> (Vec<PerfReport>, Vec<String>) {
+/// the backend axis of the suite. Returns the reports plus the
+/// `(scenario, reason)` pairs for scenarios skipped for lack of
+/// hardware support (their baselines are excluded from the regression
+/// check, and `--check` logs each exclusion with its reason).
+fn intersect_scenarios(args: &Args) -> (Vec<PerfReport>, Vec<(String, String)>) {
     let words: usize = if args.quick { 1 << 16 } else { 1 << 18 };
     let reps = if args.quick { 8 } else { 16 };
     let mut reports = Vec::new();
-    let mut skipped = Vec::new();
+    let mut skipped: Vec<(String, String)> = Vec::new();
     for backend in ALL_BACKENDS {
         let scenario = format!("intersect_{backend}");
         if !backend.is_available() {
             eprintln!("skipping {scenario}: backend {backend} not available on this CPU");
-            skipped.push(scenario);
+            skipped.push((
+                scenario,
+                format!("backend {backend} not available on this CPU"),
+            ));
             continue;
         }
         // `swar_throughput_with` times only its comparison loop
@@ -197,7 +186,7 @@ fn intersect_scenarios(args: &Args) -> (Vec<PerfReport>, Vec<String>) {
 fn one_vs_many_scenario(args: &Args) -> PerfReport {
     const CANDIDATES: usize = 64;
     let reps = if args.quick { 40 } else { 200 };
-    let (probe, many) = bench::one_vs_many_fixture(CANDIDATES, args.seed, args.kernel);
+    let (probe, many) = bench::one_vs_many_fixture(CANDIDATES, args.seed, args.options.kernel);
     let mut out = vec![0u64; many.len()];
     let t0 = std::time::Instant::now();
     for _ in 0..reps {
@@ -207,7 +196,7 @@ fn one_vs_many_scenario(args: &Args) -> PerfReport {
     std::hint::black_box(&out);
     PerfReport::new(
         "intersect_one_vs_many",
-        args.kernel.resolve().name(),
+        args.options.kernel.resolve().name(),
         "batched-1vN",
         1,
         wall,
@@ -230,7 +219,7 @@ fn one_vs_many_scenario(args: &Args) -> PerfReport {
 fn intersect_arena_scenario(args: &Args) -> PerfReport {
     const CANDIDATES: usize = 64;
     let reps = if args.quick { 40 } else { 200 };
-    let (probe, many) = bench::one_vs_many_fixture(CANDIDATES, args.seed, args.kernel);
+    let (probe, many) = bench::one_vs_many_fixture(CANDIDATES, args.seed, args.options.kernel);
     let mut builder = ArenaBuilder::new(probe.params().clone());
     builder.push(&probe);
     for b in &many {
@@ -248,7 +237,7 @@ fn intersect_arena_scenario(args: &Args) -> PerfReport {
     std::hint::black_box(&out);
     PerfReport::new(
         "intersect_arena",
-        args.kernel.resolve().name(),
+        args.options.kernel.resolve().name(),
         "batched-1vN-arena",
         1,
         wall,
@@ -287,7 +276,9 @@ fn preprocess_arena_scenario(args: &Args) -> PerfReport {
     let v = VerticalDb::from_horizontal(&db);
 
     let run_arena = || {
-        let pre = preprocess_with_options(&v, args.seed, 128, args.kernel, args.threads);
+        // Pin the legacy pure-batmap corpus: this scenario measures the
+        // arena build itself, not the repr policy.
+        let pre = preprocess_with(&v, args.seed, 128, args.options.repr(ReprPolicy::Batmap));
         std::hint::black_box(&pre);
         pre.padded_items()
     };
@@ -304,7 +295,7 @@ fn preprocess_arena_scenario(args: &Args) -> PerfReport {
             128,
             pairminer::GPU_MIN_SHIFT,
         )
-        .with_kernel(args.kernel),
+        .with_engine_options(args.options),
     );
     let run_boxed = || {
         let n = v.n_items();
@@ -375,9 +366,11 @@ fn preprocess_arena_scenario(args: &Args) -> PerfReport {
 
     PerfReport::new(
         "preprocess_arena",
-        args.kernel.resolve().name(),
+        args.options.kernel.resolve().name(),
         "arena-build",
-        args.threads.resolve_with(rayon::current_num_threads()),
+        args.options
+            .threads
+            .resolve_with(rayon::current_num_threads()),
         arena_best,
         sets as u64,
         DatasetParams {
@@ -417,15 +410,13 @@ fn mine_scenarios(args: &Args) -> Vec<PerfReport> {
     let config = |engine: Engine, threads: Parallelism, kernel: KernelBackend| MinerConfig {
         k,
         engine,
-        threads,
-        kernel,
-        repr: args.repr,
+        options: args.options.kernel(kernel).threads(threads),
         ..Default::default()
     };
     let mut out = Vec::new();
     for (scenario, engine, threads) in [
         ("mine_cpu_serial", Engine::Cpu, Parallelism::Serial),
-        ("mine_cpu_parallel", Engine::Cpu, args.threads),
+        ("mine_cpu_parallel", Engine::Cpu, args.options.threads),
         (
             "mine_gpu_sim",
             Engine::Gpu(gpu_sim::DeviceSpec::gtx285()),
@@ -439,11 +430,12 @@ fn mine_scenarios(args: &Args) -> Vec<PerfReport> {
         // seconds on different CPUs and break the exact baseline. Pin
         // it to the portable swar64 unless the user pinned explicitly
         // (pinned runs are excluded from the gate anyway).
-        let kernel = if matches!(engine, Engine::Gpu(_)) && args.kernel == KernelBackend::Auto {
-            KernelBackend::SwarU64
-        } else {
-            args.kernel
-        };
+        let kernel =
+            if matches!(engine, Engine::Gpu(_)) && args.options.kernel == KernelBackend::Auto {
+                KernelBackend::SwarU64
+            } else {
+                args.options.kernel
+            };
         let report = mine(&db, &config(engine.clone(), threads, kernel));
         // CPU engines: host wall of the tile phase + postprocessing
         // (the parallel engine folds in-worker harvesting into the tile
@@ -504,9 +496,7 @@ fn levelwise_scenario(args: &Args) -> PerfReport {
             k: 64,
             minsup,
             engine: Engine::Cpu,
-            kernel: args.kernel,
-            threads: args.threads,
-            repr: args.repr,
+            options: args.options,
             ..Default::default()
         },
         ..Default::default()
@@ -528,7 +518,7 @@ fn levelwise_scenario(args: &Args) -> PerfReport {
     let threads = report.pair_report.as_ref().map_or(1, |r| r.threads);
     PerfReport::new(
         "mine_levelwise",
-        args.kernel.resolve().name(),
+        args.options.kernel.resolve().name(),
         "levelwise",
         threads,
         wall,
@@ -568,9 +558,7 @@ fn mine_hybrid_zipf_scenario(args: &Args) -> PerfReport {
     let config = |repr: ReprPolicy| MinerConfig {
         k: 64,
         engine: Engine::Cpu,
-        kernel: args.kernel,
-        threads: args.threads,
-        repr,
+        options: args.options.repr(repr),
         ..Default::default()
     };
 
@@ -578,13 +566,11 @@ fn mine_hybrid_zipf_scenario(args: &Args) -> PerfReport {
     // with the same parameters the timed hybrid runs use.
     let cfg = config(ReprPolicy::Hybrid);
     let v = VerticalDb::from_horizontal(&db);
-    let pre = preprocess_with_repr(
+    let pre = preprocess_with(
         &v,
         cfg.seed,
         cfg.max_loop,
-        args.kernel,
-        args.threads,
-        ReprPolicy::Hybrid,
+        args.options.repr(ReprPolicy::Hybrid),
     );
     let hist = pre.repr_histogram();
     println!(
@@ -632,7 +618,7 @@ fn mine_hybrid_zipf_scenario(args: &Args) -> PerfReport {
     let total_items: usize = (0..v.n_items()).map(|i| v.tidlist(i).len()).sum();
     PerfReport::new(
         "mine_hybrid_zipf",
-        args.kernel.resolve().name(),
+        args.options.kernel.resolve().name(),
         "cpu-hybrid",
         hybrid_report.threads,
         hybrid_best,
@@ -657,7 +643,7 @@ fn intersect_mixed_scenario(args: &Args) -> PerfReport {
     let reps = if args.quick { 2_000 } else { 10_000 };
     let params = Arc::new(
         BatmapParams::with_options(M, args.seed, 128, pairminer::GPU_MIN_SHIFT)
-            .with_kernel(args.kernel),
+            .with_engine_options(args.options),
     );
     let mut builder = ArenaBuilder::new(params);
     // One set per representation band: dense (every 2nd element), the
@@ -677,7 +663,7 @@ fn intersect_mixed_scenario(args: &Args) -> PerfReport {
     for _ in 0..reps {
         for a in &views {
             for b in &views {
-                acc += intersect::count_mixed_with(args.kernel, a, b);
+                acc += intersect::count_mixed_with(args.options.kernel, a, b);
             }
         }
     }
@@ -685,7 +671,7 @@ fn intersect_mixed_scenario(args: &Args) -> PerfReport {
     std::hint::black_box(acc);
     PerfReport::new(
         "intersect_mixed",
-        args.kernel.resolve().name(),
+        args.options.kernel.resolve().name(),
         "mixed-pairings",
         1,
         wall,
@@ -694,6 +680,180 @@ fn intersect_mixed_scenario(args: &Args) -> PerfReport {
             n_items: views.len() as u32,
             total_items: M as usize,
             density: 0.0,
+            seed: args.seed,
+            k: 0,
+        },
+    )
+}
+
+/// The serving scenario: a snapshot-backed query server under
+/// concurrent client load, gated on **batched** queries/s.
+///
+/// Three measurements over the same hybrid corpus and the same
+/// deterministic query mix:
+///
+/// 1. *sequential* — one client, one request per round trip: every
+///    shard queue drains at depth 1, so nothing coalesces (the
+///    pre-server baseline: one query at a time);
+/// 2. *batched* — `CLIENTS` concurrent clients, each pipelining bursts,
+///    admission-queue batching on: workers drain whole bursts and fold
+///    count probes sharing a probe set into one-vs-many sweeps;
+/// 3. *unbatched* — the same concurrent load with batching disabled
+///    (every count runs pairwise), printed for the mechanism
+///    attribution.
+///
+/// Asserts the headline claim (batched concurrent throughput beats
+/// one-at-a-time serving by ≥1.2×) and pins every batched response
+/// byte-identical to a single-threaded replay on a one-shard engine —
+/// coalescing must never change an answer.
+fn serve_qps_scenario(args: &Args) -> PerfReport {
+    use batmap_server::{proto, Client, EngineConfig, QueryEngine, Request, Response, Server};
+
+    const CLIENTS: usize = 6;
+    const HOT_PROBES: u32 = 8;
+    let per_client: usize = if args.quick { 192 } else { 768 };
+    let (documents, mean_doc_len) = if args.quick { (400, 40) } else { (1_000, 60) };
+
+    // A hybrid snapshot (pinned — the scenario is independent of
+    // BATMAP_REPR), so the sweeps exercise the mixed kernels.
+    let spec = WebDocsSpec {
+        documents,
+        mean_doc_len,
+        seed: args.seed,
+        ..Default::default()
+    };
+    let db = webdocs::generate(&spec);
+    let v = VerticalDb::from_horizontal(&db);
+    let pre = preprocess_with(&v, args.seed, 128, args.options.repr(ReprPolicy::Hybrid));
+    let n = pre.n_items;
+    assert!(n > HOT_PROBES, "corpus too small for the query mix");
+
+    // The deterministic query mix of client `c`: counts against a hot
+    // probe set (what coalescing feeds on) plus a sprinkle of
+    // membership probes. Every (c, j) pair maps to one fixed request.
+    let queries = |c: usize| -> Vec<Request> {
+        (0..per_client)
+            .map(|j| {
+                let x = (c * per_client + j) as u32;
+                if j % 16 == 15 {
+                    Request::Member {
+                        set: (x * 31 + 7) % n,
+                        element: (x * 131) % (pre.params.m() as u32),
+                    }
+                } else {
+                    Request::Count {
+                        a: (x * 7 + c as u32) % HOT_PROBES,
+                        b: (x * 13 + 5) % n,
+                    }
+                }
+            })
+            .collect()
+    };
+
+    let serve = |batching: bool, concurrent: bool| -> (f64, Vec<Vec<(u64, Response)>>) {
+        let engine = QueryEngine::new(
+            vec![pre.clone()],
+            EngineConfig {
+                options: args.options,
+                batching,
+                ..EngineConfig::default()
+            },
+        );
+        let handle = Server::bind_tcp("127.0.0.1:0")
+            .expect("bind ephemeral port")
+            .serve(engine);
+        let addr = handle.tcp_addr().expect("tcp server has an address");
+        let clients = if concurrent { CLIENTS } else { 1 };
+        let t0 = std::time::Instant::now();
+        let transcripts: Vec<Vec<(u64, Response)>> = std::thread::scope(|scope| {
+            let workers: Vec<_> = (0..clients)
+                .map(|c| {
+                    let queries = queries(c);
+                    scope.spawn(move || {
+                        let mut client = Client::connect_tcp(addr).expect("connect");
+                        let mut transcript = Vec::with_capacity(queries.len());
+                        if concurrent {
+                            // Pipelined bursts: fill the admission
+                            // queues deeply enough to coalesce.
+                            for (burst_at, burst) in queries.chunks(64).enumerate() {
+                                let responses = client.pipeline(0, burst).expect("pipelined burst");
+                                for (j, response) in responses.into_iter().enumerate() {
+                                    let id = 1 + (burst_at * 64 + j) as u64;
+                                    transcript.push((id, response));
+                                }
+                            }
+                        } else {
+                            for (j, query) in queries.iter().enumerate() {
+                                let response = client.call(0, query).expect("round trip");
+                                transcript.push((1 + j as u64, response));
+                            }
+                        }
+                        transcript
+                    })
+                })
+                .collect();
+            workers.into_iter().map(|w| w.join().unwrap()).collect()
+        });
+        let wall = t0.elapsed().as_secs_f64();
+        handle.join();
+        (wall, transcripts)
+    };
+
+    let (seq_wall, _) = serve(true, false);
+    let (unbatched_wall, _) = serve(false, true);
+    let (batched_wall, transcripts) = serve(true, true);
+
+    let seq_qps = per_client as f64 / seq_wall;
+    let unbatched_qps = (CLIENTS * per_client) as f64 / unbatched_wall;
+    let batched_qps = (CLIENTS * per_client) as f64 / batched_wall;
+    println!(
+        "serve_qps: {batched_qps:.0} qps batched vs {unbatched_qps:.0} qps unbatched \
+         ({CLIENTS} clients) vs {seq_qps:.0} qps sequential ({:.2}x batched over sequential)",
+        batched_qps / seq_qps
+    );
+    assert!(
+        batched_qps >= 1.2 * seq_qps,
+        "admission-queue batching must beat one-query-at-a-time serving by ≥1.2x \
+         ({batched_qps:.0} vs {seq_qps:.0} qps)"
+    );
+
+    // Replay pinning: every response from the concurrent batched run
+    // must be byte-identical to a fresh single-threaded, single-shard
+    // replay of the same requests. Coalescing is an execution strategy,
+    // not a semantics change.
+    let replay = QueryEngine::new(
+        vec![pre.clone()],
+        EngineConfig {
+            options: args.options,
+            shards: 1,
+            ..EngineConfig::default()
+        },
+    );
+    for (c, transcript) in transcripts.iter().enumerate() {
+        let queries = queries(c);
+        assert_eq!(transcript.len(), queries.len());
+        for (&(id, ref served), query) in transcript.iter().zip(&queries) {
+            let replayed = replay.query(0, query.clone());
+            assert_eq!(
+                proto::encode_response(id, served),
+                proto::encode_response(id, &replayed),
+                "client {c} request {id} diverged from the single-threaded replay"
+            );
+        }
+    }
+
+    let total_items: usize = (0..v.n_items()).map(|i| v.tidlist(i).len()).sum();
+    PerfReport::new(
+        "serve_qps",
+        args.options.kernel.resolve().name(),
+        "server-batched",
+        CLIENTS,
+        batched_wall,
+        (CLIENTS * per_client) as u64,
+        DatasetParams {
+            n_items: db.n_items(),
+            total_items,
+            density: total_items as f64 / (db.n_items() as f64 * documents as f64),
             seed: args.seed,
             k: 0,
         },
@@ -709,7 +869,8 @@ fn main() {
     reports.extend(mine_scenarios(&args));
     reports.push(levelwise_scenario(&args));
     reports.push(mine_hybrid_zipf_scenario(&args));
-    let kernel_pinned = args.kernel != KernelBackend::Auto
+    reports.push(serve_qps_scenario(&args));
+    let kernel_pinned = args.options.kernel != KernelBackend::Auto
         || KernelBackend::Auto.resolve() != KernelBackend::widest_available();
     if kernel_pinned {
         // The checked-in floors for the kernel-sensitive scenarios were
@@ -719,6 +880,10 @@ fn main() {
         // override steering `Auto` — makes the run an experiment, not
         // the gated configuration. The per-backend `intersect_<name>`
         // scenarios always measure their own backend and stay gated.
+        let reason = format!(
+            "kernel pinned to {} (--kernel or BATMAP_KERNEL); floor recorded unpinned",
+            args.options.kernel.resolve()
+        );
         for scenario in [
             "intersect_one_vs_many",
             "intersect_arena",
@@ -728,34 +893,39 @@ fn main() {
             "mine_gpu_sim",
             "mine_levelwise",
             "mine_hybrid_zipf",
+            "serve_qps",
         ] {
-            skipped.push(scenario.to_string());
+            skipped.push((scenario.to_string(), reason.clone()));
         }
         eprintln!(
             "note: kernel pinned to {} (--kernel or BATMAP_KERNEL) — \
              kernel-sensitive baselines excluded from the check",
-            args.kernel.resolve()
+            args.options.kernel.resolve()
         );
     }
     let repr_pinned =
-        args.repr != ReprPolicy::Auto || ReprPolicy::Auto.resolve() != ReprPolicy::Batmap;
+        args.options.repr != ReprPolicy::Auto || ReprPolicy::Auto.resolve() != ReprPolicy::Batmap;
     if repr_pinned {
         // The mining floors were recorded under the default pure-batmap
         // corpus; a pinned storage policy (an explicit `--repr`, or a
         // `BATMAP_REPR` override steering `Auto`) changes what those
         // scenarios measure. The hybrid scenarios pin their own
-        // policies internally and stay gated; `mine_gpu_sim` forces an
-        // all-batmap corpus and is repr-insensitive by construction.
+        // policies internally and stay gated (`serve_qps` pins Hybrid);
+        // `mine_gpu_sim` forces an all-batmap corpus and is
+        // repr-insensitive by construction.
+        let reason = format!(
+            "repr policy pinned to {} (--repr or BATMAP_REPR); floor recorded under pure batmap",
+            args.options.repr.resolve()
+        );
         for scenario in ["mine_cpu_serial", "mine_cpu_parallel", "mine_levelwise"] {
-            let scenario = scenario.to_string();
-            if !skipped.contains(&scenario) {
-                skipped.push(scenario);
+            if !skipped.iter().any(|(s, _)| s == scenario) {
+                skipped.push((scenario.to_string(), reason.clone()));
             }
         }
         eprintln!(
             "note: repr policy pinned to {} (--repr or BATMAP_REPR) — \
              repr-sensitive baselines excluded from the check",
-            args.repr.resolve()
+            args.options.repr.resolve()
         );
     }
 
@@ -805,13 +975,29 @@ fn main() {
         // whole --factor margin). The gate still catches scenarios that
         // silently disappear for any other reason.
         baselines.retain(|b| {
-            let recorded_unavailable =
-                KernelBackend::from_name(&b.backend).is_some_and(|backend| !backend.is_available());
-            let keep = !skipped.contains(&b.scenario) && !recorded_unavailable;
-            if !keep {
-                println!("baseline `{}` excluded from the check", b.scenario);
+            let reason = skipped
+                .iter()
+                .find(|(scenario, _)| *scenario == b.scenario)
+                .map(|(_, reason)| reason.clone())
+                .or_else(|| {
+                    KernelBackend::from_name(&b.backend)
+                        .filter(|backend| !backend.is_available())
+                        .map(|backend| {
+                            format!(
+                                "floor recorded under backend {backend}, unavailable on this CPU"
+                            )
+                        })
+                });
+            match reason {
+                Some(reason) => {
+                    println!(
+                        "baseline `{}` excluded from the check: {reason}",
+                        b.scenario
+                    );
+                    false
+                }
+                None => true,
             }
-            keep
         });
         if baselines.is_empty() {
             eprintln!(

@@ -14,7 +14,7 @@
 pub mod pbi;
 pub mod report;
 
-use batmap::{KernelBackend, Parallelism};
+use batmap::{EngineOptions, KernelBackend};
 use datagen::uniform::{generate, UniformSpec};
 use fim::TransactionDb;
 
@@ -33,13 +33,12 @@ pub struct HarnessConfig {
     pub apriori_budget: usize,
     /// Seed for generators and hashing.
     pub seed: u64,
-    /// Match-count backend the experiments dispatch through.
-    pub kernel: KernelBackend,
-    /// Host-parallelism knob for the multicore engines
-    /// ([`Parallelism::Auto`] honours `BATMAP_THREADS`, then the
-    /// ambient pool; core-sweep binaries treat a pinned value as "run
-    /// only this core count").
-    pub threads: Parallelism,
+    /// The engine tuning knobs (match-count backend, host parallelism,
+    /// storage representation) as one [`EngineOptions`] value with the
+    /// documented resolution order (explicit flag > `BATMAP_*`
+    /// environment > auto). Core-sweep binaries treat a pinned thread
+    /// count as "run only this core count".
+    pub options: EngineOptions,
 }
 
 impl Default for HarnessConfig {
@@ -50,8 +49,7 @@ impl Default for HarnessConfig {
             full: false,
             apriori_budget: 1 << 30,
             seed: 0x1DB5,
-            kernel: KernelBackend::Auto,
-            threads: Parallelism::Auto,
+            options: EngineOptions::auto(),
         }
     }
 }
@@ -89,29 +87,19 @@ impl HarnessConfig {
                         .parse()
                         .expect("--seed takes an integer");
                 }
-                "--kernel" => {
-                    let name = value(
-                        &args,
-                        &mut i,
-                        "--kernel takes auto|scalar|swar32|swar64|sse2|avx2",
-                    );
-                    cfg.kernel = KernelBackend::from_name(name).unwrap_or_else(|| {
-                        eprintln!("--kernel takes auto|scalar|swar32|swar64|sse2|avx2");
-                        std::process::exit(2);
-                    });
-                }
-                "--threads" => {
-                    let name = value(&args, &mut i, "--threads takes auto|serial|<count>");
-                    cfg.threads = Parallelism::from_name(name).unwrap_or_else(|| {
-                        eprintln!("--threads takes auto|serial|<count>");
-                        std::process::exit(2);
-                    });
-                }
                 "--quick" => cfg.quick = true,
                 "--full" => cfg.full = true,
+                flag @ ("--kernel" | "--threads" | "--repr") => {
+                    let v = value(&args, &mut i, batmap::options::FLAGS_USAGE);
+                    if let Err(message) = cfg.options.set_flag(flag, v) {
+                        eprintln!("{message}\n{}", batmap::options::FLAGS_USAGE);
+                        std::process::exit(2);
+                    }
+                }
                 other => {
                     eprintln!(
-                        "unknown argument {other}\nusage: [--scale F] [--quick] [--full] [--budget BYTES] [--seed N] [--kernel NAME] [--threads N]"
+                        "unknown argument {other}\nusage: [--scale F] [--quick] [--full] [--budget BYTES] [--seed N] plus the engine flags:\n{}",
+                        batmap::options::FLAGS_USAGE
                     );
                     std::process::exit(2);
                 }
@@ -187,7 +175,9 @@ pub fn one_vs_many_fixture(
     use batmap::{Batmap, BatmapParams};
     const M: u32 = 100_000;
     let set = ONE_VS_MANY_SET as u32;
-    let params = std::sync::Arc::new(BatmapParams::new(M as u64, seed).with_kernel(kernel));
+    let params = std::sync::Arc::new(
+        BatmapParams::new(M as u64, seed).with_engine_options(EngineOptions::auto().kernel(kernel)),
+    );
     let probe: Vec<u32> = (0..set).map(|i| i * (M / set)).collect();
     let probe = Batmap::build(params.clone(), &probe).batmap;
     let many: Vec<Batmap> = (0..candidates)

@@ -573,7 +573,10 @@ mod tests {
     fn params_pinned_backend_is_used() {
         use crate::kernel::KernelBackend;
         for backend in crate::kernel::available_backends() {
-            let p = Arc::new(BatmapParams::new(10_000, 9).with_kernel(backend));
+            let p = Arc::new(
+                BatmapParams::new(10_000, 9)
+                    .with_engine_options(crate::options::EngineOptions::auto().kernel(backend)),
+            );
             let a = Batmap::build(p.clone(), &(0..800).collect::<Vec<_>>()).batmap;
             let b = Batmap::build(p, &(400..1200).collect::<Vec<_>>()).batmap;
             assert_eq!(a.params().kernel_backend(), backend);

@@ -378,10 +378,7 @@ impl KernelBackend {
             return KernelBackend::widest_available();
         }
         static AUTO: OnceLock<KernelBackend> = OnceLock::new();
-        *AUTO.get_or_init(|| {
-            let var = std::env::var("BATMAP_KERNEL").ok();
-            KernelBackend::resolve_override(var.as_deref())
-        })
+        *AUTO.get_or_init(|| KernelBackend::resolve_override(crate::options::kernel_env()))
     }
 
     /// The kernel implementation this identifier selects, as a trait

@@ -148,6 +148,7 @@ pub mod hash;
 pub mod intersect;
 pub mod kernel;
 pub mod multiway;
+pub mod options;
 pub mod parallel;
 pub mod params;
 pub mod repr;
@@ -166,6 +167,7 @@ pub use collection::BatmapCollection;
 pub use error::{BatmapError, SnapshotError};
 pub use kernel::{available_backends, KernelBackend, MatchKernel, ALL_BACKENDS};
 pub use multiway::{intersect_count_probe, MultiwayBatmap, MultiwayParams};
+pub use options::EngineOptions;
 pub use parallel::Parallelism;
 pub use params::{BatmapParams, ParamsHandle, TABLES};
 pub use repr::{BitmapRef, ReprPolicy, SetRepr, SetView, TidlistRef, ALL_REPR_POLICIES};

@@ -86,10 +86,10 @@ impl Parallelism {
 fn env_override() -> Option<Parallelism> {
     static OVERRIDE: OnceLock<Option<Parallelism>> = OnceLock::new();
     *OVERRIDE.get_or_init(|| {
-        let var = std::env::var("BATMAP_THREADS").ok()?;
-        match Parallelism::from_name(&var) {
+        let var = crate::options::threads_env()?;
+        match Parallelism::from_name(var) {
             Some(Parallelism::Auto) | None => {
-                if Parallelism::from_name(&var).is_none() {
+                if Parallelism::from_name(var).is_none() {
                     eprintln!(
                         "warning: ignoring invalid BATMAP_THREADS={var} \
                          (expected auto|serial|<count>); using ambient parallelism"
@@ -157,7 +157,7 @@ mod tests {
         assert_eq!(Parallelism::Threads(0).pinned(), Some(1));
         assert_eq!(Parallelism::Threads(1).resolve_with(16), 1);
         // Auto without an override follows the ambient pool.
-        if std::env::var("BATMAP_THREADS").is_err() {
+        if crate::options::threads_env().is_none() {
             assert_eq!(Parallelism::Auto.resolve_with(3), 3);
             assert_eq!(Parallelism::Auto.resolve_with(0), 1);
         }

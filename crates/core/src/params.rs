@@ -8,6 +8,7 @@
 
 use crate::hash::PermutationTriple;
 use crate::kernel::{KernelBackend, MatchKernel};
+use crate::options::EngineOptions;
 use crate::parallel::Parallelism;
 use crate::repr::ReprPolicy;
 use serde::{Deserialize, Serialize};
@@ -120,6 +121,30 @@ impl BatmapParams {
         }
     }
 
+    /// Pin all three engine knobs — match-count backend, host
+    /// parallelism, storage representation — from one
+    /// [`EngineOptions`] value. This is the canonical way to configure
+    /// a universe: knobs left at `Auto` in the options follow the
+    /// documented resolution order (explicit > `BATMAP_*` environment >
+    /// auto) at first use.
+    pub fn with_engine_options(mut self, options: EngineOptions) -> Self {
+        self.kernel = options.kernel;
+        self.threads = options.threads;
+        self.repr = options.repr;
+        self
+    }
+
+    /// The configured engine knobs as one [`EngineOptions`] value
+    /// (inverse of [`Self::with_engine_options`]).
+    #[inline]
+    pub fn engine_options(&self) -> EngineOptions {
+        EngineOptions {
+            kernel: self.kernel,
+            threads: self.threads,
+            repr: self.repr,
+        }
+    }
+
     /// Pin the match-count backend for every intersection over this
     /// universe. The default, [`KernelBackend::Auto`], picks the widest
     /// kernel *available on this CPU* at first use (AVX2 where
@@ -127,6 +152,11 @@ impl BatmapParams {
     /// `BATMAP_KERNEL=scalar|swar32|swar64|sse2|avx2` environment
     /// override; pinning an unavailable backend downgrades to the
     /// widest available one rather than failing.
+    #[deprecated(
+        since = "0.7.0",
+        note = "configure through `EngineOptions`: \
+                `params.with_engine_options(EngineOptions::auto().kernel(..))`"
+    )]
     pub fn with_kernel(mut self, kernel: KernelBackend) -> Self {
         self.kernel = kernel;
         self
@@ -142,6 +172,11 @@ impl BatmapParams {
     /// universe (the default, [`Parallelism::Auto`], honours the
     /// `BATMAP_THREADS` override and otherwise follows the ambient
     /// rayon pool).
+    #[deprecated(
+        since = "0.7.0",
+        note = "configure through `EngineOptions`: \
+                `params.with_engine_options(EngineOptions::auto().threads(..))`"
+    )]
     pub fn with_threads(mut self, threads: Parallelism) -> Self {
         self.threads = threads;
         self
@@ -157,6 +192,11 @@ impl BatmapParams {
     /// this universe (the default, [`ReprPolicy::Auto`], honours the
     /// `BATMAP_REPR` override and otherwise keeps the legacy
     /// pure-batmap layout).
+    #[deprecated(
+        since = "0.7.0",
+        note = "configure through `EngineOptions`: \
+                `params.with_engine_options(EngineOptions::auto().repr(..))`"
+    )]
     pub fn with_repr(mut self, repr: ReprPolicy) -> Self {
         self.repr = repr;
         self
@@ -422,7 +462,8 @@ mod tests {
     #[test]
     fn parallelism_choice_does_not_change_fingerprint() {
         let auto = BatmapParams::new(1000, 1);
-        let pinned = BatmapParams::new(1000, 1).with_threads(Parallelism::Threads(4));
+        let pinned = BatmapParams::new(1000, 1)
+            .with_engine_options(EngineOptions::auto().threads(Parallelism::Threads(4)));
         assert_eq!(auto.fingerprint(), pinned.fingerprint());
         assert_eq!(pinned.parallelism(), Parallelism::Threads(4));
         assert_eq!(auto.parallelism(), Parallelism::Auto);
@@ -432,7 +473,8 @@ mod tests {
     fn kernel_choice_does_not_change_fingerprint() {
         use crate::kernel::KernelBackend;
         let auto = BatmapParams::new(1000, 1);
-        let scalar = BatmapParams::new(1000, 1).with_kernel(KernelBackend::Scalar);
+        let scalar = BatmapParams::new(1000, 1)
+            .with_engine_options(EngineOptions::auto().kernel(KernelBackend::Scalar));
         assert_eq!(auto.fingerprint(), scalar.fingerprint());
         assert_eq!(scalar.kernel_backend(), KernelBackend::Scalar);
         assert_eq!(scalar.kernel().name(), "scalar");
@@ -442,9 +484,28 @@ mod tests {
     #[test]
     fn repr_choice_does_not_change_fingerprint() {
         let auto = BatmapParams::new(1000, 1);
-        let hybrid = BatmapParams::new(1000, 1).with_repr(ReprPolicy::Hybrid);
+        let hybrid = BatmapParams::new(1000, 1)
+            .with_engine_options(EngineOptions::auto().repr(ReprPolicy::Hybrid));
         assert_eq!(auto.fingerprint(), hybrid.fingerprint());
         assert_eq!(hybrid.repr_policy(), ReprPolicy::Hybrid);
         assert_eq!(auto.repr_policy(), ReprPolicy::Auto);
+    }
+
+    #[test]
+    fn engine_options_roundtrip_and_deprecated_shims_agree() {
+        let opts = EngineOptions::auto()
+            .kernel(crate::kernel::KernelBackend::SwarU32)
+            .threads(Parallelism::Threads(3))
+            .repr(ReprPolicy::Tidlist);
+        let via_options = BatmapParams::new(1000, 1).with_engine_options(opts);
+        assert_eq!(via_options.engine_options(), opts);
+        // The deprecated per-field setters remain thin shims over the
+        // same fields, so migrating code changes nothing observable.
+        #[allow(deprecated)]
+        let via_shims = BatmapParams::new(1000, 1)
+            .with_kernel(crate::kernel::KernelBackend::SwarU32)
+            .with_threads(Parallelism::Threads(3))
+            .with_repr(ReprPolicy::Tidlist);
+        assert_eq!(via_shims.engine_options(), opts);
     }
 }

@@ -207,10 +207,7 @@ impl ReprPolicy {
             return self;
         }
         static AUTO: OnceLock<ReprPolicy> = OnceLock::new();
-        *AUTO.get_or_init(|| {
-            let var = std::env::var("BATMAP_REPR").ok();
-            ReprPolicy::resolve_override(var.as_deref())
-        })
+        *AUTO.get_or_init(|| ReprPolicy::resolve_override(crate::options::repr_env()))
     }
 
     /// The representation this policy assigns to one set of `len`
@@ -332,6 +329,20 @@ pub struct TidlistRef<'a> {
 }
 
 impl<'a> TidlistRef<'a> {
+    /// Borrow a tidlist view over caller-owned bytes: little-endian
+    /// `u32`s, ascending, duplicate-free (as produced by
+    /// [`encode_tidlist_into`]). This is how ad-hoc probe sets — e.g. a
+    /// query server's client-supplied element lists — enter the
+    /// mixed-representation count kernels without being inserted into
+    /// an arena first.
+    ///
+    /// # Panics
+    /// Panics if `bytes` is not a whole number of `u32`s.
+    pub fn from_bytes(params: &'a ParamsHandle, bytes: &'a [u8]) -> Self {
+        assert_eq!(bytes.len() % 4, 0, "tidlist bytes must be 4-byte words");
+        TidlistRef { params, bytes }
+    }
+
     /// The universe parameters this view's corpus shares.
     pub fn params(&self) -> &'a ParamsHandle {
         self.params

@@ -280,8 +280,8 @@ mod tests {
 
     #[test]
     fn hybrid_tile_runners_agree_and_match_oracle() {
-        use crate::preprocess::preprocess_with_repr;
-        use batmap::{Parallelism, ReprPolicy};
+        use crate::preprocess::preprocess_with;
+        use batmap::{EngineOptions, ReprPolicy};
         // Skewed density so the hybrid policy genuinely mixes layouts.
         let db = TransactionDb::new(
             12,
@@ -298,14 +298,7 @@ mod tests {
                 .collect(),
         );
         let v = VerticalDb::from_horizontal(&db);
-        let pre = preprocess_with_repr(
-            &v,
-            5,
-            128,
-            batmap::KernelBackend::Auto,
-            Parallelism::Auto,
-            ReprPolicy::Hybrid,
-        );
+        let pre = preprocess_with(&v, 5, 128, EngineOptions::auto().repr(ReprPolicy::Hybrid));
         assert!(!pre.arena.is_all_batmap(), "fixture must be hybrid");
         let oracle = |a: usize, b: usize| -> u64 {
             let mut ea = pre.payload(a).elements();

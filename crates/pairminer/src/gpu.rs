@@ -383,8 +383,8 @@ mod tests {
         // The simulator charges each backend its own amortized ops per
         // staged word, so a wider backend must never simulate slower on
         // identical data. Counts must be identical regardless.
-        use crate::preprocess::preprocess_with_kernel;
-        use batmap::KernelBackend;
+        use crate::preprocess::preprocess_with;
+        use batmap::{EngineOptions, KernelBackend, ReprPolicy};
         let db = TransactionDb::new(
             16,
             (0..600usize)
@@ -406,7 +406,14 @@ mod tests {
             if !backend.is_available() {
                 continue;
             }
-            let pre = preprocess_with_kernel(&v, 7, 128, backend);
+            let pre = preprocess_with(
+                &v,
+                7,
+                128,
+                EngineOptions::auto()
+                    .kernel(backend)
+                    .repr(ReprPolicy::Batmap),
+            );
             let data = DeviceData::upload(&pre);
             let tile = crate::schedule::schedule(pre.padded_items(), 16)[0];
             let result = run_tile(&device, &data, tile);

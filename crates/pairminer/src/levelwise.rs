@@ -234,7 +234,7 @@ impl LevelwiseMiner {
         let mut maps: MapCache = MapCache::default();
         // The resolved storage policy decides which items get multiway
         // maps at all; resolved once so the env read happens up front.
-        let repr = self.config.pair.repr.resolve();
+        let repr = self.config.pair.options.repr.resolve();
 
         for k in 3..=self.config.depth {
             let mut sw = Stopwatch::start();
@@ -265,7 +265,7 @@ impl LevelwiseMiner {
                         self.config.multiway_seed,
                     )
                     .with_max_loop(self.config.multiway_max_loop)
-                    .with_kernel(self.config.pair.kernel),
+                    .with_kernel(self.config.pair.options.kernel),
                 )
             });
             // The gate reproduces the pair corpus' range geometry
@@ -304,7 +304,7 @@ impl LevelwiseMiner {
                 &candidates,
                 &maps,
                 vertical,
-                self.config.pair.threads,
+                self.config.pair.options.threads,
                 &mut level,
             );
             current = Vec::new();
@@ -606,11 +606,11 @@ mod tests {
     fn parallel_and_serial_agree() {
         let d = db();
         let mut serial_cfg = config(4, 20);
-        serial_cfg.pair.threads = Parallelism::Serial;
+        serial_cfg.pair.options.threads = Parallelism::Serial;
         let serial = LevelwiseMiner::new(serial_cfg).mine(&d);
         for threads in [2usize, 4, 8] {
             let mut cfg = config(4, 20);
-            cfg.pair.threads = Parallelism::threads(threads);
+            cfg.pair.options.threads = Parallelism::threads(threads);
             let parallel = LevelwiseMiner::new(cfg).mine(&d);
             assert_eq!(parallel.itemsets, serial.itemsets, "threads={threads}");
         }
@@ -640,13 +640,13 @@ mod tests {
                 .collect(),
         );
         let mut batmap_cfg = config(4, 4);
-        batmap_cfg.pair.repr = batmap::ReprPolicy::Batmap;
+        batmap_cfg.pair.options.repr = batmap::ReprPolicy::Batmap;
         let baseline = LevelwiseMiner::new(batmap_cfg).mine(&d);
         assert_eq!(baseline.itemsets, oracle(&d, 4, 4));
         assert_eq!(baseline.fallback_items, 0, "pure batmap never falls back");
 
         let mut hybrid_cfg = config(4, 4);
-        hybrid_cfg.pair.repr = batmap::ReprPolicy::Hybrid;
+        hybrid_cfg.pair.options.repr = batmap::ReprPolicy::Hybrid;
         let hybrid = LevelwiseMiner::new(hybrid_cfg).mine(&d);
         assert_eq!(hybrid.itemsets, baseline.itemsets);
         assert!(

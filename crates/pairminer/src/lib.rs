@@ -42,8 +42,7 @@ pub use kitemsets::{mine_triples, TripleReport};
 pub use levelwise::{LevelReport, LevelwiseConfig, LevelwiseMiner, LevelwiseReport};
 pub use memory::MemoryReport;
 pub use miner::{mine, mine_preprocessed, Engine, MinerConfig, MiningReport, Timings};
-pub use preprocess::{
-    preprocess, preprocess_with_kernel, preprocess_with_options, preprocess_with_repr,
-    Preprocessed, BLOCK, GPU_MIN_SHIFT,
-};
+pub use preprocess::{preprocess, preprocess_with, Preprocessed, BLOCK, GPU_MIN_SHIFT};
+#[allow(deprecated)] // the shims stay importable from their old paths
+pub use preprocess::{preprocess_with_kernel, preprocess_with_options, preprocess_with_repr};
 pub use schedule::{schedule, Tile};

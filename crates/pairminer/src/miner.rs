@@ -6,9 +6,9 @@ use crate::executor::{
 };
 use crate::failed::FailedPairs;
 use crate::memory::MemoryReport;
-use crate::preprocess::{preprocess_with_repr, Preprocessed};
+use crate::preprocess::{preprocess_with, Preprocessed};
 use crate::schedule::Tile;
-use batmap::{KernelBackend, Parallelism, ReprPolicy};
+use batmap::{EngineOptions, Parallelism, ReprPolicy};
 use fim::pairs::{pair_key, PairMap};
 use fim::{TransactionDb, VerticalDb};
 use gpu_sim::{DeviceSpec, KernelStats};
@@ -38,22 +38,20 @@ pub struct MinerConfig {
     pub max_loop: u32,
     /// Execution engine.
     pub engine: Engine,
-    /// Match-count backend both engines dispatch through
-    /// ([`KernelBackend::Auto`] picks the widest available kernel).
-    pub kernel: KernelBackend,
-    /// Host-parallelism knob: drives batmap construction for both
-    /// engines and tile execution for the CPU engine
-    /// ([`Parallelism::Serial`] selects the strictly sequential tile
-    /// walk; the default [`Parallelism::Auto`] honours `BATMAP_THREADS`
-    /// and otherwise the ambient rayon pool, so
-    /// `hpcutil::scoped_pool(cores, …)` sweeps keep working).
-    pub threads: Parallelism,
-    /// Storage-representation policy for the preprocessed corpus
-    /// ([`ReprPolicy::Auto`] honours `BATMAP_REPR`; `Hybrid` picks
-    /// batmap/bitmap/tidlist per set by density). The GPU engine needs
+    /// The three engine tuning knobs — match-count backend, host
+    /// parallelism, storage representation — as one
+    /// [`EngineOptions`] value with the documented resolution order
+    /// (explicit > `BATMAP_*` environment > auto). The kernel drives
+    /// both engines' dispatch; the threads knob drives batmap
+    /// construction for both engines and tile execution for the CPU
+    /// engine ([`Parallelism::Serial`] selects the strictly sequential
+    /// tile walk, `Auto` follows the ambient rayon pool so
+    /// `hpcutil::scoped_pool(cores, …)` sweeps keep working); the repr
+    /// policy shapes the preprocessed corpus (`Hybrid` picks
+    /// batmap/bitmap/tidlist per set by density — the GPU engine needs
     /// an all-batmap corpus, so it pins `Batmap` regardless, with a
-    /// one-time warning if the configuration asked for something else.
-    pub repr: ReprPolicy,
+    /// one-time warning if the configuration asked for something else).
+    pub options: EngineOptions,
 }
 
 impl Default for MinerConfig {
@@ -64,9 +62,7 @@ impl Default for MinerConfig {
             seed: 0xBA7_A11,
             max_loop: 128,
             engine: Engine::Gpu(DeviceSpec::gtx285()),
-            kernel: KernelBackend::Auto,
-            threads: Parallelism::Auto,
-            repr: ReprPolicy::Auto,
+            options: EngineOptions::auto(),
         }
     }
 }
@@ -159,30 +155,28 @@ pub fn mine(db: &TransactionDb, config: &MinerConfig) -> MiningReport {
     let mut sw = Stopwatch::start();
     let vertical = VerticalDb::from_horizontal(db);
     let repr = match &config.engine {
-        Engine::Cpu => config.repr,
+        Engine::Cpu => config.options.repr,
         Engine::Gpu(_) => {
             // The simulated device kernel walks fixed-width slot rows,
             // so the corpus must be all-batmap.
-            if !matches!(config.repr.resolve(), ReprPolicy::Batmap) {
+            if !matches!(config.options.repr.resolve(), ReprPolicy::Batmap) {
                 static WARNED: std::sync::Once = std::sync::Once::new();
                 WARNED.call_once(|| {
                     eprintln!(
                         "warning: the GPU engine requires an all-batmap corpus; \
                          ignoring repr policy {} and using batmap",
-                        config.repr.resolve()
+                        config.options.repr.resolve()
                     );
                 });
             }
             ReprPolicy::Batmap
         }
     };
-    let pre = preprocess_with_repr(
+    let pre = preprocess_with(
         &vertical,
         config.seed,
         config.max_loop,
-        config.kernel,
-        config.threads,
-        repr,
+        config.options.repr(repr),
     );
     let preprocess_s = sw.lap().as_secs_f64();
     mine_over(db, &pre, vertical.heap_bytes(), preprocess_s, config)
@@ -195,9 +189,9 @@ pub fn mine(db: &TransactionDb, config: &MinerConfig) -> MiningReport {
 ///
 /// `db` must be the database `pre` was preprocessed from (it backs the
 /// failed-insertion recovery path and the final id remap). Of the
-/// configuration, only `k`, `minsup`, `engine`, and `threads` apply
-/// here; `seed`, `max_loop`, `kernel`, and `repr` were fixed at
-/// preprocessing time and travel inside `pre.params` / the arena's
+/// configuration, only `k`, `minsup`, `engine`, and `options.threads`
+/// apply here; `seed`, `max_loop`, and the kernel/repr knobs were fixed
+/// at preprocessing time and travel inside `pre.params` / the arena's
 /// per-set representation tags. (A hybrid snapshot can only be served
 /// by the CPU engine — the GPU engine needs an all-batmap corpus.)
 ///
@@ -246,7 +240,7 @@ fn mine_over(
     };
     let (harvested, exec) = match &config.engine {
         Engine::Gpu(device) => GpuSimExecutor { device }.execute(pre, &plan, make),
-        Engine::Cpu => match config.threads {
+        Engine::Cpu => match config.options.threads {
             Parallelism::Serial => SerialCpuExecutor.execute(pre, &plan, make),
             parallelism => ParallelCpuExecutor { parallelism }.execute(pre, &plan, make),
         },
@@ -398,7 +392,7 @@ mod tests {
             &db,
             &MinerConfig {
                 engine: Engine::Cpu,
-                threads: Parallelism::Serial,
+                options: EngineOptions::auto().threads(Parallelism::Serial),
                 k: 16,
                 ..Default::default()
             },
@@ -410,7 +404,7 @@ mod tests {
                 &db,
                 &MinerConfig {
                     engine: Engine::Cpu,
-                    threads: Parallelism::threads(threads),
+                    options: EngineOptions::auto().threads(Parallelism::threads(threads)),
                     k: 16,
                     ..Default::default()
                 },
@@ -474,7 +468,7 @@ mod tests {
                 let report = mine(
                     &db,
                     &MinerConfig {
-                        kernel: backend,
+                        options: EngineOptions::auto().kernel(backend),
                         engine: engine.clone(),
                         ..Default::default()
                     },
@@ -505,7 +499,7 @@ mod tests {
             &db,
             &MinerConfig {
                 engine: Engine::Cpu,
-                repr: ReprPolicy::Batmap,
+                options: EngineOptions::auto().repr(ReprPolicy::Batmap),
                 ..Default::default()
             },
         );
@@ -516,8 +510,7 @@ mod tests {
                     &db,
                     &MinerConfig {
                         engine: Engine::Cpu,
-                        repr,
-                        threads,
+                        options: EngineOptions::auto().repr(repr).threads(threads),
                         k: 16,
                         ..Default::default()
                     },
@@ -533,7 +526,7 @@ mod tests {
         let report = mine(
             &db,
             &MinerConfig {
-                repr: ReprPolicy::Hybrid,
+                options: EngineOptions::auto().repr(ReprPolicy::Hybrid),
                 ..config_gpu(2048)
             },
         );

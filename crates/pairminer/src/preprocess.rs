@@ -7,10 +7,11 @@
 //! of similar width ("resulting in a strongly reduced computation time
 //! for the subresults for narrow batmaps"). The item list is padded
 //! with empty batmaps to a multiple of 16 so every work group is full.
-//! Under a hybrid storage policy ([`preprocess_with_repr`]) each item
-//! may instead become an uncompressed bitmap (dense head) or a raw
-//! tidlist (sparse tail) — same arena, same width-sorted order, typed
-//! views via [`Preprocessed::payload`].
+//! Under a hybrid storage policy ([`preprocess_with`] with
+//! `EngineOptions::auto().repr(ReprPolicy::Hybrid)`) each item may
+//! instead become an uncompressed bitmap (dense head) or a raw tidlist
+//! (sparse tail) — same arena, same width-sorted order, typed views via
+//! [`Preprocessed::payload`].
 //!
 //! Storage is two-pass and allocation-lean:
 //!
@@ -34,8 +35,8 @@
 //! without rebuilding (see `miner::mine_preprocessed`).
 
 use batmap::{
-    ArenaSetOutcome, BatmapArena, BatmapBuilder, BatmapParams, BatmapRef, KernelBackend,
-    Parallelism, ParamsHandle, ReprPolicy, SetRepr, SetSpec, SetView, SnapshotError,
+    ArenaSetOutcome, BatmapArena, BatmapBuilder, BatmapParams, BatmapRef, EngineOptions,
+    KernelBackend, Parallelism, ParamsHandle, ReprPolicy, SetRepr, SetSpec, SetView, SnapshotError,
 };
 use fim::VerticalDb;
 use hpcutil::MemoryFootprint;
@@ -245,35 +246,49 @@ impl MemoryFootprint for Preprocessed {
 }
 
 /// Build batmaps for every item of a vertical database and sort them by
-/// width, with the default ([`KernelBackend::Auto`]) match-count
-/// backend.
+/// width, with every engine knob at its default and the storage policy
+/// pinned to the legacy all-batmap corpus ([`ReprPolicy::Batmap`] —
+/// deliberately *not* consulting the `BATMAP_REPR` override; the GPU
+/// upload path and the existing snapshot fixtures rely on it).
 pub fn preprocess(v: &VerticalDb, seed: u64, max_loop: u32) -> Preprocessed {
-    preprocess_with_kernel(v, seed, max_loop, KernelBackend::Auto)
+    preprocess_with(
+        v,
+        seed,
+        max_loop,
+        EngineOptions::auto().repr(ReprPolicy::Batmap),
+    )
 }
 
-/// [`preprocess`] with an explicit match-count backend: the choice is
-/// pinned on the universe parameters, so both mining engines and every
-/// later intersection inherit it.
+/// [`preprocess`] with an explicit match-count backend.
+#[deprecated(
+    since = "0.7.0",
+    note = "use `preprocess_with(v, seed, max_loop, EngineOptions::auto()\
+            .kernel(..).repr(ReprPolicy::Batmap))`"
+)]
 pub fn preprocess_with_kernel(
     v: &VerticalDb,
     seed: u64,
     max_loop: u32,
     kernel: KernelBackend,
 ) -> Preprocessed {
-    preprocess_with_options(v, seed, max_loop, kernel, Parallelism::Auto)
+    preprocess_with(
+        v,
+        seed,
+        max_loop,
+        EngineOptions::auto()
+            .kernel(kernel)
+            .repr(ReprPolicy::Batmap),
+    )
 }
 
-/// Fully explicit preprocessing: match-count backend plus the
-/// host-parallelism knob, both pinned on the universe parameters so
-/// every downstream phase inherits them. Batmap construction runs in
-/// the pool the knob selects ([`Parallelism::Serial`] builds strictly
-/// sequentially, exercising the single-segment path).
-///
-/// The storage policy is pinned to [`ReprPolicy::Batmap`]: this is the
-/// legacy all-batmap entry point (the GPU upload path and the existing
-/// snapshot fixtures rely on it), deliberately *not* consulting the
-/// `BATMAP_REPR` environment override. Hybrid corpora come from
-/// [`preprocess_with_repr`].
+/// [`preprocess`] with explicit match-count backend and host-parallelism
+/// knobs; the storage policy stays pinned to the legacy all-batmap
+/// corpus.
+#[deprecated(
+    since = "0.7.0",
+    note = "use `preprocess_with(v, seed, max_loop, EngineOptions::auto()\
+            .kernel(..).threads(..).repr(ReprPolicy::Batmap))`"
+)]
 pub fn preprocess_with_options(
     v: &VerticalDb,
     seed: u64,
@@ -281,24 +296,23 @@ pub fn preprocess_with_options(
     kernel: KernelBackend,
     threads: Parallelism,
 ) -> Preprocessed {
-    preprocess_with_repr(v, seed, max_loop, kernel, threads, ReprPolicy::Batmap)
+    preprocess_with(
+        v,
+        seed,
+        max_loop,
+        EngineOptions::auto()
+            .kernel(kernel)
+            .threads(threads)
+            .repr(ReprPolicy::Batmap),
+    )
 }
 
-/// Preprocessing with an explicit storage-representation policy — the
-/// hybrid storage entry point.
-///
-/// [`ReprPolicy::Batmap`] reproduces [`preprocess_with_options`]
-/// byte-for-byte. [`ReprPolicy::Hybrid`] picks the cheapest layout per
-/// item by density (see `batmap::repr` for the thresholds); the forced
-/// policies are ablation/testing modes. [`ReprPolicy::Auto`] resolves
-/// through the `BATMAP_REPR` environment override (defaulting to the
-/// legacy pure-batmap corpus).
-///
-/// The corpus keeps the legacy shape guarantees either way: sets sorted
-/// by increasing payload width (ties by item id), padding appended
-/// **after** every real item (the harvest path depends on padding rows
-/// sitting at the end of the sorted order), and every set built in
-/// place into one contiguous arena.
+/// [`preprocess_with`] taking the knobs as three positional arguments.
+#[deprecated(
+    since = "0.7.0",
+    note = "use `preprocess_with(v, seed, max_loop, EngineOptions::auto()\
+            .kernel(..).threads(..).repr(..))`"
+)]
 pub fn preprocess_with_repr(
     v: &VerticalDb,
     seed: u64,
@@ -307,14 +321,49 @@ pub fn preprocess_with_repr(
     threads: Parallelism,
     repr: ReprPolicy,
 ) -> Preprocessed {
+    preprocess_with(
+        v,
+        seed,
+        max_loop,
+        EngineOptions::auto()
+            .kernel(kernel)
+            .threads(threads)
+            .repr(repr),
+    )
+}
+
+/// Canonical preprocessing entry point: every engine knob — match-count
+/// backend, host parallelism, storage representation — arrives as one
+/// [`EngineOptions`] value and is pinned on the universe parameters, so
+/// both mining engines and every later intersection inherit the
+/// configuration. Batmap construction runs in the pool the threads knob
+/// selects ([`Parallelism::Serial`] builds strictly sequentially,
+/// exercising the single-segment path).
+///
+/// The storage policy shapes the corpus: [`ReprPolicy::Batmap`]
+/// reproduces the legacy all-batmap layout byte-for-byte,
+/// [`ReprPolicy::Hybrid`] picks the cheapest layout per item by density
+/// (see `batmap::repr` for the thresholds), the forced policies are
+/// ablation/testing modes, and [`ReprPolicy::Auto`] resolves through
+/// the `BATMAP_REPR` environment override (defaulting to the legacy
+/// pure-batmap corpus).
+///
+/// The corpus keeps the legacy shape guarantees either way: sets sorted
+/// by increasing payload width (ties by item id), padding appended
+/// **after** every real item (the harvest path depends on padding rows
+/// sitting at the end of the sorted order), and every set built in
+/// place into one contiguous arena.
+pub fn preprocess_with(
+    v: &VerticalDb,
+    seed: u64,
+    max_loop: u32,
+    options: EngineOptions,
+) -> Preprocessed {
     let m = v.m().max(1) as u64;
     let params: ParamsHandle = Arc::new(
-        BatmapParams::with_options(m, seed, max_loop, GPU_MIN_SHIFT)
-            .with_kernel(kernel)
-            .with_threads(threads)
-            .with_repr(repr),
+        BatmapParams::with_options(m, seed, max_loop, GPU_MIN_SHIFT).with_engine_options(options),
     );
-    let resolved = repr.resolve();
+    let resolved = options.repr.resolve();
     let spec_for = |len: usize| -> SetSpec {
         let range = params.range_for(len);
         match resolved.choose(len, m, range) {
@@ -525,14 +574,14 @@ mod tests {
         // The in-place arena build must produce the same bytes no
         // matter how work is segmented across workers.
         let v = vertical();
-        let serial = preprocess_with_options(&v, 9, 128, KernelBackend::Auto, Parallelism::Serial);
+        let all_batmap = EngineOptions::auto().repr(ReprPolicy::Batmap);
+        let serial = preprocess_with(&v, 9, 128, all_batmap.threads(Parallelism::Serial));
         for threads in [2usize, 3, 8] {
-            let par = preprocess_with_options(
+            let par = preprocess_with(
                 &v,
                 9,
                 128,
-                KernelBackend::Auto,
-                Parallelism::threads(threads),
+                all_batmap.threads(Parallelism::threads(threads)),
             );
             assert_eq!(par.padded_items(), serial.padded_items());
             for s in 0..serial.padded_items() {
@@ -622,14 +671,7 @@ mod tests {
     #[test]
     fn hybrid_corpus_mixes_representations_and_stays_exact() {
         let v = skewed_vertical();
-        let pre = preprocess_with_repr(
-            &v,
-            11,
-            128,
-            KernelBackend::Auto,
-            Parallelism::Auto,
-            ReprPolicy::Hybrid,
-        );
+        let pre = preprocess_with(&v, 11, 128, EngineOptions::auto().repr(ReprPolicy::Hybrid));
         let hist = pre.repr_histogram();
         assert!(
             hist.iter().all(|&c| c > 0),
@@ -658,15 +700,8 @@ mod tests {
     #[test]
     fn batmap_policy_is_byte_identical_to_legacy() {
         let v = skewed_vertical();
-        let legacy = preprocess_with_options(&v, 21, 128, KernelBackend::Auto, Parallelism::Auto);
-        let pinned = preprocess_with_repr(
-            &v,
-            21,
-            128,
-            KernelBackend::Auto,
-            Parallelism::Auto,
-            ReprPolicy::Batmap,
-        );
+        let legacy = preprocess(&v, 21, 128);
+        let pinned = preprocess_with(&v, 21, 128, EngineOptions::auto().repr(ReprPolicy::Batmap));
         assert_eq!(pinned.order, legacy.order);
         assert!(pinned.arena.is_all_batmap());
         for s in 0..legacy.padded_items() {
@@ -679,23 +714,10 @@ mod tests {
     #[test]
     fn hybrid_serial_and_parallel_builds_are_byte_identical() {
         let v = skewed_vertical();
-        let serial = preprocess_with_repr(
-            &v,
-            9,
-            128,
-            KernelBackend::Auto,
-            Parallelism::Serial,
-            ReprPolicy::Hybrid,
-        );
+        let hybrid = EngineOptions::auto().repr(ReprPolicy::Hybrid);
+        let serial = preprocess_with(&v, 9, 128, hybrid.threads(Parallelism::Serial));
         for threads in [2usize, 3, 8] {
-            let par = preprocess_with_repr(
-                &v,
-                9,
-                128,
-                KernelBackend::Auto,
-                Parallelism::threads(threads),
-                ReprPolicy::Hybrid,
-            );
+            let par = preprocess_with(&v, 9, 128, hybrid.threads(Parallelism::threads(threads)));
             assert_eq!(par.padded_items(), serial.padded_items());
             for s in 0..serial.padded_items() {
                 assert_eq!(par.arena.repr(s), serial.arena.repr(s), "set {s}");
@@ -711,14 +733,7 @@ mod tests {
     #[test]
     fn hybrid_snapshot_roundtrip_preserves_reprs() {
         let v = skewed_vertical();
-        let pre = preprocess_with_repr(
-            &v,
-            6,
-            128,
-            KernelBackend::Auto,
-            Parallelism::Auto,
-            ReprPolicy::Hybrid,
-        );
+        let pre = preprocess_with(&v, 6, 128, EngineOptions::auto().repr(ReprPolicy::Hybrid));
         let mut buf = Vec::new();
         pre.write_snapshot(&mut buf).unwrap();
         let loaded = Preprocessed::read_snapshot(&mut buf.as_slice()).unwrap();

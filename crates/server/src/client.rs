@@ -1,0 +1,211 @@
+//! A blocking client for the query service.
+//!
+//! Speaks the same [`crate::proto`] encoding the server does — one
+//! encoder, no drift — over TCP or a Unix socket. Requests carry
+//! client-chosen ids and responses may come back out of order (shards
+//! finish at different times), so the client stashes strays until their
+//! turn; [`Client::pipeline`] exploits that by writing a whole batch
+//! before reading anything, which is what fills the server's admission
+//! queues deeply enough for its sweeps to coalesce. The bench load
+//! generator drives servers through exactly this type.
+
+use crate::proto::{
+    read_handshake, read_response, write_request, CorpusInfo, MineSummary, Probe, Request, Response,
+};
+use std::collections::HashMap;
+use std::io::{self, BufReader, BufWriter, Read, Write};
+use std::net::{TcpStream, ToSocketAddrs};
+#[cfg(unix)]
+use std::os::unix::net::UnixStream;
+
+enum Stream {
+    Tcp(TcpStream),
+    #[cfg(unix)]
+    Unix(UnixStream),
+}
+
+impl Stream {
+    fn try_clone(&self) -> io::Result<Stream> {
+        Ok(match self {
+            Stream::Tcp(s) => Stream::Tcp(s.try_clone()?),
+            #[cfg(unix)]
+            Stream::Unix(s) => Stream::Unix(s.try_clone()?),
+        })
+    }
+}
+
+impl Read for Stream {
+    fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+        match self {
+            Stream::Tcp(s) => s.read(buf),
+            #[cfg(unix)]
+            Stream::Unix(s) => s.read(buf),
+        }
+    }
+}
+
+impl Write for Stream {
+    fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+        match self {
+            Stream::Tcp(s) => s.write(buf),
+            #[cfg(unix)]
+            Stream::Unix(s) => s.write(buf),
+        }
+    }
+
+    fn flush(&mut self) -> io::Result<()> {
+        match self {
+            Stream::Tcp(s) => s.flush(),
+            #[cfg(unix)]
+            Stream::Unix(s) => s.flush(),
+        }
+    }
+}
+
+/// A connected client. One connection, blocking calls; open one client
+/// per thread for concurrent load.
+pub struct Client {
+    reader: BufReader<Stream>,
+    writer: BufWriter<Stream>,
+    corpora: u32,
+    next_id: u64,
+    /// Responses that arrived before the id we were waiting on.
+    stash: HashMap<u64, Response>,
+}
+
+impl Client {
+    /// Connect over TCP and validate the server handshake.
+    pub fn connect_tcp<A: ToSocketAddrs>(addr: A) -> io::Result<Client> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        Client::finish_connect(Stream::Tcp(stream))
+    }
+
+    /// Connect over a Unix socket and validate the server handshake.
+    #[cfg(unix)]
+    pub fn connect_unix<P: AsRef<std::path::Path>>(path: P) -> io::Result<Client> {
+        Client::finish_connect(Stream::Unix(UnixStream::connect(path)?))
+    }
+
+    fn finish_connect(stream: Stream) -> io::Result<Client> {
+        let write_half = stream.try_clone()?;
+        let mut reader = BufReader::new(stream);
+        let corpora = read_handshake(&mut reader)?;
+        Ok(Client {
+            reader,
+            writer: BufWriter::new(write_half),
+            corpora,
+            next_id: 1,
+            stash: HashMap::new(),
+        })
+    }
+
+    /// Number of corpora the server announced at handshake.
+    pub fn corpora(&self) -> u32 {
+        self.corpora
+    }
+
+    /// Send one request and wait for its response.
+    pub fn call(&mut self, corpus: u32, request: &Request) -> io::Result<Response> {
+        let id = self.send(corpus, request)?;
+        self.writer.flush()?;
+        self.wait_for(id)
+    }
+
+    /// Send a batch of requests back-to-back, then collect all
+    /// responses, returned in request order however they arrived. Deep
+    /// pipelines are what let the server's shard workers coalesce.
+    pub fn pipeline(&mut self, corpus: u32, requests: &[Request]) -> io::Result<Vec<Response>> {
+        let ids: Vec<u64> = requests
+            .iter()
+            .map(|req| self.send(corpus, req))
+            .collect::<io::Result<_>>()?;
+        self.writer.flush()?;
+        ids.into_iter().map(|id| self.wait_for(id)).collect()
+    }
+
+    fn send(&mut self, corpus: u32, request: &Request) -> io::Result<u64> {
+        let id = self.next_id;
+        self.next_id += 1;
+        write_request(&mut self.writer, id, corpus, request)?;
+        Ok(id)
+    }
+
+    fn wait_for(&mut self, id: u64) -> io::Result<Response> {
+        if let Some(response) = self.stash.remove(&id) {
+            return Ok(response);
+        }
+        loop {
+            let Some((got, response)) = read_response(&mut self.reader)? else {
+                return Err(io::Error::new(
+                    io::ErrorKind::UnexpectedEof,
+                    "server closed the connection mid-call",
+                ));
+            };
+            if got == id {
+                return Ok(response);
+            }
+            self.stash.insert(got, response);
+        }
+    }
+
+    // Typed conveniences. Each maps `Response::Error` onto an
+    // `io::Error` so callers get `?`-able results.
+
+    /// Exact `|a ∩ b|` of two stored sets.
+    pub fn count(&mut self, corpus: u32, a: u32, b: u32) -> io::Result<u64> {
+        match self.call(corpus, &Request::Count { a, b })? {
+            Response::Count(n) => Ok(n),
+            other => Err(unexpected(&other)),
+        }
+    }
+
+    /// Does stored set `set` contain `element`?
+    pub fn member(&mut self, corpus: u32, set: u32, element: u32) -> io::Result<bool> {
+        match self.call(corpus, &Request::Member { set, element })? {
+            Response::Member(present) => Ok(present),
+            other => Err(unexpected(&other)),
+        }
+    }
+
+    /// The `k` stored sets most similar to `probe`, as `(set id,
+    /// count)` with count descending then id ascending.
+    pub fn top_k(&mut self, corpus: u32, probe: Probe, k: u32) -> io::Result<Vec<(u32, u64)>> {
+        match self.call(corpus, &Request::TopK { probe, k })? {
+            Response::TopK(hits) => Ok(hits),
+            other => Err(unexpected(&other)),
+        }
+    }
+
+    /// Run the levelwise miner server-side and fetch the summary.
+    pub fn mine(&mut self, corpus: u32, depth: u32, minsup: u64) -> io::Result<MineSummary> {
+        match self.call(corpus, &Request::Mine { depth, minsup })? {
+            Response::Mined(summary) => Ok(summary),
+            other => Err(unexpected(&other)),
+        }
+    }
+
+    /// Corpus metadata.
+    pub fn info(&mut self, corpus: u32) -> io::Result<CorpusInfo> {
+        match self.call(corpus, &Request::Info)? {
+            Response::Info(info) => Ok(info),
+            other => Err(unexpected(&other)),
+        }
+    }
+
+    /// Ask the server to shut down; resolves once it acknowledges.
+    pub fn shutdown(&mut self) -> io::Result<()> {
+        match self.call(0, &Request::Shutdown)? {
+            Response::Bye => Ok(()),
+            other => Err(unexpected(&other)),
+        }
+    }
+}
+
+fn unexpected(response: &Response) -> io::Error {
+    let what = match response {
+        Response::Error(message) => format!("server error: {message}"),
+        other => format!("unexpected response variant: {other:?}"),
+    };
+    io::Error::new(io::ErrorKind::InvalidData, what)
+}

@@ -1,0 +1,664 @@
+//! The sharded, batching query engine behind the socket server.
+//!
+//! One engine owns one or more corpora. Each corpus' real sets are
+//! carved into contiguous shards ([`crate::shard::ShardMap`]); each
+//! shard gets a dedicated worker thread with an **admission queue**
+//! (mutex + condvar around a deque). A worker drains *everything*
+//! pending in one lock acquisition and then coalesces: count probes
+//! against the same set become one
+//! [`batmap::intersect::count_mixed_one_vs_many_into`] sweep, so the
+//! probe's universe check happens once and its payload stays hot across
+//! candidates — the same register-blocking economics the tile executors
+//! exploit, applied to ad-hoc queries. Top-k probes scatter to every
+//! shard and gather through an atomic countdown; the last shard to
+//! finish merges and replies.
+//!
+//! Counts are **exact**: stored payloads under-count when cuckoo
+//! insertions failed at preprocessing time, so every path adds the
+//! failed-element corrections (`|F_a ∩ B| + |A ∩ F_b| + |F_a ∩ F_b|`)
+//! that the mining pipeline's `FailedPairs` machinery applies — served
+//! answers equal brute force over the original database, whatever the
+//! storage representation.
+//!
+//! Every reply is a pure function of the request and the corpus, and
+//! tie-breaking in top-k is total (count descending, then set id
+//! ascending), so any interleaving of concurrent clients produces
+//! byte-identical responses to a single-threaded replay — pinned by
+//! `tests/serve_replay.rs`.
+
+use crate::proto::{CorpusInfo, ItemsetEntry, LevelSummary, MineSummary, Probe, Request, Response};
+use crate::shard::ShardMap;
+use batmap::intersect::{count_mixed_one_vs_many_into, count_mixed_with};
+use batmap::{EngineOptions, SetView, TidlistRef};
+use fim::TransactionDb;
+use pairminer::{Engine, LevelwiseConfig, LevelwiseMiner, MinerConfig, Preprocessed};
+use std::collections::{BTreeMap, VecDeque};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::mpsc::Sender;
+use std::sync::{Arc, Condvar, Mutex, OnceLock};
+use std::thread::JoinHandle;
+
+/// Engine configuration. `Default` serves with one shard per core,
+/// batching on, and every tuning knob at `Auto`.
+#[derive(Debug, Clone)]
+pub struct EngineConfig {
+    /// The engine tuning knobs. The `threads` knob governs mining jobs
+    /// (and anything else that fans out inside one request); the
+    /// `kernel`/`repr` knobs of the *corpus* were pinned at
+    /// preprocessing time and travel inside the snapshot's parameters,
+    /// so sweeps dispatch through those.
+    pub options: EngineOptions,
+    /// Shard workers per corpus; `0` means one per available core.
+    pub shards: usize,
+    /// Admission-queue batching: when true (the default), a worker
+    /// coalesces all drained count probes sharing a probe set into one
+    /// one-vs-many sweep; when false every query runs pairwise, which
+    /// is what the `serve_qps` scenario's unbatched arm measures.
+    pub batching: bool,
+    /// Cap on itemsets returned by one [`Request::Mine`] (the summary
+    /// notes truncation).
+    pub mine_itemset_cap: usize,
+}
+
+impl Default for EngineConfig {
+    fn default() -> Self {
+        EngineConfig {
+            options: EngineOptions::auto(),
+            shards: 0,
+            batching: true,
+            mine_itemset_cap: 4096,
+        }
+    }
+}
+
+/// A reply channel: `(request id, response)` pairs, consumed by the
+/// connection's writer thread (or a transient channel for
+/// [`QueryEngine::query`]).
+pub type Reply = Sender<(u64, Response)>;
+
+/// One corpus plus everything the query paths derive from it once.
+struct Corpus {
+    pre: Preprocessed,
+    /// Failed (unstored) elements per sorted position, each list
+    /// ascending. Almost always empty — populated only for batmap sets
+    /// whose cuckoo insertion gave up.
+    failed_by_set: Vec<Vec<u32>>,
+    /// Sorted positions with non-empty failure lists, ascending (the
+    /// sweep correction pass walks only these).
+    failed_positions: Vec<u32>,
+    shard_map: ShardMap,
+    /// The original database, reconstructed from the corpus on first
+    /// mining request (stored elements ∪ failed elements is exactly the
+    /// original content).
+    db: OnceLock<TransactionDb>,
+}
+
+impl Corpus {
+    fn new(pre: Preprocessed, shards: usize) -> Self {
+        let mut failed_by_set = vec![Vec::new(); pre.n_items as usize];
+        for &(s, tid) in &pre.failed {
+            failed_by_set[s as usize].push(tid);
+        }
+        let mut failed_positions = Vec::new();
+        for (s, list) in failed_by_set.iter_mut().enumerate() {
+            list.sort_unstable();
+            if !list.is_empty() {
+                failed_positions.push(s as u32);
+            }
+        }
+        let shard_map = ShardMap::new(pre.n_items, shards);
+        Corpus {
+            pre,
+            failed_by_set,
+            failed_positions,
+            shard_map,
+            db: OnceLock::new(),
+        }
+    }
+
+    /// Exact pairwise count between sorted positions, starting from the
+    /// raw stored-payload count `raw`.
+    fn corrected(&self, raw: u64, sa: usize, sb: usize) -> u64 {
+        let fa = &self.failed_by_set[sa];
+        let fb = &self.failed_by_set[sb];
+        let mut total = raw;
+        if !fa.is_empty() {
+            let stored_b = self.pre.payload(sb);
+            total += fa.iter().filter(|&&t| stored_b.contains(t)).count() as u64;
+        }
+        if !fb.is_empty() {
+            let stored_a = self.pre.payload(sa);
+            total += fb.iter().filter(|&&t| stored_a.contains(t)).count() as u64;
+        }
+        if !fa.is_empty() && !fb.is_empty() {
+            total += sorted_intersection_count(fa, fb);
+        }
+        total
+    }
+
+    /// Exact pairwise count between sorted positions (single-query
+    /// path).
+    fn count_pair(&self, sa: usize, sb: usize) -> u64 {
+        let backend = self.pre.params.kernel_backend();
+        let raw = count_mixed_with(backend, &self.pre.payload(sa), &self.pre.payload(sb));
+        self.corrected(raw, sa, sb)
+    }
+
+    fn database(&self) -> &TransactionDb {
+        self.db.get_or_init(|| {
+            let pre = &self.pre;
+            let mut transactions: Vec<Vec<u32>> = vec![Vec::new(); pre.params.m() as usize];
+            for s in 0..pre.n_items as usize {
+                let item = pre.order[s];
+                for tid in pre.payload(s).elements() {
+                    transactions[tid as usize].push(item);
+                }
+            }
+            for &(s, tid) in &pre.failed {
+                transactions[tid as usize].push(pre.order[s as usize]);
+            }
+            // `TransactionDb::new` sorts and dedups each transaction;
+            // stored ∪ failed is duplicate-free by construction anyway.
+            TransactionDb::new(pre.n_items, transactions)
+        })
+    }
+}
+
+fn sorted_intersection_count(a: &[u32], b: &[u32]) -> u64 {
+    let (mut i, mut j, mut n) = (0, 0, 0u64);
+    while i < a.len() && j < b.len() {
+        match a[i].cmp(&b[j]) {
+            std::cmp::Ordering::Less => i += 1,
+            std::cmp::Ordering::Greater => j += 1,
+            std::cmp::Ordering::Equal => {
+                n += 1;
+                i += 1;
+                j += 1;
+            }
+        }
+    }
+    n
+}
+
+/// The probe side of an in-flight top-k job.
+enum ProbeData {
+    /// Sorted position of a stored set.
+    Set(u32),
+    /// Validated ad-hoc elements: strictly ascending, in-universe. The
+    /// bytes are the little-endian tidlist encoding each shard borrows
+    /// as a [`TidlistRef`].
+    Elements { elements: Vec<u32>, bytes: Vec<u8> },
+}
+
+/// One top-k query scattered across all shards of a corpus.
+struct TopKJob {
+    id: u64,
+    corpus: usize,
+    probe: ProbeData,
+    k: usize,
+    /// Shards yet to finish; the worker that takes this to zero merges
+    /// the partials and replies.
+    remaining: AtomicUsize,
+    partials: Mutex<Vec<(u32, u64)>>,
+    reply: Reply,
+}
+
+/// One unit of shard work.
+enum Job {
+    Count {
+        id: u64,
+        /// Probe sorted position (batching groups on this).
+        sa: u32,
+        /// Candidate sorted position (this shard owns it).
+        sb: u32,
+        reply: Reply,
+    },
+    Member {
+        id: u64,
+        set: u32,
+        element: u32,
+        reply: Reply,
+    },
+    TopK(Arc<TopKJob>),
+}
+
+struct ShardQueue {
+    jobs: Mutex<VecDeque<Job>>,
+    available: Condvar,
+}
+
+struct Inner {
+    corpora: Vec<Corpus>,
+    config: EngineConfig,
+    /// Flattened shard queues: corpus `c`'s shard `s` lives at
+    /// `queue_base[c] + s`.
+    queues: Vec<ShardQueue>,
+    queue_base: Vec<usize>,
+    stop: AtomicBool,
+}
+
+/// The sharded query engine. Construct with [`QueryEngine::new`], share
+/// behind an [`Arc`], and either [`QueryEngine::submit`] with a reply
+/// channel (the server's path) or ask synchronously with
+/// [`QueryEngine::query`]. Dropping the engine stops and joins its
+/// workers.
+pub struct QueryEngine {
+    inner: Arc<Inner>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl QueryEngine {
+    /// Spin up shard workers for `corpora` under `config`.
+    ///
+    /// # Panics
+    /// Panics if `corpora` is empty.
+    pub fn new(corpora: Vec<Preprocessed>, config: EngineConfig) -> QueryEngine {
+        assert!(!corpora.is_empty(), "an engine needs at least one corpus");
+        let shards = if config.shards == 0 {
+            std::thread::available_parallelism().map_or(1, |n| n.get())
+        } else {
+            config.shards
+        };
+        let corpora: Vec<Corpus> = corpora
+            .into_iter()
+            .map(|p| Corpus::new(p, shards))
+            .collect();
+        let mut queues = Vec::new();
+        let mut queue_base = Vec::new();
+        for corpus in &corpora {
+            queue_base.push(queues.len());
+            for _ in 0..corpus.shard_map.shards() {
+                queues.push(ShardQueue {
+                    jobs: Mutex::new(VecDeque::new()),
+                    available: Condvar::new(),
+                });
+            }
+        }
+        let inner = Arc::new(Inner {
+            corpora,
+            config,
+            queues,
+            queue_base,
+            stop: AtomicBool::new(false),
+        });
+        let mut workers = Vec::new();
+        for c in 0..inner.corpora.len() {
+            for s in 0..inner.corpora[c].shard_map.shards() {
+                let inner = Arc::clone(&inner);
+                workers.push(
+                    std::thread::Builder::new()
+                        .name(format!("batmap-shard-{c}-{s}"))
+                        .spawn(move || worker_loop(&inner, c, s))
+                        .expect("spawn shard worker"),
+                );
+            }
+        }
+        QueryEngine { inner, workers }
+    }
+
+    /// Number of corpora served.
+    pub fn corpora(&self) -> u32 {
+        self.inner.corpora.len() as u32
+    }
+
+    /// Submit one request; the response is delivered as `(id, response)`
+    /// on `reply`, possibly out of order relative to other submissions.
+    /// Mining and metadata requests run synchronously on the calling
+    /// thread; count/membership/top-k requests go through the shard
+    /// queues.
+    pub fn submit(&self, corpus: u32, id: u64, request: Request, reply: &Reply) {
+        let inner = &self.inner;
+        let Some(corp) = inner.corpora.get(corpus as usize) else {
+            send(reply, id, Response::Error(format!("no corpus {corpus}")));
+            return;
+        };
+        let n = corp.pre.n_items;
+        match request {
+            Request::Count { a, b } => {
+                if a >= n || b >= n {
+                    send(reply, id, bad_set(a.max(b), n));
+                    return;
+                }
+                let sa = corp.pre.item_to_sorted[a as usize];
+                let sb = corp.pre.item_to_sorted[b as usize];
+                self.enqueue(
+                    corpus as usize,
+                    corp.shard_map.shard_of(sb),
+                    Job::Count {
+                        id,
+                        sa,
+                        sb,
+                        reply: reply.clone(),
+                    },
+                );
+            }
+            Request::Member { set, element } => {
+                if set >= n {
+                    send(reply, id, bad_set(set, n));
+                    return;
+                }
+                let s = corp.pre.item_to_sorted[set as usize];
+                self.enqueue(
+                    corpus as usize,
+                    corp.shard_map.shard_of(s),
+                    Job::Member {
+                        id,
+                        set: s,
+                        element,
+                        reply: reply.clone(),
+                    },
+                );
+            }
+            Request::TopK { probe, k } => {
+                let probe = match probe {
+                    Probe::Set(set) => {
+                        if set >= n {
+                            send(reply, id, bad_set(set, n));
+                            return;
+                        }
+                        ProbeData::Set(corp.pre.item_to_sorted[set as usize])
+                    }
+                    Probe::Elements(elements) => {
+                        let ascending = elements.windows(2).all(|w| w[0] < w[1]);
+                        let in_universe = elements
+                            .last()
+                            .is_none_or(|&x| (x as u64) < corp.pre.params.m());
+                        if !ascending || !in_universe {
+                            send(
+                                reply,
+                                id,
+                                Response::Error(
+                                    "probe elements must be strictly ascending and < m".into(),
+                                ),
+                            );
+                            return;
+                        }
+                        let mut bytes = vec![0u8; 4 * elements.len()];
+                        batmap::repr::encode_tidlist_into(&elements, &mut bytes);
+                        ProbeData::Elements { elements, bytes }
+                    }
+                };
+                let shards = corp.shard_map.shards();
+                let job = Arc::new(TopKJob {
+                    id,
+                    corpus: corpus as usize,
+                    probe,
+                    k: k as usize,
+                    remaining: AtomicUsize::new(shards as usize),
+                    partials: Mutex::new(Vec::new()),
+                    reply: reply.clone(),
+                });
+                for shard in 0..shards {
+                    self.enqueue(corpus as usize, shard, Job::TopK(Arc::clone(&job)));
+                }
+            }
+            Request::Mine { depth, minsup } => {
+                send(reply, id, self.mine(corp, depth, minsup));
+            }
+            Request::Info => {
+                let hist = corp.pre.repr_histogram();
+                send(
+                    reply,
+                    id,
+                    Response::Info(CorpusInfo {
+                        sets: n,
+                        m: corp.pre.params.m(),
+                        repr_histogram: [hist[0] as u64, hist[1] as u64, hist[2] as u64],
+                        failed: corp.pre.failed.len() as u64,
+                        shards: corp.shard_map.shards(),
+                    }),
+                );
+            }
+            Request::Shutdown => {
+                // The engine itself has nothing to tear down per
+                // request; the server layer watches for Bye to stop
+                // accepting.
+                send(reply, id, Response::Bye);
+            }
+        }
+    }
+
+    /// Synchronous convenience: submit and wait for the one response.
+    pub fn query(&self, corpus: u32, request: Request) -> Response {
+        let (tx, rx) = std::sync::mpsc::channel();
+        self.submit(corpus, 0, request, &tx);
+        drop(tx);
+        rx.recv().map(|(_, resp)| resp).unwrap_or_else(|_| {
+            Response::Error("engine dropped the request (shutting down?)".into())
+        })
+    }
+
+    fn enqueue(&self, corpus: usize, shard: u32, job: Job) {
+        let queue = &self.inner.queues[self.inner.queue_base[corpus] + shard as usize];
+        queue.jobs.lock().unwrap().push_back(job);
+        queue.available.notify_one();
+    }
+
+    fn mine(&self, corp: &Corpus, depth: u32, minsup: u64) -> Response {
+        if !(2..=15).contains(&depth) {
+            return Response::Error(format!("mining depth must be in 2..=15, got {depth}"));
+        }
+        let config = LevelwiseConfig {
+            depth: depth as usize,
+            pair: MinerConfig {
+                minsup: minsup.max(1),
+                engine: Engine::Cpu,
+                options: self.inner.config.options,
+                ..MinerConfig::default()
+            },
+            ..LevelwiseConfig::default()
+        };
+        let report = LevelwiseMiner::new(config).mine_with_preprocessed(corp.database(), &corp.pre);
+        let cap = self.inner.config.mine_itemset_cap;
+        let truncated = report.itemsets.len() > cap;
+        Response::Mined(MineSummary {
+            levels: report
+                .levels
+                .iter()
+                .map(|l| LevelSummary {
+                    k: l.k as u32,
+                    candidates: l.candidates as u64,
+                    frequent: l.frequent as u64,
+                })
+                .collect(),
+            itemsets: report
+                .itemsets
+                .iter()
+                .take(cap)
+                .map(|s| ItemsetEntry {
+                    items: s.items.clone(),
+                    support: s.support,
+                })
+                .collect(),
+            truncated,
+        })
+    }
+}
+
+impl Drop for QueryEngine {
+    fn drop(&mut self) {
+        self.inner.stop.store(true, Ordering::SeqCst);
+        for queue in &self.inner.queues {
+            // Take the lock so no worker can check the flag between its
+            // emptiness test and its wait.
+            let _guard = queue.jobs.lock().unwrap();
+            queue.available.notify_all();
+        }
+        for worker in self.workers.drain(..) {
+            let _ = worker.join();
+        }
+    }
+}
+
+fn send(reply: &Reply, id: u64, response: Response) {
+    // A dropped receiver means the connection is gone; the answer has
+    // nowhere to go and that is fine.
+    let _ = reply.send((id, response));
+}
+
+fn bad_set(set: u32, n: u32) -> Response {
+    Response::Error(format!("no set {set} (corpus has {n})"))
+}
+
+// ---------------------------------------------------------------------
+// Shard workers.
+
+fn worker_loop(inner: &Inner, corpus: usize, shard: u32) {
+    let queue = &inner.queues[inner.queue_base[corpus] + shard as usize];
+    let corp = &inner.corpora[corpus];
+    let mut batch: Vec<Job> = Vec::new();
+    loop {
+        {
+            let mut jobs = queue.jobs.lock().unwrap();
+            while jobs.is_empty() && !inner.stop.load(Ordering::SeqCst) {
+                jobs = queue.available.wait(jobs).unwrap();
+            }
+            if jobs.is_empty() {
+                return; // stop requested, queue drained
+            }
+            // The whole point: take everything pending in one go so the
+            // batch below can coalesce across requests.
+            batch.extend(jobs.drain(..));
+        }
+        process_batch(inner, corp, shard, &mut batch);
+        batch.clear();
+    }
+}
+
+fn process_batch(inner: &Inner, corp: &Corpus, shard: u32, batch: &mut [Job]) {
+    // Membership and top-k first (cheap / already swept), then counts —
+    // grouped by probe when batching is on.
+    let mut count_jobs: Vec<(u64, u32, u32, &Reply)> = Vec::new();
+    for job in batch.iter() {
+        match job {
+            Job::Member {
+                id,
+                set,
+                element,
+                reply,
+            } => {
+                let s = *set as usize;
+                let present = (*element as u64) < corp.pre.params.m()
+                    && (corp.pre.payload(s).contains(*element)
+                        || corp.failed_by_set[s].binary_search(element).is_ok());
+                send(reply, *id, Response::Member(present));
+            }
+            Job::TopK(job) => run_topk_shard(corp, shard, job),
+            Job::Count { id, sa, sb, reply } => count_jobs.push((*id, *sa, *sb, reply)),
+        }
+    }
+    if count_jobs.is_empty() {
+        return;
+    }
+    if !inner.config.batching {
+        for (id, sa, sb, reply) in count_jobs {
+            send(
+                reply,
+                id,
+                Response::Count(corp.count_pair(sa as usize, sb as usize)),
+            );
+        }
+        return;
+    }
+    // Coalesce: all drained counts sharing a probe become one
+    // one-vs-many sweep (BTreeMap for deterministic group order).
+    let mut by_probe: BTreeMap<u32, Vec<usize>> = BTreeMap::new();
+    for (i, &(_, sa, _, _)) in count_jobs.iter().enumerate() {
+        by_probe.entry(sa).or_default().push(i);
+    }
+    let mut counts = vec![0u64; count_jobs.len()];
+    for (&sa, group) in &by_probe {
+        if group.len() == 1 {
+            let (_, _, sb, _) = count_jobs[group[0]];
+            counts[group[0]] = corp.count_pair(sa as usize, sb as usize);
+            continue;
+        }
+        let probe = corp.pre.payload(sa as usize);
+        let candidates: Vec<SetView<'_>> = group
+            .iter()
+            .map(|&i| corp.pre.payload(count_jobs[i].2 as usize))
+            .collect();
+        let mut out = vec![0u64; group.len()];
+        count_mixed_one_vs_many_into(&probe, &candidates, &mut out);
+        for (&i, raw) in group.iter().zip(out) {
+            let (_, _, sb, _) = count_jobs[i];
+            counts[i] = corp.corrected(raw, sa as usize, sb as usize);
+        }
+    }
+    for ((id, _, _, reply), count) in count_jobs.into_iter().zip(counts) {
+        send(reply, id, Response::Count(count));
+    }
+}
+
+fn run_topk_shard(corp: &Corpus, shard: u32, job: &Arc<TopKJob>) {
+    let range = corp.shard_map.range(shard);
+    let mut local: Vec<(u32, u64)> = Vec::new();
+    if !range.is_empty() {
+        let lo = range.start as usize;
+        let candidates: Vec<SetView<'_>> = range
+            .clone()
+            .map(|s| corp.pre.payload(s as usize))
+            .collect();
+        let mut out = vec![0u64; candidates.len()];
+        let probe_failed: &[u32] = match &job.probe {
+            ProbeData::Set(sp) => {
+                let view = corp.pre.payload(*sp as usize);
+                count_mixed_one_vs_many_into(&view, &candidates, &mut out);
+                &corp.failed_by_set[*sp as usize]
+            }
+            ProbeData::Elements { bytes, .. } => {
+                let view = SetView::Tidlist(TidlistRef::from_bytes(&corp.pre.params, bytes));
+                count_mixed_one_vs_many_into(&view, &candidates, &mut out);
+                &[]
+            }
+        };
+        let probe_contains = |t: u32| -> bool {
+            match &job.probe {
+                ProbeData::Set(sp) => corp.pre.payload(*sp as usize).contains(t),
+                ProbeData::Elements { elements, .. } => elements.binary_search(&t).is_ok(),
+            }
+        };
+        // Corrections. Probe-side failures touch every candidate (but
+        // are almost always absent); candidate-side failures touch only
+        // the few positions on the failed list.
+        if !probe_failed.is_empty() {
+            for (i, cand) in candidates.iter().enumerate() {
+                out[i] += probe_failed.iter().filter(|&&t| cand.contains(t)).count() as u64;
+            }
+        }
+        let first = corp.failed_positions.partition_point(|&p| p < range.start);
+        for &pos in &corp.failed_positions[first..] {
+            if pos >= range.end {
+                break;
+            }
+            let fc = &corp.failed_by_set[pos as usize];
+            let mut extra = fc.iter().filter(|&&t| probe_contains(t)).count() as u64;
+            extra += sorted_intersection_count(probe_failed, fc);
+            out[(pos as usize) - lo] += extra;
+        }
+        let self_pos = match &job.probe {
+            ProbeData::Set(sp) => Some(*sp),
+            ProbeData::Elements { .. } => None,
+        };
+        for (i, count) in out.into_iter().enumerate() {
+            let pos = (lo + i) as u32;
+            if count == 0 || Some(pos) == self_pos {
+                continue;
+            }
+            local.push((corp.pre.order[pos as usize], count));
+        }
+    }
+    if !local.is_empty() {
+        job.partials.lock().unwrap().extend(local);
+    }
+    if job.remaining.fetch_sub(1, Ordering::AcqRel) == 1 {
+        // Last shard standing merges. The full sort has a total order
+        // (count descending, id ascending; ids are unique), so the
+        // result is independent of which shard got here last.
+        let mut hits = std::mem::take(&mut *job.partials.lock().unwrap());
+        hits.sort_unstable_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+        hits.truncate(job.k);
+        send(&job.reply, job.id, Response::TopK(hits));
+        let _ = job.corpus; // routing metadata; kept for debuggability
+    }
+}

@@ -1,0 +1,692 @@
+//! The versioned wire protocol: typed request/response enums and their
+//! little-endian binary encoding.
+//!
+//! Both sides speak length-prefixed frames over a byte stream:
+//!
+//! ```text
+//! request frame  = u32 payload_len | payload
+//! payload        = u64 request_id | u32 corpus | u8 tag | body
+//! response frame = u32 payload_len | payload
+//! payload        = u64 request_id | u8 tag | body
+//! ```
+//!
+//! A connection opens with a server handshake — magic bytes, protocol
+//! version, corpus count — so clients fail fast against the wrong
+//! endpoint or an incompatible server. Request ids are chosen by the
+//! client and echoed verbatim; responses may arrive **out of order**
+//! (different shards finish at different times), which is what lets a
+//! client pipeline a batch of requests and the server coalesce them.
+//!
+//! Every decoder is bounds-checked against the declared frame length
+//! and frames are capped at [`MAX_FRAME_BYTES`], so a corrupt or
+//! malicious length field surfaces as a protocol error, never as an
+//! unbounded allocation.
+
+use std::io::{self, Read, Write};
+
+/// Magic bytes the server sends first on every connection.
+pub const HANDSHAKE_MAGIC: [u8; 8] = *b"BMSERVE\0";
+
+/// Wire protocol version (bumped on any incompatible encoding change).
+pub const PROTOCOL_VERSION: u32 = 1;
+
+/// Hard cap on one frame's payload, request or response (16 MiB).
+pub const MAX_FRAME_BYTES: usize = 1 << 24;
+
+/// A query against one served corpus.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Request {
+    /// Exact intersection count of two stored sets, by original item
+    /// id.
+    Count {
+        /// First set (original item id).
+        a: u32,
+        /// Second set (original item id).
+        b: u32,
+    },
+    /// Exact membership test: does stored set `set` contain `element`?
+    Member {
+        /// The set to probe (original item id).
+        set: u32,
+        /// The element (transaction id).
+        element: u32,
+    },
+    /// The `k` stored sets most similar to the probe — largest exact
+    /// intersection count, ties broken by ascending set id; zero-count
+    /// sets and the probe set itself are omitted.
+    TopK {
+        /// What to intersect against every stored set.
+        probe: Probe,
+        /// Maximum number of results.
+        k: u32,
+    },
+    /// Run the levelwise miner over the corpus and return a summary.
+    Mine {
+        /// Largest itemset size (`2..=15`).
+        depth: u32,
+        /// Minimum support.
+        minsup: u64,
+    },
+    /// Corpus metadata.
+    Info,
+    /// Ask the server to stop accepting connections and exit; answered
+    /// with [`Response::Bye`].
+    Shutdown,
+}
+
+/// The probe side of a [`Request::TopK`] query.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Probe {
+    /// An already-stored set, by original item id.
+    Set(u32),
+    /// An ad-hoc set of elements (transaction ids), strictly ascending.
+    Elements(Vec<u32>),
+}
+
+/// The answer to one [`Request`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Response {
+    /// Exact intersection count.
+    Count(u64),
+    /// Exact membership.
+    Member(bool),
+    /// Most-similar sets as `(set id, intersection count)`, count
+    /// descending then id ascending.
+    TopK(Vec<(u32, u64)>),
+    /// Mining summary.
+    Mined(MineSummary),
+    /// Corpus metadata.
+    Info(CorpusInfo),
+    /// The request could not be answered; human-readable reason.
+    Error(String),
+    /// Acknowledges [`Request::Shutdown`]; the connection closes after
+    /// this frame.
+    Bye,
+}
+
+/// Summary of one levelwise mining run.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct MineSummary {
+    /// Per-level accounting, ascending `k`.
+    pub levels: Vec<LevelSummary>,
+    /// Frequent itemsets, sorted by (size, items); truncated to the
+    /// server's cap.
+    pub itemsets: Vec<ItemsetEntry>,
+    /// True when `itemsets` was truncated.
+    pub truncated: bool,
+}
+
+/// One level of a [`MineSummary`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LevelSummary {
+    /// Itemset size.
+    pub k: u32,
+    /// Candidates generated.
+    pub candidates: u64,
+    /// Candidates at or above minsup.
+    pub frequent: u64,
+}
+
+/// One frequent itemset of a [`MineSummary`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ItemsetEntry {
+    /// The items, ascending.
+    pub items: Vec<u32>,
+    /// Exact support.
+    pub support: u64,
+}
+
+/// Metadata of one served corpus.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CorpusInfo {
+    /// Real (unpadded) stored sets.
+    pub sets: u32,
+    /// Universe size (transaction-id domain).
+    pub m: u64,
+    /// Sets per storage representation, `[batmap, bitmap, tidlist]`,
+    /// padding included.
+    pub repr_histogram: [u64; 3],
+    /// Failed insertions the correction path covers.
+    pub failed: u64,
+    /// Shard workers serving this corpus.
+    pub shards: u32,
+}
+
+/// A decoding failure: malformed, truncated, oversized, or
+/// unknown-tagged frame.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ProtoError(pub String);
+
+impl std::fmt::Display for ProtoError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "protocol error: {}", self.0)
+    }
+}
+
+impl std::error::Error for ProtoError {}
+
+impl From<ProtoError> for io::Error {
+    fn from(e: ProtoError) -> io::Error {
+        io::Error::new(io::ErrorKind::InvalidData, e)
+    }
+}
+
+fn err(what: impl Into<String>) -> ProtoError {
+    ProtoError(what.into())
+}
+
+// ---------------------------------------------------------------------
+// Encoding primitives. All integers little-endian; vectors and strings
+// carry a u32 element/byte count.
+
+struct Cursor<'a> {
+    bytes: &'a [u8],
+    at: usize,
+}
+
+impl<'a> Cursor<'a> {
+    fn new(bytes: &'a [u8]) -> Self {
+        Cursor { bytes, at: 0 }
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8], ProtoError> {
+        let end = self
+            .at
+            .checked_add(n)
+            .filter(|&e| e <= self.bytes.len())
+            .ok_or_else(|| err("truncated frame"))?;
+        let slice = &self.bytes[self.at..end];
+        self.at = end;
+        Ok(slice)
+    }
+
+    fn u8(&mut self) -> Result<u8, ProtoError> {
+        Ok(self.take(1)?[0])
+    }
+
+    fn u32(&mut self) -> Result<u32, ProtoError> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+    }
+
+    fn u64(&mut self) -> Result<u64, ProtoError> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+
+    fn vec_u32(&mut self) -> Result<Vec<u32>, ProtoError> {
+        let n = self.u32()? as usize;
+        // The count must be coverable by the remaining bytes before
+        // anything is reserved — a lying length field must not allocate.
+        if n.checked_mul(4)
+            .is_none_or(|b| b > self.bytes.len() - self.at)
+        {
+            return Err(err("element list longer than its frame"));
+        }
+        (0..n).map(|_| self.u32()).collect()
+    }
+
+    fn string(&mut self) -> Result<String, ProtoError> {
+        let n = self.u32()? as usize;
+        let bytes = self.take(n)?;
+        String::from_utf8(bytes.to_vec()).map_err(|_| err("string is not UTF-8"))
+    }
+
+    fn finish(self) -> Result<(), ProtoError> {
+        if self.at == self.bytes.len() {
+            Ok(())
+        } else {
+            Err(err("trailing bytes after frame body"))
+        }
+    }
+}
+
+fn put_u32(out: &mut Vec<u8>, v: u32) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_u64(out: &mut Vec<u8>, v: u64) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_vec_u32(out: &mut Vec<u8>, v: &[u32]) {
+    put_u32(out, v.len() as u32);
+    for &x in v {
+        put_u32(out, x);
+    }
+}
+
+fn put_string(out: &mut Vec<u8>, s: &str) {
+    put_u32(out, s.len() as u32);
+    out.extend_from_slice(s.as_bytes());
+}
+
+impl Request {
+    /// Append this request's tagged body (everything after the request
+    /// id and corpus index) to `out`.
+    pub fn encode_body(&self, out: &mut Vec<u8>) {
+        match self {
+            Request::Count { a, b } => {
+                out.push(0);
+                put_u32(out, *a);
+                put_u32(out, *b);
+            }
+            Request::Member { set, element } => {
+                out.push(1);
+                put_u32(out, *set);
+                put_u32(out, *element);
+            }
+            Request::TopK { probe, k } => {
+                out.push(2);
+                put_u32(out, *k);
+                match probe {
+                    Probe::Set(id) => {
+                        out.push(0);
+                        put_u32(out, *id);
+                    }
+                    Probe::Elements(elements) => {
+                        out.push(1);
+                        put_vec_u32(out, elements);
+                    }
+                }
+            }
+            Request::Mine { depth, minsup } => {
+                out.push(3);
+                put_u32(out, *depth);
+                put_u64(out, *minsup);
+            }
+            Request::Info => out.push(4),
+            Request::Shutdown => out.push(5),
+        }
+    }
+
+    /// Decode a tagged request body (inverse of
+    /// [`Request::encode_body`]), consuming the whole slice.
+    pub fn decode_body(bytes: &[u8]) -> Result<Request, ProtoError> {
+        let mut c = Cursor::new(bytes);
+        let req = match c.u8()? {
+            0 => Request::Count {
+                a: c.u32()?,
+                b: c.u32()?,
+            },
+            1 => Request::Member {
+                set: c.u32()?,
+                element: c.u32()?,
+            },
+            2 => {
+                let k = c.u32()?;
+                let probe = match c.u8()? {
+                    0 => Probe::Set(c.u32()?),
+                    1 => Probe::Elements(c.vec_u32()?),
+                    t => return Err(err(format!("unknown probe tag {t}"))),
+                };
+                Request::TopK { probe, k }
+            }
+            3 => Request::Mine {
+                depth: c.u32()?,
+                minsup: c.u64()?,
+            },
+            4 => Request::Info,
+            5 => Request::Shutdown,
+            t => return Err(err(format!("unknown request tag {t}"))),
+        };
+        c.finish()?;
+        Ok(req)
+    }
+}
+
+impl Response {
+    /// Append this response's tagged body (everything after the request
+    /// id) to `out`.
+    pub fn encode_body(&self, out: &mut Vec<u8>) {
+        match self {
+            Response::Count(n) => {
+                out.push(0);
+                put_u64(out, *n);
+            }
+            Response::Member(present) => {
+                out.push(1);
+                out.push(*present as u8);
+            }
+            Response::TopK(hits) => {
+                out.push(2);
+                put_u32(out, hits.len() as u32);
+                for &(id, count) in hits {
+                    put_u32(out, id);
+                    put_u64(out, count);
+                }
+            }
+            Response::Mined(summary) => {
+                out.push(3);
+                put_u32(out, summary.levels.len() as u32);
+                for level in &summary.levels {
+                    put_u32(out, level.k);
+                    put_u64(out, level.candidates);
+                    put_u64(out, level.frequent);
+                }
+                put_u32(out, summary.itemsets.len() as u32);
+                for set in &summary.itemsets {
+                    put_vec_u32(out, &set.items);
+                    put_u64(out, set.support);
+                }
+                out.push(summary.truncated as u8);
+            }
+            Response::Info(info) => {
+                out.push(4);
+                put_u32(out, info.sets);
+                put_u64(out, info.m);
+                for &c in &info.repr_histogram {
+                    put_u64(out, c);
+                }
+                put_u64(out, info.failed);
+                put_u32(out, info.shards);
+            }
+            Response::Error(message) => {
+                out.push(5);
+                put_string(out, message);
+            }
+            Response::Bye => out.push(6),
+        }
+    }
+
+    /// Decode a tagged response body (inverse of
+    /// [`Response::encode_body`]), consuming the whole slice.
+    pub fn decode_body(bytes: &[u8]) -> Result<Response, ProtoError> {
+        let mut c = Cursor::new(bytes);
+        let resp = match c.u8()? {
+            0 => Response::Count(c.u64()?),
+            1 => Response::Member(match c.u8()? {
+                0 => false,
+                1 => true,
+                b => return Err(err(format!("bad bool byte {b}"))),
+            }),
+            2 => {
+                let n = c.u32()? as usize;
+                let mut hits = Vec::new();
+                for _ in 0..n {
+                    hits.push((c.u32()?, c.u64()?));
+                }
+                Response::TopK(hits)
+            }
+            3 => {
+                let n_levels = c.u32()? as usize;
+                let mut levels = Vec::new();
+                for _ in 0..n_levels {
+                    levels.push(LevelSummary {
+                        k: c.u32()?,
+                        candidates: c.u64()?,
+                        frequent: c.u64()?,
+                    });
+                }
+                let n_sets = c.u32()? as usize;
+                let mut itemsets = Vec::new();
+                for _ in 0..n_sets {
+                    itemsets.push(ItemsetEntry {
+                        items: c.vec_u32()?,
+                        support: c.u64()?,
+                    });
+                }
+                let truncated = c.u8()? != 0;
+                Response::Mined(MineSummary {
+                    levels,
+                    itemsets,
+                    truncated,
+                })
+            }
+            4 => Response::Info(CorpusInfo {
+                sets: c.u32()?,
+                m: c.u64()?,
+                repr_histogram: [c.u64()?, c.u64()?, c.u64()?],
+                failed: c.u64()?,
+                shards: c.u32()?,
+            }),
+            5 => Response::Error(c.string()?),
+            6 => Response::Bye,
+            t => return Err(err(format!("unknown response tag {t}"))),
+        };
+        c.finish()?;
+        Ok(resp)
+    }
+}
+
+// ---------------------------------------------------------------------
+// Framing over a byte stream.
+
+/// Write one request frame: id, corpus index, tagged body, all behind a
+/// u32 length prefix.
+pub fn write_request<W: Write>(
+    w: &mut W,
+    id: u64,
+    corpus: u32,
+    request: &Request,
+) -> io::Result<()> {
+    let mut payload = Vec::with_capacity(32);
+    put_u64(&mut payload, id);
+    put_u32(&mut payload, corpus);
+    request.encode_body(&mut payload);
+    write_frame(w, &payload)
+}
+
+/// Read one request frame; `Ok(None)` on clean EOF at a frame boundary.
+pub fn read_request<R: Read>(r: &mut R) -> io::Result<Option<(u64, u32, Request)>> {
+    let Some(payload) = read_frame(r)? else {
+        return Ok(None);
+    };
+    let mut c = Cursor::new(&payload);
+    let id = c.u64()?;
+    let corpus = c.u32()?;
+    let request = Request::decode_body(&payload[c.at..])?;
+    Ok(Some((id, corpus, request)))
+}
+
+/// Write one response frame: echoed request id plus the tagged body.
+pub fn write_response<W: Write>(w: &mut W, id: u64, response: &Response) -> io::Result<()> {
+    let mut payload = Vec::with_capacity(32);
+    put_u64(&mut payload, id);
+    response.encode_body(&mut payload);
+    write_frame(w, &payload)
+}
+
+/// Encode one response frame into a byte vector (what the replay test
+/// pins batched-vs-sequential identity on).
+pub fn encode_response(id: u64, response: &Response) -> Vec<u8> {
+    let mut payload = Vec::with_capacity(32);
+    put_u64(&mut payload, id);
+    response.encode_body(&mut payload);
+    let mut frame = Vec::with_capacity(payload.len() + 4);
+    put_u32(&mut frame, payload.len() as u32);
+    frame.extend_from_slice(&payload);
+    frame
+}
+
+/// Read one response frame; `Ok(None)` on clean EOF at a frame boundary.
+pub fn read_response<R: Read>(r: &mut R) -> io::Result<Option<(u64, Response)>> {
+    let Some(payload) = read_frame(r)? else {
+        return Ok(None);
+    };
+    let mut c = Cursor::new(&payload);
+    let id = c.u64()?;
+    let response = Response::decode_body(&payload[c.at..])?;
+    Ok(Some((id, response)))
+}
+
+fn write_frame<W: Write>(w: &mut W, payload: &[u8]) -> io::Result<()> {
+    if payload.len() > MAX_FRAME_BYTES {
+        return Err(err(format!("frame of {} bytes exceeds cap", payload.len())).into());
+    }
+    w.write_all(&(payload.len() as u32).to_le_bytes())?;
+    w.write_all(payload)
+}
+
+fn read_frame<R: Read>(r: &mut R) -> io::Result<Option<Vec<u8>>> {
+    let mut len_bytes = [0u8; 4];
+    // EOF before the first length byte is a clean close; EOF inside a
+    // frame is an error.
+    let mut filled = 0;
+    while filled < 4 {
+        match r.read(&mut len_bytes[filled..])? {
+            0 if filled == 0 => return Ok(None),
+            0 => return Err(err("connection closed mid-frame").into()),
+            n => filled += n,
+        }
+    }
+    let len = u32::from_le_bytes(len_bytes) as usize;
+    if len > MAX_FRAME_BYTES {
+        return Err(err(format!("frame of {len} bytes exceeds cap")).into());
+    }
+    let mut payload = vec![0u8; len];
+    r.read_exact(&mut payload)?;
+    Ok(Some(payload))
+}
+
+/// Write the server's connection handshake: magic, protocol version,
+/// corpus count.
+pub fn write_handshake<W: Write>(w: &mut W, corpora: u32) -> io::Result<()> {
+    w.write_all(&HANDSHAKE_MAGIC)?;
+    w.write_all(&PROTOCOL_VERSION.to_le_bytes())?;
+    w.write_all(&corpora.to_le_bytes())
+}
+
+/// Read and validate the server handshake; returns the corpus count.
+pub fn read_handshake<R: Read>(r: &mut R) -> io::Result<u32> {
+    let mut magic = [0u8; 8];
+    r.read_exact(&mut magic)?;
+    if magic != HANDSHAKE_MAGIC {
+        return Err(err("not a batmap server (bad magic)").into());
+    }
+    let mut word = [0u8; 4];
+    r.read_exact(&mut word)?;
+    let version = u32::from_le_bytes(word);
+    if version != PROTOCOL_VERSION {
+        return Err(err(format!("unsupported protocol version {version}")).into());
+    }
+    r.read_exact(&mut word)?;
+    Ok(u32::from_le_bytes(word))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip_request(req: Request) {
+        let mut buf = Vec::new();
+        write_request(&mut buf, 42, 7, &req).unwrap();
+        let (id, corpus, back) = read_request(&mut buf.as_slice()).unwrap().unwrap();
+        assert_eq!((id, corpus), (42, 7));
+        assert_eq!(back, req);
+    }
+
+    fn roundtrip_response(resp: Response) {
+        let mut buf = Vec::new();
+        write_response(&mut buf, 9, &resp).unwrap();
+        assert_eq!(buf, encode_response(9, &resp));
+        let (id, back) = read_response(&mut buf.as_slice()).unwrap().unwrap();
+        assert_eq!(id, 9);
+        assert_eq!(back, resp);
+    }
+
+    #[test]
+    fn requests_roundtrip() {
+        roundtrip_request(Request::Count { a: 3, b: 250_000 });
+        roundtrip_request(Request::Member {
+            set: 0,
+            element: u32::MAX,
+        });
+        roundtrip_request(Request::TopK {
+            probe: Probe::Set(17),
+            k: 5,
+        });
+        roundtrip_request(Request::TopK {
+            probe: Probe::Elements(vec![1, 5, 9, 1000]),
+            k: 0,
+        });
+        roundtrip_request(Request::Mine {
+            depth: 4,
+            minsup: 1 << 40,
+        });
+        roundtrip_request(Request::Info);
+        roundtrip_request(Request::Shutdown);
+    }
+
+    #[test]
+    fn responses_roundtrip() {
+        roundtrip_response(Response::Count(u64::MAX));
+        roundtrip_response(Response::Member(true));
+        roundtrip_response(Response::Member(false));
+        roundtrip_response(Response::TopK(vec![(1, 100), (9, 100), (2, 3)]));
+        roundtrip_response(Response::Mined(MineSummary {
+            levels: vec![LevelSummary {
+                k: 2,
+                candidates: 10,
+                frequent: 4,
+            }],
+            itemsets: vec![ItemsetEntry {
+                items: vec![1, 2, 3],
+                support: 77,
+            }],
+            truncated: true,
+        }));
+        roundtrip_response(Response::Info(CorpusInfo {
+            sets: 100,
+            m: 50_000,
+            repr_histogram: [90, 8, 2],
+            failed: 3,
+            shards: 4,
+        }));
+        roundtrip_response(Response::Error("no such set".into()));
+        roundtrip_response(Response::Bye);
+    }
+
+    #[test]
+    fn clean_eof_is_none_and_mid_frame_eof_is_error() {
+        assert!(read_request(&mut [].as_slice()).unwrap().is_none());
+        assert!(read_response(&mut [].as_slice()).unwrap().is_none());
+        let mut buf = Vec::new();
+        write_request(&mut buf, 1, 0, &Request::Info).unwrap();
+        for cut in 1..buf.len() {
+            assert!(
+                read_request(&mut &buf[..cut]).is_err(),
+                "cut at {cut} must error"
+            );
+        }
+    }
+
+    #[test]
+    fn hostile_lengths_are_rejected_without_allocation() {
+        // Frame length beyond the cap.
+        let mut buf = Vec::new();
+        buf.extend_from_slice(&(u32::MAX).to_le_bytes());
+        assert!(read_request(&mut buf.as_slice()).is_err());
+        // Probe element count far beyond the actual frame bytes.
+        let mut payload = Vec::new();
+        payload.extend_from_slice(&1u64.to_le_bytes());
+        payload.extend_from_slice(&0u32.to_le_bytes());
+        payload.push(2); // TopK
+        payload.extend_from_slice(&1u32.to_le_bytes()); // k
+        payload.push(1); // Probe::Elements
+        payload.extend_from_slice(&(u32::MAX).to_le_bytes()); // huge count
+        let mut frame = Vec::new();
+        frame.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+        frame.extend_from_slice(&payload);
+        assert!(read_request(&mut frame.as_slice()).is_err());
+    }
+
+    #[test]
+    fn trailing_garbage_is_rejected() {
+        let mut body = Vec::new();
+        Request::Info.encode_body(&mut body);
+        body.push(0xAB);
+        assert!(Request::decode_body(&body).is_err());
+    }
+
+    #[test]
+    fn handshake_roundtrips_and_validates() {
+        let mut buf = Vec::new();
+        write_handshake(&mut buf, 3).unwrap();
+        assert_eq!(read_handshake(&mut buf.as_slice()).unwrap(), 3);
+        let mut bad = buf.clone();
+        bad[0] ^= 0xFF;
+        assert!(read_handshake(&mut bad.as_slice()).is_err());
+        let mut bad = buf.clone();
+        bad[8] ^= 0xFF; // version
+        assert!(read_handshake(&mut bad.as_slice()).is_err());
+    }
+}

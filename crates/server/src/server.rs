@@ -1,0 +1,337 @@
+//! The socket front end: listeners, connection threads, shutdown.
+//!
+//! std-only, thread-per-connection. Each accepted connection gets a
+//! **reader** thread (decode frames, submit to the engine) and a
+//! **writer** thread (drain the connection's response channel back onto
+//! the socket). Decoupling the two is what lets a client pipeline: the
+//! reader keeps feeding shard queues while earlier answers are still
+//! being written, and the shard workers' admission queues see the whole
+//! burst at once — which is exactly what the batching sweeps coalesce.
+//!
+//! The writer flushes only when its channel runs momentarily dry, so a
+//! burst of small responses leaves as a few large writes rather than
+//! one syscall each.
+
+use crate::engine::QueryEngine;
+use crate::proto::{read_request, write_handshake, write_response, Request, Response};
+use std::collections::HashMap;
+use std::io::{self, BufReader, BufWriter, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+#[cfg(unix)]
+use std::os::unix::net::{UnixListener, UnixStream};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::mpsc::TryRecvError;
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+
+enum Listener {
+    Tcp(TcpListener),
+    #[cfg(unix)]
+    Unix(UnixListener, PathBuf),
+}
+
+/// A bound-but-not-yet-serving socket. Bind with [`Server::bind_tcp`]
+/// or [`Server::bind_unix`], then hand it an engine with
+/// [`Server::serve`].
+pub struct Server {
+    listener: Listener,
+}
+
+impl Server {
+    /// Bind a TCP listener (use port 0 for an ephemeral port; the bound
+    /// address is on the returned handle).
+    pub fn bind_tcp<A: ToSocketAddrs>(addr: A) -> io::Result<Server> {
+        Ok(Server {
+            listener: Listener::Tcp(TcpListener::bind(addr)?),
+        })
+    }
+
+    /// Bind a Unix-domain socket at `path` (removed again when the
+    /// server shuts down).
+    #[cfg(unix)]
+    pub fn bind_unix<P: Into<PathBuf>>(path: P) -> io::Result<Server> {
+        let path = path.into();
+        Ok(Server {
+            listener: Listener::Unix(UnixListener::bind(&path)?, path),
+        })
+    }
+
+    /// Start serving `engine` on the bound socket. Returns immediately;
+    /// accepting and answering happen on background threads until a
+    /// client sends [`Request::Shutdown`] or
+    /// [`ServerHandle::shutdown`] is called.
+    pub fn serve(self, engine: QueryEngine) -> ServerHandle {
+        let engine = Arc::new(engine);
+        let stop = Arc::new(AtomicBool::new(false));
+        let (tcp_addr, unix_path) = match &self.listener {
+            Listener::Tcp(l) => (l.local_addr().ok(), None),
+            #[cfg(unix)]
+            Listener::Unix(_, path) => (None, Some(path.clone())),
+        };
+        let accept = {
+            let engine = Arc::clone(&engine);
+            let stop = Arc::clone(&stop);
+            std::thread::Builder::new()
+                .name("batmap-accept".into())
+                .spawn(move || accept_loop(self.listener, engine, stop))
+                .expect("spawn accept thread")
+        };
+        ServerHandle {
+            tcp_addr,
+            unix_path,
+            stop,
+            accept: Some(accept),
+            _engine: engine,
+        }
+    }
+}
+
+/// A running server. Dropping the handle (or calling
+/// [`ServerHandle::join`]) shuts it down and waits for the accept
+/// thread — which drains in-flight requests, closes the read half of
+/// every idle connection, and joins the connection threads.
+pub struct ServerHandle {
+    tcp_addr: Option<SocketAddr>,
+    unix_path: Option<PathBuf>,
+    stop: Arc<AtomicBool>,
+    accept: Option<JoinHandle<()>>,
+    _engine: Arc<QueryEngine>,
+}
+
+impl ServerHandle {
+    /// The bound TCP address, when serving TCP.
+    pub fn tcp_addr(&self) -> Option<SocketAddr> {
+        self.tcp_addr
+    }
+
+    /// The bound Unix-socket path, when serving a Unix socket.
+    pub fn unix_path(&self) -> Option<&std::path::Path> {
+        self.unix_path.as_deref()
+    }
+
+    /// Ask the server to stop accepting connections (idempotent). A
+    /// client's [`Request::Shutdown`] does the same thing remotely.
+    pub fn shutdown(&self) {
+        if !self.stop.swap(true, Ordering::SeqCst) {
+            self.poke();
+        }
+    }
+
+    /// Shut down and wait for the accept thread (and with it, every
+    /// connection thread) to finish.
+    pub fn join(mut self) {
+        self.shutdown();
+        if let Some(accept) = self.accept.take() {
+            let _ = accept.join();
+        }
+    }
+
+    /// Unblock a blocking `accept` by connecting to ourselves.
+    fn poke(&self) {
+        if let Some(addr) = self.tcp_addr {
+            let _ = TcpStream::connect(addr);
+        }
+        #[cfg(unix)]
+        if let Some(path) = &self.unix_path {
+            let _ = UnixStream::connect(path);
+        }
+    }
+}
+
+impl Drop for ServerHandle {
+    fn drop(&mut self) {
+        self.shutdown();
+        if let Some(accept) = self.accept.take() {
+            let _ = accept.join();
+        }
+    }
+}
+
+/// Either flavour of accepted connection; both are `Read + Write +
+/// try_clone`.
+enum Conn {
+    Tcp(TcpStream),
+    #[cfg(unix)]
+    Unix(UnixStream),
+}
+
+impl Conn {
+    fn try_clone(&self) -> io::Result<Conn> {
+        Ok(match self {
+            Conn::Tcp(s) => Conn::Tcp(s.try_clone()?),
+            #[cfg(unix)]
+            Conn::Unix(s) => Conn::Unix(s.try_clone()?),
+        })
+    }
+
+    /// Close the receive half only: a reader parked in a blocking read
+    /// wakes with EOF, while the connection's writer can still flush
+    /// already-queued responses (the `Bye` in particular).
+    fn shutdown_read(&self) -> io::Result<()> {
+        match self {
+            Conn::Tcp(s) => s.shutdown(std::net::Shutdown::Read),
+            #[cfg(unix)]
+            Conn::Unix(s) => s.shutdown(std::net::Shutdown::Read),
+        }
+    }
+}
+
+impl io::Read for Conn {
+    fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+        match self {
+            Conn::Tcp(s) => s.read(buf),
+            #[cfg(unix)]
+            Conn::Unix(s) => s.read(buf),
+        }
+    }
+}
+
+impl io::Write for Conn {
+    fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+        match self {
+            Conn::Tcp(s) => s.write(buf),
+            #[cfg(unix)]
+            Conn::Unix(s) => s.write(buf),
+        }
+    }
+
+    fn flush(&mut self) -> io::Result<()> {
+        match self {
+            Conn::Tcp(s) => s.flush(),
+            #[cfg(unix)]
+            Conn::Unix(s) => s.flush(),
+        }
+    }
+}
+
+fn accept_loop(listener: Listener, engine: Arc<QueryEngine>, stop: Arc<AtomicBool>) {
+    let conns: Arc<Mutex<Vec<JoinHandle<()>>>> = Arc::new(Mutex::new(Vec::new()));
+    // Read-half clones of every live connection, so shutdown can wake
+    // readers parked in a blocking read (an idle client would otherwise
+    // pin the join forever).
+    let live: Arc<Mutex<HashMap<u64, Conn>>> = Arc::new(Mutex::new(HashMap::new()));
+    let mut next_conn = 0u64;
+    loop {
+        let conn = match &listener {
+            Listener::Tcp(l) => l.accept().map(|(s, _)| {
+                let _ = s.set_nodelay(true);
+                Conn::Tcp(s)
+            }),
+            #[cfg(unix)]
+            Listener::Unix(l, _) => l.accept().map(|(s, _)| Conn::Unix(s)),
+        };
+        if stop.load(Ordering::SeqCst) {
+            break; // the poke connection (or a racing accept) lands here
+        }
+        let Ok(conn) = conn else { continue };
+        let conn_id = next_conn;
+        next_conn += 1;
+        if let Ok(clone) = conn.try_clone() {
+            live.lock().unwrap().insert(conn_id, clone);
+        }
+        let engine = Arc::clone(&engine);
+        let stop = Arc::clone(&stop);
+        let live = Arc::clone(&live);
+        let handle = std::thread::Builder::new()
+            .name("batmap-conn".into())
+            .spawn(move || {
+                let _ = serve_connection(conn, &engine, &stop);
+                live.lock().unwrap().remove(&conn_id);
+            })
+            .expect("spawn connection thread");
+        conns.lock().unwrap().push(handle);
+    }
+    #[cfg(unix)]
+    if let Listener::Unix(_, path) = &listener {
+        let _ = std::fs::remove_file(path);
+    }
+    for conn in live.lock().unwrap().values() {
+        let _ = conn.shutdown_read();
+    }
+    for handle in conns.lock().unwrap().drain(..) {
+        let _ = handle.join();
+    }
+}
+
+/// One connection: handshake, then reader-here / writer-thread until
+/// EOF, a protocol error, or a shutdown request.
+fn serve_connection(conn: Conn, engine: &Arc<QueryEngine>, stop: &AtomicBool) -> io::Result<()> {
+    let write_half = conn.try_clone()?;
+    let mut reader = BufReader::new(conn);
+    let (tx, rx) = std::sync::mpsc::channel::<(u64, Response)>();
+
+    let corpora = engine.corpora();
+    let writer = std::thread::Builder::new()
+        .name("batmap-conn-writer".into())
+        .spawn(move || {
+            let mut w = BufWriter::new(write_half);
+            let _ = write_handshake_and_drain(&mut w, corpora, &rx);
+        })
+        .expect("spawn connection writer");
+
+    let result = (|| -> io::Result<()> {
+        while let Some((id, corpus, request)) = read_request(&mut reader)? {
+            let is_shutdown = matches!(request, Request::Shutdown);
+            engine.submit(corpus, id, request, &tx);
+            if is_shutdown {
+                stop.store(true, Ordering::SeqCst);
+                // Unblock the accept loop; the poke is a throwaway
+                // connection to ourselves.
+                match reader.get_ref() {
+                    Conn::Tcp(s) => {
+                        // An accepted socket's local address is the
+                        // listener's address.
+                        if let Ok(addr) = s.local_addr() {
+                            let _ = TcpStream::connect(addr);
+                        }
+                    }
+                    #[cfg(unix)]
+                    Conn::Unix(s) => {
+                        if let Some(path) = s
+                            .local_addr()
+                            .ok()
+                            .and_then(|a| a.as_pathname().map(PathBuf::from))
+                        {
+                            let _ = UnixStream::connect(path);
+                        }
+                    }
+                }
+                break;
+            }
+        }
+        Ok(())
+    })();
+    // Closing our sender ends the writer once in-flight shard jobs have
+    // delivered their replies (each holds its own sender clone).
+    drop(tx);
+    let _ = writer.join();
+    result
+}
+
+/// Writer-thread body: handshake first, then responses as they arrive,
+/// flushing whenever the channel runs dry so pipelined bursts coalesce
+/// into few writes.
+fn write_handshake_and_drain(
+    w: &mut BufWriter<Conn>,
+    corpora: u32,
+    rx: &std::sync::mpsc::Receiver<(u64, Response)>,
+) -> io::Result<()> {
+    write_handshake(w, corpora)?;
+    w.flush()?;
+    while let Ok((id, response)) = rx.recv() {
+        write_response(w, id, &response)?;
+        loop {
+            match rx.try_recv() {
+                Ok((id, response)) => write_response(w, id, &response)?,
+                Err(TryRecvError::Empty) => break,
+                Err(TryRecvError::Disconnected) => {
+                    w.flush()?;
+                    return Ok(());
+                }
+            }
+        }
+        w.flush()?;
+    }
+    w.flush()
+}

@@ -1,0 +1,105 @@
+//! Deterministic sharding of a corpus' sets across worker threads.
+//!
+//! Sets are identified internally by their *sorted position* in the
+//! width-sorted arena (`0..n_items`); the shard map carves that range
+//! into contiguous, near-equal chunks — one per worker. Contiguity is
+//! deliberate: a shard's candidate sets are a dense run of the arena,
+//! so a coalesced one-vs-many sweep walks memory in layout order.
+//! Determinism is deliberate too: the map depends only on `(n_sets,
+//! shards)`, so a single-threaded replay routes every query to the same
+//! shard and produces byte-identical responses.
+
+/// Contiguous range map from sorted set positions to shard indices.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ShardMap {
+    n_sets: u32,
+    chunk: u32,
+    shards: u32,
+}
+
+impl ShardMap {
+    /// Map `n_sets` sorted positions onto `shards` contiguous ranges
+    /// (`shards` is clamped to at least 1; shards beyond `n_sets` end
+    /// up owning empty ranges).
+    pub fn new(n_sets: u32, shards: usize) -> Self {
+        let shards = shards.max(1) as u32;
+        let chunk = n_sets.div_ceil(shards).max(1);
+        ShardMap {
+            n_sets,
+            chunk,
+            shards,
+        }
+    }
+
+    /// Number of shards.
+    pub fn shards(&self) -> u32 {
+        self.shards
+    }
+
+    /// Number of sets mapped.
+    pub fn n_sets(&self) -> u32 {
+        self.n_sets
+    }
+
+    /// The shard owning sorted position `pos`.
+    ///
+    /// # Panics
+    /// Panics if `pos` is out of range.
+    pub fn shard_of(&self, pos: u32) -> u32 {
+        assert!(pos < self.n_sets, "position {pos} out of range");
+        (pos / self.chunk).min(self.shards - 1)
+    }
+
+    /// The contiguous range of sorted positions shard `shard` owns
+    /// (possibly empty for trailing shards of a small corpus).
+    pub fn range(&self, shard: u32) -> std::ops::Range<u32> {
+        let lo = (shard * self.chunk).min(self.n_sets);
+        let hi = ((shard + 1) * self.chunk).min(self.n_sets);
+        lo..hi
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ranges_partition_and_agree_with_shard_of() {
+        for n_sets in [0u32, 1, 7, 16, 100, 1013] {
+            for shards in [1usize, 2, 3, 8, 200] {
+                let map = ShardMap::new(n_sets, shards);
+                let mut covered = 0u32;
+                for shard in 0..map.shards() {
+                    let range = map.range(shard);
+                    assert_eq!(range.start, covered, "gap before shard {shard}");
+                    for pos in range.clone() {
+                        assert_eq!(map.shard_of(pos), shard, "n={n_sets} shards={shards}");
+                    }
+                    covered = range.end;
+                }
+                assert_eq!(covered, n_sets, "n={n_sets} shards={shards}");
+            }
+        }
+    }
+
+    #[test]
+    fn chunks_are_balanced() {
+        let map = ShardMap::new(1000, 3);
+        let sizes: Vec<u32> = (0..3).map(|s| map.range(s).len() as u32).collect();
+        assert_eq!(sizes.iter().sum::<u32>(), 1000);
+        assert!(sizes.iter().all(|&s| (332..=334).contains(&s)), "{sizes:?}");
+    }
+
+    #[test]
+    fn zero_shards_clamps_to_one() {
+        let map = ShardMap::new(10, 0);
+        assert_eq!(map.shards(), 1);
+        assert_eq!(map.range(0), 0..10);
+    }
+
+    #[test]
+    #[should_panic]
+    fn out_of_range_position_panics() {
+        ShardMap::new(4, 2).shard_of(4);
+    }
+}

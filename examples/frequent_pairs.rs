@@ -6,9 +6,9 @@
 //!
 //! Run with: `cargo run --release --example frequent_pairs`
 
+use batmap_suite::prelude::*;
 use datagen::uniform::{generate, UniformSpec};
 use fim::{apriori, fpgrowth};
-use pairminer::{mine, Engine, MinerConfig};
 
 fn main() {
     // 200 items, 5% density, 100k occurrences → ~1000 transactions.

@@ -11,7 +11,7 @@
 //!
 //! Run with: `cargo run --release --example join_project`
 
-use batmap::{Batmap, BatmapParams};
+use batmap_suite::prelude::*;
 use std::sync::Arc;
 
 fn main() {

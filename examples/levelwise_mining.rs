@@ -11,7 +11,7 @@
 
 use batmap_suite::datagen::uniform::{generate, UniformSpec};
 use batmap_suite::fim::apriori;
-use batmap_suite::pairminer::{Engine, LevelwiseConfig, LevelwiseMiner, MinerConfig};
+use batmap_suite::prelude::*;
 
 fn main() {
     let db = generate(&UniformSpec {

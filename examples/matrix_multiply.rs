@@ -7,7 +7,7 @@
 //!
 //! Run with: `cargo run --release --example matrix_multiply`
 
-use batmap::{Batmap, BatmapParams};
+use batmap_suite::prelude::*;
 use std::sync::Arc;
 
 /// A sparse boolean matrix in row-set form.

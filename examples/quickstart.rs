@@ -3,7 +3,7 @@
 //!
 //! Run with: `cargo run --release --example quickstart`
 
-use batmap::{Batmap, BatmapParams};
+use batmap_suite::prelude::*;
 use std::sync::Arc;
 
 fn main() {

@@ -1,5 +1,7 @@
-//! Snapshot serving: build a mining corpus once, persist it, and serve
-//! queries from the snapshot in a "later process" without rebuilding.
+//! Snapshot serving: build a mining corpus once, persist it, serve
+//! queries from the snapshot in a "later process" without rebuilding —
+//! and finally hand the same snapshot to the long-running query
+//! service and talk to it over its wire protocol.
 //!
 //! The arena storage layer makes this possible: all slot bytes of a
 //! corpus live in one contiguous buffer with a checked, versioned
@@ -10,10 +12,9 @@
 //!
 //! Run with: `cargo run --release --example snapshot_serving`
 
+use batmap_suite::prelude::*;
 use datagen::uniform::{generate, UniformSpec};
-use fim::VerticalDb;
 use hpcutil::Stopwatch;
-use pairminer::{mine_preprocessed, preprocess, MinerConfig, Preprocessed};
 
 fn main() {
     // ── Process 1: the builder ──────────────────────────────────────
@@ -28,7 +29,14 @@ fn main() {
     let vertical = VerticalDb::from_horizontal(&db);
 
     let mut sw = Stopwatch::start();
-    let pre = preprocess(&vertical, 0xBA7, 128);
+    // The hybrid policy lets dense items land as bitmaps and tiny ones
+    // as tidlists; the snapshot persists the per-set tags.
+    let pre = preprocess_with(
+        &vertical,
+        0xBA7,
+        128,
+        EngineOptions::auto().repr(ReprPolicy::Hybrid),
+    );
     let build_s = sw.lap().as_secs_f64();
     println!(
         "built corpus: {} sets ({} padded), {:.1} KiB of slot bytes, {:.1} ms",
@@ -61,12 +69,15 @@ fn main() {
         build_s / load_s.max(1e-9),
     );
 
-    // Serve point queries straight off zero-copy views…
+    // Serve point queries straight off zero-copy views… (`payload`
+    // works for any stored representation; the hybrid policy may have
+    // picked a bitmap or tidlist for this set.)
     let probe = served.item_to_sorted[7] as usize;
-    let view = served.batmap(probe);
+    let view = served.payload(probe);
     println!(
-        "item 7 has support {} (width {} bytes, served without rebuilding)",
+        "item 7 has support {} (stored as a {:?}, {} payload bytes, served without rebuilding)",
         view.len(),
+        view.repr(),
         view.width_bytes(),
     );
 
@@ -75,7 +86,7 @@ fn main() {
     // MaxLoop travelled inside the snapshot.
     let config = MinerConfig {
         minsup: 18, // a bit above the mean pair support (~15 here)
-        engine: pairminer::Engine::Cpu,
+        engine: Engine::Cpu,
         ..Default::default()
     };
     let report = mine_preprocessed(&db, &served, &config);
@@ -85,6 +96,23 @@ fn main() {
         report.pairs.len(),
         report.timings.preprocess_s,
     );
+
+    // ── Process 3: the query service ────────────────────────────────
+    // The same snapshot backs the long-running server: sets sharded
+    // across per-core workers, concurrent count probes coalesced into
+    // one-vs-many sweeps by the admission queues, answers exact.
+    let engine = QueryEngine::new(vec![served], EngineConfig::default());
+    let handle = Server::bind_tcp("127.0.0.1:0").unwrap().serve(engine);
+    let addr = handle.tcp_addr().unwrap();
+    let mut client = Client::connect_tcp(addr).unwrap();
+    let count = client.count(0, 7, 11).unwrap();
+    let similar = client.top_k(0, Probe::Set(7), 3).unwrap();
+    println!(
+        "query service on {addr}: |set 7 ∩ set 11| = {count}, \
+         top-3 most similar to set 7: {similar:?}"
+    );
+    client.shutdown().unwrap();
+    handle.join();
 
     std::fs::remove_file(&path).ok();
 }

@@ -10,7 +10,12 @@
 //! * [`fim`] — frequent-itemset-mining formats and baselines.
 //! * [`datagen`] — workload generators.
 //! * [`pairminer`] — the end-to-end mining pipeline.
+//! * [`batmap_server`] — the snapshot-serving query service.
 //! * [`hpcutil`] — hashing/timing/memory/stat utilities.
+//!
+//! The [`prelude`] re-exports the stable surface — engine options,
+//! corpus building, mining configs, and the serving layer — in one
+//! `use`.
 //!
 //! Start with `examples/quickstart.rs`, or:
 //!
@@ -27,11 +32,34 @@
 #![warn(missing_docs)]
 
 pub use batmap;
+pub use batmap_server;
 pub use datagen;
 pub use fim;
 pub use gpu_sim;
 pub use hpcutil;
 pub use pairminer;
+
+/// The stable one-`use` surface of the workspace: engine configuration
+/// ([`batmap::EngineOptions`] and its knobs), corpus building and
+/// persistence, the mining entry points, and the snapshot-serving
+/// layer. Examples and downstream code should prefer
+/// `use batmap_suite::prelude::*;` over reaching into individual
+/// crates — everything here is what the workspace commits to keeping
+/// spelling-stable.
+pub mod prelude {
+    pub use batmap::{
+        Batmap, BatmapArena, BatmapParams, EngineOptions, KernelBackend, Parallelism, ReprPolicy,
+    };
+    pub use batmap_server::{
+        Client, CorpusInfo, EngineConfig, MineSummary, Probe, QueryEngine, Request, Response,
+        Server, ServerHandle,
+    };
+    pub use fim::{TransactionDb, VerticalDb};
+    pub use pairminer::{
+        mine, mine_preprocessed, preprocess_with, Engine, LevelwiseConfig, LevelwiseMiner,
+        LevelwiseReport, MinerConfig, MiningReport, Preprocessed,
+    };
+}
 
 /// Registers every fenced Rust block of the repository README as a
 /// doctest, so `cargo test --doc` fails when a README example rots.

@@ -4,7 +4,10 @@
 //! snapshot persistence must be lossless (roundtrips preserve every
 //! pairwise and multiway count) while corrupted snapshots are rejected.
 
-use batmap::{intersect, multiway, ArenaBuilder, Batmap, BatmapArena, BatmapParams, KernelBackend};
+use batmap::{
+    intersect, multiway, ArenaBuilder, Batmap, BatmapArena, BatmapParams, EngineOptions,
+    KernelBackend,
+};
 use proptest::collection::btree_set;
 use proptest::prelude::*;
 use std::sync::Arc;
@@ -56,7 +59,7 @@ proptest! {
         backend in arb_backend(),
         seed in 0u64..500,
     ) {
-        let params = Arc::new(BatmapParams::new(M, seed).with_kernel(backend));
+        let params = Arc::new(BatmapParams::new(M, seed).with_engine_options(EngineOptions::auto().kernel(backend)));
         let (owned, arena) = build_both(&params, &sets);
         prop_assume!(owned.iter().zip(&sets).all(|(b, s)| b.len() == s.len()));
 
@@ -102,7 +105,7 @@ proptest! {
         backend in arb_backend(),
         seed in 0u64..500,
     ) {
-        let params = Arc::new(BatmapParams::new(M, seed).with_kernel(backend));
+        let params = Arc::new(BatmapParams::new(M, seed).with_engine_options(EngineOptions::auto().kernel(backend)));
         let (owned, arena) = build_both(&params, &sets);
         prop_assume!(owned.iter().zip(&sets).all(|(b, s)| b.len() == s.len()));
         let mut buf = Vec::new();

@@ -1,7 +1,7 @@
 //! Property-based tests (proptest) on the core data-structure
 //! invariants the paper's correctness rests on.
 
-use batmap::{Batmap, BatmapParams, MatchKernel as _, UncompressedBatmap, TABLES};
+use batmap::{Batmap, BatmapParams, EngineOptions, MatchKernel as _, UncompressedBatmap, TABLES};
 use proptest::collection::btree_set;
 use proptest::prelude::*;
 use std::sync::Arc;
@@ -159,7 +159,7 @@ proptest! {
             ba.intersect_count(&bb)
         };
         for backend in ALL_BACKENDS {
-            let params = Arc::new(BatmapParams::new(M, seed).with_kernel(backend));
+            let params = Arc::new(BatmapParams::new(M, seed).with_engine_options(EngineOptions::auto().kernel(backend)));
             let ba = Batmap::build_sorted(params.clone(), &a).batmap;
             let bb = Batmap::build_sorted(params, &b).batmap;
             prop_assume!(ba.len() == a.len() && bb.len() == b.len());

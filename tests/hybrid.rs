@@ -6,7 +6,8 @@
 //! through the batched row driver.
 
 use batmap::{
-    intersect, ArenaBuilder, BatmapParams, KernelBackend, ReprPolicy, SetRepr, ALL_REPR_POLICIES,
+    intersect, ArenaBuilder, BatmapParams, EngineOptions, KernelBackend, ReprPolicy, SetRepr,
+    ALL_REPR_POLICIES,
 };
 use fim::pairs::brute_force_pairs;
 use fim::TransactionDb;
@@ -57,9 +58,10 @@ proptest! {
         };
         let config = |repr| MinerConfig {
             engine: Engine::Cpu,
-            kernel: backend,
-            threads,
-            repr,
+            options: EngineOptions::auto()
+                .kernel(backend)
+                .threads(threads)
+                .repr(repr),
             seed,
             k: 16,
             ..Default::default()
@@ -86,7 +88,7 @@ proptest! {
             pair: MinerConfig {
                 engine: Engine::Cpu,
                 minsup,
-                repr,
+                options: EngineOptions::auto().repr(repr),
                 ..Default::default()
             },
             ..Default::default()
@@ -106,7 +108,8 @@ proptest! {
         backend in arb_backend(),
         seed in 0u64..100,
     ) {
-        let params = Arc::new(BatmapParams::new(M, seed).with_kernel(backend));
+        let params =
+            Arc::new(BatmapParams::new(M, seed).with_engine_options(EngineOptions::auto().kernel(backend)));
         let mut builder = ArenaBuilder::new(params);
         let elements: Vec<Vec<u32>> = sets
             .iter()

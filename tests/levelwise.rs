@@ -102,10 +102,13 @@ proptest! {
     #[test]
     fn parallel_counting_matches_serial(db in arb_db(), threads in 2usize..6) {
         let mut serial_config = levelwise_config(4, 2);
-        serial_config.pair.threads = Parallelism::Serial;
+        serial_config.pair.options = serial_config.pair.options.threads(Parallelism::Serial);
         let serial = LevelwiseMiner::new(serial_config).mine(&db);
         let mut parallel_config = levelwise_config(4, 2);
-        parallel_config.pair.threads = Parallelism::threads(threads);
+        parallel_config.pair.options = parallel_config
+            .pair
+            .options
+            .threads(Parallelism::threads(threads));
         let parallel = LevelwiseMiner::new(parallel_config).mine(&db);
         prop_assert_eq!(serial.itemsets, parallel.itemsets);
     }

@@ -3,7 +3,7 @@
 //! databases, thread counts, and tile sides, including the diagonal-
 //! tile deduplication.
 
-use batmap::Parallelism;
+use batmap::{EngineOptions, Parallelism};
 use pairminer::{
     mine, preprocess, Engine, MinerConfig, ParallelCpuExecutor, SerialCpuExecutor, Tile,
     TileConsumer, TileExecutor, TilePlan,
@@ -45,12 +45,12 @@ proptest! {
             k: 16 << k_shift,
             minsup,
             engine: Engine::Cpu,
-            threads: Parallelism::Serial,
+            options: EngineOptions::auto().threads(Parallelism::Serial),
             ..Default::default()
         };
         let serial = mine(&db, &base);
         let parallel = mine(&db, &MinerConfig {
-            threads: Parallelism::threads(threads),
+            options: base.options.threads(Parallelism::threads(threads)),
             ..base
         });
         prop_assert_eq!(sorted_pairs(serial), sorted_pairs(parallel));

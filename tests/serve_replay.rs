@@ -1,0 +1,157 @@
+//! Concurrency pins for the query service: whatever the shard count,
+//! worker parallelism, and client interleaving, every response must be
+//! **byte-identical** (same wire encoding) to a single-threaded,
+//! batching-off replay of the same request stream. This is the
+//! correctness half of the admission-queue batching story — coalescing
+//! concurrent probes into one-vs-many sweeps must be invisible in the
+//! answers.
+
+use batmap::{EngineOptions, Parallelism, ReprPolicy};
+use batmap_server::proto::{encode_response, Request};
+use batmap_server::{Client, EngineConfig, Probe, QueryEngine, Server};
+use fim::{TransactionDb, VerticalDb};
+use pairminer::{preprocess_with, Preprocessed};
+use proptest::collection::vec;
+use proptest::prelude::*;
+
+const CLIENTS: usize = 4;
+
+fn arb_db() -> impl Strategy<Value = TransactionDb> {
+    (2u32..16, 1usize..40).prop_flat_map(|(n, m)| {
+        vec(vec(0u32..n, 0..(n as usize).min(10)), m).prop_map(move |ts| TransactionDb::new(n, ts))
+    })
+}
+
+/// One op descriptor; materialized against the database's dimensions so
+/// every request is in range.
+fn materialize(ops: &[(u8, u32, u32, u64)], n: u32, m: u32) -> Vec<Request> {
+    ops.iter()
+        .map(|&(op, x, y, z)| match op % 6 {
+            0 => Request::Count { a: x % n, b: y % n },
+            1 => Request::Member {
+                set: x % n,
+                element: y % m.max(1),
+            },
+            2 => Request::TopK {
+                probe: Probe::Set(x % n),
+                k: 1 + y % 5,
+            },
+            3 => {
+                // A deterministic, strictly-ascending ad-hoc probe.
+                let elements: Vec<u32> = (0..m)
+                    .filter(|&e| (z.wrapping_mul(e as u64 + 1) >> 7) & 3 == 0)
+                    .collect();
+                Request::TopK {
+                    probe: Probe::Elements(elements),
+                    k: 1 + y % 5,
+                }
+            }
+            4 => Request::Info,
+            _ => Request::Mine {
+                depth: 3,
+                minsup: 1 + (y as u64) % 3,
+            },
+        })
+        .collect()
+}
+
+/// Preprocess under the hybrid policy and push the corpus through a
+/// snapshot write→read cycle, as a served corpus would arrive on disk.
+fn hybrid_snapshot(d: &TransactionDb, seed: u64) -> Preprocessed {
+    let v = VerticalDb::from_horizontal(d);
+    let pre = preprocess_with(
+        &v,
+        seed,
+        128,
+        EngineOptions::auto().repr(ReprPolicy::Hybrid),
+    );
+    let mut buf = Vec::new();
+    pre.write_snapshot(&mut buf).unwrap();
+    Preprocessed::read_snapshot(&mut buf.as_slice()).unwrap()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(10))]
+
+    /// N concurrent pipelining clients against every (threads × shards)
+    /// engine shape produce responses byte-identical to a sequential
+    /// batching-off replay of the same requests on the same shape.
+    #[test]
+    fn concurrent_batched_responses_equal_sequential_replay(
+        db in arb_db(),
+        ops in vec((0u8..6, any::<u32>(), any::<u32>(), any::<u64>()), 8..32),
+        seed in 0u64..100,
+    ) {
+        let requests = materialize(&ops, db.n_items(), db.len() as u32);
+        let pre = hybrid_snapshot(&db, seed);
+        let cores = std::thread::available_parallelism().map_or(2, |c| c.get());
+        for threads in [Parallelism::Serial, Parallelism::threads(4)] {
+            for shards in [1usize, 2, cores] {
+                let options = EngineOptions::auto().threads(threads);
+                let config = EngineConfig {
+                    options,
+                    shards,
+                    batching: true,
+                    ..EngineConfig::default()
+                };
+                let engine = QueryEngine::new(vec![pre.clone()], config);
+                let handle = Server::bind_tcp("127.0.0.1:0").unwrap().serve(engine);
+                let addr = handle.tcp_addr().unwrap();
+
+                // Round-robin the stream over N clients, each pipelining
+                // its whole slice so admission queues fill deeply.
+                let mut by_client: Vec<Vec<(usize, Request)>> =
+                    (0..CLIENTS).map(|_| Vec::new()).collect();
+                for (j, request) in requests.iter().enumerate() {
+                    by_client[j % CLIENTS].push((j, request.clone()));
+                }
+                let mut served: Vec<Option<batmap_server::Response>> =
+                    vec![None; requests.len()];
+                std::thread::scope(|scope| {
+                    let answers: Vec<_> = by_client
+                        .iter()
+                        .map(|slice| {
+                            scope.spawn(move || {
+                                let mut client = Client::connect_tcp(addr).unwrap();
+                                let reqs: Vec<Request> =
+                                    slice.iter().map(|(_, r)| r.clone()).collect();
+                                client.pipeline(0, &reqs).unwrap()
+                            })
+                        })
+                        .collect();
+                    for (slice, thread) in by_client.iter().zip(answers) {
+                        for ((j, _), response) in slice.iter().zip(thread.join().unwrap()) {
+                            served[*j] = Some(response);
+                        }
+                    }
+                });
+                drop(handle);
+
+                // Sequential single-connection replay on the same shape
+                // with coalescing off; same bytes, request by request.
+                let replay_engine = QueryEngine::new(
+                    vec![pre.clone()],
+                    EngineConfig {
+                        options,
+                        shards,
+                        batching: false,
+                        ..EngineConfig::default()
+                    },
+                );
+                for (j, request) in requests.iter().enumerate() {
+                    let concurrent = served[j].clone().unwrap();
+                    let sequential = replay_engine.query(0, request.clone());
+                    prop_assert_eq!(
+                        encode_response(j as u64, &concurrent),
+                        encode_response(j as u64, &sequential),
+                        "request {} ({:?}) under threads {} shards {}",
+                        j,
+                        request,
+                        threads,
+                        shards
+                    );
+                }
+            }
+        }
+    }
+}

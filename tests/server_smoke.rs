@@ -1,0 +1,230 @@
+//! End-to-end smoke test of the snapshot-serving query service: bind an
+//! ephemeral socket (TCP and Unix), serve a hybrid corpus, answer every
+//! query type through the real wire protocol, check the answers against
+//! brute force on the source database, and shut down cleanly. A second
+//! corpus is preprocessed with `max_loop = 1` to force failed cuckoo
+//! insertions, so the served counts also exercise the correction path.
+
+use batmap::{EngineOptions, ReprPolicy};
+use batmap_server::{Client, EngineConfig, Probe, QueryEngine, Request, Response, Server};
+use fim::{TransactionDb, VerticalDb};
+use pairminer::{preprocess_with, Preprocessed};
+
+fn db() -> TransactionDb {
+    TransactionDb::new(
+        30,
+        (0..600usize)
+            .map(|t| {
+                (0..30u32)
+                    .filter(|&i| (t as u32 + i * 7) % 11 < 3)
+                    .collect()
+            })
+            .collect(),
+    )
+}
+
+fn corpus_with(d: &TransactionDb, max_loop: u32, repr: ReprPolicy) -> Preprocessed {
+    let v = VerticalDb::from_horizontal(d);
+    preprocess_with(&v, 0xBA7_A11, max_loop, EngineOptions::auto().repr(repr))
+}
+
+fn corpus(d: &TransactionDb, max_loop: u32) -> Preprocessed {
+    corpus_with(d, max_loop, ReprPolicy::Hybrid)
+}
+
+/// |tidlist(a) ∩ tidlist(b)| straight off the vertical layout.
+fn oracle_count(v: &VerticalDb, a: u32, b: u32) -> u64 {
+    let (ta, tb) = (v.tidlist(a), v.tidlist(b));
+    ta.iter().filter(|x| tb.binary_search(x).is_ok()).count() as u64
+}
+
+fn oracle_top_k(
+    v: &VerticalDb,
+    probe_elements: &[u32],
+    exclude: Option<u32>,
+    k: usize,
+) -> Vec<(u32, u64)> {
+    let mut scored: Vec<(u32, u64)> = (0..v.n_items())
+        .filter(|&s| Some(s) != exclude)
+        .map(|s| {
+            let t = v.tidlist(s);
+            let c = probe_elements
+                .iter()
+                .filter(|x| t.binary_search(x).is_ok())
+                .count() as u64;
+            (s, c)
+        })
+        .filter(|&(_, c)| c > 0)
+        .collect();
+    scored.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+    scored.truncate(k);
+    scored
+}
+
+fn exercise(client: &mut Client, d: &TransactionDb, corpus_id: u32) {
+    let v = VerticalDb::from_horizontal(d);
+    let n = v.n_items();
+
+    // Counts, including the diagonal (a == b is a set's cardinality).
+    for a in 0..n {
+        for b in [a, (a + 1) % n, (a * 7 + 3) % n] {
+            assert_eq!(
+                client.count(corpus_id, a, b).unwrap(),
+                oracle_count(&v, a, b),
+                "count {a}x{b}"
+            );
+        }
+    }
+
+    // Membership, hits and misses.
+    for s in 0..n {
+        let t = v.tidlist(s);
+        if let Some(&e) = t.first() {
+            assert!(client.member(corpus_id, s, e).unwrap(), "member hit {s}");
+        }
+        let miss = (0..d.len() as u32).find(|x| t.binary_search(x).is_err());
+        if let Some(e) = miss {
+            assert!(!client.member(corpus_id, s, e).unwrap(), "member miss {s}");
+        }
+    }
+
+    // Top-k against a stored probe and an ad-hoc element probe.
+    for s in [0u32, n / 2, n - 1] {
+        assert_eq!(
+            client.top_k(corpus_id, Probe::Set(s), 5).unwrap(),
+            oracle_top_k(&v, v.tidlist(s), Some(s), 5),
+            "top-k stored probe {s}"
+        );
+    }
+    let adhoc: Vec<u32> = (0..d.len() as u32).filter(|x| x % 5 == 0).collect();
+    assert_eq!(
+        client
+            .top_k(corpus_id, Probe::Elements(adhoc.clone()), 7)
+            .unwrap(),
+        oracle_top_k(&v, &adhoc, None, 7),
+        "top-k ad-hoc probe"
+    );
+
+    // Info reflects the corpus.
+    let info = client.info(corpus_id).unwrap();
+    assert_eq!(info.sets, n);
+    assert_eq!(info.m, d.len() as u64);
+
+    // Mining through the server equals levelwise Apriori on the source.
+    let mined = client.mine(corpus_id, 3, 20).unwrap();
+    assert!(!mined.truncated);
+    let mut served: Vec<(Vec<u32>, u64)> = mined
+        .itemsets
+        .into_iter()
+        .map(|e| (e.items, e.support))
+        .collect();
+    served.sort();
+    let mut expect: Vec<(Vec<u32>, u64)> = fim::apriori::mine(d, 20, 3)
+        .into_iter()
+        .map(|s| (s.items, s.support))
+        .collect();
+    expect.sort();
+    assert_eq!(served, expect, "mine summary");
+
+    // Errors come back typed, not as dropped connections.
+    match client
+        .call(corpus_id, &Request::Count { a: n + 9, b: 0 })
+        .unwrap()
+    {
+        Response::Error(_) => {}
+        other => panic!("out-of-range set must error, got {other:?}"),
+    }
+}
+
+#[test]
+fn tcp_smoke_counts_match_brute_force_and_shutdown_is_clean() {
+    let d = db();
+    // Two corpora on one engine: clean hybrid, and failure-forced (a
+    // dense pure-batmap fixture under max_loop=1 — bitmaps and tidlists
+    // never fail insertion) so the correction path serves under-stored
+    // payloads exactly.
+    let dense = TransactionDb::new(
+        24,
+        (0..3000usize)
+            .map(|t| {
+                (0..24u32)
+                    .filter(|&i| (t as u32 + i * 7) % 30 < 2)
+                    .collect()
+            })
+            .collect(),
+    );
+    let clean = corpus(&d, 128);
+    let forced = corpus_with(&dense, 1, ReprPolicy::Batmap);
+    assert!(
+        !forced.failed.is_empty(),
+        "fixture must force failed insertions"
+    );
+    let engine = QueryEngine::new(
+        vec![clean, forced],
+        EngineConfig {
+            shards: 2,
+            ..EngineConfig::default()
+        },
+    );
+    let handle = Server::bind_tcp("127.0.0.1:0").unwrap().serve(engine);
+    let addr = handle.tcp_addr().unwrap();
+
+    let mut client = Client::connect_tcp(addr).unwrap();
+    assert_eq!(client.corpora(), 2);
+    exercise(&mut client, &d, 0);
+    exercise(&mut client, &dense, 1);
+
+    // A second connection works concurrently with the first.
+    let mut second = Client::connect_tcp(addr).unwrap();
+    assert_eq!(
+        second.count(0, 1, 2).unwrap(),
+        client.count(0, 1, 2).unwrap()
+    );
+
+    // Shutdown stops the accept loop; join returns even though `second`
+    // is still connected and idle (the server closes its read half).
+    client.shutdown().unwrap();
+    handle.join();
+    assert!(
+        Client::connect_tcp(addr).is_err(),
+        "server must stop listening"
+    );
+    assert!(
+        second.count(0, 1, 2).is_err(),
+        "idle connection must be closed by shutdown"
+    );
+}
+
+#[cfg(unix)]
+#[test]
+fn unix_socket_smoke_serves_and_removes_the_socket_file() {
+    let d = db();
+    let engine = QueryEngine::new(vec![corpus(&d, 128)], EngineConfig::default());
+    let path = std::env::temp_dir().join(format!("batmap-serve-test-{}.sock", std::process::id()));
+    let handle = Server::bind_unix(&path).unwrap().serve(engine);
+    assert_eq!(handle.unix_path(), Some(path.as_path()));
+
+    let mut client = Client::connect_unix(&path).unwrap();
+    assert_eq!(client.corpora(), 1);
+    exercise(&mut client, &d, 0);
+
+    client.shutdown().unwrap();
+    handle.join();
+    assert!(!path.exists(), "shutdown must remove the Unix socket file");
+}
+
+#[test]
+fn handle_drop_shuts_the_server_down() {
+    let d = db();
+    let engine = QueryEngine::new(vec![corpus(&d, 128)], EngineConfig::default());
+    let handle = Server::bind_tcp("127.0.0.1:0").unwrap().serve(engine);
+    let addr = handle.tcp_addr().unwrap();
+    let mut client = Client::connect_tcp(addr).unwrap();
+    assert_eq!(
+        client.count(0, 0, 0).unwrap(),
+        oracle_count(&VerticalDb::from_horizontal(&d), 0, 0)
+    );
+    drop(client);
+    drop(handle); // Drop impl = shutdown + join; must not hang.
+    assert!(Client::connect_tcp(addr).is_err());
+}

@@ -178,10 +178,9 @@ fn auto_resolution_under_forced_overrides() {
     assert_eq!(KernelBackend::resolve_override(Some("neon")), widest);
     // Whatever the ambient BATMAP_KERNEL says, the process-wide Auto
     // resolution must obey the same policy.
-    let ambient = std::env::var("BATMAP_KERNEL").ok();
     assert_eq!(
         KernelBackend::Auto.resolve(),
-        KernelBackend::resolve_override(ambient.as_deref())
+        KernelBackend::resolve_override(batmap::options::kernel_env())
     );
 }
 

@@ -6,12 +6,12 @@
 //! `mine_preprocessed`) — the storage layer and the persistence format
 //! must be invisible to every mining result.
 
-use batmap::Parallelism;
+use batmap::{Parallelism, ReprPolicy};
 use fim::{TransactionDb, VerticalDb};
 use gpu_sim::DeviceSpec;
 use pairminer::{
-    mine, mine_preprocessed, preprocess_with_options, Engine, LevelwiseConfig, LevelwiseMiner,
-    MinerConfig, Preprocessed,
+    mine, mine_preprocessed, preprocess_with, Engine, LevelwiseConfig, LevelwiseMiner, MinerConfig,
+    Preprocessed,
 };
 
 fn db() -> TransactionDb {
@@ -27,12 +27,11 @@ fn db() -> TransactionDb {
 /// through a snapshot write→read cycle.
 fn snapshot_corpus(d: &TransactionDb, config: &MinerConfig) -> Preprocessed {
     let vertical = VerticalDb::from_horizontal(d);
-    let pre = preprocess_with_options(
+    let pre = preprocess_with(
         &vertical,
         config.seed,
         config.max_loop,
-        config.kernel,
-        config.threads,
+        config.options.repr(ReprPolicy::Batmap),
     );
     let mut buf = Vec::new();
     pre.write_snapshot(&mut buf).unwrap();
@@ -47,19 +46,18 @@ fn mine_is_identical_fresh_arena_built_and_snapshot_loaded() {
             let config = MinerConfig {
                 k: 32,
                 engine: engine.clone(),
-                threads,
+                options: batmap::EngineOptions::auto().threads(threads),
                 ..Default::default()
             };
             // Freshly built inside `mine`.
             let fresh = mine(&d, &config);
             // Arena-built up front, served without re-preprocessing.
             let vertical = VerticalDb::from_horizontal(&d);
-            let pre = preprocess_with_options(
+            let pre = preprocess_with(
                 &vertical,
                 config.seed,
                 config.max_loop,
-                config.kernel,
-                config.threads,
+                config.options.repr(ReprPolicy::Batmap),
             );
             let arena_built = mine_preprocessed(&d, &pre, &config);
             // Loaded from a persisted snapshot.
