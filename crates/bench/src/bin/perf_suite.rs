@@ -860,6 +860,189 @@ fn serve_qps_scenario(args: &Args) -> PerfReport {
     )
 }
 
+/// The degraded-mode serving scenario: the same snapshot-backed server
+/// under a deliberate overload — one shard, a small admission-queue cap,
+/// and pipelining clients flooding it far faster than the worker drains.
+/// The bounded queue must shed a meaningful slice of the load with
+/// typed `Response::Overloaded` (never by queueing without limit, never
+/// by dropping a connection), and every response that *is* delivered
+/// must replay byte-identical on an unbounded single-shard engine.
+/// Gated on delivered queries/s under overload.
+fn serve_degraded_scenario(args: &Args) -> PerfReport {
+    use batmap_server::{proto, Client, EngineConfig, QueryEngine, Request, Response, Server};
+
+    const CLIENTS: usize = 4;
+    const HOT_PROBES: u32 = 8;
+    let per_client: usize = if args.quick { 512 } else { 2_048 };
+    let (documents, mean_doc_len) = if args.quick { (400, 40) } else { (1_000, 60) };
+
+    let spec = WebDocsSpec {
+        documents,
+        mean_doc_len,
+        seed: args.seed,
+        ..Default::default()
+    };
+    let db = webdocs::generate(&spec);
+    let v = VerticalDb::from_horizontal(&db);
+    let pre = preprocess_with(&v, args.seed, 128, args.options.repr(ReprPolicy::Hybrid));
+    let n = pre.n_items;
+    assert!(n > HOT_PROBES, "corpus too small for the query mix");
+
+    let queries = |c: usize| -> Vec<Request> {
+        (0..per_client)
+            .map(|j| {
+                let x = (c * per_client + j) as u32;
+                Request::Count {
+                    a: (x * 7 + c as u32) % HOT_PROBES,
+                    b: (x * 13 + 5) % n,
+                }
+            })
+            .collect()
+    };
+
+    // One shard with a deliberately tight queue: the drain-everything
+    // batching sweep empties it instantly, then the queue refills and
+    // overflows while the worker is busy computing. `0` would be the
+    // old unbounded behavior; 32 forces the shedding path to carry a
+    // large fraction of this load.
+    let engine = QueryEngine::new(
+        vec![pre.clone()],
+        EngineConfig {
+            options: args.options,
+            shards: 1,
+            max_queue_depth: 32,
+            ..EngineConfig::default()
+        },
+    );
+    let handle = Server::bind_tcp("127.0.0.1:0")
+        .expect("bind ephemeral port")
+        .serve(engine);
+    let addr = handle.tcp_addr().expect("tcp server has an address");
+    let t0 = std::time::Instant::now();
+    let transcripts: Vec<Vec<(u64, Response)>> = std::thread::scope(|scope| {
+        let workers: Vec<_> = (0..CLIENTS)
+            .map(|c| {
+                let queries = queries(c);
+                scope.spawn(move || {
+                    let mut client = Client::connect_tcp(addr).expect("connect");
+                    // The whole slice in one pipelined burst — maximum
+                    // queue pressure, which is the point.
+                    let responses = client.pipeline(0, &queries).expect("pipelined flood");
+                    responses
+                        .into_iter()
+                        .enumerate()
+                        .map(|(j, r)| (1 + j as u64, r))
+                        .collect::<Vec<_>>()
+                })
+            })
+            .collect();
+        workers.into_iter().map(|w| w.join().unwrap()).collect()
+    });
+    let wall = t0.elapsed().as_secs_f64();
+    handle.join();
+
+    let total = (CLIENTS * per_client) as u64;
+    let shed: u64 = transcripts
+        .iter()
+        .flatten()
+        .filter(|(_, r)| matches!(r, Response::Overloaded))
+        .count() as u64;
+    let delivered = total - shed;
+    let shed_fraction = shed as f64 / total as f64;
+    println!(
+        "serve_degraded: {delivered}/{total} delivered at {:.0} qps, \
+         {shed} shed ({:.0}% of the flood)",
+        delivered as f64 / wall,
+        shed_fraction * 100.0
+    );
+    assert!(
+        shed > 0,
+        "a queue cap of 32 under a {total}-query flood must shed"
+    );
+    assert!(
+        delivered > 0,
+        "overload must degrade service, not deny it entirely"
+    );
+
+    // Replay pinning: shedding selects which queries run, it must not
+    // change what any query answers. Every delivered response replays
+    // byte-identical on an unbounded single-shard engine.
+    let replay = QueryEngine::new(
+        vec![pre.clone()],
+        EngineConfig {
+            options: args.options,
+            shards: 1,
+            ..EngineConfig::default()
+        },
+    );
+    for (c, transcript) in transcripts.iter().enumerate() {
+        let queries = queries(c);
+        assert_eq!(transcript.len(), queries.len());
+        for (&(id, ref served), query) in transcript.iter().zip(&queries) {
+            if matches!(served, Response::Overloaded) {
+                continue;
+            }
+            let replayed = replay.query(0, query.clone());
+            assert_eq!(
+                proto::encode_response(id, served),
+                proto::encode_response(id, &replayed),
+                "client {c} request {id} diverged under overload"
+            );
+        }
+    }
+
+    let total_items: usize = (0..v.n_items()).map(|i| v.tidlist(i).len()).sum();
+    PerfReport::new(
+        "serve_degraded",
+        args.options.kernel.resolve().name(),
+        "server-degraded",
+        CLIENTS,
+        wall,
+        delivered,
+        DatasetParams {
+            n_items: db.n_items(),
+            total_items,
+            density: total_items as f64 / (db.n_items() as f64 * documents as f64),
+            seed: args.seed,
+            k: 0,
+        },
+    )
+}
+
+/// The hardening tax, measured: a disarmed fault point is one relaxed
+/// atomic load, and the serving hot path crosses at most a handful of
+/// sites per query. Asserts that budget is ≤1% of an actual served
+/// query's wall time as measured by the `serve_qps` scenario this run.
+fn assert_disarmed_faultpoint_overhead(serve_qps: &PerfReport) {
+    // Hot-path sites a single query can cross today: conn read/write,
+    // the worker batch site, and one top-k site per shard. 8 is a
+    // comfortable over-estimate.
+    const SITES_PER_QUERY: f64 = 8.0;
+    let reps: u64 = 20_000_000;
+    let t0 = std::time::Instant::now();
+    for _ in 0..reps {
+        hpcutil::fault_point!("bench.faultpoint.disarmed");
+        std::hint::black_box(());
+    }
+    let per_hit_s = t0.elapsed().as_secs_f64() / reps as f64;
+    let per_query_s = serve_qps.wall_s / serve_qps.work_units as f64;
+    let tax = SITES_PER_QUERY * per_hit_s / per_query_s;
+    println!(
+        "faultpoint overhead: {:.2} ns/site disarmed, {SITES_PER_QUERY} sites = \
+         {:.4}% of a {:.2} µs served query",
+        per_hit_s * 1e9,
+        tax * 100.0,
+        per_query_s * 1e6
+    );
+    assert!(
+        tax <= 0.01,
+        "disarmed fault points must cost ≤1% of a served query \
+         ({:.2} ns/site against {:.2} µs/query)",
+        per_hit_s * 1e9,
+        per_query_s * 1e6
+    );
+}
+
 fn main() {
     let args = parse_args();
     let (mut reports, mut skipped) = intersect_scenarios(&args);
@@ -869,7 +1052,10 @@ fn main() {
     reports.extend(mine_scenarios(&args));
     reports.push(levelwise_scenario(&args));
     reports.push(mine_hybrid_zipf_scenario(&args));
-    reports.push(serve_qps_scenario(&args));
+    let serve_qps = serve_qps_scenario(&args);
+    assert_disarmed_faultpoint_overhead(&serve_qps);
+    reports.push(serve_qps);
+    reports.push(serve_degraded_scenario(&args));
     let kernel_pinned = args.options.kernel != KernelBackend::Auto
         || KernelBackend::Auto.resolve() != KernelBackend::widest_available();
     if kernel_pinned {
@@ -894,6 +1080,7 @@ fn main() {
             "mine_levelwise",
             "mine_hybrid_zipf",
             "serve_qps",
+            "serve_degraded",
         ] {
             skipped.push((scenario.to_string(), reason.clone()));
         }

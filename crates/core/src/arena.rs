@@ -61,9 +61,12 @@ pub const SNAPSHOT_MAGIC: [u8; 8] = *b"BATMAPAR";
 
 /// Snapshot format version ([`BatmapArena::read_from`] refuses others).
 /// Version 2 added the per-set representation tag to the directory
-/// (24-byte entries became 32-byte entries); version-1 files are
-/// refused with a clear [`SnapshotError`], not misparsed.
-pub const SNAPSHOT_VERSION: u32 = 2;
+/// (24-byte entries became 32-byte entries); version 3 added a header
+/// checksum to the envelope so bit-rot inside the params JSON is
+/// caught as [`SnapshotError::Corrupted`] instead of silently changing
+/// a parameter. Older files are refused with a clear
+/// [`SnapshotError`], not misparsed.
+pub const SNAPSHOT_VERSION: u32 = 3;
 
 /// Directory entry: where one set lives in the backing store and what
 /// layout its bytes are in.
@@ -392,7 +395,8 @@ impl BatmapArena {
     /// Persist this arena as a versioned snapshot.
     ///
     /// Layout: [`SNAPSHOT_MAGIC`], version (`u32` LE), header length
-    /// (`u32` LE), JSON header (full [`BatmapParams`], fingerprint, set
+    /// (`u32` LE), header checksum (`u64` LE, FNV-1a over the header
+    /// bytes), JSON header (full [`BatmapParams`], fingerprint, set
     /// count, payload size, checksum, and the kernel-independence
     /// marker), the directory (four `u64` LE per set: offset, range,
     /// cardinality, representation tag), then the raw backing bytes.
@@ -417,13 +421,42 @@ impl BatmapArena {
         };
         let header_json = serde_json::to_string(&header)
             .map_err(|e| std::io::Error::other(format!("snapshot header: {e}")))?;
+        hpcutil::fault_point!("snapshot.write.header", |m: String| {
+            Err(std::io::Error::other(m))
+        });
         w.write_all(&SNAPSHOT_MAGIC)?;
         w.write_all(&SNAPSHOT_VERSION.to_le_bytes())?;
         w.write_all(&(header_json.len() as u32).to_le_bytes())?;
+        // The directory and payload have always been checksummed; the
+        // header JSON needs its own (v3) or a flipped digit inside a
+        // parameter would load as a plausible but different corpus.
+        w.write_all(&snapshot_checksum(header_json.as_bytes()).to_le_bytes())?;
         w.write_all(header_json.as_bytes())?;
         w.write_all(&dir_bytes)?;
+        hpcutil::fault_point!("snapshot.write.payload", |m: String| {
+            Err(std::io::Error::other(m))
+        });
         w.write_all(payload)?;
         Ok(())
+    }
+
+    /// Persist this arena to `path` crash-safely: the snapshot is
+    /// written to a sibling temporary file, flushed and fsynced, then
+    /// atomically renamed over `path` (and the parent directory synced
+    /// on Unix). A crash at any point — including mid-rename — leaves
+    /// either the complete old snapshot or the complete new one, never
+    /// a torn mix. Fault sites `snapshot.write.{header,payload,rename}`
+    /// cover the three failure windows.
+    pub fn write_to_file<P: AsRef<std::path::Path>>(&self, path: P) -> std::io::Result<()> {
+        atomic_write(path.as_ref(), |w| self.write_to(w))
+    }
+
+    /// Load an arena from a snapshot file written by
+    /// [`BatmapArena::write_to_file`] (buffered
+    /// [`BatmapArena::read_from`]).
+    pub fn read_from_file<P: AsRef<std::path::Path>>(path: P) -> Result<Self, SnapshotError> {
+        let file = std::fs::File::open(path)?;
+        Self::read_from(&mut std::io::BufReader::new(file))
     }
 
     /// Load an arena from a snapshot written by [`BatmapArena::write_to`].
@@ -438,25 +471,33 @@ impl BatmapArena {
     pub fn read_from<R: Read>(r: &mut R) -> Result<Self, SnapshotError> {
         let bad = |what: &str| SnapshotError::Format(what.to_string());
         let mut magic = [0u8; 8];
-        r.read_exact(&mut magic)?;
+        read_section(r, &mut magic, "magic")?;
         if magic != SNAPSHOT_MAGIC {
             return Err(bad("not a batmap arena snapshot (bad magic)"));
         }
         let mut u32buf = [0u8; 4];
-        r.read_exact(&mut u32buf)?;
+        read_section(r, &mut u32buf, "version")?;
         let version = u32::from_le_bytes(u32buf);
         if version != SNAPSHOT_VERSION {
             return Err(SnapshotError::Format(format!(
                 "unsupported snapshot version {version} (this build reads {SNAPSHOT_VERSION})"
             )));
         }
-        r.read_exact(&mut u32buf)?;
+        read_section(r, &mut u32buf, "header length")?;
         let header_len = u32::from_le_bytes(u32buf) as usize;
         if header_len > 1 << 20 {
             return Err(bad("implausible header length"));
         }
+        let mut u64buf = [0u8; 8];
+        read_section(r, &mut u64buf, "header checksum")?;
+        let header_checksum = u64::from_le_bytes(u64buf);
         let mut header_bytes = vec![0u8; header_len];
-        r.read_exact(&mut header_bytes)?;
+        read_section(r, &mut header_bytes, "header")?;
+        if snapshot_checksum(&header_bytes) != header_checksum {
+            return Err(SnapshotError::Corrupted(
+                "arena header checksum mismatch".to_string(),
+            ));
+        }
         let header_json =
             std::str::from_utf8(&header_bytes).map_err(|_| bad("header is not valid UTF-8"))?;
         let header: SnapshotHeader = serde_json::from_str(header_json)
@@ -494,20 +535,30 @@ impl BatmapArena {
             .take(dir_len as u64)
             .read_to_end(&mut dir_bytes)?;
         if dir_bytes.len() != dir_len {
-            return Err(bad("truncated directory"));
+            return Err(SnapshotError::Truncated(format!(
+                "directory ends after {} of {} bytes",
+                dir_bytes.len(),
+                dir_len
+            )));
         }
         let mut payload = Vec::new();
         r.by_ref()
             .take(payload_bytes as u64)
             .read_to_end(&mut payload)?;
         if payload.len() != payload_bytes {
-            return Err(bad("truncated payload"));
+            return Err(SnapshotError::Truncated(format!(
+                "payload ends after {} of {} bytes",
+                payload.len(),
+                payload_bytes
+            )));
         }
         let mut words = vec![0u64; payload_bytes / 8].into_boxed_slice();
         words_as_bytes_mut(&mut words).copy_from_slice(&payload);
         drop(payload);
         if fnv1a(&dir_bytes, fnv1a(words_as_bytes(&words), FNV_OFFSET)) != header.checksum {
-            return Err(bad("checksum mismatch (corrupted directory or payload)"));
+            return Err(SnapshotError::Corrupted(
+                "directory/payload checksum mismatch".to_string(),
+            ));
         }
         let mut dir = Vec::with_capacity(n_sets);
         let mut next_free = 0usize;
@@ -883,6 +934,73 @@ pub fn snapshot_checksum(bytes: &[u8]) -> u64 {
     fnv1a(bytes, FNV_OFFSET)
 }
 
+/// Write a file crash-safely: `fill` streams into a sibling temporary
+/// file (same directory, so the rename cannot cross filesystems), the
+/// file is flushed and fsynced, then atomically renamed over `path`;
+/// on Unix the parent directory is fsynced too so the rename itself
+/// survives a crash. Any failure removes the temporary file and leaves
+/// `path` untouched. Shared by the arena and `pairminer` snapshot
+/// writers; the `snapshot.write.rename` fault site sits between fsync
+/// and rename — the exact window a mid-write crash occupies.
+pub fn atomic_write<F>(path: &std::path::Path, fill: F) -> std::io::Result<()>
+where
+    F: FnOnce(&mut std::io::BufWriter<&mut std::fs::File>) -> std::io::Result<()>,
+{
+    use std::sync::atomic::{AtomicU64, Ordering};
+    // Unique-per-call sibling name: pid distinguishes processes, the
+    // counter distinguishes concurrent writers in this process.
+    static SEQ: AtomicU64 = AtomicU64::new(0);
+    let seq = SEQ.fetch_add(1, Ordering::Relaxed);
+    let mut tmp_name = path
+        .file_name()
+        .map(|n| n.to_string_lossy().into_owned())
+        .unwrap_or_else(|| "snapshot".to_string());
+    tmp_name.push_str(&format!(".tmp.{}.{}", std::process::id(), seq));
+    let tmp = path.with_file_name(tmp_name);
+
+    let result = (|| {
+        let mut file = std::fs::File::create(&tmp)?;
+        {
+            let mut writer = std::io::BufWriter::new(&mut file);
+            fill(&mut writer)?;
+            writer.flush()?;
+        }
+        file.sync_all()?;
+        hpcutil::fault_point!("snapshot.write.rename", |m: String| {
+            Err(std::io::Error::other(m))
+        });
+        std::fs::rename(&tmp, path)?;
+        #[cfg(unix)]
+        if let Some(dir) = path.parent().filter(|d| !d.as_os_str().is_empty()) {
+            // Persist the directory entry; a rename only the page cache
+            // saw is still a torn write from the crash's point of view.
+            std::fs::File::open(dir)?.sync_all()?;
+        }
+        Ok(())
+    })();
+    if result.is_err() {
+        let _ = std::fs::remove_file(&tmp);
+    }
+    result
+}
+
+/// `read_exact` that classifies an unexpected EOF as
+/// [`SnapshotError::Truncated`] naming the section that was cut short
+/// — the signature of a torn write — while other I/O failures stay
+/// [`SnapshotError::Io`].
+fn read_section<R: Read>(r: &mut R, buf: &mut [u8], section: &str) -> Result<(), SnapshotError> {
+    r.read_exact(buf).map_err(|e| {
+        if e.kind() == std::io::ErrorKind::UnexpectedEof {
+            SnapshotError::Truncated(format!(
+                "{section} cut short ({} bytes expected)",
+                buf.len()
+            ))
+        } else {
+            SnapshotError::Io(e)
+        }
+    })
+}
+
 /// FNV-1a folded over `bytes`, seeded with `seed` (chain calls to hash
 /// multiple regions).
 fn fnv1a(bytes: &[u8], seed: u64) -> u64 {
@@ -1168,7 +1286,7 @@ mod tests {
         match BatmapArena::read_from(&mut buf.as_slice()) {
             Err(SnapshotError::Format(msg)) => {
                 assert!(msg.contains("version 1"), "unexpected message: {msg}");
-                assert!(msg.contains("reads 2"), "unexpected message: {msg}");
+                assert!(msg.contains("reads 3"), "unexpected message: {msg}");
             }
             other => panic!("expected a version Format error, got {other:?}"),
         }
@@ -1181,12 +1299,13 @@ mod tests {
         let mut buf = Vec::new();
         arena.write_to(&mut buf).unwrap();
         // Locate the directory: magic(8) + version(4) + header_len(4) +
-        // header JSON, then 32-byte entries. Poke the first entry's tag
-        // and re-seal the checksum so only the tag check can fire.
+        // header checksum(8) + header JSON, then 32-byte entries. Poke
+        // the first entry's tag and re-seal both checksums so only the
+        // tag check can fire.
         let header_len = u32::from_le_bytes(buf[12..16].try_into().unwrap()) as usize;
-        let dir_start = 16 + header_len;
+        let dir_start = 24 + header_len;
         buf[dir_start + 24..dir_start + 32].copy_from_slice(&7u64.to_le_bytes());
-        let json = std::str::from_utf8(&buf[16..dir_start])
+        let json = std::str::from_utf8(&buf[24..dir_start])
             .unwrap()
             .to_string();
         let dir_len = arena.len() * 32;
@@ -1195,8 +1314,9 @@ mod tests {
             fnv1a(&buf[dir_start + dir_len..], FNV_OFFSET),
         );
         let resealed = regex_replace_checksum(&json, checksum);
-        let mut patched = buf[..16].to_vec();
-        patched[12..16].copy_from_slice(&(resealed.len() as u32).to_le_bytes());
+        let mut patched = buf[..12].to_vec();
+        patched.extend_from_slice(&(resealed.len() as u32).to_le_bytes());
+        patched.extend_from_slice(&snapshot_checksum(resealed.as_bytes()).to_le_bytes());
         patched.extend_from_slice(resealed.as_bytes());
         patched.extend_from_slice(&buf[dir_start..]);
         match BatmapArena::read_from(&mut patched.as_slice()) {

@@ -24,22 +24,54 @@ impl fmt::Display for BatmapError {
 impl std::error::Error for BatmapError {}
 
 /// Errors loading a persisted [`crate::arena::BatmapArena`] snapshot.
+///
+/// The taxonomy separates *what went wrong* so operators can pick the
+/// right recovery: [`Truncated`](SnapshotError::Truncated) means the
+/// file ends before a section it promised (the classic torn write from
+/// a crash mid-`write` — with the atomic tmp-file + rename path this
+/// can only be an interrupted copy, and the previous snapshot is still
+/// good); [`Corrupted`](SnapshotError::Corrupted) means the bytes are
+/// all present but a checksum disagrees (bit rot, a bad disk, or a
+/// partial in-place overwrite); [`Format`](SnapshotError::Format)
+/// means the structure itself is not a snapshot this build understands
+/// (bad magic, unsupported version, inconsistent header).
 #[derive(Debug)]
 pub enum SnapshotError {
-    /// The underlying reader failed (including unexpected EOF — a
-    /// truncated snapshot surfaces here).
+    /// The underlying reader failed (including unexpected EOF reported
+    /// by the reader itself).
     Io(std::io::Error),
-    /// The bytes do not form a valid snapshot: bad magic, unsupported
-    /// version, corrupted or inconsistent header, out-of-bounds
-    /// directory, or checksum mismatch. The message names the first
-    /// check that failed.
+    /// The snapshot ends mid-section: a torn write. The message names
+    /// the section (header, directory, payload, side tables) that was
+    /// cut short.
+    Truncated(String),
+    /// All bytes are present but a checksum disagrees with the header:
+    /// the snapshot was damaged after it was written (or overwritten
+    /// non-atomically). The message names the failing section.
+    Corrupted(String),
+    /// The bytes do not form a snapshot this build understands: bad
+    /// magic, unsupported version, or an internally inconsistent
+    /// header/directory. The message names the first check that failed.
     Format(String),
+}
+
+impl SnapshotError {
+    /// True for the torn-write class of failure
+    /// ([`Truncated`](SnapshotError::Truncated)): the write was cut
+    /// short, so with atomic-rename persistence the previous snapshot
+    /// file is still intact and loadable.
+    pub fn is_torn(&self) -> bool {
+        matches!(self, SnapshotError::Truncated(_))
+    }
 }
 
 impl fmt::Display for SnapshotError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             SnapshotError::Io(e) => write!(f, "snapshot I/O error: {e}"),
+            SnapshotError::Truncated(what) => {
+                write!(f, "torn snapshot (truncated mid-write): {what}")
+            }
+            SnapshotError::Corrupted(what) => write!(f, "corrupted snapshot: {what}"),
             SnapshotError::Format(what) => write!(f, "invalid snapshot: {what}"),
         }
     }
@@ -49,7 +81,9 @@ impl std::error::Error for SnapshotError {
     fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
         match self {
             SnapshotError::Io(e) => Some(e),
-            SnapshotError::Format(_) => None,
+            SnapshotError::Truncated(_)
+            | SnapshotError::Corrupted(_)
+            | SnapshotError::Format(_) => None,
         }
     }
 }
@@ -72,5 +106,12 @@ mod tests {
         assert!(s.contains("bad magic"));
         let io = SnapshotError::from(std::io::Error::other("boom"));
         assert!(io.to_string().contains("boom"));
+        let torn = SnapshotError::Truncated("payload".into());
+        assert!(torn.is_torn());
+        assert!(torn.to_string().contains("torn"));
+        let rot = SnapshotError::Corrupted("directory checksum".into());
+        assert!(!rot.is_torn());
+        assert!(rot.to_string().contains("corrupted"));
+        assert!(!SnapshotError::Format("x".into()).is_torn());
     }
 }

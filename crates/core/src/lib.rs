@@ -165,6 +165,11 @@ pub use batmap::{AsSlots, Batmap};
 pub use builder::{ArenaSetOutcome, BatmapBuilder, BuildOutcome, InsertOutcome, InsertStats};
 pub use collection::BatmapCollection;
 pub use error::{BatmapError, SnapshotError};
+/// Fault-injection sites (re-export of [`hpcutil::faultpoint`]): arm
+/// named sites with error/panic/delay actions — explicitly or via
+/// `BATMAP_FAULTPOINTS` on the first [`EngineOptions::resolve`] — and
+/// mark sites with `hpcutil::fault_point!`.
+pub use hpcutil::faultpoint as fault;
 pub use kernel::{available_backends, KernelBackend, MatchKernel, ALL_BACKENDS};
 pub use multiway::{intersect_count_probe, MultiwayBatmap, MultiwayParams};
 pub use options::EngineOptions;

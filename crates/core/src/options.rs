@@ -98,6 +98,12 @@ impl EngineOptions {
     /// `Threads(n)` when anything pins a count and stays `Auto` when
     /// the ambient pool should decide.
     pub fn resolve(self) -> Self {
+        // Fault-point arming rides the same explicit>env>auto rule:
+        // sites armed explicitly through `hpcutil::faultpoint::arm`
+        // always win (arming replaces), and a knob nobody pins falls
+        // back to the env spec, applied once per process on the first
+        // resolve. There is no `Auto` tier — disarmed is the default.
+        arm_faultpoints_from_env();
         EngineOptions {
             kernel: self.kernel.resolve(),
             threads: match self.threads.pinned() {
@@ -160,6 +166,29 @@ pub fn repr_env() -> Option<&'static str> {
     static VAR: OnceLock<Option<String>> = OnceLock::new();
     VAR.get_or_init(|| std::env::var("BATMAP_REPR").ok())
         .as_deref()
+}
+
+/// The cached raw `BATMAP_FAULTPOINTS` value, if the variable is set:
+/// a `;`-separated `site=action` spec (see [`crate::fault`]) armed once
+/// per process by the first [`EngineOptions::resolve`].
+pub fn faultpoints_env() -> Option<&'static str> {
+    static VAR: OnceLock<Option<String>> = OnceLock::new();
+    VAR.get_or_init(|| std::env::var("BATMAP_FAULTPOINTS").ok())
+        .as_deref()
+}
+
+/// Arm the fault sites named by `BATMAP_FAULTPOINTS`, once per process.
+/// A malformed spec aborts loudly: silently ignoring it would let a
+/// chaos run pass vacuously with nothing armed.
+fn arm_faultpoints_from_env() {
+    static ARMED: OnceLock<()> = OnceLock::new();
+    ARMED.get_or_init(|| {
+        if let Some(spec) = faultpoints_env() {
+            if let Err(err) = crate::fault::arm_from_spec(spec) {
+                panic!("invalid BATMAP_FAULTPOINTS: {err}");
+            }
+        }
+    });
 }
 
 #[cfg(test)]

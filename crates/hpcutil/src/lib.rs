@@ -11,18 +11,26 @@
 //! * [`mem`] — the [`mem::MemoryFootprint`] trait used by the Figure 5
 //!   memory-usage experiment,
 //! * [`stats`] — summary statistics and throughput unit helpers,
-//! * [`table`] — aligned text tables for the figure binaries.
+//! * [`table`] — aligned text tables for the figure binaries,
+//! * [`faultpoint`] — named fault-injection sites ([`fault_point!`])
+//!   armed by tests and chaos suites, one relaxed atomic load when
+//!   disarmed,
+//! * [`sync`] — poison-recovering lock helpers so one panicked holder
+//!   cannot cascade into every thread sharing a mutex.
 
 #![warn(missing_docs)]
 
+pub mod faultpoint;
 pub mod fxhash;
 pub mod mem;
 pub mod stats;
+pub mod sync;
 pub mod table;
 pub mod timer;
 
 pub use fxhash::{FxHashMap, FxHashSet, FxHasher};
 pub use mem::MemoryFootprint;
 pub use stats::Summary;
+pub use sync::{lock_recover, wait_recover};
 pub use table::Table;
 pub use timer::{scoped_pool, Stopwatch};

@@ -128,6 +128,9 @@ impl Preprocessed {
         };
         let header_json = serde_json::to_string(&header)
             .map_err(|e| std::io::Error::other(format!("snapshot header: {e}")))?;
+        hpcutil::fault_point!("snapshot.write.sidetables", |m: String| {
+            Err(std::io::Error::other(m))
+        });
         w.write_all(&PRE_SNAPSHOT_MAGIC)?;
         w.write_all(&PRE_SNAPSHOT_VERSION.to_le_bytes())?;
         w.write_all(&(header_json.len() as u32).to_le_bytes())?;
@@ -139,28 +142,58 @@ impl Preprocessed {
         self.arena.write_to(w)
     }
 
+    /// Persist this corpus to `path` crash-safely via the shared
+    /// tmp-file + fsync + atomic-rename path
+    /// ([`batmap::arena::atomic_write`]): a crash mid-write — or an
+    /// injected `snapshot.write.{sidetables,header,payload,rename}`
+    /// fault — never clobbers the previous snapshot at `path`.
+    pub fn write_snapshot_file<P: AsRef<std::path::Path>>(&self, path: P) -> std::io::Result<()> {
+        batmap::arena::atomic_write(path.as_ref(), |w| self.write_snapshot(w))
+    }
+
+    /// Load a corpus snapshot file written by
+    /// [`Preprocessed::write_snapshot_file`] (buffered
+    /// [`Preprocessed::read_snapshot`]).
+    pub fn read_snapshot_file<P: AsRef<std::path::Path>>(path: P) -> Result<Self, SnapshotError> {
+        let file = std::fs::File::open(path)?;
+        Self::read_snapshot(&mut std::io::BufReader::new(file))
+    }
+
     /// Load a corpus persisted by [`Preprocessed::write_snapshot`],
     /// re-checking the side tables against the embedded arena snapshot
     /// (which performs its own header/checksum validation).
     pub fn read_snapshot<R: Read>(r: &mut R) -> Result<Self, SnapshotError> {
         let bad = |what: &str| SnapshotError::Format(what.to_string());
+        // An unexpected EOF inside the fixed envelope is the signature
+        // of a torn write, not a malformed file: classify it
+        // `Truncated` so callers can tell "retry from the previous
+        // snapshot" apart from "this file was never a snapshot".
+        let torn = |what: &str, e: std::io::Error| {
+            if e.kind() == std::io::ErrorKind::UnexpectedEof {
+                SnapshotError::Truncated(format!("corpus {what} cut short"))
+            } else {
+                SnapshotError::Io(e)
+            }
+        };
         let mut magic = [0u8; 8];
-        r.read_exact(&mut magic)?;
+        r.read_exact(&mut magic).map_err(|e| torn("magic", e))?;
         if magic != PRE_SNAPSHOT_MAGIC {
             return Err(bad("not a preprocessed-corpus snapshot (bad magic)"));
         }
         let mut u32buf = [0u8; 4];
-        r.read_exact(&mut u32buf)?;
+        r.read_exact(&mut u32buf).map_err(|e| torn("version", e))?;
         let version = u32::from_le_bytes(u32buf);
         if version != PRE_SNAPSHOT_VERSION {
             return Err(SnapshotError::Format(format!(
                 "unsupported corpus snapshot version {version}"
             )));
         }
-        r.read_exact(&mut u32buf)?;
+        r.read_exact(&mut u32buf)
+            .map_err(|e| torn("header length", e))?;
         let header_len = u32::from_le_bytes(u32buf) as usize;
         let mut u64buf = [0u8; 8];
-        r.read_exact(&mut u64buf)?;
+        r.read_exact(&mut u64buf)
+            .map_err(|e| torn("header checksum", e))?;
         let header_checksum = u64::from_le_bytes(u64buf);
         // `take`-bounded read: a corrupted length field surfaces as a
         // truncation error, never as an up-to-4-GiB allocation.
@@ -169,10 +202,15 @@ impl Preprocessed {
             .take(header_len as u64)
             .read_to_end(&mut header_bytes)?;
         if header_bytes.len() != header_len {
-            return Err(bad("truncated corpus header"));
+            return Err(SnapshotError::Truncated(format!(
+                "corpus side tables end after {} of {header_len} bytes",
+                header_bytes.len()
+            )));
         }
         if batmap::arena::snapshot_checksum(&header_bytes) != header_checksum {
-            return Err(bad("corpus header checksum mismatch"));
+            return Err(SnapshotError::Corrupted(
+                "corpus side-table checksum mismatch".to_string(),
+            ));
         }
         let header: PreSnapshotHeader = std::str::from_utf8(&header_bytes)
             .ok()

@@ -8,15 +8,89 @@
 //! before reading anything, which is what fills the server's admission
 //! queues deeply enough for its sweeps to coalesce. The bench load
 //! generator drives servers through exactly this type.
+//!
+//! Transport failures are survivable: the client remembers its connect
+//! target, and under a [`RetryPolicy`] a dropped connection triggers
+//! reconnect-with-exponential-backoff (plus deterministic jitter) and a
+//! bounded number of re-issues. Every current request type is
+//! idempotent — counts, membership, top-k, mining, and metadata are
+//! pure functions of the corpus — so re-issuing after an ambiguous
+//! failure cannot double-apply anything. [`Client::pipeline_outcomes`]
+//! reports per-request results instead of failing a whole batch on the
+//! first bad frame.
 
 use crate::proto::{
     read_handshake, read_response, write_request, CorpusInfo, MineSummary, Probe, Request, Response,
 };
 use std::collections::HashMap;
 use std::io::{self, BufReader, BufWriter, Read, Write};
-use std::net::{TcpStream, ToSocketAddrs};
+use std::net::{SocketAddr, TcpStream, ToSocketAddrs};
 #[cfg(unix)]
 use std::os::unix::net::UnixStream;
+use std::path::PathBuf;
+use std::time::Duration;
+
+/// Bounded-retry policy for transport failures (connection drops,
+/// resets, timeouts — never protocol or server-side errors). Backoff
+/// for attempt `n` is `base_backoff · 2ⁿ` capped at `max_backoff`,
+/// plus up to 50% deterministic jitter so a fleet of clients whose
+/// server bounced does not reconnect in lockstep.
+#[derive(Debug, Clone, Copy)]
+pub struct RetryPolicy {
+    /// Re-issues after the first attempt (0 = fail fast).
+    pub max_retries: u32,
+    /// Backoff before the first retry.
+    pub base_backoff: Duration,
+    /// Backoff ceiling.
+    pub max_backoff: Duration,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy {
+            max_retries: 3,
+            base_backoff: Duration::from_millis(20),
+            max_backoff: Duration::from_millis(500),
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// Fail fast: no reconnects, no re-issues (the pre-hardening
+    /// behavior).
+    pub fn none() -> Self {
+        RetryPolicy {
+            max_retries: 0,
+            base_backoff: Duration::ZERO,
+            max_backoff: Duration::ZERO,
+        }
+    }
+}
+
+/// Where to reconnect after a dropped connection.
+enum Target {
+    Tcp(SocketAddr),
+    #[cfg(unix)]
+    Unix(PathBuf),
+}
+
+/// True for transport-level failures where the request may simply be
+/// re-issued on a fresh connection (all current request types are
+/// idempotent). Protocol violations (`InvalidData`) and server-side
+/// typed errors are never retried.
+fn is_retryable(e: &io::Error) -> bool {
+    matches!(
+        e.kind(),
+        io::ErrorKind::UnexpectedEof
+            | io::ErrorKind::BrokenPipe
+            | io::ErrorKind::ConnectionReset
+            | io::ErrorKind::ConnectionAborted
+            | io::ErrorKind::ConnectionRefused
+            | io::ErrorKind::NotConnected
+            | io::ErrorKind::TimedOut
+            | io::ErrorKind::WouldBlock
+    )
+}
 
 enum Stream {
     Tcp(TcpStream),
@@ -71,6 +145,12 @@ pub struct Client {
     next_id: u64,
     /// Responses that arrived before the id we were waiting on.
     stash: HashMap<u64, Response>,
+    /// Remembered connect target, for reconnects after a drop.
+    target: Target,
+    retry: RetryPolicy,
+    /// xorshift64 state for backoff jitter; seeded per-process so
+    /// clients spawned together still spread their reconnects.
+    jitter: u64,
 }
 
 impl Client {
@@ -78,26 +158,45 @@ impl Client {
     pub fn connect_tcp<A: ToSocketAddrs>(addr: A) -> io::Result<Client> {
         let stream = TcpStream::connect(addr)?;
         stream.set_nodelay(true)?;
-        Client::finish_connect(Stream::Tcp(stream))
+        let peer = stream.peer_addr()?;
+        Client::finish_connect(Stream::Tcp(stream), Target::Tcp(peer))
     }
 
     /// Connect over a Unix socket and validate the server handshake.
     #[cfg(unix)]
     pub fn connect_unix<P: AsRef<std::path::Path>>(path: P) -> io::Result<Client> {
-        Client::finish_connect(Stream::Unix(UnixStream::connect(path)?))
+        let path = path.as_ref().to_path_buf();
+        let stream = UnixStream::connect(&path)?;
+        Client::finish_connect(Stream::Unix(stream), Target::Unix(path))
     }
 
-    fn finish_connect(stream: Stream) -> io::Result<Client> {
+    fn finish_connect(stream: Stream, target: Target) -> io::Result<Client> {
         let write_half = stream.try_clone()?;
         let mut reader = BufReader::new(stream);
         let corpora = read_handshake(&mut reader)?;
+        let jitter = 0x9E37_79B9_7F4A_7C15 ^ u64::from(std::process::id());
         Ok(Client {
             reader,
             writer: BufWriter::new(write_half),
             corpora,
             next_id: 1,
             stash: HashMap::new(),
+            target,
+            retry: RetryPolicy::default(),
+            jitter,
         })
+    }
+
+    /// Replace the retry policy (builder style). Use
+    /// [`RetryPolicy::none`] to fail fast on the first transport error.
+    pub fn with_retry(mut self, policy: RetryPolicy) -> Client {
+        self.retry = policy;
+        self
+    }
+
+    /// Replace the retry policy in place.
+    pub fn set_retry(&mut self, policy: RetryPolicy) {
+        self.retry = policy;
     }
 
     /// Number of corpora the server announced at handshake.
@@ -105,8 +204,70 @@ impl Client {
         self.corpora
     }
 
-    /// Send one request and wait for its response.
+    /// Tear down the dead connection and dial the remembered target
+    /// again. Request ids keep counting up across reconnects so a
+    /// stale frame from the old connection can never alias a new call;
+    /// the stash is dropped because those responses belong to the dead
+    /// connection.
+    fn reconnect(&mut self) -> io::Result<()> {
+        let stream = match &self.target {
+            Target::Tcp(addr) => {
+                let s = TcpStream::connect(addr)?;
+                s.set_nodelay(true)?;
+                Stream::Tcp(s)
+            }
+            #[cfg(unix)]
+            Target::Unix(path) => Stream::Unix(UnixStream::connect(path)?),
+        };
+        let write_half = stream.try_clone()?;
+        let mut reader = BufReader::new(stream);
+        self.corpora = read_handshake(&mut reader)?;
+        self.reader = reader;
+        self.writer = BufWriter::new(write_half);
+        self.stash.clear();
+        Ok(())
+    }
+
+    /// Sleep `base · 2ᵃᵗᵗᵉᵐᵖᵗ` capped at `max_backoff`, plus up to 50%
+    /// jitter from a deterministic xorshift64 step.
+    fn backoff(&mut self, attempt: u32) {
+        let base = self
+            .retry
+            .base_backoff
+            .saturating_mul(1u32 << attempt.min(16));
+        let capped = base.min(self.retry.max_backoff);
+        let mut x = self.jitter;
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        self.jitter = x;
+        let jitter = capped.mul_f64((x % 100) as f64 / 200.0);
+        std::thread::sleep(capped + jitter);
+    }
+
+    /// Send one request and wait for its response, reconnecting and
+    /// re-issuing on transport failure up to the retry policy's bound.
+    /// Safe because every request type is idempotent; server-side typed
+    /// errors and protocol violations are returned immediately, never
+    /// retried.
     pub fn call(&mut self, corpus: u32, request: &Request) -> io::Result<Response> {
+        let mut attempt = 0u32;
+        loop {
+            match self.call_once(corpus, request) {
+                Err(e) if attempt < self.retry.max_retries && is_retryable(&e) => {
+                    self.backoff(attempt);
+                    attempt += 1;
+                    // A failed redial leaves the dead stream in place;
+                    // the next call_once fails fast and we land back
+                    // here until attempts run out.
+                    let _ = self.reconnect();
+                }
+                other => return other,
+            }
+        }
+    }
+
+    fn call_once(&mut self, corpus: u32, request: &Request) -> io::Result<Response> {
         let id = self.send(corpus, request)?;
         self.writer.flush()?;
         self.wait_for(id)
@@ -115,6 +276,9 @@ impl Client {
     /// Send a batch of requests back-to-back, then collect all
     /// responses, returned in request order however they arrived. Deep
     /// pipelines are what let the server's shard workers coalesce.
+    /// Fails the whole batch on the first transport error; use
+    /// [`Client::pipeline_outcomes`] to keep the answers that did
+    /// arrive.
     pub fn pipeline(&mut self, corpus: u32, requests: &[Request]) -> io::Result<Vec<Response>> {
         let ids: Vec<u64> = requests
             .iter()
@@ -122,6 +286,42 @@ impl Client {
             .collect::<io::Result<_>>()?;
         self.writer.flush()?;
         ids.into_iter().map(|id| self.wait_for(id)).collect()
+    }
+
+    /// Pipelined batch with per-request outcomes: one bad frame no
+    /// longer poisons the batch. A first pipelined pass collects what
+    /// it can; requests that failed at the transport level are then
+    /// re-issued one at a time through [`Client::call`] (which
+    /// reconnects under the retry policy). Entries are in request
+    /// order.
+    pub fn pipeline_outcomes(
+        &mut self,
+        corpus: u32,
+        requests: &[Request],
+    ) -> Vec<io::Result<Response>> {
+        let mut out: Vec<Option<io::Result<Response>>> = requests.iter().map(|_| None).collect();
+        let ids: Vec<io::Result<u64>> = requests.iter().map(|req| self.send(corpus, req)).collect();
+        let flushed = self.writer.flush();
+        if flushed.is_ok() {
+            for (slot, id) in out.iter_mut().zip(&ids) {
+                if let Ok(id) = id {
+                    *slot = Some(self.wait_for(*id));
+                }
+            }
+        }
+        for (i, slot) in out.iter_mut().enumerate() {
+            let redo = match slot {
+                None => true,
+                Some(Err(e)) => is_retryable(e),
+                Some(Ok(_)) => false,
+            };
+            if redo {
+                *slot = Some(self.call(corpus, &requests[i]));
+            }
+        }
+        out.into_iter()
+            .map(|slot| slot.expect("every slot filled"))
+            .collect()
     }
 
     fn send(&mut self, corpus: u32, request: &Request) -> io::Result<u64> {

@@ -31,8 +31,10 @@ use crate::shard::ShardMap;
 use batmap::intersect::{count_mixed_one_vs_many_into, count_mixed_with};
 use batmap::{EngineOptions, SetView, TidlistRef};
 use fim::TransactionDb;
+use hpcutil::{fault_point, lock_recover, wait_recover};
 use pairminer::{Engine, LevelwiseConfig, LevelwiseMiner, MinerConfig, Preprocessed};
 use std::collections::{BTreeMap, VecDeque};
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::mpsc::Sender;
 use std::sync::{Arc, Condvar, Mutex, OnceLock};
@@ -58,6 +60,12 @@ pub struct EngineConfig {
     /// Cap on itemsets returned by one [`Request::Mine`] (the summary
     /// notes truncation).
     pub mine_itemset_cap: usize,
+    /// Cap on jobs queued per shard. A submission that would push a
+    /// shard queue past this is **shed**: the query is not executed and
+    /// the client receives [`Response::Overloaded`] (retry after
+    /// backing off). `0` means unbounded — the pre-hardening behavior,
+    /// where a sustained overload grows the queue without limit.
+    pub max_queue_depth: usize,
 }
 
 impl Default for EngineConfig {
@@ -67,6 +75,10 @@ impl Default for EngineConfig {
             shards: 0,
             batching: true,
             mine_itemset_cap: 4096,
+            // Generous: at serving rates this only sheds when the
+            // engine is genuinely drowning, not on bursts the batching
+            // sweeps can absorb.
+            max_queue_depth: 65_536,
         }
     }
 }
@@ -199,6 +211,11 @@ struct TopKJob {
     /// Shards yet to finish; the worker that takes this to zero merges
     /// the partials and replies.
     remaining: AtomicUsize,
+    /// Set (Release) by any shard whose partial computation panicked,
+    /// before that shard's countdown decrement (AcqRel): the merging
+    /// shard is guaranteed to observe it and answer with a typed error
+    /// instead of delivering a partial — possibly wrong — top-k.
+    failed: AtomicBool,
     partials: Mutex<Vec<(u32, u64)>>,
     reply: Reply,
 }
@@ -235,6 +252,9 @@ struct Inner {
     queues: Vec<ShardQueue>,
     queue_base: Vec<usize>,
     stop: AtomicBool,
+    /// Worker panics survived: each one is a supervisor restart from
+    /// the shared corpus state (exposed for chaos-test assertions).
+    worker_restarts: AtomicUsize,
 }
 
 /// The sharded query engine. Construct with [`QueryEngine::new`], share
@@ -280,6 +300,7 @@ impl QueryEngine {
             queues,
             queue_base,
             stop: AtomicBool::new(false),
+            worker_restarts: AtomicUsize::new(0),
         });
         let mut workers = Vec::new();
         for c in 0..inner.corpora.len() {
@@ -299,6 +320,12 @@ impl QueryEngine {
     /// Number of corpora served.
     pub fn corpora(&self) -> u32 {
         self.inner.corpora.len() as u32
+    }
+
+    /// How many shard-worker panics the supervisor has absorbed (each
+    /// one restarted the worker from the shared corpus state).
+    pub fn worker_restarts(&self) -> usize {
+        self.inner.worker_restarts.load(Ordering::Relaxed)
     }
 
     /// Submit one request; the response is delivered as `(id, response)`
@@ -321,7 +348,7 @@ impl QueryEngine {
                 }
                 let sa = corp.pre.item_to_sorted[a as usize];
                 let sb = corp.pre.item_to_sorted[b as usize];
-                self.enqueue(
+                if !self.enqueue(
                     corpus as usize,
                     corp.shard_map.shard_of(sb),
                     Job::Count {
@@ -330,7 +357,9 @@ impl QueryEngine {
                         sb,
                         reply: reply.clone(),
                     },
-                );
+                ) {
+                    send(reply, id, Response::Overloaded);
+                }
             }
             Request::Member { set, element } => {
                 if set >= n {
@@ -338,7 +367,7 @@ impl QueryEngine {
                     return;
                 }
                 let s = corp.pre.item_to_sorted[set as usize];
-                self.enqueue(
+                if !self.enqueue(
                     corpus as usize,
                     corp.shard_map.shard_of(s),
                     Job::Member {
@@ -347,7 +376,9 @@ impl QueryEngine {
                         element,
                         reply: reply.clone(),
                     },
-                );
+                ) {
+                    send(reply, id, Response::Overloaded);
+                }
             }
             Request::TopK { probe, k } => {
                 let probe = match probe {
@@ -379,17 +410,28 @@ impl QueryEngine {
                     }
                 };
                 let shards = corp.shard_map.shards();
+                // A top-k job scatters to every shard and completes via
+                // an all-shards countdown, so it must be admitted whole
+                // or not at all: shed up front if any target queue is
+                // at capacity (the check is advisory — concurrent
+                // submitters can briefly over-admit, which a soft depth
+                // cap tolerates).
+                if (0..shards).any(|s| self.at_capacity(corpus as usize, s)) {
+                    send(reply, id, Response::Overloaded);
+                    return;
+                }
                 let job = Arc::new(TopKJob {
                     id,
                     corpus: corpus as usize,
                     probe,
                     k: k as usize,
                     remaining: AtomicUsize::new(shards as usize),
+                    failed: AtomicBool::new(false),
                     partials: Mutex::new(Vec::new()),
                     reply: reply.clone(),
                 });
                 for shard in 0..shards {
-                    self.enqueue(corpus as usize, shard, Job::TopK(Arc::clone(&job)));
+                    self.enqueue_unbounded(corpus as usize, shard, Job::TopK(Arc::clone(&job)));
                 }
             }
             Request::Mine { depth, minsup } => {
@@ -428,10 +470,39 @@ impl QueryEngine {
         })
     }
 
-    fn enqueue(&self, corpus: usize, shard: u32, job: Job) {
+    /// Queue one job, or refuse it (returning `false`) when the shard
+    /// queue is at [`EngineConfig::max_queue_depth`] — the caller sheds
+    /// with [`Response::Overloaded`].
+    fn enqueue(&self, corpus: usize, shard: u32, job: Job) -> bool {
         let queue = &self.inner.queues[self.inner.queue_base[corpus] + shard as usize];
-        queue.jobs.lock().unwrap().push_back(job);
+        let depth = self.inner.config.max_queue_depth;
+        {
+            let mut jobs = lock_recover(&queue.jobs);
+            if depth != 0 && jobs.len() >= depth {
+                return false;
+            }
+            jobs.push_back(job);
+        }
         queue.available.notify_one();
+        true
+    }
+
+    /// Queue one job past the depth cap (top-k scatter legs, which are
+    /// admitted or shed as a whole before this point).
+    fn enqueue_unbounded(&self, corpus: usize, shard: u32, job: Job) {
+        let queue = &self.inner.queues[self.inner.queue_base[corpus] + shard as usize];
+        lock_recover(&queue.jobs).push_back(job);
+        queue.available.notify_one();
+    }
+
+    /// True when a shard queue is at its depth cap.
+    fn at_capacity(&self, corpus: usize, shard: u32) -> bool {
+        let depth = self.inner.config.max_queue_depth;
+        if depth == 0 {
+            return false;
+        }
+        let queue = &self.inner.queues[self.inner.queue_base[corpus] + shard as usize];
+        lock_recover(&queue.jobs).len() >= depth
     }
 
     fn mine(&self, corp: &Corpus, depth: u32, minsup: u64) -> Response {
@@ -481,7 +552,7 @@ impl Drop for QueryEngine {
         for queue in &self.inner.queues {
             // Take the lock so no worker can check the flag between its
             // emptiness test and its wait.
-            let _guard = queue.jobs.lock().unwrap();
+            let _guard = lock_recover(&queue.jobs);
             queue.available.notify_all();
         }
         for worker in self.workers.drain(..) {
@@ -503,15 +574,34 @@ fn bad_set(set: u32, n: u32) -> Response {
 // ---------------------------------------------------------------------
 // Shard workers.
 
+/// The supervisor: run the worker body, and if it ever escapes with a
+/// panic — a bug in a kernel sweep, a poisoned invariant, or an
+/// injected `engine.worker.batch` fault — answer what can still be
+/// answered, count the restart, and start the body again over the same
+/// shared corpus state (which is immutable after construction, so a
+/// panicked batch cannot have damaged it).
 fn worker_loop(inner: &Inner, corpus: usize, shard: u32) {
+    loop {
+        if catch_unwind(AssertUnwindSafe(|| worker_run(inner, corpus, shard))).is_ok() {
+            return; // clean stop-flag exit
+        }
+        inner.worker_restarts.fetch_add(1, Ordering::Relaxed);
+        if inner.stop.load(Ordering::SeqCst) {
+            return;
+        }
+    }
+}
+
+fn worker_run(inner: &Inner, corpus: usize, shard: u32) {
     let queue = &inner.queues[inner.queue_base[corpus] + shard as usize];
     let corp = &inner.corpora[corpus];
     let mut batch: Vec<Job> = Vec::new();
+    let mut done: Vec<bool> = Vec::new();
     loop {
         {
-            let mut jobs = queue.jobs.lock().unwrap();
+            let mut jobs = lock_recover(&queue.jobs);
             while jobs.is_empty() && !inner.stop.load(Ordering::SeqCst) {
-                jobs = queue.available.wait(jobs).unwrap();
+                jobs = wait_recover(&queue.available, jobs);
             }
             if jobs.is_empty() {
                 return; // stop requested, queue drained
@@ -520,16 +610,48 @@ fn worker_loop(inner: &Inner, corpus: usize, shard: u32) {
             // batch below can coalesce across requests.
             batch.extend(jobs.drain(..));
         }
-        process_batch(inner, corp, shard, &mut batch);
+        // Contain panics to the batch: jobs not yet answered when the
+        // batch blew up get a typed error (and top-k countdowns their
+        // guaranteed decrement), so no client ever hangs on a panicked
+        // worker — then the worker keeps serving the next batch.
+        done.clear();
+        done.resize(batch.len(), false);
+        if catch_unwind(AssertUnwindSafe(|| {
+            process_batch(inner, corp, shard, &batch, &mut done)
+        }))
+        .is_err()
+        {
+            inner.worker_restarts.fetch_add(1, Ordering::Relaxed);
+            for (job, &answered) in batch.iter().zip(done.iter()) {
+                if answered {
+                    continue;
+                }
+                match job {
+                    Job::Count { id, reply, .. } | Job::Member { id, reply, .. } => send(
+                        reply,
+                        *id,
+                        Response::Error("internal error: shard worker panicked".into()),
+                    ),
+                    Job::TopK(job) => {
+                        job.failed.store(true, Ordering::Release);
+                        finish_topk(corp, job);
+                    }
+                }
+            }
+        }
         batch.clear();
     }
 }
 
-fn process_batch(inner: &Inner, corp: &Corpus, shard: u32, batch: &mut [Job]) {
+fn process_batch(inner: &Inner, corp: &Corpus, shard: u32, batch: &[Job], done: &mut [bool]) {
+    // Panic/delay injection for the containment machinery above; fires
+    // before any reply so a contained batch answers every job exactly
+    // once.
+    fault_point!("engine.worker.batch");
     // Membership and top-k first (cheap / already swept), then counts —
     // grouped by probe when batching is on.
-    let mut count_jobs: Vec<(u64, u32, u32, &Reply)> = Vec::new();
-    for job in batch.iter() {
+    let mut count_jobs: Vec<(usize, u64, u32, u32, &Reply)> = Vec::new();
+    for (i, job) in batch.iter().enumerate() {
         match job {
             Job::Member {
                 id,
@@ -542,55 +664,97 @@ fn process_batch(inner: &Inner, corp: &Corpus, shard: u32, batch: &mut [Job]) {
                     && (corp.pre.payload(s).contains(*element)
                         || corp.failed_by_set[s].binary_search(element).is_ok());
                 send(reply, *id, Response::Member(present));
+                done[i] = true;
             }
-            Job::TopK(job) => run_topk_shard(corp, shard, job),
-            Job::Count { id, sa, sb, reply } => count_jobs.push((*id, *sa, *sb, reply)),
+            Job::TopK(job) => {
+                // Compute the partial inside the batch's catch scope;
+                // the countdown below runs whether or not a later job
+                // panics, because `done` is only set after it.
+                let local = topk_shard_partial(corp, shard, job);
+                if !local.is_empty() {
+                    lock_recover(&job.partials).extend(local);
+                }
+                finish_topk(corp, job);
+                done[i] = true;
+            }
+            Job::Count { id, sa, sb, reply } => count_jobs.push((i, *id, *sa, *sb, reply)),
         }
     }
     if count_jobs.is_empty() {
         return;
     }
     if !inner.config.batching {
-        for (id, sa, sb, reply) in count_jobs {
+        for (i, id, sa, sb, reply) in count_jobs {
             send(
                 reply,
                 id,
                 Response::Count(corp.count_pair(sa as usize, sb as usize)),
             );
+            done[i] = true;
         }
         return;
     }
     // Coalesce: all drained counts sharing a probe become one
     // one-vs-many sweep (BTreeMap for deterministic group order).
     let mut by_probe: BTreeMap<u32, Vec<usize>> = BTreeMap::new();
-    for (i, &(_, sa, _, _)) in count_jobs.iter().enumerate() {
-        by_probe.entry(sa).or_default().push(i);
+    for (j, &(_, _, sa, _, _)) in count_jobs.iter().enumerate() {
+        by_probe.entry(sa).or_default().push(j);
     }
     let mut counts = vec![0u64; count_jobs.len()];
     for (&sa, group) in &by_probe {
         if group.len() == 1 {
-            let (_, _, sb, _) = count_jobs[group[0]];
+            let (_, _, _, sb, _) = count_jobs[group[0]];
             counts[group[0]] = corp.count_pair(sa as usize, sb as usize);
             continue;
         }
         let probe = corp.pre.payload(sa as usize);
         let candidates: Vec<SetView<'_>> = group
             .iter()
-            .map(|&i| corp.pre.payload(count_jobs[i].2 as usize))
+            .map(|&j| corp.pre.payload(count_jobs[j].3 as usize))
             .collect();
         let mut out = vec![0u64; group.len()];
         count_mixed_one_vs_many_into(&probe, &candidates, &mut out);
-        for (&i, raw) in group.iter().zip(out) {
-            let (_, _, sb, _) = count_jobs[i];
-            counts[i] = corp.corrected(raw, sa as usize, sb as usize);
+        for (&j, raw) in group.iter().zip(out) {
+            let (_, _, _, sb, _) = count_jobs[j];
+            counts[j] = corp.corrected(raw, sa as usize, sb as usize);
         }
     }
-    for ((id, _, _, reply), count) in count_jobs.into_iter().zip(counts) {
+    for ((i, id, _, _, reply), count) in count_jobs.into_iter().zip(counts) {
         send(reply, id, Response::Count(count));
+        done[i] = true;
     }
 }
 
-fn run_topk_shard(corp: &Corpus, shard: u32, job: &Arc<TopKJob>) {
+/// The terminal countdown of one shard's leg of a top-k job: exactly
+/// one call per shard per job, whatever happened to the partial
+/// computation. The shard that takes `remaining` to zero merges and
+/// replies — or, when any leg recorded a panic, answers with a typed
+/// error so the client never receives a partial top-k.
+fn finish_topk(_corp: &Corpus, job: &Arc<TopKJob>) {
+    if job.remaining.fetch_sub(1, Ordering::AcqRel) == 1 {
+        if job.failed.load(Ordering::Acquire) {
+            send(
+                &job.reply,
+                job.id,
+                Response::Error("internal error: top-k shard worker panicked".into()),
+            );
+            return;
+        }
+        // Last shard standing merges. The full sort has a total order
+        // (count descending, id ascending; ids are unique), so the
+        // result is independent of which shard got here last.
+        let mut hits = std::mem::take(&mut *lock_recover(&job.partials));
+        hits.sort_unstable_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+        hits.truncate(job.k);
+        send(&job.reply, job.id, Response::TopK(hits));
+        let _ = job.corpus; // routing metadata; kept for debuggability
+    }
+}
+
+/// One shard's top-k partial: pure compute, no countdown, no reply (so
+/// a panic in here is recoverable by the caller).
+fn topk_shard_partial(corp: &Corpus, shard: u32, job: &Arc<TopKJob>) -> Vec<(u32, u64)> {
+    fault_point!("engine.topk.shard");
     let range = corp.shard_map.range(shard);
     let mut local: Vec<(u32, u64)> = Vec::new();
     if !range.is_empty() {
@@ -648,17 +812,5 @@ fn run_topk_shard(corp: &Corpus, shard: u32, job: &Arc<TopKJob>) {
             local.push((corp.pre.order[pos as usize], count));
         }
     }
-    if !local.is_empty() {
-        job.partials.lock().unwrap().extend(local);
-    }
-    if job.remaining.fetch_sub(1, Ordering::AcqRel) == 1 {
-        // Last shard standing merges. The full sort has a total order
-        // (count descending, id ascending; ids are unique), so the
-        // result is independent of which shard got here last.
-        let mut hits = std::mem::take(&mut *job.partials.lock().unwrap());
-        hits.sort_unstable_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
-        hits.truncate(job.k);
-        send(&job.reply, job.id, Response::TopK(hits));
-        let _ = job.corpus; // routing metadata; kept for debuggability
-    }
+    local
 }

@@ -33,6 +33,15 @@
 //!    the same failed-element corrections the mining pipeline uses, so
 //!    served counts equal brute force exactly, whatever the storage
 //!    representation.
+//! 5. **Failure containment** — per-connection read/write deadlines
+//!    with idle eviction ([`server::ServerConfig`]), bounded admission
+//!    queues that shed with a typed [`Response::Overloaded`] instead of
+//!    growing without limit, shard workers whose panics are contained
+//!    (`catch_unwind`), answered with typed errors, and survived via a
+//!    supervisor restart, and a reconnecting, retrying [`Client`]. The
+//!    invariant, pinned by the chaos suite under injected faults
+//!    (`BATMAP_FAULTPOINTS`): every *delivered* answer is exact; the
+//!    server always shuts down cleanly.
 //!
 //! ```no_run
 //! use batmap_server::{EngineConfig, QueryEngine, Server};
@@ -55,10 +64,10 @@ pub mod proto;
 pub mod server;
 pub mod shard;
 
-pub use client::Client;
+pub use client::{Client, RetryPolicy};
 pub use engine::{EngineConfig, QueryEngine};
 pub use proto::{
     CorpusInfo, ItemsetEntry, LevelSummary, MineSummary, Probe, ProtoError, Request, Response,
 };
-pub use server::{Server, ServerHandle};
+pub use server::{Server, ServerConfig, ServerHandle};
 pub use shard::ShardMap;

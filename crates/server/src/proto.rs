@@ -28,7 +28,8 @@ use std::io::{self, Read, Write};
 pub const HANDSHAKE_MAGIC: [u8; 8] = *b"BMSERVE\0";
 
 /// Wire protocol version (bumped on any incompatible encoding change).
-pub const PROTOCOL_VERSION: u32 = 1;
+/// Version 2 added [`Response::Overloaded`] load shedding.
+pub const PROTOCOL_VERSION: u32 = 2;
 
 /// Hard cap on one frame's payload, request or response (16 MiB).
 pub const MAX_FRAME_BYTES: usize = 1 << 24;
@@ -102,6 +103,10 @@ pub enum Response {
     /// Acknowledges [`Request::Shutdown`]; the connection closes after
     /// this frame.
     Bye,
+    /// The server shed this request because its admission queue is
+    /// full. The query was **not** executed; it is safe (and expected)
+    /// for the client to retry after backing off.
+    Overloaded,
 }
 
 /// Summary of one levelwise mining run.
@@ -384,6 +389,7 @@ impl Response {
                 put_string(out, message);
             }
             Response::Bye => out.push(6),
+            Response::Overloaded => out.push(7),
         }
     }
 
@@ -440,6 +446,7 @@ impl Response {
             }),
             5 => Response::Error(c.string()?),
             6 => Response::Bye,
+            7 => Response::Overloaded,
             t => return Err(err(format!("unknown response tag {t}"))),
         };
         c.finish()?;
@@ -516,16 +523,37 @@ fn write_frame<W: Write>(w: &mut W, payload: &[u8]) -> io::Result<()> {
     w.write_all(payload)
 }
 
+/// True for the error kinds a socket read timeout surfaces as.
+///
+/// `read_frame`-based decoders propagate a timeout **at a frame
+/// boundary** with its original kind — the peer is merely idle, and a
+/// server with an idle-eviction policy decides what to do — but convert
+/// a timeout **inside** a frame into a fatal protocol error: a peer
+/// that stalls mid-frame is broken or hostile (slow-loris), and the
+/// partial frame can never be resumed.
+pub fn is_timeout(e: &io::Error) -> bool {
+    matches!(
+        e.kind(),
+        io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut
+    )
+}
+
 fn read_frame<R: Read>(r: &mut R) -> io::Result<Option<Vec<u8>>> {
     let mut len_bytes = [0u8; 4];
     // EOF before the first length byte is a clean close; EOF inside a
     // frame is an error.
     let mut filled = 0;
     while filled < 4 {
-        match r.read(&mut len_bytes[filled..])? {
-            0 if filled == 0 => return Ok(None),
-            0 => return Err(err("connection closed mid-frame").into()),
-            n => filled += n,
+        match r.read(&mut len_bytes[filled..]) {
+            Ok(0) if filled == 0 => return Ok(None),
+            Ok(0) => return Err(err("connection closed mid-frame").into()),
+            Ok(n) => filled += n,
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+            // Idle (boundary) timeouts keep their kind for the caller's
+            // idle-timeout policy; mid-frame stalls are fatal.
+            Err(e) if is_timeout(&e) && filled == 0 => return Err(e),
+            Err(e) if is_timeout(&e) => return Err(err("peer stalled mid-frame").into()),
+            Err(e) => return Err(e),
         }
     }
     let len = u32::from_le_bytes(len_bytes) as usize;
@@ -533,7 +561,13 @@ fn read_frame<R: Read>(r: &mut R) -> io::Result<Option<Vec<u8>>> {
         return Err(err(format!("frame of {len} bytes exceeds cap")).into());
     }
     let mut payload = vec![0u8; len];
-    r.read_exact(&mut payload)?;
+    r.read_exact(&mut payload).map_err(|e| {
+        if is_timeout(&e) {
+            err("peer stalled mid-frame").into()
+        } else {
+            e
+        }
+    })?;
     Ok(Some(payload))
 }
 
@@ -633,6 +667,7 @@ mod tests {
         }));
         roundtrip_response(Response::Error("no such set".into()));
         roundtrip_response(Response::Bye);
+        roundtrip_response(Response::Overloaded);
     }
 
     #[test]

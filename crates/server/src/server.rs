@@ -13,7 +13,8 @@
 //! one syscall each.
 
 use crate::engine::QueryEngine;
-use crate::proto::{read_request, write_handshake, write_response, Request, Response};
+use crate::proto::{is_timeout, read_request, write_handshake, write_response, Request, Response};
+use hpcutil::{fault_point, lock_recover};
 use std::collections::HashMap;
 use std::io::{self, BufReader, BufWriter, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
@@ -24,6 +25,28 @@ use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::mpsc::TryRecvError;
 use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// Per-connection robustness knobs. `Default` disables every deadline —
+/// the trusting pre-hardening behavior; production deployments should
+/// set all three.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ServerConfig {
+    /// Socket-level read deadline. Doubles as the idle-poll tick: a
+    /// timeout *between* frames counts toward [`ServerConfig::idle_timeout`]
+    /// (or is ignored when that is unset), while a timeout *inside* a
+    /// frame is fatal — a stalled (slow-loris) peer is evicted, because
+    /// a partial frame can never be resumed.
+    pub read_timeout: Option<Duration>,
+    /// Socket-level write deadline: a peer that stops draining its
+    /// receive buffer for this long gets its connection dropped instead
+    /// of blocking the writer thread forever.
+    pub write_timeout: Option<Duration>,
+    /// Evict a connection that has not delivered a complete frame for
+    /// this long. Requires `read_timeout` (the poll tick) to be set;
+    /// eviction granularity is one tick.
+    pub idle_timeout: Option<Duration>,
+}
 
 enum Listener {
     Tcp(TcpListener),
@@ -36,6 +59,7 @@ enum Listener {
 /// [`Server::serve`].
 pub struct Server {
     listener: Listener,
+    config: ServerConfig,
 }
 
 impl Server {
@@ -44,17 +68,48 @@ impl Server {
     pub fn bind_tcp<A: ToSocketAddrs>(addr: A) -> io::Result<Server> {
         Ok(Server {
             listener: Listener::Tcp(TcpListener::bind(addr)?),
+            config: ServerConfig::default(),
         })
     }
 
     /// Bind a Unix-domain socket at `path` (removed again when the
     /// server shuts down).
+    ///
+    /// A *stale* socket file — left behind by a crashed prior run, with
+    /// no listener behind it — is detected by probing it with a
+    /// connect: refused means dead, so the file is unlinked and the
+    /// bind retried. A path another process is actively listening on
+    /// still fails with `AddrInUse`.
     #[cfg(unix)]
     pub fn bind_unix<P: Into<PathBuf>>(path: P) -> io::Result<Server> {
         let path = path.into();
+        let listener = match UnixListener::bind(&path) {
+            Ok(l) => l,
+            Err(e) if e.kind() == io::ErrorKind::AddrInUse => {
+                match UnixStream::connect(&path) {
+                    // Someone answered: a live server owns this path.
+                    Ok(_) => return Err(e),
+                    // Nobody home: the socket file is a corpse from a
+                    // crashed run. Unlink and take the address.
+                    Err(probe) if probe.kind() == io::ErrorKind::ConnectionRefused => {
+                        std::fs::remove_file(&path)?;
+                        UnixListener::bind(&path)?
+                    }
+                    Err(_) => return Err(e),
+                }
+            }
+            Err(e) => return Err(e),
+        };
         Ok(Server {
-            listener: Listener::Unix(UnixListener::bind(&path)?, path),
+            listener: Listener::Unix(listener, path),
+            config: ServerConfig::default(),
         })
+    }
+
+    /// Replace the per-connection robustness knobs (consuming builder).
+    pub fn config(mut self, config: ServerConfig) -> Server {
+        self.config = config;
+        self
     }
 
     /// Start serving `engine` on the bound socket. Returns immediately;
@@ -69,12 +124,13 @@ impl Server {
             #[cfg(unix)]
             Listener::Unix(_, path) => (None, Some(path.clone())),
         };
+        let config = self.config;
         let accept = {
             let engine = Arc::clone(&engine);
             let stop = Arc::clone(&stop);
             std::thread::Builder::new()
                 .name("batmap-accept".into())
-                .spawn(move || accept_loop(self.listener, engine, stop))
+                .spawn(move || accept_loop(self.listener, config, engine, stop))
                 .expect("spawn accept thread")
         };
         ServerHandle {
@@ -175,6 +231,22 @@ impl Conn {
             Conn::Unix(s) => s.shutdown(std::net::Shutdown::Read),
         }
     }
+
+    fn set_read_timeout(&self, dur: Option<Duration>) -> io::Result<()> {
+        match self {
+            Conn::Tcp(s) => s.set_read_timeout(dur),
+            #[cfg(unix)]
+            Conn::Unix(s) => s.set_read_timeout(dur),
+        }
+    }
+
+    fn set_write_timeout(&self, dur: Option<Duration>) -> io::Result<()> {
+        match self {
+            Conn::Tcp(s) => s.set_write_timeout(dur),
+            #[cfg(unix)]
+            Conn::Unix(s) => s.set_write_timeout(dur),
+        }
+    }
 }
 
 impl io::Read for Conn {
@@ -205,7 +277,20 @@ impl io::Write for Conn {
     }
 }
 
-fn accept_loop(listener: Listener, engine: Arc<QueryEngine>, stop: Arc<AtomicBool>) {
+/// Injected connection-level failure: returns `Err` when the named
+/// fault site is armed with an error action (the caller treats it as
+/// the real I/O failure it stands in for).
+fn inject(site: &str) -> io::Result<()> {
+    fault_point!(site, |m: String| Err(io::Error::other(m)));
+    Ok(())
+}
+
+fn accept_loop(
+    listener: Listener,
+    config: ServerConfig,
+    engine: Arc<QueryEngine>,
+    stop: Arc<AtomicBool>,
+) {
     let conns: Arc<Mutex<Vec<JoinHandle<()>>>> = Arc::new(Mutex::new(Vec::new()));
     // Read-half clones of every live connection, so shutdown can wake
     // readers parked in a blocking read (an idle client would otherwise
@@ -225,10 +310,15 @@ fn accept_loop(listener: Listener, engine: Arc<QueryEngine>, stop: Arc<AtomicBoo
             break; // the poke connection (or a racing accept) lands here
         }
         let Ok(conn) = conn else { continue };
+        // An injected accept fault models the handshake dying before
+        // the connection thread exists: the socket is simply dropped.
+        if inject("server.conn.accept").is_err() {
+            continue;
+        }
         let conn_id = next_conn;
         next_conn += 1;
         if let Ok(clone) = conn.try_clone() {
-            live.lock().unwrap().insert(conn_id, clone);
+            lock_recover(&live).insert(conn_id, clone);
         }
         let engine = Arc::clone(&engine);
         let stop = Arc::clone(&stop);
@@ -236,28 +326,39 @@ fn accept_loop(listener: Listener, engine: Arc<QueryEngine>, stop: Arc<AtomicBoo
         let handle = std::thread::Builder::new()
             .name("batmap-conn".into())
             .spawn(move || {
-                let _ = serve_connection(conn, &engine, &stop);
-                live.lock().unwrap().remove(&conn_id);
+                let _ = serve_connection(conn, config, &engine, &stop);
+                lock_recover(&live).remove(&conn_id);
             })
             .expect("spawn connection thread");
-        conns.lock().unwrap().push(handle);
+        lock_recover(&conns).push(handle);
     }
     #[cfg(unix)]
     if let Listener::Unix(_, path) = &listener {
         let _ = std::fs::remove_file(path);
     }
-    for conn in live.lock().unwrap().values() {
+    for conn in lock_recover(&live).values() {
         let _ = conn.shutdown_read();
     }
-    for handle in conns.lock().unwrap().drain(..) {
+    for handle in lock_recover(&conns).drain(..) {
         let _ = handle.join();
     }
 }
 
 /// One connection: handshake, then reader-here / writer-thread until
-/// EOF, a protocol error, or a shutdown request.
-fn serve_connection(conn: Conn, engine: &Arc<QueryEngine>, stop: &AtomicBool) -> io::Result<()> {
+/// EOF, a protocol error, an idle eviction, or a shutdown request.
+fn serve_connection(
+    conn: Conn,
+    config: ServerConfig,
+    engine: &Arc<QueryEngine>,
+    stop: &AtomicBool,
+) -> io::Result<()> {
+    let _ = conn.set_read_timeout(config.read_timeout);
+    let _ = conn.set_write_timeout(config.write_timeout);
     let write_half = conn.try_clone()?;
+    // A second clone for the writer thread to close the *read* half
+    // with when writing fails: the reader would otherwise keep feeding
+    // the engine jobs whose answers have nowhere to go.
+    let reader_waker = conn.try_clone().ok();
     let mut reader = BufReader::new(conn);
     let (tx, rx) = std::sync::mpsc::channel::<(u64, Response)>();
 
@@ -266,12 +367,43 @@ fn serve_connection(conn: Conn, engine: &Arc<QueryEngine>, stop: &AtomicBool) ->
         .name("batmap-conn-writer".into())
         .spawn(move || {
             let mut w = BufWriter::new(write_half);
-            let _ = write_handshake_and_drain(&mut w, corpora, &rx);
+            if write_handshake_and_drain(&mut w, corpora, &rx).is_err() {
+                if let Some(waker) = reader_waker {
+                    let _ = waker.shutdown_read();
+                }
+            }
         })
         .expect("spawn connection writer");
 
     let result = (|| -> io::Result<()> {
-        while let Some((id, corpus, request)) = read_request(&mut reader)? {
+        let mut last_frame = Instant::now();
+        loop {
+            let frame = match read_request(&mut reader) {
+                Ok(frame) => frame,
+                // A timeout at a frame boundary is an idle tick, not an
+                // error (mid-frame stalls arrive as InvalidData and
+                // fall through to eviction below).
+                Err(e) if is_timeout(&e) => {
+                    if stop.load(Ordering::SeqCst) {
+                        return Ok(());
+                    }
+                    match config.idle_timeout {
+                        Some(limit) if last_frame.elapsed() >= limit => {
+                            return Err(io::Error::new(
+                                io::ErrorKind::TimedOut,
+                                "idle connection evicted",
+                            ));
+                        }
+                        _ => continue,
+                    }
+                }
+                Err(e) => return Err(e),
+            };
+            inject("server.conn.read")?;
+            let Some((id, corpus, request)) = frame else {
+                return Ok(()); // clean EOF
+            };
+            last_frame = Instant::now();
             let is_shutdown = matches!(request, Request::Shutdown);
             engine.submit(corpus, id, request, &tx);
             if is_shutdown {
@@ -320,6 +452,7 @@ fn write_handshake_and_drain(
     write_handshake(w, corpora)?;
     w.flush()?;
     while let Ok((id, response)) = rx.recv() {
+        inject("server.conn.write")?;
         write_response(w, id, &response)?;
         loop {
             match rx.try_recv() {

@@ -1,0 +1,380 @@
+//! Chaos suite: the serving stack under injected faults.
+//!
+//! Every test here arms named fault points (`batmap::fault`) and then
+//! asserts the hardening invariants the server promises:
+//!
+//! - every **delivered** answer is byte-identical to an unfaulted
+//!   replay — faults may shed or error queries, never corrupt them;
+//! - worker panics are contained, answered with typed errors, and the
+//!   worker is restarted by its supervisor;
+//! - overload sheds with a typed [`Response::Overloaded`], not by
+//!   queueing without bound;
+//! - the server always shuts down cleanly;
+//! - a crash mid-snapshot-write leaves the previous snapshot loadable.
+//!
+//! The fault registry is process-global, so every test serializes on
+//! one gate mutex and disarms on both entry and exit (panic included).
+
+use batmap::{EngineOptions, Parallelism, ReprPolicy};
+use batmap_server::proto::encode_response;
+use batmap_server::{
+    Client, EngineConfig, Probe, QueryEngine, Request, Response, RetryPolicy, Server,
+};
+use fim::{TransactionDb, VerticalDb};
+use pairminer::{preprocess_with, Preprocessed};
+use proptest::collection::vec;
+use proptest::prelude::*;
+use std::sync::Mutex;
+
+/// Global gate: fault points are process-wide state, so chaos tests
+/// must not overlap. The guard disarms everything on entry and again
+/// on drop so a panicking test cannot leak an armed fault into the
+/// next one.
+static GATE: Mutex<()> = Mutex::new(());
+
+struct FaultGuard<'a> {
+    _lock: std::sync::MutexGuard<'a, ()>,
+}
+
+fn guarded() -> FaultGuard<'static> {
+    let lock = GATE.lock().unwrap_or_else(|p| p.into_inner());
+    batmap::fault::disarm_all();
+    FaultGuard { _lock: lock }
+}
+
+impl Drop for FaultGuard<'_> {
+    fn drop(&mut self) {
+        batmap::fault::disarm_all();
+    }
+}
+
+fn db() -> TransactionDb {
+    TransactionDb::new(
+        20,
+        (0..240usize)
+            .map(|t| (0..20u32).filter(|&i| (t as u32 + i * 5) % 7 < 2).collect())
+            .collect(),
+    )
+}
+
+fn corpus(d: &TransactionDb) -> Preprocessed {
+    let v = VerticalDb::from_horizontal(d);
+    preprocess_with(&v, 7, 128, EngineOptions::auto().repr(ReprPolicy::Hybrid))
+}
+
+fn engine_with(pre: &Preprocessed, shards: usize, max_queue_depth: usize) -> QueryEngine {
+    QueryEngine::new(
+        vec![pre.clone()],
+        EngineConfig {
+            options: EngineOptions::auto().threads(Parallelism::Serial),
+            shards,
+            max_queue_depth,
+            ..EngineConfig::default()
+        },
+    )
+}
+
+/// `true` for the typed degraded-mode responses a faulted server may
+/// legitimately deliver instead of an answer.
+fn is_degraded(response: &Response) -> bool {
+    matches!(response, Response::Error(_) | Response::Overloaded)
+}
+
+/// The spec grammar round-trips through the registry (the env-arming
+/// path itself is pinned in `tests/faultpoints_env.rs`, in its own
+/// binary — this suite disarms the global registry at will).
+#[test]
+fn spec_arms_and_disarms_fault_points() {
+    let _guard = guarded();
+    batmap::fault::arm_from_spec("chaos.env.probe=error(manual)x1").unwrap();
+    assert!(batmap::fault::armed_sites()
+        .iter()
+        .any(|s| s == "chaos.env.probe"));
+    batmap::fault::disarm("chaos.env.probe");
+    assert!(batmap::fault::armed_sites().is_empty());
+}
+
+/// A worker panic mid-batch is contained: the in-flight query gets a
+/// typed error (never a hang, never a torn reply), the supervisor
+/// restarts the worker, and the next query on the same shard succeeds.
+#[test]
+fn worker_panic_is_answered_and_worker_restarts() {
+    let _guard = guarded();
+    let d = db();
+    let pre = corpus(&d);
+    let engine = engine_with(&pre, 1, 0);
+    let clean = engine_with(&pre, 1, 0);
+    let want = clean.query(0, Request::Count { a: 1, b: 2 });
+
+    batmap::fault::arm("engine.worker.batch", "panic(injected worker crash)x1").unwrap();
+    match engine.query(0, Request::Count { a: 1, b: 2 }) {
+        Response::Error(message) => assert!(
+            message.contains("panic"),
+            "typed error should say the worker panicked: {message}"
+        ),
+        other => panic!("expected a typed error from the panicked worker, got {other:?}"),
+    }
+    assert!(
+        engine.worker_restarts() >= 1,
+        "supervisor must restart the worker"
+    );
+
+    // The restarted worker answers correctly.
+    let after = engine.query(0, Request::Count { a: 1, b: 2 });
+    assert_eq!(encode_response(0, &after), encode_response(0, &want));
+}
+
+/// A panic inside one top-k shard must never deliver a partial merge:
+/// the query errors whole, then succeeds once the fault is spent.
+#[test]
+fn topk_shard_panic_never_delivers_partial_results() {
+    let _guard = guarded();
+    let d = db();
+    let pre = corpus(&d);
+    let engine = engine_with(&pre, 2, 0);
+    let clean = engine_with(&pre, 2, 0);
+    let request = Request::TopK {
+        probe: Probe::Set(3),
+        k: 4,
+    };
+    let want = clean.query(0, request.clone());
+
+    batmap::fault::arm("engine.topk.shard", "panic(injected shard crash)x1").unwrap();
+    match engine.query(0, request.clone()) {
+        Response::Error(_) => {}
+        other => panic!("a faulted top-k must error whole, got {other:?}"),
+    }
+    let after = engine.query(0, request);
+    assert_eq!(encode_response(0, &after), encode_response(0, &want));
+}
+
+/// With a queue cap of 1 and a deliberately slowed worker, a deep
+/// pipeline must shed with `Response::Overloaded` — and everything that
+/// *was* delivered must still replay byte-identically.
+#[test]
+fn overload_sheds_typed_and_delivered_answers_stay_exact() {
+    let _guard = guarded();
+    let d = db();
+    let pre = corpus(&d);
+    let engine = engine_with(&pre, 1, 1);
+    let clean = engine_with(&pre, 1, 0);
+
+    batmap::fault::arm("engine.worker.batch", "delay(25)").unwrap();
+    let handle = Server::bind_tcp("127.0.0.1:0").unwrap().serve(engine);
+    let addr = handle.tcp_addr().unwrap();
+
+    let requests: Vec<Request> = (0..64u32)
+        .map(|i| Request::Count {
+            a: i % 20,
+            b: (i + 3) % 20,
+        })
+        .collect();
+    let mut client = Client::connect_tcp(addr)
+        .unwrap()
+        .with_retry(RetryPolicy::none());
+    let outcomes = client.pipeline_outcomes(0, &requests);
+    // The replay engine lives in this same process and would hit the
+    // global fault points too — disarm before computing oracles.
+    batmap::fault::disarm_all();
+
+    let mut shed = 0usize;
+    for (i, outcome) in outcomes.iter().enumerate() {
+        match outcome {
+            Ok(Response::Overloaded) => shed += 1,
+            Ok(response) => {
+                let want = clean.query(0, requests[i].clone());
+                assert_eq!(
+                    encode_response(i as u64, response),
+                    encode_response(i as u64, &want),
+                    "delivered answer {i} must be exact under overload"
+                );
+            }
+            Err(e) => panic!("no transport failure was injected: {e}"),
+        }
+    }
+    assert!(shed > 0, "queue cap 1 under a slowed worker must shed");
+
+    client.shutdown().unwrap();
+    handle.join();
+}
+
+/// A crash at any point of the snapshot write path — header, payload,
+/// side tables, or the final rename — leaves the previously persisted
+/// snapshot fully loadable and leaves no temp droppings behind.
+#[test]
+fn mid_write_crash_leaves_previous_snapshot_loadable() {
+    let _guard = guarded();
+    let d = db();
+    let pre = corpus(&d);
+    let dir = std::env::temp_dir().join(format!("batmap-chaos-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("corpus.batmap");
+
+    pre.write_snapshot_file(&path).unwrap();
+    let golden = std::fs::read(&path).unwrap();
+
+    for site in [
+        "snapshot.write.header",
+        "snapshot.write.payload",
+        "snapshot.write.sidetables",
+        "snapshot.write.rename",
+    ] {
+        batmap::fault::arm(site, &format!("error(crash at {site})x1")).unwrap();
+        let err = pre.write_snapshot_file(&path);
+        assert!(err.is_err(), "{site} fault must fail the write");
+        assert_eq!(
+            std::fs::read(&path).unwrap(),
+            golden,
+            "{site}: previous snapshot bytes must be untouched"
+        );
+        let reloaded = Preprocessed::read_snapshot_file(&path).unwrap();
+        let mut bytes = Vec::new();
+        reloaded.write_snapshot(&mut bytes).unwrap();
+        assert_eq!(bytes, golden, "{site}: previous snapshot must round-trip");
+        let leftovers: Vec<_> = std::fs::read_dir(&dir)
+            .unwrap()
+            .filter_map(|e| e.ok())
+            .filter(|e| e.file_name().to_string_lossy().contains(".tmp."))
+            .collect();
+        assert!(
+            leftovers.is_empty(),
+            "{site}: temp files must be cleaned up"
+        );
+    }
+    batmap::fault::disarm_all();
+
+    // With faults spent the write goes through atomically.
+    pre.write_snapshot_file(&path).unwrap();
+    Preprocessed::read_snapshot_file(&path).unwrap();
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// The fault menu for the chaos property: connection reads and writes
+/// failing intermittently, workers and top-k shards panicking. Every
+/// action is `x`-capped so the system can always make progress once
+/// the budget is spent.
+fn fault_menu(pick: u8, every: u8, limit: u8) -> (&'static str, String) {
+    let every = 2 + (every % 5) as usize;
+    let limit = 1 + (limit % 3) as usize;
+    match pick % 4 {
+        0 => (
+            "server.conn.read",
+            format!("error(chaos read)@{every}x{limit}"),
+        ),
+        1 => (
+            "server.conn.write",
+            format!("error(chaos write)@{every}x{limit}"),
+        ),
+        2 => (
+            "engine.worker.batch",
+            format!("panic(chaos batch)@{every}x{limit}"),
+        ),
+        _ => (
+            "engine.topk.shard",
+            format!("panic(chaos shard)@{every}x{limit}"),
+        ),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(5))]
+
+    /// Concurrent retrying clients against a server with a random
+    /// fault mix: connections drop, workers panic, frames stall. The
+    /// pinned invariant — every answer that *is* delivered equals the
+    /// unfaulted replay byte-for-byte, and the server shuts down
+    /// cleanly afterwards.
+    #[test]
+    fn chaos_delivered_answers_are_exact(
+        ops in vec((0u8..4, any::<u32>(), any::<u32>()), 8..24),
+        faults in vec((any::<u8>(), any::<u8>(), any::<u8>()), 1..4),
+        shards in 1usize..3,
+    ) {
+        let _guard = guarded();
+        let d = db();
+        let pre = corpus(&d);
+        let requests: Vec<Request> = ops
+            .iter()
+            .map(|&(op, x, y)| match op % 4 {
+                0 => Request::Count { a: x % 20, b: y % 20 },
+                1 => Request::Member { set: x % 20, element: y % 240 },
+                2 => Request::TopK { probe: Probe::Set(x % 20), k: 1 + y % 4 },
+                _ => Request::Info,
+            })
+            .collect();
+
+        let engine = engine_with(&pre, shards, 0);
+        let clean = engine_with(&pre, shards, 0);
+        let handle = Server::bind_tcp("127.0.0.1:0").unwrap().serve(engine);
+        let addr = handle.tcp_addr().unwrap();
+
+        for &(pick, every, limit) in &faults {
+            let (site, spec) = fault_menu(pick, every, limit);
+            batmap::fault::arm(site, &spec).unwrap();
+        }
+
+        const CLIENTS: usize = 3;
+        let mut by_client: Vec<Vec<(usize, Request)>> =
+            (0..CLIENTS).map(|_| Vec::new()).collect();
+        for (j, request) in requests.iter().enumerate() {
+            by_client[j % CLIENTS].push((j, request.clone()));
+        }
+        let mut delivered: Vec<Option<Response>> = vec![None; requests.len()];
+        std::thread::scope(|scope| {
+            let answers: Vec<_> = by_client
+                .iter()
+                .map(|slice| {
+                    scope.spawn(move || {
+                        let retry = RetryPolicy {
+                            max_retries: 6,
+                            base_backoff: std::time::Duration::from_millis(2),
+                            max_backoff: std::time::Duration::from_millis(20),
+                        };
+                        let mut client = match Client::connect_tcp(addr) {
+                            Ok(c) => c.with_retry(retry),
+                            // The read fault can kill the handshake;
+                            // that client simply delivers nothing.
+                            Err(_) => return Vec::new(),
+                        };
+                        let reqs: Vec<Request> =
+                            slice.iter().map(|(_, r)| r.clone()).collect();
+                        client.pipeline_outcomes(0, &reqs)
+                    })
+                })
+                .collect();
+            for (slice, thread) in by_client.iter().zip(answers) {
+                for ((j, _), outcome) in slice.iter().zip(thread.join().unwrap()) {
+                    if let Ok(response) = outcome {
+                        delivered[*j] = Some(response);
+                    }
+                }
+            }
+        });
+
+        // The clean engine shares this process's global fault registry;
+        // chaos is over, so disarm before computing replay oracles.
+        batmap::fault::disarm_all();
+
+        // Exactness of everything delivered: typed degraded responses
+        // are legitimate under chaos, real answers must be bit-exact.
+        for (j, slot) in delivered.iter().enumerate() {
+            let Some(response) = slot else { continue };
+            if is_degraded(response) {
+                continue;
+            }
+            let want = clean.query(0, requests[j].clone());
+            prop_assert_eq!(
+                encode_response(j as u64, response),
+                encode_response(j as u64, &want),
+                "chaos-delivered answer {} ({:?}) must equal the clean replay",
+                j,
+                &requests[j]
+            );
+        }
+
+        // Clean shutdown is non-negotiable, whatever was injected.
+        let mut closer = Client::connect_tcp(addr).unwrap();
+        closer.shutdown().unwrap();
+        handle.join();
+    }
+}

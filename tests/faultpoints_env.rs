@@ -1,0 +1,35 @@
+//! Pin for the `BATMAP_FAULTPOINTS` plumbing: arming happens once, as
+//! a side effect of engine-options resolution, reading the environment
+//! through `batmap::options` (the single `BATMAP_*` reader). This
+//! lives in its own test binary because the fault registry is
+//! process-global and the chaos suite's tests disarm it at will — here
+//! nothing else can have consumed the env-armed sites first.
+//!
+//! The CI chaos job runs with
+//! `BATMAP_FAULTPOINTS=chaos.env.probe=error(armed-from-env)x1`, which
+//! makes this test assert the full env path; without the variable it
+//! asserts the default remains completely disarmed.
+
+use batmap::EngineOptions;
+
+#[test]
+fn resolving_options_arms_faultpoints_from_env() {
+    let _ = EngineOptions::auto().resolve();
+    let armed = batmap::fault::armed_sites();
+    match batmap::options::faultpoints_env() {
+        Some(spec) => {
+            // Every site named in the spec must have been armed.
+            for clause in spec.split(';').filter(|c| !c.trim().is_empty()) {
+                let site = clause.split('=').next().unwrap().trim();
+                assert!(
+                    armed.iter().any(|s| s == site),
+                    "BATMAP_FAULTPOINTS names `{site}` but it is not armed (armed: {armed:?})"
+                );
+            }
+        }
+        None => assert!(
+            armed.is_empty(),
+            "no BATMAP_FAULTPOINTS set, yet sites are armed: {armed:?}"
+        ),
+    }
+}

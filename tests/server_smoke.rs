@@ -228,3 +228,73 @@ fn handle_drop_shuts_the_server_down() {
     drop(handle); // Drop impl = shutdown + join; must not hang.
     assert!(Client::connect_tcp(addr).is_err());
 }
+
+#[cfg(unix)]
+#[test]
+fn stale_unix_socket_file_is_detected_and_rebound() {
+    // A crashed server leaves its socket file behind; rebinding must
+    // probe it, find nobody home, unlink, and serve — while a *live*
+    // listener on the same path must still be refused.
+    let d = db();
+    let path = std::env::temp_dir().join(format!("batmap-stale-test-{}.sock", std::process::id()));
+    let _ = std::fs::remove_file(&path);
+
+    // Fabricate the crash: bind a listener, then drop it without
+    // unlinking (std never removes the file on drop).
+    let dead = std::os::unix::net::UnixListener::bind(&path).unwrap();
+    drop(dead);
+    assert!(path.exists(), "fixture: the stale socket file must remain");
+
+    let engine = QueryEngine::new(vec![corpus(&d, 128)], EngineConfig::default());
+    let handle = Server::bind_unix(&path)
+        .expect("stale socket must be unlinked and rebound")
+        .serve(engine);
+
+    // While this server is alive, the path is genuinely in use.
+    match Server::bind_unix(&path) {
+        Err(e) => assert_eq!(e.kind(), std::io::ErrorKind::AddrInUse, "{e}"),
+        Ok(_) => panic!("a live listener must not be evicted"),
+    }
+
+    let mut client = Client::connect_unix(&path).unwrap();
+    let v = VerticalDb::from_horizontal(&d);
+    assert_eq!(client.count(0, 2, 5).unwrap(), oracle_count(&v, 2, 5));
+    client.shutdown().unwrap();
+    handle.join();
+    assert!(!path.exists());
+}
+
+#[test]
+fn idle_connections_are_evicted_on_deadline() {
+    // With an idle deadline configured, a connection that goes quiet is
+    // evicted; a fresh connection still serves.
+    use std::time::Duration;
+    let d = db();
+    let engine = QueryEngine::new(vec![corpus(&d, 128)], EngineConfig::default());
+    let config = batmap_server::ServerConfig {
+        read_timeout: Some(Duration::from_millis(20)),
+        write_timeout: Some(Duration::from_secs(5)),
+        idle_timeout: Some(Duration::from_millis(80)),
+    };
+    let handle = Server::bind_tcp("127.0.0.1:0")
+        .unwrap()
+        .config(config)
+        .serve(engine);
+    let addr = handle.tcp_addr().unwrap();
+
+    let mut lazy = Client::connect_tcp(addr)
+        .unwrap()
+        .with_retry(batmap_server::RetryPolicy::none());
+    let v = VerticalDb::from_horizontal(&d);
+    assert_eq!(lazy.count(0, 1, 2).unwrap(), oracle_count(&v, 1, 2));
+    std::thread::sleep(Duration::from_millis(400));
+    assert!(
+        lazy.count(0, 1, 2).is_err(),
+        "a connection idle past the deadline must have been evicted"
+    );
+
+    let mut fresh = Client::connect_tcp(addr).unwrap();
+    assert_eq!(fresh.count(0, 1, 2).unwrap(), oracle_count(&v, 1, 2));
+    fresh.shutdown().unwrap();
+    handle.join();
+}

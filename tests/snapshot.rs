@@ -139,6 +139,110 @@ fn mine_levelwise_is_identical_fresh_and_snapshot_loaded() {
     assert!(served.pair_report.is_some());
 }
 
+/// A snapshot fixture small enough to probe byte-by-byte.
+fn tiny_snapshot_bytes() -> Vec<u8> {
+    let d = TransactionDb::new(
+        10,
+        (0..60usize)
+            .map(|t| (0..10u32).filter(|&i| (t as u32 + i * 3) % 5 < 2).collect())
+            .collect(),
+    );
+    let vertical = VerticalDb::from_horizontal(&d);
+    let pre = preprocess_with(
+        &vertical,
+        3,
+        128,
+        batmap::EngineOptions::auto().repr(ReprPolicy::Hybrid),
+    );
+    let mut buf = Vec::new();
+    pre.write_snapshot(&mut buf).unwrap();
+    buf
+}
+
+/// A write torn at *any* byte — mid-magic, mid-header, mid-directory,
+/// mid-payload, mid-side-tables — must come back as the torn-write
+/// variant of the taxonomy ([`batmap::SnapshotError::is_torn`]), never
+/// a panic, never a silent success, and never be misread as bit-rot.
+#[test]
+fn truncation_at_every_byte_reads_as_torn() {
+    let bytes = tiny_snapshot_bytes();
+    for cut in 0..bytes.len() {
+        match Preprocessed::read_snapshot(&mut &bytes[..cut]) {
+            Ok(_) => panic!("truncation at byte {cut}/{} parsed", bytes.len()),
+            Err(e) => assert!(
+                e.is_torn(),
+                "truncation at byte {cut}/{} must read as torn, got: {e}",
+                bytes.len()
+            ),
+        }
+    }
+    // And the untouched bytes still load, so the loop above proved
+    // something about truncation, not about a broken fixture.
+    Preprocessed::read_snapshot(&mut bytes.as_slice()).unwrap();
+}
+
+/// Bit-rot: flipping the low bit of any single byte must fail the
+/// read with a typed error. Checksummed sections must report
+/// `Corrupted`; the magic/version envelope must report a format
+/// error; nothing may parse successfully.
+#[test]
+fn single_bit_corruption_never_parses() {
+    let bytes = tiny_snapshot_bytes();
+    let mut saw_corrupted = false;
+    let mut saw_format = false;
+    for i in 0..bytes.len() {
+        let mut rotten = bytes.clone();
+        rotten[i] ^= 1;
+        match Preprocessed::read_snapshot(&mut rotten.as_slice()) {
+            Ok(_) => panic!("bit flip at byte {i} parsed successfully"),
+            Err(batmap::SnapshotError::Corrupted(_)) => saw_corrupted = true,
+            Err(batmap::SnapshotError::Format(_)) => saw_format = true,
+            // Length-field flips legitimately look like truncation;
+            // Io cannot happen from an in-memory slice.
+            Err(_) => {}
+        }
+    }
+    assert!(saw_corrupted, "checksums must catch payload bit-rot");
+    assert!(saw_format, "the magic/version envelope must be validated");
+}
+
+/// The atomic write path: a failure while filling the temp file must
+/// leave a previously persisted snapshot byte-identical and loadable,
+/// and must not litter the directory with temp files.
+#[test]
+fn failed_atomic_write_preserves_previous_snapshot() {
+    let dir = std::env::temp_dir().join(format!("batmap-snaptest-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("pinned.batmap");
+    let golden = tiny_snapshot_bytes();
+    batmap::arena::atomic_write(&path, |w| {
+        use std::io::Write;
+        w.write_all(&golden)
+    })
+    .unwrap();
+
+    // Fill halfway, then die.
+    let result = batmap::arena::atomic_write(&path, |w| {
+        use std::io::Write;
+        w.write_all(&golden[..golden.len() / 2])?;
+        Err(std::io::Error::other("simulated crash mid-write"))
+    });
+    assert!(result.is_err());
+    assert_eq!(
+        std::fs::read(&path).unwrap(),
+        golden,
+        "old snapshot must be byte-identical after a failed overwrite"
+    );
+    Preprocessed::read_snapshot(&mut std::fs::read(&path).unwrap().as_slice()).unwrap();
+    let leftovers = std::fs::read_dir(&dir)
+        .unwrap()
+        .filter_map(|e| e.ok())
+        .filter(|e| e.file_name().to_string_lossy().contains(".tmp."))
+        .count();
+    assert_eq!(leftovers, 0, "failed writes must clean up their temp file");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
 #[test]
 fn mine_preprocessed_rejects_mismatched_database() {
     let d = db();
