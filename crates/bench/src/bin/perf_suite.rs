@@ -1043,6 +1043,181 @@ fn assert_disarmed_faultpoint_overhead(serve_qps: &PerfReport) {
     );
 }
 
+/// The incremental-ingestion scenario: stream timestamped transactions
+/// into a [`pairminer::LayeredCorpus`] — delta applies plus periodic
+/// compaction — and compare the per-transaction cost against the naive
+/// alternative the delta layer exists to kill: rebuilding the whole
+/// corpus from scratch after every arrival. The naive cost is sampled
+/// at corpus sizes spread across the stream (it grows with the corpus,
+/// so a mean over spread sizes is the honest per-event estimate). Gates
+/// on delta-path memberships/s and asserts the ≥10x architectural win
+/// inline. Pins the hybrid policy, so the scenario is independent of
+/// `BATMAP_REPR`.
+fn ingest_throughput_scenario(args: &Args) -> PerfReport {
+    use datagen::stream::StreamSpec;
+    use fim::TransactionDb;
+    use pairminer::LayeredCorpus;
+
+    let (n_items, events, naive_samples, compact_every) = if args.quick {
+        (300u32, 600usize, 12usize, 150usize)
+    } else {
+        (600, 2_000, 20, 500)
+    };
+    let spec = StreamSpec {
+        n_items,
+        events,
+        avg_len: 8,
+        alpha: 1.0,
+        gap_ms: 0,
+        seed: args.seed,
+    };
+    let stream = spec.generate();
+    let options = args.options.repr(ReprPolicy::Hybrid);
+
+    // Delta path: every event lands in its own free slot; deltas fold
+    // into a fresh base arena every `compact_every` arrivals (plus a
+    // final fold), so the measured wall includes the full compaction
+    // amortization story.
+    let empty = TransactionDb::new(n_items, vec![Vec::new(); events]);
+    let mut corpus = LayeredCorpus::new(&empty, args.seed, 128, options);
+    let t0 = std::time::Instant::now();
+    let mut memberships = 0u64;
+    for (i, event) in stream.iter().enumerate() {
+        memberships += corpus
+            .insert_txn(i as u32, &event.items)
+            .expect("stream slots are free");
+        if (i + 1) % compact_every == 0 {
+            corpus.compact().expect("unfaulted compaction");
+        }
+    }
+    corpus.compact().expect("final compaction");
+    let delta_wall = t0.elapsed().as_secs_f64();
+    let per_event_delta = delta_wall / events as f64;
+
+    // Naive rebuild-per-transaction baseline, sampled at sizes spread
+    // over the stream: one from-scratch preprocess at each sampled
+    // prefix length stands in for the rebuild that policy would do on
+    // that arrival.
+    let mut naive_wall_sampled = 0.0f64;
+    for k in 1..=naive_samples {
+        let size = k * events / naive_samples;
+        let txns: Vec<Vec<u32>> = stream[..size].iter().map(|e| e.items.clone()).collect();
+        let db = TransactionDb::new(n_items, txns);
+        let v = VerticalDb::from_horizontal(&db);
+        let t = std::time::Instant::now();
+        std::hint::black_box(preprocess_with(&v, args.seed, 128, options));
+        naive_wall_sampled += t.elapsed().as_secs_f64();
+    }
+    let per_event_naive = naive_wall_sampled / naive_samples as f64;
+    let speedup = per_event_naive / per_event_delta;
+    println!(
+        "ingest_throughput: {events} events, {memberships} memberships in {delta_wall:.3}s \
+         ({:.1} µs/event) vs naive rebuild {:.1} µs/event — {speedup:.1}x",
+        per_event_delta * 1e6,
+        per_event_naive * 1e6,
+    );
+    assert!(
+        speedup >= 10.0,
+        "delta ingestion must sustain ≥10x the naive rebuild-per-transaction \
+         baseline, got {speedup:.1}x"
+    );
+
+    let total_items: usize = stream.iter().map(|e| e.items.len()).sum();
+    PerfReport::new(
+        "ingest_throughput",
+        args.options.kernel.resolve().name(),
+        "delta-ingest",
+        1,
+        delta_wall,
+        memberships,
+        DatasetParams {
+            n_items,
+            total_items,
+            density: total_items as f64 / (n_items as f64 * events as f64),
+            seed: args.seed,
+            k: 0,
+        },
+    )
+}
+
+/// The windowed-mining scenario: a sliding window over the last `W`
+/// stream transactions, re-mined to depth 3 every `W` arrivals — the
+/// "live dashboards over a moving corpus" loop the write path exists
+/// for. The wall includes the pushes, the expiries, the pre-mine
+/// compactions, and the levelwise reports; `work_units` is events
+/// pushed, so the gated metric is end-to-end stream throughput. Pins
+/// the hybrid policy and the CPU engine (GPU-sim requires an all-batmap
+/// corpus), so the scenario is independent of `BATMAP_REPR`.
+fn mine_windowed_scenario(args: &Args) -> PerfReport {
+    use datagen::stream::StreamSpec;
+    use pairminer::WindowedMiner;
+
+    let (n_items, events, window) = if args.quick {
+        (200u32, 400usize, 128usize)
+    } else {
+        (400, 1_200, 256)
+    };
+    let spec = StreamSpec {
+        n_items,
+        events,
+        avg_len: 10,
+        alpha: 1.0,
+        gap_ms: 0,
+        seed: args.seed,
+    };
+    let stream = spec.generate();
+    let options = args.options.repr(ReprPolicy::Hybrid);
+    let config = LevelwiseConfig {
+        depth: 3,
+        pair: MinerConfig {
+            engine: Engine::Cpu,
+            options,
+            ..Default::default()
+        },
+        ..Default::default()
+    };
+
+    let mut miner = WindowedMiner::new(n_items, window, window, args.seed, 128, options);
+    let t0 = std::time::Instant::now();
+    let mut reports_run = 0u64;
+    let mut frequent = 0u64;
+    for (i, event) in stream.iter().enumerate() {
+        miner.push(&event.items).expect("windowed push");
+        if (i + 1) % window == 0 {
+            let report = miner.report(config.clone()).expect("windowed mine");
+            reports_run += 1;
+            frequent += report.itemsets.len() as u64;
+        }
+    }
+    let wall = t0.elapsed().as_secs_f64();
+    assert!(
+        reports_run >= 2,
+        "the stream must be long enough for several window reports"
+    );
+    assert!(frequent > 0, "windowed mining must find frequent itemsets");
+    println!(
+        "mine_windowed: {events} events through a {window}-txn window in {wall:.3}s \
+         ({reports_run} reports, {frequent} frequent itemsets)"
+    );
+
+    let total_items: usize = stream.iter().map(|e| e.items.len()).sum();
+    PerfReport::new(
+        "mine_windowed",
+        args.options.kernel.resolve().name(),
+        "cpu-windowed",
+        1,
+        wall,
+        events as u64,
+        DatasetParams {
+            n_items,
+            total_items,
+            density: total_items as f64 / (n_items as f64 * events as f64),
+            seed: args.seed,
+            k: 0,
+        },
+    )
+}
+
 fn main() {
     let args = parse_args();
     let (mut reports, mut skipped) = intersect_scenarios(&args);
@@ -1056,6 +1231,8 @@ fn main() {
     assert_disarmed_faultpoint_overhead(&serve_qps);
     reports.push(serve_qps);
     reports.push(serve_degraded_scenario(&args));
+    reports.push(ingest_throughput_scenario(&args));
+    reports.push(mine_windowed_scenario(&args));
     let kernel_pinned = args.options.kernel != KernelBackend::Auto
         || KernelBackend::Auto.resolve() != KernelBackend::widest_available();
     if kernel_pinned {
@@ -1081,6 +1258,8 @@ fn main() {
             "mine_hybrid_zipf",
             "serve_qps",
             "serve_degraded",
+            "ingest_throughput",
+            "mine_windowed",
         ] {
             skipped.push((scenario.to_string(), reason.clone()));
         }

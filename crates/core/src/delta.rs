@@ -1,0 +1,537 @@
+//! Mutable delta sets layered over an immutable corpus.
+//!
+//! The paper's corpora are built once ([`crate::arena::BatmapArena`])
+//! and never change; a serving system needs a write path. This module
+//! provides the storage half of that path: a [`DeltaSet`] records the
+//! *difference* between a set's live contents and its immutable base
+//! payload — elements added since the snapshot and base elements
+//! removed since the snapshot — and a [`DeltaRegion`] holds one
+//! optional delta per corpus position, allocated lazily so an untouched
+//! corpus costs one pointer per set.
+//!
+//! The add store starts as a sorted tidlist buffer and **promotes to an
+//! owned [`Batmap`]** (via [`Batmap::insert_mut`], the in-place cuckoo
+//! path of [`crate::update`]) once the set crosses the hybrid
+//! representation threshold — the same density economics
+//! [`ReprPolicy::Hybrid`] applies to the base corpus, applied to the
+//! mutable overlay. Once promoted a delta stays a batmap (demotion
+//! would churn on a workload oscillating around the threshold).
+//!
+//! ## Invariants
+//!
+//! For a base set `B` (stored payload ∪ failed insertions) with delta
+//! adds `D` and removes `R`, the caller maintains:
+//!
+//! * `D ∩ B = ∅` — an add is always a genuinely new element;
+//! * `R ⊆ B` — a remove always names a base element
+//!
+//! (re-adding a removed base element *shrinks `R`* instead of growing
+//! `D`, and removing a delta add shrinks `D` instead of growing `R` —
+//! [`DeltaRegion::apply_add`] / [`DeltaRegion::apply_remove`] encode
+//! exactly this). The live set is then `M = (B \ R) ∪ D`, with
+//! `|M| = |B| − |R| + |D|` and membership decided by one delta probe
+//! before falling back to the base.
+//!
+//! ## Exact layered pair counts
+//!
+//! [`layered_pair_count`] turns a *base×base* intersection count `raw =
+//! |B_a ∩ B_b|` — produced by the SIMD sweeps over the immutable arena,
+//! which is the whole point of layering — into the exact live count
+//! `|M_a ∩ M_b|` by inclusion–exclusion over the (small) deltas:
+//!
+//! ```text
+//! |M_a ∩ M_b| = raw − |B_a ∩ R_b| + |B_a ∩ D_b|
+//!                   − Σ_{x∈R_a} [x ∈ M_b] + Σ_{x∈D_a} [x ∈ M_b]
+//! ```
+//!
+//! Every sum iterates a delta and probes the other side in O(1)-ish
+//! (batmap/bitmap probe or binary search), so the correction costs
+//! O(|deltas|), not O(|sets|).
+
+use crate::repr::{ReprPolicy, SetRepr};
+use crate::{Batmap, ParamsHandle};
+
+/// The add store of one [`DeltaSet`]: a sorted tidlist while tiny, an
+/// owned mutable [`Batmap`] once the hybrid threshold says the batmap
+/// layout is the cheaper home.
+#[derive(Debug, Clone)]
+enum AddStore {
+    /// Strictly ascending element buffer.
+    Tidlist(Vec<u32>),
+    /// Promoted store, mutated in place via [`Batmap::insert_mut`] /
+    /// [`Batmap::remove_mut`].
+    Batmap(Box<Batmap>),
+}
+
+/// The mutable difference between one set's live contents and its
+/// immutable base payload. See the module docs for the invariants the
+/// caller maintains.
+#[derive(Debug, Clone)]
+pub struct DeltaSet {
+    adds: AddStore,
+    /// Base elements removed since the snapshot, strictly ascending.
+    removes: Vec<u32>,
+}
+
+impl Default for DeltaSet {
+    fn default() -> Self {
+        DeltaSet {
+            adds: AddStore::Tidlist(Vec::new()),
+            removes: Vec::new(),
+        }
+    }
+}
+
+impl DeltaSet {
+    /// Number of added elements.
+    pub fn adds_len(&self) -> usize {
+        match &self.adds {
+            AddStore::Tidlist(v) => v.len(),
+            AddStore::Batmap(b) => b.len(),
+        }
+    }
+
+    /// Number of removed base elements.
+    pub fn removes_len(&self) -> usize {
+        self.removes.len()
+    }
+
+    /// True when this delta records no difference at all.
+    pub fn is_noop(&self) -> bool {
+        self.adds_len() == 0 && self.removes.is_empty()
+    }
+
+    /// Is `x` among the added elements?
+    pub fn adds_contain(&self, x: u32) -> bool {
+        match &self.adds {
+            AddStore::Tidlist(v) => v.binary_search(&x).is_ok(),
+            AddStore::Batmap(b) => b.contains(x),
+        }
+    }
+
+    /// Is `x` among the removed base elements?
+    pub fn removes_contain(&self, x: u32) -> bool {
+        self.removes.binary_search(&x).is_ok()
+    }
+
+    /// The added elements, ascending (allocates; deltas are small).
+    pub fn adds_elements(&self) -> Vec<u32> {
+        match &self.adds {
+            AddStore::Tidlist(v) => v.clone(),
+            AddStore::Batmap(b) => {
+                let mut out = b.elements();
+                out.sort_unstable();
+                out
+            }
+        }
+    }
+
+    /// The removed base elements, ascending.
+    pub fn removes_elements(&self) -> &[u32] {
+        &self.removes
+    }
+
+    /// True when the delta's add store has been promoted to a batmap.
+    pub fn is_promoted(&self) -> bool {
+        matches!(self.adds, AddStore::Batmap(_))
+    }
+
+    /// Record `x` as added; returns whether it was new. Promotes the
+    /// tidlist buffer to an owned batmap when the grown set crosses the
+    /// hybrid threshold.
+    fn insert_add(&mut self, params: &ParamsHandle, x: u32) -> bool {
+        match &mut self.adds {
+            AddStore::Tidlist(v) => {
+                let Err(at) = v.binary_search(&x) else {
+                    return false;
+                };
+                v.insert(at, x);
+                if promote_to_batmap(params, v.len()) {
+                    let mut bm = Batmap::build_sorted(params.clone(), &[]).batmap;
+                    for &e in v.iter() {
+                        bm.insert_mut(e);
+                    }
+                    self.adds = AddStore::Batmap(Box::new(bm));
+                }
+                true
+            }
+            AddStore::Batmap(b) => b.insert_mut(x) != crate::UpdateOutcome::AlreadyPresent,
+        }
+    }
+
+    /// Un-record an added element; returns whether it was present.
+    fn remove_add(&mut self, x: u32) -> bool {
+        match &mut self.adds {
+            AddStore::Tidlist(v) => {
+                let Ok(at) = v.binary_search(&x) else {
+                    return false;
+                };
+                v.remove(at);
+                true
+            }
+            AddStore::Batmap(b) => b.remove_mut(x),
+        }
+    }
+
+    fn insert_remove(&mut self, x: u32) -> bool {
+        let Err(at) = self.removes.binary_search(&x) else {
+            return false;
+        };
+        self.removes.insert(at, x);
+        true
+    }
+
+    fn remove_remove(&mut self, x: u32) -> bool {
+        let Ok(at) = self.removes.binary_search(&x) else {
+            return false;
+        };
+        self.removes.remove(at);
+        true
+    }
+}
+
+/// Should an add store of `len` elements live as a batmap rather than a
+/// tidlist buffer? Mirrors the hybrid storage policy: promote exactly
+/// when [`ReprPolicy::Hybrid`] would no longer pick the tidlist layout.
+fn promote_to_batmap(params: &ParamsHandle, len: usize) -> bool {
+    let policy = ReprPolicy::Hybrid;
+    policy.choose(len, params.m(), params.range_for(len)) != SetRepr::Tidlist
+}
+
+/// One optional [`DeltaSet`] per corpus position, allocated on first
+/// touch. Indexed by whatever position space the caller uses for its
+/// base corpus (the ingest layer uses sorted positions).
+#[derive(Debug, Clone)]
+pub struct DeltaRegion {
+    params: ParamsHandle,
+    sets: Vec<Option<Box<DeltaSet>>>,
+    /// Total `adds + removes` across all sets: the number of membership
+    /// differences from the base snapshot.
+    memberships: u64,
+}
+
+impl DeltaRegion {
+    /// An empty region over `n` positions of the given universe.
+    pub fn new(params: ParamsHandle, n: usize) -> Self {
+        DeltaRegion {
+            params,
+            sets: vec![None; n],
+            memberships: 0,
+        }
+    }
+
+    /// Positions covered (the base corpus' real set count).
+    pub fn len(&self) -> usize {
+        self.sets.len()
+    }
+
+    /// True when no position has any recorded difference.
+    pub fn is_empty(&self) -> bool {
+        self.memberships == 0
+    }
+
+    /// Total membership differences (`adds + removes`) from the base.
+    pub fn memberships(&self) -> u64 {
+        self.memberships
+    }
+
+    /// The delta at position `s`, if one was ever touched.
+    pub fn get(&self, s: usize) -> Option<&DeltaSet> {
+        self.sets[s].as_deref()
+    }
+
+    /// Drop every recorded difference (after a compaction folded them
+    /// into a fresh base).
+    pub fn clear(&mut self) {
+        for slot in &mut self.sets {
+            *slot = None;
+        }
+        self.memberships = 0;
+    }
+
+    /// Record "the live set at `s` gains `x`". `in_base` says whether
+    /// the base set contains `x` (stored ∪ failed): a re-add of a
+    /// removed base element shrinks the remove list; a genuinely new
+    /// element grows the add store.
+    ///
+    /// # Panics
+    /// Panics if the add is not a real membership change — `in_base`
+    /// without a recorded remove, or a duplicate add — because the
+    /// caller (which owns the live-membership ground truth) should have
+    /// rejected it.
+    pub fn apply_add(&mut self, s: usize, x: u32, in_base: bool) {
+        let set = self.sets[s].get_or_insert_with(Default::default);
+        let changed = if in_base {
+            set.remove_remove(x)
+        } else {
+            set.insert_add(&self.params, x)
+        };
+        assert!(changed, "add of {x} at position {s} is not a change");
+        if set.is_noop() {
+            self.sets[s] = None;
+        }
+        self.memberships = if in_base {
+            self.memberships - 1
+        } else {
+            self.memberships + 1
+        };
+    }
+
+    /// Record "the live set at `s` loses `x`". Removing a delta add
+    /// shrinks the add store; removing a base element grows the remove
+    /// list.
+    ///
+    /// # Panics
+    /// Panics if the remove is not a real membership change (see
+    /// [`DeltaRegion::apply_add`]).
+    pub fn apply_remove(&mut self, s: usize, x: u32, in_base: bool) {
+        let set = self.sets[s].get_or_insert_with(Default::default);
+        let (changed, grew) = if set.adds_contain(x) {
+            (set.remove_add(x), false)
+        } else {
+            assert!(in_base, "remove of {x} at position {s} is not a change");
+            (set.insert_remove(x), true)
+        };
+        assert!(changed, "remove of {x} at position {s} is not a change");
+        if set.is_noop() {
+            self.sets[s] = None;
+        }
+        self.memberships = if grew {
+            self.memberships + 1
+        } else {
+            self.memberships - 1
+        };
+    }
+
+    /// The delta's verdict on `x ∈ live set at s`: `Some(true)` for a
+    /// recorded add, `Some(false)` for a recorded remove, `None` when
+    /// the base decides.
+    pub fn member_delta(&self, s: usize, x: u32) -> Option<bool> {
+        let set = self.get(s)?;
+        if set.adds_contain(x) {
+            Some(true)
+        } else if set.removes_contain(x) {
+            Some(false)
+        } else {
+            None
+        }
+    }
+
+    /// `|live set| − |base set|` at position `s`.
+    pub fn count_delta(&self, s: usize) -> i64 {
+        self.get(s)
+            .map_or(0, |d| d.adds_len() as i64 - d.removes_len() as i64)
+    }
+}
+
+/// Exact live pair count from a base-only count plus two deltas (see
+/// the module docs for the derivation). `raw` must be the exact count
+/// of the *base* sets `|B_a ∩ B_b|` — stored payloads with the
+/// failed-insertion corrections already applied — and `base_a` /
+/// `base_b` must answer membership against those same base sets.
+pub fn layered_pair_count(
+    raw: u64,
+    da: Option<&DeltaSet>,
+    db: Option<&DeltaSet>,
+    base_a: impl Fn(u32) -> bool,
+    base_b: impl Fn(u32) -> bool,
+) -> u64 {
+    let mut total = raw as i64;
+    // `x ∈ M_b = (B_b \ R_b) ∪ D_b`, probing the delta before the base.
+    let live_b = |x: u32| -> bool {
+        if let Some(d) = db {
+            if d.adds_contain(x) {
+                return true;
+            }
+            if d.removes_contain(x) {
+                return false;
+            }
+        }
+        base_b(x)
+    };
+    if let Some(d) = db {
+        for &x in d.removes_elements() {
+            total -= base_a(x) as i64;
+        }
+        for x in d.adds_elements() {
+            total += base_a(x) as i64;
+        }
+    }
+    if let Some(d) = da {
+        for &x in d.removes_elements() {
+            total -= live_b(x) as i64;
+        }
+        for x in d.adds_elements() {
+            total += live_b(x) as i64;
+        }
+    }
+    debug_assert!(total >= 0, "layered correction went negative");
+    total.max(0) as u64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::params::BatmapParams;
+    use std::collections::BTreeSet;
+    use std::sync::Arc;
+
+    fn params(m: u64) -> ParamsHandle {
+        Arc::new(BatmapParams::new(m, 0xDE17A))
+    }
+
+    /// Model of one layered set: base and live contents as BTreeSets.
+    struct Model {
+        base: BTreeSet<u32>,
+        live: BTreeSet<u32>,
+    }
+
+    impl Model {
+        fn new(base: &[u32]) -> Model {
+            let base: BTreeSet<u32> = base.iter().copied().collect();
+            Model {
+                live: base.clone(),
+                base,
+            }
+        }
+
+        fn add(&mut self, region: &mut DeltaRegion, s: usize, x: u32) {
+            if self.live.insert(x) {
+                region.apply_add(s, x, self.base.contains(&x));
+            }
+        }
+
+        fn remove(&mut self, region: &mut DeltaRegion, s: usize, x: u32) {
+            if self.live.remove(&x) {
+                region.apply_remove(s, x, self.base.contains(&x));
+            }
+        }
+    }
+
+    #[test]
+    fn membership_and_counts_track_the_model() {
+        let p = params(10_000);
+        let mut region = DeltaRegion::new(p, 1);
+        let base: Vec<u32> = (0..200).map(|i| i * 13).collect();
+        let mut model = Model::new(&base);
+        let mut state = 0x5EEDu64;
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state
+        };
+        for _ in 0..4000 {
+            let x = (next() % 10_000) as u32;
+            if next() % 3 == 0 {
+                model.remove(&mut region, 0, x);
+            } else {
+                model.add(&mut region, 0, x);
+            }
+        }
+        let count = model.base.len() as i64 + region.count_delta(0);
+        assert_eq!(count, model.live.len() as i64);
+        for x in 0..10_000u32 {
+            let member = region
+                .member_delta(0, x)
+                .unwrap_or_else(|| model.base.contains(&x));
+            assert_eq!(member, model.live.contains(&x), "element {x}");
+        }
+        let memberships = region.memberships();
+        let diff = model.live.symmetric_difference(&model.base).count() as u64;
+        assert_eq!(memberships, diff);
+    }
+
+    #[test]
+    fn add_store_promotes_to_batmap_and_stays_exact() {
+        let p = params(100_000);
+        let mut region = DeltaRegion::new(p.clone(), 1);
+        let mut model = Model::new(&[]);
+        // Far past any tidlist threshold: the store must promote.
+        for x in (0..4000u32).map(|i| (i * 37) % 100_000) {
+            model.add(&mut region, 0, x);
+        }
+        let delta = region.get(0).expect("delta exists");
+        assert!(delta.is_promoted(), "4000 adds must promote to a batmap");
+        assert_eq!(delta.adds_len(), model.live.len());
+        assert_eq!(
+            delta.adds_elements(),
+            model.live.iter().copied().collect::<Vec<_>>()
+        );
+        // Mutations keep working through the promoted store.
+        for x in (0..2000u32).map(|i| (i * 37) % 100_000) {
+            model.remove(&mut region, 0, x);
+        }
+        let delta = region.get(0).expect("delta exists");
+        assert_eq!(delta.adds_len(), model.live.len());
+        for &x in &model.live {
+            assert!(delta.adds_contain(x));
+        }
+    }
+
+    #[test]
+    fn noop_deltas_are_dropped() {
+        let p = params(1000);
+        let mut region = DeltaRegion::new(p, 2);
+        region.apply_add(1, 42, false);
+        assert!(!region.is_empty());
+        region.apply_remove(1, 42, false);
+        assert!(region.is_empty());
+        assert!(region.get(1).is_none(), "round-tripped delta freed");
+        // Remove-then-re-add of a base element likewise cancels.
+        region.apply_remove(0, 7, true);
+        region.apply_add(0, 7, true);
+        assert!(region.is_empty());
+    }
+
+    /// Brute-force oracle for the layered pair formula across add/remove
+    /// overlap cases, including shared elements in both deltas and
+    /// self-intersection.
+    #[test]
+    fn layered_pair_count_matches_brute_force() {
+        let p = params(512);
+        let mut state = 0xABCDu64;
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state
+        };
+        for trial in 0..50 {
+            let mut region = DeltaRegion::new(p.clone(), 2);
+            let base_a: Vec<u32> = (0..512).filter(|_| next() % 3 == 0).collect();
+            let base_b: Vec<u32> = (0..512).filter(|_| next() % 3 == 0).collect();
+            let mut ma = Model::new(&base_a);
+            let mut mb = Model::new(&base_b);
+            for _ in 0..200 {
+                let x = (next() % 512) as u32;
+                match next() % 4 {
+                    0 => ma.add(&mut region, 0, x),
+                    1 => ma.remove(&mut region, 0, x),
+                    2 => mb.add(&mut region, 1, x),
+                    _ => mb.remove(&mut region, 1, x),
+                }
+            }
+            let raw = ma.base.intersection(&mb.base).count() as u64;
+            let got = layered_pair_count(
+                raw,
+                region.get(0),
+                region.get(1),
+                |x| ma.base.contains(&x),
+                |x| mb.base.contains(&x),
+            );
+            let expect = ma.live.intersection(&mb.live).count() as u64;
+            assert_eq!(got, expect, "trial {trial}");
+            // Self-intersection: |M ∩ M| = |M|.
+            let self_raw = ma.base.len() as u64;
+            let self_got = layered_pair_count(
+                self_raw,
+                region.get(0),
+                region.get(0),
+                |x| ma.base.contains(&x),
+                |x| ma.base.contains(&x),
+            );
+            assert_eq!(self_got, ma.live.len() as u64, "trial {trial} self");
+        }
+    }
+}

@@ -58,6 +58,10 @@
 //! * [`intersect`] — equal-width and folded intersection counting.
 //! * [`uncompressed`] — the abstract `3×r` reference structure.
 //! * [`update`] — in-place insert/remove with automatic growth.
+//! * [`delta`] — mutable delta sets layered over an immutable corpus
+//!   (the storage half of the live write path), with the
+//!   inclusion–exclusion correction that keeps layered pair counts
+//!   exact.
 //! * [`analysis`] — empirical validation of the §II-B bounds.
 //! * [`multiway`] — the §V extensions: d-of-(d+1) batmaps (with the
 //!   batched one-vs-many driver the levelwise miner uses) and probe
@@ -143,6 +147,7 @@ pub mod arena;
 pub mod batmap;
 pub mod builder;
 pub mod collection;
+pub mod delta;
 pub mod error;
 pub mod hash;
 pub mod intersect;
@@ -164,6 +169,7 @@ pub use arena::{ArenaBuilder, ArenaStage, BatmapArena, BatmapRef, SetSpec};
 pub use batmap::{AsSlots, Batmap};
 pub use builder::{ArenaSetOutcome, BatmapBuilder, BuildOutcome, InsertOutcome, InsertStats};
 pub use collection::BatmapCollection;
+pub use delta::{layered_pair_count, DeltaRegion, DeltaSet};
 pub use error::{BatmapError, SnapshotError};
 /// Fault-injection sites (re-export of [`hpcutil::faultpoint`]): arm
 /// named sites with error/panic/delay actions — explicitly or via

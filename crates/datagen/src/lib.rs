@@ -7,6 +7,8 @@
 //!   (Fig. 10): Zipf word frequencies + Heaps'-law vocabulary growth.
 //! * [`quest`] — IBM Quest-style generator (`T40I10D100K` regime used in
 //!   the §I-B PBI throughput estimate).
+//! * [`stream`] — timestamped transaction streams in arrival order, for
+//!   the live write path and windowed mining.
 //! * [`zipf`] — the shared Zipfian sampler.
 //!
 //! All generators are deterministic given their seed (ChaCha8).
@@ -14,10 +16,12 @@
 #![warn(missing_docs)]
 
 pub mod quest;
+pub mod stream;
 pub mod uniform;
 pub mod webdocs;
 pub mod zipf;
 
 pub use quest::QuestSpec;
+pub use stream::{StreamSpec, TxnEvent};
 pub use uniform::UniformSpec;
 pub use webdocs::WebDocsSpec;

@@ -31,6 +31,6 @@ pub mod timer;
 pub use fxhash::{FxHashMap, FxHashSet, FxHasher};
 pub use mem::MemoryFootprint;
 pub use stats::Summary;
-pub use sync::{lock_recover, wait_recover};
+pub use sync::{lock_recover, read_recover, wait_recover, write_recover};
 pub use table::Table;
 pub use timer::{scoped_pool, Stopwatch};

@@ -9,7 +9,7 @@
 //! lock. These helpers centralize that policy (and pair with the
 //! `catch_unwind` containment in the server's shard workers).
 
-use std::sync::{Condvar, Mutex, MutexGuard};
+use std::sync::{Condvar, Mutex, MutexGuard, RwLock, RwLockReadGuard, RwLockWriteGuard};
 
 /// Lock `mutex`, recovering the guard if a previous holder panicked.
 #[inline]
@@ -25,6 +25,24 @@ pub fn lock_recover<T>(mutex: &Mutex<T>) -> MutexGuard<'_, T> {
 pub fn wait_recover<'a, T>(condvar: &Condvar, guard: MutexGuard<'a, T>) -> MutexGuard<'a, T> {
     condvar
         .wait(guard)
+        .unwrap_or_else(|poisoned| poisoned.into_inner())
+}
+
+/// Read-lock `rwlock`, recovering the guard if a previous writer
+/// panicked.
+#[inline]
+pub fn read_recover<T>(rwlock: &RwLock<T>) -> RwLockReadGuard<'_, T> {
+    rwlock
+        .read()
+        .unwrap_or_else(|poisoned| poisoned.into_inner())
+}
+
+/// Write-lock `rwlock`, recovering the guard if a previous writer
+/// panicked.
+#[inline]
+pub fn write_recover<T>(rwlock: &RwLock<T>) -> RwLockWriteGuard<'_, T> {
+    rwlock
+        .write()
         .unwrap_or_else(|poisoned| poisoned.into_inner())
 }
 
@@ -46,6 +64,20 @@ mod tests {
         let mut guard = lock_recover(&shared);
         *guard += 1;
         assert_eq!(*guard, 42);
+    }
+
+    #[test]
+    fn rwlock_recover_survives_a_poisoned_writer() {
+        use std::sync::RwLock;
+        let shared = Arc::new(RwLock::new(1u32));
+        let poisoner = Arc::clone(&shared);
+        let _ = std::thread::spawn(move || {
+            let _guard = poisoner.write().unwrap();
+            panic!("poison it");
+        })
+        .join();
+        *write_recover(&shared) += 1;
+        assert_eq!(*read_recover(&shared), 2);
     }
 
     #[test]

@@ -26,6 +26,7 @@ pub mod cpu;
 pub mod executor;
 pub mod failed;
 pub mod gpu;
+pub mod ingest;
 pub mod kitemsets;
 pub mod levelwise;
 pub mod memory;
@@ -38,6 +39,7 @@ pub use executor::{
     balanced_partition, ExecReport, GpuSimExecutor, ParallelCpuExecutor, SerialCpuExecutor,
     TileConsumer, TileExecutor, TilePlan,
 };
+pub use ingest::{CompactionJob, IngestError, LayeredCorpus, WindowedMiner};
 pub use kitemsets::{mine_triples, TripleReport};
 pub use levelwise::{LevelReport, LevelwiseConfig, LevelwiseMiner, LevelwiseReport};
 pub use memory::MemoryReport;

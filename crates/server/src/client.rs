@@ -393,6 +393,42 @@ impl Client {
         }
     }
 
+    /// Fill free transaction slot `tid` with `items` (strictly
+    /// ascending item ids); returns the memberships changed. The
+    /// server's insert is **idempotent** — a retried duplicate after an
+    /// ambiguous transport failure answers `Ok(0)` instead of failing —
+    /// so this helper is safe under the client's retry policy.
+    pub fn insert(&mut self, corpus: u32, tid: u32, items: &[u32]) -> io::Result<u64> {
+        let request = Request::Insert {
+            tid,
+            items: items.to_vec(),
+        };
+        match self.call(corpus, &request)? {
+            Response::Applied(changed) => Ok(changed),
+            other => Err(unexpected(&other)),
+        }
+    }
+
+    /// Clear live transaction slot `tid`; returns the memberships
+    /// changed. Idempotent like [`Client::insert`] (removing a free
+    /// slot answers `Ok(0)`), so retries are safe.
+    pub fn remove(&mut self, corpus: u32, tid: u32) -> io::Result<u64> {
+        match self.call(corpus, &Request::Remove { tid })? {
+            Response::Applied(changed) => Ok(changed),
+            other => Err(unexpected(&other)),
+        }
+    }
+
+    /// Compact the corpus' pending deltas into a fresh base arena;
+    /// returns the delta memberships folded in (`0` when already
+    /// clean). Never changes any query answer.
+    pub fn flush(&mut self, corpus: u32) -> io::Result<u64> {
+        match self.call(corpus, &Request::Flush)? {
+            Response::Flushed(folded) => Ok(folded),
+            other => Err(unexpected(&other)),
+        }
+    }
+
     /// Ask the server to shut down; resolves once it acknowledges.
     pub fn shutdown(&mut self) -> io::Result<()> {
         match self.call(0, &Request::Shutdown)? {

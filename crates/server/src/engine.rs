@@ -1,11 +1,22 @@
 //! The sharded, batching query engine behind the socket server.
 //!
-//! One engine owns one or more corpora. Each corpus' real sets are
-//! carved into contiguous shards ([`crate::shard::ShardMap`]); each
-//! shard gets a dedicated worker thread with an **admission queue**
-//! (mutex + condvar around a deque). A worker drains *everything*
-//! pending in one lock acquisition and then coalesces: count probes
-//! against the same set become one
+//! One engine owns one or more **live** corpora: each is a
+//! [`pairminer::LayeredCorpus`] — an immutable preprocessed base plus a
+//! mutable delta region — behind one `RwLock`. Read queries take the
+//! lock shared; writes ([`Request::Insert`] / [`Request::Remove`]) and
+//! compaction ([`Request::Flush`]) take it exclusive, apply, and
+//! release — writes are synchronous on the submitting connection
+//! thread, so they interleave with batched reads at lock granularity.
+//!
+//! Each corpus' sets are carved into contiguous shards
+//! ([`crate::shard::ShardMap`]) **by original item id** — item ids
+//! never change, so shard ownership is stable across compactions even
+//! though the width-sorted arena order permutes. Each shard gets a
+//! dedicated worker thread with an **admission queue** (mutex + condvar
+//! around a deque). A worker drains *everything* pending in one lock
+//! acquisition, takes one shared corpus guard for the whole batch (so
+//! every answer in a batch reflects a single corpus version), and then
+//! coalesces: count probes against the same probe set become one
 //! [`batmap::intersect::count_mixed_one_vs_many_into`] sweep, so the
 //! probe's universe check happens once and its payload stays hot across
 //! candidates — the same register-blocking economics the tile executors
@@ -13,31 +24,31 @@
 //! shard and gather through an atomic countdown; the last shard to
 //! finish merges and replies.
 //!
-//! Counts are **exact**: stored payloads under-count when cuckoo
-//! insertions failed at preprocessing time, so every path adds the
-//! failed-element corrections (`|F_a ∩ B| + |A ∩ F_b| + |F_a ∩ F_b|`)
-//! that the mining pipeline's `FailedPairs` machinery applies — served
-//! answers equal brute force over the original database, whatever the
-//! storage representation.
+//! Counts are **exact**: raw sweeps over stored payloads are corrected
+//! for failed cuckoo insertions *and* for the live delta
+//! ([`pairminer::LayeredCorpus::corrected`]) — served answers equal
+//! brute force over the live transaction multiset, whatever the storage
+//! representation and however many un-compacted writes are pending.
+//! Compaction never changes any answer.
 //!
-//! Every reply is a pure function of the request and the corpus, and
-//! tie-breaking in top-k is total (count descending, then set id
-//! ascending), so any interleaving of concurrent clients produces
-//! byte-identical responses to a single-threaded replay — pinned by
-//! `tests/serve_replay.rs`.
+//! Every reply is a pure function of the request and the corpus version
+//! it ran against, and tie-breaking in top-k is total (count
+//! descending, then set id ascending), so any interleaving of
+//! concurrent clients — with writes fenced at phase boundaries —
+//! produces byte-identical responses to a single-threaded replay;
+//! pinned by `tests/serve_replay.rs`.
 
 use crate::proto::{CorpusInfo, ItemsetEntry, LevelSummary, MineSummary, Probe, Request, Response};
 use crate::shard::ShardMap;
-use batmap::intersect::{count_mixed_one_vs_many_into, count_mixed_with};
+use batmap::intersect::count_mixed_one_vs_many_into;
 use batmap::{EngineOptions, SetView, TidlistRef};
-use fim::TransactionDb;
-use hpcutil::{fault_point, lock_recover, wait_recover};
-use pairminer::{Engine, LevelwiseConfig, LevelwiseMiner, MinerConfig, Preprocessed};
+use hpcutil::{fault_point, lock_recover, read_recover, wait_recover, write_recover};
+use pairminer::{Engine, LayeredCorpus, LevelwiseConfig, MinerConfig, Preprocessed};
 use std::collections::{BTreeMap, VecDeque};
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::mpsc::Sender;
-use std::sync::{Arc, Condvar, Mutex, OnceLock};
+use std::sync::{Arc, Condvar, Mutex, RwLock};
 use std::thread::JoinHandle;
 
 /// Engine configuration. `Default` serves with one shard per core,
@@ -88,113 +99,40 @@ impl Default for EngineConfig {
 /// [`QueryEngine::query`]).
 pub type Reply = Sender<(u64, Response)>;
 
-/// One corpus plus everything the query paths derive from it once.
+/// One served corpus: the live layered state behind its lock, plus the
+/// routing facts that never change (the item-id universe and the shard
+/// map over it — both fixed at construction, so request routing and
+/// validation never need the lock).
 struct Corpus {
-    pre: Preprocessed,
-    /// Failed (unstored) elements per sorted position, each list
-    /// ascending. Almost always empty — populated only for batmap sets
-    /// whose cuckoo insertion gave up.
-    failed_by_set: Vec<Vec<u32>>,
-    /// Sorted positions with non-empty failure lists, ascending (the
-    /// sweep correction pass walks only these).
-    failed_positions: Vec<u32>,
+    state: RwLock<LayeredCorpus>,
     shard_map: ShardMap,
-    /// The original database, reconstructed from the corpus on first
-    /// mining request (stored elements ∪ failed elements is exactly the
-    /// original content).
-    db: OnceLock<TransactionDb>,
+    /// Vocabulary size; immutable (writes reuse the fixed item space).
+    n_items: u32,
+    /// Transaction-slot universe; immutable (compaction preserves it).
+    m: u64,
 }
 
 impl Corpus {
     fn new(pre: Preprocessed, shards: usize) -> Self {
-        let mut failed_by_set = vec![Vec::new(); pre.n_items as usize];
-        for &(s, tid) in &pre.failed {
-            failed_by_set[s as usize].push(tid);
-        }
-        let mut failed_positions = Vec::new();
-        for (s, list) in failed_by_set.iter_mut().enumerate() {
-            list.sort_unstable();
-            if !list.is_empty() {
-                failed_positions.push(s as u32);
-            }
-        }
-        let shard_map = ShardMap::new(pre.n_items, shards);
+        let n_items = pre.n_items;
+        let m = pre.params.m();
+        // Any seed yields identical counts; deriving it from the
+        // params keeps compaction rebuilds deterministic per corpus.
+        let seed = pre.params.fingerprint();
+        let shard_map = ShardMap::new(n_items, shards);
         Corpus {
-            pre,
-            failed_by_set,
-            failed_positions,
+            state: RwLock::new(LayeredCorpus::from_preprocessed(pre, seed)),
             shard_map,
-            db: OnceLock::new(),
+            n_items,
+            m,
         }
     }
-
-    /// Exact pairwise count between sorted positions, starting from the
-    /// raw stored-payload count `raw`.
-    fn corrected(&self, raw: u64, sa: usize, sb: usize) -> u64 {
-        let fa = &self.failed_by_set[sa];
-        let fb = &self.failed_by_set[sb];
-        let mut total = raw;
-        if !fa.is_empty() {
-            let stored_b = self.pre.payload(sb);
-            total += fa.iter().filter(|&&t| stored_b.contains(t)).count() as u64;
-        }
-        if !fb.is_empty() {
-            let stored_a = self.pre.payload(sa);
-            total += fb.iter().filter(|&&t| stored_a.contains(t)).count() as u64;
-        }
-        if !fa.is_empty() && !fb.is_empty() {
-            total += sorted_intersection_count(fa, fb);
-        }
-        total
-    }
-
-    /// Exact pairwise count between sorted positions (single-query
-    /// path).
-    fn count_pair(&self, sa: usize, sb: usize) -> u64 {
-        let backend = self.pre.params.kernel_backend();
-        let raw = count_mixed_with(backend, &self.pre.payload(sa), &self.pre.payload(sb));
-        self.corrected(raw, sa, sb)
-    }
-
-    fn database(&self) -> &TransactionDb {
-        self.db.get_or_init(|| {
-            let pre = &self.pre;
-            let mut transactions: Vec<Vec<u32>> = vec![Vec::new(); pre.params.m() as usize];
-            for s in 0..pre.n_items as usize {
-                let item = pre.order[s];
-                for tid in pre.payload(s).elements() {
-                    transactions[tid as usize].push(item);
-                }
-            }
-            for &(s, tid) in &pre.failed {
-                transactions[tid as usize].push(pre.order[s as usize]);
-            }
-            // `TransactionDb::new` sorts and dedups each transaction;
-            // stored ∪ failed is duplicate-free by construction anyway.
-            TransactionDb::new(pre.n_items, transactions)
-        })
-    }
-}
-
-fn sorted_intersection_count(a: &[u32], b: &[u32]) -> u64 {
-    let (mut i, mut j, mut n) = (0, 0, 0u64);
-    while i < a.len() && j < b.len() {
-        match a[i].cmp(&b[j]) {
-            std::cmp::Ordering::Less => i += 1,
-            std::cmp::Ordering::Greater => j += 1,
-            std::cmp::Ordering::Equal => {
-                n += 1;
-                i += 1;
-                j += 1;
-            }
-        }
-    }
-    n
 }
 
 /// The probe side of an in-flight top-k job.
 enum ProbeData {
-    /// Sorted position of a stored set.
+    /// A stored set, by original item id (resolved to its current
+    /// sorted position under each shard's batch guard).
     Set(u32),
     /// Validated ad-hoc elements: strictly ascending, in-universe. The
     /// bytes are the little-endian tidlist encoding each shard borrows
@@ -220,14 +158,16 @@ struct TopKJob {
     reply: Reply,
 }
 
-/// One unit of shard work.
+/// One unit of shard work. Sets travel as **original item ids** — the
+/// only names that stay valid however many compactions land between
+/// submission and execution.
 enum Job {
     Count {
         id: u64,
-        /// Probe sorted position (batching groups on this).
-        sa: u32,
-        /// Candidate sorted position (this shard owns it).
-        sb: u32,
+        /// Probe item id (batching groups on this).
+        a: u32,
+        /// Candidate item id (this shard owns it).
+        b: u32,
         reply: Reply,
     },
     Member {
@@ -330,31 +270,29 @@ impl QueryEngine {
 
     /// Submit one request; the response is delivered as `(id, response)`
     /// on `reply`, possibly out of order relative to other submissions.
-    /// Mining and metadata requests run synchronously on the calling
-    /// thread; count/membership/top-k requests go through the shard
-    /// queues.
+    /// Mining, metadata, and **write** requests run synchronously on the
+    /// calling thread (writes take the corpus lock exclusively);
+    /// count/membership/top-k requests go through the shard queues.
     pub fn submit(&self, corpus: u32, id: u64, request: Request, reply: &Reply) {
         let inner = &self.inner;
         let Some(corp) = inner.corpora.get(corpus as usize) else {
             send(reply, id, Response::Error(format!("no corpus {corpus}")));
             return;
         };
-        let n = corp.pre.n_items;
+        let n = corp.n_items;
         match request {
             Request::Count { a, b } => {
                 if a >= n || b >= n {
                     send(reply, id, bad_set(a.max(b), n));
                     return;
                 }
-                let sa = corp.pre.item_to_sorted[a as usize];
-                let sb = corp.pre.item_to_sorted[b as usize];
                 if !self.enqueue(
                     corpus as usize,
-                    corp.shard_map.shard_of(sb),
+                    corp.shard_map.shard_of(b),
                     Job::Count {
                         id,
-                        sa,
-                        sb,
+                        a,
+                        b,
                         reply: reply.clone(),
                     },
                 ) {
@@ -366,13 +304,12 @@ impl QueryEngine {
                     send(reply, id, bad_set(set, n));
                     return;
                 }
-                let s = corp.pre.item_to_sorted[set as usize];
                 if !self.enqueue(
                     corpus as usize,
-                    corp.shard_map.shard_of(s),
+                    corp.shard_map.shard_of(set),
                     Job::Member {
                         id,
-                        set: s,
+                        set,
                         element,
                         reply: reply.clone(),
                     },
@@ -387,13 +324,11 @@ impl QueryEngine {
                             send(reply, id, bad_set(set, n));
                             return;
                         }
-                        ProbeData::Set(corp.pre.item_to_sorted[set as usize])
+                        ProbeData::Set(set)
                     }
                     Probe::Elements(elements) => {
                         let ascending = elements.windows(2).all(|w| w[0] < w[1]);
-                        let in_universe = elements
-                            .last()
-                            .is_none_or(|&x| (x as u64) < corp.pre.params.m());
+                        let in_universe = elements.last().is_none_or(|&x| (x as u64) < corp.m);
                         if !ascending || !in_universe {
                             send(
                                 reply,
@@ -434,19 +369,58 @@ impl QueryEngine {
                     self.enqueue_unbounded(corpus as usize, shard, Job::TopK(Arc::clone(&job)));
                 }
             }
+            Request::Insert { tid, items } => {
+                // The fine-grained validation (slot collisions, item
+                // order, universe bounds) lives in the corpus so it is
+                // identical for every caller; `ingest.apply` faults
+                // surface here as typed errors with the state untouched.
+                let outcome = write_recover(&corp.state).insert_txn(tid, &items);
+                send(
+                    reply,
+                    id,
+                    match outcome {
+                        Ok(changed) => Response::Applied(changed),
+                        Err(e) => Response::Error(e.to_string()),
+                    },
+                );
+            }
+            Request::Remove { tid } => {
+                let outcome = write_recover(&corp.state).remove_txn(tid);
+                send(
+                    reply,
+                    id,
+                    match outcome {
+                        Ok(changed) => Response::Applied(changed),
+                        Err(e) => Response::Error(e.to_string()),
+                    },
+                );
+            }
+            Request::Flush => {
+                let mut state = write_recover(&corp.state);
+                let folded = state.delta_memberships();
+                send(
+                    reply,
+                    id,
+                    match state.compact() {
+                        Ok(()) => Response::Flushed(folded),
+                        Err(e) => Response::Error(e.to_string()),
+                    },
+                );
+            }
             Request::Mine { depth, minsup } => {
                 send(reply, id, self.mine(corp, depth, minsup));
             }
             Request::Info => {
-                let hist = corp.pre.repr_histogram();
+                let state = read_recover(&corp.state);
+                let hist = state.pre().repr_histogram();
                 send(
                     reply,
                     id,
                     Response::Info(CorpusInfo {
                         sets: n,
-                        m: corp.pre.params.m(),
+                        m: corp.m,
                         repr_histogram: [hist[0] as u64, hist[1] as u64, hist[2] as u64],
-                        failed: corp.pre.failed.len() as u64,
+                        failed: state.pre().failed.len() as u64,
                         shards: corp.shard_map.shards(),
                     }),
                 );
@@ -519,7 +493,14 @@ impl QueryEngine {
             },
             ..LevelwiseConfig::default()
         };
-        let report = LevelwiseMiner::new(config).mine_with_preprocessed(corp.database(), &corp.pre);
+        // Exclusive: mining compacts pending deltas first (so level 2
+        // runs the tiled pipeline over a clean arena) and must not race
+        // writes. Readers drain before the lock grants.
+        let mut state = write_recover(&corp.state);
+        let report = match state.mine(config) {
+            Ok(report) => report,
+            Err(e) => return Response::Error(e.to_string()),
+        };
         let cap = self.inner.config.mine_itemset_cap;
         let truncated = report.itemsets.len() > cap;
         Response::Mined(MineSummary {
@@ -578,7 +559,7 @@ fn bad_set(set: u32, n: u32) -> Response {
 /// panic — a bug in a kernel sweep, a poisoned invariant, or an
 /// injected `engine.worker.batch` fault — answer what can still be
 /// answered, count the restart, and start the body again over the same
-/// shared corpus state (which is immutable after construction, so a
+/// shared corpus state (readers only ever hold the lock shared, so a
 /// panicked batch cannot have damaged it).
 fn worker_loop(inner: &Inner, corpus: usize, shard: u32) {
     loop {
@@ -634,7 +615,7 @@ fn worker_run(inner: &Inner, corpus: usize, shard: u32) {
                     ),
                     Job::TopK(job) => {
                         job.failed.store(true, Ordering::Release);
-                        finish_topk(corp, job);
+                        finish_topk(job);
                     }
                 }
             }
@@ -648,6 +629,10 @@ fn process_batch(inner: &Inner, corp: &Corpus, shard: u32, batch: &[Job], done: 
     // before any reply so a contained batch answers every job exactly
     // once.
     fault_point!("engine.worker.batch");
+    // One shared guard for the whole batch: every job in it is answered
+    // against a single corpus version, and writes (exclusive) serialize
+    // at batch boundaries.
+    let state = read_recover(&corp.state);
     // Membership and top-k first (cheap / already swept), then counts —
     // grouped by probe when batching is on.
     let mut count_jobs: Vec<(usize, u64, u32, u32, &Reply)> = Vec::new();
@@ -659,37 +644,29 @@ fn process_batch(inner: &Inner, corp: &Corpus, shard: u32, batch: &[Job], done: 
                 element,
                 reply,
             } => {
-                let s = *set as usize;
-                let present = (*element as u64) < corp.pre.params.m()
-                    && (corp.pre.payload(s).contains(*element)
-                        || corp.failed_by_set[s].binary_search(element).is_ok());
-                send(reply, *id, Response::Member(present));
+                send(reply, *id, Response::Member(state.member(*set, *element)));
                 done[i] = true;
             }
             Job::TopK(job) => {
                 // Compute the partial inside the batch's catch scope;
                 // the countdown below runs whether or not a later job
                 // panics, because `done` is only set after it.
-                let local = topk_shard_partial(corp, shard, job);
+                let local = topk_shard_partial(corp, &state, shard, job);
                 if !local.is_empty() {
                     lock_recover(&job.partials).extend(local);
                 }
-                finish_topk(corp, job);
+                finish_topk(job);
                 done[i] = true;
             }
-            Job::Count { id, sa, sb, reply } => count_jobs.push((i, *id, *sa, *sb, reply)),
+            Job::Count { id, a, b, reply } => count_jobs.push((i, *id, *a, *b, reply)),
         }
     }
     if count_jobs.is_empty() {
         return;
     }
     if !inner.config.batching {
-        for (i, id, sa, sb, reply) in count_jobs {
-            send(
-                reply,
-                id,
-                Response::Count(corp.count_pair(sa as usize, sb as usize)),
-            );
+        for (i, id, a, b, reply) in count_jobs {
+            send(reply, id, Response::Count(state.pair_count(a, b)));
             done[i] = true;
         }
         return;
@@ -697,26 +674,28 @@ fn process_batch(inner: &Inner, corp: &Corpus, shard: u32, batch: &[Job], done: 
     // Coalesce: all drained counts sharing a probe become one
     // one-vs-many sweep (BTreeMap for deterministic group order).
     let mut by_probe: BTreeMap<u32, Vec<usize>> = BTreeMap::new();
-    for (j, &(_, _, sa, _, _)) in count_jobs.iter().enumerate() {
-        by_probe.entry(sa).or_default().push(j);
+    for (j, &(_, _, a, _, _)) in count_jobs.iter().enumerate() {
+        by_probe.entry(a).or_default().push(j);
     }
+    let item_to_sorted = &state.pre().item_to_sorted;
     let mut counts = vec![0u64; count_jobs.len()];
-    for (&sa, group) in &by_probe {
+    for (&a, group) in &by_probe {
         if group.len() == 1 {
-            let (_, _, _, sb, _) = count_jobs[group[0]];
-            counts[group[0]] = corp.count_pair(sa as usize, sb as usize);
+            let (_, _, _, b, _) = count_jobs[group[0]];
+            counts[group[0]] = state.pair_count(a, b);
             continue;
         }
-        let probe = corp.pre.payload(sa as usize);
-        let candidates: Vec<SetView<'_>> = group
+        let sa = item_to_sorted[a as usize] as usize;
+        let probe = state.payload(sa);
+        let positions: Vec<usize> = group
             .iter()
-            .map(|&j| corp.pre.payload(count_jobs[j].3 as usize))
+            .map(|&j| item_to_sorted[count_jobs[j].3 as usize] as usize)
             .collect();
+        let candidates: Vec<SetView<'_>> = positions.iter().map(|&sb| state.payload(sb)).collect();
         let mut out = vec![0u64; group.len()];
         count_mixed_one_vs_many_into(&probe, &candidates, &mut out);
-        for (&j, raw) in group.iter().zip(out) {
-            let (_, _, _, sb, _) = count_jobs[j];
-            counts[j] = corp.corrected(raw, sa as usize, sb as usize);
+        for ((&j, &sb), raw) in group.iter().zip(&positions).zip(out) {
+            counts[j] = state.corrected(raw, sa, sb);
         }
     }
     for ((i, id, _, _, reply), count) in count_jobs.into_iter().zip(counts) {
@@ -730,7 +709,7 @@ fn process_batch(inner: &Inner, corp: &Corpus, shard: u32, batch: &[Job], done: 
 /// computation. The shard that takes `remaining` to zero merges and
 /// replies — or, when any leg recorded a panic, answers with a typed
 /// error so the client never receives a partial top-k.
-fn finish_topk(_corp: &Corpus, job: &Arc<TopKJob>) {
+fn finish_topk(job: &Arc<TopKJob>) {
     if job.remaining.fetch_sub(1, Ordering::AcqRel) == 1 {
         if job.failed.load(Ordering::Acquire) {
             send(
@@ -752,65 +731,57 @@ fn finish_topk(_corp: &Corpus, job: &Arc<TopKJob>) {
 }
 
 /// One shard's top-k partial: pure compute, no countdown, no reply (so
-/// a panic in here is recoverable by the caller).
-fn topk_shard_partial(corp: &Corpus, shard: u32, job: &Arc<TopKJob>) -> Vec<(u32, u64)> {
+/// a panic in here is recoverable by the caller). The shard's item-id
+/// range is resolved to sorted positions under the caller's batch
+/// guard; partials carry item ids directly, so the merge needs no
+/// further translation — and stays exact across compactions, which
+/// never change any live count.
+fn topk_shard_partial(
+    corp: &Corpus,
+    state: &LayeredCorpus,
+    shard: u32,
+    job: &Arc<TopKJob>,
+) -> Vec<(u32, u64)> {
     fault_point!("engine.topk.shard");
     let range = corp.shard_map.range(shard);
     let mut local: Vec<(u32, u64)> = Vec::new();
-    if !range.is_empty() {
-        let lo = range.start as usize;
-        let candidates: Vec<SetView<'_>> = range
-            .clone()
-            .map(|s| corp.pre.payload(s as usize))
-            .collect();
-        let mut out = vec![0u64; candidates.len()];
-        let probe_failed: &[u32] = match &job.probe {
-            ProbeData::Set(sp) => {
-                let view = corp.pre.payload(*sp as usize);
-                count_mixed_one_vs_many_into(&view, &candidates, &mut out);
-                &corp.failed_by_set[*sp as usize]
+    if range.is_empty() {
+        return local;
+    }
+    let item_to_sorted = &state.pre().item_to_sorted;
+    let positions: Vec<usize> = range
+        .clone()
+        .map(|item| item_to_sorted[item as usize] as usize)
+        .collect();
+    let candidates: Vec<SetView<'_>> = positions.iter().map(|&s| state.payload(s)).collect();
+    let mut out = vec![0u64; candidates.len()];
+    let self_item = match &job.probe {
+        ProbeData::Set(item) => {
+            let sp = item_to_sorted[*item as usize] as usize;
+            let view = state.payload(sp);
+            count_mixed_one_vs_many_into(&view, &candidates, &mut out);
+            // Corrections (failed insertions + live delta) per
+            // candidate; each is O(|failures| + |delta|), almost
+            // always a handful of probes on empty lists.
+            for (raw, &sb) in out.iter_mut().zip(&positions) {
+                *raw = state.corrected(*raw, sp, sb);
             }
-            ProbeData::Elements { bytes, .. } => {
-                let view = SetView::Tidlist(TidlistRef::from_bytes(&corp.pre.params, bytes));
-                count_mixed_one_vs_many_into(&view, &candidates, &mut out);
-                &[]
-            }
-        };
-        let probe_contains = |t: u32| -> bool {
-            match &job.probe {
-                ProbeData::Set(sp) => corp.pre.payload(*sp as usize).contains(t),
-                ProbeData::Elements { elements, .. } => elements.binary_search(&t).is_ok(),
-            }
-        };
-        // Corrections. Probe-side failures touch every candidate (but
-        // are almost always absent); candidate-side failures touch only
-        // the few positions on the failed list.
-        if !probe_failed.is_empty() {
-            for (i, cand) in candidates.iter().enumerate() {
-                out[i] += probe_failed.iter().filter(|&&t| cand.contains(t)).count() as u64;
-            }
+            Some(*item)
         }
-        let first = corp.failed_positions.partition_point(|&p| p < range.start);
-        for &pos in &corp.failed_positions[first..] {
-            if pos >= range.end {
-                break;
+        ProbeData::Elements { elements, bytes } => {
+            let view = SetView::Tidlist(TidlistRef::from_bytes(&state.pre().params, bytes));
+            count_mixed_one_vs_many_into(&view, &candidates, &mut out);
+            for (raw, &sb) in out.iter_mut().zip(&positions) {
+                *raw = state.corrected_adhoc(*raw, elements, sb);
             }
-            let fc = &corp.failed_by_set[pos as usize];
-            let mut extra = fc.iter().filter(|&&t| probe_contains(t)).count() as u64;
-            extra += sorted_intersection_count(probe_failed, fc);
-            out[(pos as usize) - lo] += extra;
+            None
         }
-        let self_pos = match &job.probe {
-            ProbeData::Set(sp) => Some(*sp),
-            ProbeData::Elements { .. } => None,
-        };
-        for (i, count) in out.into_iter().enumerate() {
-            let pos = (lo + i) as u32;
-            if count == 0 || Some(pos) == self_pos {
-                continue;
-            }
-            local.push((corp.pre.order[pos as usize], count));
+    };
+    for (item, count) in range.zip(out) {
+        if count == 0 || Some(item) == self_item {
+            continue;
         }
+        local.push((item, count));
     }
     local
 }

@@ -28,8 +28,11 @@ use std::io::{self, Read, Write};
 pub const HANDSHAKE_MAGIC: [u8; 8] = *b"BMSERVE\0";
 
 /// Wire protocol version (bumped on any incompatible encoding change).
-/// Version 2 added [`Response::Overloaded`] load shedding.
-pub const PROTOCOL_VERSION: u32 = 2;
+/// Version 2 added [`Response::Overloaded`] load shedding; version 3
+/// added the write path ([`Request::Insert`] / [`Request::Remove`] /
+/// [`Request::Flush`] and their [`Response::Applied`] /
+/// [`Response::Flushed`] acknowledgements).
+pub const PROTOCOL_VERSION: u32 = 3;
 
 /// Hard cap on one frame's payload, request or response (16 MiB).
 pub const MAX_FRAME_BYTES: usize = 1 << 24;
@@ -73,6 +76,27 @@ pub enum Request {
     /// Ask the server to stop accepting connections and exit; answered
     /// with [`Response::Bye`].
     Shutdown,
+    /// Fill free transaction slot `tid` with `items` (strictly
+    /// ascending original item ids). **Idempotent**: re-inserting a
+    /// live slot with identical items answers [`Response::Applied`]`(0)`
+    /// — so a client may safely re-issue after an ambiguous transport
+    /// failure — while different items are an error.
+    Insert {
+        /// The transaction slot (`< m`).
+        tid: u32,
+        /// The transaction's items, strictly ascending.
+        items: Vec<u32>,
+    },
+    /// Clear live transaction slot `tid`. **Idempotent**: removing a
+    /// free slot answers [`Response::Applied`]`(0)`.
+    Remove {
+        /// The transaction slot (`< m`).
+        tid: u32,
+    },
+    /// Compact accumulated deltas into a fresh base arena. Queries are
+    /// unaffected (compaction never changes any answer); answered with
+    /// [`Response::Flushed`].
+    Flush,
 }
 
 /// The probe side of a [`Request::TopK`] query.
@@ -107,6 +131,13 @@ pub enum Response {
     /// full. The query was **not** executed; it is safe (and expected)
     /// for the client to retry after backing off.
     Overloaded,
+    /// A write was applied: the number of set memberships it changed
+    /// (`0` for an idempotent re-apply).
+    Applied(u64),
+    /// A [`Request::Flush`] compacted: the number of delta memberships
+    /// folded into the fresh base (`0` when the corpus was already
+    /// clean).
+    Flushed(u64),
 }
 
 /// Summary of one levelwise mining run.
@@ -300,6 +331,16 @@ impl Request {
             }
             Request::Info => out.push(4),
             Request::Shutdown => out.push(5),
+            Request::Insert { tid, items } => {
+                out.push(6);
+                put_u32(out, *tid);
+                put_vec_u32(out, items);
+            }
+            Request::Remove { tid } => {
+                out.push(7);
+                put_u32(out, *tid);
+            }
+            Request::Flush => out.push(8),
         }
     }
 
@@ -331,6 +372,12 @@ impl Request {
             },
             4 => Request::Info,
             5 => Request::Shutdown,
+            6 => Request::Insert {
+                tid: c.u32()?,
+                items: c.vec_u32()?,
+            },
+            7 => Request::Remove { tid: c.u32()? },
+            8 => Request::Flush,
             t => return Err(err(format!("unknown request tag {t}"))),
         };
         c.finish()?;
@@ -390,6 +437,14 @@ impl Response {
             }
             Response::Bye => out.push(6),
             Response::Overloaded => out.push(7),
+            Response::Applied(n) => {
+                out.push(8);
+                put_u64(out, *n);
+            }
+            Response::Flushed(n) => {
+                out.push(9);
+                put_u64(out, *n);
+            }
         }
     }
 
@@ -447,6 +502,8 @@ impl Response {
             5 => Response::Error(c.string()?),
             6 => Response::Bye,
             7 => Response::Overloaded,
+            8 => Response::Applied(c.u64()?),
+            9 => Response::Flushed(c.u64()?),
             t => return Err(err(format!("unknown response tag {t}"))),
         };
         c.finish()?;
@@ -638,6 +695,16 @@ mod tests {
         });
         roundtrip_request(Request::Info);
         roundtrip_request(Request::Shutdown);
+        roundtrip_request(Request::Insert {
+            tid: 12,
+            items: vec![0, 7, 9, 4_000_000],
+        });
+        roundtrip_request(Request::Insert {
+            tid: u32::MAX,
+            items: vec![],
+        });
+        roundtrip_request(Request::Remove { tid: 99 });
+        roundtrip_request(Request::Flush);
     }
 
     #[test]
@@ -668,6 +735,9 @@ mod tests {
         roundtrip_response(Response::Error("no such set".into()));
         roundtrip_response(Response::Bye);
         roundtrip_response(Response::Overloaded);
+        roundtrip_response(Response::Applied(3));
+        roundtrip_response(Response::Applied(0));
+        roundtrip_response(Response::Flushed(u64::MAX));
     }
 
     #[test]

@@ -1,15 +1,16 @@
 //! Deterministic sharding of a corpus' sets across worker threads.
 //!
-//! Sets are identified internally by their *sorted position* in the
-//! width-sorted arena (`0..n_items`); the shard map carves that range
-//! into contiguous, near-equal chunks — one per worker. Contiguity is
-//! deliberate: a shard's candidate sets are a dense run of the arena,
-//! so a coalesced one-vs-many sweep walks memory in layout order.
-//! Determinism is deliberate too: the map depends only on `(n_sets,
-//! shards)`, so a single-threaded replay routes every query to the same
-//! shard and produces byte-identical responses.
+//! The engine carves the dense id range `0..n_sets` into contiguous,
+//! near-equal chunks — one per worker. It shards by **original item
+//! id**: item ids are the one name for a set that survives compaction
+//! (the width-sorted arena order permutes every time deltas fold in),
+//! so a job enqueued before a compaction still routes to — and is
+//! answered by — the right owner after it. Determinism is deliberate
+//! too: the map depends only on `(n_sets, shards)`, so a
+//! single-threaded replay routes every query to the same shard and
+//! produces byte-identical responses.
 
-/// Contiguous range map from sorted set positions to shard indices.
+/// Contiguous range map from dense set ids to shard indices.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ShardMap {
     n_sets: u32,

@@ -56,8 +56,9 @@ pub mod prelude {
     };
     pub use fim::{TransactionDb, VerticalDb};
     pub use pairminer::{
-        mine, mine_preprocessed, preprocess_with, Engine, LevelwiseConfig, LevelwiseMiner,
-        LevelwiseReport, MinerConfig, MiningReport, Preprocessed,
+        mine, mine_preprocessed, preprocess_with, Engine, IngestError, LayeredCorpus,
+        LevelwiseConfig, LevelwiseMiner, LevelwiseReport, MinerConfig, MiningReport, Preprocessed,
+        WindowedMiner,
     };
 }
 

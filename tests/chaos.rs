@@ -21,7 +21,7 @@ use batmap_server::{
     Client, EngineConfig, Probe, QueryEngine, Request, Response, RetryPolicy, Server,
 };
 use fim::{TransactionDb, VerticalDb};
-use pairminer::{preprocess_with, Preprocessed};
+use pairminer::{preprocess_with, LayeredCorpus, Preprocessed};
 use proptest::collection::vec;
 use proptest::prelude::*;
 use std::sync::Mutex;
@@ -55,6 +55,32 @@ fn db() -> TransactionDb {
             .map(|t| (0..20u32).filter(|&i| (t as u32 + i * 5) % 7 < 2).collect())
             .collect(),
     )
+}
+
+/// Like [`db`], but with the trailing 40 transaction slots left free so
+/// write-path tests have room to insert.
+fn writable_db() -> TransactionDb {
+    TransactionDb::new(
+        20,
+        (0..240usize)
+            .map(|t| {
+                if t >= 200 {
+                    Vec::new()
+                } else {
+                    (0..20u32).filter(|&i| (t as u32 + i * 5) % 7 < 2).collect()
+                }
+            })
+            .collect(),
+    )
+}
+
+/// Deterministic non-empty ascending item list for writes to slot `tid`.
+fn write_items(tid: u32) -> Vec<u32> {
+    let mut items: Vec<u32> = (0..20).filter(|&i| (tid + i * 3) % 5 < 2).collect();
+    if items.is_empty() {
+        items.push(tid % 20);
+    }
+    items
 }
 
 fn corpus(d: &TransactionDb) -> Preprocessed {
@@ -276,8 +302,291 @@ fn fault_menu(pick: u8, every: u8, limit: u8) -> (&'static str, String) {
     }
 }
 
+/// A compaction crash — at the in-memory swap or at any stage of the
+/// snapshot write — must leave the previously persisted snapshot fully
+/// loadable and the live corpus still answering exactly (the delta
+/// layer stays in place when the swap faults).
+#[test]
+fn crashed_compaction_leaves_previous_snapshot_loadable() {
+    let _guard = guarded();
+    let d = writable_db();
+    let options = EngineOptions::auto().repr(ReprPolicy::Hybrid);
+    let dir = std::env::temp_dir().join(format!("batmap-chaos-ingest-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("live.batmap");
+
+    let mut corpus = LayeredCorpus::new(&d, 7, 128, options);
+    corpus.compact_to_file(&path).unwrap();
+    let golden = std::fs::read(&path).unwrap();
+
+    // Dirty the corpus, then crash the in-memory swap: the compaction
+    // must fail whole, before anything moved.
+    corpus.insert_txn(201, &write_items(201)).unwrap();
+    let live_pair = corpus.pair_count(0, 3);
+    batmap::fault::arm("ingest.compact.swap", "error(injected swap crash)x1").unwrap();
+    assert!(
+        corpus.compact_to_file(&path).is_err(),
+        "swap fault must fail the compaction"
+    );
+    assert!(
+        corpus.is_dirty(),
+        "failed swap must leave the delta in place"
+    );
+    assert_eq!(
+        corpus.pair_count(0, 3),
+        live_pair,
+        "answers must survive the crash"
+    );
+    assert_eq!(
+        std::fs::read(&path).unwrap(),
+        golden,
+        "snapshot bytes must be untouched"
+    );
+    Preprocessed::read_snapshot_file(&path).unwrap();
+
+    // Crash the file rename instead: the swap goes through (corpus is
+    // clean) but the previous snapshot must still be the loadable one.
+    batmap::fault::arm("snapshot.write.rename", "error(injected rename crash)x1").unwrap();
+    assert!(
+        corpus.compact_to_file(&path).is_err(),
+        "rename fault must fail the write"
+    );
+    assert!(!corpus.is_dirty(), "the in-memory swap already happened");
+    assert_eq!(corpus.pair_count(0, 3), live_pair);
+    assert_eq!(
+        std::fs::read(&path).unwrap(),
+        golden,
+        "snapshot bytes must be untouched"
+    );
+    Preprocessed::read_snapshot_file(&path).unwrap();
+    batmap::fault::disarm_all();
+
+    // Faults spent: the snapshot persists and reloads to the same
+    // answers as the live corpus.
+    corpus.insert_txn(202, &write_items(202)).unwrap();
+    corpus.compact_to_file(&path).unwrap();
+    let reloaded = Preprocessed::read_snapshot_file(&path).unwrap();
+    let restored = LayeredCorpus::from_preprocessed(reloaded, 7);
+    for a in 0..20 {
+        for b in 0..20 {
+            assert_eq!(
+                restored.pair_count(a, b),
+                corpus.pair_count(a, b),
+                "({a},{b})"
+            );
+        }
+    }
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// Concurrent retrying clients mixing writes and reads while the apply
+/// path and both connection directions fault. Each client owns a
+/// disjoint block of free slots, so every slot's final state is decided
+/// by that client's own outcome log: a typed error means "not applied"
+/// (the fault fires before mutation), an `Applied` means the write took
+/// — even when the acknowledgement was a retried idempotent `Ok(0)`.
+/// Slots whose writes ended in a transport error are ambiguous and
+/// skipped. The surviving expectations are checked against the live
+/// server after disarming, before and after a flush.
+#[test]
+fn retrying_writers_reach_a_consistent_state_under_ingest_faults() {
+    let _guard = guarded();
+    let d = writable_db();
+    let pre = corpus(&d);
+    let engine = engine_with(&pre, 2, 0);
+    let handle = Server::bind_tcp("127.0.0.1:0").unwrap().serve(engine);
+    let addr = handle.tcp_addr().unwrap();
+
+    batmap::fault::arm("ingest.apply", "error(chaos apply)@3x6").unwrap();
+    batmap::fault::arm("server.conn.read", "error(chaos read)@7x2").unwrap();
+    batmap::fault::arm("server.conn.write", "error(chaos write)@9x2").unwrap();
+
+    const CLIENTS: u32 = 3;
+    const SLOTS: u32 = 8;
+    /// What one client learned about one of its slots.
+    enum Fate {
+        Present(Vec<u32>),
+        Absent,
+        Unknown,
+    }
+    let fates: Vec<(u32, Fate)> = std::thread::scope(|scope| {
+        let threads: Vec<_> = (0..CLIENTS)
+            .map(|c| {
+                scope.spawn(move || {
+                    let retry = RetryPolicy {
+                        max_retries: 8,
+                        base_backoff: std::time::Duration::from_millis(2),
+                        max_backoff: std::time::Duration::from_millis(20),
+                    };
+                    let base = 200 + c * SLOTS;
+                    let mut out = Vec::new();
+                    let Ok(client) = Client::connect_tcp(addr) else {
+                        // The read fault can kill the handshake; every
+                        // slot of this client stays unknown.
+                        return (base..base + SLOTS).map(|t| (t, Fate::Unknown)).collect();
+                    };
+                    let mut client = client.with_retry(retry);
+                    for tid in base..base + SLOTS {
+                        let items = write_items(tid);
+                        let mut fate = match client.call(
+                            0,
+                            &Request::Insert {
+                                tid,
+                                items: items.clone(),
+                            },
+                        ) {
+                            Ok(Response::Applied(_)) => Fate::Present(items.clone()),
+                            Ok(_) => Fate::Absent,
+                            Err(_) => Fate::Unknown,
+                        };
+                        // Interleave reads so the shard queues stay busy
+                        // while other clients write.
+                        let _ = client.call(
+                            0,
+                            &Request::Member {
+                                set: items[0],
+                                element: tid,
+                            },
+                        );
+                        let _ = client.call(
+                            0,
+                            &Request::Count {
+                                a: tid % 20,
+                                b: (tid + 3) % 20,
+                            },
+                        );
+                        if tid % 3 == 0 && !matches!(fate, Fate::Unknown) {
+                            fate = match client.call(0, &Request::Remove { tid }) {
+                                Ok(Response::Applied(_)) => Fate::Absent,
+                                Ok(_) => fate,
+                                Err(_) => Fate::Unknown,
+                            };
+                        }
+                        out.push((tid, fate));
+                    }
+                    out
+                })
+            })
+            .collect();
+        threads
+            .into_iter()
+            .flat_map(|t| t.join().unwrap())
+            .collect()
+    });
+    batmap::fault::disarm_all();
+
+    // The oracle pass: a fresh unfaulted client checks every decided
+    // slot, then flushes and checks again (compaction is invisible).
+    let mut oracle = Client::connect_tcp(addr).unwrap();
+    let mut decided = 0usize;
+    for round in 0..2 {
+        for (tid, fate) in &fates {
+            let want: &[u32] = match fate {
+                Fate::Present(items) => items,
+                Fate::Absent => &[],
+                Fate::Unknown => continue,
+            };
+            decided += 1;
+            for item in 0..20u32 {
+                assert_eq!(
+                    oracle.member(0, item, *tid).unwrap(),
+                    want.binary_search(&item).is_ok(),
+                    "round {round}: member({item}, {tid})"
+                );
+            }
+        }
+        if round == 0 {
+            oracle.flush(0).unwrap();
+        }
+    }
+    assert!(decided > 0, "at least some slots must reach a decided fate");
+
+    oracle.shutdown().unwrap();
+    handle.join();
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(5))]
+
+    /// A random sequential schedule of writes, flushes, and reads with
+    /// error faults armed at `ingest.apply` and `ingest.compact.swap`:
+    /// every delivered non-error response must be byte-identical to a
+    /// disarmed replay that applies exactly the acknowledged writes.
+    /// (Faults fire *before* mutation, so an errored write must be
+    /// invisible to every later answer.)
+    #[test]
+    fn write_faults_never_corrupt_delivered_answers(
+        ops in vec((0u8..6, any::<u32>(), any::<u32>()), 8..30),
+        apply_every in 1u8..5,
+        swap_every in 1u8..4,
+    ) {
+        let _guard = guarded();
+        let d = writable_db();
+        let pre = corpus(&d);
+        let engine = engine_with(&pre, 2, 0);
+        let clean = engine_with(&pre, 2, 0);
+
+        let requests: Vec<Request> = ops
+            .iter()
+            .map(|&(op, x, y)| match op {
+                0 | 1 => {
+                    let tid = 200 + x % 40;
+                    Request::Insert { tid, items: write_items(tid) }
+                }
+                2 => Request::Remove { tid: x % 240 },
+                3 => Request::Flush,
+                4 => Request::Count { a: x % 20, b: y % 20 },
+                _ => Request::Member { set: x % 20, element: y % 240 },
+            })
+            .collect();
+
+        batmap::fault::arm(
+            "ingest.apply",
+            &format!("error(chaos apply)@{apply_every}x4"),
+        ).unwrap();
+        batmap::fault::arm(
+            "ingest.compact.swap",
+            &format!("error(chaos swap)@{swap_every}x2"),
+        ).unwrap();
+        let delivered: Vec<Response> = requests
+            .iter()
+            .map(|request| engine.query(0, request.clone()))
+            .collect();
+        batmap::fault::disarm_all();
+
+        // Disarmed replay: re-issue reads and *acknowledged* writes in
+        // order. Errored writes left no trace, so skipping them must
+        // reproduce every delivered answer bit-for-bit.
+        for (j, (request, response)) in requests.iter().zip(&delivered).enumerate() {
+            let is_write = matches!(
+                request,
+                Request::Insert { .. } | Request::Remove { .. } | Request::Flush
+            );
+            if is_write && matches!(response, Response::Error(_)) {
+                continue;
+            }
+            let want = clean.query(0, request.clone());
+            prop_assert_eq!(
+                encode_response(j as u64, response),
+                encode_response(j as u64, &want),
+                "step {} ({:?}) diverged from the disarmed replay",
+                j,
+                request
+            );
+        }
+
+        // And the final states agree wholesale.
+        for a in 0..20u32 {
+            for b in 0..20u32 {
+                let request = Request::Count { a, b };
+                prop_assert_eq!(
+                    encode_response(0, &engine.query(0, request.clone())),
+                    encode_response(0, &clean.query(0, request)),
+                    "final count ({}, {})", a, b
+                );
+            }
+        }
+    }
 
     /// Concurrent retrying clients against a server with a random
     /// fault mix: connections drop, workers panic, frames stall. The

@@ -1,0 +1,221 @@
+//! Differential oracle for the incremental-ingestion layer.
+//!
+//! Property: for **any** interleaving of inserts, removes, queries, and
+//! compactions over a random corpus, the live [`LayeredCorpus`] answers
+//! every query — per-item counts, membership, pair counts, top-k, and
+//! levelwise mining reports — identically to a **from-scratch
+//! preprocess** of the final transaction multiset. And not just at the
+//! end: mid-stream probes along the interleaving must match a
+//! brute-force model of the live contents at that instant.
+//!
+//! The property is pinned across both storage-policy axes
+//! (`ReprPolicy::Batmap` and `ReprPolicy::Hybrid` — the delta layer
+//! must be invisible regardless of how the base represents each set)
+//! and across host parallelism 1 and 4 (mining fan-out must not change
+//! any report).
+
+use batmap::{EngineOptions, Parallelism, ReprPolicy};
+use fim::TransactionDb;
+use pairminer::{Engine, LayeredCorpus, LevelwiseConfig, LevelwiseMiner, MinerConfig};
+use proptest::collection::vec;
+use proptest::prelude::*;
+
+/// One scripted step of the interleaving.
+#[derive(Debug, Clone)]
+enum Step {
+    /// Toggle slot `tid`: insert a derived transaction when free,
+    /// remove when live.
+    Toggle { tid: u32, bits: u64 },
+    /// Re-apply the current state of slot `tid` (idempotence probe):
+    /// re-insert live slots with identical items, re-remove free ones —
+    /// both must answer 0 and change nothing.
+    Reapply { tid: u32 },
+    /// Fold all pending deltas into a fresh base arena.
+    Compact,
+    /// Check a pair count and an item count against the model.
+    Probe { a: u32, b: u32 },
+}
+
+fn materialize(ops: &[(u8, u32, u32, u64)], n: u32, m: u32) -> Vec<Step> {
+    ops.iter()
+        .map(|&(op, x, y, bits)| match op % 8 {
+            0..=3 => Step::Toggle { tid: x % m, bits },
+            4 => Step::Reapply { tid: x % m },
+            5 => Step::Compact,
+            _ => Step::Probe { a: x % n, b: y % n },
+        })
+        .collect()
+}
+
+/// Derive a non-empty, strictly ascending item list from a bit soup.
+fn derive_items(bits: u64, n: u32) -> Vec<u32> {
+    let mut items: Vec<u32> = (0..n).filter(|&i| (bits >> (i % 64)) & 1 == 1).collect();
+    if items.is_empty() {
+        items.push((bits % n as u64) as u32);
+    }
+    items
+}
+
+/// Brute-force pair count over the model's live transactions.
+fn model_pair(model: &[Vec<u32>], a: u32, b: u32) -> u64 {
+    model
+        .iter()
+        .filter(|t| t.binary_search(&a).is_ok() && t.binary_search(&b).is_ok())
+        .count() as u64
+}
+
+fn model_support(model: &[Vec<u32>], a: u32) -> u64 {
+    model.iter().filter(|t| t.binary_search(&a).is_ok()).count() as u64
+}
+
+fn mine_config(options: EngineOptions) -> LevelwiseConfig {
+    LevelwiseConfig {
+        depth: 3,
+        pair: MinerConfig {
+            engine: Engine::Cpu,
+            options,
+            ..MinerConfig::default()
+        },
+        ..LevelwiseConfig::default()
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    /// The differential oracle (see module docs).
+    #[test]
+    fn interleaved_writes_equal_from_scratch_preprocess(
+        n in 2u32..12,
+        m in 4u32..32,
+        start in vec(vec(any::<u32>(), 0..8usize), 0..16),
+        ops in vec((any::<u8>(), any::<u32>(), any::<u32>(), any::<u64>()), 5..40),
+        seed in 0u64..100,
+    ) {
+        // Seed database: some live slots, the rest free for writes.
+        let mut txns: Vec<Vec<u32>> = vec![Vec::new(); m as usize];
+        for (i, soup) in start.iter().enumerate() {
+            txns[i % m as usize] = soup.iter().map(|&x| x % n).collect();
+        }
+        let db = TransactionDb::new(n, txns);
+        let steps = materialize(&ops, n, m);
+
+        for policy in [ReprPolicy::Batmap, ReprPolicy::Hybrid] {
+            for threads in [Parallelism::Serial, Parallelism::threads(4)] {
+                let options = EngineOptions::auto().repr(policy).threads(threads);
+                let mut corpus = LayeredCorpus::new(&db, seed, 128, options);
+                // The model: live transactions, maintained in lockstep.
+                let mut model: Vec<Vec<u32>> = db.transactions().to_vec();
+
+                for step in &steps {
+                    match step {
+                        Step::Toggle { tid, bits } => {
+                            let t = *tid as usize;
+                            if model[t].is_empty() {
+                                let items = derive_items(*bits, n);
+                                let changed = corpus.insert_txn(*tid, &items).unwrap();
+                                prop_assert_eq!(changed, items.len() as u64);
+                                model[t] = items;
+                            } else {
+                                let changed = corpus.remove_txn(*tid).unwrap();
+                                prop_assert_eq!(changed, model[t].len() as u64);
+                                model[t].clear();
+                            }
+                        }
+                        Step::Reapply { tid } => {
+                            let t = *tid as usize;
+                            if model[t].is_empty() {
+                                prop_assert_eq!(corpus.remove_txn(*tid).unwrap(), 0);
+                            } else {
+                                let items = model[t].clone();
+                                prop_assert_eq!(corpus.insert_txn(*tid, &items).unwrap(), 0);
+                            }
+                        }
+                        Step::Compact => {
+                            corpus.compact().unwrap();
+                            prop_assert!(!corpus.is_dirty());
+                        }
+                        Step::Probe { a, b } => {
+                            prop_assert_eq!(corpus.pair_count(*a, *b), model_pair(&model, *a, *b));
+                            prop_assert_eq!(corpus.count(*a), model_support(&model, *a));
+                        }
+                    }
+                }
+
+                // Final state: every answer equals a from-scratch
+                // preprocess of the final transaction multiset.
+                let final_db = TransactionDb::new(n, model.clone());
+                let fresh = LayeredCorpus::new(&final_db, seed.wrapping_add(1), 128, options);
+                for a in 0..n {
+                    prop_assert_eq!(corpus.count(a), fresh.count(a), "count({})", a);
+                    for b in 0..n {
+                        prop_assert_eq!(
+                            corpus.pair_count(a, b),
+                            fresh.pair_count(a, b),
+                            "pair ({}, {}) under {:?}",
+                            a, b, policy
+                        );
+                    }
+                    prop_assert_eq!(
+                        corpus.top_k(a, 5),
+                        fresh.top_k(a, 5),
+                        "top-k of {} under {:?}",
+                        a, policy
+                    );
+                }
+                for tid in 0..m {
+                    for a in 0..n {
+                        prop_assert_eq!(
+                            corpus.member(a, tid),
+                            model[tid as usize].binary_search(&a).is_ok(),
+                            "member({}, {})", a, tid
+                        );
+                    }
+                }
+
+                // Levelwise mining: the live corpus' report (compacting
+                // its deltas) equals a from-scratch mine of the final
+                // database — same itemsets, same supports.
+                let report = corpus.mine(mine_config(options)).unwrap();
+                let scratch = LevelwiseMiner::new(mine_config(options)).mine(&final_db);
+                prop_assert_eq!(&report.itemsets, &scratch.itemsets);
+                prop_assert_eq!(report.levels.len(), scratch.levels.len());
+                for (have, want) in report.levels.iter().zip(&scratch.levels) {
+                    prop_assert_eq!(have.k, want.k);
+                    prop_assert_eq!(have.frequent, want.frequent);
+                }
+            }
+        }
+    }
+}
+
+/// Compaction mid-stream is query-invisible: interleaving a compact
+/// between every write gives the same answers as never compacting.
+#[test]
+fn compaction_placement_is_query_invisible() {
+    let n = 8u32;
+    let m = 16u32;
+    let db = TransactionDb::new(n, vec![Vec::new(); m as usize]);
+    let options = EngineOptions::auto().repr(ReprPolicy::Hybrid);
+    let mut eager = LayeredCorpus::new(&db, 3, 128, options);
+    let mut lazy = LayeredCorpus::new(&db, 3, 128, options);
+    let writes: Vec<(u32, Vec<u32>)> = (0..m)
+        .map(|t| (t, (0..n).filter(|&i| (t + i) % 3 != 0).collect()))
+        .collect();
+    for (tid, items) in &writes {
+        if items.is_empty() {
+            continue;
+        }
+        eager.insert_txn(*tid, items).unwrap();
+        lazy.insert_txn(*tid, items).unwrap();
+        eager.compact().unwrap();
+        for a in 0..n {
+            assert_eq!(eager.count(a), lazy.count(a));
+            for b in 0..n {
+                assert_eq!(eager.pair_count(a, b), lazy.pair_count(a, b), "({a},{b})");
+            }
+        }
+    }
+    assert!(!eager.is_dirty());
+    assert!(lazy.is_dirty());
+}

@@ -70,6 +70,15 @@ fn hybrid_snapshot(d: &TransactionDb, seed: u64) -> Preprocessed {
     Preprocessed::read_snapshot(&mut buf.as_slice()).unwrap()
 }
 
+/// Derive a non-empty, strictly ascending item list from a bit soup.
+fn derive_items(bits: u64, n: u32) -> Vec<u32> {
+    let mut items: Vec<u32> = (0..n).filter(|&i| (bits >> (i % 64)) & 1 == 1).collect();
+    if items.is_empty() {
+        items.push((bits % n as u64) as u32);
+    }
+    items
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(10))]
 
@@ -151,6 +160,136 @@ proptest! {
                         shards
                     );
                 }
+            }
+        }
+    }
+
+    /// Byte-identity with interleaved writes: a writer client mutates
+    /// the served corpus through the wire protocol between rounds of
+    /// concurrent batched reads, with every acknowledged write mirrored
+    /// onto a sequential batching-off replay engine. Writes land at
+    /// round boundaries (the one ordering a byte-exact oracle can pin
+    /// — mid-flight interleavings are the chaos suite's domain), so
+    /// every batched read round must replay bit-for-bit, however the
+    /// admission queues coalesced it and wherever compaction struck.
+    #[test]
+    fn batched_reads_stay_identical_across_interleaved_writes(
+        db in arb_db(),
+        rounds in vec(
+            (
+                vec((any::<u32>(), any::<u64>()), 0..6),
+                vec((0u8..6, any::<u32>(), any::<u32>(), any::<u64>()), 2..10),
+                any::<bool>(),
+            ),
+            1..4,
+        ),
+        seed in 0u64..100,
+    ) {
+        // Leave trailing slots free so the writer has room to insert.
+        let n = db.n_items();
+        let mut txns = db.transactions().to_vec();
+        txns.extend(std::iter::repeat_with(Vec::new).take(8));
+        let db = TransactionDb::new(n, txns);
+        let m = db.len() as u32;
+        let pre = hybrid_snapshot(&db, seed);
+
+        for threads in [Parallelism::Serial, Parallelism::threads(4)] {
+            for shards in [1usize, 2] {
+                let options = EngineOptions::auto().threads(threads);
+                let engine = QueryEngine::new(
+                    vec![pre.clone()],
+                    EngineConfig { options, shards, batching: true, ..EngineConfig::default() },
+                );
+                let replay_engine = QueryEngine::new(
+                    vec![pre.clone()],
+                    EngineConfig { options, shards, batching: false, ..EngineConfig::default() },
+                );
+                let handle = Server::bind_tcp("127.0.0.1:0").unwrap().serve(engine);
+                let addr = handle.tcp_addr().unwrap();
+                let mut writer = Client::connect_tcp(addr).unwrap();
+                let mut model: Vec<Vec<u32>> = db.transactions().to_vec();
+
+                for (writes, reads, flush) in &rounds {
+                    // Write phase: toggle slots over the wire, mirroring
+                    // each acknowledged write onto the replay engine —
+                    // both must acknowledge identically.
+                    for &(t, bits) in writes {
+                        let tid = t % m;
+                        let request = if model[tid as usize].is_empty() {
+                            let items = derive_items(bits, n);
+                            model[tid as usize] = items.clone();
+                            Request::Insert { tid, items }
+                        } else {
+                            model[tid as usize].clear();
+                            Request::Remove { tid }
+                        };
+                        let served = writer.call(0, &request).unwrap();
+                        let mirrored = replay_engine.query(0, request.clone());
+                        prop_assert_eq!(
+                            encode_response(0, &served),
+                            encode_response(0, &mirrored),
+                            "write ack {:?} diverged", &request
+                        );
+                    }
+                    if *flush {
+                        // Compact the served side only: compaction must
+                        // be invisible next to the delta-layered replay.
+                        writer.flush(0).unwrap();
+                    }
+
+                    // Read phase: concurrent pipelining clients vs the
+                    // sequential batching-off replay of the same state.
+                    // `Info` is the one read that is *not*
+                    // compaction-invisible (the repr histogram and
+                    // failed count may legitimately change when a
+                    // racing `Mine` folds the deltas), so its
+                    // byte-identity would depend on queue ordering —
+                    // swap it for a count.
+                    let requests: Vec<Request> = materialize(reads, n, m)
+                        .into_iter()
+                        .map(|request| match request {
+                            Request::Info => Request::Count { a: 0, b: n - 1 },
+                            other => other,
+                        })
+                        .collect();
+                    let mut by_client: Vec<Vec<(usize, Request)>> =
+                        (0..CLIENTS).map(|_| Vec::new()).collect();
+                    for (j, request) in requests.iter().enumerate() {
+                        by_client[j % CLIENTS].push((j, request.clone()));
+                    }
+                    let mut served: Vec<Option<batmap_server::Response>> =
+                        vec![None; requests.len()];
+                    std::thread::scope(|scope| {
+                        let answers: Vec<_> = by_client
+                            .iter()
+                            .map(|slice| {
+                                scope.spawn(move || {
+                                    let mut client = Client::connect_tcp(addr).unwrap();
+                                    let reqs: Vec<Request> =
+                                        slice.iter().map(|(_, r)| r.clone()).collect();
+                                    client.pipeline(0, &reqs).unwrap()
+                                })
+                            })
+                            .collect();
+                        for (slice, thread) in by_client.iter().zip(answers) {
+                            for ((j, _), response) in slice.iter().zip(thread.join().unwrap()) {
+                                served[*j] = Some(response);
+                            }
+                        }
+                    });
+                    for (j, request) in requests.iter().enumerate() {
+                        let concurrent = served[j].clone().unwrap();
+                        let sequential = replay_engine.query(0, request.clone());
+                        prop_assert_eq!(
+                            encode_response(j as u64, &concurrent),
+                            encode_response(j as u64, &sequential),
+                            "read {} ({:?}) after writes, threads {} shards {} flush {}",
+                            j, request, threads, shards, flush
+                        );
+                    }
+                }
+                drop(writer);
+                drop(handle);
             }
         }
     }

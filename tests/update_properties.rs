@@ -1,0 +1,188 @@
+//! Property tests for the in-place update path (`insert_mut` /
+//! `remove_mut`), aimed at the boundaries the unit tests in
+//! `core/src/update.rs` only spot-check:
+//!
+//! * **Power-of-two range doublings** — growth must fire exactly when
+//!   the sizing policy demands it (`range_for(len + 1) > range()`), and
+//!   every rebuild must land on a power-of-two range that the policy
+//!   would accept for the new size.
+//! * **Eviction-chain indicator-bit repair** — a long random
+//!   interleaving under a deliberately tiny `MaxLoop` forces eviction
+//!   chains and mid-chain failures; afterwards the cyclic-order
+//!   invariant (exactly one indicator bit per element) and positional
+//!   intersection exactness must both hold, including against an
+//!   independently *built* batmap of a different width.
+//! * **Remove-then-reinsert round trips** — deleting and re-adding any
+//!   subset must restore the exact query behaviour of the original set.
+
+use batmap::params::BatmapParams;
+use batmap::{slot, Batmap, UpdateOutcome};
+use proptest::collection::vec;
+use proptest::prelude::*;
+use std::collections::BTreeSet;
+use std::sync::Arc;
+
+const M: u64 = 8_192;
+
+fn params(seed: u64, max_loop: u32) -> Arc<BatmapParams> {
+    Arc::new(BatmapParams::with_max_loop(M, seed, max_loop))
+}
+
+/// The indicator invariant: every live element owns exactly one set
+/// indicator bit across its two copies, so the number of set bits among
+/// occupied slots equals the cardinality.
+fn assert_indicators(bm: &Batmap) {
+    let ones = bm
+        .as_bytes()
+        .iter()
+        .filter(|&&b| !slot::is_empty(b) && slot::indicator(b))
+        .count();
+    assert_eq!(ones, bm.len(), "exactly one indicator bit per element");
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Growth fires exactly at the policy boundary, and every rebuild
+    /// (policy-driven or eviction-failure) lands on a power-of-two
+    /// range wide enough for the new cardinality.
+    #[test]
+    fn growth_fires_exactly_at_policy_boundary(
+        raw in vec(any::<u32>(), 1..400usize),
+        seed in 0u64..50,
+    ) {
+        let p = params(seed, 32);
+        let mut bm = Batmap::build(p.clone(), &[]).batmap;
+        let mut live = BTreeSet::new();
+        for x in raw.iter().map(|&x| x % M as u32) {
+            let predicted = !live.contains(&x)
+                && p.range_for(bm.len() + 1) > bm.range();
+            let before = bm.range();
+            let outcome = bm.insert_mut(x);
+            if live.insert(x) {
+                prop_assert_ne!(outcome, UpdateOutcome::AlreadyPresent);
+            } else {
+                prop_assert_eq!(outcome, UpdateOutcome::AlreadyPresent);
+            }
+            if predicted {
+                // The policy boundary *must* trigger a growth rebuild…
+                prop_assert_eq!(outcome, UpdateOutcome::InsertedWithGrowth);
+            }
+            if outcome == UpdateOutcome::InsertedWithGrowth {
+                // …and any rebuild (boundary or eviction failure) must
+                // double to a power of two the policy accepts.
+                prop_assert!(bm.range() > before, "growth must widen the range");
+                prop_assert!(bm.range().is_power_of_two());
+            }
+            prop_assert!(
+                bm.range() >= p.range_for(bm.len()),
+                "range {} below policy minimum {} for {} elements",
+                bm.range(), p.range_for(bm.len()), bm.len()
+            );
+            prop_assert_eq!(bm.len(), live.len());
+        }
+        let mut got = bm.elements();
+        got.sort_unstable();
+        prop_assert_eq!(got, live.into_iter().collect::<Vec<_>>());
+    }
+
+    /// Long interleavings under a tiny `MaxLoop` (so eviction chains
+    /// and mid-chain failures are common) preserve the indicator
+    /// invariant and exact positional intersection — against itself,
+    /// against a fresh build of the same set, and against an
+    /// independently built probe of a different width.
+    #[test]
+    fn eviction_chains_repair_indicator_bits(
+        ops in vec((any::<bool>(), any::<u32>()), 1..600usize),
+        probe_raw in vec(any::<u32>(), 0..200usize),
+        seed in 0u64..50,
+    ) {
+        // max_loop = 4 makes try_insert_copies fail often, exercising
+        // the decode-occupants recovery rebuild. Built maps may shed
+        // failed elements under that budget (§III-C), so expectations
+        // use what each build actually stored.
+        let p = params(seed, 4);
+        let probe_set: BTreeSet<u32> =
+            probe_raw.iter().map(|&x| x % M as u32).collect();
+        let probe =
+            Batmap::build(p.clone(), &probe_set.iter().copied().collect::<Vec<_>>()).batmap;
+        let probe_stored: BTreeSet<u32> = probe.elements().into_iter().collect();
+
+        let mut bm = Batmap::build(p.clone(), &[]).batmap;
+        let mut live: BTreeSet<u32> = BTreeSet::new();
+        for &(is_remove, raw) in &ops {
+            let x = raw % M as u32;
+            if is_remove {
+                prop_assert_eq!(bm.remove_mut(x), live.remove(&x));
+            } else {
+                let outcome = bm.insert_mut(x);
+                prop_assert_eq!(
+                    outcome == UpdateOutcome::AlreadyPresent,
+                    !live.insert(x)
+                );
+            }
+        }
+        assert_indicators(&bm);
+        prop_assert_eq!(bm.len(), live.len());
+        prop_assert_eq!(bm.intersect_count(&bm), live.len() as u64);
+
+        // Positional sweep against a *built* map of the same contents:
+        // indicator bits on both sides must agree element-for-element
+        // (on everything the build managed to place).
+        let rebuilt =
+            Batmap::build(p, &live.iter().copied().collect::<Vec<_>>()).batmap;
+        prop_assert_eq!(bm.intersect_count(&rebuilt), rebuilt.len() as u64);
+        prop_assert_eq!(
+            bm.intersect_count(&probe),
+            live.intersection(&probe_stored).count() as u64
+        );
+    }
+
+    /// Removing any subset and re-inserting it restores the original
+    /// query behaviour exactly (membership, cardinality, and positional
+    /// intersections), no matter how the eviction chains replayed.
+    #[test]
+    fn remove_then_reinsert_round_trips(
+        base_raw in vec(any::<u32>(), 1..300usize),
+        picks in vec(any::<u32>(), 1..80usize),
+        seed in 0u64..50,
+    ) {
+        let p = params(seed, 16);
+        let base_set: BTreeSet<u32> = base_raw.iter().map(|&x| x % M as u32).collect();
+        let requested: Vec<u32> = base_set.iter().copied().collect();
+        let reference = Batmap::build(p.clone(), &requested).batmap;
+        // Builds are deterministic, so `bm` starts with exactly the
+        // elements `reference` stored (failures under the MaxLoop
+        // budget drop out of both identically).
+        let mut bm = Batmap::build(p, &requested).batmap;
+        let mut elements = bm.elements();
+        elements.sort_unstable();
+        prop_assume!(!elements.is_empty());
+        let base: BTreeSet<u32> = elements.iter().copied().collect();
+        let victims: BTreeSet<u32> = picks
+            .iter()
+            .map(|&ix| elements[ix as usize % elements.len()])
+            .collect();
+        for &x in &victims {
+            prop_assert!(bm.remove_mut(x), "{} was present", x);
+            prop_assert!(!bm.contains(x));
+            prop_assert!(!bm.remove_mut(x), "double remove of {}", x);
+        }
+        prop_assert_eq!(bm.len(), base.len() - victims.len());
+        assert_indicators(&bm);
+        for &x in &victims {
+            prop_assert_ne!(bm.insert_mut(x), UpdateOutcome::AlreadyPresent);
+        }
+
+        prop_assert_eq!(bm.len(), base.len());
+        assert_indicators(&bm);
+        for &x in &elements {
+            prop_assert!(bm.contains(x), "{} lost in round trip", x);
+        }
+        // The round-tripped map and the untouched reference must agree
+        // under the positional kernel even though their slot layouts
+        // may differ.
+        prop_assert_eq!(bm.intersect_count(&reference), base.len() as u64);
+        prop_assert_eq!(bm.intersect_count(&bm), base.len() as u64);
+    }
+}
