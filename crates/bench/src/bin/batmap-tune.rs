@@ -1,0 +1,209 @@
+//! `batmap-tune` — measure this machine's [`TuningProfile`] and persist
+//! it as JSON for `BATMAP_TUNING`.
+//!
+//! ```text
+//! batmap-tune [--out PATH] [--quick] [--seed N] [--kernel NAME]
+//!             [--threads N] [--repr NAME]
+//! ```
+//!
+//! Three passes, each the body of an existing bench so the tuner and
+//! the ablation trajectory measure the same thing:
+//!
+//! 1. **tile side** — the `ablation_tilesize` sweep: the CPU mining
+//!    pipeline over one preprocessed corpus across candidate `k`s.
+//! 2. **sweep block** — the `one_vs_many` fixture through the batched
+//!    driver across candidate block sizes (prefetch pinned).
+//! 3. **prefetch distance** — the same fixture across candidate
+//!    lookahead distances (block pinned to the pass-2 winner).
+//!
+//! Every candidate is timed as the minimum of several repetitions (the
+//! usual noise floor for short kernels), the winner per pass goes into
+//! the profile, and the profile is written with [`TuningProfile::save`]
+//! — point `BATMAP_TUNING` at it and every binary in the workspace
+//! picks it up. None of these knobs changes any count, so a stale or
+//! mis-measured profile can only cost speed, never correctness.
+
+use batmap::{intersect, EngineOptions, TuningProfile};
+use datagen::uniform::{generate, UniformSpec};
+use fim::VerticalDb;
+use hpcutil::Table;
+use pairminer::{mine_preprocessed, preprocess_with, Engine, MinerConfig};
+use std::path::PathBuf;
+
+struct Args {
+    out: PathBuf,
+    quick: bool,
+    seed: u64,
+    options: EngineOptions,
+}
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        out: PathBuf::from("batmap-tuning.json"),
+        quick: false,
+        seed: 0x7E7E,
+        options: EngineOptions::auto(),
+    };
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let usage = "usage: batmap-tune [--out PATH] [--quick] [--seed N] plus the engine flags:\n";
+    let mut i = 0;
+    let value = |argv: &[String], i: &mut usize, what: &str| -> String {
+        *i += 1;
+        argv.get(*i).cloned().unwrap_or_else(|| {
+            eprintln!(
+                "{what} takes a value\n{usage}{}",
+                batmap::options::FLAGS_USAGE
+            );
+            std::process::exit(2);
+        })
+    };
+    while i < argv.len() {
+        match argv[i].as_str() {
+            "--out" => args.out = PathBuf::from(value(&argv, &mut i, "--out")),
+            "--seed" => {
+                args.seed = value(&argv, &mut i, "--seed")
+                    .parse()
+                    .expect("--seed takes an integer")
+            }
+            "--quick" => args.quick = true,
+            flag @ ("--kernel" | "--threads" | "--repr" | "--load") => {
+                let v = value(&argv, &mut i, flag);
+                if let Err(message) = args.options.set_flag(flag, &v) {
+                    eprintln!("{message}\n{usage}{}", batmap::options::FLAGS_USAGE);
+                    std::process::exit(2);
+                }
+            }
+            other => {
+                eprintln!(
+                    "unknown argument {other}\n{usage}{}",
+                    batmap::options::FLAGS_USAGE
+                );
+                std::process::exit(2);
+            }
+        }
+        i += 1;
+    }
+    args
+}
+
+/// Minimum wall time of `reps` runs of `body` — the standard noise
+/// floor for short measured regions.
+fn min_wall(reps: usize, mut body: impl FnMut()) -> f64 {
+    let mut best = f64::INFINITY;
+    for _ in 0..reps {
+        let t0 = std::time::Instant::now();
+        body();
+        best = best.min(t0.elapsed().as_secs_f64());
+    }
+    best
+}
+
+fn main() {
+    let args = parse_args();
+    let reps = if args.quick { 2 } else { 4 };
+    let mut table = Table::new(&["pass", "candidate", "best_wall_s", "winner"]);
+
+    // Pass 1: tile side, via the ablation_tilesize workload (CPU
+    // pipeline over one preprocessed corpus; only `k` varies).
+    let db = generate(&UniformSpec {
+        n_items: 128,
+        density: 0.05,
+        total_items: if args.quick { 20_000 } else { 60_000 },
+        seed: args.seed,
+    });
+    let v = VerticalDb::from_horizontal(&db);
+    let base = MinerConfig {
+        engine: Engine::Cpu,
+        options: args.options,
+        ..MinerConfig::default()
+    };
+    let pre = preprocess_with(&v, base.seed, base.max_loop, base.options);
+    let tile_candidates: &[usize] = if args.quick {
+        &[512, 2048]
+    } else {
+        &[256, 512, 1024, 2048, 4096]
+    };
+    let mut tile_side = (0usize, f64::INFINITY);
+    for &k in tile_candidates {
+        let config = MinerConfig { k, ..base.clone() };
+        let wall = min_wall(reps, || {
+            std::hint::black_box(mine_preprocessed(&db, &pre, &config).pairs.len());
+        });
+        if wall < tile_side.1 {
+            tile_side = (k, wall);
+        }
+        table.row_owned(vec![
+            "tile_side".into(),
+            k.to_string(),
+            format!("{wall:.4}"),
+            String::new(),
+        ]);
+    }
+
+    // Passes 2–3: the batched one-vs-many driver (the perf_suite
+    // fixture), sweeping block size then prefetch distance.
+    let (probe, many) = bench::one_vs_many_fixture(512, args.seed, args.options.kernel);
+    let backend = args.options.kernel;
+    let sweep_reps = if args.quick { 3 } else { 8 };
+    let time_profile = |profile: TuningProfile| -> f64 {
+        let mut out = vec![0u64; many.len()];
+        min_wall(sweep_reps, || {
+            intersect::count_one_vs_many_tuned(backend, &probe, &many, &mut out, profile);
+            std::hint::black_box(&out);
+        })
+    };
+    let mut sweep_block = (0usize, f64::INFINITY);
+    for block in [1usize, 2, 4, 8] {
+        let wall = time_profile(TuningProfile {
+            sweep_block: block,
+            ..TuningProfile::default()
+        });
+        if wall < sweep_block.1 {
+            sweep_block = (block, wall);
+        }
+        table.row_owned(vec![
+            "sweep_block".into(),
+            block.to_string(),
+            format!("{wall:.5}"),
+            String::new(),
+        ]);
+    }
+    let mut prefetch_dist = (0usize, f64::INFINITY);
+    for dist in [0usize, 1, 2, 4, 8, 16] {
+        let wall = time_profile(TuningProfile {
+            sweep_block: sweep_block.0,
+            prefetch_dist: dist,
+            ..TuningProfile::default()
+        });
+        if wall < prefetch_dist.1 {
+            prefetch_dist = (dist, wall);
+        }
+        table.row_owned(vec![
+            "prefetch_dist".into(),
+            dist.to_string(),
+            format!("{wall:.5}"),
+            String::new(),
+        ]);
+    }
+
+    let profile = TuningProfile {
+        tile_side: tile_side.0,
+        sweep_block: sweep_block.0,
+        prefetch_dist: prefetch_dist.0,
+    }
+    .sanitized();
+    table.row_owned(vec![
+        "profile".into(),
+        profile.to_json(),
+        String::new(),
+        "*".into(),
+    ]);
+    table.print();
+
+    profile.save(&args.out).expect("write tuning profile");
+    println!(
+        "wrote {} — export BATMAP_TUNING={} to use it",
+        args.out.display(),
+        args.out.display()
+    );
+}

@@ -7,7 +7,7 @@
 //! ```text
 //! perf_suite [--out DIR] [--check BASELINE_DIR] [--factor F]
 //!            [--quick] [--seed N] [--kernel NAME] [--threads N]
-//!            [--repr NAME]
+//!            [--repr NAME] [--load NAME]
 //! ```
 //!
 //! `--check` compares the fresh reports against the baseline JSONs in
@@ -19,8 +19,8 @@
 //! excluded from the check rather than reported as vanished.
 
 use batmap::{
-    intersect, ArenaBuilder, BatmapParams, EngineOptions, KernelBackend, Parallelism, ReprPolicy,
-    SetRepr, ALL_BACKENDS,
+    intersect, ArenaBuilder, AsSlots, Batmap, BatmapArena, BatmapParams, EngineOptions,
+    KernelBackend, Parallelism, ReprPolicy, SetRepr, SnapshotLoad, TuningProfile, ALL_BACKENDS,
 };
 use bench::report::{load_dir, regression_failures, DatasetParams, PerfReport};
 use datagen::uniform::{generate, UniformSpec};
@@ -110,7 +110,7 @@ fn parse_args() -> Args {
                     .parse()
                     .expect("--seed takes an integer")
             }
-            flag @ ("--kernel" | "--threads" | "--repr") => {
+            flag @ ("--kernel" | "--threads" | "--repr" | "--load") => {
                 let v = value(&argv, &mut i, flag);
                 if let Err(message) = args.options.set_flag(flag, &v) {
                     eprintln!("{message}\n{usage}{}", batmap::options::FLAGS_USAGE);
@@ -1218,6 +1218,179 @@ fn mine_windowed_scenario(args: &Args) -> PerfReport {
     )
 }
 
+/// The zero-copy cold-start scenario: write a ≥64 MiB corpus snapshot,
+/// then time bringing it back into service through both load paths —
+/// the eager heap-buffered read (payload read + checksummed up front)
+/// and the mmap open (header/directory validated, payload left to
+/// fault in). Hard-asserts the tentpole claim: the mmap open is ≥10×
+/// faster than the buffered load on this corpus, and both paths serve
+/// byte-identical answers. The gated metric is payload bytes over the
+/// mmap open + first-query wall — "milliseconds to first answer on a
+/// cold multi-MiB corpus".
+fn snapshot_load_scenario(args: &Args) -> PerfReport {
+    const DISTINCT: usize = 8;
+    const TARGET_BYTES: usize = 64 << 20;
+    let m: u64 = 2_000_000;
+    let set_len: u32 = 120_000;
+
+    let params = Arc::new(
+        BatmapParams::new(m, args.seed).with_engine_options(args.options.repr(ReprPolicy::Batmap)),
+    );
+    // A few distinct wide batmaps, cycled until the arena clears the
+    // size floor: building is cheap, and repeated pushes of prebuilt
+    // sets keep the setup out of the measured window.
+    let distinct: Vec<Batmap> = (0..DISTINCT as u32)
+        .map(|d| {
+            let elements: Vec<u32> = (0..set_len)
+                .map(|i| (i * (m as u32 / set_len)).wrapping_add(d * 131))
+                .collect();
+            Batmap::build(params.clone(), &elements).batmap
+        })
+        .collect();
+    let mut builder = ArenaBuilder::new(params.clone());
+    let mut bytes = 0usize;
+    while bytes < TARGET_BYTES {
+        let b = &distinct[builder.len() % DISTINCT];
+        bytes += b.slot_bytes().len();
+        builder.push(b);
+    }
+    let arena = builder.finish();
+    let dir = std::env::temp_dir().join(format!("batmap-perf-snapshot-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("create snapshot dir");
+    let path = dir.join("corpus.arena");
+    arena.write_to_file(&path).expect("write snapshot");
+    let payload_bytes = arena.backing_bytes();
+    assert!(
+        payload_bytes >= TARGET_BYTES,
+        "corpus must clear the 64 MiB floor"
+    );
+    let first_query = |a: &BatmapArena| -> u64 {
+        // One real positional sweep against the widest pair — the
+        // "first answer" a cold server produces.
+        a.get(0).intersect_count(&a.get(1))
+    };
+
+    // Buffered: one open is representative (the read + checksum of the
+    // whole payload dominates by orders of magnitude).
+    let t0 = std::time::Instant::now();
+    let buffered =
+        BatmapArena::read_from_file_with(&path, SnapshotLoad::Buffered).expect("buffered load");
+    let buffered_load = t0.elapsed().as_secs_f64();
+    let buffered_answer = first_query(&buffered);
+
+    // Mmap: open a few times and keep the best; the open is so short
+    // that scheduler noise would otherwise dominate the ratio.
+    let mut mmap_load = f64::INFINITY;
+    let mut mapped = None;
+    for _ in 0..5 {
+        let t0 = std::time::Instant::now();
+        let a = BatmapArena::read_from_file_with(&path, SnapshotLoad::Mmap).expect("mmap load");
+        mmap_load = mmap_load.min(t0.elapsed().as_secs_f64());
+        mapped = Some(a);
+    }
+    let mapped = mapped.expect("at least one mmap open");
+    let t0 = std::time::Instant::now();
+    let mapped_answer = first_query(&mapped);
+    let first_query_s = t0.elapsed().as_secs_f64();
+
+    // The zero-copy contract, asserted every run.
+    assert_eq!(
+        mapped_answer, buffered_answer,
+        "load paths must serve identical answers"
+    );
+    for i in (0..arena.len()).step_by(arena.len() / 7 + 1) {
+        assert_eq!(
+            mapped.get(i).as_bytes(),
+            buffered.get(i).as_bytes(),
+            "set {i} must be byte-identical across load paths"
+        );
+    }
+    assert!(mapped.verification_pending() && !buffered.verification_pending());
+    mapped
+        .verify()
+        .expect("deferred checksum over a pristine snapshot");
+    assert!(
+        buffered_load >= 10.0 * mmap_load,
+        "mmap load must be ≥10x faster than buffered on a {payload_bytes}-byte corpus \
+         (buffered {buffered_load:.4}s vs mmap {mmap_load:.6}s)"
+    );
+    println!(
+        "snapshot_load: {:.1} MiB corpus, buffered {buffered_load:.4}s, mmap {mmap_load:.6}s \
+         ({:.0}x), first query {first_query_s:.6}s",
+        payload_bytes as f64 / (1 << 20) as f64,
+        buffered_load / mmap_load
+    );
+    let _ = std::fs::remove_file(&path);
+    PerfReport::new(
+        "snapshot_load",
+        args.options.kernel.resolve().name(),
+        "mmap-cold-start",
+        1,
+        mmap_load + first_query_s,
+        payload_bytes as u64,
+        DatasetParams {
+            n_items: arena.len() as u32,
+            total_items: payload_bytes,
+            density: 0.0,
+            seed: args.seed,
+            k: 0,
+        },
+    )
+}
+
+/// The software-prefetch scenario: the batched one-vs-many driver over
+/// a candidate block too large for cache, with the autotuned profile's
+/// prefetch distance against a prefetch-off profile. The gated arm is
+/// the default (prefetching) profile; the off arm is printed for the
+/// mechanism attribution, and both arms must count identically.
+fn intersect_prefetch_scenario(args: &Args) -> PerfReport {
+    const CANDIDATES: usize = 512;
+    let reps = if args.quick { 4 } else { 12 };
+    let (probe, many) = bench::one_vs_many_fixture(CANDIDATES, args.seed, args.options.kernel);
+    let backend = args.options.kernel;
+    let run = |profile: TuningProfile| -> (f64, Vec<u64>) {
+        let mut out = vec![0u64; many.len()];
+        let t0 = std::time::Instant::now();
+        for _ in 0..reps {
+            intersect::count_one_vs_many_tuned(backend, &probe, &many, &mut out, profile);
+        }
+        (t0.elapsed().as_secs_f64(), out)
+    };
+    let tuned = TuningProfile::current();
+    let off = TuningProfile {
+        prefetch_dist: 0,
+        ..tuned
+    };
+    // Warm once so first-touch page faults land outside both arms.
+    let _ = run(off);
+    let (off_wall, off_counts) = run(off);
+    let (tuned_wall, tuned_counts) = run(tuned);
+    assert_eq!(
+        tuned_counts, off_counts,
+        "the prefetch distance must never change counts"
+    );
+    println!(
+        "intersect_prefetch: dist {} {tuned_wall:.4}s vs off {off_wall:.4}s ({:+.1}%)",
+        tuned.prefetch_dist,
+        (off_wall / tuned_wall - 1.0) * 100.0
+    );
+    PerfReport::new(
+        "intersect_prefetch",
+        args.options.kernel.resolve().name(),
+        "batched-1vN-prefetch",
+        1,
+        tuned_wall,
+        (CANDIDATES * reps) as u64,
+        DatasetParams {
+            n_items: CANDIDATES as u32,
+            total_items: bench::ONE_VS_MANY_SET,
+            density: 0.0,
+            seed: args.seed,
+            k: 0,
+        },
+    )
+}
+
 fn main() {
     let args = parse_args();
     let (mut reports, mut skipped) = intersect_scenarios(&args);
@@ -1233,6 +1406,8 @@ fn main() {
     reports.push(serve_degraded_scenario(&args));
     reports.push(ingest_throughput_scenario(&args));
     reports.push(mine_windowed_scenario(&args));
+    reports.push(snapshot_load_scenario(&args));
+    reports.push(intersect_prefetch_scenario(&args));
     let kernel_pinned = args.options.kernel != KernelBackend::Auto
         || KernelBackend::Auto.resolve() != KernelBackend::widest_available();
     if kernel_pinned {
@@ -1260,6 +1435,7 @@ fn main() {
             "serve_degraded",
             "ingest_throughput",
             "mine_windowed",
+            "intersect_prefetch",
         ] {
             skipped.push((scenario.to_string(), reason.clone()));
         }

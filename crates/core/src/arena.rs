@@ -36,6 +36,38 @@
 //! kernel-backend-independent, so a snapshot written on an AVX2 host is
 //! served byte-identically by a SWAR-only one; the header records that
 //! invariant explicitly and the loader enforces it.
+//!
+//! ## Backing stores and the two load paths
+//!
+//! An arena's payload lives behind an internal backing abstraction
+//! with two variants:
+//!
+//! * **heap** — an owned `Box<[u64]>` (every built arena, and
+//!   snapshots loaded through [`BatmapArena::read_from`]). The
+//!   buffered load reads the whole payload and verifies the
+//!   directory/payload checksum *eagerly*, so a loaded arena is known
+//!   good before the first query.
+//! * **mmap** — a read-only, page-faulted window of the snapshot file
+//!   ([`BatmapArena::open_mmap_file`], 64-bit Unix only). Open cost is
+//!   O(header + directory): the envelope, parameters, and every
+//!   directory entry are validated eagerly, but the payload bytes are
+//!   only touched when queries sweep them, so a cold multi-GiB corpus
+//!   serves its first query in milliseconds. The payload checksum is
+//!   deferred — [`BatmapArena::verify`] runs it on demand (and
+//!   [`BatmapArena::verification_pending`] tells whether such a
+//!   deferred check exists). Structural corruption a query could trip
+//!   over (bad offsets, overlapping windows, implausible
+//!   cardinalities) is still caught at open time; deferred
+//!   verification only delays detection of *payload* bit-rot, which
+//!   can change counts but never memory safety.
+//!
+//! Which path a load-aware opener takes is the [`SnapshotLoad`] knob
+//! ([`crate::EngineOptions::load`](crate::EngineOptions#structfield.load),
+//! `BATMAP_LOAD`, `--load`), threaded through
+//! [`BatmapArena::read_from_file_with`], the `pairminer` corpus open,
+//! and the server's corpus loading. Version-4 snapshots pad the
+//! payload to a [`SET_ALIGN`] boundary within the envelope so mapped
+//! set windows keep the same 64-byte alignment heap arenas enjoy.
 
 use crate::batmap::AsSlots;
 use crate::error::SnapshotError;
@@ -64,9 +96,150 @@ pub const SNAPSHOT_MAGIC: [u8; 8] = *b"BATMAPAR";
 /// (24-byte entries became 32-byte entries); version 3 added a header
 /// checksum to the envelope so bit-rot inside the params JSON is
 /// caught as [`SnapshotError::Corrupted`] instead of silently changing
-/// a parameter. Older files are refused with a clear
-/// [`SnapshotError`], not misparsed.
-pub const SNAPSHOT_VERSION: u32 = 3;
+/// a parameter; version 4 zero-pads the envelope after the directory
+/// so the payload starts on a [`SET_ALIGN`] boundary relative to the
+/// envelope start — the property that lets a memory-mapped snapshot
+/// hand out set windows with the same 64-byte alignment heap arenas
+/// have. Older files are refused with a clear [`SnapshotError`], not
+/// misparsed.
+pub const SNAPSHOT_VERSION: u32 = 4;
+
+/// How a snapshot file is brought into memory by the load-aware open
+/// paths ([`BatmapArena::read_from_file_with`], the `pairminer` corpus
+/// open, the server's corpus loading). See the module docs for the
+/// trade-off; resolution rules mirror [`crate::KernelBackend`]
+/// (explicit > `BATMAP_LOAD` > default, one-time warnings for
+/// unavailable or unparseable requests).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum SnapshotLoad {
+    /// Defer to `BATMAP_LOAD`, falling back to [`SnapshotLoad::Buffered`].
+    #[default]
+    Auto,
+    /// Eager read: the whole payload is read and checksummed before the
+    /// arena is handed out. Slow to open a cold multi-GiB corpus, but
+    /// every loaded byte is known good.
+    Buffered,
+    /// Zero-copy map: headers and directories are validated eagerly,
+    /// payload bytes are faulted in on first touch and the payload
+    /// checksum is deferred to [`BatmapArena::verify`]. 64-bit Unix
+    /// only; downgrades to [`SnapshotLoad::Buffered`] elsewhere with a
+    /// one-time warning.
+    Mmap,
+}
+
+impl SnapshotLoad {
+    /// Parse a knob value (`auto`, `buffered`, `mmap`). `None` for
+    /// anything else.
+    pub fn from_name(name: &str) -> Option<SnapshotLoad> {
+        match name.trim().to_ascii_lowercase().as_str() {
+            "auto" => Some(SnapshotLoad::Auto),
+            "buffered" => Some(SnapshotLoad::Buffered),
+            "mmap" => Some(SnapshotLoad::Mmap),
+            _ => None,
+        }
+    }
+
+    /// Canonical knob name.
+    pub fn name(self) -> &'static str {
+        match self {
+            SnapshotLoad::Auto => "auto",
+            SnapshotLoad::Buffered => "buffered",
+            SnapshotLoad::Mmap => "mmap",
+        }
+    }
+
+    /// Whether this load path exists on the current platform (the mmap
+    /// backing is compiled only on 64-bit Unix).
+    pub fn is_available(self) -> bool {
+        match self {
+            SnapshotLoad::Auto | SnapshotLoad::Buffered => true,
+            #[cfg(all(unix, target_pointer_width = "64"))]
+            SnapshotLoad::Mmap => true,
+            #[cfg(not(all(unix, target_pointer_width = "64")))]
+            SnapshotLoad::Mmap => false,
+        }
+    }
+
+    /// Pure resolution of an override string (the `BATMAP_LOAD` value,
+    /// already fetched): a valid, available request wins; everything
+    /// else — no override, `auto`, an unavailable path, an unparseable
+    /// value — resolves to [`SnapshotLoad::Buffered`], the verify-first
+    /// default. Warnings for the degenerate cases are emitted once per
+    /// process.
+    pub fn resolve_override(var: Option<&str>) -> SnapshotLoad {
+        match var.map(SnapshotLoad::from_name) {
+            None | Some(Some(SnapshotLoad::Auto)) => SnapshotLoad::Buffered,
+            Some(Some(requested)) if requested.is_available() => requested,
+            Some(Some(requested)) => {
+                static WARNED: std::sync::Once = std::sync::Once::new();
+                WARNED.call_once(|| {
+                    eprintln!(
+                        "warning: BATMAP_LOAD={} is not available on this platform; \
+                         using buffered",
+                        requested.name()
+                    );
+                });
+                SnapshotLoad::Buffered
+            }
+            Some(None) => {
+                static WARNED: std::sync::Once = std::sync::Once::new();
+                WARNED.call_once(|| {
+                    eprintln!(
+                        "warning: unrecognized BATMAP_LOAD value {:?} \
+                         (expected auto|buffered|mmap); using buffered",
+                        var.unwrap_or_default()
+                    );
+                });
+                SnapshotLoad::Buffered
+            }
+        }
+    }
+
+    /// Resolve to a concrete, available load path. [`SnapshotLoad::Auto`]
+    /// consults `BATMAP_LOAD` (once per process); an explicit but
+    /// unavailable request downgrades to [`SnapshotLoad::Buffered`]
+    /// with a one-time warning.
+    pub fn resolve(self) -> SnapshotLoad {
+        match self {
+            SnapshotLoad::Auto => {
+                static RESOLVED: std::sync::OnceLock<SnapshotLoad> = std::sync::OnceLock::new();
+                *RESOLVED.get_or_init(|| SnapshotLoad::resolve_override(crate::options::load_env()))
+            }
+            concrete if concrete.is_available() => concrete,
+            concrete => {
+                static WARNED: std::sync::Once = std::sync::Once::new();
+                WARNED.call_once(|| {
+                    eprintln!(
+                        "warning: snapshot load path {} is not available on this platform; \
+                         using buffered",
+                        concrete.name()
+                    );
+                });
+                SnapshotLoad::Buffered
+            }
+        }
+    }
+}
+
+impl std::fmt::Display for SnapshotLoad {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+impl Serialize for SnapshotLoad {
+    fn serialize<S: serde::Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        serializer.serialize_str(self.name())
+    }
+}
+
+impl<'de> Deserialize<'de> for SnapshotLoad {
+    fn deserialize<D: serde::Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        let name = String::deserialize(deserializer)?;
+        SnapshotLoad::from_name(&name)
+            .ok_or_else(|| serde::de::Error::custom(format!("unknown snapshot load path {name:?}")))
+    }
+}
 
 /// Directory entry: where one set lives in the backing store and what
 /// layout its bytes are in.
@@ -152,9 +325,63 @@ impl SetSpec {
 #[derive(Debug, Clone)]
 pub struct BatmapArena {
     params: ParamsHandle,
-    /// Backing store; viewed as bytes (`u64` only for alignment).
-    words: Box<[u64]>,
+    /// Backing store; viewed as bytes.
+    backing: Backing,
     dir: Box<[SetDir]>,
+    /// Directory/payload checksum recorded in the snapshot header but
+    /// not yet checked against the bytes (mmap loads defer it until
+    /// [`BatmapArena::verify`]). `None` for arenas built in this
+    /// process or loaded through the eager buffered path.
+    pending_checksum: Option<u64>,
+}
+
+/// Where an arena's payload bytes live (module docs, "Backing stores").
+#[derive(Debug, Clone)]
+enum Backing {
+    /// Owned words (`u64` only for alignment; always viewed as bytes).
+    Heap(Box<[u64]>),
+    /// A window of a read-only mapped snapshot file. The snapshot
+    /// format 64-byte-aligns the payload within the envelope and the
+    /// mapping base is page-aligned, so windows keep [`SET_ALIGN`]
+    /// alignment.
+    #[cfg(all(unix, target_pointer_width = "64"))]
+    Mmap {
+        map: Arc<crate::mmap::MmapFile>,
+        /// Payload start within the mapping.
+        offset: usize,
+        /// Payload length in bytes (a multiple of 8).
+        len: usize,
+    },
+}
+
+impl Backing {
+    fn bytes(&self) -> &[u8] {
+        match self {
+            Backing::Heap(words) => words_as_bytes(words),
+            #[cfg(all(unix, target_pointer_width = "64"))]
+            Backing::Mmap { map, offset, len } => &map.bytes()[*offset..*offset + *len],
+        }
+    }
+
+    /// Mutable byte view — only the in-process construction paths use
+    /// it, and those always build [`Backing::Heap`].
+    fn bytes_mut(&mut self) -> &mut [u8] {
+        match self {
+            Backing::Heap(words) => words_as_bytes_mut(words),
+            #[cfg(all(unix, target_pointer_width = "64"))]
+            Backing::Mmap { .. } => unreachable!("mmap-backed arenas are never mutated"),
+        }
+    }
+
+    /// Heap bytes owned by this backing (0 for a mapped payload — the
+    /// pages belong to the page cache, which is the point).
+    fn heap_bytes(&self) -> usize {
+        match self {
+            Backing::Heap(words) => words.len() * 8,
+            #[cfg(all(unix, target_pointer_width = "64"))]
+            Backing::Mmap { .. } => 0,
+        }
+    }
 }
 
 /// A borrowed, zero-copy view of one set inside a [`BatmapArena`].
@@ -223,7 +450,7 @@ impl BatmapArena {
         BatmapRef {
             params: &self.params,
             r: d.r,
-            bytes: &words_as_bytes(&self.words)[d.offset..d.offset + width],
+            bytes: &self.backing.bytes()[d.offset..d.offset + width],
             len: d.len,
         }
     }
@@ -260,7 +487,7 @@ impl BatmapArena {
     /// Panics if `i` is out of bounds.
     pub fn payload(&self, i: usize) -> SetView<'_> {
         let d = self.dir[i];
-        let bytes = &words_as_bytes(&self.words)[d.offset..d.offset + dir_width(&self.params, &d)];
+        let bytes = &self.backing.bytes()[d.offset..d.offset + dir_width(&self.params, &d)];
         match d.repr {
             SetRepr::Batmap => SetView::Batmap(BatmapRef {
                 params: &self.params,
@@ -311,7 +538,33 @@ impl BatmapArena {
 
     /// Bytes of the backing store (slot bytes plus alignment padding).
     pub fn backing_bytes(&self) -> usize {
-        self.words.len() * 8
+        self.backing.bytes().len()
+    }
+
+    /// True when a deferred payload checksum has not been run yet (the
+    /// mmap load path; see [`SnapshotLoad::Mmap`]). [`BatmapArena::verify`]
+    /// performs the check.
+    pub fn verification_pending(&self) -> bool {
+        self.pending_checksum.is_some()
+    }
+
+    /// Run the deferred directory/payload checksum of a lazily-loaded
+    /// snapshot (a no-op `Ok` for eagerly-verified arenas). Touches —
+    /// and therefore faults in — every payload byte, so on a mapped
+    /// corpus this costs one sequential sweep of the file; run it from
+    /// a background task when serving cold corpora. The check is
+    /// stateless and can be repeated (e.g. periodically, to catch
+    /// on-disk bit-rot behind a long-lived mapping).
+    pub fn verify(&self) -> Result<(), SnapshotError> {
+        if let Some(expected) = self.pending_checksum {
+            let dir_bytes = encode_dir(&self.dir);
+            if fnv1a(&dir_bytes, fnv1a(self.backing.bytes(), FNV_OFFSET)) != expected {
+                return Err(SnapshotError::Corrupted(
+                    "directory/payload checksum mismatch".to_string(),
+                ));
+            }
+        }
+        Ok(())
     }
 
     /// Reserve the full arena layout for sets with the given per-table
@@ -386,8 +639,9 @@ impl BatmapArena {
         ArenaStage {
             arena: BatmapArena {
                 params,
-                words,
+                backing: Backing::Heap(words),
                 dir: dir.into_boxed_slice(),
+                pending_checksum: None,
             },
         }
     }
@@ -399,18 +653,14 @@ impl BatmapArena {
     /// bytes), JSON header (full [`BatmapParams`], fingerprint, set
     /// count, payload size, checksum, and the kernel-independence
     /// marker), the directory (four `u64` LE per set: offset, range,
-    /// cardinality, representation tag), then the raw backing bytes.
+    /// cardinality, representation tag), zero padding up to the next
+    /// [`SET_ALIGN`] boundary of the envelope (v4; excluded from the
+    /// checksum, deterministic on read), then the raw backing bytes.
     /// [`BatmapArena::read_from`] checks every field before accepting
     /// the payload.
     pub fn write_to<W: Write>(&self, w: &mut W) -> std::io::Result<()> {
-        let payload = words_as_bytes(&self.words);
-        let mut dir_bytes = Vec::with_capacity(self.dir.len() * 32);
-        for d in self.dir.iter() {
-            dir_bytes.extend_from_slice(&(d.offset as u64).to_le_bytes());
-            dir_bytes.extend_from_slice(&d.r.to_le_bytes());
-            dir_bytes.extend_from_slice(&(d.len as u64).to_le_bytes());
-            dir_bytes.extend_from_slice(&d.repr.tag().to_le_bytes());
-        }
+        let payload = self.backing.bytes();
+        let dir_bytes = encode_dir(&self.dir);
         let header = SnapshotHeader {
             params: (*self.params).clone(),
             fingerprint: self.params.fingerprint(),
@@ -433,6 +683,8 @@ impl BatmapArena {
         w.write_all(&snapshot_checksum(header_json.as_bytes()).to_le_bytes())?;
         w.write_all(header_json.as_bytes())?;
         w.write_all(&dir_bytes)?;
+        let pad = payload_pad(header_json.len(), dir_bytes.len());
+        w.write_all(&[0u8; SET_ALIGN][..pad])?;
         hpcutil::fault_point!("snapshot.write.payload", |m: String| {
             Err(std::io::Error::other(m))
         });
@@ -493,26 +745,7 @@ impl BatmapArena {
         let header_checksum = u64::from_le_bytes(u64buf);
         let mut header_bytes = vec![0u8; header_len];
         read_section(r, &mut header_bytes, "header")?;
-        if snapshot_checksum(&header_bytes) != header_checksum {
-            return Err(SnapshotError::Corrupted(
-                "arena header checksum mismatch".to_string(),
-            ));
-        }
-        let header_json =
-            std::str::from_utf8(&header_bytes).map_err(|_| bad("header is not valid UTF-8"))?;
-        let header: SnapshotHeader = serde_json::from_str(header_json)
-            .map_err(|e| SnapshotError::Format(format!("header does not parse: {e}")))?;
-        if !header.counts_kernel_independent {
-            // The invariant every reader relies on: any match-count
-            // backend may serve this corpus. A writer that ever breaks
-            // it must clear the flag, and we must refuse the file.
-            return Err(bad("snapshot disclaims kernel-independent counts"));
-        }
-        if header.fingerprint != header.params.fingerprint() {
-            return Err(bad(
-                "header fingerprint does not match its own parameters (corrupted header)",
-            ));
-        }
+        let header = parse_snapshot_header(&header_bytes, header_checksum)?;
         let params: ParamsHandle = Arc::new(header.params);
         let n_sets = usize::try_from(header.n_sets).map_err(|_| bad("set count overflow"))?;
         let payload_bytes =
@@ -522,9 +755,10 @@ impl BatmapArena {
         }
         // Size fields come from a header that is parse- and
         // fingerprint-checked but not yet checksummed against the data,
-        // so never allocate what *it* claims up front: `take`-bounded
-        // reads grow with the bytes the stream actually delivers, and a
-        // lying or corrupted header surfaces as a truncation error
+        // so never allocate what *it* claims up front: the directory
+        // read is `take`-bounded and the payload buffer grows
+        // geometrically with the bytes the stream actually delivers, so
+        // a lying or corrupted header surfaces as a truncation error
         // instead of a multi-terabyte allocation request (which would
         // abort the process rather than return a `SnapshotError`).
         let dir_len = n_sets
@@ -541,97 +775,331 @@ impl BatmapArena {
                 dir_len
             )));
         }
-        let mut payload = Vec::new();
-        r.by_ref()
-            .take(payload_bytes as u64)
-            .read_to_end(&mut payload)?;
-        if payload.len() != payload_bytes {
-            return Err(SnapshotError::Truncated(format!(
-                "payload ends after {} of {} bytes",
-                payload.len(),
-                payload_bytes
-            )));
+        let pad = payload_pad(header_len, dir_len);
+        let mut padbuf = [0u8; SET_ALIGN];
+        read_section(r, &mut padbuf[..pad], "alignment padding")?;
+        check_pad_zero(&padbuf[..pad])?;
+        // Single pass: read straight into the word buffer's byte view —
+        // no intermediate Vec<u8> plus copy. Growth is geometric and
+        // capped at the claimed size, so a premature EOF costs at most
+        // 2× the delivered bytes, never the claimed size.
+        let mut words: Vec<u64> = Vec::new();
+        let mut filled = 0usize;
+        while filled < payload_bytes {
+            if filled == words.len() * 8 {
+                let grown = (words.len() * 16).max(64 * 1024).min(payload_bytes);
+                words.resize(words_for(grown), 0);
+            }
+            match r.read(&mut words_as_bytes_mut(&mut words)[filled..]) {
+                Ok(0) => {
+                    return Err(SnapshotError::Truncated(format!(
+                        "payload ends after {filled} of {payload_bytes} bytes"
+                    )));
+                }
+                Ok(n) => filled += n,
+                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+                Err(e) => return Err(SnapshotError::Io(e)),
+            }
         }
-        let mut words = vec![0u64; payload_bytes / 8].into_boxed_slice();
-        words_as_bytes_mut(&mut words).copy_from_slice(&payload);
-        drop(payload);
+        let words = words.into_boxed_slice();
         if fnv1a(&dir_bytes, fnv1a(words_as_bytes(&words), FNV_OFFSET)) != header.checksum {
             return Err(SnapshotError::Corrupted(
                 "directory/payload checksum mismatch".to_string(),
             ));
         }
-        let mut dir = Vec::with_capacity(n_sets);
-        let mut next_free = 0usize;
-        for entry in dir_bytes.chunks_exact(32) {
-            let offset = u64::from_le_bytes(entry[0..8].try_into().unwrap());
-            let r_set = u64::from_le_bytes(entry[8..16].try_into().unwrap());
-            let len = u64::from_le_bytes(entry[16..24].try_into().unwrap());
-            let tag = u64::from_le_bytes(entry[24..32].try_into().unwrap());
-            let offset = usize::try_from(offset).map_err(|_| bad("offset overflow"))?;
-            let repr = SetRepr::from_tag(tag).ok_or_else(|| {
-                SnapshotError::Format(format!("unknown representation tag {tag}"))
-            })?;
-            let width = match repr {
-                SetRepr::Batmap => {
-                    if !r_set.is_power_of_two() || r_set < params.r0() {
-                        return Err(bad("directory range not a power of two ≥ r₀"));
-                    }
-                    // Each element occupies 2 of the 3·r slots.
-                    if len > (3 * r_set) / 2 {
-                        return Err(bad("stored cardinality exceeds slot capacity"));
-                    }
-                    (TABLES as u64 * r_set) as usize
-                }
-                SetRepr::Bitmap => {
-                    if r_set != 0 {
-                        return Err(bad("bitmap entry carries a batmap range"));
-                    }
-                    if len > params.m() {
-                        return Err(bad("stored cardinality exceeds the universe"));
-                    }
-                    bitmap_width_bytes(params.m())
-                }
-                SetRepr::Tidlist => {
-                    if r_set != 0 {
-                        return Err(bad("tidlist entry carries a batmap range"));
-                    }
-                    if len > params.m() {
-                        return Err(bad("stored cardinality exceeds the universe"));
-                    }
-                    usize::try_from(len)
-                        .ok()
-                        .and_then(|l| l.checked_mul(4))
-                        .ok_or_else(|| bad("tidlist width overflow"))?
-                }
-            };
-            if offset % SET_ALIGN != 0 || offset < next_free {
-                return Err(bad("directory offsets unaligned or overlapping"));
-            }
-            if offset
-                .checked_add(width)
-                .is_none_or(|end| end > payload_bytes)
-            {
-                return Err(bad("set window out of payload bounds"));
-            }
-            next_free = offset + width;
-            dir.push(SetDir {
-                offset,
-                r: r_set,
-                len: len as usize,
-                repr,
-            });
-        }
+        let dir = parse_dir(&params, &dir_bytes, payload_bytes)?;
         Ok(BatmapArena {
             params,
-            words,
-            dir: dir.into_boxed_slice(),
+            backing: Backing::Heap(words),
+            dir,
+            pending_checksum: None,
         })
     }
+
+    /// Load an arena from a snapshot file, choosing the read path with
+    /// an explicit [`SnapshotLoad`] knob ([`SnapshotLoad::Auto`]
+    /// consults `BATMAP_LOAD`). The engine and server thread
+    /// [`crate::EngineOptions::load`](crate::EngineOptions#structfield.load)
+    /// through here.
+    pub fn read_from_file_with<P: AsRef<std::path::Path>>(
+        path: P,
+        load: SnapshotLoad,
+    ) -> Result<Self, SnapshotError> {
+        match load.resolve() {
+            #[cfg(all(unix, target_pointer_width = "64"))]
+            SnapshotLoad::Mmap => Self::open_mmap_file(path),
+            _ => Self::read_from_file(path),
+        }
+    }
+
+    /// Map a snapshot file read-only and serve the payload zero-copy
+    /// (the [`SnapshotLoad::Mmap`] path; 64-bit Unix only). Envelope,
+    /// header, and directory are validated exactly as in
+    /// [`BatmapArena::read_from`]; the payload checksum is deferred to
+    /// [`BatmapArena::verify`] so a cold multi-GiB corpus opens in
+    /// O(header + directory) time.
+    #[cfg(all(unix, target_pointer_width = "64"))]
+    pub fn open_mmap_file<P: AsRef<std::path::Path>>(path: P) -> Result<Self, SnapshotError> {
+        let map = Arc::new(crate::mmap::MmapFile::open(path.as_ref())?);
+        let (arena, _end) = Self::from_mapped(map, 0)?;
+        Ok(arena)
+    }
+
+    /// Open the arena snapshot starting at byte `at` of `map` without
+    /// copying the payload; returns the arena and the offset one past
+    /// its envelope (so wrappers embedding an arena snapshot — the
+    /// `pairminer` corpus format — can keep parsing after it). `at`
+    /// must be a multiple of [`SET_ALIGN`] or the mapped payload would
+    /// lose the alignment the format guarantees; embedders pad to
+    /// ensure this, and a misaligned start is rejected as a format
+    /// error.
+    #[cfg(all(unix, target_pointer_width = "64"))]
+    pub fn from_mapped(
+        map: Arc<crate::mmap::MmapFile>,
+        at: usize,
+    ) -> Result<(Self, usize), SnapshotError> {
+        let bad = |what: &str| SnapshotError::Format(what.to_string());
+        if !at.is_multiple_of(SET_ALIGN) {
+            return Err(bad("mapped arena envelope must start 64-byte aligned"));
+        }
+        let bytes = map.bytes();
+        let magic = mapped_section(bytes, at, 8, "magic")?;
+        if magic != SNAPSHOT_MAGIC {
+            return Err(bad("not a batmap arena snapshot (bad magic)"));
+        }
+        let version = u32::from_le_bytes(
+            mapped_section(bytes, at + 8, 4, "version")?
+                .try_into()
+                .unwrap(),
+        );
+        if version != SNAPSHOT_VERSION {
+            return Err(SnapshotError::Format(format!(
+                "unsupported snapshot version {version} (this build reads {SNAPSHOT_VERSION})"
+            )));
+        }
+        let header_len = u32::from_le_bytes(
+            mapped_section(bytes, at + 12, 4, "header length")?
+                .try_into()
+                .unwrap(),
+        ) as usize;
+        if header_len > 1 << 20 {
+            return Err(bad("implausible header length"));
+        }
+        let header_checksum = u64::from_le_bytes(
+            mapped_section(bytes, at + 16, 8, "header checksum")?
+                .try_into()
+                .unwrap(),
+        );
+        let header_bytes = mapped_section(bytes, at + 24, header_len, "header")?;
+        let header = parse_snapshot_header(header_bytes, header_checksum)?;
+        let params: ParamsHandle = Arc::new(header.params);
+        let n_sets = usize::try_from(header.n_sets).map_err(|_| bad("set count overflow"))?;
+        let payload_bytes =
+            usize::try_from(header.payload_bytes).map_err(|_| bad("payload size overflow"))?;
+        if payload_bytes % 8 != 0 {
+            return Err(bad("payload not a whole number of words"));
+        }
+        let dir_len = n_sets
+            .checked_mul(32)
+            .ok_or_else(|| bad("directory overflow"))?;
+        let dir_bytes = mapped_section(bytes, at + 24 + header_len, dir_len, "directory")?;
+        let pad = payload_pad(header_len, dir_len);
+        check_pad_zero(mapped_section(
+            bytes,
+            at + 24 + header_len + dir_len,
+            pad,
+            "alignment padding",
+        )?)?;
+        let payload_at = at + 24 + header_len + dir_len + pad;
+        let payload = mapped_section(bytes, payload_at, payload_bytes, "payload")?;
+        debug_assert_eq!(payload.as_ptr() as usize % SET_ALIGN % 8, 0);
+        let dir = parse_dir(&params, dir_bytes, payload_bytes)?;
+        Ok((
+            BatmapArena {
+                params,
+                backing: Backing::Mmap {
+                    map: map.clone(),
+                    offset: payload_at,
+                    len: payload_bytes,
+                },
+                dir,
+                // The payload was deliberately not touched: record the
+                // header's claim for a later `verify()`.
+                pending_checksum: Some(header.checksum),
+            },
+            payload_at + payload_bytes,
+        ))
+    }
+}
+
+/// Encode the directory as it appears in the snapshot envelope (four
+/// `u64` LE per set). Shared by [`BatmapArena::write_to`] and the
+/// deferred [`BatmapArena::verify`], which must reproduce the written
+/// bytes exactly to recompute the checksum.
+fn encode_dir(dir: &[SetDir]) -> Vec<u8> {
+    let mut dir_bytes = Vec::with_capacity(dir.len() * 32);
+    for d in dir {
+        dir_bytes.extend_from_slice(&(d.offset as u64).to_le_bytes());
+        dir_bytes.extend_from_slice(&d.r.to_le_bytes());
+        dir_bytes.extend_from_slice(&(d.len as u64).to_le_bytes());
+        dir_bytes.extend_from_slice(&d.repr.tag().to_le_bytes());
+    }
+    dir_bytes
+}
+
+/// Bytes of zero padding between the directory and the payload: the
+/// distance from the end of the directory to the next [`SET_ALIGN`]
+/// boundary of the envelope (v4). Deterministic from the two lengths,
+/// so readers skip it without any stored size; excluded from the
+/// checksum (it is structural, not data).
+fn payload_pad(header_len: usize, dir_len: usize) -> usize {
+    let pos = 24 + header_len + dir_len;
+    pos.next_multiple_of(SET_ALIGN) - pos
+}
+
+/// Alignment padding is written as zeros and sits outside both
+/// checksums, so the readers enforce it directly — every byte of a
+/// snapshot is validated by exactly one mechanism, and a bit-flip in
+/// the pad cannot parse (shared by the buffered and mapped readers,
+/// and by the corpus envelope in `pairminer`).
+pub fn check_pad_zero(pad: &[u8]) -> Result<(), SnapshotError> {
+    if pad.iter().any(|&b| b != 0) {
+        return Err(SnapshotError::Corrupted(
+            "alignment padding is not zeroed".to_string(),
+        ));
+    }
+    Ok(())
+}
+
+/// Checksum-check and parse the JSON snapshot header, enforcing the
+/// self-consistency invariants every load path relies on (shared by
+/// the buffered and mapped readers).
+fn parse_snapshot_header(
+    header_bytes: &[u8],
+    header_checksum: u64,
+) -> Result<SnapshotHeader, SnapshotError> {
+    let bad = |what: &str| SnapshotError::Format(what.to_string());
+    if snapshot_checksum(header_bytes) != header_checksum {
+        return Err(SnapshotError::Corrupted(
+            "arena header checksum mismatch".to_string(),
+        ));
+    }
+    let header_json =
+        std::str::from_utf8(header_bytes).map_err(|_| bad("header is not valid UTF-8"))?;
+    let header: SnapshotHeader = serde_json::from_str(header_json)
+        .map_err(|e| SnapshotError::Format(format!("header does not parse: {e}")))?;
+    if !header.counts_kernel_independent {
+        // The invariant every reader relies on: any match-count
+        // backend may serve this corpus. A writer that ever breaks
+        // it must clear the flag, and we must refuse the file.
+        return Err(bad("snapshot disclaims kernel-independent counts"));
+    }
+    if header.fingerprint != header.params.fingerprint() {
+        return Err(bad(
+            "header fingerprint does not match its own parameters (corrupted header)",
+        ));
+    }
+    Ok(header)
+}
+
+/// Validate and decode the snapshot directory against `payload_bytes`
+/// (shared by the buffered and mapped readers): known representation
+/// tags, ranges powers of two ≥ `r₀`, plausible cardinalities, aligned
+/// non-overlapping monotone offsets, windows in bounds. This is the
+/// structural check that makes even an *unverified* mapped arena
+/// memory-safe to query — every window a view can hand out lies inside
+/// the payload.
+fn parse_dir(
+    params: &ParamsHandle,
+    dir_bytes: &[u8],
+    payload_bytes: usize,
+) -> Result<Box<[SetDir]>, SnapshotError> {
+    let bad = |what: &str| SnapshotError::Format(what.to_string());
+    let mut dir = Vec::with_capacity(dir_bytes.len() / 32);
+    let mut next_free = 0usize;
+    for entry in dir_bytes.chunks_exact(32) {
+        let offset = u64::from_le_bytes(entry[0..8].try_into().unwrap());
+        let r_set = u64::from_le_bytes(entry[8..16].try_into().unwrap());
+        let len = u64::from_le_bytes(entry[16..24].try_into().unwrap());
+        let tag = u64::from_le_bytes(entry[24..32].try_into().unwrap());
+        let offset = usize::try_from(offset).map_err(|_| bad("offset overflow"))?;
+        let repr = SetRepr::from_tag(tag)
+            .ok_or_else(|| SnapshotError::Format(format!("unknown representation tag {tag}")))?;
+        let width = match repr {
+            SetRepr::Batmap => {
+                if !r_set.is_power_of_two() || r_set < params.r0() {
+                    return Err(bad("directory range not a power of two ≥ r₀"));
+                }
+                // Each element occupies 2 of the 3·r slots.
+                if len > (3 * r_set) / 2 {
+                    return Err(bad("stored cardinality exceeds slot capacity"));
+                }
+                (TABLES as u64 * r_set) as usize
+            }
+            SetRepr::Bitmap => {
+                if r_set != 0 {
+                    return Err(bad("bitmap entry carries a batmap range"));
+                }
+                if len > params.m() {
+                    return Err(bad("stored cardinality exceeds the universe"));
+                }
+                bitmap_width_bytes(params.m())
+            }
+            SetRepr::Tidlist => {
+                if r_set != 0 {
+                    return Err(bad("tidlist entry carries a batmap range"));
+                }
+                if len > params.m() {
+                    return Err(bad("stored cardinality exceeds the universe"));
+                }
+                usize::try_from(len)
+                    .ok()
+                    .and_then(|l| l.checked_mul(4))
+                    .ok_or_else(|| bad("tidlist width overflow"))?
+            }
+        };
+        if offset % SET_ALIGN != 0 || offset < next_free {
+            return Err(bad("directory offsets unaligned or overlapping"));
+        }
+        if offset
+            .checked_add(width)
+            .is_none_or(|end| end > payload_bytes)
+        {
+            return Err(bad("set window out of payload bounds"));
+        }
+        next_free = offset + width;
+        dir.push(SetDir {
+            offset,
+            r: r_set,
+            len: len as usize,
+            repr,
+        });
+    }
+    Ok(dir.into_boxed_slice())
+}
+
+/// Bounds-checked window of a mapped snapshot, with the same
+/// truncation classification [`read_section`] gives streams.
+#[cfg(all(unix, target_pointer_width = "64"))]
+fn mapped_section<'a>(
+    bytes: &'a [u8],
+    at: usize,
+    len: usize,
+    section: &str,
+) -> Result<&'a [u8], SnapshotError> {
+    at.checked_add(len)
+        .and_then(|end| bytes.get(at..end))
+        .ok_or_else(|| {
+            SnapshotError::Truncated(format!("{section} cut short ({len} bytes expected)"))
+        })
 }
 
 impl MemoryFootprint for BatmapArena {
     fn heap_bytes(&self) -> usize {
-        self.backing_bytes() + self.dir.len() * std::mem::size_of::<SetDir>()
+        // A mapped payload contributes 0: its pages are the page
+        // cache's, reclaimable under pressure — the zero-copy story the
+        // footprint reports should reflect.
+        self.backing.heap_bytes() + self.dir.len() * std::mem::size_of::<SetDir>()
     }
 }
 
@@ -654,7 +1122,7 @@ impl ArenaStage {
     pub fn set_slices(&mut self) -> Vec<&mut [u8]> {
         let params = self.arena.params.clone();
         let dir = &self.arena.dir;
-        let mut rest = words_as_bytes_mut(&mut self.arena.words);
+        let mut rest = self.arena.backing.bytes_mut();
         let mut consumed = 0usize;
         let mut out = Vec::with_capacity(dir.len());
         for d in dir.iter() {
@@ -800,8 +1268,9 @@ impl ArenaBuilder {
         buf[self.bytes.len()..].fill(EMPTY_SLOT);
         BatmapArena {
             params: self.params,
-            words,
+            backing: Backing::Heap(words),
             dir: self.dir.into_boxed_slice(),
+            pending_checksum: None,
         }
     }
 }
@@ -1286,7 +1755,7 @@ mod tests {
         match BatmapArena::read_from(&mut buf.as_slice()) {
             Err(SnapshotError::Format(msg)) => {
                 assert!(msg.contains("version 1"), "unexpected message: {msg}");
-                assert!(msg.contains("reads 3"), "unexpected message: {msg}");
+                assert!(msg.contains("reads 4"), "unexpected message: {msg}");
             }
             other => panic!("expected a version Format error, got {other:?}"),
         }
@@ -1299,26 +1768,31 @@ mod tests {
         let mut buf = Vec::new();
         arena.write_to(&mut buf).unwrap();
         // Locate the directory: magic(8) + version(4) + header_len(4) +
-        // header checksum(8) + header JSON, then 32-byte entries. Poke
-        // the first entry's tag and re-seal both checksums so only the
-        // tag check can fire.
+        // header checksum(8) + header JSON, then 32-byte entries, then
+        // zero padding to the next 64-byte envelope boundary, then the
+        // payload. Poke the first entry's tag and re-seal both
+        // checksums — and re-derive the padding, which depends on the
+        // resealed header's length — so only the tag check can fire.
         let header_len = u32::from_le_bytes(buf[12..16].try_into().unwrap()) as usize;
         let dir_start = 24 + header_len;
-        buf[dir_start + 24..dir_start + 32].copy_from_slice(&7u64.to_le_bytes());
+        let dir_len = arena.len() * 32;
+        let payload_start = dir_start + dir_len + payload_pad(header_len, dir_len);
+        let mut dir_bytes = buf[dir_start..dir_start + dir_len].to_vec();
+        dir_bytes[24..32].copy_from_slice(&7u64.to_le_bytes());
+        let payload = &buf[payload_start..];
+        let checksum = fnv1a(&dir_bytes, fnv1a(payload, FNV_OFFSET));
         let json = std::str::from_utf8(&buf[24..dir_start])
             .unwrap()
             .to_string();
-        let dir_len = arena.len() * 32;
-        let checksum = fnv1a(
-            &buf[dir_start..dir_start + dir_len],
-            fnv1a(&buf[dir_start + dir_len..], FNV_OFFSET),
-        );
         let resealed = regex_replace_checksum(&json, checksum);
         let mut patched = buf[..12].to_vec();
         patched.extend_from_slice(&(resealed.len() as u32).to_le_bytes());
         patched.extend_from_slice(&snapshot_checksum(resealed.as_bytes()).to_le_bytes());
         patched.extend_from_slice(resealed.as_bytes());
-        patched.extend_from_slice(&buf[dir_start..]);
+        patched.extend_from_slice(&dir_bytes);
+        let pad = payload_pad(resealed.len(), dir_len);
+        patched.extend_from_slice(&[0u8; SET_ALIGN][..pad]);
+        patched.extend_from_slice(payload);
         match BatmapArena::read_from(&mut patched.as_slice()) {
             Err(SnapshotError::Format(msg)) => {
                 assert!(msg.contains("unknown representation tag"), "{msg}");
@@ -1402,6 +1876,177 @@ mod tests {
             a.sort_unstable();
             b.sort_unstable();
             assert_eq!(a, b, "set {i}");
+        }
+    }
+
+    #[test]
+    fn snapshot_payload_starts_64_aligned_in_the_envelope() {
+        let p = params(20_000);
+        let (_, arena) = build_arena(&p);
+        let mut buf = Vec::new();
+        arena.write_to(&mut buf).unwrap();
+        let header_len = u32::from_le_bytes(buf[12..16].try_into().unwrap()) as usize;
+        let dir_len = arena.len() * 32;
+        let payload_start = 24 + header_len + dir_len + payload_pad(header_len, dir_len);
+        assert_eq!(payload_start % SET_ALIGN, 0);
+        // And the padding really is where the payload's first set
+        // window begins: set 0 sits at payload offset 0.
+        assert_eq!(
+            &buf[payload_start..payload_start + arena.get(0).width_bytes()],
+            arena.get(0).as_bytes()
+        );
+    }
+
+    #[test]
+    fn snapshot_load_knob_parses_resolves_and_displays() {
+        for (name, load) in [
+            ("auto", SnapshotLoad::Auto),
+            ("buffered", SnapshotLoad::Buffered),
+            ("mmap", SnapshotLoad::Mmap),
+        ] {
+            assert_eq!(SnapshotLoad::from_name(name), Some(load));
+            assert_eq!(load.name(), name);
+            assert_eq!(load.to_string(), name);
+        }
+        assert_eq!(SnapshotLoad::from_name("  MMAP "), Some(SnapshotLoad::Mmap));
+        assert_eq!(SnapshotLoad::from_name("teleport"), None);
+        // No override and garbage both resolve to the verify-first
+        // default; a valid available request wins.
+        assert_eq!(SnapshotLoad::resolve_override(None), SnapshotLoad::Buffered);
+        assert_eq!(
+            SnapshotLoad::resolve_override(Some("nonsense")),
+            SnapshotLoad::Buffered
+        );
+        assert_eq!(
+            SnapshotLoad::resolve_override(Some("buffered")),
+            SnapshotLoad::Buffered
+        );
+        #[cfg(all(unix, target_pointer_width = "64"))]
+        assert_eq!(
+            SnapshotLoad::resolve_override(Some("mmap")),
+            SnapshotLoad::Mmap
+        );
+        // Buffered is available everywhere and resolves to itself.
+        assert_eq!(SnapshotLoad::Buffered.resolve(), SnapshotLoad::Buffered);
+    }
+
+    #[cfg(all(unix, target_pointer_width = "64"))]
+    mod mmap_load {
+        use super::*;
+
+        fn snapshot_on_disk(tag: &str) -> (Vec<Batmap>, BatmapArena, std::path::PathBuf) {
+            let p = params(20_000);
+            let (owned, arena) = build_arena(&p);
+            let dir = std::env::temp_dir()
+                .join(format!("batmap-arena-mmap-{tag}-{}", std::process::id()));
+            std::fs::create_dir_all(&dir).unwrap();
+            let path = dir.join("corpus.arena");
+            arena.write_to_file(&path).unwrap();
+            (owned, arena, path)
+        }
+
+        fn cleanup(path: &std::path::Path) {
+            let _ = std::fs::remove_dir_all(path.parent().unwrap());
+        }
+
+        #[test]
+        fn mmap_load_is_byte_identical_to_buffered() {
+            let (owned, arena, path) = snapshot_on_disk("roundtrip");
+            let buffered = BatmapArena::read_from_file(&path).unwrap();
+            let mapped = BatmapArena::open_mmap_file(&path).unwrap();
+            assert!(!buffered.verification_pending());
+            assert!(mapped.verification_pending());
+            mapped.verify().unwrap();
+            assert_eq!(mapped.len(), arena.len());
+            for i in 0..arena.len() {
+                assert_eq!(mapped.get(i).as_bytes(), buffered.get(i).as_bytes());
+                assert_eq!(mapped.get(i).len(), buffered.get(i).len());
+                // Mapped windows keep the arena's 64-byte alignment.
+                assert_eq!(mapped.get(i).as_bytes().as_ptr() as usize % SET_ALIGN, 0);
+                for bm in &owned {
+                    assert_eq!(
+                        mapped.get(i).intersect_count(bm),
+                        buffered.get(i).intersect_count(bm)
+                    );
+                }
+            }
+            // The mapped payload is not heap memory.
+            use hpcutil::MemoryFootprint;
+            assert!(mapped.heap_bytes() < buffered.heap_bytes());
+            cleanup(&path);
+        }
+
+        #[test]
+        fn mmap_defers_payload_corruption_to_verify() {
+            let (_, _, path) = snapshot_on_disk("bitflip");
+            // Flip one payload byte (the file's last byte) on disk.
+            let mut bytes = std::fs::read(&path).unwrap();
+            let last = bytes.len() - 1;
+            bytes[last] ^= 0x40;
+            std::fs::write(&path, &bytes).unwrap();
+            // The buffered path refuses outright; the mapped path opens
+            // (structure is intact) but reports the damage on verify.
+            assert!(BatmapArena::read_from_file(&path).is_err());
+            let mapped = BatmapArena::open_mmap_file(&path).unwrap();
+            assert!(mapped.verification_pending());
+            match mapped.verify() {
+                Err(SnapshotError::Corrupted(msg)) => {
+                    assert!(msg.contains("checksum"), "{msg}")
+                }
+                other => panic!("expected corruption, got {other:?}"),
+            }
+            cleanup(&path);
+        }
+
+        #[test]
+        fn mmap_rejects_truncation_and_header_corruption_eagerly() {
+            let (_, _, path) = snapshot_on_disk("truncate");
+            let bytes = std::fs::read(&path).unwrap();
+
+            // Truncated payload: caught at open (window bounds check),
+            // no verify() needed.
+            std::fs::write(&path, &bytes[..bytes.len() - 16]).unwrap();
+            match BatmapArena::open_mmap_file(&path) {
+                Err(SnapshotError::Truncated(msg)) => {
+                    assert!(msg.contains("payload"), "{msg}")
+                }
+                other => panic!("expected truncation, got {other:?}"),
+            }
+
+            // Header bit-flip: caught at open by the header checksum.
+            let mut bad = bytes.clone();
+            bad[30] ^= 0x01;
+            std::fs::write(&path, &bad).unwrap();
+            assert!(BatmapArena::open_mmap_file(&path).is_err());
+
+            // Pristine bytes still map fine.
+            std::fs::write(&path, &bytes).unwrap();
+            assert!(BatmapArena::open_mmap_file(&path).is_ok());
+            cleanup(&path);
+        }
+
+        #[test]
+        fn read_from_file_with_honours_the_explicit_knob() {
+            let (_, _, path) = snapshot_on_disk("knob");
+            let buffered = BatmapArena::read_from_file_with(&path, SnapshotLoad::Buffered).unwrap();
+            assert!(!buffered.verification_pending());
+            let mapped = BatmapArena::read_from_file_with(&path, SnapshotLoad::Mmap).unwrap();
+            assert!(mapped.verification_pending());
+            assert_eq!(mapped.backing_bytes(), buffered.backing_bytes());
+            cleanup(&path);
+        }
+
+        #[test]
+        fn from_mapped_rejects_misaligned_embedding_offsets() {
+            let (_, _, path) = snapshot_on_disk("misaligned");
+            let map = Arc::new(crate::mmap::MmapFile::open(&path).unwrap());
+            match BatmapArena::from_mapped(map, 8) {
+                Err(SnapshotError::Format(msg)) => {
+                    assert!(msg.contains("aligned"), "{msg}")
+                }
+                other => panic!("expected alignment rejection, got {other:?}"),
+            }
+            cleanup(&path);
         }
     }
 }

@@ -25,7 +25,37 @@ use crate::arena::BatmapRef;
 use crate::batmap::AsSlots;
 use crate::kernel::{KernelBackend, KernelDispatch, MatchKernel};
 use crate::repr::{for_each_batmap_element, BitmapRef, SetView, TidlistRef};
+use crate::tuning::{TuningProfile, SWEEP_BLOCK_MAX};
 use crate::{slot, BatmapError, TABLES};
+
+/// Best-effort software prefetch of the cache line at `p` into L1.
+/// A pure scheduling hint: never faults (x86 `prefetcht0`, AArch64
+/// `prfm pldl1keep`), compiles to nothing on other architectures. The
+/// one-vs-many sweep issues these for candidates a few blocks ahead so
+/// their first lines are in flight while the kernel counts the current
+/// block — candidate rows are contiguous arena windows the hardware
+/// prefetcher only discovers *after* the first miss per candidate.
+#[inline(always)]
+fn prefetch_read(p: *const u8) {
+    #[cfg(target_arch = "x86_64")]
+    // SAFETY: prefetch instructions are hints and never fault, even on
+    // unmapped addresses.
+    unsafe {
+        use std::arch::x86_64::{_mm_prefetch, _MM_HINT_T0};
+        _mm_prefetch::<_MM_HINT_T0>(p.cast());
+    }
+    #[cfg(target_arch = "aarch64")]
+    // SAFETY: PRFM is a hint and never faults.
+    unsafe {
+        std::arch::asm!(
+            "prfm pldl1keep, [{0}]",
+            in(reg) p,
+            options(nostack, preserves_flags, readonly)
+        );
+    }
+    #[cfg(not(any(target_arch = "x86_64", target_arch = "aarch64")))]
+    let _ = p;
+}
 
 /// `|a ∩ b|` using the backend configured on `a`'s universe parameters,
 /// monomorphized through one dispatch. Generic over the storage of both
@@ -127,19 +157,45 @@ pub fn count_one_vs_many_with<A: AsSlots, B: AsSlots>(
     many: &[B],
     out: &mut [u64],
 ) {
+    count_one_vs_many_tuned(backend, one, many, out, TuningProfile::current());
+}
+
+/// [`count_one_vs_many_with`] with an explicit [`TuningProfile`]
+/// instead of the process-wide [`TuningProfile::current`]. This is the
+/// `batmap-tune` measurement hook and the `intersect_prefetch` perf
+/// scenario's lever: pin `prefetch_dist: 0` to measure the sweep
+/// without software prefetching, or sweep `sweep_block` without
+/// touching the environment. Tuning never changes counts.
+///
+/// # Panics
+/// Panics if `out.len() != many.len()` or any candidate comes from a
+/// different universe.
+pub fn count_one_vs_many_tuned<A: AsSlots, B: AsSlots>(
+    backend: KernelBackend,
+    one: &A,
+    many: &[B],
+    out: &mut [u64],
+    profile: TuningProfile,
+) {
     assert_eq!(out.len(), many.len(), "one output slot per candidate");
     struct Batch<'a, A, B> {
         one: &'a A,
         many: &'a [B],
         out: &'a mut [u64],
+        profile: TuningProfile,
     }
     impl<A: AsSlots, B: AsSlots> KernelDispatch for Batch<'_, A, B> {
         type Output = ();
         fn run<K: MatchKernel>(self, kernel: K) {
-            one_vs_many_sweep(&kernel, self.one, self.many, self.out);
+            one_vs_many_sweep(&kernel, self.one, self.many, self.out, self.profile);
         }
     }
-    backend.dispatch(Batch { one, many, out });
+    backend.dispatch(Batch {
+        one,
+        many,
+        out,
+        profile,
+    });
 }
 
 /// The monomorphized one-vs-many sweep: candidates that share the
@@ -152,6 +208,7 @@ fn one_vs_many_sweep<K: MatchKernel, A: AsSlots, B: AsSlots>(
     one: &A,
     many: &[B],
     out: &mut [u64],
+    profile: TuningProfile,
 ) {
     let fp = one.params().fingerprint();
     for b in many {
@@ -165,15 +222,36 @@ fn one_vs_many_sweep<K: MatchKernel, A: AsSlots, B: AsSlots>(
     // Common case (the tile executors' row loop: preprocessing sorts
     // batmaps by width, so whole rows usually share one width): every
     // candidate matches the probe — sweep straight into `out` in
-    // stack-buffered blocks, no heap allocation per row.
+    // stack-buffered blocks, no heap allocation per row. Block size and
+    // prefetch lookahead come from the tuning profile; the stack buffer
+    // is sized for the compile-time maximum.
     if many.iter().all(|b| b.width_bytes() == width) {
-        const SWEEP_BLOCK: usize = 8;
-        for (chunk, out_chunk) in many.chunks(SWEEP_BLOCK).zip(out.chunks_mut(SWEEP_BLOCK)) {
-            let mut bytes: [&[u8]; SWEEP_BLOCK] = [&[]; SWEEP_BLOCK];
+        let profile = profile.sanitized();
+        let block = profile.sweep_block;
+        let n_blocks = many.len().div_ceil(block.max(1));
+        for bi in 0..n_blocks {
+            let start = bi * block;
+            let chunk = &many[start..(start + block).min(many.len())];
+            if profile.prefetch_dist > 0 {
+                // Warm the first line of each candidate a fixed number
+                // of blocks ahead; the hardware prefetcher streams the
+                // rest of each window once the kernel starts on it.
+                let ahead = start + profile.prefetch_dist * block;
+                if ahead < many.len() {
+                    for b in &many[ahead..(ahead + block).min(many.len())] {
+                        prefetch_read(b.slot_bytes().as_ptr());
+                    }
+                }
+            }
+            let mut bytes: [&[u8]; SWEEP_BLOCK_MAX] = [&[]; SWEEP_BLOCK_MAX];
             for (slot, b) in bytes.iter_mut().zip(chunk) {
                 *slot = b.slot_bytes();
             }
-            kernel.count_equal_width_many(one.slot_bytes(), &bytes[..chunk.len()], out_chunk);
+            kernel.count_equal_width_many(
+                one.slot_bytes(),
+                &bytes[..chunk.len()],
+                &mut out[start..start + chunk.len()],
+            );
         }
         return;
     }
@@ -626,6 +704,40 @@ mod tests {
             let mut out = vec![0u64; many.len()];
             super::count_one_vs_many_with(backend, &probe, &many, &mut out);
             assert_eq!(out, expect, "backend {backend}");
+        }
+    }
+
+    #[test]
+    fn tuned_sweeps_count_identically_for_every_profile() {
+        use crate::tuning::{TuningProfile, SWEEP_BLOCK_MAX};
+        let p = Arc::new(BatmapParams::new(20_000, 0x7E57));
+        let probe = Batmap::build(p.clone(), &(0..900).collect::<Vec<_>>()).batmap;
+        let many: Vec<Batmap> = (0..23)
+            .map(|k| {
+                Batmap::build(
+                    p.clone(),
+                    &(0..800).map(|i| i * (k + 2)).collect::<Vec<_>>(),
+                )
+                .batmap
+            })
+            .collect();
+        let expect: Vec<u64> = many.iter().map(|b| probe.intersect_count(b)).collect();
+        for backend in crate::kernel::available_backends() {
+            for sweep_block in [1, 2, 3, SWEEP_BLOCK_MAX, SWEEP_BLOCK_MAX + 100] {
+                for prefetch_dist in [0, 1, 4, 64] {
+                    let profile = TuningProfile {
+                        tile_side: 64,
+                        sweep_block,
+                        prefetch_dist,
+                    };
+                    let mut out = vec![0u64; many.len()];
+                    super::count_one_vs_many_tuned(backend, &probe, &many, &mut out, profile);
+                    assert_eq!(
+                        out, expect,
+                        "backend {backend} block {sweep_block} prefetch {prefetch_dist}"
+                    );
+                }
+            }
         }
     }
 

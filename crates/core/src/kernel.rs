@@ -10,8 +10,10 @@
 //! | `scalar` | 1          | byte            | everywhere (test oracle) |
 //! | `swar32` | 4          | `u32`           | everywhere (the paper's printed form) |
 //! | `swar64` | 8          | `u64`           | everywhere (widest portable) |
+//! | `neon`   | 16         | 128-bit NEON    | `aarch64` baseline |
 //! | `sse2`   | 16         | 128-bit XMM     | `x86_64` baseline |
 //! | `avx2`   | 32         | 256-bit YMM     | `x86_64` with AVX2 (runtime-detected) |
+//! | `avx512` | 64         | 512-bit ZMM     | `x86_64` with AVX-512BW (runtime-detected) |
 //!
 //! [`MatchKernel`] abstracts that choice. Every consumer of match
 //! counting — [`crate::intersect`], [`crate::multiway`], and the
@@ -31,8 +33,9 @@
 //!
 //! Backend selection is runtime data, not a compile-time feature:
 //! [`KernelBackend::Auto`] resolves to the widest backend *available on
-//! this CPU* (AVX2 where detected, SSE2 on any `x86_64`, SWAR-u64
-//! elsewhere), honouring a `BATMAP_KERNEL` environment override, and
+//! this CPU* (AVX-512 where detected, else AVX2, else SSE2 on any
+//! `x86_64`; NEON on `aarch64`; SWAR-u64 elsewhere), honouring a
+//! `BATMAP_KERNEL` environment override, and
 //! can be pinned per universe via [`crate::BatmapParams::with_kernel`]
 //! or per mining run via the miner configuration. Requesting a backend
 //! the CPU lacks downgrades (with a one-time warning) to the widest
@@ -42,6 +45,8 @@
 //! ([`MatchKernel::ops_per_staged_word`]), so simulated `--kernel`
 //! sweeps reflect lane width too.
 
+#[cfg(target_arch = "aarch64")]
+use crate::neon;
 #[cfg(target_arch = "x86_64")]
 use crate::simd;
 use crate::swar;
@@ -236,21 +241,32 @@ pub enum KernelBackend {
     SwarU32,
     /// Eight lanes per 64-bit word.
     SwarU64,
+    /// Sixteen lanes per 128-bit NEON register (`aarch64` only, where
+    /// Advanced SIMD is baseline).
+    Neon,
     /// Sixteen lanes per 128-bit SSE2 register (`x86_64` only).
     Sse2,
     /// Thirty-two lanes per 256-bit AVX2 register (`x86_64` with AVX2).
     Avx2,
+    /// Sixty-four lanes per 512-bit ZMM register (`x86_64` with
+    /// AVX-512F + AVX-512BW).
+    Avx512,
 }
 
-/// The concrete (non-`Auto`) backends, widest last. Iterate
-/// [`available_backends`] instead when the code will actually *execute*
-/// the backend — the tail of this list is not available on every CPU.
-pub const ALL_BACKENDS: [KernelBackend; 5] = [
+/// The concrete (non-`Auto`) backends, widest last (`neon` and `sse2`
+/// share a lane width but are never available on the same
+/// architecture, so the *available* sub-sequence is strictly widening
+/// on every host). Iterate [`available_backends`] instead when the
+/// code will actually *execute* the backend — the tail of this list is
+/// not available on every CPU.
+pub const ALL_BACKENDS: [KernelBackend; 7] = [
     KernelBackend::Scalar,
     KernelBackend::SwarU32,
     KernelBackend::SwarU64,
+    KernelBackend::Neon,
     KernelBackend::Sse2,
     KernelBackend::Avx2,
+    KernelBackend::Avx512,
 ];
 
 /// The concrete backends available on this CPU, widest last (bench axes
@@ -268,8 +284,10 @@ impl KernelBackend {
             "scalar" => Some(KernelBackend::Scalar),
             "swar32" | "u32" => Some(KernelBackend::SwarU32),
             "swar64" | "u64" => Some(KernelBackend::SwarU64),
+            "neon" => Some(KernelBackend::Neon),
             "sse2" => Some(KernelBackend::Sse2),
             "avx2" => Some(KernelBackend::Avx2),
+            "avx512" => Some(KernelBackend::Avx512),
             _ => None,
         }
     }
@@ -281,15 +299,18 @@ impl KernelBackend {
             KernelBackend::Scalar => "scalar",
             KernelBackend::SwarU32 => "swar32",
             KernelBackend::SwarU64 => "swar64",
+            KernelBackend::Neon => "neon",
             KernelBackend::Sse2 => "sse2",
             KernelBackend::Avx2 => "avx2",
+            KernelBackend::Avx512 => "avx512",
         }
     }
 
     /// Whether this backend can execute on the current CPU. `Auto` and
-    /// the portable backends are always available; `sse2` requires
-    /// `x86_64` (where it is baseline) and `avx2` additionally requires
-    /// runtime AVX2 detection.
+    /// the portable backends are always available; `neon` requires
+    /// `aarch64` (where it is baseline); `sse2` requires `x86_64`
+    /// (where it is baseline); `avx2` and `avx512` additionally require
+    /// runtime feature detection.
     pub fn is_available(self) -> bool {
         match self {
             KernelBackend::Auto
@@ -300,14 +321,20 @@ impl KernelBackend {
             KernelBackend::Sse2 => true,
             #[cfg(target_arch = "x86_64")]
             KernelBackend::Avx2 => simd::avx2_available(),
+            #[cfg(target_arch = "x86_64")]
+            KernelBackend::Avx512 => simd::avx512_available(),
+            #[cfg(target_arch = "aarch64")]
+            KernelBackend::Neon => true,
             #[cfg(not(target_arch = "x86_64"))]
-            KernelBackend::Sse2 | KernelBackend::Avx2 => false,
+            KernelBackend::Sse2 | KernelBackend::Avx2 | KernelBackend::Avx512 => false,
+            #[cfg(not(target_arch = "aarch64"))]
+            KernelBackend::Neon => false,
         }
     }
 
     /// The widest backend available on this CPU (what `Auto` resolves
-    /// to absent an override): AVX2 where detected, SSE2 on any
-    /// `x86_64`, SWAR-u64 elsewhere.
+    /// to absent an override): AVX-512 where detected, else AVX2, else
+    /// SSE2 on any `x86_64`; NEON on `aarch64`; SWAR-u64 elsewhere.
     pub fn widest_available() -> KernelBackend {
         ALL_BACKENDS
             .into_iter()
@@ -348,7 +375,7 @@ impl KernelBackend {
                 // experiment either.
                 eprintln!(
                     "warning: ignoring invalid BATMAP_KERNEL={} \
-                     (expected auto|scalar|swar32|swar64|sse2|avx2); using {}",
+                     (expected auto|scalar|swar32|swar64|neon|sse2|avx2|avx512); using {}",
                     var.unwrap_or_default(),
                     widest.name()
                 );
@@ -395,8 +422,16 @@ impl KernelBackend {
             KernelBackend::Sse2 => &simd::Sse2Kernel,
             #[cfg(target_arch = "x86_64")]
             KernelBackend::Avx2 => &simd::Avx2Kernel,
+            #[cfg(target_arch = "x86_64")]
+            KernelBackend::Avx512 => &simd::Avx512Kernel,
+            #[cfg(target_arch = "aarch64")]
+            KernelBackend::Neon => &neon::NeonKernel,
             #[cfg(not(target_arch = "x86_64"))]
-            KernelBackend::Sse2 | KernelBackend::Avx2 => {
+            KernelBackend::Sse2 | KernelBackend::Avx2 | KernelBackend::Avx512 => {
+                unreachable!("resolve() never selects an unavailable backend")
+            }
+            #[cfg(not(target_arch = "aarch64"))]
+            KernelBackend::Neon => {
                 unreachable!("resolve() never selects an unavailable backend")
             }
             KernelBackend::Auto => unreachable!("resolve() returns a concrete backend"),
@@ -418,8 +453,16 @@ impl KernelBackend {
             KernelBackend::Sse2 => op.run(simd::Sse2Kernel),
             #[cfg(target_arch = "x86_64")]
             KernelBackend::Avx2 => op.run(simd::Avx2Kernel),
+            #[cfg(target_arch = "x86_64")]
+            KernelBackend::Avx512 => op.run(simd::Avx512Kernel),
+            #[cfg(target_arch = "aarch64")]
+            KernelBackend::Neon => op.run(neon::NeonKernel),
             #[cfg(not(target_arch = "x86_64"))]
-            KernelBackend::Sse2 | KernelBackend::Avx2 => {
+            KernelBackend::Sse2 | KernelBackend::Avx2 | KernelBackend::Avx512 => {
+                unreachable!("resolve() never selects an unavailable backend")
+            }
+            #[cfg(not(target_arch = "aarch64"))]
+            KernelBackend::Neon => {
                 unreachable!("resolve() never selects an unavailable backend")
             }
             KernelBackend::Auto => unreachable!("resolve() returns a concrete backend"),
@@ -631,9 +674,12 @@ mod tests {
         let lanes: Vec<usize> = ALL_BACKENDS.iter().map(|b| b.kernel().lanes()).collect();
         // `kernel()` resolves unavailable backends to the widest
         // available one, so the observed lane count is a floor of the
-        // nominal one on the tail of the list; the available prefix
-        // must be exactly the nominal ladder.
-        let nominal = [1usize, 4, 8, 16, 32];
+        // nominal one on the tail of the list; the available entries
+        // must match the nominal ladder exactly. (`neon` and `sse2`
+        // share a nominal width but are mutually exclusive by
+        // architecture, so the available sub-sequence below is still
+        // strictly increasing.)
+        let nominal = [1usize, 4, 8, 16, 16, 32, 64];
         for (i, backend) in ALL_BACKENDS.iter().enumerate() {
             if backend.is_available() {
                 assert_eq!(lanes[i], nominal[i], "backend {backend}");
@@ -650,7 +696,8 @@ mod tests {
     fn staged_word_cost_scales_down_with_lanes() {
         // The GPU simulator's per-staged-word charge must be monotone
         // non-increasing in lane width: scalar 32, the paper's u32 8,
-        // u64 8 (no staged-word pairing), sse2 2, avx2 1.
+        // u64 8 (no staged-word pairing), neon/sse2 2, avx2 1, avx512 1
+        // (the charge floors at one scalar op).
         let costs: Vec<u64> = [
             KernelBackend::Scalar,
             KernelBackend::SwarU32,
@@ -664,6 +711,9 @@ mod tests {
         {
             assert_eq!(crate::simd::Sse2Kernel.ops_per_staged_word(), 2);
             assert_eq!(crate::simd::Avx2Kernel.ops_per_staged_word(), 1);
+            assert_eq!(crate::simd::Avx512Kernel.ops_per_staged_word(), 1);
         }
+        #[cfg(target_arch = "aarch64")]
+        assert_eq!(crate::neon::NeonKernel.ops_per_staged_word(), 2);
     }
 }

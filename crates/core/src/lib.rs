@@ -41,16 +41,24 @@
 //! * [`batmap`] — the immutable [`Batmap`] itself, and the [`AsSlots`]
 //!   storage seam every counting path is generic over.
 //! * [`arena`] — contiguous corpus storage: [`arena::BatmapArena`],
-//!   zero-copy [`arena::BatmapRef`] views, and versioned snapshot
-//!   persistence.
+//!   zero-copy [`arena::BatmapRef`] views, versioned snapshot
+//!   persistence, and the [`arena::SnapshotLoad`] knob selecting the
+//!   heap-buffered or mmap-backed load path (`BATMAP_LOAD`).
+//! * `mmap` — the read-only memory-map wrapper behind
+//!   [`arena::SnapshotLoad::Mmap`] (64-bit Unix only, hence no doc
+//!   link).
 //! * [`repr`] — per-set storage representations ([`SetRepr`]: batmap,
 //!   uncompressed bitmap, sorted tidlist), the density-based
 //!   [`ReprPolicy`] selection knob (`BATMAP_REPR`), and the typed
 //!   [`SetView`] the mixed kernels consume.
 //! * [`kernel`] — the pluggable [`kernel::MatchKernel`] backend layer
-//!   (scalar reference, SWAR-u32, SWAR-u64, SSE2, AVX2;
+//!   (scalar reference, SWAR-u32, SWAR-u64, NEON, SSE2, AVX2, AVX-512;
 //!   runtime-selectable with CPU-feature detection).
-//! * `simd` — the true-SIMD SSE2/AVX2 kernels (`x86_64` only).
+//! * `simd` — the true-SIMD SSE2/AVX2/AVX-512 kernels (`x86_64` only).
+//! * `neon` — the NEON kernel (`aarch64` only, baseline SIMD there).
+//! * [`tuning`] — the persisted [`tuning::TuningProfile`] (tile side,
+//!   sweep block, prefetch distance) measured by `batmap-tune` and
+//!   loaded through `BATMAP_TUNING`.
 //! * [`parallel`] — the [`Parallelism`] knob host-parallel phases share
 //!   (`BATMAP_THREADS` override, same plumbing style as the kernels).
 //! * [`swar`] — the paper's raw branch-free formulations (backend
@@ -70,29 +78,63 @@
 //!
 //! ## Environment overrides
 //!
-//! This is the canonical description of the three runtime knobs every
-//! binary in the workspace honours; README and the figure binaries
-//! point here.
+//! This is the canonical description of the runtime knobs every binary
+//! in the workspace honours; README and the figure binaries point
+//! here.
 //!
 //! ### `BATMAP_KERNEL` — match-count backend
 //!
-//! `BATMAP_KERNEL=scalar|swar32|swar64|sse2|avx2` steers what
-//! [`KernelBackend::Auto`] resolves to. Resolution rules
+//! `BATMAP_KERNEL=scalar|swar32|swar64|neon|sse2|avx2|avx512` steers
+//! what [`KernelBackend::Auto`] resolves to. Resolution rules
 //! ([`KernelBackend::resolve_override`] is the pure form):
 //!
 //! 1. An explicit backend ([`params::BatmapParams::with_kernel`],
 //!    `MinerConfig::kernel`, `--kernel NAME`) wins; `Auto` consults the
 //!    environment.
 //! 2. `Auto` with no (valid) override resolves to the **widest backend
-//!    available on this CPU**: avx2 where detected, sse2 on any
-//!    x86_64, swar64 elsewhere.
-//! 3. Requesting a backend the CPU lacks (e.g. `avx2` on an AVX2-less
-//!    host) **downgrades** to the widest available one with a one-time
-//!    warning. Counts are backend-independent, so a downgrade only
-//!    changes speed, never results.
+//!    available on this CPU**: avx512 where detected, else avx2, else
+//!    sse2 on any x86_64; neon on aarch64; swar64 elsewhere.
+//! 3. Requesting a backend the CPU lacks (e.g. `avx512` on a host
+//!    without AVX-512BW) **downgrades** to the widest available one
+//!    with a one-time warning. Counts are backend-independent, so a
+//!    downgrade only changes speed, never results.
 //! 4. An unparseable value is ignored, also with a one-time warning.
 //!
 //! The variable is read once per process and cached.
+//!
+//! ### `BATMAP_LOAD` — snapshot load path
+//!
+//! `BATMAP_LOAD=buffered|mmap` steers what
+//! [`arena::SnapshotLoad::Auto`] resolves to — how snapshot files are
+//! brought into memory by the load-aware open paths
+//! ([`arena::BatmapArena::read_from_file_with`], the `pairminer`
+//! corpus open, and the server's corpus loading):
+//!
+//! 1. An explicit knob ([`EngineOptions::load`](EngineOptions#structfield.load),
+//!    `--load NAME`) wins; `Auto` consults the environment.
+//! 2. `Auto` with no (valid) override resolves to **`buffered`** — the
+//!    eager read that checksums the whole payload before serving.
+//! 3. `mmap` maps the file read-only and defers the payload checksum
+//!    to an explicit [`arena::BatmapArena::verify`] call, so a cold
+//!    multi-GiB corpus serves its first query in milliseconds. Headers
+//!    and directories are still validated eagerly. On platforms
+//!    without the mmap backing (non-Unix or 32-bit), `mmap` downgrades
+//!    to `buffered` with a one-time warning.
+//! 4. An unparseable value is ignored, also with a one-time warning.
+//!
+//! The variable is read once per process and cached.
+//!
+//! ### `BATMAP_TUNING` — autotuned kernel/tile profile
+//!
+//! `BATMAP_TUNING=<path.json>` points at a [`tuning::TuningProfile`]
+//! written by the `batmap-tune` binary (tile side, one-vs-many sweep
+//! block, software-prefetch distance). When set, the profile steers
+//! the miner's default tile size and the batched one-vs-many driver;
+//! when unset, or when the file is missing/unparseable (one-time
+//! warning), the built-in defaults apply. Values are clamped to safe
+//! ranges on load, and none of them affects counts — like every other
+//! knob here it is a pure speed choice. The variable is read once per
+//! process and cached.
 //!
 //! ### `BATMAP_THREADS` — host parallelism
 //!
@@ -152,7 +194,11 @@ pub mod error;
 pub mod hash;
 pub mod intersect;
 pub mod kernel;
+#[cfg(all(unix, target_pointer_width = "64"))]
+pub mod mmap;
 pub mod multiway;
+#[cfg(target_arch = "aarch64")]
+pub mod neon;
 pub mod options;
 pub mod parallel;
 pub mod params;
@@ -162,10 +208,11 @@ pub mod simd;
 pub mod slot;
 pub mod space;
 pub mod swar;
+pub mod tuning;
 pub mod uncompressed;
 pub mod update;
 
-pub use arena::{ArenaBuilder, ArenaStage, BatmapArena, BatmapRef, SetSpec};
+pub use arena::{ArenaBuilder, ArenaStage, BatmapArena, BatmapRef, SetSpec, SnapshotLoad};
 pub use batmap::{AsSlots, Batmap};
 pub use builder::{ArenaSetOutcome, BatmapBuilder, BuildOutcome, InsertOutcome, InsertStats};
 pub use collection::BatmapCollection;
@@ -182,5 +229,6 @@ pub use options::EngineOptions;
 pub use parallel::Parallelism;
 pub use params::{BatmapParams, ParamsHandle, TABLES};
 pub use repr::{BitmapRef, ReprPolicy, SetRepr, SetView, TidlistRef, ALL_REPR_POLICIES};
+pub use tuning::TuningProfile;
 pub use uncompressed::UncompressedBatmap;
 pub use update::UpdateOutcome;

@@ -1,0 +1,184 @@
+//! Read-only memory-mapped files: the zero-copy backing behind
+//! [`crate::arena::SnapshotLoad::Mmap`].
+//!
+//! A [`MmapFile`] maps a whole snapshot file `PROT_READ`/`MAP_PRIVATE`
+//! and exposes it as `&[u8]`. Nothing is read up front — the kernel
+//! pages bytes in on first touch — which is exactly what the lazy
+//! snapshot-verification story needs: headers and directories (a few
+//! KiB) are touched and validated eagerly at open time, while the
+//! multi-GiB payload is faulted in on demand by the queries that
+//! actually sweep it, or all at once by an explicit
+//! [`crate::arena::BatmapArena::verify`].
+//!
+//! The syscalls are declared directly (`extern "C"` against the
+//! platform libc every Rust binary on Unix already links) rather than
+//! through a bindings crate, keeping the workspace dependency-free.
+//! The module is compiled only on 64-bit Unix — `off_t`, `size_t` and
+//! the mmap flag values below are written for the LP64 Unix ABI — and
+//! [`crate::arena::SnapshotLoad`] downgrades to the buffered path with
+//! a warning everywhere else.
+//!
+//! ## Safety contract
+//!
+//! `&[u8]` handed out by [`MmapFile::bytes`] is only sound while the
+//! underlying file is not truncated or rewritten in place by another
+//! process (shrinking the file would turn reads of the tail into
+//! `SIGBUS`). Snapshot files are written via
+//! [`crate::arena::atomic_write`] — a sibling temp file atomically
+//! renamed over the target — so a concurrently *republished* snapshot
+//! leaves the mapped inode intact; the mapping keeps serving the old,
+//! complete snapshot until dropped. Direct in-place mutation of a
+//! snapshot being served is outside the supported contract (exactly as
+//! it is for the buffered path mid-read).
+
+use std::ffi::c_void;
+use std::io;
+use std::os::unix::io::AsRawFd;
+use std::path::Path;
+
+// LP64 Unix ABI (Linux, macOS, BSDs on 64-bit targets): int is 32-bit,
+// pointers/size_t are 64-bit, off_t is 64-bit.
+extern "C" {
+    fn mmap(
+        addr: *mut c_void,
+        length: usize,
+        prot: i32,
+        flags: i32,
+        fd: i32,
+        offset: i64,
+    ) -> *mut c_void;
+    fn munmap(addr: *mut c_void, length: usize) -> i32;
+}
+
+const PROT_READ: i32 = 1;
+const MAP_PRIVATE: i32 = 2;
+const MAP_FAILED: *mut c_void = usize::MAX as *mut c_void;
+
+/// A whole file mapped read-only into the address space. `Send + Sync`
+/// (the pages are immutable from this process's point of view) and
+/// usually shared as `Arc<MmapFile>` so several arenas — or an arena
+/// and the side tables of the corpus snapshot embedding it — can view
+/// disjoint windows of one mapping.
+#[derive(Debug)]
+pub struct MmapFile {
+    /// Base address; null iff `len == 0` (POSIX rejects zero-length
+    /// mappings, so empty files skip the syscall entirely).
+    ptr: *mut c_void,
+    len: usize,
+}
+
+// SAFETY: the mapping is PROT_READ — no interior mutability, and the
+// pages outlive every borrow because they are only unmapped in Drop.
+unsafe impl Send for MmapFile {}
+// SAFETY: shared reads of immutable pages are data-race free.
+unsafe impl Sync for MmapFile {}
+
+impl MmapFile {
+    /// Map `path` read-only in its entirety.
+    pub fn open(path: &Path) -> io::Result<Self> {
+        let file = std::fs::File::open(path)?;
+        let len = usize::try_from(file.metadata()?.len())
+            .map_err(|_| io::Error::other("file too large to map"))?;
+        if len == 0 {
+            return Ok(MmapFile {
+                ptr: std::ptr::null_mut(),
+                len: 0,
+            });
+        }
+        // SAFETY: a fresh anonymous-address read-only mapping of a file
+        // descriptor we own for the duration of the call; length is the
+        // file's current size and the offset 0 is trivially
+        // page-aligned. The fd may be closed after mmap returns — the
+        // mapping keeps its own reference to the inode.
+        let ptr = unsafe {
+            mmap(
+                std::ptr::null_mut(),
+                len,
+                PROT_READ,
+                MAP_PRIVATE,
+                file.as_raw_fd(),
+                0,
+            )
+        };
+        if ptr == MAP_FAILED {
+            return Err(io::Error::last_os_error());
+        }
+        Ok(MmapFile { ptr, len })
+    }
+
+    /// Length of the mapped file in bytes.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True for a zero-length file (mapped as an empty slice without a
+    /// syscall).
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// The mapped bytes. Page-aligned base (so any window whose file
+    /// offset is a multiple of an alignment `A ≤ page size` is
+    /// `A`-aligned in memory — the snapshot format 64-byte-aligns its
+    /// payload for exactly this reason).
+    pub fn bytes(&self) -> &[u8] {
+        if self.len == 0 {
+            return &[];
+        }
+        // SAFETY: `ptr` is a live PROT_READ mapping of exactly `len`
+        // bytes (established in `open`, released only in Drop); any
+        // byte pattern is a valid `u8`.
+        unsafe { std::slice::from_raw_parts(self.ptr.cast::<u8>(), self.len) }
+    }
+}
+
+impl Drop for MmapFile {
+    fn drop(&mut self) {
+        if !self.ptr.is_null() {
+            // SAFETY: `ptr`/`len` describe the mapping created in
+            // `open`; after Drop no `&[u8]` borrow can outlive `self`
+            // (lifetimes on `bytes()` guarantee it).
+            unsafe {
+                munmap(self.ptr, self.len);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn maps_file_contents_exactly() {
+        let dir = std::env::temp_dir().join(format!("batmap-mmap-test-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("payload.bin");
+        let data: Vec<u8> = (0..100_000u32).map(|i| (i * 37) as u8).collect();
+        std::fs::write(&path, &data).unwrap();
+        let map = MmapFile::open(&path).unwrap();
+        assert_eq!(map.len(), data.len());
+        assert_eq!(map.bytes(), &data[..]);
+        // Page-aligned base.
+        assert_eq!(map.bytes().as_ptr() as usize % 4096, 0);
+        drop(map);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn empty_file_maps_as_empty_slice() {
+        let dir = std::env::temp_dir().join(format!("batmap-mmap-empty-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("empty.bin");
+        std::fs::write(&path, b"").unwrap();
+        let map = MmapFile::open(&path).unwrap();
+        assert!(map.is_empty());
+        assert_eq!(map.bytes(), &[] as &[u8]);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn missing_file_is_an_io_error() {
+        assert!(MmapFile::open(Path::new("/nonexistent/batmap.snap")).is_err());
+    }
+}

@@ -1,4 +1,4 @@
-//! Unified engine configuration: one builder for the three tuning
+//! Unified engine configuration: one builder for the engine tuning
 //! knobs, one documented resolution order, and the only place in the
 //! workspace that reads the `BATMAP_*` environment variables.
 //!
@@ -22,13 +22,14 @@
 //! consumes an `EngineOptions`; the old per-field setters survive only
 //! as `#[deprecated]` shims.
 
+use crate::arena::SnapshotLoad;
 use crate::kernel::KernelBackend;
 use crate::parallel::Parallelism;
 use crate::repr::ReprPolicy;
 use serde::{Deserialize, Serialize};
 use std::sync::OnceLock;
 
-/// The three engine tuning knobs as one value.
+/// The engine tuning knobs as one value.
 ///
 /// Construct with [`EngineOptions::auto`] and pin individual knobs with
 /// the consuming builder methods; every field is also public for
@@ -58,14 +59,18 @@ pub struct EngineOptions {
     /// `Auto`).
     #[serde(default)]
     pub repr: ReprPolicy,
+    /// Snapshot load path (`BATMAP_LOAD` when left at `Auto`).
+    #[serde(default)]
+    pub load: SnapshotLoad,
 }
 
 /// Usage text for the shared CLI flags, for binaries that fold
 /// [`EngineOptions::set_flag`] into their `--help` output.
 pub const FLAGS_USAGE: &str = "\
-  --kernel <auto|scalar|swar32|swar64|sse2|avx2>   match-count backend (default: auto)
+  --kernel <auto|scalar|swar32|swar64|neon|sse2|avx2|avx512>   match-count backend (default: auto)
   --threads <auto|serial|N>                        host parallelism (default: auto)
-  --repr <auto|batmap|bitmap|tidlist|hybrid>       storage representation (default: auto)";
+  --repr <auto|batmap|bitmap|tidlist|hybrid>       storage representation (default: auto)
+  --load <auto|buffered|mmap>                      snapshot load path (default: auto)";
 
 impl EngineOptions {
     /// All three knobs at `Auto`: environment overrides apply, then the
@@ -92,6 +97,12 @@ impl EngineOptions {
         self
     }
 
+    /// Pin the snapshot load path (consuming builder).
+    pub fn load(mut self, load: SnapshotLoad) -> Self {
+        self.load = load;
+        self
+    }
+
     /// Resolve every knob to its concrete value under the documented
     /// order (explicit > env > auto). The returned options contain no
     /// `Auto` kernel or repr; `threads` resolves to `Serial` /
@@ -111,11 +122,13 @@ impl EngineOptions {
                 None => Parallelism::Auto,
             },
             repr: self.repr.resolve(),
+            load: self.load.resolve(),
         }
     }
 
     /// Handle one `--flag value` pair if it is one of the shared engine
-    /// flags (`--kernel`, `--threads`, `--repr`). Returns `Ok(true)`
+    /// flags (`--kernel`, `--threads`, `--repr`, `--load`). Returns
+    /// `Ok(true)`
     /// when consumed, `Ok(false)` when the flag is not an engine flag
     /// (the caller keeps parsing), and `Err` with a user-facing message
     /// for an engine flag with an invalid value.
@@ -134,6 +147,11 @@ impl EngineOptions {
             "--repr" => {
                 self.repr = ReprPolicy::from_name(value)
                     .ok_or_else(|| format!("unknown repr policy `{value}`"))?;
+                Ok(true)
+            }
+            "--load" => {
+                self.load = SnapshotLoad::from_name(value)
+                    .ok_or_else(|| format!("unknown snapshot load path `{value}`"))?;
                 Ok(true)
             }
             _ => Ok(false),
@@ -165,6 +183,23 @@ pub fn threads_env() -> Option<&'static str> {
 pub fn repr_env() -> Option<&'static str> {
     static VAR: OnceLock<Option<String>> = OnceLock::new();
     VAR.get_or_init(|| std::env::var("BATMAP_REPR").ok())
+        .as_deref()
+}
+
+/// The cached raw `BATMAP_LOAD` value, if the variable is set.
+pub fn load_env() -> Option<&'static str> {
+    static VAR: OnceLock<Option<String>> = OnceLock::new();
+    VAR.get_or_init(|| std::env::var("BATMAP_LOAD").ok())
+        .as_deref()
+}
+
+/// The cached raw `BATMAP_TUNING` value, if the variable is set: a
+/// path to a [`crate::tuning::TuningProfile`] JSON file written by
+/// `batmap-tune`, loaded once per process by
+/// [`crate::tuning::TuningProfile::current`].
+pub fn tuning_env() -> Option<&'static str> {
+    static VAR: OnceLock<Option<String>> = OnceLock::new();
+    VAR.get_or_init(|| std::env::var("BATMAP_TUNING").ok())
         .as_deref()
 }
 
@@ -208,6 +243,9 @@ mod tests {
         let partial = EngineOptions::auto().repr(ReprPolicy::Bitmap);
         assert_eq!(partial.kernel, KernelBackend::Auto);
         assert_eq!(partial.threads, Parallelism::Auto);
+        assert_eq!(partial.load, SnapshotLoad::Auto);
+        let pinned = EngineOptions::auto().load(SnapshotLoad::Buffered);
+        assert_eq!(pinned.load, SnapshotLoad::Buffered);
     }
 
     #[test]
@@ -227,8 +265,10 @@ mod tests {
         let auto = EngineOptions::auto().resolve();
         assert_eq!(auto.kernel, KernelBackend::resolve_override(kernel_env()));
         assert_eq!(auto.repr, ReprPolicy::resolve_override(repr_env()));
+        assert_eq!(auto.load, SnapshotLoad::resolve_override(load_env()));
         assert_ne!(auto.kernel, KernelBackend::Auto);
         assert_ne!(auto.repr, ReprPolicy::Auto);
+        assert_ne!(auto.load, SnapshotLoad::Auto);
     }
 
     #[test]
@@ -237,13 +277,16 @@ mod tests {
         assert_eq!(opts.set_flag("--kernel", "swar64"), Ok(true));
         assert_eq!(opts.set_flag("--threads", "4"), Ok(true));
         assert_eq!(opts.set_flag("--repr", "hybrid"), Ok(true));
+        assert_eq!(opts.set_flag("--load", "buffered"), Ok(true));
         assert_eq!(opts.kernel, KernelBackend::SwarU64);
         assert_eq!(opts.threads, Parallelism::Threads(4));
         assert_eq!(opts.repr, ReprPolicy::Hybrid);
+        assert_eq!(opts.load, SnapshotLoad::Buffered);
         assert_eq!(opts.set_flag("--scale", "big"), Ok(false));
         assert!(opts.set_flag("--kernel", "cuda9000").is_err());
         assert!(opts.set_flag("--threads", "many").is_err());
         assert!(opts.set_flag("--repr", "sparse").is_err());
+        assert!(opts.set_flag("--load", "teleport").is_err());
     }
 
     #[test]

@@ -142,6 +142,9 @@ impl BatmapParams {
             kernel: self.kernel,
             threads: self.threads,
             repr: self.repr,
+            // The snapshot load path is a per-process serving concern,
+            // not a universe parameter; parameters always report Auto.
+            load: crate::arena::SnapshotLoad::Auto,
         }
     }
 

@@ -1,0 +1,201 @@
+//! Autotuned performance profiles: the machine-specific constants the
+//! hot paths consult, measured once per host by the `batmap-tune`
+//! binary and loaded through `BATMAP_TUNING`.
+//!
+//! Three knobs matter in practice and none of them changes counts:
+//!
+//! * **tile side** — the square tile edge the mining engines sweep
+//!   (the `k` the `ablation_tilesize` bench scans). Too small wastes
+//!   staging work, too large spills the probe column out of cache.
+//! * **sweep block** — how many candidate sets the one-vs-many driver
+//!   hands the kernel's batched entry point per call (its stack block
+//!   is compile-time [`SWEEP_BLOCK_MAX`]; the profile can only shrink
+//!   it, e.g. for very wide sets).
+//! * **prefetch distance** — how many candidate blocks ahead the
+//!   one-vs-many sweep issues software prefetches for. `0` disables
+//!   prefetching (the right answer when candidates fit in L2).
+//!
+//! A profile is a tiny JSON file (see [`TuningProfile::save`]) so it
+//! can be inspected, versioned, and shipped next to a snapshot. Loads
+//! are forgiving: a missing or unparseable file warns once and falls
+//! back to the defaults, and every loaded value is clamped to its safe
+//! range by [`TuningProfile::sanitized`] — a hand-edited profile can
+//! make things slower, never wrong.
+
+use serde::{Deserialize, Serialize};
+
+/// Compile-time upper bound on the one-vs-many sweep block: the hot
+/// loop keeps one `&[u8]` per block entry in a stack array, so the cap
+/// must be a constant. The profile's `sweep_block` is clamped to it.
+pub const SWEEP_BLOCK_MAX: usize = 8;
+
+/// The persisted autotuning profile (module docs). `Copy`, three
+/// words; obtained from [`TuningProfile::current`] on the hot paths.
+///
+/// In a profile file, `tile_side`/`sweep_block` may be omitted or
+/// written as `0` to mean "use the built-in default" (the
+/// `batmap-tune` writer always records concrete values, so this is a
+/// hand-editing affordance). `prefetch_dist: 0` is meaningful —
+/// prefetching off — so an omitted `prefetch_dist` also disables it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TuningProfile {
+    /// Square tile edge for the mining engines' pair sweeps.
+    #[serde(default)]
+    pub tile_side: usize,
+    /// Candidate sets per batched kernel call in the one-vs-many
+    /// driver (clamped to [`SWEEP_BLOCK_MAX`]).
+    #[serde(default)]
+    pub sweep_block: usize,
+    /// Software-prefetch lookahead in candidate *blocks* for the
+    /// one-vs-many sweep; `0` disables prefetching.
+    #[serde(default)]
+    pub prefetch_dist: usize,
+}
+
+impl Default for TuningProfile {
+    fn default() -> Self {
+        TuningProfile {
+            tile_side: 2048,
+            sweep_block: SWEEP_BLOCK_MAX,
+            prefetch_dist: 2,
+        }
+    }
+}
+
+impl TuningProfile {
+    /// Clamp every knob to its safe range: `tile_side` in
+    /// `[16, 1 << 20]`, `sweep_block` in `[1, SWEEP_BLOCK_MAX]`,
+    /// `prefetch_dist` in `[0, 64]`; `0` for the first two means
+    /// "default" (see the type docs). Applied to every loaded profile
+    /// so a hand-edited file cannot push a driver outside its contract.
+    pub fn sanitized(self) -> Self {
+        let d = TuningProfile::default();
+        TuningProfile {
+            tile_side: match self.tile_side {
+                0 => d.tile_side,
+                t => t.clamp(16, 1 << 20),
+            },
+            sweep_block: match self.sweep_block {
+                0 => d.sweep_block,
+                b => b.min(SWEEP_BLOCK_MAX),
+            },
+            prefetch_dist: self.prefetch_dist.min(64),
+        }
+    }
+
+    /// Serialize as the JSON document `save` writes.
+    pub fn to_json(&self) -> String {
+        serde_json::to_string(self).expect("profile serializes")
+    }
+
+    /// Parse (and sanitize) a profile from JSON; missing fields take
+    /// their defaults.
+    pub fn from_json(json: &str) -> Result<Self, String> {
+        serde_json::from_str::<TuningProfile>(json)
+            .map(TuningProfile::sanitized)
+            .map_err(|e| format!("tuning profile does not parse: {e}"))
+    }
+
+    /// Load (and sanitize) a profile from a JSON file.
+    pub fn load<P: AsRef<std::path::Path>>(path: P) -> Result<Self, String> {
+        let json = std::fs::read_to_string(path.as_ref()).map_err(|e| {
+            format!(
+                "cannot read tuning profile {}: {e}",
+                path.as_ref().display()
+            )
+        })?;
+        Self::from_json(&json)
+    }
+
+    /// Write the profile as JSON (the format `BATMAP_TUNING` points
+    /// at). Crash-safe via the same atomic rename the snapshots use.
+    pub fn save<P: AsRef<std::path::Path>>(&self, path: P) -> std::io::Result<()> {
+        crate::arena::atomic_write(path.as_ref(), |w| {
+            use std::io::Write;
+            w.write_all(self.to_json().as_bytes())
+        })
+    }
+
+    /// The process-wide profile: the file `BATMAP_TUNING` names, or the
+    /// defaults when the variable is unset. A set-but-broken profile
+    /// (missing file, bad JSON) warns once and falls back to the
+    /// defaults — tuning must never turn into a startup failure.
+    /// Resolved once per process and cached.
+    pub fn current() -> TuningProfile {
+        static CURRENT: std::sync::OnceLock<TuningProfile> = std::sync::OnceLock::new();
+        *CURRENT.get_or_init(|| match crate::options::tuning_env() {
+            None => TuningProfile::default(),
+            Some(path) => match TuningProfile::load(path) {
+                Ok(profile) => profile,
+                Err(e) => {
+                    eprintln!("warning: BATMAP_TUNING ignored ({e}); using default profile");
+                    TuningProfile::default()
+                }
+            },
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_are_already_sane() {
+        let d = TuningProfile::default();
+        assert_eq!(d, d.sanitized());
+        assert!(d.sweep_block <= SWEEP_BLOCK_MAX);
+    }
+
+    #[test]
+    fn json_roundtrip_is_exact() {
+        let p = TuningProfile {
+            tile_side: 512,
+            sweep_block: 4,
+            prefetch_dist: 3,
+        };
+        let back = TuningProfile::from_json(&p.to_json()).unwrap();
+        assert_eq!(back, p);
+    }
+
+    #[test]
+    fn omitted_sizing_fields_take_defaults() {
+        let p = TuningProfile::from_json("{\"tile_side\":256}").unwrap();
+        assert_eq!(p.tile_side, 256);
+        assert_eq!(p.sweep_block, TuningProfile::default().sweep_block);
+        // Omitted prefetch_dist reads as 0: prefetching off.
+        assert_eq!(p.prefetch_dist, 0);
+    }
+
+    #[test]
+    fn loaded_values_are_clamped_to_safe_ranges() {
+        let p = TuningProfile::from_json(
+            "{\"tile_side\":1,\"sweep_block\":4096,\"prefetch_dist\":1000000}",
+        )
+        .unwrap();
+        assert_eq!(p.tile_side, 16);
+        assert_eq!(p.sweep_block, SWEEP_BLOCK_MAX);
+        assert_eq!(p.prefetch_dist, 64);
+    }
+
+    #[test]
+    fn bad_json_is_an_error_not_a_panic() {
+        assert!(TuningProfile::from_json("not json").is_err());
+        assert!(TuningProfile::load("/nonexistent/profile.json").is_err());
+    }
+
+    #[test]
+    fn save_load_roundtrip() {
+        let dir = std::env::temp_dir().join(format!("batmap-tuning-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("profile.json");
+        let p = TuningProfile {
+            tile_side: 64,
+            sweep_block: 2,
+            prefetch_dist: 0,
+        };
+        p.save(&path).unwrap();
+        assert_eq!(TuningProfile::load(&path).unwrap(), p);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

@@ -37,6 +37,7 @@
 use batmap::{
     ArenaSetOutcome, BatmapArena, BatmapBuilder, BatmapParams, BatmapRef, EngineOptions,
     KernelBackend, Parallelism, ParamsHandle, ReprPolicy, SetRepr, SetSpec, SetView, SnapshotError,
+    SnapshotLoad,
 };
 use fim::VerticalDb;
 use hpcutil::MemoryFootprint;
@@ -55,8 +56,12 @@ pub const GPU_MIN_SHIFT: u32 = 6;
 /// snapshot with the mining side tables).
 pub const PRE_SNAPSHOT_MAGIC: [u8; 8] = *b"BMPREPRO";
 
-/// Preprocessed-corpus snapshot format version.
-pub const PRE_SNAPSHOT_VERSION: u32 = 1;
+/// Preprocessed-corpus snapshot format version. v2 zero-pads after the
+/// JSON side tables so the embedded arena envelope starts on a
+/// [`batmap::arena::SET_ALIGN`] boundary of the file — the alignment
+/// [`BatmapArena::from_mapped`] requires, making the whole corpus
+/// mmap-servable without copying the payload.
+pub const PRE_SNAPSHOT_VERSION: u32 = 2;
 
 /// Output of preprocessing.
 #[derive(Debug, Clone)]
@@ -139,6 +144,12 @@ impl Preprocessed {
         // corruption protection the arena gives its directory/payload.
         w.write_all(&batmap::arena::snapshot_checksum(header_json.as_bytes()).to_le_bytes())?;
         w.write_all(header_json.as_bytes())?;
+        // v2: pad to the next SET_ALIGN boundary so the embedded arena
+        // envelope — and through its own padding, the payload — lands
+        // 64-byte aligned in the file, as `BatmapArena::from_mapped`
+        // requires on the mmap serving path.
+        let pad = side_table_pad(header_json.len());
+        w.write_all(&[0u8; batmap::arena::SET_ALIGN][..pad])?;
         self.arena.write_to(w)
     }
 
@@ -157,6 +168,90 @@ impl Preprocessed {
     pub fn read_snapshot_file<P: AsRef<std::path::Path>>(path: P) -> Result<Self, SnapshotError> {
         let file = std::fs::File::open(path)?;
         Self::read_snapshot(&mut std::io::BufReader::new(file))
+    }
+
+    /// Load a corpus snapshot file through an explicit
+    /// [`SnapshotLoad`] path — the serving stack's entry point.
+    ///
+    /// * [`SnapshotLoad::Buffered`] (and what `Auto` resolves to by
+    ///   default) is [`Preprocessed::read_snapshot_file`]: the whole
+    ///   payload is read and checksummed before returning.
+    /// * [`SnapshotLoad::Mmap`] maps the file read-only: side tables
+    ///   and arena header/directory are validated eagerly, but the
+    ///   payload is never touched — pages fault in on first use, and
+    ///   the payload checksum is deferred to an explicit
+    ///   [`Preprocessed::verify`] call. A cold multi-GiB corpus serves
+    ///   its first query in milliseconds.
+    pub fn read_snapshot_file_with<P: AsRef<std::path::Path>>(
+        path: P,
+        load: SnapshotLoad,
+    ) -> Result<Self, SnapshotError> {
+        match load.resolve() {
+            #[cfg(all(unix, target_pointer_width = "64"))]
+            SnapshotLoad::Mmap => Self::open_snapshot_mapped(path),
+            _ => Self::read_snapshot_file(path),
+        }
+    }
+
+    /// The mmap corpus open behind [`Preprocessed::read_snapshot_file_with`].
+    /// Validates the side tables (checksummed JSON) and the embedded
+    /// arena's header and directory from the mapping; the arena payload
+    /// stays untouched until queried (or [`Preprocessed::verify`]-ed).
+    #[cfg(all(unix, target_pointer_width = "64"))]
+    fn open_snapshot_mapped<P: AsRef<std::path::Path>>(path: P) -> Result<Self, SnapshotError> {
+        use std::sync::Arc as StdArc;
+        let bad = |what: &str| SnapshotError::Format(what.to_string());
+        let cut = |what: &str| SnapshotError::Truncated(format!("corpus {what} cut short"));
+        let map = StdArc::new(batmap::mmap::MmapFile::open(path.as_ref())?);
+        let bytes = map.bytes();
+        if bytes.len() < 24 {
+            return Err(cut("envelope"));
+        }
+        if bytes[..8] != PRE_SNAPSHOT_MAGIC {
+            return Err(bad("not a preprocessed-corpus snapshot (bad magic)"));
+        }
+        let version = u32::from_le_bytes(bytes[8..12].try_into().unwrap());
+        if version != PRE_SNAPSHOT_VERSION {
+            return Err(SnapshotError::Format(format!(
+                "unsupported corpus snapshot version {version}"
+            )));
+        }
+        let header_len = u32::from_le_bytes(bytes[12..16].try_into().unwrap()) as usize;
+        let header_checksum = u64::from_le_bytes(bytes[16..24].try_into().unwrap());
+        let header_bytes = bytes
+            .get(24..24 + header_len)
+            .ok_or_else(|| cut("side tables"))?;
+        if batmap::arena::snapshot_checksum(header_bytes) != header_checksum {
+            return Err(SnapshotError::Corrupted(
+                "corpus side-table checksum mismatch".to_string(),
+            ));
+        }
+        let header: PreSnapshotHeader = std::str::from_utf8(header_bytes)
+            .ok()
+            .and_then(|s| serde_json::from_str(s).ok())
+            .ok_or_else(|| bad("corpus header does not parse"))?;
+        // v2 wrote zero padding here so this offset is SET_ALIGN-ed.
+        let pad = side_table_pad(header_len);
+        batmap::arena::check_pad_zero(
+            bytes
+                .get(24 + header_len..24 + header_len + pad)
+                .ok_or_else(|| cut("alignment padding"))?,
+        )?;
+        let arena_at = 24 + header_len + pad;
+        let (arena, _end) = BatmapArena::from_mapped(map, arena_at)?;
+        Self::from_parts(header, arena)
+    }
+
+    /// Whether the arena payload's checksum has been deferred (mmap
+    /// load path) and [`Preprocessed::verify`] has something to do.
+    pub fn verification_pending(&self) -> bool {
+        self.arena.verification_pending()
+    }
+
+    /// Run the deferred payload verification of an mmap-loaded corpus
+    /// ([`BatmapArena::verify`]); a no-op `Ok` on buffered loads.
+    pub fn verify(&self) -> Result<(), SnapshotError> {
+        self.arena.verify()
     }
 
     /// Load a corpus persisted by [`Preprocessed::write_snapshot`],
@@ -216,9 +311,23 @@ impl Preprocessed {
             .ok()
             .and_then(|s| serde_json::from_str(s).ok())
             .ok_or_else(|| bad("corpus header does not parse"))?;
+        // v2 alignment padding (zeros, excluded from the checksum and
+        // validated as such — bit-rot in the pad must not parse).
+        let pad = side_table_pad(header_len);
+        let mut padbuf = [0u8; batmap::arena::SET_ALIGN];
+        r.read_exact(&mut padbuf[..pad])
+            .map_err(|e| torn("alignment padding", e))?;
+        batmap::arena::check_pad_zero(&padbuf[..pad])?;
         let arena = BatmapArena::read_from(r)?;
+        Self::from_parts(header, arena)
+    }
+
+    /// Cross-validate freshly-loaded side tables against their arena
+    /// and assemble the corpus — shared tail of every load path.
+    fn from_parts(header: PreSnapshotHeader, arena: BatmapArena) -> Result<Self, SnapshotError> {
+        let bad = |what: &str| SnapshotError::Format(what.to_string());
         let n = header.n_items as usize;
-        if arena.len() < n || arena.len() % BLOCK != 0 {
+        if arena.len() < n || !arena.len().is_multiple_of(BLOCK) {
             return Err(bad("arena set count inconsistent with item count"));
         }
         if header.order.len() != n || header.item_to_sorted.len() != n {
@@ -259,6 +368,15 @@ impl Preprocessed {
             stats: header.stats,
         })
     }
+}
+
+/// Zero bytes written after the JSON side tables (v2) so the embedded
+/// arena envelope starts on a [`batmap::arena::SET_ALIGN`] boundary of
+/// the file. The side tables begin at byte 24 (magic + version +
+/// length + checksum).
+fn side_table_pad(header_len: usize) -> usize {
+    let pos = 24 + header_len;
+    pos.next_multiple_of(batmap::arena::SET_ALIGN) - pos
 }
 
 /// JSON side tables of a [`Preprocessed`] snapshot (everything the
@@ -779,6 +897,113 @@ mod tests {
         for s in 0..pre.padded_items() {
             assert_eq!(loaded.arena.repr(s), pre.arena.repr(s));
             assert_eq!(loaded.payload(s).elements(), pre.payload(s).elements());
+        }
+    }
+
+    #[test]
+    fn snapshot_arena_envelope_is_aligned_in_the_file() {
+        // The v2 contract the mmap open path relies on: however long
+        // the JSON side tables are, the embedded arena envelope starts
+        // on a SET_ALIGN boundary of the file.
+        let pre = preprocess(&vertical(), 6, 128);
+        let mut buf = Vec::new();
+        pre.write_snapshot(&mut buf).unwrap();
+        let header_len = u32::from_le_bytes(buf[12..16].try_into().unwrap()) as usize;
+        let arena_at = 24 + header_len + side_table_pad(header_len);
+        assert_eq!(arena_at % batmap::arena::SET_ALIGN, 0);
+        assert_eq!(&buf[arena_at..arena_at + 8], b"BATMAPAR");
+    }
+
+    #[cfg(all(unix, target_pointer_width = "64"))]
+    mod mmap_load {
+        use super::*;
+
+        fn snapshot_to_temp(pre: &Preprocessed, name: &str) -> std::path::PathBuf {
+            let dir = std::env::temp_dir().join(format!("batmap-pre-mmap-{}", std::process::id()));
+            std::fs::create_dir_all(&dir).unwrap();
+            let path = dir.join(name);
+            pre.write_snapshot_file(&path).unwrap();
+            path
+        }
+
+        #[test]
+        fn mmap_corpus_load_matches_buffered_exactly() {
+            for (name, options) in [
+                (
+                    "batmap.snap",
+                    EngineOptions::auto().repr(ReprPolicy::Batmap),
+                ),
+                (
+                    "hybrid.snap",
+                    EngineOptions::auto().repr(ReprPolicy::Hybrid),
+                ),
+            ] {
+                let pre = preprocess_with(&skewed_vertical(), 6, 128, options);
+                let path = snapshot_to_temp(&pre, name);
+                let buffered =
+                    Preprocessed::read_snapshot_file_with(&path, SnapshotLoad::Buffered).unwrap();
+                let mapped =
+                    Preprocessed::read_snapshot_file_with(&path, SnapshotLoad::Mmap).unwrap();
+                assert!(!buffered.verification_pending());
+                assert!(mapped.verification_pending());
+                mapped.verify().unwrap();
+                assert_eq!(mapped.n_items, buffered.n_items);
+                assert_eq!(mapped.order, buffered.order);
+                assert_eq!(mapped.item_to_sorted, buffered.item_to_sorted);
+                assert_eq!(mapped.failed, buffered.failed);
+                assert_eq!(mapped.stats, buffered.stats);
+                assert_eq!(mapped.repr_histogram(), buffered.repr_histogram());
+                for s in 0..buffered.padded_items() {
+                    assert_eq!(mapped.arena.repr(s), buffered.arena.repr(s), "set {s}");
+                    assert_eq!(
+                        mapped.payload(s).elements(),
+                        buffered.payload(s).elements(),
+                        "set {s}"
+                    );
+                }
+                // The mapped arena payload does not count as heap.
+                assert!(mapped.heap_bytes() < buffered.heap_bytes());
+                std::fs::remove_file(&path).unwrap();
+            }
+        }
+
+        #[test]
+        fn mmap_corpus_rejects_corruption_like_buffered() {
+            let pre = preprocess(&vertical(), 6, 128);
+            let path = snapshot_to_temp(&pre, "corrupt.snap");
+            let pristine = std::fs::read(&path).unwrap();
+            let reseal = |bytes: &[u8]| std::fs::write(&path, bytes).unwrap();
+
+            // Side-table flips and truncation are rejected eagerly.
+            for poke in [0usize, 24, 40] {
+                let mut bad = pristine.clone();
+                bad[poke] ^= 0x01;
+                reseal(&bad);
+                assert!(
+                    Preprocessed::read_snapshot_file_with(&path, SnapshotLoad::Mmap).is_err(),
+                    "corruption at byte {poke} must be rejected at open"
+                );
+            }
+            reseal(&pristine[..pristine.len() - 1]);
+            assert!(
+                Preprocessed::read_snapshot_file_with(&path, SnapshotLoad::Mmap).is_err(),
+                "a truncated payload must be rejected at open"
+            );
+
+            // A payload bit flip is invisible at open (the point of the
+            // deferred checksum) and caught by verify().
+            let mut bad = pristine.clone();
+            let last = bad.len() - 1;
+            bad[last] ^= 0x10;
+            reseal(&bad);
+            let mapped = Preprocessed::read_snapshot_file_with(&path, SnapshotLoad::Mmap).unwrap();
+            assert!(matches!(mapped.verify(), Err(SnapshotError::Corrupted(_))));
+            drop(mapped);
+
+            reseal(&pristine);
+            let ok = Preprocessed::read_snapshot_file_with(&path, SnapshotLoad::Mmap).unwrap();
+            ok.verify().unwrap();
+            std::fs::remove_file(&path).unwrap();
         }
     }
 

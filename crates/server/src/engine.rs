@@ -257,6 +257,27 @@ impl QueryEngine {
         QueryEngine { inner, workers }
     }
 
+    /// Open corpus snapshot files and spin up an engine over them,
+    /// honouring the [`EngineOptions::load`] knob in `config.options`
+    /// (`--load mmap` / `BATMAP_LOAD=mmap` serves a cold corpus
+    /// zero-copy: the payload pages fault in on first query instead of
+    /// being read and checksummed up front; run
+    /// [`pairminer::Preprocessed::verify`] out of band if end-to-end
+    /// payload integrity checking is wanted).
+    ///
+    /// # Panics
+    /// Panics if `paths` is empty (an engine needs at least one corpus).
+    pub fn open_snapshots<P: AsRef<std::path::Path>>(
+        paths: &[P],
+        config: EngineConfig,
+    ) -> Result<QueryEngine, batmap::SnapshotError> {
+        let corpora = paths
+            .iter()
+            .map(|p| Preprocessed::read_snapshot_file_with(p, config.options.load))
+            .collect::<Result<Vec<_>, _>>()?;
+        Ok(QueryEngine::new(corpora, config))
+    }
+
     /// Number of corpora served.
     pub fn corpora(&self) -> u32 {
         self.inner.corpora.len() as u32

@@ -1,8 +1,9 @@
-//! Property tests pinning the true SIMD match kernels (SSE2/AVX2) and
-//! the batched one-vs-many driver to the scalar reference, plus unit
-//! tests of the `Auto`/`BATMAP_KERNEL` resolution policy.
+//! Property tests pinning the true SIMD match kernels
+//! (SSE2/AVX2/AVX-512 on x86_64, NEON on aarch64) and the batched
+//! one-vs-many driver to the scalar reference, plus unit tests of the
+//! `Auto`/`BATMAP_KERNEL` resolution policy.
 //!
-//! On hardware without a backend (e.g. no AVX2) the corresponding
+//! On hardware without a backend (e.g. no AVX-512) the corresponding
 //! assertions skip: `available_backends()` simply does not yield it,
 //! which is exactly the graceful degradation the CI kernel matrix
 //! relies on.
@@ -16,10 +17,19 @@ use std::sync::Arc;
 const M: u64 = 30_000;
 
 /// SIMD-capable backends only (lanes wider than one register byte
-/// stream): the subject of this file. Empty off-x86_64.
+/// stream): the subject of this file. SSE2/AVX2/AVX-512 on x86_64 (the
+/// latter two as CPU support permits), NEON on aarch64, empty elsewhere.
 fn simd_backends() -> Vec<KernelBackend> {
     available_backends()
-        .filter(|b| matches!(b, KernelBackend::Sse2 | KernelBackend::Avx2))
+        .filter(|b| {
+            matches!(
+                b,
+                KernelBackend::Sse2
+                    | KernelBackend::Avx2
+                    | KernelBackend::Avx512
+                    | KernelBackend::Neon
+            )
+        })
         .collect()
 }
 
@@ -162,8 +172,10 @@ fn auto_resolution_under_forced_overrides() {
         ("scalar", KernelBackend::Scalar),
         ("swar32", KernelBackend::SwarU32),
         ("swar64", KernelBackend::SwarU64),
+        ("neon", KernelBackend::Neon),
         ("sse2", KernelBackend::Sse2),
         ("avx2", KernelBackend::Avx2),
+        ("avx512", KernelBackend::Avx512),
     ] {
         let resolved = KernelBackend::resolve_override(Some(name));
         assert_ne!(resolved, KernelBackend::Auto);
@@ -175,7 +187,7 @@ fn auto_resolution_under_forced_overrides() {
         }
     }
     // Garbage degrades instead of failing (CI matrix safety).
-    assert_eq!(KernelBackend::resolve_override(Some("neon")), widest);
+    assert_eq!(KernelBackend::resolve_override(Some("quantum")), widest);
     // Whatever the ambient BATMAP_KERNEL says, the process-wide Auto
     // resolution must obey the same policy.
     assert_eq!(
@@ -190,12 +202,14 @@ fn simd_backends_report_their_lane_widths() {
         let kernel = backend.kernel();
         let lanes = kernel.lanes();
         match backend {
-            KernelBackend::Sse2 => assert_eq!(lanes, 16),
+            KernelBackend::Sse2 | KernelBackend::Neon => assert_eq!(lanes, 16),
             KernelBackend::Avx2 => assert_eq!(lanes, 32),
+            KernelBackend::Avx512 => assert_eq!(lanes, 64),
             _ => unreachable!(),
         }
         // The GPU simulator's amortized per-staged-word charge shrinks
-        // with lane width: 32/lanes·4 … i.e. 2 for sse2, 1 for avx2.
-        assert_eq!(kernel.ops_per_staged_word(), (32 / lanes) as u64);
+        // with lane width — 32/lanes·4, i.e. 2 for sse2/neon, 1 for
+        // avx2 — but floors at one scalar op, so avx512 also charges 1.
+        assert_eq!(kernel.ops_per_staged_word(), ((32 / lanes) as u64).max(1));
     }
 }
